@@ -1,0 +1,189 @@
+//! Docking-substrate benchmarks — the compute behind Table 3:
+//! scoring functions, grid construction/interpolation, and both search
+//! engines on a real prepared pair.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use docking::autogrid::{build_ad4_grids, build_vina_grids, GridKind};
+use docking::energy::DirectEnergy;
+use docking::conformation::{LigandModel, Pose};
+use docking::energy::EnergyModel;
+use docking::engine::{dock, DockConfig, EngineKind};
+use docking::grid::GridSpec;
+use docking::params::{Ad4Params, VinaParams};
+use docking::scoring::{ad4_pair, vina_pair};
+use docking::search::{LgaConfig, McConfig};
+use molkit::formats::pdbqt::PdbqtLigand;
+use molkit::synth::{generate_ligand, generate_receptor, LigandParams, ReceptorParams};
+use molkit::torsion::build_torsion_tree;
+use molkit::typer::{assign_ad_types, merge_nonpolar_hydrogens};
+use molkit::{AdType, Molecule, Vec3};
+
+fn prepared_receptor() -> Molecule {
+    let mut r = generate_receptor(
+        "1HUC",
+        &ReceptorParams { min_residues: 60, max_residues: 70, hg_fraction: 0.0 },
+    );
+    assign_ad_types(&mut r);
+    molkit::charges::assign_gasteiger(&mut r, &Default::default());
+    r
+}
+
+fn prepared_ligand() -> PdbqtLigand {
+    let mut l = generate_ligand(
+        "0D6",
+        &LigandParams { min_heavy: 14, max_heavy: 18, hang_fraction: 0.0 },
+    );
+    assign_ad_types(&mut l);
+    molkit::charges::assign_gasteiger(&mut l, &Default::default());
+    merge_nonpolar_hydrogens(&mut l);
+    let tree = build_torsion_tree(&l);
+    PdbqtLigand { mol: l, tree }
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let ad4 = Ad4Params::new();
+    let vina = VinaParams::default();
+    c.bench_function("scoring/ad4_pair", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..100 {
+                let r = 1.5 + 0.06 * k as f64;
+                acc += ad4_pair(
+                    black_box(&ad4),
+                    AdType::C,
+                    AdType::OA,
+                    0.1,
+                    -0.3,
+                    black_box(r),
+                );
+            }
+            acc
+        })
+    });
+    c.bench_function("scoring/vina_pair", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..100 {
+                let r = 1.5 + 0.06 * k as f64;
+                acc += vina_pair(black_box(&vina), AdType::C, AdType::OA, black_box(r));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_autogrid(c: &mut Criterion) {
+    // Figure/Table component: activity 5 (AutoGrid map generation)
+    let receptor = prepared_receptor();
+    let spec = GridSpec::with_edge(receptor.centroid(), 16.0, 1.0);
+    let types = [AdType::C, AdType::A, AdType::OA, AdType::NA, AdType::HD];
+    c.bench_function("autogrid/ad4_maps_17cube", |b| {
+        b.iter(|| build_ad4_grids(black_box(&receptor), spec, &types, &Ad4Params::new()))
+    });
+    c.bench_function("autogrid/vina_maps_17cube", |b| {
+        b.iter(|| build_vina_grids(black_box(&receptor), spec, &types, &VinaParams::default()))
+    });
+}
+
+fn bench_energy_eval(c: &mut Criterion) {
+    let receptor = prepared_receptor();
+    let lig = prepared_ligand();
+    let lm = LigandModel::new(&lig);
+    let spec = GridSpec::with_edge(receptor.centroid(), 18.0, 1.0);
+    let grids = build_ad4_grids(&receptor, spec, &lig.mol.ad_types(), &Ad4Params::new());
+    let em = EnergyModel::new(&grids, &lm);
+    let pose = Pose::at(receptor.centroid(), lm.torsdof());
+    let coords = lm.coords(&pose);
+    c.bench_function("energy/pose_apply", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| lm.apply(black_box(&pose), &mut buf))
+    });
+    c.bench_function("energy/total_eval", |b| b.iter(|| em.total(black_box(&coords))));
+
+    // ablation: grid interpolation vs exact pairwise sums (the reason
+    // AutoGrid exists — same receptor, same pose)
+    let direct = DirectEnergy::new(&receptor, GridKind::Ad4);
+    c.bench_function("energy/ablation_grid_inter", |b| {
+        b.iter(|| em.intermolecular(black_box(&coords)))
+    });
+    c.bench_function("energy/ablation_direct_inter", |b| {
+        b.iter(|| direct.intermolecular(&lm, black_box(&coords)))
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    // Table 3 components: one AD4 docking and one Vina docking of a pair
+    let receptor = prepared_receptor();
+    let lig = prepared_ligand();
+    let cfg = DockConfig {
+        ad4_runs: 1,
+        lga: LgaConfig { population: 10, generations: 8, ..Default::default() },
+        mc: McConfig { restarts: 3, steps: 4, ..Default::default() },
+        grid_spacing: 1.0,
+        box_edge: 16.0,
+        ..Default::default()
+    };
+    c.bench_function("dock/ad4_pair_small", |b| {
+        b.iter_batched(
+            || (receptor.clone(), lig.clone()),
+            |(r, l)| dock(black_box(&r), black_box(&l), EngineKind::Ad4, &cfg).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("dock/vina_pair_small", |b| {
+        b.iter_batched(
+            || (receptor.clone(), lig.clone()),
+            |(r, l)| dock(black_box(&r), black_box(&l), EngineKind::Vina, &cfg).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_preparation(c: &mut Criterion) {
+    // activities 1–3: format conversion and preparation
+    let raw = generate_ligand("0E6", &LigandParams::default());
+    let sdf_text = molkit::formats::sdf::write_sdf(&raw);
+    c.bench_function("prep/sdf_parse", |b| {
+        b.iter(|| molkit::formats::sdf::read_sdf(black_box(&sdf_text)).unwrap())
+    });
+    c.bench_function("prep/full_ligand_prep", |b| {
+        b.iter_batched(
+            || raw.clone(),
+            |mut m| {
+                assign_ad_types(&mut m);
+                molkit::charges::assign_gasteiger(&mut m, &Default::default());
+                merge_nonpolar_hydrogens(&mut m);
+                build_torsion_tree(&m)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let receptor = prepared_receptor();
+    c.bench_function("prep/pocket_detection", |b| {
+        b.iter(|| molkit::geometry::find_pocket(black_box(&receptor), 9.0))
+    });
+    let pdb_text = molkit::formats::pdb::write_pdb(&receptor);
+    c.bench_function("prep/pdb_parse_receptor", |b| {
+        b.iter(|| molkit::formats::pdb::read_pdb(black_box(&pdb_text)).unwrap())
+    });
+    let mut v = Vec3::ZERO;
+    c.bench_function("prep/rmsd_1k_atoms", |b| {
+        let a: Vec<Vec3> = (0..1000).map(|k| Vec3::new(k as f64, 0.0, 0.0)).collect();
+        let bb: Vec<Vec3> = (0..1000).map(|k| Vec3::new(k as f64, 1.0, 0.5)).collect();
+        b.iter(|| {
+            let r = molkit::geometry::rmsd(black_box(&a), black_box(&bb));
+            v.x += r;
+            r
+        })
+    });
+    black_box(v);
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scoring, bench_autogrid, bench_energy_eval, bench_search, bench_preparation
+);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Workflow-engine benchmarks: the DES behind Figures 7–9, the scheduler
+//! ablations DESIGN.md calls out, the work-stealing pool, the provenance
+//! SQL engine (Queries 1 and 2), and the XML spec parser.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cumulus::pool::Pool;
+use cumulus::sched::Policy;
+use cumulus::xmlspec::SciCumulusSpec;
+use provenance::{ActivationRecord, ActivationStatus, ProvenanceStore};
+use scidock::activities::EngineMode;
+use scidock::experiments::{simulate_at, SweepConfig};
+use scidock::dataset::{LIGAND_CODES, RECEPTOR_IDS};
+
+fn small_sweep() -> SweepConfig {
+    SweepConfig {
+        receptor_ids: RECEPTOR_IDS[..24].iter().map(|s| s.to_string()).collect(),
+        ligand_codes: LIGAND_CODES[..4].iter().map(|s| s.to_string()).collect(),
+        ..Default::default()
+    }
+}
+
+/// Figure 7/8/9 component: the simulated SciDock execution at several fleet
+/// sizes (96 pairs × 7 activities = 672 activations per run here).
+fn bench_simulation(c: &mut Criterion) {
+    let sweep = small_sweep();
+    let mut g = c.benchmark_group("simulate");
+    for cores in [8u32, 32, 128] {
+        g.bench_with_input(BenchmarkId::new("cores", cores), &cores, |b, &cores| {
+            b.iter(|| simulate_at(black_box(cores), EngineMode::VinaOnly, &sweep, None))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: scheduling policy (greedy weighted vs round-robin vs random).
+fn bench_scheduler_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_policy");
+    for (name, policy) in [
+        ("greedy", Policy::GreedyWeighted),
+        ("round_robin", Policy::RoundRobin),
+        ("random", Policy::Random),
+    ] {
+        let sweep = SweepConfig { policy, ..small_sweep() };
+        g.bench_function(name, |b| {
+            b.iter(|| simulate_at(32, EngineMode::Ad4Only, black_box(&sweep), None))
+        });
+    }
+    g.finish();
+}
+
+/// The work-stealing pool (the MPJ stand-in of the local backend).
+fn bench_pool(c: &mut Criterion) {
+    let pool = Pool::new(4);
+    c.bench_function("pool/map_1k_tiny_jobs", |b| {
+        b.iter(|| {
+            let items: Vec<u64> = (0..1000).collect();
+            pool.map(items, |x| x.wrapping_mul(2654435761))
+        })
+    });
+}
+
+fn populated_store(activations: usize) -> ProvenanceStore {
+    let p = ProvenanceStore::new();
+    let w = p.begin_workflow("SciDock", "bench", "/root/scidock/");
+    let acts: Vec<_> = (0..7)
+        .map(|i| p.register_activity(w, &format!("act{i}"), "Map"))
+        .collect();
+    for k in 0..activations {
+        let t = p.record_activation(&ActivationRecord {
+            activity: acts[k % acts.len()],
+            workflow: w,
+            status: ActivationStatus::Finished,
+            start_time: k as f64,
+            end_time: k as f64 + 1.0 + (k % 13) as f64,
+            machine: None,
+            retries: 0,
+            pair_key: format!("p{k}"),
+        });
+        if k % 7 == 6 {
+            p.record_file(t, acts[6], w, &format!("LIG_{k}.dlg"), 40_000 + k as i64, "/root/exp/");
+        }
+    }
+    p
+}
+
+/// Query 1 and Query 2 against a provenance DB of realistic size.
+fn bench_provenance_queries(c: &mut Criterion) {
+    let p = populated_store(7_000);
+    let q1 = "SELECT a.tag, \
+                min(extract('epoch' from (t.endtime-t.starttime))), \
+                max(extract('epoch' from (t.endtime-t.starttime))), \
+                sum(extract('epoch' from (t.endtime-t.starttime))), \
+                avg(extract('epoch' from (t.endtime-t.starttime))) \
+              FROM hworkflow w, hactivity a, hactivation t \
+              WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND w.wkfid = 1 \
+              GROUP BY a.tag";
+    c.bench_function("provenance/query1_7k_activations", |b| {
+        b.iter(|| p.query(black_box(q1)).unwrap())
+    });
+    let q2 = "SELECT w.tag, a.tag, f.fname, f.fsize, f.fdir \
+              FROM hworkflow w, hactivity a, hactivation t, hfile f \
+              WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND t.taskid = f.taskid \
+              AND f.fname LIKE '%.dlg'";
+    c.bench_function("provenance/query2_like_join", |b| {
+        b.iter(|| p.query(black_box(q2)).unwrap())
+    });
+    c.bench_function("provenance/insert_activation", |b| {
+        let store = ProvenanceStore::new();
+        let w = store.begin_workflow("x", "", "");
+        let a = store.register_activity(w, "act", "Map");
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            store.record_activation(&ActivationRecord {
+                activity: a,
+                workflow: w,
+                status: ActivationStatus::Finished,
+                start_time: k as f64,
+                end_time: k as f64 + 1.0,
+                machine: None,
+                retries: 0,
+                pair_key: "p".into(),
+            })
+        })
+    });
+}
+
+/// The XML spec parser (workflow definition loading).
+fn bench_xmlspec(c: &mut Criterion) {
+    // a spec with 10 activities
+    let mut spec = SciCumulusSpec::from_xml(
+        r#"<SciCumulus>
+  <database name="scicumulus" port="5432" server="localhost"/>
+  <SciCumulusWorkflow tag="SciDock" description="Docking" exectag="scidock" expdir="/root/scidock/">
+  </SciCumulusWorkflow>
+</SciCumulus>"#,
+    )
+    .unwrap();
+    for i in 0..10 {
+        spec.activities.push(cumulus::xmlspec::ActivityXml {
+            tag: format!("act{i}"),
+            templatedir: format!("/root/scidock/template_{i}/"),
+            activation: "./experiment.cmd".into(),
+            operator: "MAP".into(),
+            relations: vec![
+                cumulus::xmlspec::RelationSpec {
+                    reltype: cumulus::xmlspec::RelType::Input,
+                    name: format!("rel_in_{i}"),
+                    filename: format!("input_{i}.txt"),
+                },
+                cumulus::xmlspec::RelationSpec {
+                    reltype: cumulus::xmlspec::RelType::Output,
+                    name: format!("rel_out_{i}"),
+                    filename: format!("output_{i}.txt"),
+                },
+            ],
+            files: vec![cumulus::xmlspec::FileSpec {
+                filename: "experiment.cmd".into(),
+                instrumented: true,
+            }],
+        });
+    }
+    let text = spec.to_xml();
+    c.bench_function("xmlspec/parse_10_activities", |b| {
+        b.iter(|| SciCumulusSpec::from_xml(black_box(&text)).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulation, bench_scheduler_ablation, bench_pool, bench_provenance_queries, bench_xmlspec
+);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Failure injection — "each execution of SciDock contains about 10% of
+//! activity execution failures" (paper §IV.B).
+//!
+//! Deterministic per (seed, task key, attempt): the same experiment always
+//! fails the same activations, and a retried activation gets a fresh roll.
+
+use serde::{Deserialize, Serialize};
+
+/// What happens to an activation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fate {
+    /// Runs to completion.
+    Ok,
+    /// Fails partway through (engine must re-execute).
+    Fail,
+    /// Enters a looping state and never terminates on its own (engine must
+    /// detect the hang and abort — paper §V.C).
+    Hang,
+}
+
+/// Failure model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Probability an attempt fails (paper: ~0.10 overall).
+    pub fail_rate: f64,
+    /// Probability an attempt hangs (looping state).
+    pub hang_rate: f64,
+    /// Fraction of the nominal runtime at which a failure manifests.
+    pub fail_at_fraction: f64,
+    /// RNG stream seed.
+    pub seed: u64,
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        FailureModel { fail_rate: 0.08, hang_rate: 0.015, fail_at_fraction: 0.6, seed: 0 }
+    }
+}
+
+impl FailureModel {
+    /// A model that never fails.
+    pub fn none() -> FailureModel {
+        FailureModel { fail_rate: 0.0, hang_rate: 0.0, fail_at_fraction: 0.5, seed: 0 }
+    }
+
+    /// Deterministic fate of `(task_key, attempt)`.
+    pub fn fate(&self, task_key: &str, attempt: u32) -> Fate {
+        let u = self.roll(task_key, attempt);
+        if u < self.hang_rate {
+            Fate::Hang
+        } else if u < self.hang_rate + self.fail_rate {
+            Fate::Fail
+        } else {
+            Fate::Ok
+        }
+    }
+
+    /// Uniform [0,1) draw, stable across runs.
+    fn roll(&self, task_key: &str, attempt: u32) -> f64 {
+        let mut h: u64 = self.seed ^ 0x51_7CC1_B727_220A95;
+        for b in task_key.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= attempt as u64;
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 32;
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let m = FailureModel::default();
+        for k in 0..50 {
+            let key = format!("task{k}");
+            assert_eq!(m.fate(&key, 0), m.fate(&key, 0));
+        }
+    }
+
+    #[test]
+    fn attempt_changes_roll() {
+        let m = FailureModel { fail_rate: 0.5, hang_rate: 0.0, ..Default::default() };
+        // some task that fails on attempt 0 must eventually succeed on retry
+        let mut saw_retry_success = false;
+        for k in 0..100 {
+            let key = format!("t{k}");
+            if m.fate(&key, 0) == Fate::Fail {
+                for a in 1..10 {
+                    if m.fate(&key, a) == Fate::Ok {
+                        saw_retry_success = true;
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(saw_retry_success, "retries must get fresh rolls");
+    }
+
+    #[test]
+    fn rates_approximately_respected() {
+        let m = FailureModel { fail_rate: 0.10, hang_rate: 0.02, fail_at_fraction: 0.5, seed: 42 };
+        let n = 5000;
+        let mut fails = 0;
+        let mut hangs = 0;
+        for k in 0..n {
+            match m.fate(&format!("task-{k}"), 0) {
+                Fate::Fail => fails += 1,
+                Fate::Hang => hangs += 1,
+                Fate::Ok => {}
+            }
+        }
+        let fail_frac = fails as f64 / n as f64;
+        let hang_frac = hangs as f64 / n as f64;
+        assert!((0.07..0.13).contains(&fail_frac), "fail rate {fail_frac}");
+        assert!((0.01..0.035).contains(&hang_frac), "hang rate {hang_frac}");
+    }
+
+    #[test]
+    fn none_never_fails() {
+        let m = FailureModel::none();
+        for k in 0..200 {
+            assert_eq!(m.fate(&format!("x{k}"), 0), Fate::Ok);
+        }
+    }
+
+    #[test]
+    fn seed_changes_fates() {
+        let a = FailureModel { seed: 1, ..Default::default() };
+        let b = FailureModel { seed: 2, ..Default::default() };
+        let diff = (0..500)
+            .filter(|k| a.fate(&format!("t{k}"), 0) != b.fate(&format!("t{k}"), 0))
+            .count();
+        assert!(diff > 0, "different seeds must change at least some fates");
+    }
+}

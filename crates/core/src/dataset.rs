@@ -1,0 +1,272 @@
+//! The experiment dataset of Table 2: 238 cysteine-protease receptors of
+//! clan Peptidase_CA (CL0125) and 42 CP-specific ligands — ~10,000
+//! receptor–ligand pairs.
+//!
+//! Structures are generated deterministically per identifier (see
+//! [`molkit::synth`] and DESIGN.md §1 for the substitution rationale). The
+//! receptor/ligand *identifiers* are the paper's own (five ligand codes are
+//! unreadable in the source scan and are filled with plausible CP-ligand
+//! codes, documented in DESIGN.md).
+
+use molkit::synth::{
+    generate_ligand, generate_receptor, ligand_hangs, name_seed, LigandParams, ReceptorParams,
+};
+use molkit::{Element, Molecule, Vec3};
+
+/// The 238 receptor PDB identifiers of Table 2, in the paper's order.
+pub const RECEPTOR_IDS: [&str; 238] = [
+    "1AEC", "1AIM", "1ATK", "1AU0", "1AU2", "1AU3", "1AU4", "1AYU", "1AYV", "1AYW", "1BGO",
+    "1BP4", "1BQI", "1BY8", "1CJL", "1CPJ", "1CQD", "1CS8", "1CSB", "1CTE", "1CVZ", "1DEU",
+    "1EF7", "1EWL", "1EWM", "1EWO", "1EWP", "1F29", "1F2A", "1F2B", "1F2C", "1FH0", "1GEC",
+    "1GLO", "1GMY", "1HUC", "1ICF", "1ITO", "1IWD", "1JQP", "1K3B", "1KHP", "1KHQ", "1M6D",
+    "1ME3", "1ME4", "1MEG", "1MEM", "1MHW", "1MIR", "1MS6", "1NB3", "1NB5", "1NL6", "1NLJ",
+    "1NPZ", "1NQC", "1O0E", "1PAD", "1PBH", "1PCI", "1PE6", "1PIP", "1POP", "1PPD", "1PPN",
+    "1PPO", "1PPP", "1Q6K", "1QDQ", "1S4V", "1SNK", "1SP4", "1STF", "1THE", "1TU6", "1U9Q",
+    "1U9V", "1U9W", "1U9X", "1VSN", "1XKG", "1YAL", "1YK7", "1YK8", "1YT7", "1YVB", "2ACT",
+    "2AIM", "2AS8", "2ATO", "2AUX", "2AUZ", "2B1M", "2B1N", "2BDL", "2BDZ", "2C0Y", "2CIO",
+    "2DC6", "2DC7", "2DC8", "2DC9", "2DCA", "2DCB", "2DCC", "2DCD", "2DJF", "2DJG", "2F1G",
+    "2F7D", "2F05", "2FQ9", "2FRA", "2FRQ", "2FT2", "2FTD", "2FUD", "2FYE", "2G6D", "2G7Y",
+    "2GHU", "2H7J", "2HH5", "2HHN", "2HXZ", "2IPP", "2NQD", "2O6X", "2OP3", "2OUL", "2OZ2",
+    "2P7U", "2P86", "2PAD", "2PBH", "2PNS", "2PRE", "2R6N", "2R9M", "2R9N", "2R9O", "2VHS",
+    "2WBF", "2XU1", "2XU3", "2XU4", "2XU5", "2YJ2", "2YJ8", "2YJ9", "2YJB", "2YJC", "3AI8",
+    "3BC3", "3BCN", "3BPF", "3BPM", "3BWK", "3C9E", "3CBJ", "3CBK", "3CH2", "3CH3", "3D6S",
+    "3E1Z", "3F5V", "3F75", "3H6S", "3H7D", "3H89", "3H8B", "3H8C", "3HD3", "3HHA", "3HHI",
+    "3HWN", "3I06", "3IEJ", "3IMA", "3IOQ", "3IUT", "3IV2", "3K24", "3K9M", "3KFQ", "3KKU",
+    "3KSE", "3KW9", "3KWB", "3KWN", "3KWZ", "3KX1", "3LFY", "3LXS", "3MOR", "3MPE", "3MPF",
+    "3N3G", "3N4C", "3O0U", "3O1G", "3OF8", "3OF9", "3OIS", "3OVX", "3OVZ", "3P5U", "3P5V",
+    "3P5W", "3P5X", "3PBH", "3PDF", "3PNR", "3QJ3", "3QSD", "3QT4", "3RVV", "3RVW", "3RVX",
+    "3S3Q", "3S3R", "3TNX", "3U8E", "3USV", "4AXL", "4AXM", "4DMX", "4DMY", "4HWY", "4K7C",
+    "4KLB", "4PAD", "5PAD", "6PAD", "7PCK", "8PCH", "9PAP",
+];
+
+/// The 42 ligand codes of Table 2. The first four (`042`, `074`, `0D6`,
+/// `0E6`) are the ones Table 3 evaluates in detail.
+pub const LIGAND_CODES: [&str; 42] = [
+    "042", "074", "0D6", "0E6", "0I5", "0IW", "0LB", "0LC", "0PC", "0QE", "186", "1EV", "1ZE",
+    "23Z", "25B", "2CA", "2HP", "3FC", "424", "4MC", "4PR", "599", "59A", "73V", "74M", "75V",
+    "76V", "77B", "78A", "935", "93N", "ACE", "ACT", "ACY", "AEM", "ALD", "APD",
+    // the last five codes are illegible in the source scan; filled with
+    // well-known CP-ligand codes (documented in DESIGN.md)
+    "E64", "GOL", "ACL", "BAA", "CSW",
+];
+
+/// Parameters controlling dataset generation.
+#[derive(Debug, Clone)]
+pub struct DatasetParams {
+    /// Receptor generation knobs.
+    pub receptor: ReceptorParams,
+    /// Ligand generation knobs.
+    pub ligand: LigandParams,
+    /// Heavy-atom threshold of the activity-6 docking filter: receptors at
+    /// or below go to AD4 (Scenario I, "small"), above to Vina (Scenario II,
+    /// "large").
+    pub size_threshold_atoms: usize,
+    /// Magnitude of the crystal-frame offset applied to receptors (real PDB
+    /// entries are not centered at the origin; this is what makes AD4's
+    /// input-frame RMSD values large, as in Table 3).
+    pub frame_offset: f64,
+}
+
+impl Default for DatasetParams {
+    fn default() -> Self {
+        DatasetParams {
+            receptor: ReceptorParams::default(),
+            ligand: LigandParams::default(),
+            size_threshold_atoms: 650,
+            frame_offset: 52.0,
+        }
+    }
+}
+
+/// A receptor entry: id + generated structure (raw, pre-preparation).
+#[derive(Debug, Clone)]
+pub struct ReceptorEntry {
+    /// PDB-style identifier.
+    pub id: String,
+    /// The raw structure (as if parsed from the PDB file).
+    pub structure: Molecule,
+    /// Heavy-atom count (the docking filter's size measure).
+    pub heavy_atoms: usize,
+    /// Does the structure contain mercury (the poison-input rule)?
+    pub has_hg: bool,
+}
+
+/// A ligand entry: code + generated structure (raw SDF-level).
+#[derive(Debug, Clone)]
+pub struct LigandEntry {
+    /// Ligand code.
+    pub code: String,
+    /// The raw structure.
+    pub structure: Molecule,
+    /// Is this one of the ligands that make docking programs loop?
+    pub hangs: bool,
+}
+
+/// Generate one receptor with its crystal-frame offset applied.
+pub fn make_receptor(id: &str, params: &DatasetParams) -> ReceptorEntry {
+    let mut structure = generate_receptor(id, &params.receptor);
+    // displace into an arbitrary crystal frame, deterministic per id
+    let s = name_seed(id);
+    let dir = Vec3::new(
+        ((s & 0xFF) as f64 / 255.0) * 2.0 - 1.0,
+        (((s >> 8) & 0xFF) as f64 / 255.0) * 2.0 - 1.0,
+        (((s >> 16) & 0xFF) as f64 / 255.0) * 2.0 - 1.0,
+    );
+    let offset = dir.normalized().unwrap_or(Vec3::new(1.0, 0.0, 0.0)) * params.frame_offset;
+    structure.translate(offset);
+    let heavy_atoms = structure.heavy_atom_count();
+    let has_hg = structure.contains_element(Element::Hg);
+    ReceptorEntry { id: id.to_string(), structure, heavy_atoms, has_hg }
+}
+
+/// Generate one ligand.
+pub fn make_ligand(code: &str, params: &DatasetParams) -> LigandEntry {
+    let structure = generate_ligand(code, &params.ligand);
+    LigandEntry { code: code.to_string(), structure, hangs: ligand_hangs(code, &params.ligand) }
+}
+
+/// The full dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The receptor entries.
+    pub receptors: Vec<ReceptorEntry>,
+    /// The ligand entries.
+    pub ligands: Vec<LigandEntry>,
+    /// The parameters they were generated with.
+    pub params: DatasetParams,
+}
+
+impl Dataset {
+    /// Generate the full Table 2 dataset (238 receptors × 42 ligands).
+    pub fn full(params: DatasetParams) -> Dataset {
+        Self::subset(&RECEPTOR_IDS, &LIGAND_CODES, params)
+    }
+
+    /// Generate a subset (used by tests and the "first 1,000 pairs"
+    /// analysis of Table 3: 238 receptors × 4 ligands).
+    pub fn subset(receptor_ids: &[&str], ligand_codes: &[&str], params: DatasetParams) -> Dataset {
+        let receptors = receptor_ids.iter().map(|id| make_receptor(id, &params)).collect();
+        let ligands = ligand_codes.iter().map(|c| make_ligand(c, &params)).collect();
+        Dataset { receptors, ligands, params }
+    }
+
+    /// Number of receptor–ligand pairs.
+    pub fn pair_count(&self) -> usize {
+        self.receptors.len() * self.ligands.len()
+    }
+
+    /// Is this receptor "small" (routed to AD4) per the activity-6 filter?
+    pub fn is_small(&self, r: &ReceptorEntry) -> bool {
+        r.heavy_atoms <= self.params.size_threshold_atoms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_counts() {
+        assert_eq!(RECEPTOR_IDS.len(), 238);
+        assert_eq!(LIGAND_CODES.len(), 42);
+        // ~10,000 pairs, as the paper rounds it
+        assert_eq!(238 * 42, 9996);
+    }
+
+    #[test]
+    fn no_duplicate_identifiers() {
+        let mut r: Vec<&str> = RECEPTOR_IDS.to_vec();
+        r.sort_unstable();
+        r.dedup();
+        assert_eq!(r.len(), 238, "duplicate receptor ids");
+        let mut l: Vec<&str> = LIGAND_CODES.to_vec();
+        l.sort_unstable();
+        l.dedup();
+        assert_eq!(l.len(), 42, "duplicate ligand codes");
+    }
+
+    #[test]
+    fn table3_ligands_are_the_first_four() {
+        assert_eq!(&LIGAND_CODES[..4], &["042", "074", "0D6", "0E6"]);
+        // 238 × 4 = the paper's "first 1,000 receptor-ligand pairs"
+        assert_eq!(238 * 4, 952);
+    }
+
+    #[test]
+    fn receptor_generation_deterministic() {
+        let p = DatasetParams::default();
+        let a = make_receptor("1HUC", &p);
+        let b = make_receptor("1HUC", &p);
+        assert_eq!(a.structure, b.structure);
+        assert_eq!(a.heavy_atoms, b.heavy_atoms);
+    }
+
+    #[test]
+    fn receptors_displaced_from_origin() {
+        let p = DatasetParams::default();
+        let r = make_receptor("2HHN", &p);
+        let c = r.structure.centroid();
+        assert!(
+            c.norm() > p.frame_offset * 0.5,
+            "crystal frame offset should move the centroid, got {c}"
+        );
+    }
+
+    #[test]
+    fn subset_sizes() {
+        let d = Dataset::subset(&["1AEC", "2ACT"], &["042"], DatasetParams::default());
+        assert_eq!(d.receptors.len(), 2);
+        assert_eq!(d.ligands.len(), 1);
+        assert_eq!(d.pair_count(), 2);
+    }
+
+    #[test]
+    fn size_split_produces_both_classes() {
+        // over the full receptor list both small and large must occur,
+        // otherwise the adaptive AD4/Vina split is vacuous
+        let p = DatasetParams::default();
+        let mut small = 0;
+        let mut large = 0;
+        let d = Dataset::subset(&RECEPTOR_IDS[..40], &["042"], p);
+        for r in &d.receptors {
+            if d.is_small(r) {
+                small += 1;
+            } else {
+                large += 1;
+            }
+        }
+        assert!(small > 0, "no small receptors in first 40");
+        assert!(large > 0, "no large receptors in first 40");
+    }
+
+    #[test]
+    fn some_receptors_carry_hg() {
+        let p = DatasetParams::default();
+        let with_hg = RECEPTOR_IDS
+            .iter()
+            .filter(|id| make_receptor(id, &p).has_hg)
+            .count();
+        // ~4% of 238 ≈ 9-10; allow a broad band
+        assert!((2..=30).contains(&with_hg), "Hg receptors: {with_hg}");
+    }
+
+    #[test]
+    fn some_ligands_hang() {
+        let p = DatasetParams::default();
+        let hangs = LIGAND_CODES
+            .iter()
+            .filter(|c| make_ligand(c, &p).hangs)
+            .count();
+        assert!(hangs <= 6, "hang set should be small: {hangs}");
+    }
+
+    #[test]
+    fn ligands_connected_and_nonempty() {
+        let p = DatasetParams::default();
+        for code in &LIGAND_CODES[..8] {
+            let l = make_ligand(code, &p);
+            assert!(l.structure.atom_count() > 5, "{code}");
+            assert!(l.structure.is_connected(), "{code} must be a single molecule");
+        }
+    }
+}

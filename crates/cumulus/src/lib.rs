@@ -1,0 +1,38 @@
+//! # cumulus — a SciCumulus-style cloud Scientific Workflow Management System
+//!
+//! The workflow engine of the SciDock reproduction:
+//!
+//! * [`algebra`] — the relational workflow algebra (Map/SplitMap/Reduce/
+//!   Filter/SRQuery/MRQuery over relations of tuples);
+//! * [`xmlspec`] — the SciCumulus XML workflow dialect (paper Fig. 2) with a
+//!   from-scratch XML parser;
+//! * [`workflow`] — executable workflow definitions and the shared file
+//!   store activations exchange artifacts through;
+//! * [`pool`] — a from-scratch work-stealing thread pool (the MPJ stand-in);
+//! * [`localbackend`] — real parallel execution with provenance capture,
+//!   failure injection, retries, and poison-input blacklisting;
+//! * [`sched`] — the weighted greedy scheduler, its master cost model, and
+//!   elasticity configuration;
+//! * [`template`] — %TAG% activity command templates (the instrumentation
+//!   mechanism of paper Figs. 2–3);
+//! * [`simbackend`] — a discrete-event simulation of the engine on an
+//!   elastic EC2 fleet, for the cloud-scale studies of Figures 7–9.
+
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod localbackend;
+pub mod pool;
+pub mod sched;
+pub mod simbackend;
+pub mod template;
+pub mod workflow;
+pub mod xmlspec;
+
+pub use algebra::{Operator, Relation, Tuple};
+pub use localbackend::{run_local, EngineError, LocalConfig, RunReport};
+pub use pool::Pool;
+pub use sched::{ElasticityConfig, MasterCostModel, Policy};
+pub use template::{Template, TemplateError};
+pub use simbackend::{simulate, SimConfig, SimReport, SimTask};
+pub use workflow::{Activity, ActivityError, ActivityFn, ActivationCtx, FileStore, WorkflowDef};

@@ -1,0 +1,743 @@
+//! The local execution backend: runs workflow activations *for real* on the
+//! work-stealing pool, with provenance capture, failure injection, retry,
+//! and poison-input blacklisting.
+//!
+//! This is the backend SciDock's biological results (Table 3) come from;
+//! cloud-scale timing studies use [`crate::simbackend`] instead.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cloudsim::{Fate, FailureModel};
+use provenance::{ActivationRecord, ActivationStatus, ProvenanceStore, WorkflowId};
+use std::collections::HashMap;
+
+use crate::algebra::{Relation, Tuple};
+use crate::pool::Pool;
+use crate::workflow::{ActivationCtx, FileStore, WorkflowDef};
+
+/// Local backend configuration.
+#[derive(Debug, Clone)]
+pub struct LocalConfig {
+    /// Worker threads (≙ local cores).
+    pub threads: usize,
+    /// Failure injection model (use [`FailureModel::none`] to disable).
+    pub failures: FailureModel,
+    /// Maximum re-executions of a failed activation before dropping it.
+    pub max_retries: u32,
+    /// Resume from a prior workflow execution: activations whose
+    /// `(activity tag, pair key)` finished in that run are *not* re-executed;
+    /// their recorded output tuples are reused (SciCumulus' re-execution
+    /// mechanism — "it does not need to restart the entire workflow").
+    pub resume_from: Option<WorkflowId>,
+}
+
+impl Default for LocalConfig {
+    fn default() -> Self {
+        LocalConfig {
+            threads: 4,
+            failures: FailureModel::none(),
+            max_retries: 3,
+            resume_from: None,
+        }
+    }
+}
+
+/// Outcome of a workflow run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Provenance id of this run.
+    pub workflow: WorkflowId,
+    /// Wall-clock duration of the whole run in seconds.
+    pub total_seconds: f64,
+    /// Successful activations.
+    pub finished: usize,
+    /// Failed attempts (each retried unless the budget ran out).
+    pub failed_attempts: usize,
+    /// Activations aborted after entering a looping state.
+    pub aborted: usize,
+    /// Activations skipped by the blacklist rule.
+    pub blacklisted: usize,
+    /// Activations skipped because a prior run already finished them
+    /// (resume mode).
+    pub resumed: usize,
+    /// Output relation of every activity, by activity index.
+    pub outputs: Vec<Relation>,
+}
+
+impl RunReport {
+    /// The output relation of the final activity.
+    pub fn final_output(&self) -> &Relation {
+        self.outputs.last().expect("workflow has at least one activity")
+    }
+}
+
+/// Errors from running a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Structural validation failed.
+    Invalid(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Invalid(m) => write!(f, "invalid workflow: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Per-activation result collected from a worker.
+struct ActOutcome {
+    tuples: Vec<Tuple>,
+    finished: usize,
+    failed_attempts: usize,
+    aborted: usize,
+    blacklisted: usize,
+    resumed: usize,
+}
+
+/// Derive a stable key for one activation (provenance + failure rolls).
+///
+/// Integral floats render without the decimal point so that tuples resumed
+/// from provenance (which stores all numerics as floats) key identically to
+/// their original integer-typed versions.
+fn pair_key(tuples: &[Tuple]) -> String {
+    match tuples.first() {
+        None => String::from("<empty>"),
+        Some(t) => {
+            let mut s = String::new();
+            for (k, v) in t.iter().enumerate() {
+                if k > 0 {
+                    s.push(':');
+                }
+                let text = match v {
+                    provenance::Value::Float(f) if f.fract() == 0.0 && f.abs() < 1e15 => {
+                        format!("{}", *f as i64)
+                    }
+                    other => other.to_string(),
+                };
+                // keep keys short: long values (file bodies) are truncated
+                if text.len() > 24 {
+                    s.push_str(&text[..24]);
+                } else {
+                    s.push_str(&text);
+                }
+            }
+            s
+        }
+    }
+}
+
+/// Run a workflow on the local pool.
+pub fn run_local(
+    def: &WorkflowDef,
+    input: Relation,
+    files: Arc<FileStore>,
+    prov: Arc<ProvenanceStore>,
+    cfg: &LocalConfig,
+) -> Result<RunReport, EngineError> {
+    def.validate().map_err(EngineError::Invalid)?;
+    let pool = Pool::new(cfg.threads);
+    let wkf = prov.begin_workflow(&def.tag, &def.description, &def.expdir);
+    let t0 = Instant::now();
+
+    let mut outputs: Vec<Relation> = Vec::with_capacity(def.activities.len());
+    let mut finished = 0usize;
+    let mut failed_attempts = 0usize;
+    let mut aborted = 0usize;
+    let mut blacklisted = 0usize;
+    let mut resumed = 0usize;
+
+    for (i, activity) in def.activities.iter().enumerate() {
+        let act_id = prov.register_activity(wkf, &activity.tag, activity.operator.name());
+        let input_rel = def.input_for(i, &input, &outputs);
+        let parts = activity.operator.partition(&input_rel);
+        // resume: outputs of activations this activity already finished in
+        // the prior run, keyed by pair key
+        let prior: Arc<HashMap<String, Vec<Tuple>>> = Arc::new(
+            cfg.resume_from
+                .map(|prev| prov.finished_outputs(prev, &activity.tag))
+                .unwrap_or_default(),
+        );
+
+        let jobs: Vec<_> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(j, part)| {
+                let func = Arc::clone(&activity.func);
+                let blacklist = activity.blacklist.clone();
+                let files = Arc::clone(&files);
+                let prov = Arc::clone(&prov);
+                let failures = cfg.failures;
+                let max_retries = cfg.max_retries;
+                let workdir = format!(
+                    "{}/{}/{}",
+                    def.expdir.trim_end_matches('/'),
+                    activity.tag,
+                    j
+                );
+                let tag_key = format!("{}#{}", activity.tag, pair_key(&part));
+                let start_base = t0;
+                let prior = Arc::clone(&prior);
+                move || -> ActOutcome {
+                    let mut out = ActOutcome {
+                        tuples: Vec::new(),
+                        finished: 0,
+                        failed_attempts: 0,
+                        aborted: 0,
+                        blacklisted: 0,
+                        resumed: 0,
+                    };
+                    let key = pair_key(&part);
+                    // resume: a prior run already finished this activation
+                    if let Some(tuples) = prior.get(&key) {
+                        out.tuples = tuples.clone();
+                        out.resumed = 1;
+                        return out;
+                    }
+                    // poison-input rule: never execute blacklisted tuples
+                    if let Some(bl) = &blacklist {
+                        if part.iter().any(|t| bl(t)) {
+                            let now = start_base.elapsed().as_secs_f64();
+                            prov.record_activation(&ActivationRecord {
+                                activity: act_id,
+                                workflow: wkf,
+                                status: ActivationStatus::Blacklisted,
+                                start_time: now,
+                                end_time: now,
+                                machine: None,
+                                retries: 0,
+                                pair_key: key,
+                            });
+                            out.blacklisted = 1;
+                            return out;
+                        }
+                    }
+                    let mut attempt = 0u32;
+                    loop {
+                        let fate = failures.fate(&tag_key, attempt);
+                        let start = start_base.elapsed().as_secs_f64();
+                        match fate {
+                            Fate::Hang => {
+                                // the real program would loop forever; the
+                                // engine detects and aborts it
+                                let end = start_base.elapsed().as_secs_f64();
+                                prov.record_activation(&ActivationRecord {
+                                    activity: act_id,
+                                    workflow: wkf,
+                                    status: ActivationStatus::Aborted,
+                                    start_time: start,
+                                    end_time: end,
+                                    machine: None,
+                                    retries: attempt as i64,
+                                    pair_key: key,
+                                });
+                                out.aborted = 1;
+                                return out;
+                            }
+                            Fate::Fail => {
+                                let mut ctx = ActivationCtx::new(&files, &workdir);
+                                let _ = func(&part, &mut ctx); // work is lost
+                                let end = start_base.elapsed().as_secs_f64();
+                                prov.record_activation(&ActivationRecord {
+                                    activity: act_id,
+                                    workflow: wkf,
+                                    status: ActivationStatus::Failed,
+                                    start_time: start,
+                                    end_time: end,
+                                    machine: None,
+                                    retries: attempt as i64,
+                                    pair_key: key.clone(),
+                                });
+                                out.failed_attempts += 1;
+                                if attempt >= max_retries {
+                                    return out;
+                                }
+                                attempt += 1;
+                            }
+                            Fate::Ok => {
+                                let mut ctx = ActivationCtx::new(&files, &workdir);
+                                match func(&part, &mut ctx) {
+                                    Ok(tuples) => {
+                                        let end = start_base.elapsed().as_secs_f64();
+                                        let task = prov.record_activation(&ActivationRecord {
+                                            activity: act_id,
+                                            workflow: wkf,
+                                            status: ActivationStatus::Finished,
+                                            start_time: start,
+                                            end_time: end,
+                                            machine: None,
+                                            retries: attempt as i64,
+                                            pair_key: key.clone(),
+                                        });
+                                        for path in ctx.produced_files() {
+                                            let size =
+                                                files.size(path).unwrap_or(0) as i64;
+                                            let (dir, name) = split_path(path);
+                                            prov.record_file(task, act_id, wkf, name, size, dir);
+                                        }
+                                        for (name, num, text) in &ctx.params {
+                                            prov.record_parameter(
+                                                task,
+                                                wkf,
+                                                name,
+                                                *num,
+                                                text.as_deref(),
+                                            );
+                                        }
+                                        for (ti, t) in tuples.iter().enumerate() {
+                                            prov.record_output_tuple(
+                                                task, act_id, wkf, &key, ti, t,
+                                            );
+                                        }
+                                        out.tuples = tuples;
+                                        out.finished = 1;
+                                        return out;
+                                    }
+                                    Err(_e) => {
+                                        // domain error: behaves like a failure
+                                        let end = start_base.elapsed().as_secs_f64();
+                                        prov.record_activation(&ActivationRecord {
+                                            activity: act_id,
+                                            workflow: wkf,
+                                            status: ActivationStatus::Failed,
+                                            start_time: start,
+                                            end_time: end,
+                                            machine: None,
+                                            retries: attempt as i64,
+                                            pair_key: key.clone(),
+                                        });
+                                        out.failed_attempts += 1;
+                                        if attempt >= max_retries {
+                                            return out;
+                                        }
+                                        attempt += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            })
+            .collect();
+
+        let results = pool.execute_all(jobs);
+        let mut rel = Relation {
+            columns: activity.output_columns.clone(),
+            tuples: Vec::new(),
+        };
+        for r in results {
+            finished += r.finished;
+            failed_attempts += r.failed_attempts;
+            aborted += r.aborted;
+            blacklisted += r.blacklisted;
+            resumed += r.resumed;
+            for t in r.tuples {
+                assert_eq!(
+                    t.len(),
+                    rel.columns.len(),
+                    "activity {} produced tuple of wrong arity",
+                    activity.tag
+                );
+                rel.tuples.push(t);
+            }
+        }
+        outputs.push(rel);
+    }
+
+    Ok(RunReport {
+        workflow: wkf,
+        total_seconds: t0.elapsed().as_secs_f64(),
+        finished,
+        failed_attempts,
+        aborted,
+        blacklisted,
+        resumed,
+        outputs,
+    })
+}
+
+fn split_path(path: &str) -> (&str, &str) {
+    match path.rfind('/') {
+        Some(i) => (&path[..i + 1], &path[i + 1..]),
+        None => ("", path),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::Activity;
+    use provenance::Value;
+
+    fn double_fn() -> crate::workflow::ActivityFn {
+        Arc::new(|tuples, _ctx| {
+            Ok(tuples
+                .iter()
+                .map(|t| {
+                    let n = t[0].as_f64().unwrap_or(0.0);
+                    vec![Value::Float(n * 2.0)]
+                })
+                .collect())
+        })
+    }
+
+    fn input(n: i64) -> Relation {
+        let mut r = Relation::new(&["x"]);
+        for k in 0..n {
+            r.push(vec![Value::Int(k)]);
+        }
+        r
+    }
+
+    fn simple_workflow() -> WorkflowDef {
+        WorkflowDef {
+            tag: "test".into(),
+            description: "test wf".into(),
+            expdir: "/exp".into(),
+            activities: vec![
+                Activity::map("double", &["x"], double_fn()),
+                Activity::map("double2", &["x"], double_fn()),
+            ],
+            deps: vec![vec![], vec![0]],
+        }
+    }
+
+    #[test]
+    fn chain_executes_and_collects() {
+        let report = run_local(
+            &simple_workflow(),
+            input(10),
+            Arc::new(FileStore::new()),
+            Arc::new(ProvenanceStore::new()),
+            &LocalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.finished, 20); // 10 activations × 2 activities
+        assert_eq!(report.final_output().len(), 10);
+        let mut got: Vec<f64> =
+            report.final_output().tuples.iter().map(|t| t[0].as_f64().unwrap()).collect();
+        got.sort_by(f64::total_cmp);
+        assert_eq!(got, (0..10).map(|k| k as f64 * 4.0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn provenance_rows_recorded() {
+        let prov = Arc::new(ProvenanceStore::new());
+        let _ = run_local(
+            &simple_workflow(),
+            input(5),
+            Arc::new(FileStore::new()),
+            Arc::clone(&prov),
+            &LocalConfig::default(),
+        )
+        .unwrap();
+        let r = prov.query("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'").unwrap();
+        assert_eq!(r.cell(0, 0), &Value::Int(10));
+        let acts = prov.query("SELECT tag FROM hactivity ORDER BY actid").unwrap();
+        assert_eq!(acts.len(), 2);
+        assert_eq!(acts.cell(0, 0), &Value::from("double"));
+    }
+
+    #[test]
+    fn files_and_params_recorded() {
+        let func: crate::workflow::ActivityFn = Arc::new(|tuples, ctx| {
+            ctx.write_file("result.dlg", "DOCKED blah");
+            ctx.record_param("feb", Some(-6.5), None);
+            Ok(tuples.to_vec())
+        });
+        let wf = WorkflowDef {
+            tag: "t".into(),
+            description: String::new(),
+            expdir: "/root/exp".into(),
+            activities: vec![Activity::map("dock", &["x"], func)],
+            deps: vec![vec![]],
+        };
+        let prov = Arc::new(ProvenanceStore::new());
+        let files = Arc::new(FileStore::new());
+        let _ = run_local(&wf, input(3), Arc::clone(&files), Arc::clone(&prov), &LocalConfig::default())
+            .unwrap();
+        let r = prov
+            .query("SELECT fname, fdir FROM hfile WHERE fname LIKE '%.dlg'")
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.cell(0, 0), &Value::from("result.dlg"));
+        assert!(r.cell(0, 1).to_string().starts_with("/root/exp/dock/"));
+        let p = prov.query("SELECT avg(pvalue_num) FROM hparameter WHERE pname = 'feb'").unwrap();
+        assert_eq!(p.cell(0, 0), &Value::Float(-6.5));
+        assert_eq!(files.len(), 3);
+    }
+
+    #[test]
+    fn failures_are_retried() {
+        let cfg = LocalConfig {
+            threads: 4,
+            failures: FailureModel { fail_rate: 0.3, hang_rate: 0.0, fail_at_fraction: 0.5, seed: 5 },
+            max_retries: 10,
+            ..Default::default()
+        };
+        let prov = Arc::new(ProvenanceStore::new());
+        let report = run_local(
+            &simple_workflow(),
+            input(30),
+            Arc::new(FileStore::new()),
+            Arc::clone(&prov),
+            &cfg,
+        )
+        .unwrap();
+        // with generous retries every activation eventually finishes
+        assert_eq!(report.finished, 60);
+        assert!(report.failed_attempts > 0, "the 30% fail rate must bite");
+        let failed = prov
+            .query("SELECT count(*) FROM hactivation WHERE status = 'FAILED'")
+            .unwrap();
+        assert_eq!(
+            failed.cell(0, 0),
+            &Value::Int(report.failed_attempts as i64),
+            "provenance sees every failed attempt"
+        );
+    }
+
+    #[test]
+    fn hangs_are_aborted_and_dropped() {
+        let cfg = LocalConfig {
+            threads: 2,
+            failures: FailureModel { fail_rate: 0.0, hang_rate: 0.5, fail_at_fraction: 0.5, seed: 2 },
+            max_retries: 1,
+            ..Default::default()
+        };
+        let report = run_local(
+            &simple_workflow(),
+            input(40),
+            Arc::new(FileStore::new()),
+            Arc::new(ProvenanceStore::new()),
+            &cfg,
+        )
+        .unwrap();
+        assert!(report.aborted > 5, "half the activations should hang");
+        // dropped tuples shrink downstream relations
+        assert!(report.final_output().len() < 40);
+        assert_eq!(report.finished + report.aborted, 40 + report.outputs[0].len());
+    }
+
+    #[test]
+    fn blacklist_skips_execution() {
+        let mut wf = simple_workflow();
+        wf.activities[0] = wf.activities[0]
+            .clone()
+            .with_blacklist(Arc::new(|t| matches!(t[0], Value::Int(k) if k % 2 == 0)));
+        let prov = Arc::new(ProvenanceStore::new());
+        let report = run_local(
+            &wf,
+            input(10),
+            Arc::new(FileStore::new()),
+            Arc::clone(&prov),
+            &LocalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.blacklisted, 5);
+        assert_eq!(report.final_output().len(), 5);
+        let r = prov
+            .query("SELECT count(*) FROM hactivation WHERE status = 'BLACKLISTED'")
+            .unwrap();
+        assert_eq!(r.cell(0, 0), &Value::Int(5));
+    }
+
+    #[test]
+    fn invalid_workflow_rejected() {
+        let mut wf = simple_workflow();
+        wf.deps = vec![vec![], vec![5]];
+        let err = run_local(
+            &wf,
+            input(1),
+            Arc::new(FileStore::new()),
+            Arc::new(ProvenanceStore::new()),
+            &LocalConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Invalid(_)));
+    }
+
+    #[test]
+    fn domain_errors_count_as_failures() {
+        let func: crate::workflow::ActivityFn =
+            Arc::new(|_t, _c| Err(crate::workflow::ActivityError("bad input".into())));
+        let wf = WorkflowDef {
+            tag: "t".into(),
+            description: String::new(),
+            expdir: "/e".into(),
+            activities: vec![Activity::map("always_fails", &["x"], func)],
+            deps: vec![vec![]],
+        };
+        let cfg = LocalConfig { max_retries: 2, ..Default::default() };
+        let report = run_local(
+            &wf,
+            input(4),
+            Arc::new(FileStore::new()),
+            Arc::new(ProvenanceStore::new()),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(report.finished, 0);
+        assert_eq!(report.failed_attempts, 4 * 3); // initial + 2 retries each
+        assert!(report.final_output().is_empty());
+    }
+
+    #[test]
+    fn splitmap_reduce_query_pipeline() {
+        use crate::algebra::Operator;
+        // SplitMap: each input k fans out to k copies
+        let split: crate::workflow::ActivityFn = Arc::new(|tuples, _ctx| {
+            let n = tuples[0][0].as_f64().unwrap_or(0.0) as i64;
+            Ok((0..n).map(|_| vec![Value::Int(n), Value::Int(1)]).collect())
+        });
+        // Reduce by the key column: sum the counts
+        let reduce: crate::workflow::ActivityFn = Arc::new(|tuples, _ctx| {
+            let key = tuples[0][0].clone();
+            let total: f64 = tuples.iter().filter_map(|t| t[1].as_f64()).sum();
+            Ok(vec![vec![key, Value::Float(total)]])
+        });
+        // SRQuery: one activation totalling everything
+        let query: crate::workflow::ActivityFn = Arc::new(|tuples, _ctx| {
+            let grand: f64 = tuples.iter().filter_map(|t| t[1].as_f64()).sum();
+            Ok(vec![vec![Value::Float(grand)]])
+        });
+        let wf = WorkflowDef {
+            tag: "algebra".into(),
+            description: String::new(),
+            expdir: "/e".into(),
+            activities: vec![
+                Activity::map("fanout", &["k", "one"], split)
+                    .with_operator(Operator::SplitMap),
+                Activity::map("sum_by_k", &["k", "total"], reduce)
+                    .with_operator(Operator::Reduce { keys: vec!["k".into()] }),
+                Activity::map("grand_total", &["grand"], query)
+                    .with_operator(Operator::SRQuery),
+            ],
+            deps: vec![vec![], vec![0], vec![1]],
+        };
+        let mut rel = Relation::new(&["k"]);
+        for k in [2i64, 3, 4] {
+            rel.push(vec![Value::Int(k)]);
+        }
+        let prov = Arc::new(ProvenanceStore::new());
+        let report = run_local(
+            &wf,
+            rel,
+            Arc::new(FileStore::new()),
+            Arc::clone(&prov),
+            &LocalConfig::default(),
+        )
+        .unwrap();
+        // fanout: 3 activations producing 2+3+4 = 9 tuples
+        assert_eq!(report.outputs[0].len(), 9);
+        // reduce: 3 groups (k = 2, 3, 4), each summing to k
+        assert_eq!(report.outputs[1].len(), 3);
+        for t in &report.outputs[1].tuples {
+            assert_eq!(t[0].as_f64(), t[1].as_f64(), "group sum equals its key");
+        }
+        // SRQuery: one tuple with the grand total 9
+        assert_eq!(report.final_output().len(), 1);
+        assert_eq!(report.final_output().tuples[0][0].as_f64(), Some(9.0));
+        // activation counts in provenance: 3 + 3 + 1
+        let q = prov
+            .query(
+                "SELECT a.tag, count(*) FROM hactivity a, hactivation t \
+                 WHERE a.actid = t.actid GROUP BY a.tag ORDER BY a.tag",
+            )
+            .unwrap();
+        let counts: Vec<(String, f64)> = q
+            .rows
+            .iter()
+            .map(|r| (r[0].to_string(), r[1].as_f64().unwrap()))
+            .collect();
+        assert_eq!(
+            counts,
+            vec![
+                ("fanout".to_string(), 3.0),
+                ("grand_total".to_string(), 1.0),
+                ("sum_by_k".to_string(), 3.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn resume_skips_finished_activations() {
+        // first run: every activation fails permanently for half the tuples
+        let func_calls = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let fc = Arc::clone(&func_calls);
+        let func: crate::workflow::ActivityFn = Arc::new(move |tuples, _ctx| {
+            fc.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(tuples.to_vec())
+        });
+        let wf = WorkflowDef {
+            tag: "resumable".into(),
+            description: String::new(),
+            expdir: "/e".into(),
+            activities: vec![Activity::map("work", &["x"], func)],
+            deps: vec![vec![]],
+        };
+        let prov = Arc::new(ProvenanceStore::new());
+        let files = Arc::new(FileStore::new());
+        // run 1: heavy failures, no retries -> some tuples dropped
+        let cfg1 = LocalConfig {
+            threads: 2,
+            failures: FailureModel { fail_rate: 0.5, hang_rate: 0.0, fail_at_fraction: 0.5, seed: 9 },
+            max_retries: 0,
+            resume_from: None,
+        };
+        let r1 = run_local(&wf, input(20), Arc::clone(&files), Arc::clone(&prov), &cfg1).unwrap();
+        assert!(r1.finished < 20, "some activations must drop");
+        assert!(r1.failed_attempts > 0);
+        let calls_after_run1 = func_calls.load(std::sync::atomic::Ordering::SeqCst);
+
+        // run 2: resume from run 1 with failures off — only the dropped
+        // activations execute
+        let cfg2 = LocalConfig {
+            threads: 2,
+            failures: FailureModel::none(),
+            max_retries: 0,
+            resume_from: Some(r1.workflow),
+        };
+        let r2 = run_local(&wf, input(20), Arc::clone(&files), Arc::clone(&prov), &cfg2).unwrap();
+        assert_eq!(r2.resumed, r1.finished, "every finished activation is reused");
+        assert_eq!(r2.finished + r2.resumed, 20, "the full relation is recovered");
+        assert_eq!(r2.final_output().len(), 20);
+        let calls_after_run2 = func_calls.load(std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(
+            calls_after_run2 - calls_after_run1,
+            20 - r1.finished,
+            "the function only runs for previously-dropped tuples"
+        );
+    }
+
+    #[test]
+    fn resume_preserves_tuple_values() {
+        let wf = simple_workflow();
+        let prov = Arc::new(ProvenanceStore::new());
+        let files = Arc::new(FileStore::new());
+        let r1 = run_local(&wf, input(5), Arc::clone(&files), Arc::clone(&prov), &LocalConfig::default())
+            .unwrap();
+        let cfg2 = LocalConfig { resume_from: Some(r1.workflow), ..Default::default() };
+        let r2 =
+            run_local(&wf, input(5), files, Arc::clone(&prov), &cfg2).unwrap();
+        assert_eq!(r2.resumed, 10, "both activities fully resumed");
+        assert_eq!(r2.finished, 0);
+        let mut a: Vec<f64> =
+            r1.final_output().tuples.iter().map(|t| t[0].as_f64().unwrap()).collect();
+        let mut b: Vec<f64> =
+            r2.final_output().tuples.iter().map(|t| t[0].as_f64().unwrap()).collect();
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        assert_eq!(a, b, "resumed relation is value-identical");
+    }
+
+    #[test]
+    fn split_path_helper() {
+        assert_eq!(split_path("/a/b/c.dlg"), ("/a/b/", "c.dlg"));
+        assert_eq!(split_path("file.txt"), ("", "file.txt"));
+    }
+}

@@ -1,0 +1,318 @@
+//! A from-scratch work-stealing thread pool.
+//!
+//! Fills the role MPJ (MPI for Java) plays in SciCumulus' distribution
+//! layer: the *local* backend executes activations on this pool. Built on
+//! `crossbeam::deque` (per-worker LIFO deques + a global FIFO injector, idle
+//! workers steal from siblings) and `parking_lot` synchronization.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    shutdown: AtomicBool,
+    /// Jobs submitted but not yet finished (for idle parking heuristics).
+    pending: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Spawn a pool with `threads` workers (min 1).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let locals: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<Job>> = locals.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let workers = locals
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cumulus-worker-{i}"))
+                    .spawn(move || worker_loop(i, local, shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Pool { shared, workers, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every job, returning results in submission order.
+    ///
+    /// Panics in jobs are caught per-job; the corresponding result re-raises
+    /// the panic payload after all other jobs have finished, so one bad
+    /// activation cannot wedge the pool.
+    pub fn execute_all<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let results: Arc<Mutex<Vec<Option<std::thread::Result<T>>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let remaining = Arc::new(AtomicUsize::new(n));
+        let done_lock = Arc::new(Mutex::new(()));
+        let done_cv = Arc::new(Condvar::new());
+
+        self.shared.pending.fetch_add(n, Ordering::SeqCst);
+        for (i, job) in jobs.into_iter().enumerate() {
+            let results = Arc::clone(&results);
+            let remaining = Arc::clone(&remaining);
+            let done_lock = Arc::clone(&done_lock);
+            let done_cv = Arc::clone(&done_cv);
+            let shared = Arc::clone(&self.shared);
+            let wrapped: Job = Box::new(move || {
+                let out = catch_unwind(AssertUnwindSafe(job));
+                results.lock()[i] = Some(out);
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+                if remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    let _g = done_lock.lock();
+                    done_cv.notify_all();
+                }
+            });
+            self.shared.injector.push(wrapped);
+        }
+        // wake idle workers
+        {
+            let _g = self.shared.idle_lock.lock();
+            self.shared.idle_cv.notify_all();
+        }
+        // wait for completion
+        let mut g = done_lock.lock();
+        while remaining.load(Ordering::SeqCst) != 0 {
+            done_cv.wait(&mut g);
+        }
+        drop(g);
+
+        let slots = Arc::try_unwrap(results)
+            .unwrap_or_else(|arc| Mutex::new(std::mem::take(&mut *arc.lock())))
+            .into_inner();
+        slots
+            .into_iter()
+            .map(|slot| match slot.expect("every job ran") {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    }
+
+    /// Convenience: parallel map over items.
+    pub fn map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send + 'static,
+        U: Send + 'static,
+        F: Fn(T) -> U + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let jobs: Vec<_> = items
+            .into_iter()
+            .map(|item| {
+                let f = Arc::clone(&f);
+                move || f(item)
+            })
+            .collect();
+        self.execute_all(jobs)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _g = self.shared.idle_lock.lock();
+            self.shared.idle_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(index: usize, local: Worker<Job>, shared: Arc<Shared>) {
+    loop {
+        if let Some(job) = find_job(index, &local, &shared) {
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // nothing to do: park until new work arrives (with a timeout so a
+        // missed notify cannot deadlock the pool)
+        let mut g = shared.idle_lock.lock();
+        if shared.pending.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst) {
+            shared
+                .idle_cv
+                .wait_for(&mut g, std::time::Duration::from_millis(5));
+        }
+    }
+}
+
+fn find_job(index: usize, local: &Worker<Job>, shared: &Shared) -> Option<Job> {
+    // 1. local deque
+    if let Some(j) = local.pop() {
+        return Some(j);
+    }
+    // 2. global injector (grab a batch to amortize contention)
+    loop {
+        match shared.injector.steal_batch_and_pop(local) {
+            crossbeam::deque::Steal::Success(j) => return Some(j),
+            crossbeam::deque::Steal::Empty => break,
+            crossbeam::deque::Steal::Retry => continue,
+        }
+    }
+    // 3. steal from siblings
+    for (k, s) in shared.stealers.iter().enumerate() {
+        if k == index {
+            continue;
+        }
+        loop {
+            match s.steal() {
+                crossbeam::deque::Steal::Success(j) => return Some(j),
+                crossbeam::deque::Steal::Empty => break,
+                crossbeam::deque::Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_in_submission_order() {
+        let pool = Pool::new(4);
+        let out = pool.map((0..100).collect::<Vec<i64>>(), |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let pool = Pool::new(2);
+        let out: Vec<i32> = pool.execute_all(Vec::<fn() -> i32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.map(vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn actually_parallel() {
+        // 8 jobs that each sleep 30 ms on 8 threads must finish well under
+        // the serial 240 ms
+        let pool = Pool::new(8);
+        let t0 = std::time::Instant::now();
+        pool.map((0..8).collect::<Vec<_>>(), |_| {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+        });
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_millis(200),
+            "took {elapsed:?}, not parallel"
+        );
+    }
+
+    #[test]
+    fn all_jobs_execute_exactly_once() {
+        let pool = Pool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&counter);
+        pool.map((0..1000).collect::<Vec<_>>(), move |_| {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn multiple_batches_reuse_pool() {
+        let pool = Pool::new(3);
+        for round in 0..5 {
+            let out = pool.map(vec![round; 10], |x| x);
+            assert_eq!(out, vec![round; 10]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "activation exploded")]
+    fn job_panic_propagates_after_batch() {
+        let pool = Pool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("activation exploded")),
+            Box::new(|| 3),
+        ];
+        let _ = pool.execute_all(jobs);
+    }
+
+    #[test]
+    fn pool_survives_job_panic() {
+        let pool = Pool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> =
+            vec![Box::new(|| panic!("boom")), Box::new(|| 2)];
+        let res = catch_unwind(AssertUnwindSafe(|| pool.execute_all(jobs)));
+        assert!(res.is_err());
+        // pool still usable afterwards
+        let out = pool.map(vec![1, 2, 3], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn uneven_workloads_balance() {
+        // one long job + many short ones: stealing should keep total time
+        // near the long job's duration
+        let pool = Pool::new(4);
+        let t0 = std::time::Instant::now();
+        pool.map((0..40).collect::<Vec<_>>(), |i| {
+            let ms = if i == 0 { 80 } else { 5 };
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        });
+        let elapsed = t0.elapsed();
+        // serial would be 80 + 39*5 = 275 ms; balanced is ~80-150 ms
+        assert!(elapsed < std::time::Duration::from_millis(220), "took {elapsed:?}");
+    }
+}

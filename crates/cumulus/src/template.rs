@@ -1,0 +1,231 @@
+//! Activity command templates — SciCumulus' instrumentation mechanism
+//! (paper Figs. 2–3): activity template files contain `%TAG%` placeholders
+//! that are "replaced by actual values dynamically during the execution, as
+//! executions are ready to be started". Capturing the substituted values is
+//! what lets the engine record every parameter in the provenance database.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed template: literal segments interleaved with tag references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    segments: Vec<Segment>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Segment {
+    Literal(String),
+    Tag(String),
+}
+
+/// Error from parsing or rendering a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// A `%` was opened but never closed.
+    UnterminatedTag {
+        /// Byte offset of the opening `%`.
+        position: usize,
+    },
+    /// A tag had no value at render time.
+    UnboundTag {
+        /// The tag name.
+        name: String,
+    },
+    /// A tag name was empty (`%%` is the escape for a literal percent, so
+    /// this cannot occur from parsing; it guards programmatic construction).
+    EmptyTag,
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::UnterminatedTag { position } => {
+                write!(f, "unterminated %TAG% starting at byte {position}")
+            }
+            TemplateError::UnboundTag { name } => write!(f, "no value for tag %{name}%"),
+            TemplateError::EmptyTag => write!(f, "empty tag name"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+impl Template {
+    /// Parse template text. `%NAME%` is a tag; `%%` is a literal `%`.
+    pub fn parse(text: &str) -> Result<Template, TemplateError> {
+        let mut segments = Vec::new();
+        let mut literal = String::new();
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'%' {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'%' {
+                    literal.push('%');
+                    i += 2;
+                    continue;
+                }
+                // find the closing %
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'%' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(TemplateError::UnterminatedTag { position: start });
+                }
+                let name = &text[i + 1..j];
+                if name.is_empty() {
+                    // handled by the %% escape above, but stay defensive
+                    return Err(TemplateError::EmptyTag);
+                }
+                if !literal.is_empty() {
+                    segments.push(Segment::Literal(std::mem::take(&mut literal)));
+                }
+                segments.push(Segment::Tag(name.to_string()));
+                i = j + 1;
+            } else {
+                // push the full UTF-8 character, not just one byte
+                let ch = text[i..].chars().next().expect("in-bounds char");
+                literal.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+        if !literal.is_empty() {
+            segments.push(Segment::Literal(literal));
+        }
+        Ok(Template { segments })
+    }
+
+    /// All distinct tag names, in first-appearance order.
+    pub fn tags(&self) -> Vec<&str> {
+        let mut seen = std::collections::HashSet::new();
+        self.segments
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Tag(n) if seen.insert(n.as_str()) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render with the given tag values; every tag must be bound.
+    pub fn render(&self, values: &BTreeMap<String, String>) -> Result<String, TemplateError> {
+        let mut out = String::new();
+        for s in &self.segments {
+            match s {
+                Segment::Literal(l) => out.push_str(l),
+                Segment::Tag(n) => match values.get(n) {
+                    Some(v) => out.push_str(v),
+                    None => return Err(TemplateError::UnboundTag { name: n.clone() }),
+                },
+            }
+        }
+        Ok(out)
+    }
+
+    /// Render, and also report which (tag, value) pairs were substituted —
+    /// the instrumentation record SciCumulus stores in provenance.
+    pub fn render_instrumented(
+        &self,
+        values: &BTreeMap<String, String>,
+    ) -> Result<(String, Vec<(String, String)>), TemplateError> {
+        let rendered = self.render(values)?;
+        let used: Vec<(String, String)> = self
+            .tags()
+            .iter()
+            .map(|t| (t.to_string(), values[*t].clone()))
+            .collect();
+        Ok((rendered, used))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn basic_substitution() {
+        // the paper's Fig. 3 flavour: a babel command line
+        let t = Template::parse("babel -isdf %LIGAND%.sdf -omol2 %LIGAND%.mol2").unwrap();
+        assert_eq!(t.tags(), vec!["LIGAND"]);
+        let out = t.render(&vals(&[("LIGAND", "0E6")])).unwrap();
+        assert_eq!(out, "babel -isdf 0E6.sdf -omol2 0E6.mol2");
+    }
+
+    #[test]
+    fn multiple_tags_in_order() {
+        let t = Template::parse("%A% %B% %A% %C%").unwrap();
+        assert_eq!(t.tags(), vec!["A", "B", "C"]);
+        let out = t.render(&vals(&[("A", "1"), ("B", "2"), ("C", "3")])).unwrap();
+        assert_eq!(out, "1 2 1 3");
+    }
+
+    #[test]
+    fn percent_escape() {
+        let t = Template::parse("load 100%% of %X%").unwrap();
+        let out = t.render(&vals(&[("X", "cpu")])).unwrap();
+        assert_eq!(out, "load 100% of cpu");
+    }
+
+    #[test]
+    fn unbound_tag_errors() {
+        let t = Template::parse("%MISSING%").unwrap();
+        let err = t.render(&BTreeMap::new()).unwrap_err();
+        assert_eq!(err, TemplateError::UnboundTag { name: "MISSING".into() });
+        assert!(err.to_string().contains("MISSING"));
+    }
+
+    #[test]
+    fn unterminated_tag_errors() {
+        let err = Template::parse("hello %WORLD").unwrap_err();
+        assert_eq!(err, TemplateError::UnterminatedTag { position: 6 });
+    }
+
+    #[test]
+    fn no_tags_is_identity() {
+        let t = Template::parse("plain text, no tags").unwrap();
+        assert!(t.tags().is_empty());
+        assert_eq!(t.render(&BTreeMap::new()).unwrap(), "plain text, no tags");
+    }
+
+    #[test]
+    fn instrumented_render_reports_substitutions() {
+        let t = Template::parse("dock %REC% %LIG% -out %LIG%_%REC%.dlg").unwrap();
+        let (out, used) = t
+            .render_instrumented(&vals(&[("REC", "2HHN"), ("LIG", "0E6")]))
+            .unwrap();
+        assert_eq!(out, "dock 2HHN 0E6 -out 0E6_2HHN.dlg");
+        assert_eq!(
+            used,
+            vec![("REC".to_string(), "2HHN".to_string()), ("LIG".to_string(), "0E6".to_string())]
+        );
+    }
+
+    #[test]
+    fn extra_values_are_fine() {
+        let t = Template::parse("%A%").unwrap();
+        let out = t.render(&vals(&[("A", "x"), ("UNUSED", "y")])).unwrap();
+        assert_eq!(out, "x");
+    }
+
+    #[test]
+    fn utf8_literals_survive() {
+        let t = Template::parse("énergie → %E% kcal/mol").unwrap();
+        assert_eq!(t.render(&vals(&[("E", "-7.2")])).unwrap(), "énergie → -7.2 kcal/mol");
+    }
+
+    #[test]
+    fn multiline_template() {
+        let text = "receptor = %REC%.pdbqt\nligand = %LIG%.pdbqt\nexhaustiveness = 8\n";
+        let t = Template::parse(text).unwrap();
+        let out = t.render(&vals(&[("REC", "1HUC"), ("LIG", "042")])).unwrap();
+        assert!(out.contains("receptor = 1HUC.pdbqt"));
+        assert!(out.contains("ligand = 042.pdbqt"));
+        assert!(out.ends_with("exhaustiveness = 8\n"));
+    }
+}

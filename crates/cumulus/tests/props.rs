@@ -1,0 +1,98 @@
+//! Property-based tests for the workflow engine substrate.
+
+use proptest::prelude::*;
+
+use cloudsim::EventQueue;
+use cumulus::pool::Pool;
+use cumulus::sched::{Policy, ReadyQueue, ReadyTask};
+use cumulus::xmlspec::{parse_xml, SciCumulusSpec};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pool_map_equals_sequential_map(items in prop::collection::vec(-1000i64..1000, 0..200),
+                                      threads in 1usize..6) {
+        let pool = Pool::new(threads);
+        let seq: Vec<i64> = items.iter().map(|x| x * 3 - 1).collect();
+        let par = pool.map(items, |x| x * 3 - 1);
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0.0..1e6f64, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(*t, i);
+        }
+        let mut popped: Vec<f64> = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            popped.push(t);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        prop_assert!(popped.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn ready_queue_conserves_tasks(weights in prop::collection::vec(0.1..1e4f64, 0..100),
+                                   policy_pick in 0u8..3) {
+        let policy = match policy_pick {
+            0 => Policy::GreedyWeighted,
+            1 => Policy::RoundRobin,
+            _ => Policy::Random,
+        };
+        let mut q = ReadyQueue::new(policy);
+        for (i, w) in weights.iter().enumerate() {
+            q.push(ReadyTask { task: i, weight: *w });
+        }
+        prop_assert_eq!(q.len(), weights.len());
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop(&mut rng)).map(|t| t.task).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..weights.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn greedy_queue_pops_in_weight_order(weights in prop::collection::vec(0.1..1e4f64, 1..100)) {
+        let mut q = ReadyQueue::new(Policy::GreedyWeighted);
+        for (i, w) in weights.iter().enumerate() {
+            q.push(ReadyTask { task: i, weight: *w });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop(&mut rng)).map(|t| t.weight).collect();
+        prop_assert!(order.windows(2).all(|w| w[0] >= w[1]), "{order:?}");
+    }
+
+    #[test]
+    fn xml_escaping_roundtrip(desc in "[a-zA-Z0-9<>&\"' ]{0,40}", tag in "[A-Za-z][A-Za-z0-9]{0,10}") {
+        let spec = SciCumulusSpec {
+            database: cumulus::xmlspec::DatabaseSpec {
+                name: "db".into(),
+                server: "localhost".into(),
+                port: 5432,
+            },
+            tag: tag.clone(),
+            description: desc.clone(),
+            exectag: "x".into(),
+            expdir: "/e/".into(),
+            activities: vec![],
+        };
+        let text = spec.to_xml();
+        let back = SciCumulusSpec::from_xml(&text).unwrap();
+        prop_assert_eq!(back.description, desc);
+        prop_assert_eq!(back.tag, tag);
+    }
+
+    #[test]
+    fn xml_parser_never_panics(input in ".{0,200}") {
+        // arbitrary input must error or parse, never panic
+        let _ = parse_xml(&input);
+    }
+
+    #[test]
+    fn sql_parser_never_panics_via_spec(input in ".{0,200}") {
+        let _ = SciCumulusSpec::from_xml(&input);
+    }
+}

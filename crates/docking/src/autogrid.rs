@@ -1,0 +1,274 @@
+//! AutoGrid: precompute receptor affinity maps (SciDock activity 5).
+//!
+//! For every atom type present in the ligand, a [`GridMap`] stores the
+//! receptor's interaction energy with a probe atom of that type at each
+//! lattice point. AD4 additionally uses an electrostatic map (per unit
+//! charge) and a desolvation map. Vina-style grids fold everything a type
+//! needs into a single map per type.
+
+use std::collections::BTreeMap;
+
+use molkit::{AdType, Molecule};
+
+use crate::grid::{GridMap, GridSpec};
+use crate::params::{Ad4Params, VinaParams};
+use crate::scoring::{
+    ad4_vdw_hb, dielectric, vina_pair, COULOMB, CUTOFF, DESOLV_SIGMA,
+};
+
+/// Which engine the grid set serves (their per-point physics differ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridKind {
+    /// AutoDock 4 physics (vdW/H-bond + electrostatic + desolvation maps).
+    Ad4,
+    /// Vina physics (one folded map per probe type).
+    Vina,
+}
+
+/// A complete set of precomputed maps for one receptor + grid box.
+#[derive(Debug, Clone)]
+pub struct GridSet {
+    /// Which engine's physics the maps encode.
+    pub kind: GridKind,
+    /// The shared lattice geometry.
+    pub spec: GridSpec,
+    /// Per-probe-type affinity maps.
+    pub affinity: BTreeMap<AdType, GridMap>,
+    /// Electrostatic potential map (kcal/mol per unit probe charge); AD4 only.
+    pub electrostatic: Option<GridMap>,
+    /// Desolvation map (Σ receptor volumes × gaussian); AD4 only.
+    pub desolvation: Option<GridMap>,
+}
+
+impl GridSet {
+    /// Names of the map "files" AutoGrid would have produced (used for
+    /// provenance records: one `.map` per type + `.e.map` + `.d.map`).
+    pub fn map_file_names(&self, receptor: &str) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .affinity
+            .keys()
+            .map(|t| format!("{receptor}.{}.map", t.label()))
+            .collect();
+        if self.electrostatic.is_some() {
+            names.push(format!("{receptor}.e.map"));
+        }
+        if self.desolvation.is_some() {
+            names.push(format!("{receptor}.d.map"));
+        }
+        names
+    }
+}
+
+/// Pre-extracted receptor atom data for the grid inner loop.
+struct ReceptorAtoms {
+    pos: Vec<molkit::Vec3>,
+    ad_type: Vec<AdType>,
+    charge: Vec<f64>,
+}
+
+impl ReceptorAtoms {
+    fn from(receptor: &Molecule) -> ReceptorAtoms {
+        ReceptorAtoms {
+            pos: receptor.atoms.iter().map(|a| a.pos).collect(),
+            ad_type: receptor.atoms.iter().map(|a| a.ad_type).collect(),
+            charge: receptor.atoms.iter().map(|a| a.charge).collect(),
+        }
+    }
+}
+
+/// Build AD4 grids for the given probe types.
+///
+/// One pass over (lattice point × receptor atom) fills every map at once —
+/// the distance computation dominates, so sharing it across maps is the
+/// main optimization of real AutoGrid too.
+pub fn build_ad4_grids(
+    receptor: &Molecule,
+    spec: GridSpec,
+    probe_types: &[AdType],
+    params: &Ad4Params,
+) -> GridSet {
+    let atoms = ReceptorAtoms::from(receptor);
+    let mut affinity: BTreeMap<AdType, GridMap> =
+        probe_types.iter().map(|&t| (t, GridMap::zeros(spec))).collect();
+    let mut emap = GridMap::zeros(spec);
+    let mut dmap = GridMap::zeros(spec);
+    let cutoff_sq = CUTOFF * CUTOFF;
+
+    for k in 0..spec.npts {
+        for j in 0..spec.npts {
+            for i in 0..spec.npts {
+                let p = spec.point(i, j, k);
+                let mut e_acc = 0.0;
+                let mut d_acc = 0.0;
+                // per-probe accumulators, same order as probe_types
+                let mut aff = vec![0.0f64; probe_types.len()];
+                for a in 0..atoms.pos.len() {
+                    let d2 = atoms.pos[a].dist_sq(p);
+                    if d2 > cutoff_sq {
+                        continue;
+                    }
+                    let r = d2.sqrt().max(0.35);
+                    e_acc += coulomb_term(atoms.charge[a], r);
+                    d_acc += params.volume[crate::params::type_index(atoms.ad_type[a])]
+                        * (-d2 / (2.0 * DESOLV_SIGMA * DESOLV_SIGMA)).exp();
+                    for (ti, &t) in probe_types.iter().enumerate() {
+                        aff[ti] += ad4_vdw_hb(params, t, atoms.ad_type[a], r);
+                    }
+                }
+                *emap.at_mut(i, j, k) = e_acc;
+                *dmap.at_mut(i, j, k) = d_acc;
+                for (ti, &t) in probe_types.iter().enumerate() {
+                    *affinity.get_mut(&t).expect("probe map exists").at_mut(i, j, k) = aff[ti];
+                }
+            }
+        }
+    }
+    GridSet {
+        kind: GridKind::Ad4,
+        spec,
+        affinity,
+        electrostatic: Some(emap),
+        desolvation: Some(dmap),
+    }
+}
+
+#[inline]
+fn coulomb_term(q: f64, r: f64) -> f64 {
+    COULOMB * q / (dielectric(r) * r)
+}
+
+/// Build Vina-style grids: one map per probe type, everything folded in.
+pub fn build_vina_grids(
+    receptor: &Molecule,
+    spec: GridSpec,
+    probe_types: &[AdType],
+    params: &VinaParams,
+) -> GridSet {
+    let atoms = ReceptorAtoms::from(receptor);
+    let mut affinity: BTreeMap<AdType, GridMap> =
+        probe_types.iter().map(|&t| (t, GridMap::zeros(spec))).collect();
+    let cutoff_sq = CUTOFF * CUTOFF;
+
+    for k in 0..spec.npts {
+        for j in 0..spec.npts {
+            for i in 0..spec.npts {
+                let p = spec.point(i, j, k);
+                let mut aff = vec![0.0f64; probe_types.len()];
+                for a in 0..atoms.pos.len() {
+                    let d2 = atoms.pos[a].dist_sq(p);
+                    if d2 > cutoff_sq {
+                        continue;
+                    }
+                    let r = d2.sqrt();
+                    for (ti, &t) in probe_types.iter().enumerate() {
+                        aff[ti] += vina_pair(params, t, atoms.ad_type[a], r);
+                    }
+                }
+                for (ti, &t) in probe_types.iter().enumerate() {
+                    *affinity.get_mut(&t).expect("probe map exists").at_mut(i, j, k) = aff[ti];
+                }
+            }
+        }
+    }
+    GridSet { kind: GridKind::Vina, spec, affinity, electrostatic: None, desolvation: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molkit::{Atom, Element, Vec3};
+
+    /// A single charged oxygen at the origin.
+    fn tiny_receptor() -> Molecule {
+        let mut m = Molecule::new("R");
+        let mut a = Atom::new(1, "O", Element::O, Vec3::ZERO);
+        a.charge = -0.5;
+        a.ad_type = AdType::OA;
+        m.add_atom(a);
+        m
+    }
+
+    fn spec() -> GridSpec {
+        GridSpec { center: Vec3::ZERO, npts: 9, spacing: 1.0 }
+    }
+
+    #[test]
+    fn ad4_grids_have_all_maps() {
+        let r = tiny_receptor();
+        let g = build_ad4_grids(&r, spec(), &[AdType::C, AdType::HD], &Ad4Params::new());
+        assert_eq!(g.kind, GridKind::Ad4);
+        assert_eq!(g.affinity.len(), 2);
+        assert!(g.electrostatic.is_some());
+        assert!(g.desolvation.is_some());
+        let names = g.map_file_names("1ABC");
+        assert!(names.contains(&"1ABC.C.map".to_string()));
+        assert!(names.contains(&"1ABC.e.map".to_string()));
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn electrostatic_map_sign_matches_receptor_charge() {
+        let r = tiny_receptor(); // negative charge
+        let g = build_ad4_grids(&r, spec(), &[AdType::C], &Ad4Params::new());
+        let e = g.electrostatic.as_ref().unwrap();
+        // potential near a negative charge is negative (per unit + probe)
+        assert!(e.interpolate(Vec3::new(2.0, 0.0, 0.0)) < 0.0);
+    }
+
+    #[test]
+    fn affinity_map_has_attractive_well() {
+        let r = tiny_receptor();
+        let g = build_ad4_grids(&r, spec(), &[AdType::C], &Ad4Params::new());
+        let map = &g.affinity[&AdType::C];
+        // somewhere in the box the probe should feel attraction
+        assert!(map.min_value() < 0.0);
+        // right on top of the atom it must be repulsive
+        assert!(map.interpolate(Vec3::ZERO) > 0.0);
+    }
+
+    #[test]
+    fn hd_probe_feels_hbond_well_near_acceptor() {
+        let r = tiny_receptor();
+        let g = build_ad4_grids(&r, spec(), &[AdType::HD, AdType::C], &Ad4Params::new());
+        let hd_min = g.affinity[&AdType::HD].min_value();
+        let c_min = g.affinity[&AdType::C].min_value();
+        assert!(hd_min < c_min, "HD near OA should be deeper: {hd_min} vs {c_min}");
+    }
+
+    #[test]
+    fn vina_grids_no_estat_maps() {
+        let r = tiny_receptor();
+        let g = build_vina_grids(&r, spec(), &[AdType::C], &VinaParams::default());
+        assert_eq!(g.kind, GridKind::Vina);
+        assert!(g.electrostatic.is_none());
+        assert!(g.desolvation.is_none());
+        assert_eq!(g.map_file_names("X").len(), 1);
+        // attractive somewhere, repulsive at the atom
+        let m = &g.affinity[&AdType::C];
+        assert!(m.min_value() < 0.0);
+        assert!(m.interpolate(Vec3::ZERO) > 0.0);
+    }
+
+    #[test]
+    fn grid_matches_direct_summation() {
+        // interpolate at a lattice point == direct pairwise evaluation
+        let r = tiny_receptor();
+        let params = Ad4Params::new();
+        let g = build_ad4_grids(&r, spec(), &[AdType::C], &params);
+        let p = Vec3::new(3.0, 1.0, 0.0); // a lattice point of the 9×9×9/1Å grid
+        let direct = ad4_vdw_hb(&params, AdType::C, AdType::OA, p.norm());
+        let from_grid = g.affinity[&AdType::C].interpolate(p);
+        assert!((direct - from_grid).abs() < 1e-9, "{direct} vs {from_grid}");
+    }
+
+    #[test]
+    fn desolvation_map_positive_and_decaying() {
+        let r = tiny_receptor();
+        let g = build_ad4_grids(&r, spec(), &[AdType::C], &Ad4Params::new());
+        let d = g.desolvation.as_ref().unwrap();
+        let near = d.interpolate(Vec3::new(1.0, 0.0, 0.0));
+        let far = d.interpolate(Vec3::new(4.0, 0.0, 0.0));
+        assert!(near > far, "desolvation decays: {near} vs {far}");
+        assert!(far >= 0.0);
+    }
+}

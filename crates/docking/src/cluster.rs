@@ -1,0 +1,161 @@
+//! Conformational clustering of docking runs — AutoDock's analysis step.
+//!
+//! AutoDock 4 groups its independent LGA runs into clusters by RMSD: runs
+//! are visited best-energy-first, and each run joins the first cluster
+//! whose *representative* (its lowest-energy member) is within `tolerance`
+//! Å, else founds a new cluster. The `.dlg` "CLUSTERING HISTOGRAM" is the
+//! per-cluster summary.
+
+use molkit::geometry::rmsd;
+use molkit::Vec3;
+
+/// One cluster of docked poses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoseCluster {
+    /// Index (into the input arrays) of the representative (lowest-energy)
+    /// pose.
+    pub representative: usize,
+    /// All member indices, representative first.
+    pub members: Vec<usize>,
+    /// Energy of the representative.
+    pub best_energy: f64,
+    /// Mean member energy.
+    pub mean_energy: f64,
+}
+
+impl PoseCluster {
+    /// Number of runs in this cluster.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Cluster poses by RMSD with AutoDock's greedy best-first scheme.
+///
+/// `coords[i]` and `energies[i]` describe pose `i`. Returns clusters sorted
+/// by their representative's energy (best first).
+///
+/// # Panics
+/// Panics when `coords` and `energies` differ in length.
+pub fn cluster_poses(coords: &[Vec<Vec3>], energies: &[f64], tolerance: f64) -> Vec<PoseCluster> {
+    assert_eq!(coords.len(), energies.len(), "cluster_poses: length mismatch");
+    let n = coords.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| energies[a].total_cmp(&energies[b]));
+
+    let mut clusters: Vec<PoseCluster> = Vec::new();
+    for &i in &order {
+        let mut placed = false;
+        for c in clusters.iter_mut() {
+            if rmsd(&coords[i], &coords[c.representative]) <= tolerance {
+                c.members.push(i);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            clusters.push(PoseCluster {
+                representative: i,
+                members: vec![i],
+                best_energy: energies[i],
+                mean_energy: 0.0,
+            });
+        }
+    }
+    for c in clusters.iter_mut() {
+        c.mean_energy =
+            c.members.iter().map(|&m| energies[m]).sum::<f64>() / c.members.len() as f64;
+    }
+    // best-first by representative energy (already true by construction, but
+    // make the invariant explicit)
+    clusters.sort_by(|a, b| a.best_energy.total_cmp(&b.best_energy));
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three poses at site A (tight), two at site B.
+    fn two_sites() -> (Vec<Vec<Vec3>>, Vec<f64>) {
+        let site = |base: Vec3, jitter: f64| -> Vec<Vec3> {
+            (0..5)
+                .map(|k| base + Vec3::new(k as f64, jitter, 0.0))
+                .collect()
+        };
+        let coords = vec![
+            site(Vec3::ZERO, 0.0),
+            site(Vec3::ZERO, 0.4),
+            site(Vec3::ZERO, 0.8),
+            site(Vec3::new(20.0, 0.0, 0.0), 0.0),
+            site(Vec3::new(20.0, 0.0, 0.0), 0.5),
+        ];
+        let energies = vec![-9.0, -8.5, -7.0, -8.8, -6.0];
+        (coords, energies)
+    }
+
+    #[test]
+    fn groups_by_site() {
+        let (coords, energies) = two_sites();
+        let clusters = cluster_poses(&coords, &energies, 2.0);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].size(), 3, "site A has three runs");
+        assert_eq!(clusters[1].size(), 2);
+        // best cluster first
+        assert!(clusters[0].best_energy <= clusters[1].best_energy);
+        assert_eq!(clusters[0].best_energy, -9.0);
+        assert_eq!(clusters[1].best_energy, -8.8);
+    }
+
+    #[test]
+    fn representative_is_lowest_energy_member() {
+        let (coords, energies) = two_sites();
+        let clusters = cluster_poses(&coords, &energies, 2.0);
+        for c in &clusters {
+            for &m in &c.members {
+                assert!(energies[c.representative] <= energies[m]);
+            }
+            assert_eq!(c.members[0], c.representative);
+        }
+    }
+
+    #[test]
+    fn mean_energy_correct() {
+        let (coords, energies) = two_sites();
+        let clusters = cluster_poses(&coords, &energies, 2.0);
+        let want = (-9.0 + -8.5 + -7.0) / 3.0;
+        assert!((clusters[0].mean_energy - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_tolerance_splits_everything() {
+        let (coords, energies) = two_sites();
+        let clusters = cluster_poses(&coords, &energies, 0.01);
+        assert_eq!(clusters.len(), 5, "each pose its own cluster");
+        // members partition the input
+        let total: usize = clusters.iter().map(|c| c.size()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn huge_tolerance_merges_everything() {
+        let (coords, energies) = two_sites();
+        let clusters = cluster_poses(&coords, &energies, 1000.0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].size(), 5);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(cluster_poses(&[], &[], 2.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_input_panics() {
+        cluster_poses(&[vec![Vec3::ZERO]], &[], 2.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Docking log files: AutoDock `.dlg` and Vina stdout-style logs.
+//!
+//! SciDock's provenance extractors parse FEB/RMSD values back *out of these
+//! files* — exactly like the real system, where SciCumulus extractor
+//! components open produced files and associate the extracted values with
+//! provenance records.
+
+use crate::engine::{DockResult, EngineKind};
+
+/// Render an AutoDock 4 `.dlg` docking log.
+///
+/// Contains the run-by-run RMSD table, a coarse energy histogram, and the
+/// canonical "Estimated Free Energy of Binding" line the extractors grep.
+pub fn write_dlg(res: &DockResult) -> String {
+    assert_eq!(res.engine, EngineKind::Ad4, "write_dlg renders AD4 results");
+    let mut out = String::new();
+    out.push_str("________________________________________________________________\n");
+    out.push_str("AutoDock 4.2.5.1 (molkit reproduction)\n\n");
+    out.push_str(&format!("DPF> move {}.pdbqt\n", res.ligand));
+    out.push_str(&format!("DPF> about receptor {}\n", res.receptor));
+    out.push_str(&format!("Number of runs: {}\n", res.modes.len()));
+    out.push_str(&format!("Torsional degrees of freedom: {}\n\n", res.torsdof));
+    out.push_str(&format!(
+        "DOCKED: USER    Estimated Free Energy of Binding    =  {:+8.2} kcal/mol\n\n",
+        res.feb
+    ));
+    out.push_str("    CLUSTERING HISTOGRAM\n");
+    out.push_str("    Rank |     FEB    |    RMSD   | Energy\n");
+    out.push_str("    -----+------------+-----------+----------\n");
+    for m in &res.modes {
+        out.push_str(&format!(
+            "    {:>4} | {:>10.2} | {:>9.2} | {:>8.2}\n",
+            m.rank, m.feb, m.rmsd, m.energy
+        ));
+    }
+    out.push('\n');
+    if !res.clusters.is_empty() {
+        out.push_str("    CLUSTER ANALYSIS (rmsd_tol = 2.0 A)\n");
+        out.push_str("    Clus | Runs |  Lowest FEB |  Mean FEB\n");
+        out.push_str("    -----+------+-------------+----------\n");
+        for (k, c) in res.clusters.iter().enumerate() {
+            out.push_str(&format!(
+                "    {:>4} | {:>4} | {:>11.2} | {:>8.2}\n",
+                k + 1,
+                c.size,
+                c.best_feb,
+                c.mean_feb
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("Number of energy evaluations: {}\n", res.evaluations));
+    out.push_str("Successful Completion\n");
+    out
+}
+
+/// Render a Vina-style log.
+pub fn write_vina_log(res: &DockResult) -> String {
+    assert_eq!(res.engine, EngineKind::Vina, "write_vina_log renders Vina results");
+    let mut out = String::new();
+    out.push_str("AutoDock Vina 1.1.2 (molkit reproduction)\n\n");
+    out.push_str(&format!("Receptor: {}\nLigand: {}\n\n", res.receptor, res.ligand));
+    out.push_str("mode |   affinity | dist from best mode\n");
+    out.push_str("     | (kcal/mol) | rmsd l.b.| rmsd u.b.\n");
+    out.push_str("-----+------------+----------+----------\n");
+    for m in &res.modes {
+        out.push_str(&format!(
+            "{:>4} {:>12.1} {:>10.3} {:>10.3}\n",
+            m.rank,
+            m.feb,
+            m.rmsd_lb, // lower bound: superposition-minimized RMSD
+            m.rmsd
+        ));
+    }
+    out.push_str(&format!("\nEnergy evaluations: {}\n", res.evaluations));
+    out.push_str("Writing output ... done.\n");
+    out
+}
+
+/// Extract the best FEB from a `.dlg` file.
+pub fn parse_dlg_feb(text: &str) -> Option<f64> {
+    for line in text.lines() {
+        if let Some(rest) = line.trim().strip_prefix("DOCKED: USER    Estimated Free Energy of Binding") {
+            let num = rest.trim_start_matches(['=', ' ']).split_whitespace().next()?;
+            return num.parse().ok();
+        }
+    }
+    None
+}
+
+/// Extract the best-mode (rank 1) RMSD from a `.dlg` file.
+pub fn parse_dlg_rmsd(text: &str) -> Option<f64> {
+    let mut in_table = false;
+    for line in text.lines() {
+        if line.contains("-----+") {
+            in_table = true;
+            continue;
+        }
+        if in_table {
+            let fields: Vec<&str> = line.split('|').collect();
+            if fields.len() >= 3 && fields[0].trim() == "1" {
+                return fields[2].trim().parse().ok();
+            }
+            if fields.len() < 3 {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// Extract (affinity, rmsd-ub) rows from a Vina log.
+pub fn parse_vina_modes(text: &str) -> Vec<(f64, f64)> {
+    let mut rows = Vec::new();
+    let mut in_table = false;
+    for line in text.lines() {
+        if line.starts_with("-----+") {
+            in_table = true;
+            continue;
+        }
+        if in_table {
+            let f: Vec<&str> = line.split_whitespace().collect();
+            if f.len() == 4 {
+                if let (Ok(_rank), Ok(aff), Ok(ub)) =
+                    (f[0].parse::<usize>(), f[1].parse::<f64>(), f[3].parse::<f64>())
+                {
+                    rows.push((aff, ub));
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Mode;
+    use molkit::Vec3;
+
+    fn ad4_result() -> DockResult {
+        DockResult {
+            engine: EngineKind::Ad4,
+            receptor: "2HHN".into(),
+            ligand: "0E6".into(),
+            feb: -7.25,
+            modes: vec![
+                Mode { rank: 1, energy: -9.1, feb: -7.25, rmsd: 54.3, rmsd_lb: 41.2 },
+                Mode { rank: 2, energy: -8.0, feb: -6.10, rmsd: 51.2, rmsd_lb: 39.0 },
+            ],
+            best_coords: vec![Vec3::ZERO],
+            evaluations: 12345,
+            pocket_center: Vec3::ZERO,
+            torsdof: 5,
+            clusters: vec![
+                crate::engine::ClusterInfo { size: 2, best_feb: -7.25, mean_feb: -6.68 },
+            ],
+            best_pose: crate::conformation::Pose::at(Vec3::ZERO, 0),
+        }
+    }
+
+    fn vina_result() -> DockResult {
+        DockResult {
+            engine: EngineKind::Vina,
+            receptor: "1S4V".into(),
+            ligand: "0D6".into(),
+            feb: -5.4,
+            modes: vec![
+                Mode { rank: 1, energy: -6.2, feb: -5.4, rmsd: 0.0, rmsd_lb: 0.0 },
+                Mode { rank: 2, energy: -5.9, feb: -5.1, rmsd: 8.73, rmsd_lb: 6.1 },
+                Mode { rank: 3, energy: -5.0, feb: -4.4, rmsd: 11.02, rmsd_lb: 7.9 },
+            ],
+            best_coords: vec![Vec3::ZERO],
+            evaluations: 999,
+            pocket_center: Vec3::ZERO,
+            torsdof: 3,
+            clusters: vec![],
+            best_pose: crate::conformation::Pose::at(Vec3::ZERO, 0),
+        }
+    }
+
+    #[test]
+    fn dlg_roundtrip_feb() {
+        let text = write_dlg(&ad4_result());
+        assert_eq!(parse_dlg_feb(&text), Some(-7.25));
+    }
+
+    #[test]
+    fn dlg_roundtrip_rmsd() {
+        let text = write_dlg(&ad4_result());
+        let r = parse_dlg_rmsd(&text).unwrap();
+        assert!((r - 54.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dlg_contains_required_records() {
+        let text = write_dlg(&ad4_result());
+        assert!(text.contains("CLUSTERING HISTOGRAM"));
+        assert!(text.contains("Successful Completion"));
+        assert!(text.contains("Number of energy evaluations: 12345"));
+        assert!(text.contains("2HHN"));
+        assert!(text.contains("0E6"));
+    }
+
+    #[test]
+    fn vina_log_roundtrip() {
+        let text = write_vina_log(&vina_result());
+        let modes = parse_vina_modes(&text);
+        assert_eq!(modes.len(), 3);
+        assert!((modes[0].0 - (-5.4)).abs() < 0.1);
+        assert!((modes[1].1 - 8.73).abs() < 0.01);
+        // best mode rmsd = 0
+        assert_eq!(modes[0].1, 0.0);
+    }
+
+    #[test]
+    fn parse_feb_missing_returns_none() {
+        assert_eq!(parse_dlg_feb("no such line"), None);
+        assert!(parse_vina_modes("empty").is_empty());
+        assert_eq!(parse_dlg_rmsd("nothing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "renders AD4 results")]
+    fn dlg_rejects_vina_result() {
+        write_dlg(&vina_result());
+    }
+
+    #[test]
+    #[should_panic(expected = "renders Vina results")]
+    fn vina_log_rejects_ad4_result() {
+        write_vina_log(&ad4_result());
+    }
+
+    #[test]
+    fn positive_feb_roundtrip() {
+        // non-favorable interactions have positive FEB; the sign must survive
+        let mut r = ad4_result();
+        r.feb = 2.35;
+        let text = write_dlg(&r);
+        assert_eq!(parse_dlg_feb(&text), Some(2.35));
+    }
+}

@@ -1,0 +1,385 @@
+//! Pose energy evaluation: grid-interpolated intermolecular terms plus
+//! direct pairwise intramolecular terms.
+
+use molkit::{Molecule, Vec3};
+
+use crate::autogrid::{GridKind, GridSet};
+use crate::conformation::LigandModel;
+use crate::params::{type_index, Ad4Params, VinaParams};
+use crate::scoring::{ad4_pair, vina_pair, CUTOFF};
+
+/// Extra per-unit-|charge| desolvation parameter (AD4's `qsolpar`).
+const QSOLPAR: f64 = 0.01097;
+
+/// Evaluates ligand poses against a receptor's precomputed grids.
+pub struct EnergyModel<'a> {
+    /// Precomputed receptor maps.
+    pub grids: &'a GridSet,
+    /// The posed ligand.
+    pub ligand: &'a LigandModel,
+    /// AD4 parameter set (used when `grids.kind` is AD4).
+    pub ad4: Ad4Params,
+    /// Vina parameter set (used when `grids.kind` is Vina).
+    pub vina: VinaParams,
+}
+
+impl<'a> EnergyModel<'a> {
+    /// Build an evaluator. The grid set must contain a map for every AD type
+    /// the ligand uses.
+    ///
+    /// # Panics
+    /// Panics when a needed affinity map is missing (a pipeline bug: AutoGrid
+    /// is always run with the ligand's types).
+    pub fn new(grids: &'a GridSet, ligand: &'a LigandModel) -> EnergyModel<'a> {
+        for t in &ligand.types {
+            assert!(
+                grids.affinity.contains_key(t),
+                "grid set missing affinity map for type {t}"
+            );
+        }
+        EnergyModel { grids, ligand, ad4: Ad4Params::new(), vina: VinaParams::default() }
+    }
+
+    /// Receptor–ligand interaction energy of world coordinates `coords`.
+    pub fn intermolecular(&self, coords: &[Vec3]) -> f64 {
+        let mut e = 0.0;
+        match self.grids.kind {
+            GridKind::Ad4 => {
+                let emap = self
+                    .grids
+                    .electrostatic
+                    .as_ref()
+                    .expect("AD4 grid set has an electrostatic map");
+                let dmap = self
+                    .grids
+                    .desolvation
+                    .as_ref()
+                    .expect("AD4 grid set has a desolvation map");
+                for (i, &p) in coords.iter().enumerate() {
+                    let t = self.ligand.types[i];
+                    let q = self.ligand.charges[i];
+                    let aff = self.grids.affinity[&t].interpolate(p);
+                    let elec = self.ad4.w_estat * q * emap.interpolate(p);
+                    let s = self.ad4.solpar[type_index(t)] + QSOLPAR * q.abs();
+                    // one-map approximation of the symmetric AD4 desolvation
+                    // term (see DESIGN.md): ligand-side solvation parameter
+                    // against the receptor volume field, doubled.
+                    let desolv = self.ad4.w_desolv * 2.0 * s * dmap.interpolate(p);
+                    e += aff + elec + desolv;
+                }
+            }
+            GridKind::Vina => {
+                for (i, &p) in coords.iter().enumerate() {
+                    let t = self.ligand.types[i];
+                    e += self.grids.affinity[&t].interpolate(p);
+                }
+            }
+        }
+        e
+    }
+
+    /// Ligand internal energy (pairs across rotatable bonds).
+    pub fn intramolecular(&self, coords: &[Vec3]) -> f64 {
+        let mut e = 0.0;
+        match self.grids.kind {
+            GridKind::Ad4 => {
+                for &(i, j) in &self.ligand.intra_pairs {
+                    let r = coords[i].dist(coords[j]);
+                    e += ad4_pair(
+                        &self.ad4,
+                        self.ligand.types[i],
+                        self.ligand.types[j],
+                        self.ligand.charges[i],
+                        self.ligand.charges[j],
+                        r,
+                    );
+                }
+            }
+            GridKind::Vina => {
+                for &(i, j) in &self.ligand.intra_pairs {
+                    let r = coords[i].dist(coords[j]);
+                    e += vina_pair(&self.vina, self.ligand.types[i], self.ligand.types[j], r);
+                }
+            }
+        }
+        e
+    }
+
+    /// Total pose energy used by the search (inter + intra).
+    pub fn total(&self, coords: &[Vec3]) -> f64 {
+        self.intermolecular(coords) + self.intramolecular(coords)
+    }
+
+    /// Engine-specific estimated free energy of binding for a final pose.
+    ///
+    /// * AD4: scaled intermolecular + torsional entropy penalty
+    ///   `W_tors × TORSDOF` + the calibrated unbound-reference offset.
+    /// * Vina: scaled intermolecular × `1 / (1 + w_rot × N_rot)` + offset.
+    pub fn free_energy_of_binding(&self, coords: &[Vec3]) -> f64 {
+        let inter = self.intermolecular(coords);
+        match self.grids.kind {
+            GridKind::Ad4 => {
+                self.ad4.feb_scale * inter
+                    + self.ad4.w_tors * self.ligand.torsdof() as f64
+                    + self.ad4.feb_offset
+            }
+            GridKind::Vina => {
+                self.vina.feb_scale * inter
+                    / (1.0 + self.vina.w_rot * self.ligand.torsdof() as f64)
+                    + self.vina.feb_offset
+            }
+        }
+    }
+}
+
+/// Grid-free pose evaluation: direct pairwise sums over all
+/// (ligand atom × receptor atom) pairs.
+///
+/// This is the ablation partner of the grid path: exact (no interpolation
+/// error) but O(ligand × receptor) per evaluation instead of O(ligand).
+/// AutoGrid exists precisely because the grid path amortizes the receptor
+/// loop across the whole search.
+pub struct DirectEnergy {
+    kind: GridKind,
+    rec_pos: Vec<Vec3>,
+    rec_type: Vec<molkit::AdType>,
+    rec_charge: Vec<f64>,
+    ad4: Ad4Params,
+    vina: VinaParams,
+}
+
+impl DirectEnergy {
+    /// Build a direct evaluator over a prepared receptor.
+    pub fn new(receptor: &Molecule, kind: GridKind) -> DirectEnergy {
+        DirectEnergy {
+            kind,
+            rec_pos: receptor.atoms.iter().map(|a| a.pos).collect(),
+            rec_type: receptor.atoms.iter().map(|a| a.ad_type).collect(),
+            rec_charge: receptor.atoms.iter().map(|a| a.charge).collect(),
+            ad4: Ad4Params::new(),
+            vina: VinaParams::default(),
+        }
+    }
+
+    /// Exact receptor–ligand interaction energy of world coordinates.
+    pub fn intermolecular(&self, ligand: &LigandModel, coords: &[Vec3]) -> f64 {
+        let cutoff_sq = CUTOFF * CUTOFF;
+        let mut e = 0.0;
+        for (i, &p) in coords.iter().enumerate() {
+            let lt = ligand.types[i];
+            let lq = ligand.charges[i];
+            for a in 0..self.rec_pos.len() {
+                let d2 = self.rec_pos[a].dist_sq(p);
+                if d2 > cutoff_sq {
+                    continue;
+                }
+                let r = d2.sqrt();
+                e += match self.kind {
+                    GridKind::Ad4 => ad4_pair(
+                        &self.ad4,
+                        lt,
+                        self.rec_type[a],
+                        lq,
+                        self.rec_charge[a],
+                        r,
+                    ),
+                    GridKind::Vina => vina_pair(&self.vina, lt, self.rec_type[a], r),
+                };
+            }
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autogrid::{build_ad4_grids, build_vina_grids};
+    use crate::conformation::Pose;
+    use crate::grid::GridSpec;
+    use molkit::atom::Atom;
+    use molkit::formats::pdbqt::PdbqtLigand;
+    use molkit::molecule::{BondOrder, Molecule};
+    use molkit::torsion::build_torsion_tree;
+    use molkit::{AdType, Element};
+
+    fn receptor() -> Molecule {
+        // two oppositely charged atoms forming a crude site
+        let mut m = Molecule::new("R");
+        let mut a = Atom::new(1, "OA", Element::O, Vec3::new(-2.0, 0.0, 0.0));
+        a.charge = -0.4;
+        a.ad_type = AdType::OA;
+        m.add_atom(a);
+        let mut b = Atom::new(2, "C", Element::C, Vec3::new(2.0, 0.0, 0.0));
+        b.charge = 0.2;
+        b.ad_type = AdType::C;
+        m.add_atom(b);
+        m
+    }
+
+    fn ligand() -> PdbqtLigand {
+        // zig-zag chain so torsion axes are not collinear with the atoms
+        let mut m = Molecule::new("L");
+        for k in 0..4 {
+            let mut a = Atom::new(
+                k as u32 + 1,
+                format!("C{k}"),
+                Element::C,
+                Vec3::new(k as f64 * 1.4 - 2.1, 0.3 + 0.5 * (k % 2) as f64, 0.1 * k as f64),
+            );
+            a.charge = if k % 2 == 0 { 0.05 } else { -0.05 };
+            m.add_atom(a);
+        }
+        for k in 0..3 {
+            m.add_bond(k, k + 1, BondOrder::Single);
+        }
+        let tree = build_torsion_tree(&m);
+        PdbqtLigand { mol: m, tree }
+    }
+
+    fn spec() -> GridSpec {
+        GridSpec { center: Vec3::ZERO, npts: 17, spacing: 1.0 }
+    }
+
+    #[test]
+    fn ad4_energy_finite_inside_box() {
+        let r = receptor();
+        let lig = ligand();
+        let lm = LigandModel::new(&lig);
+        let types = lig.mol.ad_types();
+        let g = build_ad4_grids(&r, spec(), &types, &Ad4Params::new());
+        let em = EnergyModel::new(&g, &lm);
+        let pose = Pose::at(Vec3::new(0.0, 3.0, 0.0), lm.torsdof());
+        let c = lm.coords(&pose);
+        let e = em.total(&c);
+        assert!(e.is_finite());
+        assert!(e < crate::grid::OUT_OF_BOX_PENALTY);
+    }
+
+    #[test]
+    fn out_of_box_pose_heavily_penalized() {
+        let r = receptor();
+        let lig = ligand();
+        let lm = LigandModel::new(&lig);
+        let g = build_vina_grids(&r, spec(), &lig.mol.ad_types(), &VinaParams::default());
+        let em = EnergyModel::new(&g, &lm);
+        let inside = em.intermolecular(&lm.coords(&Pose::at(Vec3::ZERO, lm.torsdof())));
+        let outside =
+            em.intermolecular(&lm.coords(&Pose::at(Vec3::new(100.0, 0.0, 0.0), lm.torsdof())));
+        assert!(outside > inside + 1e5);
+    }
+
+    #[test]
+    fn clash_worse_than_contact() {
+        let r = receptor();
+        let lig = ligand();
+        let lm = LigandModel::new(&lig);
+        let g = build_ad4_grids(&r, spec(), &lig.mol.ad_types(), &Ad4Params::new());
+        let em = EnergyModel::new(&g, &lm);
+        // pose directly on top of receptor atoms vs a few Å away
+        let clash = em.intermolecular(&lm.coords(&Pose::at(Vec3::ZERO, lm.torsdof())));
+        let contact = em.intermolecular(&lm.coords(&Pose::at(Vec3::new(0.0, 4.0, 0.0), lm.torsdof())));
+        assert!(clash > contact, "clash {clash} must exceed contact {contact}");
+    }
+
+    #[test]
+    fn feb_semantics_differ_between_engines() {
+        let r = receptor();
+        let lig = ligand();
+        let lm = LigandModel::new(&lig);
+        let pose = Pose::at(Vec3::new(0.0, 4.0, 0.0), lm.torsdof());
+        let c = lm.coords(&pose);
+
+        let ga = build_ad4_grids(&r, spec(), &lig.mol.ad_types(), &Ad4Params::new());
+        let ea = EnergyModel::new(&ga, &lm);
+        let feb_ad4 = ea.free_energy_of_binding(&c);
+        // AD4 FEB = scale×inter + tors penalty + offset — check the formula
+        let p = Ad4Params::new();
+        let want_ad4 = p.feb_scale * ea.intermolecular(&c)
+            + p.w_tors * lm.torsdof() as f64
+            + p.feb_offset;
+        assert!((feb_ad4 - want_ad4).abs() < 1e-9);
+
+        let gv = build_vina_grids(&r, spec(), &lig.mol.ad_types(), &VinaParams::default());
+        let ev = EnergyModel::new(&gv, &lm);
+        let feb_vina = ev.free_energy_of_binding(&c);
+        let v = VinaParams::default();
+        let want_vina = v.feb_scale * ev.intermolecular(&c)
+            / (1.0 + v.w_rot * lm.torsdof() as f64)
+            + v.feb_offset;
+        assert!((feb_vina - want_vina).abs() < 1e-9);
+        // the two engines disagree on the same pose (different functions)
+        assert_ne!(feb_ad4, feb_vina);
+    }
+
+    #[test]
+    fn intramolecular_changes_with_torsions() {
+        let lig = ligand();
+        let lm = LigandModel::new(&lig);
+        let r = receptor();
+        let g = build_ad4_grids(&r, spec(), &lig.mol.ad_types(), &Ad4Params::new());
+        let em = EnergyModel::new(&g, &lm);
+        assert!(lm.torsdof() >= 1, "test ligand must be flexible");
+        let e0 = em.intramolecular(&lm.coords(&Pose::at(Vec3::ZERO, lm.torsdof())));
+        let mut folded = Pose::at(Vec3::ZERO, lm.torsdof());
+        folded.torsions[0] = 2.5;
+        let e1 = em.intramolecular(&lm.coords(&folded));
+        assert_ne!(e0, e1, "torsion change must affect internal energy");
+    }
+
+    #[test]
+    fn vina_grid_matches_direct_closely() {
+        // trilinear interpolation over a 1 Å lattice should track the exact
+        // pairwise sum for poses away from hard clashes
+        let r = receptor();
+        let lig = ligand();
+        let lm = LigandModel::new(&lig);
+        let g = build_vina_grids(&r, spec(), &lig.mol.ad_types(), &VinaParams::default());
+        let em = EnergyModel::new(&g, &lm);
+        let de = DirectEnergy::new(&r, GridKind::Vina);
+        for dy in [4.0, 5.5] {
+            let pose = Pose::at(Vec3::new(0.3, dy, 0.2), lm.torsdof());
+            let c = lm.coords(&pose);
+            let via_grid = em.intermolecular(&c);
+            let exact = de.intermolecular(&lm, &c);
+            assert!(
+                (via_grid - exact).abs() < 0.3 * exact.abs().max(0.5),
+                "grid {via_grid} vs direct {exact} at dy={dy}"
+            );
+            // both agree on the sign of the interaction
+            assert_eq!(via_grid < 0.0, exact < 0.0, "sign disagreement at dy={dy}");
+        }
+    }
+
+    #[test]
+    fn ad4_grid_matches_direct_vdw_at_lattice_point() {
+        // at an exact lattice point the vdW part has zero interpolation
+        // error; electrostatic/desolvation use the one-map approximation so
+        // compare with a loose band
+        let r = receptor();
+        let lig = ligand();
+        let lm = LigandModel::new(&lig);
+        let g = build_ad4_grids(&r, spec(), &lig.mol.ad_types(), &Ad4Params::new());
+        let em = EnergyModel::new(&g, &lm);
+        let de = DirectEnergy::new(&r, GridKind::Ad4);
+        let pose = Pose::at(Vec3::new(0.0, 4.0, 0.0), lm.torsdof());
+        let c = lm.coords(&pose);
+        let via_grid = em.intermolecular(&c);
+        let exact = de.intermolecular(&lm, &c);
+        assert!(
+            (via_grid - exact).abs() < 1.0,
+            "grid {via_grid} vs direct {exact}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "missing affinity map")]
+    fn missing_map_panics() {
+        let r = receptor();
+        let lig = ligand();
+        let lm = LigandModel::new(&lig);
+        // build grids without the ligand's carbon map
+        let g = build_ad4_grids(&r, spec(), &[AdType::OA], &Ad4Params::new());
+        let _ = EnergyModel::new(&g, &lm);
+    }
+}

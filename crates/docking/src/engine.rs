@@ -1,0 +1,411 @@
+//! Top-level docking API: dock one receptor–ligand pair with AD4 or Vina.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use molkit::align::aligned_rmsd;
+use molkit::formats::pdbqt::PdbqtLigand;
+use molkit::geometry::{diameter, find_pocket, rmsd};
+use molkit::{Molecule, Vec3};
+
+use crate::autogrid::{build_ad4_grids, build_vina_grids, GridSet};
+use crate::cluster::cluster_poses;
+use crate::conformation::LigandModel;
+use crate::energy::EnergyModel;
+use crate::grid::GridSpec;
+use crate::params::{Ad4Params, VinaParams};
+use crate::conformation::Pose;
+use crate::search::{
+    run_lga, run_mc, solis_wets, Evaluator, LgaConfig, McConfig, ScoredPose, SolisWetsConfig,
+};
+
+/// Which docking program SciDock activity 8 invokes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// AutoDock 4-style Lamarckian GA (activity 8a).
+    Ad4,
+    /// AutoDock Vina-style Monte Carlo (activity 8b).
+    Vina,
+}
+
+impl EngineKind {
+    /// The program name as it appears in logs and provenance.
+    pub fn program_name(self) -> &'static str {
+        match self {
+            EngineKind::Ad4 => "autodock4",
+            EngineKind::Vina => "vina",
+        }
+    }
+}
+
+/// Docking configuration (program defaults are paper-scale shapes at
+/// millisecond cost; see DESIGN.md §1).
+#[derive(Debug, Clone)]
+pub struct DockConfig {
+    /// Master seed; run `i` uses `seed + i`.
+    pub seed: u64,
+    /// Number of independent LGA runs for AD4 (AutoDock's `ga_run`).
+    pub ad4_runs: usize,
+    /// LGA parameters.
+    pub lga: LgaConfig,
+    /// MC parameters (restarts ≙ Vina's exhaustiveness).
+    pub mc: McConfig,
+    /// Grid lattice spacing in Å.
+    pub grid_spacing: f64,
+    /// Minimum grid box edge in Å.
+    pub box_edge: f64,
+    /// Probe radius used for pocket detection.
+    pub pocket_probe: f64,
+}
+
+impl Default for DockConfig {
+    fn default() -> Self {
+        DockConfig {
+            seed: 0,
+            ad4_runs: 4,
+            lga: LgaConfig::default(),
+            mc: McConfig::default(),
+            grid_spacing: 0.75,
+            box_edge: 16.0,
+            pocket_probe: 9.0,
+        }
+    }
+}
+
+/// One reported binding mode.
+#[derive(Debug, Clone)]
+pub struct Mode {
+    /// Rank (1 = best).
+    pub rank: usize,
+    /// Search energy (inter + intra) of the pose.
+    pub energy: f64,
+    /// Estimated free energy of binding, kcal/mol.
+    pub feb: f64,
+    /// RMSD in Å. AD4 semantics: vs the ligand's *input* coordinates
+    /// (crystal frame). Vina semantics: vs the best mode ("rmsd u.b.").
+    pub rmsd: f64,
+    /// Lower-bound RMSD: the same comparison after optimal superposition
+    /// (Vina's "rmsd l.b." uses symmetry minimization; superposition plays
+    /// the analogous role here). Always ≤ `rmsd`.
+    pub rmsd_lb: f64,
+}
+
+/// Summary of one conformational cluster (AutoDock's analysis step).
+#[derive(Debug, Clone)]
+pub struct ClusterInfo {
+    /// Number of runs/modes in the cluster.
+    pub size: usize,
+    /// FEB of the cluster representative, kcal/mol.
+    pub best_feb: f64,
+    /// Mean FEB over members.
+    pub mean_feb: f64,
+}
+
+/// Result of docking one pair.
+#[derive(Debug, Clone)]
+pub struct DockResult {
+    /// Engine that produced this result.
+    pub engine: EngineKind,
+    /// Receptor identifier.
+    pub receptor: String,
+    /// Ligand identifier.
+    pub ligand: String,
+    /// FEB of the best mode, kcal/mol.
+    pub feb: f64,
+    /// All modes, best first.
+    pub modes: Vec<Mode>,
+    /// World coordinates of the best pose.
+    pub best_coords: Vec<Vec3>,
+    /// Energy evaluations performed (work measure).
+    pub evaluations: u64,
+    /// Where the grid box was centered.
+    pub pocket_center: Vec3,
+    /// Number of torsional degrees of freedom of the ligand.
+    pub torsdof: usize,
+    /// Conformational clusters of the runs/modes (2 Å tolerance), best
+    /// cluster first.
+    pub clusters: Vec<ClusterInfo>,
+    /// The best pose itself (for redocking / refinement).
+    pub best_pose: Pose,
+}
+
+/// Docking failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DockError {
+    /// No binding pocket could be detected on the receptor.
+    NoPocket,
+    /// The ligand has no atoms.
+    EmptyLigand,
+}
+
+impl std::fmt::Display for DockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DockError::NoPocket => write!(f, "no binding pocket detected on receptor"),
+            DockError::EmptyLigand => write!(f, "ligand has no atoms"),
+        }
+    }
+}
+
+impl std::error::Error for DockError {}
+
+/// Compute the grid box for a receptor–ligand pair.
+pub fn make_grid_spec(
+    receptor: &Molecule,
+    ligand: &PdbqtLigand,
+    cfg: &DockConfig,
+) -> Result<GridSpec, DockError> {
+    let pocket = find_pocket(receptor, cfg.pocket_probe).ok_or(DockError::NoPocket)?;
+    let edge = cfg.box_edge.max(diameter(&ligand.mol) + 6.0);
+    Ok(GridSpec::with_edge(pocket.center, edge, cfg.grid_spacing))
+}
+
+/// Precompute the grid maps for a pair (SciDock activity 5 for AD4; Vina
+/// builds the analogous maps internally).
+pub fn make_grids(
+    receptor: &Molecule,
+    ligand: &PdbqtLigand,
+    engine: EngineKind,
+    cfg: &DockConfig,
+) -> Result<GridSet, DockError> {
+    let spec = make_grid_spec(receptor, ligand, cfg)?;
+    let types = ligand.mol.ad_types();
+    Ok(match engine {
+        EngineKind::Ad4 => build_ad4_grids(receptor, spec, &types, &Ad4Params::new()),
+        EngineKind::Vina => build_vina_grids(receptor, spec, &types, &VinaParams::default()),
+    })
+}
+
+/// Dock a prepared pair using precomputed grids.
+pub fn dock_with_grids(
+    grids: &GridSet,
+    receptor_name: &str,
+    ligand: &PdbqtLigand,
+    engine: EngineKind,
+    cfg: &DockConfig,
+) -> Result<DockResult, DockError> {
+    if ligand.mol.atoms.is_empty() {
+        return Err(DockError::EmptyLigand);
+    }
+    let lm = LigandModel::new(ligand);
+    let em = EnergyModel::new(grids, &lm);
+    let mut ev = Evaluator::new(&em);
+    let reference: Vec<Vec3> = ligand.mol.positions();
+
+    let (poses, rmsd_vs_best): (Vec<ScoredPose>, bool) = match engine {
+        EngineKind::Ad4 => {
+            let mut runs = Vec::with_capacity(cfg.ad4_runs);
+            for i in 0..cfg.ad4_runs {
+                let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
+                runs.push(run_lga(&mut ev, &grids.spec, &lm, &cfg.lga, &mut rng));
+            }
+            runs.sort_by(|a, b| a.energy.total_cmp(&b.energy));
+            (runs, false)
+        }
+        EngineKind::Vina => {
+            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+            let out = run_mc(&mut ev, &grids.spec, &lm, &cfg.mc, &mut rng);
+            (out.modes, true)
+        }
+    };
+
+    let best_pose = poses[0].pose.clone();
+    let best_coords = lm.coords(&poses[0].pose);
+    let all_coords: Vec<Vec<Vec3>> = poses.iter().map(|sp| lm.coords(&sp.pose)).collect();
+    let all_febs: Vec<f64> =
+        all_coords.iter().map(|c| em.free_energy_of_binding(c)).collect();
+    let clusters = cluster_poses(&all_coords, &all_febs, 2.0)
+        .into_iter()
+        .map(|c| ClusterInfo {
+            size: c.size(),
+            best_feb: c.best_energy,
+            mean_feb: c.mean_energy,
+        })
+        .collect();
+    let modes: Vec<Mode> = poses
+        .iter()
+        .enumerate()
+        .map(|(k, sp)| {
+            let coords = lm.coords(&sp.pose);
+            let feb = em.free_energy_of_binding(&coords);
+            let (r, r_lb) = if rmsd_vs_best {
+                (rmsd(&coords, &best_coords), aligned_rmsd(&coords, &best_coords))
+            } else {
+                (rmsd(&coords, &reference), aligned_rmsd(&coords, &reference))
+            };
+            Mode { rank: k + 1, energy: sp.energy, feb, rmsd: r, rmsd_lb: r_lb }
+        })
+        .collect();
+
+    Ok(DockResult {
+        engine,
+        receptor: receptor_name.to_string(),
+        ligand: ligand.mol.name.clone(),
+        feb: modes[0].feb,
+        modes,
+        best_coords,
+        evaluations: ev.evals,
+        pocket_center: grids.spec.center,
+        torsdof: lm.torsdof(),
+        clusters,
+        best_pose,
+    })
+}
+
+/// Outcome of a local refinement (redocking) run.
+#[derive(Debug, Clone)]
+pub struct Refinement {
+    /// The refined pose.
+    pub pose: Pose,
+    /// Refined world coordinates.
+    pub coords: Vec<Vec3>,
+    /// FEB of the refined pose.
+    pub feb: f64,
+    /// Energy evaluations spent.
+    pub evaluations: u64,
+}
+
+/// Locally refine a pose with Solis–Wets (the "redocking" of §V.D: restart
+/// the search from a known pose rather than from scratch).
+pub fn refine_pose(
+    grids: &GridSet,
+    ligand: &PdbqtLigand,
+    start: &Pose,
+    seed: u64,
+    sw: &SolisWetsConfig,
+) -> Refinement {
+    let lm = LigandModel::new(ligand);
+    let em = EnergyModel::new(grids, &lm);
+    let mut ev = Evaluator::new(&em);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x8ED0_C4E1);
+    let e0 = ev.energy(start);
+    let refined = solis_wets(&mut ev, ScoredPose { pose: start.clone(), energy: e0 }, sw, &mut rng);
+    let coords = lm.coords(&refined.pose);
+    let feb = em.free_energy_of_binding(&coords);
+    Refinement { pose: refined.pose, coords, feb, evaluations: ev.evals }
+}
+
+/// Dock one receptor–ligand pair end to end (pocket → grids → search).
+pub fn dock(
+    receptor: &Molecule,
+    ligand: &PdbqtLigand,
+    engine: EngineKind,
+    cfg: &DockConfig,
+) -> Result<DockResult, DockError> {
+    let grids = make_grids(receptor, ligand, engine, cfg)?;
+    dock_with_grids(&grids, &receptor.name, ligand, engine, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molkit::synth::{generate_ligand, generate_receptor, LigandParams, ReceptorParams};
+    use molkit::typer::{assign_ad_types, merge_nonpolar_hydrogens};
+    use molkit::torsion::build_torsion_tree;
+
+    fn prepared_pair() -> (Molecule, PdbqtLigand) {
+        let rp = ReceptorParams { min_residues: 40, max_residues: 50, hg_fraction: 0.0 };
+        let mut receptor = generate_receptor("1HUC", &rp);
+        assign_ad_types(&mut receptor);
+        molkit::charges::assign_gasteiger(&mut receptor, &Default::default());
+
+        let lp = LigandParams { min_heavy: 8, max_heavy: 12, hang_fraction: 0.0 };
+        let mut lig = generate_ligand("0D6", &lp);
+        assign_ad_types(&mut lig);
+        molkit::charges::assign_gasteiger(&mut lig, &Default::default());
+        merge_nonpolar_hydrogens(&mut lig);
+        let tree = build_torsion_tree(&lig);
+        (receptor, PdbqtLigand { mol: lig, tree })
+    }
+
+    fn fast_cfg() -> DockConfig {
+        DockConfig {
+            ad4_runs: 2,
+            lga: LgaConfig { population: 8, generations: 5, ..Default::default() },
+            mc: McConfig { restarts: 3, steps: 4, ..Default::default() },
+            grid_spacing: 1.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ad4_docking_end_to_end() {
+        let (receptor, lig) = prepared_pair();
+        let res = dock(&receptor, &lig, EngineKind::Ad4, &fast_cfg()).unwrap();
+        assert_eq!(res.engine, EngineKind::Ad4);
+        assert_eq!(res.modes.len(), 2);
+        assert!(res.feb.is_finite());
+        assert!(res.evaluations > 0);
+        assert_eq!(res.best_coords.len(), lig.mol.atoms.len());
+        // modes are sorted best-first by search energy
+        assert!(res.modes[0].energy <= res.modes[1].energy);
+        assert_eq!(res.modes[0].rank, 1);
+        // clustering partitions the runs
+        let total: usize = res.clusters.iter().map(|c| c.size).sum();
+        assert_eq!(total, res.modes.len());
+        assert!(res.clusters.windows(2).all(|w| w[0].best_feb <= w[1].best_feb));
+    }
+
+    #[test]
+    fn vina_docking_end_to_end() {
+        let (receptor, lig) = prepared_pair();
+        let res = dock(&receptor, &lig, EngineKind::Vina, &fast_cfg()).unwrap();
+        assert_eq!(res.modes.len(), 3);
+        // best mode's RMSD vs itself is zero
+        assert!(res.modes[0].rmsd < 1e-9);
+        // other modes have nonzero RMSD unless the search converged identically
+        assert!(res.modes.iter().all(|m| m.rmsd.is_finite()));
+        // the aligned lower bound never exceeds the plain RMSD
+        assert!(res.modes.iter().all(|m| m.rmsd_lb <= m.rmsd + 1e-9));
+    }
+
+    #[test]
+    fn ad4_rmsd_reference_semantics() {
+        // AD4 reports RMSD vs the input frame; our ligand starts near the
+        // origin while the pocket sits on the receptor, so RMSD is large.
+        let (receptor, lig) = prepared_pair();
+        let res = dock(&receptor, &lig, EngineKind::Ad4, &fast_cfg()).unwrap();
+        assert!(
+            res.modes[0].rmsd > 2.0,
+            "AD4 rmsd vs input frame should be large, got {}",
+            res.modes[0].rmsd
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (receptor, lig) = prepared_pair();
+        let cfg = fast_cfg();
+        let a = dock(&receptor, &lig, EngineKind::Vina, &cfg).unwrap();
+        let b = dock(&receptor, &lig, EngineKind::Vina, &cfg).unwrap();
+        assert_eq!(a.feb, b.feb);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn empty_ligand_rejected() {
+        let (receptor, _) = prepared_pair();
+        let empty = PdbqtLigand {
+            mol: Molecule::new("E"),
+            tree: molkit::TorsionTree::rigid(0),
+        };
+        // grid creation works off the receptor; docking must reject the ligand
+        let cfg = fast_cfg();
+        let err = dock(&receptor, &empty, EngineKind::Ad4, &cfg).unwrap_err();
+        assert_eq!(err, DockError::EmptyLigand);
+    }
+
+    #[test]
+    fn grid_box_covers_ligand() {
+        let (receptor, lig) = prepared_pair();
+        let cfg = fast_cfg();
+        let spec = make_grid_spec(&receptor, &lig, &cfg).unwrap();
+        assert!(spec.edge() >= diameter(&lig.mol) + 6.0 - 1e-9);
+    }
+
+    #[test]
+    fn program_names() {
+        assert_eq!(EngineKind::Ad4.program_name(), "autodock4");
+        assert_eq!(EngineKind::Vina.program_name(), "vina");
+    }
+}

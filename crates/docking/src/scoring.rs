@@ -1,0 +1,241 @@
+//! Pairwise scoring terms for the AD4-style and Vina-style functions.
+//!
+//! Both engines score a pose as `intermolecular + intramolecular (+ entropy
+//! penalty)`. This module holds the *pairwise* physics; grid construction
+//! (`autogrid`) and pose evaluation (`energy`) build on it.
+
+use molkit::AdType;
+
+use crate::params::{vina_radius, Ad4Params, VinaParams};
+
+/// Interaction cutoff in Å; pairs farther apart contribute nothing.
+pub const CUTOFF: f64 = 8.0;
+
+/// Electrostatic constant (kcal·Å/mol/e²).
+pub const COULOMB: f64 = 332.06;
+
+/// Mehler–Solmajer style distance-dependent dielectric ε(r).
+///
+/// Smoothly interpolates between ~8 at contact distances and ~78 (bulk
+/// water) at long range.
+#[inline]
+pub fn dielectric(r: f64) -> f64 {
+    const A: f64 = -8.5525;
+    const B: f64 = 78.4 - A; // eps0 - A
+    const LAM: f64 = 0.003627;
+    const K: f64 = 7.7839;
+    A + B / (1.0 + K * (-LAM * B * r).exp())
+}
+
+/// Gaussian desolvation width σ (Å) of the AD4 desolvation term.
+pub const DESOLV_SIGMA: f64 = 3.6;
+
+/// AD4 van-der-Waals + hydrogen-bond energy for one pair at distance `r`
+/// (already weighted by the force-field coefficients).
+#[inline]
+pub fn ad4_vdw_hb(params: &Ad4Params, ta: AdType, tb: AdType, r: f64) -> f64 {
+    if r >= CUTOFF {
+        return 0.0;
+    }
+    let r = r.max(0.35); // clamp: avoid FP overflow at near-zero distances
+    let p = params.pair(ta, tb);
+    if p.hbond {
+        let r10 = r.powi(10);
+        params.w_hbond * (p.hb_c / (r10 * r * r) - p.hb_d / r10)
+    } else {
+        let r6 = r.powi(6);
+        params.w_vdw * (p.lj_a / (r6 * r6) - p.lj_b / r6)
+    }
+}
+
+/// AD4 electrostatic energy for one pair (weighted).
+#[inline]
+pub fn ad4_electrostatic(params: &Ad4Params, qa: f64, qb: f64, r: f64) -> f64 {
+    if r >= CUTOFF {
+        return 0.0;
+    }
+    let r = r.max(0.35);
+    // (qa * qb) grouped so the term is bit-exact symmetric in the two atoms
+    params.w_estat * COULOMB * (qa * qb) / (dielectric(r) * r)
+}
+
+/// AD4 desolvation energy for one pair (weighted).
+#[inline]
+pub fn ad4_desolvation(params: &Ad4Params, ta: AdType, tb: AdType, qa: f64, qb: f64, r: f64) -> f64 {
+    if r >= CUTOFF {
+        return 0.0;
+    }
+    let ia = crate::params::type_index(ta);
+    let ib = crate::params::type_index(tb);
+    const QSOLPAR: f64 = 0.01097;
+    let s_a = params.solpar[ia] + QSOLPAR * qa.abs();
+    let s_b = params.solpar[ib] + QSOLPAR * qb.abs();
+    let g = (-r * r / (2.0 * DESOLV_SIGMA * DESOLV_SIGMA)).exp();
+    params.w_desolv * (s_a * params.volume[ib] + s_b * params.volume[ia]) * g
+}
+
+/// Full AD4 pairwise energy (vdW/H-bond + electrostatics + desolvation).
+#[inline]
+pub fn ad4_pair(params: &Ad4Params, ta: AdType, tb: AdType, qa: f64, qb: f64, r: f64) -> f64 {
+    ad4_vdw_hb(params, ta, tb, r)
+        + ad4_electrostatic(params, qa, qb, r)
+        + ad4_desolvation(params, ta, tb, qa, qb, r)
+}
+
+/// Vina pairwise energy at distance `r` (weighted sum of the five terms).
+#[inline]
+pub fn vina_pair(params: &VinaParams, ta: AdType, tb: AdType, r: f64) -> f64 {
+    if r >= CUTOFF {
+        return 0.0;
+    }
+    // Vina terms act on the surface distance d = r - (Ra + Rb); the radii
+    // are summed first so the function is bit-exact symmetric in (ta, tb)
+    let d = r - (vina_radius(ta) + vina_radius(tb));
+    let gauss1 = (-(d / 0.5) * (d / 0.5)).exp();
+    let g2 = (d - 3.0) / 2.0;
+    let gauss2 = (-g2 * g2).exp();
+    let repulsion = if d < 0.0 { d * d } else { 0.0 };
+    let hydrophobic = if ta.is_hydrophobic() && tb.is_hydrophobic() {
+        ramp(d, 0.5, 1.5)
+    } else {
+        0.0
+    };
+    let hbond = if (ta.is_donor_h() && tb.is_acceptor())
+        || (tb.is_donor_h() && ta.is_acceptor())
+        // Vina (which drops hydrogens) treats donor/acceptor heavy pairs
+        || (ta.is_acceptor() && tb.is_acceptor())
+    {
+        ramp(d, -0.7, 0.0)
+    } else {
+        0.0
+    };
+    params.w_gauss1 * gauss1
+        + params.w_gauss2 * gauss2
+        + params.w_repulsion * repulsion
+        + params.w_hydrophobic * hydrophobic
+        + params.w_hbond * hbond
+}
+
+/// Linear ramp: 1 below `lo`, 0 above `hi`.
+#[inline]
+fn ramp(d: f64, lo: f64, hi: f64) -> f64 {
+    if d <= lo {
+        1.0
+    } else if d >= hi {
+        0.0
+    } else {
+        (hi - d) / (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dielectric_monotonic_and_bounded() {
+        let mut prev = dielectric(0.1);
+        assert!(prev > 1.0);
+        for k in 1..100 {
+            let r = 0.1 + k as f64 * 0.2;
+            let e = dielectric(r);
+            assert!(e >= prev - 1e-9, "dielectric must grow with r");
+            prev = e;
+        }
+        assert!((dielectric(50.0) - 78.4).abs() < 1.0, "bulk water at long range");
+    }
+
+    #[test]
+    fn ad4_vdw_shape() {
+        let p = Ad4Params::new();
+        // repulsive at close contact, attractive near req, zero past cutoff
+        assert!(ad4_vdw_hb(&p, AdType::C, AdType::C, 2.0) > 0.0);
+        assert!(ad4_vdw_hb(&p, AdType::C, AdType::C, 4.0) < 0.0);
+        assert_eq!(ad4_vdw_hb(&p, AdType::C, AdType::C, 8.0), 0.0);
+        // clamped near zero: finite
+        assert!(ad4_vdw_hb(&p, AdType::C, AdType::C, 1e-12).is_finite());
+    }
+
+    #[test]
+    fn ad4_hbond_more_favorable_than_vdw_at_contact() {
+        let p = Ad4Params::new();
+        let hb = ad4_vdw_hb(&p, AdType::HD, AdType::OA, 1.9);
+        let vdw = ad4_vdw_hb(&p, AdType::C, AdType::C, 4.0);
+        assert!(hb < vdw, "hbond {hb} should be deeper than vdw {vdw}");
+    }
+
+    #[test]
+    fn electrostatics_sign_and_decay() {
+        let p = Ad4Params::new();
+        let attract = ad4_electrostatic(&p, 0.3, -0.3, 3.0);
+        let repel = ad4_electrostatic(&p, 0.3, 0.3, 3.0);
+        assert!(attract < 0.0);
+        assert!(repel > 0.0);
+        assert!(ad4_electrostatic(&p, 0.3, -0.3, 6.0).abs() < attract.abs());
+        assert_eq!(ad4_electrostatic(&p, 1.0, 1.0, 9.0), 0.0);
+    }
+
+    #[test]
+    fn desolvation_negative_for_carbon_burial() {
+        let p = Ad4Params::new();
+        // carbon-carbon desolvation is favorable (negative solpar, positive volume)
+        let e = ad4_desolvation(&p, AdType::C, AdType::C, 0.0, 0.0, 2.0);
+        assert!(e < 0.0);
+        // decays with distance
+        let far = ad4_desolvation(&p, AdType::C, AdType::C, 0.0, 0.0, 7.0);
+        assert!(far.abs() < e.abs());
+    }
+
+    #[test]
+    fn vina_repulsion_only_on_overlap() {
+        let v = VinaParams::default();
+        // strongly overlapping (surface distance << 0)
+        let close = vina_pair(&v, AdType::C, AdType::C, 1.0);
+        assert!(close > 0.0, "overlap must be penalized, got {close}");
+        // at comfortable contact the energy should be favorable
+        let contact = vina_pair(&v, AdType::C, AdType::C, 3.9);
+        assert!(contact < 0.0, "contact should be favorable, got {contact}");
+        assert_eq!(vina_pair(&v, AdType::C, AdType::C, 8.5), 0.0);
+    }
+
+    #[test]
+    fn vina_hydrophobic_bonus_for_carbon_pairs() {
+        let v = VinaParams::default();
+        let cc = vina_pair(&v, AdType::C, AdType::C, 4.0);
+        let co = vina_pair(&v, AdType::C, AdType::OA, 4.0 - (1.9 - 1.7)); // same surface dist
+        assert!(cc < co, "hydrophobic pair should score better: {cc} vs {co}");
+    }
+
+    #[test]
+    fn vina_hbond_bonus_for_donor_acceptor() {
+        let v = VinaParams::default();
+        let r_contact = vina_radius(AdType::HD) + vina_radius(AdType::OA) - 0.3;
+        let hb = vina_pair(&v, AdType::HD, AdType::OA, r_contact);
+        let r2 = vina_radius(AdType::HD) + vina_radius(AdType::C) - 0.3;
+        let no_hb = vina_pair(&v, AdType::HD, AdType::C, r2);
+        assert!(hb < no_hb, "hbond pair should be better: {hb} vs {no_hb}");
+    }
+
+    #[test]
+    fn ramp_shape() {
+        assert_eq!(ramp(-1.0, 0.5, 1.5), 1.0);
+        assert_eq!(ramp(2.0, 0.5, 1.5), 0.0);
+        assert!((ramp(1.0, 0.5, 1.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_functions_symmetric_in_arguments() {
+        let p = Ad4Params::new();
+        let v = VinaParams::default();
+        for r in [1.5, 2.5, 4.0, 6.5] {
+            assert_eq!(
+                ad4_pair(&p, AdType::NA, AdType::HD, -0.3, 0.2, r),
+                ad4_pair(&p, AdType::HD, AdType::NA, 0.2, -0.3, r)
+            );
+            assert_eq!(
+                vina_pair(&v, AdType::OA, AdType::C, r),
+                vina_pair(&v, AdType::C, AdType::OA, r)
+            );
+        }
+    }
+}

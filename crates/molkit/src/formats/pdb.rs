@@ -1,0 +1,203 @@
+//! PDB format (the subset used by docking pipelines: ATOM/HETATM/TER/END).
+//!
+//! Fixed-column layout per the wwPDB v3.3 specification:
+//! ```text
+//! COLUMNS   FIELD
+//!  1-6      record name ("ATOM  "/"HETATM")
+//!  7-11     serial
+//! 13-16     atom name
+//! 18-20     residue name
+//! 23-26     residue sequence number
+//! 31-38     x    39-46 y    47-54 z
+//! 77-78     element symbol (right-justified)
+//! ```
+
+use crate::atom::Atom;
+use crate::element::Element;
+use crate::molecule::Molecule;
+use crate::vec3::Vec3;
+
+use super::{cols, field_f64, field_u32, ParseError};
+
+/// Parse a PDB file into a molecule. Bonds are *not* perceived here
+/// (receptors are treated as rigid; call [`Molecule::perceive_bonds`] if
+/// connectivity is needed).
+pub fn read_pdb(text: &str) -> Result<Molecule, ParseError> {
+    let mut mol = Molecule::new("");
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let rec = cols(line, 0, 6).trim();
+        match rec {
+            "HEADER" | "TITLE" | "REMARK" | "TER" | "CONECT" | "MASTER" | "" => {}
+            "COMPND" => {
+                if mol.name.is_empty() {
+                    mol.name = cols(line, 10, 80).trim().to_string();
+                }
+            }
+            "END" | "ENDMDL" => break,
+            "ATOM" | "HETATM" => {
+                let serial = field_u32(cols(line, 6, 11), lineno, "serial")?;
+                let name = cols(line, 12, 16).trim().to_string();
+                let res_name = cols(line, 17, 20).trim().to_string();
+                let res_seq = field_u32(cols(line, 22, 26), lineno, "resSeq").unwrap_or(0);
+                let x = field_f64(cols(line, 30, 38), lineno, "x")?;
+                let y = field_f64(cols(line, 38, 46), lineno, "y")?;
+                let z = field_f64(cols(line, 46, 54), lineno, "z")?;
+                let elem_field = cols(line, 76, 78).trim();
+                let element: Element = if elem_field.is_empty() {
+                    // fall back to the first alphabetic character of the name
+                    let guess: String =
+                        name.chars().filter(|c| c.is_ascii_alphabetic()).take(1).collect();
+                    guess
+                        .parse()
+                        .map_err(|_| ParseError::new(lineno, format!("cannot infer element from name {name:?}")))?
+                } else {
+                    elem_field
+                        .parse()
+                        .map_err(|e| ParseError::new(lineno, format!("{e}")))?
+                };
+                let atom =
+                    Atom::new(serial, name, element, Vec3::new(x, y, z)).with_residue(res_name, res_seq);
+                mol.add_atom(atom);
+            }
+            other => {
+                return Err(ParseError::new(lineno, format!("unknown PDB record {other:?}")));
+            }
+        }
+    }
+    if mol.atoms.is_empty() {
+        return Err(ParseError::new(0, "PDB contains no atoms"));
+    }
+    Ok(mol)
+}
+
+/// Serialize a molecule as PDB text.
+pub fn write_pdb(mol: &Molecule) -> String {
+    let mut out = String::with_capacity(80 * (mol.atoms.len() + 3));
+    if !mol.name.is_empty() {
+        out.push_str(&format!("COMPND    {}\n", mol.name));
+    }
+    for a in &mol.atoms {
+        out.push_str(&format_atom_line("ATOM", a));
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Shared ATOM-record formatter (also used by the PDBQT writer for the
+/// leading 66 columns).
+pub(crate) fn format_atom_prefix(record: &str, a: &Atom) -> String {
+    // name placement: 1-2 char names start at column 14 per convention
+    let name = if a.name.len() <= 3 { format!(" {:<3}", a.name) } else { format!("{:<4}", &a.name[..4]) };
+    format!(
+        "{:<6}{:>5} {} {:<3}  {:>4}    {:>8.3}{:>8.3}{:>8.3}{:>6.2}{:>6.2}",
+        record, a.serial % 100_000, name, a.res_name, a.res_seq % 10_000, a.pos.x, a.pos.y, a.pos.z, 1.0, 0.0,
+    )
+}
+
+fn format_atom_line(record: &str, a: &Atom) -> String {
+    format!(
+        "{}          {:>2}\n",
+        format_atom_prefix(record, a),
+        a.element.symbol()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Molecule {
+        let mut m = Molecule::new("1ABC");
+        m.add_atom(
+            Atom::new(1, "N", Element::N, Vec3::new(11.104, 6.134, -6.504)).with_residue("GLY", 1),
+        );
+        m.add_atom(
+            Atom::new(2, "CA", Element::C, Vec3::new(11.639, 7.470, -6.227)).with_residue("GLY", 1),
+        );
+        m.add_atom(
+            Atom::new(3, "SG", Element::S, Vec3::new(-1.5, 0.25, 100.125)).with_residue("CYS", 2),
+        );
+        m
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let m = sample();
+        let text = write_pdb(&m);
+        let back = read_pdb(&text).unwrap();
+        assert_eq!(back.name, "1ABC");
+        assert_eq!(back.atom_count(), 3);
+        for (a, b) in m.atoms.iter().zip(&back.atoms) {
+            assert_eq!(a.serial, b.serial);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.element, b.element);
+            assert_eq!(a.res_name, b.res_name);
+            assert_eq!(a.res_seq, b.res_seq);
+            assert!((a.pos - b.pos).norm() < 1e-3, "coords survive 3-decimal format");
+        }
+    }
+
+    #[test]
+    fn reads_real_world_fixed_columns() {
+        let text = "\
+ATOM      1  N   ASP A   1      11.860  13.207  12.724  1.00 21.64           N
+ATOM      2  CA  ASP A   1      11.669  12.413  13.949  1.00 22.20           C
+HETATM    3 ZN    ZN A 101       5.046   9.200   5.307  1.00 15.00          ZN
+END
+";
+        // note: our simplified reader ignores chain IDs by residue columns
+        let m = read_pdb(text).unwrap();
+        assert_eq!(m.atom_count(), 3);
+        assert_eq!(m.atoms[2].element, Element::Zn);
+        assert!((m.atoms[0].pos.x - 11.860).abs() < 1e-9);
+    }
+
+    #[test]
+    fn element_fallback_from_name() {
+        // element columns missing entirely (right-trimmed line)
+        let text = "ATOM      1  CA  GLY     1       1.000   2.000   3.000";
+        let m = read_pdb(text).unwrap();
+        assert_eq!(m.atoms[0].element, Element::C);
+    }
+
+    #[test]
+    fn rejects_garbage_record() {
+        let text = "GARBAGE record here\nEND\n";
+        let err = read_pdb(text).unwrap_err();
+        // record name is the fixed 6-column field, so "GARBAG" is reported
+        assert!(err.to_string().contains("GARBAG"));
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        assert!(read_pdb("").is_err());
+        assert!(read_pdb("REMARK nothing\nEND\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_coordinates() {
+        let text = "ATOM      1  CA  GLY     1      xx.xxx   2.000   3.000           C";
+        let err = read_pdb(text).unwrap_err();
+        assert!(err.to_string().contains("bad x"));
+    }
+
+    #[test]
+    fn stops_at_end_record() {
+        let text = "\
+ATOM      1  CA  GLY     1       1.000   2.000   3.000           C
+END
+ATOM      2  CB  GLY     1       4.000   5.000   6.000           C
+";
+        let m = read_pdb(text).unwrap();
+        assert_eq!(m.atom_count(), 1);
+    }
+
+    #[test]
+    fn negative_coordinates_roundtrip() {
+        let m = sample();
+        let back = read_pdb(&write_pdb(&m)).unwrap();
+        assert!((back.atoms[2].pos.x - (-1.5)).abs() < 1e-9);
+        assert!((back.atoms[2].pos.z - 100.125).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,193 @@
+//! Geometric analysis: RMSD, superposition-free comparisons, pocket search.
+
+use crate::molecule::Molecule;
+use crate::vec3::Vec3;
+
+/// Root-mean-square deviation between two conformations of the same atoms.
+///
+/// Positions are compared index-to-index with **no** superposition — this is
+/// what docking programs report (the pose is in the receptor frame).
+///
+/// # Panics
+/// Panics when the slices differ in length (a caller bug).
+pub fn rmsd(a: &[Vec3], b: &[Vec3]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmsd: conformations differ in atom count");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a.iter().zip(b).map(|(p, q)| p.dist_sq(*q)).sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// RMSD over heavy atoms only (hydrogens excluded), comparing `mol` against
+/// an alternative coordinate set of the same atom order.
+pub fn heavy_atom_rmsd(mol: &Molecule, other_pos: &[Vec3]) -> f64 {
+    assert_eq!(other_pos.len(), mol.atoms.len(), "heavy_atom_rmsd: length mismatch");
+    let pairs: Vec<(Vec3, Vec3)> = mol
+        .atoms
+        .iter()
+        .zip(other_pos)
+        .filter(|(a, _)| !a.is_hydrogen())
+        .map(|(a, &p)| (a.pos, p))
+        .collect();
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = pairs.iter().map(|(p, q)| p.dist_sq(*q)).sum();
+    (sum / pairs.len() as f64).sqrt()
+}
+
+/// A detected binding pocket: a sphere centered at `center`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pocket {
+    /// Center of the pocket sphere.
+    pub center: Vec3,
+    /// Probe radius used during detection.
+    pub radius: f64,
+    /// Number of receptor atoms lining the pocket (within 2×radius of center).
+    pub lining_atoms: usize,
+}
+
+/// Find the receptor's binding pocket.
+///
+/// Simplified pocket detection: scan a coarse grid over the receptor's
+/// bounding box and score each point by *burial* — the number of receptor
+/// atoms within a probe shell, requiring the point itself to be clash-free.
+/// The best-buried clash-free point wins. Real receptors from our generator
+/// have an explicit concave site, which this reliably finds.
+pub fn find_pocket(receptor: &Molecule, probe_radius: f64) -> Option<Pocket> {
+    let (lo, hi) = receptor.bounding_box()?;
+    let step = 1.5f64;
+    let clash_sq = 2.4f64 * 2.4;
+    let shell_sq = probe_radius * probe_radius;
+
+    let mut best: Option<(f64, Vec3, usize)> = None;
+    let mut p = lo;
+    while p.x <= hi.x {
+        p.y = lo.y;
+        while p.y <= hi.y {
+            p.z = lo.z;
+            while p.z <= hi.z {
+                let mut clash = false;
+                let mut near = 0usize;
+                let mut inv_dist_sum = 0.0f64;
+                for a in &receptor.atoms {
+                    let d2 = a.pos.dist_sq(p);
+                    if d2 < clash_sq {
+                        clash = true;
+                        break;
+                    }
+                    if d2 < shell_sq {
+                        near += 1;
+                        inv_dist_sum += 1.0 / d2.sqrt();
+                    }
+                }
+                if !clash && near >= 8 {
+                    let score = near as f64 + inv_dist_sum;
+                    if best.map_or(true, |(s, _, _)| score > s) {
+                        best = Some((score, p, near));
+                    }
+                }
+                p.z += step;
+            }
+            p.y += step;
+        }
+        p.x += step;
+    }
+    best.map(|(_, center, lining)| Pocket { center, radius: probe_radius, lining_atoms: lining })
+}
+
+/// Maximum pairwise distance between atoms ("diameter" of the molecule).
+/// O(n²); intended for ligand-sized inputs.
+pub fn diameter(mol: &Molecule) -> f64 {
+    let mut best = 0.0f64;
+    for i in 0..mol.atoms.len() {
+        for j in (i + 1)..mol.atoms.len() {
+            best = best.max(mol.atoms[i].pos.dist_sq(mol.atoms[j].pos));
+        }
+    }
+    best.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::element::Element;
+
+    #[test]
+    fn rmsd_identity_is_zero() {
+        let a = vec![Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0)];
+        assert_eq!(rmsd(&a, &a), 0.0);
+        assert_eq!(rmsd(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn rmsd_uniform_translation() {
+        let a = vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)];
+        let b: Vec<Vec3> = a.iter().map(|p| *p + Vec3::new(0.0, 3.0, 4.0)).collect();
+        assert!((rmsd(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmsd_symmetric() {
+        let a = vec![Vec3::new(1.0, 1.0, 0.0), Vec3::new(2.0, 0.0, 1.0)];
+        let b = vec![Vec3::new(0.0, 0.5, 0.0), Vec3::new(2.5, 1.0, 1.0)];
+        assert!((rmsd(&a, &b) - rmsd(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in atom count")]
+    fn rmsd_length_mismatch_panics() {
+        rmsd(&[Vec3::ZERO], &[]);
+    }
+
+    #[test]
+    fn heavy_rmsd_ignores_hydrogens() {
+        let mut m = Molecule::new("X");
+        m.add_atom(Atom::new(1, "C", Element::C, Vec3::ZERO));
+        m.add_atom(Atom::new(2, "H", Element::H, Vec3::new(1.0, 0.0, 0.0)));
+        // hydrogen moved wildly, carbon unchanged -> heavy RMSD 0
+        let other = vec![Vec3::ZERO, Vec3::new(100.0, 0.0, 0.0)];
+        assert_eq!(heavy_atom_rmsd(&m, &other), 0.0);
+    }
+
+    #[test]
+    fn diameter_of_segment() {
+        let mut m = Molecule::new("D");
+        m.add_atom(Atom::new(1, "C", Element::C, Vec3::ZERO));
+        m.add_atom(Atom::new(2, "C", Element::C, Vec3::new(3.0, 4.0, 0.0)));
+        assert!((diameter(&m) - 5.0).abs() < 1e-12);
+        assert_eq!(diameter(&Molecule::new("E")), 0.0);
+    }
+
+    /// Hollow shell of atoms around an empty center: pocket must be inside.
+    #[test]
+    fn pocket_found_in_hollow_shell() {
+        let mut m = Molecule::new("SHELL");
+        let mut serial = 1;
+        let n = 24;
+        for i in 0..n {
+            let theta = std::f64::consts::PI * (i as f64 + 0.5) / n as f64;
+            for j in 0..n {
+                let phi = std::f64::consts::TAU * j as f64 / n as f64;
+                let r = 8.0;
+                let p = Vec3::new(
+                    r * theta.sin() * phi.cos(),
+                    r * theta.sin() * phi.sin(),
+                    r * theta.cos(),
+                );
+                m.add_atom(Atom::new(serial, "C", Element::C, p));
+                serial += 1;
+            }
+        }
+        let pocket = find_pocket(&m, 10.0).expect("pocket should exist");
+        assert!(pocket.center.norm() < 4.0, "pocket near shell center, got {}", pocket.center);
+        assert!(pocket.lining_atoms >= 8);
+    }
+
+    #[test]
+    fn pocket_none_for_empty_receptor() {
+        assert!(find_pocket(&Molecule::new("E"), 8.0).is_none());
+    }
+}

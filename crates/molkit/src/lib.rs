@@ -1,0 +1,50 @@
+//! # molkit — molecular model substrate
+//!
+//! The chemistry layer of the SciDock reproduction: atoms, molecules, file
+//! formats, structure preparation, and synthetic structure generation.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`vec3`] | 3D vector and quaternion math |
+//! | [`element`] | chemical elements + physical constants |
+//! | [`atom`] | atoms and AutoDock atom types |
+//! | [`molecule`] | molecules, bonds, structural queries |
+//! | [`charges`] | Gasteiger-style partial charges |
+//! | [`typer`] | AD typing, ring perception, non-polar H merging |
+//! | [`torsion`] | rotatable bonds and the PDBQT torsion tree |
+//! | [`geometry`] | RMSD, pocket detection, diameters |
+//! | [`align`] | Kabsch/quaternion optimal superposition |
+//! | [`formats`] | PDB / SDF / MOL2 / PDBQT readers & writers |
+//! | [`synth`] | deterministic synthetic receptors & ligands |
+//!
+//! ```
+//! use molkit::synth::{generate_ligand, LigandParams};
+//! use molkit::typer::{assign_ad_types, merge_nonpolar_hydrogens};
+//! use molkit::charges::assign_gasteiger;
+//!
+//! let mut lig = generate_ligand("0E6", &LigandParams::default());
+//! assign_ad_types(&mut lig);
+//! assign_gasteiger(&mut lig, &Default::default());
+//! merge_nonpolar_hydrogens(&mut lig);
+//! assert!(lig.heavy_atom_count() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod atom;
+pub mod charges;
+pub mod element;
+pub mod formats;
+pub mod geometry;
+pub mod molecule;
+pub mod synth;
+pub mod torsion;
+pub mod typer;
+pub mod vec3;
+
+pub use atom::{AdType, Atom};
+pub use element::Element;
+pub use molecule::{Bond, BondOrder, Molecule};
+pub use torsion::TorsionTree;
+pub use vec3::{Quat, Vec3};

@@ -1,0 +1,429 @@
+//! Deterministic synthetic structure generation.
+//!
+//! The paper's inputs (238 RCSB-PDB receptors, 42 SDF ligands) are not
+//! redistributable, so the dataset is *generated*: every structure is a pure
+//! function of its name, via a seeded ChaCha8 RNG. Receptors are globular
+//! protein-like shells with an explicit concave binding pocket; ligands are
+//! drug-like bonded graphs with rings, heteroatoms, and rotatable chains.
+//!
+//! Properties the evaluation depends on and the generator guarantees:
+//! * heterogeneous receptor sizes (drives the AD4/Vina split and the cost
+//!   spread of Figures 5–6);
+//! * ligand size/flexibility spread (drives per-pair docking cost);
+//! * a deterministic subset of receptors containing Hg and of ligands that
+//!   "hang" the docking programs (paper §V.C fault-tolerance anecdotes).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::atom::Atom;
+use crate::element::Element;
+use crate::molecule::{BondOrder, Molecule};
+use crate::vec3::Vec3;
+
+/// Stable 64-bit hash of a name (FNV-1a); the seed for all per-structure RNG.
+pub fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Tuning knobs for receptor generation.
+#[derive(Debug, Clone, Copy)]
+pub struct ReceptorParams {
+    /// Minimum number of residues.
+    pub min_residues: usize,
+    /// Maximum number of residues (inclusive).
+    pub max_residues: usize,
+    /// Fraction of receptors that contain a poison Hg atom (~the paper's
+    /// anecdotal rate; applied deterministically per name hash).
+    pub hg_fraction: f64,
+}
+
+impl Default for ReceptorParams {
+    fn default() -> Self {
+        ReceptorParams { min_residues: 40, max_residues: 220, hg_fraction: 0.04 }
+    }
+}
+
+/// The 20 standard residue three-letter codes (for realistic res names).
+const RES_NAMES: [&str; 20] = [
+    "ALA", "ARG", "ASN", "ASP", "CYS", "GLN", "GLU", "GLY", "HIS", "ILE", "LEU", "LYS", "MET",
+    "PHE", "PRO", "SER", "THR", "TRP", "TYR", "VAL",
+];
+
+/// Generate a protein-like receptor for the given PDB-style id.
+///
+/// Atoms are laid on a spherical spiral (a folded-globule stand-in) with a
+/// conical indentation carved out around the +Z pole — the binding pocket.
+/// Each residue contributes a 4-atom backbone (N, CA, C, O) and 0–2
+/// sidechain atoms. Deterministic in `id`.
+pub fn generate_receptor(id: &str, params: &ReceptorParams) -> Molecule {
+    let seed = name_seed(id);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n_res = rng.gen_range(params.min_residues..=params.max_residues);
+    // globule radius grows ~ cube root of residue count
+    let radius = 3.2 * (n_res as f64).powf(1.0 / 3.0) + 4.0;
+
+    let mut mol = Molecule::new(id.to_string());
+    let mut serial = 1u32;
+    let n_points = n_res;
+    // golden-spiral points on the sphere, skipping the pocket cone (z/r > 0.72)
+    let golden = std::f64::consts::PI * (3.0 - 5.0f64.sqrt());
+    let mut placed = 0usize;
+    let mut k = 0usize;
+    while placed < n_points {
+        // spiral index wraps with jitter so any residue count fits
+        let frac = (k % (n_points * 2)) as f64 / (n_points * 2) as f64;
+        k += 1;
+        let z = 1.0 - 2.0 * frac;
+        if z > 0.70 {
+            continue; // carve the pocket
+        }
+        let r_xy = (1.0 - z * z).sqrt();
+        let theta = golden * k as f64;
+        // two shells: inner core + outer surface, alternating
+        let shell = if placed % 3 == 0 { radius * 0.55 } else { radius };
+        let jitter = Vec3::new(
+            rng.gen_range(-0.8..0.8),
+            rng.gen_range(-0.8..0.8),
+            rng.gen_range(-0.8..0.8),
+        );
+        let center = Vec3::new(shell * r_xy * theta.cos(), shell * r_xy * theta.sin(), shell * z)
+            + jitter;
+
+        let res_name = RES_NAMES[rng.gen_range(0..RES_NAMES.len())];
+        let res_seq = placed as u32 + 1;
+        // backbone N, CA, C, O around the residue center
+        let offsets = [
+            ("N", Element::N, Vec3::new(-0.9, 0.4, 0.0)),
+            ("CA", Element::C, Vec3::new(0.0, 0.0, 0.0)),
+            ("C", Element::C, Vec3::new(1.2, 0.5, 0.2)),
+            ("O", Element::O, Vec3::new(1.4, 1.6, 0.5)),
+        ];
+        for (nm, el, off) in offsets {
+            let a = Atom::new(serial, nm, el, center + off).with_residue(res_name, res_seq);
+            mol.add_atom(a);
+            serial += 1;
+        }
+        // 0-2 sidechain atoms pointing outward
+        let n_side = rng.gen_range(0..=2);
+        let outward = center.normalized().unwrap_or(Vec3::new(0.0, 0.0, 1.0));
+        for s in 0..n_side {
+            let el = match rng.gen_range(0..6) {
+                0 => Element::O,
+                1 => Element::N,
+                2 => Element::S,
+                _ => Element::C,
+            };
+            let name = format!("{}B{}", el.symbol().chars().next().unwrap(), s + 1);
+            let pos = center + outward * (1.5 * (s + 1) as f64);
+            mol.add_atom(Atom::new(serial, name, el, pos).with_residue(res_name, res_seq));
+            serial += 1;
+        }
+        placed += 1;
+    }
+
+    // poison-input rule: a deterministic fraction of receptors carry Hg
+    if poison_roll(seed, params.hg_fraction) {
+        let pos = Vec3::new(0.0, 0.0, -radius * 0.6);
+        mol.add_atom(Atom::new(serial, "HG", Element::Hg, pos).with_residue("HG", placed as u32 + 1));
+    }
+    mol
+}
+
+/// Deterministic Bernoulli draw used for poison flags.
+fn poison_roll(seed: u64, fraction: f64) -> bool {
+    // a second hash round decorrelates from size draws
+    let h = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31);
+    (h as f64 / u64::MAX as f64) < fraction
+}
+
+/// Tuning knobs for ligand generation.
+#[derive(Debug, Clone, Copy)]
+pub struct LigandParams {
+    /// Minimum number of heavy atoms.
+    pub min_heavy: usize,
+    /// Maximum number of heavy atoms (inclusive).
+    pub max_heavy: usize,
+    /// Fraction of ligands that make docking programs "loop" (paper §V.C).
+    pub hang_fraction: f64,
+}
+
+impl Default for LigandParams {
+    fn default() -> Self {
+        LigandParams { min_heavy: 8, max_heavy: 34, hang_fraction: 0.03 }
+    }
+}
+
+/// Generate a drug-like ligand for the given ligand code.
+///
+/// Builds a bonded tree: start from a 6-ring, then grow heavy atoms one at a
+/// time, bonding each to a random existing atom with spare valence, with
+/// bond-length geometry and clash avoidance. Polar hydrogens are added to
+/// O/N/S sites so the preparation pipeline has real work to do.
+pub fn generate_ligand(code: &str, params: &LigandParams) -> Molecule {
+    let seed = name_seed(code);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x11C4_D001);
+    let n_heavy = rng.gen_range(params.min_heavy..=params.max_heavy);
+
+    let mut mol = Molecule::new(code.to_string());
+    let mut serial = 1u32;
+
+    // aromatic core ring
+    for k in 0..6 {
+        let ang = std::f64::consts::TAU * k as f64 / 6.0;
+        let mut a = Atom::new(
+            serial,
+            format!("C{serial}"),
+            Element::C,
+            Vec3::new(1.39 * ang.cos(), 1.39 * ang.sin(), 0.0),
+        );
+        a.res_name = "LIG".into();
+        mol.add_atom(a);
+        serial += 1;
+    }
+    for k in 0..6 {
+        mol.add_bond(k, (k + 1) % 6, BondOrder::Aromatic);
+    }
+
+    let max_valence = |e: Element| match e {
+        Element::C => 4,
+        Element::N => 3,
+        Element::O => 2,
+        Element::S => 2,
+        _ => 1,
+    };
+
+    // grow the rest of the heavy atoms as a tree
+    while mol.heavy_atom_count() < n_heavy {
+        // pick an attachment atom with spare valence
+        let candidates: Vec<usize> = (0..mol.atoms.len())
+            .filter(|&i| {
+                let a = &mol.atoms[i];
+                !a.is_hydrogen() && mol.neighbors(i).len() < max_valence(a.element)
+            })
+            .collect();
+        let Some(&host) = candidates.get(rng.gen_range(0..candidates.len().max(1))) else {
+            break;
+        };
+        let el = match rng.gen_range(0..10) {
+            0 => Element::O,
+            1 => Element::N,
+            2 => Element::S,
+            3 => {
+                // occasional halogen (terminal)
+                [Element::F, Element::Cl, Element::Br][rng.gen_range(0..3)]
+            }
+            _ => Element::C,
+        };
+        // place ~1.45 Å from host in a random direction, retry on clash
+        let host_pos = mol.atoms[host].pos;
+        let mut pos = host_pos;
+        for _ in 0..24 {
+            let dir = Vec3::new(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            );
+            let Some(d) = dir.normalized() else { continue };
+            let cand = host_pos + d * rng.gen_range(1.35..1.55);
+            let clash = mol
+                .atoms
+                .iter()
+                .enumerate()
+                .any(|(i, a)| i != host && a.pos.dist_sq(cand) < 1.2 * 1.2);
+            if !clash {
+                pos = cand;
+                break;
+            }
+        }
+        if pos == host_pos {
+            break; // could not place without clash; stop growing
+        }
+        let mut a = Atom::new(serial, format!("{}{serial}", el.symbol()), el, pos);
+        a.res_name = "LIG".into();
+        let idx = mol.add_atom(a);
+        serial += 1;
+        let order = if el == Element::O && rng.gen_bool(0.25) {
+            BondOrder::Double
+        } else {
+            BondOrder::Single
+        };
+        mol.add_bond(host, idx, order);
+    }
+
+    // add hydrogens: polar H on under-valent O/N/S, one non-polar H on a few C
+    let heavy_n = mol.atoms.len();
+    for i in 0..heavy_n {
+        let a = &mol.atoms[i];
+        let deg = mol.neighbors(i).len();
+        let add_h = match a.element {
+            Element::O | Element::S => deg < 2,
+            Element::N => deg < 3 && rng.gen_bool(0.7),
+            Element::C => deg < 4 && rng.gen_bool(0.15),
+            _ => false,
+        };
+        if add_h {
+            let base = mol.atoms[i].pos;
+            let dir = Vec3::new(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            )
+            .normalized()
+            .unwrap_or(Vec3::new(0.0, 0.0, 1.0));
+            let mut h = Atom::new(serial, format!("H{serial}"), Element::H, base + dir * 1.0);
+            h.res_name = "LIG".into();
+            let hi = mol.add_atom(h);
+            serial += 1;
+            mol.add_bond(i, hi, BondOrder::Single);
+        }
+    }
+    mol
+}
+
+/// Does this ligand code belong to the deterministic "hang" set (activities
+/// processing it loop forever until aborted — paper §V.C)?
+pub fn ligand_hangs(code: &str, params: &LigandParams) -> bool {
+    poison_roll(name_seed(code) ^ 0x6A09_E667, params.hang_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_seed_stable_and_distinct() {
+        assert_eq!(name_seed("1AEC"), name_seed("1AEC"));
+        assert_ne!(name_seed("1AEC"), name_seed("1AIM"));
+        assert_ne!(name_seed(""), name_seed(" "));
+    }
+
+    #[test]
+    fn receptor_deterministic() {
+        let p = ReceptorParams::default();
+        let a = generate_receptor("1AEC", &p);
+        let b = generate_receptor("1AEC", &p);
+        assert_eq!(a, b);
+        let c = generate_receptor("1AIM", &p);
+        assert_ne!(a.atom_count(), 0);
+        assert!(a.atom_count() != c.atom_count() || a.atoms[0].pos != c.atoms[0].pos);
+    }
+
+    #[test]
+    fn receptor_size_in_bounds() {
+        let p = ReceptorParams { min_residues: 50, max_residues: 60, hg_fraction: 0.0 };
+        for id in ["1AEC", "2ACT", "3BC3", "9PAP"] {
+            let m = generate_receptor(id, &p);
+            // 4 backbone atoms per residue min, 6 max
+            assert!(m.atom_count() >= 50 * 4, "{id}: {}", m.atom_count());
+            assert!(m.atom_count() <= 60 * 6 + 1, "{id}: {}", m.atom_count());
+        }
+    }
+
+    #[test]
+    fn receptor_has_pocket() {
+        let p = ReceptorParams { min_residues: 80, max_residues: 120, hg_fraction: 0.0 };
+        let m = generate_receptor("1HUC", &p);
+        let pocket = crate::geometry::find_pocket(&m, 9.0);
+        assert!(pocket.is_some(), "generated receptor must have a findable pocket");
+    }
+
+    #[test]
+    fn hg_fraction_roughly_respected() {
+        let p = ReceptorParams { min_residues: 10, max_residues: 12, hg_fraction: 0.25 };
+        let ids: Vec<String> = (0..200).map(|i| format!("R{i:03}")).collect();
+        let with_hg = ids
+            .iter()
+            .filter(|id| generate_receptor(id, &p).contains_element(Element::Hg))
+            .count();
+        assert!((20..=80).contains(&with_hg), "expected ~50 of 200, got {with_hg}");
+        // zero fraction -> never
+        let p0 = ReceptorParams { hg_fraction: 0.0, ..p };
+        assert!(!generate_receptor("R000", &p0).contains_element(Element::Hg));
+    }
+
+    #[test]
+    fn ligand_deterministic_and_connected() {
+        let p = LigandParams::default();
+        let a = generate_ligand("0D6", &p);
+        let b = generate_ligand("0D6", &p);
+        assert_eq!(a, b);
+        assert!(a.is_connected(), "ligand bond graph must be connected");
+    }
+
+    #[test]
+    fn ligand_size_in_bounds() {
+        let p = LigandParams { min_heavy: 10, max_heavy: 20, hang_fraction: 0.0 };
+        for code in ["042", "074", "0D6", "0E6", "ACE"] {
+            let m = generate_ligand(code, &p);
+            let h = m.heavy_atom_count();
+            assert!((6..=20).contains(&h), "{code}: {h} heavy atoms");
+        }
+    }
+
+    #[test]
+    fn ligand_has_ring_and_heteroatoms_somewhere() {
+        let p = LigandParams::default();
+        let codes = ["042", "074", "0D6", "0E6", "186", "1EV", "23Z", "ALD"];
+        let mut any_hetero = false;
+        for code in codes {
+            let m = generate_ligand(code, &p);
+            // aromatic core always present
+            assert!(m.bonds.iter().any(|b| b.order == BondOrder::Aromatic), "{code}");
+            if m.atoms.iter().any(|a| {
+                matches!(a.element, Element::N | Element::O | Element::S)
+            }) {
+                any_hetero = true;
+            }
+        }
+        assert!(any_hetero, "at least some ligands must carry heteroatoms");
+    }
+
+    #[test]
+    fn ligand_no_overlapping_atoms() {
+        let p = LigandParams::default();
+        let m = generate_ligand("APD", &p);
+        for i in 0..m.atoms.len() {
+            for j in (i + 1)..m.atoms.len() {
+                let d = m.atoms[i].pos.dist(m.atoms[j].pos);
+                assert!(d > 0.5, "atoms {i} and {j} overlap: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn ligand_valences_respected() {
+        let p = LigandParams::default();
+        for code in ["042", "0QE", "93N", "AEM"] {
+            let m = generate_ligand(code, &p);
+            for (i, a) in m.atoms.iter().enumerate() {
+                let deg = m.neighbors(i).len();
+                let cap = match a.element {
+                    Element::C => 4,
+                    Element::N => 3,
+                    Element::O | Element::S => 2,
+                    Element::H => 1,
+                    _ => 1,
+                };
+                assert!(deg <= cap, "{code}: atom {i} ({}) degree {deg} > {cap}", a.element);
+            }
+        }
+    }
+
+    #[test]
+    fn hang_set_deterministic() {
+        let p = LigandParams { hang_fraction: 0.5, ..Default::default() };
+        let codes: Vec<String> = (0..100).map(|i| format!("L{i:02}")).collect();
+        let hangs: Vec<bool> = codes.iter().map(|c| ligand_hangs(c, &p)).collect();
+        let again: Vec<bool> = codes.iter().map(|c| ligand_hangs(c, &p)).collect();
+        assert_eq!(hangs, again);
+        let n = hangs.iter().filter(|&&h| h).count();
+        assert!((20..=80).contains(&n), "expected ~50, got {n}");
+    }
+}

@@ -1,0 +1,317 @@
+//! AutoDock atom typing and structure "preparation".
+//!
+//! Reproduces what MGLTools' `prepare_ligand4.py` / `prepare_receptor4.py`
+//! do to a raw structure before docking:
+//!
+//! 1. perceive rings → aromatic carbons become type `A`;
+//! 2. classify hydrogens: bonded to N/O/S → polar (`HD`), else non-polar (`H`);
+//! 3. classify N/S acceptors (`NA`/`SA`) by coordination count;
+//! 4. *merge non-polar hydrogens*: their charge is added to the attached
+//!    heavy atom and the hydrogen is removed (AutoDock's united-atom model).
+
+use std::collections::HashSet;
+
+use crate::atom::AdType;
+use crate::element::Element;
+use crate::molecule::{Bond, Molecule};
+
+/// Find all atoms that belong to a ring of length ≤ `max_len`.
+///
+/// Uses a DFS cycle search per bond; fine for drug-sized molecules and the
+/// ring-bearing sidechains of our synthetic receptors.
+pub fn ring_atoms(mol: &Molecule, max_len: usize) -> HashSet<usize> {
+    let adj = mol.adjacency();
+    let n = mol.atoms.len();
+    let mut in_ring = HashSet::new();
+    // BFS from each atom, looking for a path back to itself of length <= max_len.
+    // For each edge (u,v), search a path u→v avoiding that edge.
+    for b in &mol.bonds {
+        if in_ring.contains(&b.a) && in_ring.contains(&b.b) {
+            continue;
+        }
+        if let Some(path) = shortest_path_avoiding(&adj, n, b.a, b.b, (b.a, b.b), max_len - 1) {
+            for i in path {
+                in_ring.insert(i);
+            }
+        }
+    }
+    in_ring
+}
+
+/// Shortest path from `src` to `dst` not using the edge `avoid`, bounded by
+/// `max_edges` edges. Returns the node list (including endpoints).
+fn shortest_path_avoiding(
+    adj: &[Vec<usize>],
+    n: usize,
+    src: usize,
+    dst: usize,
+    avoid: (usize, usize),
+    max_edges: usize,
+) -> Option<Vec<usize>> {
+    use std::collections::VecDeque;
+    let mut prev = vec![usize::MAX; n];
+    let mut dist = vec![usize::MAX; n];
+    let mut q = VecDeque::from([src]);
+    dist[src] = 0;
+    while let Some(u) = q.pop_front() {
+        if u == dst {
+            break;
+        }
+        if dist[u] >= max_edges {
+            continue;
+        }
+        for &v in &adj[u] {
+            let is_avoided = (u, v) == avoid || (v, u) == avoid;
+            if !is_avoided && dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                prev[v] = u;
+                q.push_back(v);
+            }
+        }
+    }
+    if dist[dst] == usize::MAX {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur];
+        path.push(cur);
+    }
+    Some(path)
+}
+
+/// Assign AutoDock atom types in place (aromaticity, acceptors, polar Hs).
+pub fn assign_ad_types(mol: &mut Molecule) {
+    let rings = ring_atoms(mol, 6);
+    let adj = mol.adjacency();
+    for i in 0..mol.atoms.len() {
+        let e = mol.atoms[i].element;
+        let aromatic = e == Element::C && rings.contains(&i);
+        let acceptor = match e {
+            // nitrogens with <3 heavy neighbors keep a lone pair → acceptor
+            Element::N => {
+                adj[i]
+                    .iter()
+                    .filter(|&&j| !mol.atoms[j].is_hydrogen())
+                    .count()
+                    < 3
+            }
+            // sulfur acceptors: thioether/thiol sulfurs with ≤2 neighbors
+            Element::S => adj[i].len() <= 2,
+            _ => false,
+        };
+        let polar_h = e == Element::H
+            && adj[i].iter().any(|&j| {
+                matches!(mol.atoms[j].element, Element::N | Element::O | Element::S)
+            });
+        mol.atoms[i].ad_type = AdType::from_element(e, aromatic, acceptor, polar_h);
+    }
+}
+
+/// Report of a preparation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrepSummary {
+    /// Non-polar hydrogens merged into their heavy neighbor.
+    pub merged_hydrogens: usize,
+    /// Polar hydrogens retained.
+    pub polar_hydrogens: usize,
+}
+
+/// Merge non-polar hydrogens (type `H`) into their bonded heavy atom.
+///
+/// Must run **after** [`assign_ad_types`] and after charge assignment;
+/// the hydrogen's partial charge is transferred so total charge is conserved.
+pub fn merge_nonpolar_hydrogens(mol: &mut Molecule) -> PrepSummary {
+    let mut merged = 0usize;
+    let mut polar = 0usize;
+    // transfer charges first
+    let adj = mol.adjacency();
+    let mut remove = vec![false; mol.atoms.len()];
+    let mut charge_add = vec![0.0f64; mol.atoms.len()];
+    for i in 0..mol.atoms.len() {
+        if mol.atoms[i].ad_type == AdType::H {
+            if let Some(&heavy) = adj[i].first() {
+                charge_add[heavy] += mol.atoms[i].charge;
+                remove[i] = true;
+                merged += 1;
+            }
+        } else if mol.atoms[i].ad_type == AdType::HD {
+            polar += 1;
+        }
+    }
+    for (a, &dq) in mol.atoms.iter_mut().zip(&charge_add) {
+        a.charge += dq;
+    }
+    // compact atoms and remap bonds
+    let mut new_index = vec![usize::MAX; mol.atoms.len()];
+    let mut kept = Vec::with_capacity(mol.atoms.len() - merged);
+    for (i, a) in mol.atoms.drain(..).enumerate() {
+        if !remove[i] {
+            new_index[i] = kept.len();
+            kept.push(a);
+        }
+    }
+    mol.atoms = kept;
+    mol.bonds = mol
+        .bonds
+        .iter()
+        .filter(|b| new_index[b.a] != usize::MAX && new_index[b.b] != usize::MAX)
+        .map(|b| Bond::new(new_index[b.a], new_index[b.b], b.order))
+        .collect();
+    PrepSummary { merged_hydrogens: merged, polar_hydrogens: polar }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::molecule::BondOrder;
+    use crate::vec3::Vec3;
+
+    /// Benzene ring (6 aromatic carbons, no hydrogens).
+    fn benzene_core() -> Molecule {
+        let mut m = Molecule::new("BNZ");
+        for k in 0..6 {
+            let ang = std::f64::consts::TAU * k as f64 / 6.0;
+            m.add_atom(Atom::new(
+                k as u32 + 1,
+                format!("C{}", k + 1),
+                Element::C,
+                Vec3::new(1.39 * ang.cos(), 1.39 * ang.sin(), 0.0),
+            ));
+        }
+        for k in 0..6 {
+            m.add_bond(k, (k + 1) % 6, BondOrder::Aromatic);
+        }
+        m
+    }
+
+    fn ethanol() -> Molecule {
+        // CH3-CH2-OH with explicit hydrogens
+        let mut m = Molecule::new("EOH");
+        let c1 = m.add_atom(Atom::new(1, "C1", Element::C, Vec3::new(0.0, 0.0, 0.0)));
+        let c2 = m.add_atom(Atom::new(2, "C2", Element::C, Vec3::new(1.5, 0.0, 0.0)));
+        let o = m.add_atom(Atom::new(3, "O", Element::O, Vec3::new(2.2, 1.2, 0.0)));
+        let ho = m.add_atom(Atom::new(4, "HO", Element::H, Vec3::new(3.1, 1.2, 0.0)));
+        let h1 = m.add_atom(Atom::new(5, "H1", Element::H, Vec3::new(-0.6, 0.9, 0.0)));
+        let h2 = m.add_atom(Atom::new(6, "H2", Element::H, Vec3::new(-0.6, -0.9, 0.0)));
+        m.add_bond(c1, c2, BondOrder::Single);
+        m.add_bond(c2, o, BondOrder::Single);
+        m.add_bond(o, ho, BondOrder::Single);
+        m.add_bond(c1, h1, BondOrder::Single);
+        m.add_bond(c1, h2, BondOrder::Single);
+        m
+    }
+
+    #[test]
+    fn benzene_carbons_typed_aromatic() {
+        let mut m = benzene_core();
+        assign_ad_types(&mut m);
+        assert!(m.atoms.iter().all(|a| a.ad_type == AdType::A));
+    }
+
+    #[test]
+    fn chain_carbons_stay_aliphatic() {
+        let mut m = ethanol();
+        assign_ad_types(&mut m);
+        assert_eq!(m.atoms[0].ad_type, AdType::C);
+        assert_eq!(m.atoms[1].ad_type, AdType::C);
+    }
+
+    #[test]
+    fn hydroxyl_h_polar_methyl_h_nonpolar() {
+        let mut m = ethanol();
+        assign_ad_types(&mut m);
+        assert_eq!(m.atoms[3].ad_type, AdType::HD, "O-H should be polar");
+        assert_eq!(m.atoms[4].ad_type, AdType::H, "C-H should be non-polar");
+        assert_eq!(m.atoms[2].ad_type, AdType::OA, "oxygen is an acceptor");
+    }
+
+    #[test]
+    fn ring_detection_ignores_chains() {
+        let m = ethanol();
+        assert!(ring_atoms(&m, 6).is_empty());
+        let b = benzene_core();
+        assert_eq!(ring_atoms(&b, 6).len(), 6);
+    }
+
+    #[test]
+    fn ring_detection_respects_max_len() {
+        let b = benzene_core();
+        // a 6-ring is invisible when only rings up to 5 are allowed
+        assert!(ring_atoms(&b, 5).is_empty());
+    }
+
+    #[test]
+    fn merge_removes_only_nonpolar_h() {
+        let mut m = ethanol();
+        assign_ad_types(&mut m);
+        let before_charge = {
+            crate::charges::assign_gasteiger(&mut m, &Default::default());
+            m.total_charge()
+        };
+        let summary = merge_nonpolar_hydrogens(&mut m);
+        assert_eq!(summary.merged_hydrogens, 2);
+        assert_eq!(summary.polar_hydrogens, 1);
+        assert_eq!(m.atom_count(), 4); // C,C,O,HO remain
+        assert!(m.atoms.iter().any(|a| a.ad_type == AdType::HD));
+        assert!((m.total_charge() - before_charge).abs() < 1e-12, "charge conserved");
+    }
+
+    #[test]
+    fn merge_remaps_bonds_correctly() {
+        let mut m = ethanol();
+        assign_ad_types(&mut m);
+        merge_nonpolar_hydrogens(&mut m);
+        assert!(m.is_connected());
+        assert_eq!(m.bonds.len(), 3); // C-C, C-O, O-H
+        for b in &m.bonds {
+            assert!(b.a < m.atom_count() && b.b < m.atom_count());
+        }
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut m = ethanol();
+        assign_ad_types(&mut m);
+        merge_nonpolar_hydrogens(&mut m);
+        let again = merge_nonpolar_hydrogens(&mut m);
+        assert_eq!(again.merged_hydrogens, 0);
+    }
+
+    #[test]
+    fn secondary_amine_nitrogen_is_acceptor() {
+        // H3C-NH-CH3: N has 2 heavy neighbors -> NA
+        let mut m = Molecule::new("DMA");
+        let c1 = m.add_atom(Atom::new(1, "C1", Element::C, Vec3::new(-1.5, 0.0, 0.0)));
+        let n = m.add_atom(Atom::new(2, "N", Element::N, Vec3::ZERO));
+        let c2 = m.add_atom(Atom::new(3, "C2", Element::C, Vec3::new(1.5, 0.0, 0.0)));
+        let h = m.add_atom(Atom::new(4, "HN", Element::H, Vec3::new(0.0, 1.0, 0.0)));
+        m.add_bond(c1, n, BondOrder::Single);
+        m.add_bond(n, c2, BondOrder::Single);
+        m.add_bond(n, h, BondOrder::Single);
+        assign_ad_types(&mut m);
+        assert_eq!(m.atoms[1].ad_type, AdType::NA);
+        assert_eq!(m.atoms[3].ad_type, AdType::HD);
+    }
+
+    #[test]
+    fn amide_like_nitrogen_with_three_heavy_neighbors_not_acceptor() {
+        let mut m = Molecule::new("N3");
+        let n = m.add_atom(Atom::new(1, "N", Element::N, Vec3::ZERO));
+        for (i, p) in [
+            Vec3::new(1.4, 0.0, 0.0),
+            Vec3::new(-0.7, 1.2, 0.0),
+            Vec3::new(-0.7, -1.2, 0.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let c = m.add_atom(Atom::new(i as u32 + 2, format!("C{}", i + 1), Element::C, *p));
+            m.add_bond(n, c, BondOrder::Single);
+        }
+        assign_ad_types(&mut m);
+        assert_eq!(m.atoms[0].ad_type, AdType::N);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the molecular substrate.
+
+use proptest::prelude::*;
+
+use molkit::geometry::rmsd;
+use molkit::molecule::{BondOrder, Molecule};
+use molkit::synth::{generate_ligand, generate_receptor, LigandParams, ReceptorParams};
+use molkit::typer::{assign_ad_types, merge_nonpolar_hydrogens};
+use molkit::vec3::{Quat, Vec3};
+use molkit::{Atom, Element};
+
+fn arb_vec3() -> impl Strategy<Value = Vec3> {
+    (-100.0..100.0f64, -100.0..100.0f64, -100.0..100.0f64)
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_quat() -> impl Strategy<Value = Quat> {
+    (0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64)
+        .prop_map(|(a, b, c)| Quat::from_uniform_samples(a, b, c))
+}
+
+proptest! {
+    #[test]
+    fn vec3_addition_commutes(a in arb_vec3(), b in arb_vec3()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn vec3_dot_bilinear(a in arb_vec3(), b in arb_vec3(), s in -10.0..10.0f64) {
+        let lhs = (a * s).dot(b);
+        let rhs = s * a.dot(b);
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn vec3_triangle_inequality(a in arb_vec3(), b in arb_vec3()) {
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+    }
+
+    #[test]
+    fn quat_rotation_is_isometry(q in arb_quat(), a in arb_vec3(), b in arb_vec3()) {
+        let d_before = a.dist(b);
+        let d_after = q.rotate(a).dist(q.rotate(b));
+        prop_assert!((d_before - d_after).abs() < 1e-9 * (1.0 + d_before));
+    }
+
+    #[test]
+    fn quat_composition_matches_sequential(q1 in arb_quat(), q2 in arb_quat(), v in arb_vec3()) {
+        let seq = q1.rotate(q2.rotate(v));
+        let composed = q1.mul(q2).rotate(v);
+        prop_assert!((seq - composed).norm() < 1e-9 * (1.0 + v.norm()));
+    }
+
+    #[test]
+    fn rmsd_translation_invariant_shift(points in prop::collection::vec(arb_vec3(), 1..40),
+                                        shift in arb_vec3()) {
+        // rmsd(a, a+shift) == |shift| for a uniform translation
+        let shifted: Vec<Vec3> = points.iter().map(|p| *p + shift).collect();
+        let r = rmsd(&points, &shifted);
+        prop_assert!((r - shift.norm()).abs() < 1e-6 * (1.0 + shift.norm()));
+    }
+
+    #[test]
+    fn rmsd_zero_iff_identical(points in prop::collection::vec(arb_vec3(), 1..40)) {
+        prop_assert_eq!(rmsd(&points, &points), 0.0);
+    }
+
+    #[test]
+    fn pdb_roundtrip_arbitrary_coords(coords in prop::collection::vec(arb_vec3(), 1..30)) {
+        let mut m = Molecule::new("TEST");
+        for (i, p) in coords.iter().enumerate() {
+            m.add_atom(Atom::new(i as u32 + 1, "CA", Element::C, *p).with_residue("GLY", i as u32 + 1));
+        }
+        let text = molkit::formats::pdb::write_pdb(&m);
+        let back = molkit::formats::pdb::read_pdb(&text).unwrap();
+        prop_assert_eq!(back.atom_count(), m.atom_count());
+        for (a, b) in m.atoms.iter().zip(&back.atoms) {
+            // PDB has 3 decimal places
+            prop_assert!((a.pos - b.pos).norm() < 2e-3);
+        }
+    }
+
+    #[test]
+    fn sdf_roundtrip_preserves_bonds(n in 2usize..12) {
+        let mut m = Molecule::new("chain");
+        for i in 0..n {
+            m.add_atom(Atom::new(i as u32 + 1, format!("C{i}"), Element::C,
+                Vec3::new(i as f64 * 1.5, 0.4 * (i % 2) as f64, 0.0)));
+        }
+        for i in 0..n - 1 {
+            m.add_bond(i, i + 1, if i % 2 == 0 { BondOrder::Single } else { BondOrder::Double });
+        }
+        let back = molkit::formats::sdf::read_sdf(&molkit::formats::sdf::write_sdf(&m)).unwrap();
+        prop_assert_eq!(back.bonds.len(), m.bonds.len());
+        for (x, y) in m.bonds.iter().zip(&back.bonds) {
+            prop_assert_eq!(x.order, y.order);
+            prop_assert_eq!((x.a, x.b), (y.a, y.b));
+        }
+    }
+
+    #[test]
+    fn generated_ligands_survive_preparation(seed_name in "[A-Z0-9]{3}") {
+        let p = LigandParams::default();
+        let mut lig = generate_ligand(&seed_name, &p);
+        let heavy_before = lig.heavy_atom_count();
+        assign_ad_types(&mut lig);
+        molkit::charges::assign_gasteiger(&mut lig, &Default::default());
+        let charge_before = lig.total_charge();
+        merge_nonpolar_hydrogens(&mut lig);
+        // heavy atoms never disappear, total charge conserved
+        prop_assert_eq!(lig.heavy_atom_count(), heavy_before);
+        prop_assert!((lig.total_charge() - charge_before).abs() < 1e-9);
+        prop_assert!(lig.is_connected());
+    }
+
+    #[test]
+    fn generated_receptors_are_parseable(seed_name in "[0-9][A-Z0-9]{3}") {
+        let p = ReceptorParams { min_residues: 20, max_residues: 40, hg_fraction: 0.1 };
+        let r = generate_receptor(&seed_name, &p);
+        let text = molkit::formats::pdb::write_pdb(&r);
+        let back = molkit::formats::pdb::read_pdb(&text).unwrap();
+        prop_assert_eq!(back.atom_count(), r.atom_count());
+        // Hg survives the roundtrip when present
+        prop_assert_eq!(back.contains_element(Element::Hg), r.contains_element(Element::Hg));
+    }
+
+    #[test]
+    fn ligand_pdbqt_roundtrip(seed_name in "[A-Z0-9]{3}") {
+        let p = LigandParams { min_heavy: 8, max_heavy: 16, hang_fraction: 0.0 };
+        let mut lig = generate_ligand(&seed_name, &p);
+        assign_ad_types(&mut lig);
+        molkit::charges::assign_gasteiger(&mut lig, &Default::default());
+        merge_nonpolar_hydrogens(&mut lig);
+        let tree = molkit::torsion::build_torsion_tree(&lig);
+        let l = molkit::formats::pdbqt::PdbqtLigand { mol: lig, tree };
+        let text = molkit::formats::pdbqt::write_ligand_pdbqt(&l);
+        let back = molkit::formats::pdbqt::read_ligand_pdbqt(&text).unwrap();
+        prop_assert_eq!(back.mol.atom_count(), l.mol.atom_count());
+        prop_assert_eq!(back.tree.torsdof(), l.tree.torsdof());
+    }
+}

@@ -1,0 +1,44 @@
+//! # provenance — PROV-Wf store + SQL subset engine
+//!
+//! SciCumulus' analytical backbone, rebuilt in Rust: a thread-safe,
+//! in-memory relational database with the PROV-Wf provenance schema
+//! (`hworkflow`, `hactivity`, `hactivation`, `hfile`, `hparameter`,
+//! `hmachine`) and a from-scratch SQL engine able to run the paper's
+//! Query 1 / Query 2 verbatim.
+//!
+//! ```
+//! use provenance::provwf::{ActivationRecord, ActivationStatus, ProvenanceStore};
+//!
+//! let p = ProvenanceStore::new();
+//! let w = p.begin_workflow("SciDock", "Docking", "/root/scidock/");
+//! let act = p.register_activity(w, "babel", "Map");
+//! p.record_activation(&ActivationRecord {
+//!     activity: act,
+//!     workflow: w,
+//!     status: ActivationStatus::Finished,
+//!     start_time: 0.0,
+//!     end_time: 2.4,
+//!     machine: None,
+//!     retries: 0,
+//!     pair_key: "1AEC:042".into(),
+//! });
+//! let r = p.query("SELECT count(*) FROM hactivation").unwrap();
+//! assert_eq!(r.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod provn;
+pub mod provwf;
+pub mod sql;
+pub mod steering;
+pub mod table;
+pub mod value;
+
+pub use provn::export_provn;
+pub use provwf::{
+    ActivationRecord, ActivationStatus, ActivityId, MachineId, ProvenanceStore, TaskId, WorkflowId,
+};
+pub use sql::{execute, QueryError, ResultSet};
+pub use table::{Database, DbError, Schema, Table};
+pub use value::{Value, ValueType};

@@ -1,0 +1,713 @@
+//! The PROV-Wf provenance model and recording API.
+//!
+//! Mirrors SciCumulus' PostgreSQL schema as used by the paper's queries:
+//! `hworkflow` (one row per workflow execution), `hactivity` (per activity),
+//! `hactivation` (per activity execution/task), `hfile` (produced files),
+//! `hparameter` (extracted domain values), `hmachine` (VMs used).
+//!
+//! The store is thread-safe: workers record activations concurrently while
+//! the user runs *runtime provenance queries* — the SciCumulus feature the
+//! paper highlights for steering.
+
+use parking_lot::Mutex;
+
+use crate::sql::{execute, QueryError, ResultSet};
+use crate::table::{Database, Schema};
+use crate::value::{Value, ValueType};
+
+/// Workflow execution id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkflowId(pub i64);
+
+/// Activity id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActivityId(pub i64);
+
+/// Activation (task) id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub i64);
+
+/// Machine (VM) id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MachineId(pub i64);
+
+/// Terminal status of an activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivationStatus {
+    /// Completed successfully.
+    Finished,
+    /// Failed and is eligible for re-execution.
+    Failed,
+    /// Entered a looping state and was aborted by the engine (paper §V.C).
+    Aborted,
+    /// Never executed: input was blacklisted (e.g. Hg-containing receptor).
+    Blacklisted,
+}
+
+impl ActivationStatus {
+    /// The string stored in the `status` column.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ActivationStatus::Finished => "FINISHED",
+            ActivationStatus::Failed => "FAILED",
+            ActivationStatus::Aborted => "ABORTED",
+            ActivationStatus::Blacklisted => "BLACKLISTED",
+        }
+    }
+}
+
+/// Everything recorded for one activation.
+#[derive(Debug, Clone)]
+pub struct ActivationRecord {
+    /// The activity this activation belongs to.
+    pub activity: ActivityId,
+    /// The workflow execution.
+    pub workflow: WorkflowId,
+    /// Terminal status.
+    pub status: ActivationStatus,
+    /// Simulated/virtual seconds since experiment epoch.
+    pub start_time: f64,
+    /// End of the activation (same clock as `start_time`).
+    pub end_time: f64,
+    /// VM that ran it, if any.
+    pub machine: Option<MachineId>,
+    /// Re-execution attempts before this terminal record.
+    pub retries: i64,
+    /// Which receptor–ligand pair this activation processed (tuple key).
+    pub pair_key: String,
+}
+
+struct Inner {
+    db: Database,
+    next_wkf: i64,
+    next_act: i64,
+    next_task: i64,
+    next_file: i64,
+    next_param: i64,
+    next_machine: i64,
+    next_output: i64,
+}
+
+/// The provenance store.
+pub struct ProvenanceStore {
+    inner: Mutex<Inner>,
+}
+
+impl Default for ProvenanceStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProvenanceStore {
+    /// Create a store with the PROV-Wf schema installed.
+    pub fn new() -> ProvenanceStore {
+        let mut db = Database::new();
+        db.create_table(
+            "hworkflow",
+            Schema::new(&[
+                ("wkfid", ValueType::Int),
+                ("tag", ValueType::Text),
+                ("description", ValueType::Text),
+                ("expdir", ValueType::Text),
+            ]),
+        )
+        .expect("fresh database");
+        db.create_table(
+            "hactivity",
+            Schema::new(&[
+                ("actid", ValueType::Int),
+                ("wkfid", ValueType::Int),
+                ("tag", ValueType::Text),
+                ("acttype", ValueType::Text),
+            ]),
+        )
+        .expect("fresh database");
+        db.create_table(
+            "hactivation",
+            Schema::new(&[
+                ("taskid", ValueType::Int),
+                ("actid", ValueType::Int),
+                ("wkfid", ValueType::Int),
+                ("status", ValueType::Text),
+                ("starttime", ValueType::Timestamp),
+                ("endtime", ValueType::Timestamp),
+                ("vmid", ValueType::Int),
+                ("retries", ValueType::Int),
+                ("pairkey", ValueType::Text),
+            ]),
+        )
+        .expect("fresh database");
+        db.create_table(
+            "hfile",
+            Schema::new(&[
+                ("fileid", ValueType::Int),
+                ("taskid", ValueType::Int),
+                ("actid", ValueType::Int),
+                ("wkfid", ValueType::Int),
+                ("fname", ValueType::Text),
+                ("fsize", ValueType::Int),
+                ("fdir", ValueType::Text),
+            ]),
+        )
+        .expect("fresh database");
+        db.create_table(
+            "hparameter",
+            Schema::new(&[
+                ("paramid", ValueType::Int),
+                ("taskid", ValueType::Int),
+                ("wkfid", ValueType::Int),
+                ("pname", ValueType::Text),
+                ("pvalue_num", ValueType::Float),
+                ("pvalue_text", ValueType::Text),
+            ]),
+        )
+        .expect("fresh database");
+        db.create_table(
+            "houtput",
+            Schema::new(&[
+                ("outid", ValueType::Int),
+                ("taskid", ValueType::Int),
+                ("actid", ValueType::Int),
+                ("wkfid", ValueType::Int),
+                ("pairkey", ValueType::Text),
+                ("tupleidx", ValueType::Int),
+                ("colidx", ValueType::Int),
+                ("val_num", ValueType::Float),
+                ("val_text", ValueType::Text),
+            ]),
+        )
+        .expect("fresh database");
+        db.create_table(
+            "hmachine",
+            Schema::new(&[
+                ("vmid", ValueType::Int),
+                ("vmname", ValueType::Text),
+                ("instancetype", ValueType::Text),
+                ("cores", ValueType::Int),
+            ]),
+        )
+        .expect("fresh database");
+        ProvenanceStore {
+            inner: Mutex::new(Inner {
+                db,
+                next_wkf: 1,
+                next_act: 1,
+                next_task: 1,
+                next_file: 1,
+                next_param: 1,
+                next_machine: 1,
+                next_output: 1,
+            }),
+        }
+    }
+
+    /// Register a workflow execution.
+    pub fn begin_workflow(&self, tag: &str, description: &str, expdir: &str) -> WorkflowId {
+        let mut g = self.inner.lock();
+        let id = g.next_wkf;
+        g.next_wkf += 1;
+        g.db
+            .insert(
+                "hworkflow",
+                vec![Value::Int(id), tag.into(), description.into(), expdir.into()],
+            )
+            .expect("schema matches");
+        WorkflowId(id)
+    }
+
+    /// Register an activity of a workflow.
+    pub fn register_activity(&self, wkf: WorkflowId, tag: &str, acttype: &str) -> ActivityId {
+        let mut g = self.inner.lock();
+        let id = g.next_act;
+        g.next_act += 1;
+        g.db
+            .insert("hactivity", vec![Value::Int(id), Value::Int(wkf.0), tag.into(), acttype.into()])
+            .expect("schema matches");
+        ActivityId(id)
+    }
+
+    /// Register a VM.
+    pub fn register_machine(&self, name: &str, instance_type: &str, cores: i64) -> MachineId {
+        let mut g = self.inner.lock();
+        let id = g.next_machine;
+        g.next_machine += 1;
+        g.db
+            .insert(
+                "hmachine",
+                vec![Value::Int(id), name.into(), instance_type.into(), Value::Int(cores)],
+            )
+            .expect("schema matches");
+        MachineId(id)
+    }
+
+    /// Record one activation.
+    pub fn record_activation(&self, rec: &ActivationRecord) -> TaskId {
+        let mut g = self.inner.lock();
+        let id = g.next_task;
+        g.next_task += 1;
+        g.db
+            .insert(
+                "hactivation",
+                vec![
+                    Value::Int(id),
+                    Value::Int(rec.activity.0),
+                    Value::Int(rec.workflow.0),
+                    rec.status.as_str().into(),
+                    Value::Timestamp(rec.start_time),
+                    Value::Timestamp(rec.end_time),
+                    rec.machine.map(|m| Value::Int(m.0)).unwrap_or(Value::Null),
+                    Value::Int(rec.retries),
+                    rec.pair_key.as_str().into(),
+                ],
+            )
+            .expect("schema matches");
+        TaskId(id)
+    }
+
+    /// Record a file produced by an activation.
+    pub fn record_file(
+        &self,
+        task: TaskId,
+        activity: ActivityId,
+        workflow: WorkflowId,
+        fname: &str,
+        fsize: i64,
+        fdir: &str,
+    ) {
+        let mut g = self.inner.lock();
+        let id = g.next_file;
+        g.next_file += 1;
+        g.db
+            .insert(
+                "hfile",
+                vec![
+                    Value::Int(id),
+                    Value::Int(task.0),
+                    Value::Int(activity.0),
+                    Value::Int(workflow.0),
+                    fname.into(),
+                    Value::Int(fsize),
+                    fdir.into(),
+                ],
+            )
+            .expect("schema matches");
+    }
+
+    /// Record an extracted domain parameter (numeric, textual, or both).
+    pub fn record_parameter(
+        &self,
+        task: TaskId,
+        workflow: WorkflowId,
+        name: &str,
+        num: Option<f64>,
+        text: Option<&str>,
+    ) {
+        let mut g = self.inner.lock();
+        let id = g.next_param;
+        g.next_param += 1;
+        g.db
+            .insert(
+                "hparameter",
+                vec![
+                    Value::Int(id),
+                    Value::Int(task.0),
+                    Value::Int(workflow.0),
+                    name.into(),
+                    num.map(Value::Float).unwrap_or(Value::Null),
+                    text.map(Value::from).unwrap_or(Value::Null),
+                ],
+            )
+            .expect("schema matches");
+    }
+
+    /// Persist one output tuple of an activation (SciCumulus stores the
+    /// workflow algebra's relations in the provenance database; this is what
+    /// makes re-execution able to skip finished activations).
+    ///
+    /// Each cell is stored as a numeric or textual value; other types are
+    /// stored as their display text.
+    pub fn record_output_tuple(
+        &self,
+        task: TaskId,
+        activity: ActivityId,
+        workflow: WorkflowId,
+        pair_key: &str,
+        tuple_idx: usize,
+        tuple: &[Value],
+    ) {
+        let mut g = self.inner.lock();
+        for (col, v) in tuple.iter().enumerate() {
+            let id = g.next_output;
+            g.next_output += 1;
+            let (num, text) = match v {
+                Value::Int(i) => (Some(*i as f64), None),
+                Value::Float(f) => (Some(*f), None),
+                Value::Timestamp(t) => (Some(*t), None),
+                Value::Text(s) => (None, Some(s.clone())),
+                Value::Bool(b) => (Some(*b as i64 as f64), None),
+                Value::Null => (None, None),
+            };
+            g.db
+                .insert(
+                    "houtput",
+                    vec![
+                        Value::Int(id),
+                        Value::Int(task.0),
+                        Value::Int(activity.0),
+                        Value::Int(workflow.0),
+                        pair_key.into(),
+                        Value::Int(tuple_idx as i64),
+                        Value::Int(col as i64),
+                        num.map(Value::Float).unwrap_or(Value::Null),
+                        text.map(Value::from).unwrap_or(Value::Null),
+                    ],
+                )
+                .expect("schema matches");
+        }
+        // arity-0 tuples still need a marker row so resume can distinguish
+        // "finished with no output" from "never ran"
+        if tuple.is_empty() {
+            let id = g.next_output;
+            g.next_output += 1;
+            g.db
+                .insert(
+                    "houtput",
+                    vec![
+                        Value::Int(id),
+                        Value::Int(task.0),
+                        Value::Int(activity.0),
+                        Value::Int(workflow.0),
+                        pair_key.into(),
+                        Value::Int(tuple_idx as i64),
+                        Value::Int(-1),
+                        Value::Null,
+                        Value::Null,
+                    ],
+                )
+                .expect("schema matches");
+        }
+    }
+
+    /// Recover the recorded output tuples of every FINISHED activation of
+    /// `activity_tag` in workflow `wkf`, keyed by the activation's pair key.
+    ///
+    /// Numeric cells come back as `Float` (the storage type), so resumed
+    /// relations are value-equal, not necessarily type-identical, to the
+    /// originals.
+    pub fn finished_outputs(
+        &self,
+        wkf: WorkflowId,
+        activity_tag: &str,
+    ) -> std::collections::HashMap<String, Vec<Vec<Value>>> {
+        let g = self.inner.lock();
+        // resolve activity id + the set of finished taskids, then collect
+        // output rows (done with direct table scans: this is engine-internal,
+        // not a user query)
+        let mut out: std::collections::HashMap<String, Vec<Vec<Value>>> = Default::default();
+        let Ok(activities) = g.db.table("hactivity") else { return out };
+        let act_id = activities.rows().iter().find_map(|r| {
+            let id = r[0].as_f64()? as i64;
+            let w = r[1].as_f64()? as i64;
+            let tag = r[2].as_str()?;
+            (w == wkf.0 && tag == activity_tag).then_some(id)
+        });
+        let Some(act_id) = act_id else { return out };
+        let Ok(activations) = g.db.table("hactivation") else { return out };
+        let finished: std::collections::HashMap<i64, String> = activations
+            .rows()
+            .iter()
+            .filter_map(|r| {
+                let task = r[0].as_f64()? as i64;
+                let a = r[1].as_f64()? as i64;
+                let status = r[3].as_str()?;
+                let pk = r[8].as_str()?;
+                (a == act_id && status == "FINISHED").then(|| (task, pk.to_string()))
+            })
+            .collect();
+        let Ok(outputs) = g.db.table("houtput") else { return out };
+        // (pair_key, tuple_idx) -> Vec<(colidx, value)>
+        let mut cells: std::collections::HashMap<(String, i64), Vec<(i64, Value)>> =
+            Default::default();
+        for r in outputs.rows() {
+            let task = match r[1].as_f64() {
+                Some(t) => t as i64,
+                None => continue,
+            };
+            let Some(pk) = finished.get(&task) else { continue };
+            let tuple_idx = r[5].as_f64().unwrap_or(0.0) as i64;
+            let colidx = r[6].as_f64().unwrap_or(-1.0) as i64;
+            let value = if colidx < 0 {
+                continue; // arity-0 marker
+            } else if !r[7].is_null() {
+                r[7].clone()
+            } else if !r[8].is_null() {
+                r[8].clone()
+            } else {
+                Value::Null
+            };
+            cells.entry((pk.clone(), tuple_idx)).or_default().push((colidx, value));
+        }
+        // even activations that produced nothing must appear
+        for pk in finished.values() {
+            out.entry(pk.clone()).or_default();
+        }
+        let mut keyed: Vec<((String, i64), Vec<(i64, Value)>)> = cells.into_iter().collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        for ((pk, _), mut cols) in keyed {
+            cols.sort_by_key(|(c, _)| *c);
+            out.entry(pk).or_default().push(cols.into_iter().map(|(_, v)| v).collect());
+        }
+        out
+    }
+
+    /// Run a SQL query against the provenance database.
+    ///
+    /// This is SciCumulus' *runtime provenance query* facility: safe to call
+    /// while workers are still recording.
+    pub fn query(&self, sql: &str) -> Result<ResultSet, QueryError> {
+        let g = self.inner.lock();
+        execute(&g.db, sql)
+    }
+
+    /// Row counts per table (diagnostics).
+    pub fn stats(&self) -> Vec<(String, usize)> {
+        let g = self.inner.lock();
+        g.db
+            .table_names()
+            .iter()
+            .map(|n| (n.to_string(), g.db.table(n).expect("listed table").len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> (ProvenanceStore, WorkflowId, ActivityId, ActivityId) {
+        let p = ProvenanceStore::new();
+        let w = p.begin_workflow("SciDock", "Docking", "/root/scidock/");
+        let babel = p.register_activity(w, "babel1k", "Map");
+        let vina = p.register_activity(w, "autodockvina1k", "Map");
+        let vm = p.register_machine("vm-1", "m3.xlarge", 4);
+        for (act, start, dur, st) in [
+            (babel, 0.0, 2.5, ActivationStatus::Finished),
+            (babel, 3.0, 1.5, ActivationStatus::Finished),
+            (vina, 5.0, 30.0, ActivationStatus::Finished),
+            (vina, 40.0, 12.0, ActivationStatus::Failed),
+        ] {
+            p.record_activation(&ActivationRecord {
+                activity: act,
+                workflow: w,
+                status: st,
+                start_time: start,
+                end_time: start + dur,
+                machine: Some(vm),
+                retries: 0,
+                pair_key: "1AEC:042".into(),
+            });
+        }
+        (p, w, babel, vina)
+    }
+
+    #[test]
+    fn paper_query_1_shape() {
+        let (p, w, _, _) = populated();
+        let sql = format!(
+            "SELECT a.tag, \
+               min(extract('epoch' from (t.endtime-t.starttime))), \
+               max(extract('epoch' from (t.endtime-t.starttime))), \
+               sum(extract('epoch' from (t.endtime-t.starttime))), \
+               avg(extract('epoch' from (t.endtime-t.starttime))) \
+             FROM hworkflow w, hactivity a, hactivation t \
+             WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND w.wkfid = {} \
+             GROUP BY a.tag ORDER BY a.tag",
+            w.0
+        );
+        let r = p.query(&sql).unwrap();
+        assert_eq!(r.len(), 2);
+        // autodockvina1k sorts first
+        assert_eq!(r.cell(0, 0), &Value::from("autodockvina1k"));
+        assert_eq!(r.cell(0, 2), &Value::Float(30.0)); // max
+        assert_eq!(r.cell(0, 4), &Value::Float(21.0)); // avg of 30, 12
+        assert_eq!(r.cell(1, 0), &Value::from("babel1k"));
+        assert_eq!(r.cell(1, 1), &Value::Float(1.5)); // min
+        assert_eq!(r.cell(1, 3), &Value::Float(4.0)); // sum
+    }
+
+    #[test]
+    fn paper_query_2_shape() {
+        let (p, w, _, vina) = populated();
+        let t = p.record_activation(&ActivationRecord {
+            activity: vina,
+            workflow: w,
+            status: ActivationStatus::Finished,
+            start_time: 60.0,
+            end_time: 70.0,
+            machine: None,
+            retries: 0,
+            pair_key: "4C5P:GOL".into(),
+        });
+        p.record_file(t, vina, w, "GOL_4C5P.dlg", 65740, "/root/exp_SciDock/autodock4/223/");
+        p.record_file(t, vina, w, "GOL_4C5P.out", 100, "/root/exp_SciDock/autodock4/223/");
+        let sql = "SELECT w.tag, a.tag, f.fname, f.fsize, f.fdir \
+                   FROM hworkflow w, hactivity a, hactivation t, hfile f \
+                   WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND t.taskid = f.taskid \
+                   AND f.fname LIKE '%.dlg'";
+        let r = p.query(sql).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cell(0, 2), &Value::from("GOL_4C5P.dlg"));
+        assert_eq!(r.cell(0, 3), &Value::Int(65740));
+    }
+
+    #[test]
+    fn histogram_query_shape() {
+        let (p, w, _, _) = populated();
+        let sql = format!(
+            "SELECT extract('epoch' from (t.endtime-t.starttime)) \
+             FROM hworkflow w, hactivity a, hactivation t \
+             WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND w.wkfid = {} \
+             ORDER BY t.endtime",
+            w.0
+        );
+        let r = p.query(&sql).unwrap();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.cell(0, 0), &Value::Float(2.5));
+    }
+
+    #[test]
+    fn failed_activations_queryable() {
+        let (p, _, _, _) = populated();
+        let r = p
+            .query("SELECT count(*) FROM hactivation WHERE status = 'FAILED'")
+            .unwrap();
+        assert_eq!(r.cell(0, 0), &Value::Int(1));
+    }
+
+    #[test]
+    fn machine_join() {
+        let (p, _, _, _) = populated();
+        let r = p
+            .query(
+                "SELECT m.instancetype, count(*) FROM hactivation t, hmachine m \
+                 WHERE t.vmid = m.vmid GROUP BY m.instancetype",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cell(0, 0), &Value::from("m3.xlarge"));
+        assert_eq!(r.cell(0, 1), &Value::Int(4));
+    }
+
+    #[test]
+    fn parameters_recorded_and_queryable() {
+        let (p, w, _, vina) = populated();
+        let t = p.record_activation(&ActivationRecord {
+            activity: vina,
+            workflow: w,
+            status: ActivationStatus::Finished,
+            start_time: 0.0,
+            end_time: 1.0,
+            machine: None,
+            retries: 0,
+            pair_key: "2HHN:0E6".into(),
+        });
+        p.record_parameter(t, w, "feb", Some(-7.2), None);
+        p.record_parameter(t, w, "best_pair", None, Some("2HHN-0E6"));
+        let r = p
+            .query("SELECT pname, pvalue_num FROM hparameter WHERE pvalue_num IS NOT NULL")
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cell(0, 1), &Value::Float(-7.2));
+    }
+
+    #[test]
+    fn stats_reports_all_tables() {
+        let (p, _, _, _) = populated();
+        let stats = p.stats();
+        assert_eq!(stats.len(), 7, "six PROV-Wf tables plus houtput");
+        let activation = stats.iter().find(|(n, _)| n == "hactivation").unwrap();
+        assert_eq!(activation.1, 4);
+    }
+
+    #[test]
+    fn ids_are_sequential_and_distinct() {
+        let p = ProvenanceStore::new();
+        let w1 = p.begin_workflow("a", "", "");
+        let w2 = p.begin_workflow("b", "", "");
+        assert_ne!(w1, w2);
+        let a1 = p.register_activity(w1, "x", "Map");
+        let a2 = p.register_activity(w2, "x", "Map");
+        assert_ne!(a1, a2);
+    }
+
+    #[test]
+    fn output_tuples_roundtrip_for_resume() {
+        let (p, w, babel, _) = populated();
+        // find the FINISHED babel tasks and attach outputs
+        let tasks: Vec<TaskId> = (1..=2).map(TaskId).collect();
+        p.record_output_tuple(tasks[0], babel, w, "1AEC:042",
+            0, &[Value::from("1AEC"), Value::Int(7)]);
+        p.record_output_tuple(tasks[1], babel, w, "1AEC:042",
+            1, &[Value::from("1AEC"), Value::Int(9)]);
+        let outs = p.finished_outputs(w, "babel1k");
+        let tuples = &outs["1AEC:042"];
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0][0], Value::from("1AEC"));
+        assert_eq!(tuples[0][1].as_f64(), Some(7.0));
+        assert_eq!(tuples[1][1].as_f64(), Some(9.0));
+        // unknown activity -> empty map
+        assert!(p.finished_outputs(w, "nope").is_empty());
+    }
+
+    #[test]
+    fn finished_outputs_excludes_failed_tasks() {
+        let (p, w, _, vina) = populated();
+        // task 4 is the FAILED vina activation; give it outputs anyway
+        p.record_output_tuple(TaskId(4), vina, w, "1AEC:042", 0, &[Value::Int(1)]);
+        let outs = p.finished_outputs(w, "autodockvina1k");
+        // only the FINISHED vina activation (task 3, no outputs) shows up
+        assert_eq!(outs.len(), 1);
+        assert!(outs["1AEC:042"].is_empty(), "finished task recorded no tuples");
+    }
+
+    #[test]
+    fn empty_output_tuple_marker() {
+        let (p, w, babel, _) = populated();
+        p.record_output_tuple(TaskId(1), babel, w, "1AEC:042", 0, &[]);
+        let outs = p.finished_outputs(w, "babel1k");
+        assert!(outs.contains_key("1AEC:042"));
+        assert!(outs["1AEC:042"].is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let p = Arc::new(ProvenanceStore::new());
+        let w = p.begin_workflow("par", "", "");
+        let a = p.register_activity(w, "act", "Map");
+        let mut handles = Vec::new();
+        for th in 0..8 {
+            let p = Arc::clone(&p);
+            handles.push(std::thread::spawn(move || {
+                for k in 0..50 {
+                    p.record_activation(&ActivationRecord {
+                        activity: a,
+                        workflow: w,
+                        status: ActivationStatus::Finished,
+                        start_time: (th * 50 + k) as f64,
+                        end_time: (th * 50 + k) as f64 + 1.0,
+                        machine: None,
+                        retries: 0,
+                        pair_key: format!("p{th}:{k}"),
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let r = p.query("SELECT count(*) FROM hactivation").unwrap();
+        assert_eq!(r.cell(0, 0), &Value::Int(400));
+    }
+}

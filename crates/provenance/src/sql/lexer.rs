@@ -1,0 +1,347 @@
+//! SQL tokenizer for the provenance query subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively later).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// Statement terminator (optional).
+    Semi,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Semi => write!(f, ";"),
+        }
+    }
+}
+
+/// Lexer error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the problem.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize SQL text.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(Token::NotEq);
+                i += 2;
+            }
+            '\'' => {
+                // string literal with '' escaping
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            position: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v = text.parse().map_err(|_| LexError {
+                        position: start,
+                        message: format!("bad float literal {text:?}"),
+                    })?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v = text.parse().map_err(|_| LexError {
+                        position: start,
+                        message: format!("bad integer literal {text:?}"),
+                    })?;
+                    out.push(Token::Int(v));
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' || c == '%' => {
+                // `%` appears in the paper's "% ID OF THE WORKFLOW %"
+                // placeholder style only inside strings; bare % is invalid.
+                if c == '%' {
+                    return Err(LexError {
+                        position: i,
+                        message: "unexpected '%' outside a string literal".into(),
+                    });
+                }
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(LexError { position: i, message: format!("unexpected character {other:?}") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("SELECT a.tag, 42, 3.5 FROM t WHERE x >= 'hi';").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("tag".into()),
+                Token::Comma,
+                Token::Int(42),
+                Token::Comma,
+                Token::Float(3.5),
+                Token::Ident("FROM".into()),
+                Token::Ident("t".into()),
+                Token::Ident("WHERE".into()),
+                Token::Ident("x".into()),
+                Token::GtEq,
+                Token::Str("hi".into()),
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("= <> != < <= > >= + - * /").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn unterminated_string() {
+        let err = lex("'oops").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("SELECT 1 -- comment here\n, 2").unwrap();
+        assert_eq!(toks, vec![Token::Ident("SELECT".into()), Token::Int(1), Token::Comma, Token::Int(2)]);
+    }
+
+    #[test]
+    fn like_pattern_string() {
+        let toks = lex("fname LIKE '%.dlg'").unwrap();
+        assert_eq!(toks[2], Token::Str("%.dlg".into()));
+    }
+
+    #[test]
+    fn bad_characters_rejected() {
+        assert!(lex("SELECT #").is_err());
+        assert!(lex("a % b").is_err());
+    }
+
+    #[test]
+    fn number_then_dot_ident() {
+        // "1.x" should lex as Int(1), Dot, Ident — not a malformed float
+        let toks = lex("1.x").unwrap();
+        assert_eq!(toks, vec![Token::Int(1), Token::Dot, Token::Ident("x".into())]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(lex("").unwrap(), vec![]);
+        assert_eq!(lex("   \n\t ").unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Canned runtime-steering queries — the paper's §V.C workflow: while a
+//! campaign runs, the scientist probes the provenance database to find
+//! failures, hot spots, and problematic inputs without browsing output
+//! directories. Each helper wraps one SQL query against the PROV-Wf schema
+//! and returns typed rows.
+
+use crate::provwf::ProvenanceStore;
+use crate::sql::QueryError;
+
+/// Per-status activation counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusCount {
+    /// The status label (`FINISHED`, `FAILED`, `ABORTED`, `BLACKLISTED`).
+    pub status: String,
+    /// Activations with that status.
+    pub count: i64,
+}
+
+/// Activation counts by terminal status.
+pub fn status_summary(prov: &ProvenanceStore) -> Result<Vec<StatusCount>, QueryError> {
+    let rs = prov.query(
+        "SELECT status, count(*) FROM hactivation GROUP BY status ORDER BY status",
+    )?;
+    Ok(rs
+        .rows
+        .iter()
+        .filter_map(|r| {
+            Some(StatusCount {
+                status: r[0].as_str()?.to_string(),
+                count: r[1].as_f64()? as i64,
+            })
+        })
+        .collect())
+}
+
+/// Failure counts per activity (where is the workflow fragile?).
+pub fn failures_by_activity(prov: &ProvenanceStore) -> Result<Vec<(String, i64)>, QueryError> {
+    let rs = prov.query(
+        "SELECT a.tag, count(*) FROM hactivity a, hactivation t \
+         WHERE a.actid = t.actid AND t.status = 'FAILED' \
+         GROUP BY a.tag ORDER BY a.tag",
+    )?;
+    Ok(rs
+        .rows
+        .iter()
+        .filter_map(|r| Some((r[0].as_str()?.to_string(), r[1].as_f64()? as i64)))
+        .collect())
+}
+
+/// The `n` slowest finished activations: `(activity tag, pair key, seconds)`.
+///
+/// The paper's anomaly hunt — "several activities with abnormal execution
+/// time (they remain in looping state) when processing specific ligands" —
+/// is exactly this query followed by a look at the pair keys.
+pub fn slowest_activations(
+    prov: &ProvenanceStore,
+    n: usize,
+) -> Result<Vec<(String, String, f64)>, QueryError> {
+    let rs = prov.query(&format!(
+        "SELECT a.tag, t.pairkey, extract('epoch' from (t.endtime - t.starttime)) AS dur \
+         FROM hactivity a, hactivation t \
+         WHERE a.actid = t.actid AND t.status = 'FINISHED' \
+         ORDER BY dur DESC LIMIT {n}"
+    ))?;
+    Ok(rs
+        .rows
+        .iter()
+        .filter_map(|r| {
+            Some((r[0].as_str()?.to_string(), r[1].as_str()?.to_string(), r[2].as_f64()?))
+        })
+        .collect())
+}
+
+/// Pair keys that were retried at least `min_retries` times ("problematic
+/// ligands that could present the same behavior").
+pub fn problematic_pairs(
+    prov: &ProvenanceStore,
+    min_retries: i64,
+) -> Result<Vec<(String, i64)>, QueryError> {
+    let rs = prov.query(&format!(
+        "SELECT pairkey, max(retries) AS r FROM hactivation \
+         GROUP BY pairkey HAVING max(retries) >= {min_retries} ORDER BY pairkey"
+    ))?;
+    Ok(rs
+        .rows
+        .iter()
+        .filter_map(|r| Some((r[0].as_str()?.to_string(), r[1].as_f64()? as i64)))
+        .collect())
+}
+
+/// Activation throughput: finished activations per time bucket of
+/// `bucket_s` simulated/real seconds — the "how is the run progressing"
+/// steering view.
+pub fn throughput(
+    prov: &ProvenanceStore,
+    bucket_s: f64,
+) -> Result<Vec<(i64, i64)>, QueryError> {
+    assert!(bucket_s > 0.0, "bucket width must be positive");
+    let rs = prov.query(
+        "SELECT extract('epoch' from endtime) FROM hactivation WHERE status = 'FINISHED'",
+    )?;
+    let mut buckets: std::collections::BTreeMap<i64, i64> = Default::default();
+    for r in &rs.rows {
+        if let Some(t) = r[0].as_f64() {
+            *buckets.entry((t / bucket_s) as i64).or_default() += 1;
+        }
+    }
+    Ok(buckets.into_iter().collect())
+}
+
+/// Total data volume recorded in `hfile`, in bytes (the paper's "600 GB per
+/// execution" bookkeeping).
+pub fn data_volume_bytes(prov: &ProvenanceStore) -> Result<f64, QueryError> {
+    let rs = prov.query("SELECT sum(fsize) FROM hfile")?;
+    Ok(rs.rows.first().and_then(|r| r[0].as_f64()).unwrap_or(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provwf::{ActivationRecord, ActivationStatus};
+
+    fn store() -> ProvenanceStore {
+        let p = ProvenanceStore::new();
+        let w = p.begin_workflow("SciDock", "", "/e");
+        let babel = p.register_activity(w, "babel", "Map");
+        let dock = p.register_activity(w, "vina", "Map");
+        let mk = |act, status, start: f64, dur: f64, retries, pair: &str| ActivationRecord {
+            activity: act,
+            workflow: w,
+            status,
+            start_time: start,
+            end_time: start + dur,
+            machine: None,
+            retries,
+            pair_key: pair.into(),
+        };
+        p.record_activation(&mk(babel, ActivationStatus::Finished, 0.0, 2.0, 0, "A:x"));
+        p.record_activation(&mk(babel, ActivationStatus::Failed, 3.0, 1.0, 0, "B:x"));
+        p.record_activation(&mk(babel, ActivationStatus::Finished, 5.0, 2.5, 1, "B:x"));
+        p.record_activation(&mk(dock, ActivationStatus::Finished, 10.0, 60.0, 0, "A:x"));
+        p.record_activation(&mk(dock, ActivationStatus::Failed, 70.0, 5.0, 0, "B:x"));
+        p.record_activation(&mk(dock, ActivationStatus::Failed, 76.0, 5.0, 1, "B:x"));
+        p.record_activation(&mk(dock, ActivationStatus::Finished, 82.0, 55.0, 2, "B:x"));
+        p.record_activation(&mk(dock, ActivationStatus::Aborted, 90.0, 300.0, 0, "C:x"));
+        let t = p.record_activation(&mk(dock, ActivationStatus::Finished, 140.0, 40.0, 0, "D:x"));
+        p.record_file(t, dock, w, "D_x.dlg", 50_000, "/e/vina/3/");
+        p.record_file(t, dock, w, "D_x.log", 10_000, "/e/vina/3/");
+        p
+    }
+
+    #[test]
+    fn status_summary_counts() {
+        let s = status_summary(&store()).unwrap();
+        let get = |name: &str| s.iter().find(|c| c.status == name).map(|c| c.count);
+        assert_eq!(get("FINISHED"), Some(5));
+        assert_eq!(get("FAILED"), Some(3));
+        assert_eq!(get("ABORTED"), Some(1));
+        assert_eq!(get("BLACKLISTED"), None);
+    }
+
+    #[test]
+    fn failures_grouped_by_activity() {
+        let f = failures_by_activity(&store()).unwrap();
+        assert_eq!(f, vec![("babel".to_string(), 1), ("vina".to_string(), 2)]);
+    }
+
+    #[test]
+    fn slowest_finds_the_long_dockings() {
+        let s = slowest_activations(&store(), 2).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].0, "vina");
+        assert!(s[0].2 >= s[1].2);
+        assert!((s[0].2 - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn problematic_pairs_by_retry_count() {
+        let p = problematic_pairs(&store(), 2).unwrap();
+        assert_eq!(p, vec![("B:x".to_string(), 2)]);
+        let loose = problematic_pairs(&store(), 1).unwrap();
+        assert_eq!(loose.len(), 1, "only B:x was retried");
+    }
+
+    #[test]
+    fn throughput_buckets() {
+        // finished end times: 2.0, 7.5, 70.0, 137.0, 180.0 → buckets of 60 s
+        let t = throughput(&store(), 60.0).unwrap();
+        let total: i64 = t.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 5);
+        assert_eq!(t[0], (0, 2));
+    }
+
+    #[test]
+    fn data_volume_sums_files() {
+        assert_eq!(data_volume_bytes(&store()).unwrap(), 60_000.0);
+        assert_eq!(data_volume_bytes(&ProvenanceStore::new()).unwrap(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_panics() {
+        let _ = throughput(&store(), 0.0);
+    }
+}

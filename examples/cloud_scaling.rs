@@ -1,0 +1,60 @@
+//! Cloud-scale study: simulate the full 10,000-pair SciDock execution on
+//! EC2 fleets from 2 to 128 virtual cores and print the TET / speedup /
+//! efficiency series of the paper's Figures 7–9.
+//!
+//! ```sh
+//! cargo run --release --example cloud_scaling
+//! ```
+
+use scidock::activities::EngineMode;
+use scidock::experiments::{headline, scaling_sweep, SweepConfig, PAPER_CORE_COUNTS};
+
+fn main() {
+    let sweep = SweepConfig::default();
+
+    for mode in [EngineMode::Ad4Only, EngineMode::VinaOnly] {
+        let label = match mode {
+            EngineMode::Ad4Only => "SciDock-AD4",
+            EngineMode::VinaOnly => "SciDock-Vina",
+            EngineMode::Adaptive => unreachable!(),
+        };
+        println!("== {label}: 10,000 pairs, cores {:?} ==", PAPER_CORE_COUNTS);
+        let points = scaling_sweep(&PAPER_CORE_COUNTS, mode, &sweep);
+        println!("cores |      TET |  speedup | efficiency |  cost (USD)");
+        println!("------+----------+----------+------------+------------");
+        for p in &points {
+            println!(
+                "{:>5} | {:>8} | {:>8.1} | {:>10.2} | {:>10.2}",
+                p.cores,
+                human_time(p.tet_s),
+                p.speedup,
+                p.efficiency,
+                p.cost_usd
+            );
+        }
+        let h = headline(&points);
+        println!(
+            "\nheadline: {:.1} days at {} cores → {:.1} hours at {} cores",
+            h.tet_low_days,
+            points.first().map(|p| p.cores).unwrap_or(0),
+            h.tet_high_hours,
+            points.last().map(|p| p.cores).unwrap_or(0),
+        );
+        if let Some(imp) = h.improvement_at_32 {
+            println!("          {imp:.1}% improvement at 32 cores (paper: 95.4% AD4 / 96.1% Vina)");
+        }
+        if let Some(s16) = h.speedup_at_16 {
+            println!("          {s16:.1}× speedup at 16 cores (paper: ~13×)\n");
+        }
+    }
+}
+
+fn human_time(s: f64) -> String {
+    if s >= 86_400.0 {
+        format!("{:.1} d", s / 86_400.0)
+    } else if s >= 3_600.0 {
+        format!("{:.1} h", s / 3_600.0)
+    } else {
+        format!("{:.0} s", s)
+    }
+}
