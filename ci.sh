@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, and the tier-1 build+test cycle.
+# Run from the repository root:
+#
+#   ./ci.sh
+#
+# Everything must pass; clippy warnings are errors.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "CI OK"

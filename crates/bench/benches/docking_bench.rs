@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use docking::autogrid::{build_ad4_grids, build_vina_grids, GridKind};
-use docking::energy::DirectEnergy;
 use docking::conformation::{LigandModel, Pose};
+use docking::energy::DirectEnergy;
 use docking::energy::EnergyModel;
 use docking::engine::{dock, DockConfig, EngineKind};
 use docking::grid::GridSpec;
@@ -31,10 +31,8 @@ fn prepared_receptor() -> Molecule {
 }
 
 fn prepared_ligand() -> PdbqtLigand {
-    let mut l = generate_ligand(
-        "0D6",
-        &LigandParams { min_heavy: 14, max_heavy: 18, hang_fraction: 0.0 },
-    );
+    let mut l =
+        generate_ligand("0D6", &LigandParams { min_heavy: 14, max_heavy: 18, hang_fraction: 0.0 });
     assign_ad_types(&mut l);
     molkit::charges::assign_gasteiger(&mut l, &Default::default());
     merge_nonpolar_hydrogens(&mut l);
@@ -50,14 +48,7 @@ fn bench_scoring(c: &mut Criterion) {
             let mut acc = 0.0;
             for k in 0..100 {
                 let r = 1.5 + 0.06 * k as f64;
-                acc += ad4_pair(
-                    black_box(&ad4),
-                    AdType::C,
-                    AdType::OA,
-                    0.1,
-                    -0.3,
-                    black_box(r),
-                );
+                acc += ad4_pair(black_box(&ad4), AdType::C, AdType::OA, 0.1, -0.3, black_box(r));
             }
             acc
         })

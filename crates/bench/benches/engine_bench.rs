@@ -10,8 +10,8 @@ use cumulus::sched::Policy;
 use cumulus::xmlspec::SciCumulusSpec;
 use provenance::{ActivationRecord, ActivationStatus, ProvenanceStore};
 use scidock::activities::EngineMode;
-use scidock::experiments::{simulate_at, SweepConfig};
 use scidock::dataset::{LIGAND_CODES, RECEPTOR_IDS};
+use scidock::experiments::{simulate_at, SweepConfig};
 
 fn small_sweep() -> SweepConfig {
     SweepConfig {
@@ -64,9 +64,7 @@ fn bench_pool(c: &mut Criterion) {
 fn populated_store(activations: usize) -> ProvenanceStore {
     let p = ProvenanceStore::new();
     let w = p.begin_workflow("SciDock", "bench", "/root/scidock/");
-    let acts: Vec<_> = (0..7)
-        .map(|i| p.register_activity(w, &format!("act{i}"), "Map"))
-        .collect();
+    let acts: Vec<_> = (0..7).map(|i| p.register_activity(w, &format!("act{i}"), "Map")).collect();
     for k in 0..activations {
         let t = p.record_activation(&ActivationRecord {
             activity: acts[k % acts.len()],
@@ -103,9 +101,7 @@ fn bench_provenance_queries(c: &mut Criterion) {
               FROM hworkflow w, hactivity a, hactivation t, hfile f \
               WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND t.taskid = f.taskid \
               AND f.fname LIKE '%.dlg'";
-    c.bench_function("provenance/query2_like_join", |b| {
-        b.iter(|| p.query(black_box(q2)).unwrap())
-    });
+    c.bench_function("provenance/query2_like_join", |b| b.iter(|| p.query(black_box(q2)).unwrap()));
     c.bench_function("provenance/insert_activation", |b| {
         let store = ProvenanceStore::new();
         let w = store.begin_workflow("x", "", "");

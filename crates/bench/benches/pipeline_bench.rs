@@ -1,0 +1,77 @@
+//! Barrier vs. pipelined dispatch under a straggler-heavy workload.
+//!
+//! The workload rotates one straggler per stage: pair *p* is slow exactly at
+//! activity *p*, every other activation is fast. Under the per-activity
+//! barrier executor the wall-clock is the *sum of the per-stage maxima*
+//! (every stage waits for its straggler); under the ready-driven pipelined
+//! dispatcher it approaches the *slowest single chain*, because each pair's
+//! tuple flows into activity N+1 as soon as its own activity-N activation
+//! finishes.
+//!
+//! ```sh
+//! cargo bench -p scidock-bench --bench pipeline_bench
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cumulus::localbackend::{run_local, DispatchMode, LocalConfig};
+use cumulus::workflow::{Activity, ActivityFn, FileStore, WorkflowDef};
+use cumulus::{Relation, Tuple};
+use provenance::{ProvenanceStore, Value};
+
+const PAIRS: i64 = 8;
+const STAGES: usize = 6;
+const SLOW_MS: u64 = 40;
+const FAST_MS: u64 = 2;
+
+/// A Map stage that sleeps `SLOW_MS` for the one pair whose id equals this
+/// stage's index and `FAST_MS` for everyone else.
+fn stage_fn(stage: usize) -> ActivityFn {
+    Arc::new(move |tuples, _ctx| {
+        let ms = if tuples[0][0] == Value::Int(stage as i64) { SLOW_MS } else { FAST_MS };
+        std::thread::sleep(Duration::from_millis(ms));
+        Ok(tuples.to_vec())
+    })
+}
+
+fn straggler_workflow() -> WorkflowDef {
+    let activities =
+        (0..STAGES).map(|s| Activity::map(&format!("stage_{s}"), &["pair"], stage_fn(s))).collect();
+    let deps = (0..STAGES).map(|s| if s == 0 { vec![] } else { vec![s - 1] }).collect();
+    WorkflowDef {
+        tag: "straggler_chain".into(),
+        description: "rotating-straggler Map chain".into(),
+        expdir: "/bench".into(),
+        activities,
+        deps,
+    }
+}
+
+fn input() -> Relation {
+    Relation {
+        columns: vec!["pair".into()],
+        tuples: (0..PAIRS).map(|i| Tuple::from(vec![Value::Int(i)])).collect(),
+    }
+}
+
+fn run(mode: DispatchMode) {
+    let wf = straggler_workflow();
+    let cfg = LocalConfig { threads: 4, mode, ..Default::default() };
+    let report =
+        run_local(&wf, input(), Arc::new(FileStore::new()), Arc::new(ProvenanceStore::new()), &cfg)
+            .expect("valid workflow");
+    assert_eq!(report.finished, PAIRS as usize * STAGES);
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("straggler_dispatch");
+    group.sample_size(10);
+    group.bench_function("barrier", |b| b.iter(|| run(DispatchMode::Barrier)));
+    group.bench_function("pipelined", |b| b.iter(|| run(DispatchMode::Pipelined)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

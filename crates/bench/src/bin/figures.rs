@@ -20,8 +20,7 @@ use scidock::analysis::{
 };
 use scidock::dataset::{Dataset, DatasetParams, LIGAND_CODES, RECEPTOR_IDS};
 use scidock::experiments::{
-    headline, run_screening, scaling_sweep, simulate_at, ScalePoint, SweepConfig,
-    PAPER_CORE_COUNTS,
+    headline, run_screening, scaling_sweep, simulate_at, ScalePoint, SweepConfig, PAPER_CORE_COUNTS,
 };
 
 use scidock_bench::util::{bar, human_time};
@@ -53,7 +52,7 @@ fn main() {
     // ---------------- static tables ----------------
     if want("table1") {
         section("TABLE 1 — Characteristics of used VMs");
-        println!("{:<12} | {:>7} | {}", "Instance", "# cores", "Physical Processor");
+        println!("{:<12} | {:>7} | Physical Processor", "Instance", "# cores");
         println!("{:-<12}-+-{:-<7}-+-{:-<20}", "", "", "");
         for t in [&cloudsim::M3_XLARGE, &cloudsim::M3_2XLARGE] {
             println!("{:<12} | {:>7} | {}", t.name, t.cores, t.processor);
@@ -71,10 +70,7 @@ fn main() {
             println!("  {}", chunk.join(" "));
         }
         let ds = Dataset::full(DatasetParams::default());
-        println!(
-            "total pairs: {} (paper: \"all-out 10,000 receptor-ligands\")",
-            ds.pair_count()
-        );
+        println!("total pairs: {} (paper: \"all-out 10,000 receptor-ligands\")", ds.pair_count());
     }
 
     // ---------------- simulated 1,000-pair run: figs 5, 6, query 1 ----------
@@ -121,7 +117,10 @@ fn main() {
         section("FIGURE 6 — Execution time per activity (16 cores)");
         let stats = per_activity_stats(prov, 1);
         let max_sum = stats.iter().map(|s| s.3).fold(0.0f64, f64::max);
-        println!("{:<16} | {:>9} | {:>9} | {:>11} | {:>9} |", "activity", "min (s)", "max (s)", "total (s)", "avg (s)");
+        println!(
+            "{:<16} | {:>9} | {:>9} | {:>11} | {:>9} |",
+            "activity", "min (s)", "max (s)", "total (s)", "avg (s)"
+        );
         for (tag, min, max, sum, avg) in &stats {
             println!(
                 "{:<16} | {:>9.2} | {:>9.2} | {:>11.1} | {:>9.2} | {}",
@@ -216,10 +215,8 @@ fn main() {
 
     if want("spec") {
         section("SCIDOCK XML SPECIFICATION (paper Fig. 2, generated)");
-        let xml = scidock::activities::scidock_xml_spec(
-            EngineMode::Adaptive,
-            &SciDockConfig::default(),
-        );
+        let xml =
+            scidock::activities::scidock_xml_spec(EngineMode::Adaptive, &SciDockConfig::default());
         for line in xml.lines().take(24) {
             println!("{line}");
         }
@@ -265,10 +262,18 @@ fn main() {
         let cfg = SciDockConfig::default();
         let t0 = std::time::Instant::now();
         let ad4_out = run_screening(&receptor_ids, &ligands, EngineMode::Ad4Only, 4, &cfg);
-        eprintln!("[figures]   AD4 done in {} ({} pairs)", human_time(t0.elapsed().as_secs_f64()), ad4_out.results.len());
+        eprintln!(
+            "[figures]   AD4 done in {} ({} pairs)",
+            human_time(t0.elapsed().as_secs_f64()),
+            ad4_out.results.len()
+        );
         let t1 = std::time::Instant::now();
         let vina_out = run_screening(&receptor_ids, &ligands, EngineMode::VinaOnly, 4, &cfg);
-        eprintln!("[figures]   Vina done in {} ({} pairs)", human_time(t1.elapsed().as_secs_f64()), vina_out.results.len());
+        eprintln!(
+            "[figures]   Vina done in {} ({} pairs)",
+            human_time(t1.elapsed().as_secs_f64()),
+            vina_out.results.len()
+        );
 
         let mut results: Vec<PairResult> = ad4_out.results.clone();
         results.extend(vina_out.results.clone());

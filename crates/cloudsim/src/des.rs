@@ -38,10 +38,7 @@ impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; reverse for earliest-first, then lowest
         // sequence number first
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

@@ -57,7 +57,7 @@ impl FailureModel {
 
     /// Uniform [0,1) draw, stable across runs.
     fn roll(&self, task_key: &str, attempt: u32) -> f64 {
-        let mut h: u64 = self.seed ^ 0x51_7CC1_B727_220A95;
+        let mut h: u64 = self.seed ^ 0x517C_C1B7_2722_0A95;
         for b in task_key.as_bytes() {
             h ^= *b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
@@ -134,9 +134,8 @@ mod tests {
     fn seed_changes_fates() {
         let a = FailureModel { seed: 1, ..Default::default() };
         let b = FailureModel { seed: 2, ..Default::default() };
-        let diff = (0..500)
-            .filter(|k| a.fate(&format!("t{k}"), 0) != b.fate(&format!("t{k}"), 0))
-            .count();
+        let diff =
+            (0..500).filter(|k| a.fate(&format!("t{k}"), 0) != b.fate(&format!("t{k}"), 0)).count();
         assert!(diff > 0, "different seeds must change at least some fates");
     }
 }

@@ -152,6 +152,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // sanity-checks the static catalog
     fn bigger_instance_costs_more() {
         assert!(M3_2XLARGE.hourly_usd > M3_XLARGE.hourly_usd);
         for t in CATALOG {

@@ -21,7 +21,7 @@ pub mod sharedfs;
 pub mod vm;
 
 pub use des::{EventQueue, SimTime};
-pub use failure::{Fate, FailureModel};
+pub use failure::{FailureModel, Fate};
 pub use instance::{by_name, fleet_for_cores, InstanceType, CATALOG, M3_2XLARGE, M3_XLARGE};
 pub use sharedfs::SharedFsModel;
 pub use vm::{Cluster, NoiseModel, Vm, VmId};

@@ -24,11 +24,7 @@ pub struct SharedFsModel {
 
 impl Default for SharedFsModel {
     fn default() -> Self {
-        SharedFsModel {
-            latency_s: 0.06,
-            bandwidth_bps: 60.0e6,
-            contention: 0.5,
-        }
+        SharedFsModel { latency_s: 0.06, bandwidth_bps: 60.0e6, contention: 0.5 }
     }
 }
 

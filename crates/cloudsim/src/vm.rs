@@ -42,7 +42,7 @@ impl Vm {
 
     /// Is the VM alive (booted and not released) at `t`?
     pub fn alive_at(&self, t: SimTime) -> bool {
-        t >= self.ready_at && self.released_at.map_or(true, |r| t < r)
+        t >= self.ready_at && self.released_at.is_none_or(|r| t < r)
     }
 }
 

@@ -19,7 +19,6 @@ use parking_lot::Mutex;
 
 use cumulus::workflow::{Activity, ActivityError, ActivityFn, FileStore, WorkflowDef};
 use cumulus::{Operator, Relation, Template};
-use std::collections::BTreeMap;
 use docking::autogrid::GridSet;
 use docking::dlg::{parse_dlg_feb, parse_dlg_rmsd, parse_vina_modes, write_dlg, write_vina_log};
 use docking::engine::{dock_with_grids, DockConfig, EngineKind};
@@ -30,6 +29,7 @@ use molkit::torsion::build_torsion_tree;
 use molkit::typer::{assign_ad_types, merge_nonpolar_hydrogens};
 use molkit::Element;
 use provenance::Value;
+use std::collections::BTreeMap;
 
 use crate::dataset::Dataset;
 
@@ -127,7 +127,8 @@ impl GridCache {
             .map_err(|e| ActivityError(format!("receptor pdbqt: {e}")))?;
         let pocket = molkit::geometry::find_pocket(&receptor, cfg.pocket_probe)
             .ok_or_else(|| ActivityError("no binding pocket detected".into()))?;
-        let spec = docking::grid::GridSpec::with_edge(pocket.center, cfg.box_edge, cfg.grid_spacing);
+        let spec =
+            docking::grid::GridSpec::with_edge(pocket.center, cfg.box_edge, cfg.grid_spacing);
         let grids = match engine {
             EngineKind::Ad4 => docking::autogrid::build_ad4_grids(
                 &receptor,
@@ -143,9 +144,7 @@ impl GridCache {
             ),
         };
         let arc = Arc::new(grids);
-        self.inner
-            .lock()
-            .insert((receptor_id.to_string(), engine), Arc::clone(&arc));
+        self.inner.lock().insert((receptor_id.to_string(), engine), Arc::clone(&arc));
         Ok(arc)
     }
 
@@ -256,8 +255,7 @@ pub fn build_scidock(mode: EngineMode, cfg: &SciDockConfig, files: Arc<FileStore
         mol.name = receptor.clone();
         assign_ad_types(&mut mol);
         assign_gasteiger(&mut mol, &Default::default());
-        let out =
-            ctx.write_file(&format!("{receptor}.pdbqt"), pdbqt::write_receptor_pdbqt(&mol));
+        let out = ctx.write_file(&format!("{receptor}.pdbqt"), pdbqt::write_receptor_pdbqt(&mol));
         ctx.record_param("receptor_atoms", Some(mol.heavy_atom_count() as f64), None);
         Ok(vec![vec![
             receptor.as_str().into(),
@@ -307,8 +305,7 @@ pub fn build_scidock(mode: EngineMode, cfg: &SciDockConfig, files: Arc<FileStore
         let _ = &lig; // parsed for validation; grids are ligand-independent
         let rec_path = text(t, 3)?;
         let rec_text = ctx.read_file(&rec_path)?;
-        let grids =
-            cache5.get_or_build(&receptor, &rec_text, EngineKind::Ad4, &cfg5.dock)?;
+        let grids = cache5.get_or_build(&receptor, &rec_text, EngineKind::Ad4, &cfg5.dock)?;
         // AutoGrid's outputs: one .map file per type + e/d maps, in the real
         // AutoGrid format. Maps are per-receptor, so ligands after the first
         // reuse the files already staged (like a real screening campaign
@@ -327,10 +324,7 @@ pub fn build_scidock(mode: EngineMode, cfg: &SciDockConfig, files: Arc<FileStore
             let map = match map_key.as_str() {
                 "e" => grids.electrostatic.as_ref(),
                 "d" => grids.desolvation.as_ref(),
-                label => label
-                    .parse::<molkit::AdType>()
-                    .ok()
-                    .and_then(|t| grids.affinity.get(&t)),
+                label => label.parse::<molkit::AdType>().ok().and_then(|t| grids.affinity.get(&t)),
             };
             if let Some(m) = map {
                 ctx.write_file_at(&path, docking::mapfile::write_map(m, &gpf_name, &receptor));
@@ -457,7 +451,10 @@ pub fn build_scidock(mode: EngineMode, cfg: &SciDockConfig, files: Arc<FileStore
     };
 
     // -- activity 8: docking execution ---------------------------------------
-    let dock_fn = |engine: EngineKind, cache: Arc<GridCache>, cfg: Arc<SciDockConfig>| -> ActivityFn {
+    let dock_fn = |engine: EngineKind,
+                   cache: Arc<GridCache>,
+                   cfg: Arc<SciDockConfig>|
+     -> ActivityFn {
         Arc::new(move |tuples, ctx| {
             let t = &tuples[0];
             let (receptor, ligand) = (text(t, 0)?, text(t, 1)?);
@@ -491,8 +488,7 @@ pub fn build_scidock(mode: EngineMode, cfg: &SciDockConfig, files: Arc<FileStore
                         .first()
                         .ok_or_else(|| ActivityError("no modes in vina log".into()))?;
                     // Vina's reported "dist from best mode" averages over modes
-                    let avg_rmsd = modes.iter().map(|(_, r)| *r).sum::<f64>()
-                        / modes.len() as f64;
+                    let avg_rmsd = modes.iter().map(|(_, r)| *r).sum::<f64>() / modes.len() as f64;
                     (best.0, avg_rmsd)
                 }
             };
@@ -526,8 +522,12 @@ pub fn build_scidock(mode: EngineMode, cfg: &SciDockConfig, files: Arc<FileStore
         let bl_files = Arc::clone(&files);
         Some(Arc::new(move |t: &cumulus::Tuple| {
             // activity 3's input tuple carries the staged PDB path in col 2
-            let Some(path) = t.get(2).and_then(|v| v.as_str()) else { return false };
-            let Some(text) = bl_files.read(path) else { return false };
+            let Some(path) = t.get(2).and_then(|v| v.as_str()) else {
+                return false;
+            };
+            let Some(text) = bl_files.read(path) else {
+                return false;
+            };
             match pdb::read_pdb(&text) {
                 Ok(mol) => mol.contains_element(Element::Hg),
                 Err(_) => false,
@@ -776,24 +776,23 @@ mod tests {
         let wf = build_scidock(EngineMode::Ad4Only, &cfg, Arc::clone(&files));
         assert!(wf.validate().is_ok());
         assert_eq!(wf.activities.len(), 8);
-        let report = run_local(&wf, input, Arc::clone(&files), Arc::clone(&prov), &LocalConfig {
-            threads: 2,
-            ..Default::default()
-        })
+        let report = run_local(
+            &wf,
+            input,
+            Arc::clone(&files),
+            Arc::clone(&prov),
+            &LocalConfig { threads: 2, ..Default::default() },
+        )
         .unwrap();
         assert_eq!(report.final_output().len(), 2, "both pairs docked");
         // FEB column is a finite float
         let feb = report.final_output().tuples[0][3].as_f64().unwrap();
         assert!(feb.is_finite());
         // .dlg files recorded in provenance
-        let r = prov
-            .query("SELECT count(*) FROM hfile WHERE fname LIKE '%.dlg'")
-            .unwrap();
+        let r = prov.query("SELECT count(*) FROM hfile WHERE fname LIKE '%.dlg'").unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(2));
         // feb params extracted
-        let p = prov
-            .query("SELECT count(*) FROM hparameter WHERE pname = 'feb'")
-            .unwrap();
+        let p = prov.query("SELECT count(*) FROM hparameter WHERE pname = 'feb'").unwrap();
         assert_eq!(p.cell(0, 0), &Value::Int(2));
     }
 
@@ -805,9 +804,14 @@ mod tests {
         let cfg = fast_cfg();
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::VinaOnly, &cfg, Arc::clone(&files));
-        let report =
-            run_local(&wf, input, Arc::clone(&files), prov, &LocalConfig { threads: 2, ..Default::default() })
-                .unwrap();
+        let report = run_local(
+            &wf,
+            input,
+            Arc::clone(&files),
+            prov,
+            &LocalConfig { threads: 2, ..Default::default() },
+        )
+        .unwrap();
         assert_eq!(report.final_output().len(), 2);
         // Vina writes the docked pose pdbqt
         let outs = files.list(&format!("{}/vina", cfg.expdir));
@@ -833,11 +837,7 @@ mod tests {
         let small = crate::dataset::make_receptor("1AEC", &small_p);
         let large = crate::dataset::make_receptor("2ACT", &large_p);
         let lig = crate::dataset::make_ligand("042", &small_p);
-        let ds = Dataset {
-            receptors: vec![small, large],
-            ligands: vec![lig],
-            params: small_p,
-        };
+        let ds = Dataset { receptors: vec![small, large], ligands: vec![lig], params: small_p };
 
         let files = Arc::new(FileStore::new());
         let prov = Arc::new(ProvenanceStore::new());
@@ -846,9 +846,14 @@ mod tests {
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::Adaptive, &cfg, Arc::clone(&files));
         assert_eq!(wf.activities.len(), 10);
-        let report =
-            run_local(&wf, input, files, Arc::clone(&prov), &LocalConfig { threads: 2, ..Default::default() })
-                .unwrap();
+        let report = run_local(
+            &wf,
+            input,
+            files,
+            Arc::clone(&prov),
+            &LocalConfig { threads: 2, ..Default::default() },
+        )
+        .unwrap();
         // outputs: activity index 8 = autodock4, 9 = vina
         let ad4_out = &report.outputs[8];
         let vina_out = &report.outputs[9];
@@ -902,13 +907,17 @@ mod tests {
         cfg.hg_rule = true;
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::Ad4Only, &cfg, Arc::clone(&files));
-        let report =
-            run_local(&wf, input, files, Arc::clone(&prov), &LocalConfig { threads: 2, ..Default::default() })
-                .unwrap();
+        let report = run_local(
+            &wf,
+            input,
+            files,
+            Arc::clone(&prov),
+            &LocalConfig { threads: 2, ..Default::default() },
+        )
+        .unwrap();
         assert_eq!(report.blacklisted, 1);
-        let r = prov
-            .query("SELECT count(*) FROM hactivation WHERE status = 'BLACKLISTED'")
-            .unwrap();
+        let r =
+            prov.query("SELECT count(*) FROM hactivation WHERE status = 'BLACKLISTED'").unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(1));
         // the poisoned pair never reaches docking
         assert_eq!(report.final_output().len(), 1);
@@ -922,8 +931,9 @@ mod tests {
         let cfg = fast_cfg();
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::VinaOnly, &cfg, Arc::clone(&files));
-        let _ = run_local(&wf, input, Arc::clone(&files), Arc::clone(&prov), &LocalConfig::default())
-            .unwrap();
+        let _ =
+            run_local(&wf, input, Arc::clone(&files), Arc::clone(&prov), &LocalConfig::default())
+                .unwrap();
         // every vinaconfig activation recorded its substituted template tags
         let q = prov
             .query(
@@ -976,20 +986,16 @@ mod tests {
         assert_eq!(rank_files.len(), 1);
         let body = files.read(&rank_files[0]).unwrap();
         assert!(body.starts_with("rank receptor ligand"));
-        let q = prov
-            .query("SELECT pvalue_text FROM hparameter WHERE pname = 'best_pair'")
-            .unwrap();
+        let q = prov.query("SELECT pvalue_text FROM hparameter WHERE pname = 'best_pair'").unwrap();
         assert_eq!(q.len(), 1);
     }
 
     #[test]
     fn xml_spec_roundtrips_for_all_modes() {
         use cumulus::xmlspec::SciCumulusSpec;
-        for (mode, n) in [
-            (EngineMode::Ad4Only, 8),
-            (EngineMode::VinaOnly, 8),
-            (EngineMode::Adaptive, 10),
-        ] {
+        for (mode, n) in
+            [(EngineMode::Ad4Only, 8), (EngineMode::VinaOnly, 8), (EngineMode::Adaptive, 10)]
+        {
             let xml = scidock_xml_spec(mode, &SciDockConfig::default());
             let spec = SciCumulusSpec::from_xml(&xml).expect("generated XML parses");
             assert_eq!(spec.activities.len(), n, "{mode:?}");

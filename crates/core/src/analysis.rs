@@ -88,10 +88,8 @@ pub fn table3(results: &[PairResult], engine: &str, ligands: &[&str]) -> Vec<Tab
     ligands
         .iter()
         .map(|lig| {
-            let rows: Vec<&PairResult> = results
-                .iter()
-                .filter(|r| r.engine == engine && r.ligand == *lig)
-                .collect();
+            let rows: Vec<&PairResult> =
+                results.iter().filter(|r| r.engine == engine && r.ligand == *lig).collect();
             let neg: Vec<&&PairResult> = rows.iter().filter(|r| r.feb < 0.0).collect();
             let avg_feb_neg = if neg.is_empty() {
                 0.0
@@ -103,12 +101,7 @@ pub fn table3(results: &[PairResult], engine: &str, ligands: &[&str]) -> Vec<Tab
             } else {
                 rows.iter().map(|r| r.rmsd).sum::<f64>() / rows.len() as f64
             };
-            Table3Row {
-                ligand: lig.to_string(),
-                feb_neg_count: neg.len(),
-                avg_feb_neg,
-                avg_rmsd,
-            }
+            Table3Row { ligand: lig.to_string(), feb_neg_count: neg.len(), avg_feb_neg, avg_rmsd }
         })
         .collect()
 }
@@ -142,7 +135,13 @@ pub fn render_table3(ad4: &[Table3Row], vina: &[Table3Row]) -> String {
         assert_eq!(a.ligand, v.ligand, "rows must align by ligand");
         out.push_str(&format!(
             "{:>6} | {:>10} | {:>11} | {:>10.1} | {:>11.1} | {:>11.1} | {:>12.1}\n",
-            a.ligand, a.feb_neg_count, v.feb_neg_count, a.avg_feb_neg, v.avg_feb_neg, a.avg_rmsd, v.avg_rmsd
+            a.ligand,
+            a.feb_neg_count,
+            v.feb_neg_count,
+            a.avg_feb_neg,
+            v.avg_feb_neg,
+            a.avg_rmsd,
+            v.avg_rmsd
         ));
     }
     out

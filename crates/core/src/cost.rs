@@ -50,13 +50,13 @@ pub const SIM_ACTIVITY_TAGS: [&str; 7] = [
 /// Bytes written per activity (calibrated so a full 10,000-pair execution
 /// produces ≈600 GB, the paper's per-execution data volume).
 const OUT_BYTES: [u64; 7] = [
-    200_000,     // mol2
-    400_000,     // ligand pdbqt
-    2_000_000,   // receptor pdbqt
-    100_000,     // gpf
-    45_000_000,  // grid maps (the bulk of the volume)
-    100_000,     // dpf / conf
-    12_000_000,  // dlg / poses / logs
+    200_000,    // mol2
+    400_000,    // ligand pdbqt
+    2_000_000,  // receptor pdbqt
+    100_000,    // gpf
+    45_000_000, // grid maps (the bulk of the volume)
+    100_000,    // dpf / conf
+    12_000_000, // dlg / poses / logs
 ];
 
 /// The calibrated cost model.
@@ -75,10 +75,10 @@ impl Default for CostModel {
         CostModel {
             prep: [
                 // Fig. 10 rows: min / avg / max
-                CostDist { min_s: 0.88, mean_s: 2.42, max_s: 12.56 },   // babel1k
+                CostDist { min_s: 0.88, mean_s: 2.42, max_s: 12.56 }, // babel1k
                 CostDist { min_s: 2.04, mean_s: 27.45, max_s: 457.53 }, // autoligand41k
                 CostDist { min_s: 1.16, mean_s: 23.12, max_s: 122.59 }, // autoreceptor41k
-                CostDist { min_s: 1.48, mean_s: 19.99, max_s: 53.29 },  // autogpf41k
+                CostDist { min_s: 1.48, mean_s: 19.99, max_s: 53.29 }, // autogpf41k
                 CostDist { min_s: 1.51, mean_s: 18.48, max_s: 163.44 }, // autogrid41k
                 CostDist { min_s: 18.71, mean_s: 42.95, max_s: 66.60 }, // configprep1k
             ],
@@ -110,11 +110,7 @@ impl CostModel {
 /// scaled by the receptor's size relative to the dataset mean, reproducing
 /// the correlation the paper observes between input size and runtime.
 pub fn build_sim_tasks(ds: &Dataset, mode: EngineMode, cost: &CostModel) -> Vec<SimTask> {
-    let mean_atoms = ds
-        .receptors
-        .iter()
-        .map(|r| r.heavy_atoms as f64)
-        .sum::<f64>()
+    let mean_atoms = ds.receptors.iter().map(|r| r.heavy_atoms as f64).sum::<f64>()
         / ds.receptors.len().max(1) as f64;
     let mut tasks = Vec::with_capacity(ds.pair_count() * 7);
     for r in &ds.receptors {
@@ -172,8 +168,7 @@ mod tests {
     fn sample_mean_near_target() {
         let d = CostDist { min_s: 0.0, mean_s: 30.0, max_s: 1.0e9 };
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|k| d.sample(&format!("m{k}"))).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|k| d.sample(&format!("m{k}"))).sum::<f64>() / n as f64;
         assert!((mean - 30.0).abs() < 2.0, "sample mean {mean}");
     }
 
@@ -226,14 +221,10 @@ mod tests {
     fn ad4_tasks_heavier_than_vina() {
         let ds = small_ds();
         let c = CostModel::default();
-        let ad4: f64 = build_sim_tasks(&ds, EngineMode::Ad4Only, &c)
-            .iter()
-            .map(|t| t.nominal_s)
-            .sum();
-        let vina: f64 = build_sim_tasks(&ds, EngineMode::VinaOnly, &c)
-            .iter()
-            .map(|t| t.nominal_s)
-            .sum();
+        let ad4: f64 =
+            build_sim_tasks(&ds, EngineMode::Ad4Only, &c).iter().map(|t| t.nominal_s).sum();
+        let vina: f64 =
+            build_sim_tasks(&ds, EngineMode::VinaOnly, &c).iter().map(|t| t.nominal_s).sum();
         assert!(ad4 > vina, "{ad4} vs {vina}");
     }
 
@@ -259,11 +250,7 @@ mod tests {
         let small = crate::dataset::make_receptor("1AEC", &small_p);
         let big = crate::dataset::make_receptor("1AEC", &big_p);
         let lig = crate::dataset::make_ligand("042", &small_p);
-        let ds = Dataset {
-            receptors: vec![small, big],
-            ligands: vec![lig],
-            params: small_p,
-        };
+        let ds = Dataset { receptors: vec![small, big], ligands: vec![lig], params: small_p };
         let tasks = build_sim_tasks(&ds, EngineMode::VinaOnly, &CostModel::default());
         let small_total: f64 = tasks[..7].iter().map(|t| t.nominal_s).sum();
         let big_total: f64 = tasks[7..].iter().map(|t| t.nominal_s).sum();

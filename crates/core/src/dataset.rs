@@ -15,28 +15,26 @@ use molkit::{Element, Molecule, Vec3};
 
 /// The 238 receptor PDB identifiers of Table 2, in the paper's order.
 pub const RECEPTOR_IDS: [&str; 238] = [
-    "1AEC", "1AIM", "1ATK", "1AU0", "1AU2", "1AU3", "1AU4", "1AYU", "1AYV", "1AYW", "1BGO",
-    "1BP4", "1BQI", "1BY8", "1CJL", "1CPJ", "1CQD", "1CS8", "1CSB", "1CTE", "1CVZ", "1DEU",
-    "1EF7", "1EWL", "1EWM", "1EWO", "1EWP", "1F29", "1F2A", "1F2B", "1F2C", "1FH0", "1GEC",
-    "1GLO", "1GMY", "1HUC", "1ICF", "1ITO", "1IWD", "1JQP", "1K3B", "1KHP", "1KHQ", "1M6D",
-    "1ME3", "1ME4", "1MEG", "1MEM", "1MHW", "1MIR", "1MS6", "1NB3", "1NB5", "1NL6", "1NLJ",
-    "1NPZ", "1NQC", "1O0E", "1PAD", "1PBH", "1PCI", "1PE6", "1PIP", "1POP", "1PPD", "1PPN",
-    "1PPO", "1PPP", "1Q6K", "1QDQ", "1S4V", "1SNK", "1SP4", "1STF", "1THE", "1TU6", "1U9Q",
-    "1U9V", "1U9W", "1U9X", "1VSN", "1XKG", "1YAL", "1YK7", "1YK8", "1YT7", "1YVB", "2ACT",
-    "2AIM", "2AS8", "2ATO", "2AUX", "2AUZ", "2B1M", "2B1N", "2BDL", "2BDZ", "2C0Y", "2CIO",
-    "2DC6", "2DC7", "2DC8", "2DC9", "2DCA", "2DCB", "2DCC", "2DCD", "2DJF", "2DJG", "2F1G",
-    "2F7D", "2F05", "2FQ9", "2FRA", "2FRQ", "2FT2", "2FTD", "2FUD", "2FYE", "2G6D", "2G7Y",
-    "2GHU", "2H7J", "2HH5", "2HHN", "2HXZ", "2IPP", "2NQD", "2O6X", "2OP3", "2OUL", "2OZ2",
-    "2P7U", "2P86", "2PAD", "2PBH", "2PNS", "2PRE", "2R6N", "2R9M", "2R9N", "2R9O", "2VHS",
-    "2WBF", "2XU1", "2XU3", "2XU4", "2XU5", "2YJ2", "2YJ8", "2YJ9", "2YJB", "2YJC", "3AI8",
-    "3BC3", "3BCN", "3BPF", "3BPM", "3BWK", "3C9E", "3CBJ", "3CBK", "3CH2", "3CH3", "3D6S",
-    "3E1Z", "3F5V", "3F75", "3H6S", "3H7D", "3H89", "3H8B", "3H8C", "3HD3", "3HHA", "3HHI",
-    "3HWN", "3I06", "3IEJ", "3IMA", "3IOQ", "3IUT", "3IV2", "3K24", "3K9M", "3KFQ", "3KKU",
-    "3KSE", "3KW9", "3KWB", "3KWN", "3KWZ", "3KX1", "3LFY", "3LXS", "3MOR", "3MPE", "3MPF",
-    "3N3G", "3N4C", "3O0U", "3O1G", "3OF8", "3OF9", "3OIS", "3OVX", "3OVZ", "3P5U", "3P5V",
-    "3P5W", "3P5X", "3PBH", "3PDF", "3PNR", "3QJ3", "3QSD", "3QT4", "3RVV", "3RVW", "3RVX",
-    "3S3Q", "3S3R", "3TNX", "3U8E", "3USV", "4AXL", "4AXM", "4DMX", "4DMY", "4HWY", "4K7C",
-    "4KLB", "4PAD", "5PAD", "6PAD", "7PCK", "8PCH", "9PAP",
+    "1AEC", "1AIM", "1ATK", "1AU0", "1AU2", "1AU3", "1AU4", "1AYU", "1AYV", "1AYW", "1BGO", "1BP4",
+    "1BQI", "1BY8", "1CJL", "1CPJ", "1CQD", "1CS8", "1CSB", "1CTE", "1CVZ", "1DEU", "1EF7", "1EWL",
+    "1EWM", "1EWO", "1EWP", "1F29", "1F2A", "1F2B", "1F2C", "1FH0", "1GEC", "1GLO", "1GMY", "1HUC",
+    "1ICF", "1ITO", "1IWD", "1JQP", "1K3B", "1KHP", "1KHQ", "1M6D", "1ME3", "1ME4", "1MEG", "1MEM",
+    "1MHW", "1MIR", "1MS6", "1NB3", "1NB5", "1NL6", "1NLJ", "1NPZ", "1NQC", "1O0E", "1PAD", "1PBH",
+    "1PCI", "1PE6", "1PIP", "1POP", "1PPD", "1PPN", "1PPO", "1PPP", "1Q6K", "1QDQ", "1S4V", "1SNK",
+    "1SP4", "1STF", "1THE", "1TU6", "1U9Q", "1U9V", "1U9W", "1U9X", "1VSN", "1XKG", "1YAL", "1YK7",
+    "1YK8", "1YT7", "1YVB", "2ACT", "2AIM", "2AS8", "2ATO", "2AUX", "2AUZ", "2B1M", "2B1N", "2BDL",
+    "2BDZ", "2C0Y", "2CIO", "2DC6", "2DC7", "2DC8", "2DC9", "2DCA", "2DCB", "2DCC", "2DCD", "2DJF",
+    "2DJG", "2F1G", "2F7D", "2F05", "2FQ9", "2FRA", "2FRQ", "2FT2", "2FTD", "2FUD", "2FYE", "2G6D",
+    "2G7Y", "2GHU", "2H7J", "2HH5", "2HHN", "2HXZ", "2IPP", "2NQD", "2O6X", "2OP3", "2OUL", "2OZ2",
+    "2P7U", "2P86", "2PAD", "2PBH", "2PNS", "2PRE", "2R6N", "2R9M", "2R9N", "2R9O", "2VHS", "2WBF",
+    "2XU1", "2XU3", "2XU4", "2XU5", "2YJ2", "2YJ8", "2YJ9", "2YJB", "2YJC", "3AI8", "3BC3", "3BCN",
+    "3BPF", "3BPM", "3BWK", "3C9E", "3CBJ", "3CBK", "3CH2", "3CH3", "3D6S", "3E1Z", "3F5V", "3F75",
+    "3H6S", "3H7D", "3H89", "3H8B", "3H8C", "3HD3", "3HHA", "3HHI", "3HWN", "3I06", "3IEJ", "3IMA",
+    "3IOQ", "3IUT", "3IV2", "3K24", "3K9M", "3KFQ", "3KKU", "3KSE", "3KW9", "3KWB", "3KWN", "3KWZ",
+    "3KX1", "3LFY", "3LXS", "3MOR", "3MPE", "3MPF", "3N3G", "3N4C", "3O0U", "3O1G", "3OF8", "3OF9",
+    "3OIS", "3OVX", "3OVZ", "3P5U", "3P5V", "3P5W", "3P5X", "3PBH", "3PDF", "3PNR", "3QJ3", "3QSD",
+    "3QT4", "3RVV", "3RVW", "3RVX", "3S3Q", "3S3R", "3TNX", "3U8E", "3USV", "4AXL", "4AXM", "4DMX",
+    "4DMY", "4HWY", "4K7C", "4KLB", "4PAD", "5PAD", "6PAD", "7PCK", "8PCH", "9PAP",
 ];
 
 /// The 42 ligand codes of Table 2. The first four (`042`, `074`, `0D6`,
@@ -242,10 +240,7 @@ mod tests {
     #[test]
     fn some_receptors_carry_hg() {
         let p = DatasetParams::default();
-        let with_hg = RECEPTOR_IDS
-            .iter()
-            .filter(|id| make_receptor(id, &p).has_hg)
-            .count();
+        let with_hg = RECEPTOR_IDS.iter().filter(|id| make_receptor(id, &p).has_hg).count();
         // ~4% of 238 ≈ 9-10; allow a broad band
         assert!((2..=30).contains(&with_hg), "Hg receptors: {with_hg}");
     }
@@ -253,10 +248,7 @@ mod tests {
     #[test]
     fn some_ligands_hang() {
         let p = DatasetParams::default();
-        let hangs = LIGAND_CODES
-            .iter()
-            .filter(|c| make_ligand(c, &p).hangs)
-            .count();
+        let hangs = LIGAND_CODES.iter().filter(|c| make_ligand(c, &p).hangs).count();
         assert!(hangs <= 6, "hang set should be small: {hangs}");
     }
 

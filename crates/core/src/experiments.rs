@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use cloudsim::{fleet_for_cores, FailureModel, NoiseModel, SharedFsModel};
-use cumulus::localbackend::{run_local, LocalConfig, RunReport};
+use cumulus::localbackend::{run_local, DispatchMode, LocalConfig, RunReport};
 use cumulus::simbackend::{simulate, SimConfig, SimReport};
 use cumulus::workflow::FileStore;
 use cumulus::{ElasticityConfig, MasterCostModel, Policy};
@@ -39,6 +39,27 @@ pub fn run_screening(
     threads: usize,
     cfg: &SciDockConfig,
 ) -> ScreeningOutcome {
+    run_screening_dispatched(
+        receptor_ids,
+        ligand_codes,
+        mode,
+        threads,
+        cfg,
+        DispatchMode::default(),
+    )
+}
+
+/// [`run_screening`] with an explicit activation dispatch strategy
+/// (pipelined dataflow vs per-activity barriers) — the knob the straggler
+/// benchmarks compare.
+pub fn run_screening_dispatched(
+    receptor_ids: &[&str],
+    ligand_codes: &[&str],
+    mode: EngineMode,
+    threads: usize,
+    cfg: &SciDockConfig,
+    dispatch: DispatchMode,
+) -> ScreeningOutcome {
     let ds = Dataset::subset(receptor_ids, ligand_codes, DatasetParams::default());
     let files = Arc::new(FileStore::new());
     let prov = Arc::new(ProvenanceStore::new());
@@ -49,7 +70,13 @@ pub fn run_screening(
         input,
         Arc::clone(&files),
         Arc::clone(&prov),
-        &LocalConfig { threads, failures: FailureModel::none(), max_retries: 3, resume_from: None },
+        &LocalConfig {
+            threads,
+            failures: FailureModel::none(),
+            max_retries: 3,
+            resume_from: None,
+            mode: dispatch,
+        },
     )
     .expect("workflow validated");
     let mut results = Vec::new();
@@ -116,7 +143,12 @@ impl Default for SweepConfig {
             seed: 2014,
             receptor_ids: RECEPTOR_IDS.iter().map(|s| s.to_string()).collect(),
             ligand_codes: LIGAND_CODES.iter().map(|s| s.to_string()).collect(),
-            failures: FailureModel { fail_rate: 0.08, hang_rate: 0.015, fail_at_fraction: 0.6, seed: 2014 },
+            failures: FailureModel {
+                fail_rate: 0.08,
+                hang_rate: 0.015,
+                fail_at_fraction: 0.6,
+                seed: 2014,
+            },
             policy: Policy::GreedyWeighted,
             master: MasterCostModel::default(),
             sharedfs: SharedFsModel::default(),
@@ -158,10 +190,7 @@ pub fn simulate_at(
         },
         activity_tags: SIM_ACTIVITY_TAGS.iter().map(|s| s.to_string()).collect(),
         weight_profile: sweep.weight_profile.as_ref().map(|prof| {
-            SIM_ACTIVITY_TAGS
-                .iter()
-                .map(|tag| prof.get(*tag).copied().unwrap_or(1.0))
-                .collect()
+            SIM_ACTIVITY_TAGS.iter().map(|tag| prof.get(*tag).copied().unwrap_or(1.0)).collect()
         }),
     };
     simulate(&tasks, &cfg, prov)
@@ -172,7 +201,11 @@ pub fn simulate_at(
 /// The 1-core point is simulated as the speedup baseline (the paper
 /// normalizes against "the best-performing workflow execution on a single
 /// core").
-pub fn scaling_sweep(core_counts: &[u32], mode: EngineMode, sweep: &SweepConfig) -> Vec<ScalePoint> {
+pub fn scaling_sweep(
+    core_counts: &[u32],
+    mode: EngineMode,
+    sweep: &SweepConfig,
+) -> Vec<ScalePoint> {
     let baseline = simulate_at(1, mode, sweep, None).tet_s;
     core_counts
         .iter()
@@ -267,10 +300,8 @@ mod tests {
         assert!(out.results.iter().all(|r| r.feb.is_finite()));
         // files were produced and recorded
         assert!(out.files.len() > 6);
-        let q = out
-            .prov
-            .query("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'")
-            .unwrap();
+        let q =
+            out.prov.query("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'").unwrap();
         assert!(q.cell(0, 0).as_f64().unwrap() >= 16.0);
     }
 
@@ -338,9 +369,7 @@ mod tests {
         let prov = ProvenanceStore::new();
         let r = simulate_at(4, EngineMode::VinaOnly, &sweep, Some(&prov));
         assert!(r.finished > 0);
-        let q = prov
-            .query("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'")
-            .unwrap();
+        let q = prov.query("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'").unwrap();
         assert_eq!(q.cell(0, 0).as_f64().unwrap() as usize, r.finished);
         // the seven simulated activity tags are registered
         let tags = prov.query("SELECT count(*) FROM hactivity").unwrap();

@@ -146,8 +146,12 @@ mod tests {
         // search energy is ≤ the original; FEB (an affine transform of the
         // intermolecular part) may wiggle, but not explode
         let out = redock_pair("1HUC", "0D6", EngineKind::Vina, &fast_cfg()).unwrap();
-        assert!(out.refined_feb <= out.original_feb + 1.0,
-            "refined {} vs original {}", out.refined_feb, out.original_feb);
+        assert!(
+            out.refined_feb <= out.original_feb + 1.0,
+            "refined {} vs original {}",
+            out.refined_feb,
+            out.original_feb
+        );
         assert!(out.refine_evaluations > 0);
         assert!(out.pose_shift_rmsd.is_finite());
         assert!(out.aligned_shift_rmsd <= out.pose_shift_rmsd + 1e-9);

@@ -59,10 +59,7 @@ impl Relation {
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                let ty = self
-                    .tuples
-                    .iter()
-                    .find_map(|t| t[i].value_type());
+                let ty = self.tuples.iter().find_map(|t| t[i].value_type());
                 (c.clone(), ty)
             })
             .collect()
@@ -144,15 +141,13 @@ impl Operator {
                 let idx: Vec<usize> = keys
                     .iter()
                     .map(|k| {
-                        rel.column(k)
-                            .unwrap_or_else(|| panic!("reduce key {k:?} not in relation"))
+                        rel.column(k).unwrap_or_else(|| panic!("reduce key {k:?} not in relation"))
                     })
                     .collect();
                 let mut order: Vec<String> = Vec::new();
                 let mut groups: std::collections::HashMap<String, Vec<Tuple>> = Default::default();
                 for t in &rel.tuples {
-                    let key: String =
-                        idx.iter().map(|&i| format!("{}\u{1}", t[i])).collect();
+                    let key: String = idx.iter().map(|&i| format!("{}\u{1}", t[i])).collect();
                     groups
                         .entry(key.clone())
                         .or_insert_with(|| {
@@ -255,7 +250,13 @@ mod tests {
 
     #[test]
     fn spec_name_roundtrip() {
-        for op in [Operator::Map, Operator::SplitMap, Operator::Filter, Operator::SRQuery, Operator::MRQuery] {
+        for op in [
+            Operator::Map,
+            Operator::SplitMap,
+            Operator::Filter,
+            Operator::SRQuery,
+            Operator::MRQuery,
+        ] {
             assert_eq!(
                 Operator::from_spec_name(&op.name().to_uppercase()),
                 Some(op.clone()),

@@ -30,9 +30,9 @@ pub mod workflow;
 pub mod xmlspec;
 
 pub use algebra::{Operator, Relation, Tuple};
-pub use localbackend::{run_local, EngineError, LocalConfig, RunReport};
+pub use localbackend::{run_local, DispatchMode, EngineError, LocalConfig, RunReport};
 pub use pool::Pool;
 pub use sched::{ElasticityConfig, MasterCostModel, Policy};
-pub use template::{Template, TemplateError};
 pub use simbackend::{simulate, SimConfig, SimReport, SimTask};
-pub use workflow::{Activity, ActivityError, ActivityFn, ActivationCtx, FileStore, WorkflowDef};
+pub use template::{Template, TemplateError};
+pub use workflow::{ActivationCtx, Activity, ActivityError, ActivityFn, FileStore, WorkflowDef};

@@ -4,17 +4,53 @@
 //!
 //! This is the backend SciDock's biological results (Table 3) come from;
 //! cloud-scale timing studies use [`crate::simbackend`] instead.
+//!
+//! # Dispatch modes
+//!
+//! [`DispatchMode::Barrier`] is the classic SciCumulus stage execution:
+//! every activation of activity N completes before activity N+1 starts, so
+//! a run pays `sum over activities of max(activation time)` — one straggler
+//! per stage serializes the whole fleet.
+//!
+//! [`DispatchMode::Pipelined`] (the default) is a ready-driven dataflow
+//! dispatcher: the instant one pair's activity-N activation finishes, its
+//! output tuples flow into activity N+1 activations, while slower pairs are
+//! still in activity N. Barriers remain only where the algebra requires the
+//! whole input relation — `Reduce` (group boundaries unknown until every
+//! upstream tuple exists) and `SRQuery`/`MRQuery` (relation-level queries).
+//! A chain of Map-like activities therefore pays `max over pairs of
+//! sum(chain)` instead of `sum over activities of max(stage)`.
+//!
+//! Both modes share one activation runner, and failure fates are keyed by
+//! `(activity tag, pair key, attempt)` — schedule-order independent — so
+//! the two modes finish/fail/abort/blacklist the *same* activations and
+//! fill provenance with the same rows (tuple order within a relation and
+//! workdir numbering differ: pipelined numbers activations by arrival).
 
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
-use cloudsim::{Fate, FailureModel};
-use provenance::{ActivationRecord, ActivationStatus, ProvenanceStore, WorkflowId};
-use std::collections::HashMap;
+use cloudsim::{FailureModel, Fate};
+use provenance::{ActivationRecord, ActivationStatus, ActivityId, ProvenanceStore, WorkflowId};
 
-use crate::algebra::{Relation, Tuple};
+use crate::algebra::{Operator, Relation, Tuple};
 use crate::pool::Pool;
 use crate::workflow::{ActivationCtx, FileStore, WorkflowDef};
+
+/// How [`run_local`] schedules activations across activities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Ready-driven dataflow: a tuple enters activity N+1 as soon as its
+    /// activity-N activation finishes; barriers only where the algebra
+    /// requires the full relation (Reduce, SRQuery, MRQuery).
+    #[default]
+    Pipelined,
+    /// Activity-by-activity: all of activity N finishes before N+1 starts.
+    Barrier,
+}
 
 /// Local backend configuration.
 #[derive(Debug, Clone)]
@@ -30,6 +66,8 @@ pub struct LocalConfig {
     /// their recorded output tuples are reused (SciCumulus' re-execution
     /// mechanism — "it does not need to restart the entire workflow").
     pub resume_from: Option<WorkflowId>,
+    /// Activation scheduling strategy.
+    pub mode: DispatchMode,
 }
 
 impl Default for LocalConfig {
@@ -39,6 +77,7 @@ impl Default for LocalConfig {
             failures: FailureModel::none(),
             max_retries: 3,
             resume_from: None,
+            mode: DispatchMode::default(),
         }
     }
 }
@@ -90,6 +129,7 @@ impl std::fmt::Display for EngineError {
 impl std::error::Error for EngineError {}
 
 /// Per-activation result collected from a worker.
+#[derive(Default)]
 struct ActOutcome {
     tuples: Vec<Tuple>,
     finished: usize,
@@ -101,32 +141,252 @@ struct ActOutcome {
 
 /// Derive a stable key for one activation (provenance + failure rolls).
 ///
+/// Single-tuple parts (Map/SplitMap/Filter activations) key on that tuple.
+/// Multi-tuple parts (Reduce groups, query relations) must key *order-
+/// insensitively*: the barrier executor assembles a group in submission
+/// order while the pipelined one collects it in completion order, and the
+/// key feeds both resume lookups and failure-fate rolls, which must agree
+/// across modes. They get the smallest per-tuple render plus a digest over
+/// the sorted renders.
+fn pair_key(tuples: &[Tuple]) -> String {
+    match tuples {
+        [] => String::from("<empty>"),
+        [t] => tuple_key(t),
+        many => {
+            let mut keys: Vec<String> = many.iter().map(tuple_key).collect();
+            keys.sort();
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for k in &keys {
+                for b in k.as_bytes() {
+                    h ^= *b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+                h = h.wrapping_mul(0x100_0000_01b3); // separator
+            }
+            let first = keys.swap_remove(0);
+            format!("{first}*{h:016x}")
+        }
+    }
+}
+
+/// Render one tuple as a short key.
+///
 /// Integral floats render without the decimal point so that tuples resumed
 /// from provenance (which stores all numerics as floats) key identically to
 /// their original integer-typed versions.
-fn pair_key(tuples: &[Tuple]) -> String {
-    match tuples.first() {
-        None => String::from("<empty>"),
-        Some(t) => {
-            let mut s = String::new();
-            for (k, v) in t.iter().enumerate() {
-                if k > 0 {
-                    s.push(':');
+fn tuple_key(t: &Tuple) -> String {
+    let mut s = String::new();
+    for (k, v) in t.iter().enumerate() {
+        if k > 0 {
+            s.push(':');
+        }
+        let text = match v {
+            provenance::Value::Float(f) if f.fract() == 0.0 && f.abs() < 1e15 => {
+                format!("{}", *f as i64)
+            }
+            other => other.to_string(),
+        };
+        // keep keys short: long values (file bodies) are truncated
+        if text.len() > 24 {
+            s.push_str(&text[..24]);
+        } else {
+            s.push_str(&text);
+        }
+    }
+    s
+}
+
+/// Everything one activity's activations share, regardless of dispatch
+/// mode. Built once per activity, cloned (cheaply, all `Arc`s) into jobs.
+struct ActivityCtx {
+    act_id: ActivityId,
+    wkf: WorkflowId,
+    tag: String,
+    func: crate::workflow::ActivityFn,
+    blacklist: Option<crate::workflow::BlacklistFn>,
+    /// Outputs this activity already finished in the resumed-from run.
+    prior: Arc<HashMap<String, Vec<Tuple>>>,
+    workdir_base: String,
+    files: Arc<FileStore>,
+    prov: Arc<ProvenanceStore>,
+    failures: FailureModel,
+    max_retries: u32,
+    start_base: Instant,
+}
+
+impl ActivityCtx {
+    fn build(
+        def: &WorkflowDef,
+        i: usize,
+        wkf: WorkflowId,
+        files: &Arc<FileStore>,
+        prov: &Arc<ProvenanceStore>,
+        cfg: &LocalConfig,
+        start_base: Instant,
+    ) -> ActivityCtx {
+        let activity = &def.activities[i];
+        let act_id = prov.register_activity(wkf, &activity.tag, activity.operator.name());
+        ActivityCtx {
+            act_id,
+            wkf,
+            tag: activity.tag.clone(),
+            func: Arc::clone(&activity.func),
+            blacklist: activity.blacklist.clone(),
+            prior: Arc::new(
+                cfg.resume_from
+                    .map(|prev| prov.finished_outputs(prev, &activity.tag))
+                    .unwrap_or_default(),
+            ),
+            workdir_base: format!("{}/{}", def.expdir.trim_end_matches('/'), activity.tag),
+            files: Arc::clone(files),
+            prov: Arc::clone(prov),
+            failures: cfg.failures,
+            max_retries: cfg.max_retries,
+            start_base,
+        }
+    }
+
+    /// Execute one activation: resume lookup, blacklist rule, then the
+    /// fate/retry loop with full provenance capture. `part_index` only
+    /// names the activation's working directory.
+    fn run_activation(&self, part: &[Tuple], part_index: usize) -> ActOutcome {
+        let mut out = ActOutcome::default();
+        let key = pair_key(part);
+        // resume: a prior run already finished this activation
+        if let Some(tuples) = self.prior.get(&key) {
+            out.tuples = tuples.clone();
+            out.resumed = 1;
+            return out;
+        }
+        // poison-input rule: never execute blacklisted tuples
+        if let Some(bl) = &self.blacklist {
+            if part.iter().any(|t| bl(t)) {
+                let now = self.start_base.elapsed().as_secs_f64();
+                self.prov.record_activation(&ActivationRecord {
+                    activity: self.act_id,
+                    workflow: self.wkf,
+                    status: ActivationStatus::Blacklisted,
+                    start_time: now,
+                    end_time: now,
+                    machine: None,
+                    retries: 0,
+                    pair_key: key,
+                });
+                out.blacklisted = 1;
+                return out;
+            }
+        }
+        let workdir = format!("{}/{}", self.workdir_base, part_index);
+        // fates are keyed by (tag, pair key, attempt) — independent of
+        // dispatch order, so Barrier and Pipelined roll identical dice
+        let tag_key = format!("{}#{}", self.tag, key);
+        let mut attempt = 0u32;
+        loop {
+            let fate = self.failures.fate(&tag_key, attempt);
+            let start = self.start_base.elapsed().as_secs_f64();
+            match fate {
+                Fate::Hang => {
+                    // the real program would loop forever; the engine
+                    // detects and aborts it
+                    let end = self.start_base.elapsed().as_secs_f64();
+                    self.prov.record_activation(&ActivationRecord {
+                        activity: self.act_id,
+                        workflow: self.wkf,
+                        status: ActivationStatus::Aborted,
+                        start_time: start,
+                        end_time: end,
+                        machine: None,
+                        retries: attempt as i64,
+                        pair_key: key,
+                    });
+                    out.aborted = 1;
+                    return out;
                 }
-                let text = match v {
-                    provenance::Value::Float(f) if f.fract() == 0.0 && f.abs() < 1e15 => {
-                        format!("{}", *f as i64)
+                Fate::Fail => {
+                    let mut ctx = ActivationCtx::new(&self.files, &workdir);
+                    let _ = (self.func)(part, &mut ctx); // work is lost
+                    let end = self.start_base.elapsed().as_secs_f64();
+                    self.prov.record_activation(&ActivationRecord {
+                        activity: self.act_id,
+                        workflow: self.wkf,
+                        status: ActivationStatus::Failed,
+                        start_time: start,
+                        end_time: end,
+                        machine: None,
+                        retries: attempt as i64,
+                        pair_key: key.clone(),
+                    });
+                    out.failed_attempts += 1;
+                    if attempt >= self.max_retries {
+                        return out;
                     }
-                    other => other.to_string(),
-                };
-                // keep keys short: long values (file bodies) are truncated
-                if text.len() > 24 {
-                    s.push_str(&text[..24]);
-                } else {
-                    s.push_str(&text);
+                    attempt += 1;
+                }
+                Fate::Ok => {
+                    let mut ctx = ActivationCtx::new(&self.files, &workdir);
+                    match (self.func)(part, &mut ctx) {
+                        Ok(tuples) => {
+                            let end = self.start_base.elapsed().as_secs_f64();
+                            let task = self.prov.record_activation(&ActivationRecord {
+                                activity: self.act_id,
+                                workflow: self.wkf,
+                                status: ActivationStatus::Finished,
+                                start_time: start,
+                                end_time: end,
+                                machine: None,
+                                retries: attempt as i64,
+                                pair_key: key.clone(),
+                            });
+                            for path in ctx.produced_files() {
+                                let size = self.files.size(path).unwrap_or(0) as i64;
+                                let (dir, name) = split_path(path);
+                                self.prov.record_file(task, self.act_id, self.wkf, name, size, dir);
+                            }
+                            for (name, num, text) in &ctx.params {
+                                self.prov.record_parameter(
+                                    task,
+                                    self.wkf,
+                                    name,
+                                    *num,
+                                    text.as_deref(),
+                                );
+                            }
+                            for (ti, t) in tuples.iter().enumerate() {
+                                self.prov.record_output_tuple(
+                                    task,
+                                    self.act_id,
+                                    self.wkf,
+                                    &key,
+                                    ti,
+                                    t,
+                                );
+                            }
+                            out.tuples = tuples;
+                            out.finished = 1;
+                            return out;
+                        }
+                        Err(_e) => {
+                            // domain error: behaves like a failure
+                            let end = self.start_base.elapsed().as_secs_f64();
+                            self.prov.record_activation(&ActivationRecord {
+                                activity: self.act_id,
+                                workflow: self.wkf,
+                                status: ActivationStatus::Failed,
+                                start_time: start,
+                                end_time: end,
+                                machine: None,
+                                retries: attempt as i64,
+                                pair_key: key.clone(),
+                            });
+                            out.failed_attempts += 1;
+                            if attempt >= self.max_retries {
+                                return out;
+                            }
+                            attempt += 1;
+                        }
+                    }
                 }
             }
-            s
         }
     }
 }
@@ -143,198 +403,54 @@ pub fn run_local(
     let pool = Pool::new(cfg.threads);
     let wkf = prov.begin_workflow(&def.tag, &def.description, &def.expdir);
     let t0 = Instant::now();
+    match cfg.mode {
+        DispatchMode::Barrier => run_barrier(def, input, files, prov, cfg, &pool, wkf, t0),
+        DispatchMode::Pipelined => run_pipelined(def, input, files, prov, cfg, &pool, wkf, t0),
+    }
+}
 
+/// Stage-at-a-time executor: one `execute_all` barrier per activity.
+#[allow(clippy::too_many_arguments)]
+fn run_barrier(
+    def: &WorkflowDef,
+    input: Relation,
+    files: Arc<FileStore>,
+    prov: Arc<ProvenanceStore>,
+    cfg: &LocalConfig,
+    pool: &Pool,
+    wkf: WorkflowId,
+    t0: Instant,
+) -> Result<RunReport, EngineError> {
     let mut outputs: Vec<Relation> = Vec::with_capacity(def.activities.len());
-    let mut finished = 0usize;
-    let mut failed_attempts = 0usize;
-    let mut aborted = 0usize;
-    let mut blacklisted = 0usize;
-    let mut resumed = 0usize;
+    let mut report = RunReport {
+        workflow: wkf,
+        total_seconds: 0.0,
+        finished: 0,
+        failed_attempts: 0,
+        aborted: 0,
+        blacklisted: 0,
+        resumed: 0,
+        outputs: Vec::new(),
+    };
 
     for (i, activity) in def.activities.iter().enumerate() {
-        let act_id = prov.register_activity(wkf, &activity.tag, activity.operator.name());
+        let actx = Arc::new(ActivityCtx::build(def, i, wkf, &files, &prov, cfg, t0));
         let input_rel = def.input_for(i, &input, &outputs);
         let parts = activity.operator.partition(&input_rel);
-        // resume: outputs of activations this activity already finished in
-        // the prior run, keyed by pair key
-        let prior: Arc<HashMap<String, Vec<Tuple>>> = Arc::new(
-            cfg.resume_from
-                .map(|prev| prov.finished_outputs(prev, &activity.tag))
-                .unwrap_or_default(),
-        );
 
         let jobs: Vec<_> = parts
             .into_iter()
             .enumerate()
             .map(|(j, part)| {
-                let func = Arc::clone(&activity.func);
-                let blacklist = activity.blacklist.clone();
-                let files = Arc::clone(&files);
-                let prov = Arc::clone(&prov);
-                let failures = cfg.failures;
-                let max_retries = cfg.max_retries;
-                let workdir = format!(
-                    "{}/{}/{}",
-                    def.expdir.trim_end_matches('/'),
-                    activity.tag,
-                    j
-                );
-                let tag_key = format!("{}#{}", activity.tag, pair_key(&part));
-                let start_base = t0;
-                let prior = Arc::clone(&prior);
-                move || -> ActOutcome {
-                    let mut out = ActOutcome {
-                        tuples: Vec::new(),
-                        finished: 0,
-                        failed_attempts: 0,
-                        aborted: 0,
-                        blacklisted: 0,
-                        resumed: 0,
-                    };
-                    let key = pair_key(&part);
-                    // resume: a prior run already finished this activation
-                    if let Some(tuples) = prior.get(&key) {
-                        out.tuples = tuples.clone();
-                        out.resumed = 1;
-                        return out;
-                    }
-                    // poison-input rule: never execute blacklisted tuples
-                    if let Some(bl) = &blacklist {
-                        if part.iter().any(|t| bl(t)) {
-                            let now = start_base.elapsed().as_secs_f64();
-                            prov.record_activation(&ActivationRecord {
-                                activity: act_id,
-                                workflow: wkf,
-                                status: ActivationStatus::Blacklisted,
-                                start_time: now,
-                                end_time: now,
-                                machine: None,
-                                retries: 0,
-                                pair_key: key,
-                            });
-                            out.blacklisted = 1;
-                            return out;
-                        }
-                    }
-                    let mut attempt = 0u32;
-                    loop {
-                        let fate = failures.fate(&tag_key, attempt);
-                        let start = start_base.elapsed().as_secs_f64();
-                        match fate {
-                            Fate::Hang => {
-                                // the real program would loop forever; the
-                                // engine detects and aborts it
-                                let end = start_base.elapsed().as_secs_f64();
-                                prov.record_activation(&ActivationRecord {
-                                    activity: act_id,
-                                    workflow: wkf,
-                                    status: ActivationStatus::Aborted,
-                                    start_time: start,
-                                    end_time: end,
-                                    machine: None,
-                                    retries: attempt as i64,
-                                    pair_key: key,
-                                });
-                                out.aborted = 1;
-                                return out;
-                            }
-                            Fate::Fail => {
-                                let mut ctx = ActivationCtx::new(&files, &workdir);
-                                let _ = func(&part, &mut ctx); // work is lost
-                                let end = start_base.elapsed().as_secs_f64();
-                                prov.record_activation(&ActivationRecord {
-                                    activity: act_id,
-                                    workflow: wkf,
-                                    status: ActivationStatus::Failed,
-                                    start_time: start,
-                                    end_time: end,
-                                    machine: None,
-                                    retries: attempt as i64,
-                                    pair_key: key.clone(),
-                                });
-                                out.failed_attempts += 1;
-                                if attempt >= max_retries {
-                                    return out;
-                                }
-                                attempt += 1;
-                            }
-                            Fate::Ok => {
-                                let mut ctx = ActivationCtx::new(&files, &workdir);
-                                match func(&part, &mut ctx) {
-                                    Ok(tuples) => {
-                                        let end = start_base.elapsed().as_secs_f64();
-                                        let task = prov.record_activation(&ActivationRecord {
-                                            activity: act_id,
-                                            workflow: wkf,
-                                            status: ActivationStatus::Finished,
-                                            start_time: start,
-                                            end_time: end,
-                                            machine: None,
-                                            retries: attempt as i64,
-                                            pair_key: key.clone(),
-                                        });
-                                        for path in ctx.produced_files() {
-                                            let size =
-                                                files.size(path).unwrap_or(0) as i64;
-                                            let (dir, name) = split_path(path);
-                                            prov.record_file(task, act_id, wkf, name, size, dir);
-                                        }
-                                        for (name, num, text) in &ctx.params {
-                                            prov.record_parameter(
-                                                task,
-                                                wkf,
-                                                name,
-                                                *num,
-                                                text.as_deref(),
-                                            );
-                                        }
-                                        for (ti, t) in tuples.iter().enumerate() {
-                                            prov.record_output_tuple(
-                                                task, act_id, wkf, &key, ti, t,
-                                            );
-                                        }
-                                        out.tuples = tuples;
-                                        out.finished = 1;
-                                        return out;
-                                    }
-                                    Err(_e) => {
-                                        // domain error: behaves like a failure
-                                        let end = start_base.elapsed().as_secs_f64();
-                                        prov.record_activation(&ActivationRecord {
-                                            activity: act_id,
-                                            workflow: wkf,
-                                            status: ActivationStatus::Failed,
-                                            start_time: start,
-                                            end_time: end,
-                                            machine: None,
-                                            retries: attempt as i64,
-                                            pair_key: key.clone(),
-                                        });
-                                        out.failed_attempts += 1;
-                                        if attempt >= max_retries {
-                                            return out;
-                                        }
-                                        attempt += 1;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
+                let actx = Arc::clone(&actx);
+                move || actx.run_activation(&part, j)
             })
             .collect();
 
         let results = pool.execute_all(jobs);
-        let mut rel = Relation {
-            columns: activity.output_columns.clone(),
-            tuples: Vec::new(),
-        };
+        let mut rel = Relation { columns: activity.output_columns.clone(), tuples: Vec::new() };
         for r in results {
-            finished += r.finished;
-            failed_attempts += r.failed_attempts;
-            aborted += r.aborted;
-            blacklisted += r.blacklisted;
-            resumed += r.resumed;
+            tally(&mut report, &r);
             for t in r.tuples {
                 assert_eq!(
                     t.len(),
@@ -348,16 +464,256 @@ pub fn run_local(
         outputs.push(rel);
     }
 
-    Ok(RunReport {
+    report.outputs = outputs;
+    report.total_seconds = t0.elapsed().as_secs_f64();
+    Ok(report)
+}
+
+/// Message a finished activation sends back to the dispatcher; `Err` holds
+/// a panic payload to re-raise (so a panicking activity function behaves
+/// identically to the barrier executor).
+type Completion = (usize, std::thread::Result<ActOutcome>);
+
+/// Dispatcher-side state of one activity in the pipelined executor.
+struct ActState {
+    /// Context shared with this activity's activations on the pool.
+    ctx: Arc<ActivityCtx>,
+    /// `Reduce`/`SRQuery`/`MRQuery` need the whole input relation before
+    /// partitioning; Map-like operators dispatch tuple-by-tuple.
+    is_barrier_op: bool,
+    /// Columns of this activity's *input* relation (upstream schema or the
+    /// workflow input schema) — needed for route filtering and Reduce keys.
+    input_columns: Vec<String>,
+    /// Buffered input tuples (barrier operators only).
+    buffer: Vec<Tuple>,
+    /// Upstream activities that have not closed yet.
+    upstream_open: usize,
+    /// Activations submitted but not yet completed.
+    in_flight: usize,
+    /// Next working-directory index (arrival order).
+    next_part: usize,
+    /// No more input will arrive (all upstreams closed + barrier flushed).
+    input_done: bool,
+    /// Output relation, filled in completion order.
+    output: Relation,
+    closed: bool,
+}
+
+/// Ready-driven dataflow executor (see module docs): activations are
+/// submitted the moment their input exists, with per-activity barriers only
+/// for Reduce/queries. Mirrors `simbackend::simulate`'s ready-queue
+/// structure, with the mpsc completion channel playing the event queue.
+#[allow(clippy::too_many_arguments)]
+fn run_pipelined(
+    def: &WorkflowDef,
+    input: Relation,
+    files: Arc<FileStore>,
+    prov: Arc<ProvenanceStore>,
+    cfg: &LocalConfig,
+    pool: &Pool,
+    wkf: WorkflowId,
+    t0: Instant,
+) -> Result<RunReport, EngineError> {
+    let n = def.activities.len();
+    let (tx, rx) = mpsc::channel::<Completion>();
+
+    // successors with edge multiplicity (a duplicated dep feeds twice, just
+    // like input_for's concatenation would)
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, deps) in def.deps.iter().enumerate() {
+        for &d in deps {
+            successors[d].push(i);
+        }
+    }
+
+    let mut states: Vec<ActState> = (0..n)
+        .map(|i| {
+            let activity = &def.activities[i];
+            let input_columns = if def.deps[i].is_empty() {
+                input.columns.clone()
+            } else {
+                // input_for asserts upstreams share a schema; check the
+                // static column lists up front since we stream per-edge
+                let first = &def.activities[def.deps[i][0]].output_columns;
+                for &d in &def.deps[i] {
+                    assert_eq!(
+                        &def.activities[d].output_columns, first,
+                        "activity {i}: upstream relations must share a schema"
+                    );
+                }
+                first.clone()
+            };
+            ActState {
+                ctx: Arc::new(ActivityCtx::build(def, i, wkf, &files, &prov, cfg, t0)),
+                is_barrier_op: matches!(
+                    activity.operator,
+                    Operator::Reduce { .. } | Operator::SRQuery | Operator::MRQuery
+                ),
+                input_columns,
+                buffer: Vec::new(),
+                upstream_open: def.deps[i].len(),
+                in_flight: 0,
+                next_part: 0,
+                input_done: false,
+                output: Relation { columns: activity.output_columns.clone(), tuples: Vec::new() },
+                closed: false,
+            }
+        })
+        .collect();
+
+    let submit =
+        |state: &mut ActState, i: usize, part: Vec<Tuple>, tx: &mpsc::Sender<Completion>| {
+            let j = state.next_part;
+            state.next_part += 1;
+            state.in_flight += 1;
+            let ctx = Arc::clone(&state.ctx);
+            let tx = tx.clone();
+            pool.spawn(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| ctx.run_activation(&part, j)));
+                // the dispatcher owns the receiver for the whole run, so the
+                // send only fails if run_local is already unwinding
+                let _ = tx.send((i, out));
+            });
+        };
+
+    // deliver tuples to activity `i`, applying its route filter against its
+    // input schema exactly as input_for does on the assembled relation
+    let feed = |state: &mut ActState,
+                i: usize,
+                route: &Option<(String, provenance::Value)>,
+                tuples: Vec<Tuple>,
+                tx: &mpsc::Sender<Completion>| {
+        let mut accepted = tuples;
+        if let Some((col, val)) = route {
+            match state.input_columns.iter().position(|c| c.eq_ignore_ascii_case(col)) {
+                Some(ci) => accepted.retain(|t| t[ci].sql_eq(val).unwrap_or(false)),
+                None => accepted.clear(),
+            }
+        }
+        if state.is_barrier_op {
+            state.buffer.extend(accepted);
+        } else {
+            // Map/SplitMap/Filter partition one activation per tuple, so
+            // each tuple is ready the moment it arrives
+            for t in accepted {
+                submit(state, i, vec![t], tx);
+            }
+        }
+    };
+
+    // when every upstream has closed: flush barrier operators (partition
+    // the buffered relation) and mark the input complete
+    let flush =
+        |state: &mut ActState, i: usize, operator: &Operator, tx: &mpsc::Sender<Completion>| {
+            debug_assert!(!state.input_done);
+            if state.is_barrier_op {
+                let rel = Relation {
+                    columns: state.input_columns.clone(),
+                    tuples: std::mem::take(&mut state.buffer),
+                };
+                for part in operator.partition(&rel) {
+                    submit(state, i, part, tx);
+                }
+            }
+            state.input_done = true;
+        };
+
+    let mut report = RunReport {
         workflow: wkf,
-        total_seconds: t0.elapsed().as_secs_f64(),
-        finished,
-        failed_attempts,
-        aborted,
-        blacklisted,
-        resumed,
-        outputs,
-    })
+        total_seconds: 0.0,
+        finished: 0,
+        failed_attempts: 0,
+        aborted: 0,
+        blacklisted: 0,
+        resumed: 0,
+        outputs: Vec::new(),
+    };
+    let mut open = n;
+
+    // seed: source activities read the (route-filtered) workflow input
+    let mut to_close: Vec<usize> = Vec::new();
+    for (i, state) in states.iter_mut().enumerate() {
+        if def.deps[i].is_empty() {
+            let activity = &def.activities[i];
+            feed(state, i, &activity.route, input.tuples.clone(), &tx);
+            flush(state, i, &activity.operator, &tx);
+            if state.in_flight == 0 {
+                to_close.push(i);
+            }
+        }
+    }
+
+    // event loop: consume completions until every activity closes. The
+    // invariant that keeps `recv` live: the topologically first non-closed
+    // activity always has `input_done` and therefore in-flight work (or it
+    // would have closed already).
+    while open > 0 {
+        // cascade closures breadth-first; closing an activity may complete
+        // the input of (and immediately close) an empty downstream
+        while let Some(i) = to_close.pop() {
+            let state = &mut states[i];
+            debug_assert!(state.input_done && state.in_flight == 0 && !state.closed);
+            state.closed = true;
+            open -= 1;
+            // outputs were already streamed to successors as each
+            // activation completed; closing only completes their input
+            for &d in &successors[i] {
+                let dstate = &mut states[d];
+                dstate.upstream_open -= 1;
+                if dstate.upstream_open == 0 {
+                    flush(dstate, d, &def.activities[d].operator, &tx);
+                    if dstate.in_flight == 0 && !dstate.closed {
+                        to_close.push(d);
+                    }
+                }
+            }
+        }
+        if open == 0 {
+            break;
+        }
+
+        let (i, outcome) = rx.recv().expect("dispatcher holds a sender");
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(payload) => resume_unwind(payload),
+        };
+        tally(&mut report, &outcome);
+        let state = &mut states[i];
+        state.in_flight -= 1;
+        for t in &outcome.tuples {
+            assert_eq!(
+                t.len(),
+                state.output.columns.len(),
+                "activity {} produced tuple of wrong arity",
+                def.activities[i].tag
+            );
+        }
+        state.output.tuples.extend(outcome.tuples.iter().cloned());
+        // stream this activation's outputs straight into ready downstreams
+        // (tuple-at-a-time operators start working on them immediately;
+        // barrier operators buffer until this activity closes)
+        if !outcome.tuples.is_empty() {
+            for &d in &successors[i] {
+                feed(&mut states[d], d, &def.activities[d].route, outcome.tuples.clone(), &tx);
+            }
+        }
+        let state = &states[i];
+        if state.input_done && state.in_flight == 0 && !state.closed {
+            to_close.push(i);
+        }
+    }
+
+    report.outputs = states.into_iter().map(|s| s.output).collect();
+    report.total_seconds = t0.elapsed().as_secs_f64();
+    Ok(report)
+}
+
+fn tally(report: &mut RunReport, out: &ActOutcome) {
+    report.finished += out.finished;
+    report.failed_attempts += out.failed_attempts;
+    report.aborted += out.aborted;
+    report.blacklisted += out.blacklisted;
+    report.resumed += out.resumed;
 }
 
 fn split_path(path: &str) -> (&str, &str) {
@@ -458,11 +814,15 @@ mod tests {
         };
         let prov = Arc::new(ProvenanceStore::new());
         let files = Arc::new(FileStore::new());
-        let _ = run_local(&wf, input(3), Arc::clone(&files), Arc::clone(&prov), &LocalConfig::default())
-            .unwrap();
-        let r = prov
-            .query("SELECT fname, fdir FROM hfile WHERE fname LIKE '%.dlg'")
-            .unwrap();
+        let _ = run_local(
+            &wf,
+            input(3),
+            Arc::clone(&files),
+            Arc::clone(&prov),
+            &LocalConfig::default(),
+        )
+        .unwrap();
+        let r = prov.query("SELECT fname, fdir FROM hfile WHERE fname LIKE '%.dlg'").unwrap();
         assert_eq!(r.len(), 3);
         assert_eq!(r.cell(0, 0), &Value::from("result.dlg"));
         assert!(r.cell(0, 1).to_string().starts_with("/root/exp/dock/"));
@@ -475,7 +835,12 @@ mod tests {
     fn failures_are_retried() {
         let cfg = LocalConfig {
             threads: 4,
-            failures: FailureModel { fail_rate: 0.3, hang_rate: 0.0, fail_at_fraction: 0.5, seed: 5 },
+            failures: FailureModel {
+                fail_rate: 0.3,
+                hang_rate: 0.0,
+                fail_at_fraction: 0.5,
+                seed: 5,
+            },
             max_retries: 10,
             ..Default::default()
         };
@@ -491,9 +856,8 @@ mod tests {
         // with generous retries every activation eventually finishes
         assert_eq!(report.finished, 60);
         assert!(report.failed_attempts > 0, "the 30% fail rate must bite");
-        let failed = prov
-            .query("SELECT count(*) FROM hactivation WHERE status = 'FAILED'")
-            .unwrap();
+        let failed =
+            prov.query("SELECT count(*) FROM hactivation WHERE status = 'FAILED'").unwrap();
         assert_eq!(
             failed.cell(0, 0),
             &Value::Int(report.failed_attempts as i64),
@@ -505,7 +869,12 @@ mod tests {
     fn hangs_are_aborted_and_dropped() {
         let cfg = LocalConfig {
             threads: 2,
-            failures: FailureModel { fail_rate: 0.0, hang_rate: 0.5, fail_at_fraction: 0.5, seed: 2 },
+            failures: FailureModel {
+                fail_rate: 0.0,
+                hang_rate: 0.5,
+                fail_at_fraction: 0.5,
+                seed: 2,
+            },
             max_retries: 1,
             ..Default::default()
         };
@@ -540,9 +909,8 @@ mod tests {
         .unwrap();
         assert_eq!(report.blacklisted, 5);
         assert_eq!(report.final_output().len(), 5);
-        let r = prov
-            .query("SELECT count(*) FROM hactivation WHERE status = 'BLACKLISTED'")
-            .unwrap();
+        let r =
+            prov.query("SELECT count(*) FROM hactivation WHERE status = 'BLACKLISTED'").unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(5));
     }
 
@@ -610,12 +978,10 @@ mod tests {
             description: String::new(),
             expdir: "/e".into(),
             activities: vec![
-                Activity::map("fanout", &["k", "one"], split)
-                    .with_operator(Operator::SplitMap),
+                Activity::map("fanout", &["k", "one"], split).with_operator(Operator::SplitMap),
                 Activity::map("sum_by_k", &["k", "total"], reduce)
                     .with_operator(Operator::Reduce { keys: vec!["k".into()] }),
-                Activity::map("grand_total", &["grand"], query)
-                    .with_operator(Operator::SRQuery),
+                Activity::map("grand_total", &["grand"], query).with_operator(Operator::SRQuery),
             ],
             deps: vec![vec![], vec![0], vec![1]],
         };
@@ -649,11 +1015,8 @@ mod tests {
                  WHERE a.actid = t.actid GROUP BY a.tag ORDER BY a.tag",
             )
             .unwrap();
-        let counts: Vec<(String, f64)> = q
-            .rows
-            .iter()
-            .map(|r| (r[0].to_string(), r[1].as_f64().unwrap()))
-            .collect();
+        let counts: Vec<(String, f64)> =
+            q.rows.iter().map(|r| (r[0].to_string(), r[1].as_f64().unwrap())).collect();
         assert_eq!(
             counts,
             vec![
@@ -685,9 +1048,15 @@ mod tests {
         // run 1: heavy failures, no retries -> some tuples dropped
         let cfg1 = LocalConfig {
             threads: 2,
-            failures: FailureModel { fail_rate: 0.5, hang_rate: 0.0, fail_at_fraction: 0.5, seed: 9 },
+            failures: FailureModel {
+                fail_rate: 0.5,
+                hang_rate: 0.0,
+                fail_at_fraction: 0.5,
+                seed: 9,
+            },
             max_retries: 0,
             resume_from: None,
+            ..Default::default()
         };
         let r1 = run_local(&wf, input(20), Arc::clone(&files), Arc::clone(&prov), &cfg1).unwrap();
         assert!(r1.finished < 20, "some activations must drop");
@@ -701,6 +1070,7 @@ mod tests {
             failures: FailureModel::none(),
             max_retries: 0,
             resume_from: Some(r1.workflow),
+            ..Default::default()
         };
         let r2 = run_local(&wf, input(20), Arc::clone(&files), Arc::clone(&prov), &cfg2).unwrap();
         assert_eq!(r2.resumed, r1.finished, "every finished activation is reused");
@@ -719,11 +1089,16 @@ mod tests {
         let wf = simple_workflow();
         let prov = Arc::new(ProvenanceStore::new());
         let files = Arc::new(FileStore::new());
-        let r1 = run_local(&wf, input(5), Arc::clone(&files), Arc::clone(&prov), &LocalConfig::default())
-            .unwrap();
+        let r1 = run_local(
+            &wf,
+            input(5),
+            Arc::clone(&files),
+            Arc::clone(&prov),
+            &LocalConfig::default(),
+        )
+        .unwrap();
         let cfg2 = LocalConfig { resume_from: Some(r1.workflow), ..Default::default() };
-        let r2 =
-            run_local(&wf, input(5), files, Arc::clone(&prov), &cfg2).unwrap();
+        let r2 = run_local(&wf, input(5), files, Arc::clone(&prov), &cfg2).unwrap();
         assert_eq!(r2.resumed, 10, "both activities fully resumed");
         assert_eq!(r2.finished, 0);
         let mut a: Vec<f64> =
@@ -739,5 +1114,266 @@ mod tests {
     fn split_path_helper() {
         assert_eq!(split_path("/a/b/c.dlg"), ("/a/b/", "c.dlg"));
         assert_eq!(split_path("file.txt"), ("", "file.txt"));
+    }
+
+    // ---- pipelined vs barrier parity & pipelining behavior ----
+
+    /// Tuples of a relation, sorted into a canonical order for comparison
+    /// (pipelined mode collects outputs in completion order).
+    fn sorted_tuples(rel: &Relation) -> Vec<String> {
+        let mut v: Vec<String> = rel
+            .tuples
+            .iter()
+            .map(|t| t.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|"))
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn status_counts(prov: &ProvenanceStore, wkf: WorkflowId) -> Vec<(String, i64)> {
+        let q = prov
+            .query(
+                "SELECT status, count(*) FROM hactivation \
+                 GROUP BY status ORDER BY status",
+            )
+            .unwrap();
+        let _ = wkf;
+        q.rows.iter().map(|r| (r[0].to_string(), r[1].as_f64().unwrap() as i64)).collect()
+    }
+
+    /// A messy workflow: fan-out, routing, blacklist, reduce, query — the
+    /// whole algebra — run under both dispatch modes with failures and
+    /// hangs on. Every aggregate the engine reports must match.
+    #[test]
+    fn pipelined_matches_barrier_semantics() {
+        use crate::algebra::Operator;
+        let mk_wf = || {
+            let split: crate::workflow::ActivityFn = Arc::new(|tuples, _ctx| {
+                let n = tuples[0][0].as_f64().unwrap_or(0.0) as i64;
+                Ok((0..(n % 3) + 1).map(|j| vec![Value::Int(n), Value::Int(j)]).collect())
+            });
+            let work: crate::workflow::ActivityFn = Arc::new(|tuples, ctx| {
+                ctx.write_file("out.txt", "x");
+                Ok(tuples
+                    .iter()
+                    .map(|t| vec![t[0].clone(), Value::Float(t[1].as_f64().unwrap_or(0.0) * 10.0)])
+                    .collect())
+            });
+            let reduce: crate::workflow::ActivityFn = Arc::new(|tuples, _ctx| {
+                let key = tuples[0][0].clone();
+                let total: f64 = tuples.iter().filter_map(|t| t[1].as_f64()).sum();
+                Ok(vec![vec![key, Value::Float(total)]])
+            });
+            let query: crate::workflow::ActivityFn = Arc::new(|tuples, _ctx| {
+                let grand: f64 = tuples.iter().filter_map(|t| t[1].as_f64()).sum();
+                Ok(vec![vec![Value::Float(grand)]])
+            });
+            WorkflowDef {
+                tag: "parity".into(),
+                description: String::new(),
+                expdir: "/e".into(),
+                activities: vec![
+                    Activity::map("fanout", &["k", "j"], split).with_operator(Operator::SplitMap),
+                    Activity::map("work", &["k", "v"], work)
+                        .with_blacklist(Arc::new(|t| matches!(t[0], Value::Int(k) if k == 7))),
+                    Activity::map("sum_k", &["k", "total"], reduce)
+                        .with_operator(Operator::Reduce { keys: vec!["k".into()] }),
+                    Activity::map("grand", &["grand"], query).with_operator(Operator::SRQuery),
+                ],
+                deps: vec![vec![], vec![0], vec![1], vec![2]],
+            }
+        };
+        let failures =
+            FailureModel { fail_rate: 0.15, hang_rate: 0.05, fail_at_fraction: 0.5, seed: 42 };
+        let run = |mode: DispatchMode| {
+            let prov = Arc::new(ProvenanceStore::new());
+            let cfg = LocalConfig { threads: 4, failures, max_retries: 2, resume_from: None, mode };
+            let rep =
+                run_local(&mk_wf(), input(25), Arc::new(FileStore::new()), Arc::clone(&prov), &cfg)
+                    .unwrap();
+            (rep, prov)
+        };
+        let (barrier, bprov) = run(DispatchMode::Barrier);
+        let (pipelined, pprov) = run(DispatchMode::Pipelined);
+
+        assert_eq!(pipelined.finished, barrier.finished);
+        assert_eq!(pipelined.failed_attempts, barrier.failed_attempts);
+        assert_eq!(pipelined.aborted, barrier.aborted);
+        assert_eq!(pipelined.blacklisted, barrier.blacklisted);
+        assert_eq!(pipelined.resumed, barrier.resumed);
+        assert!(
+            barrier.failed_attempts > 0 && barrier.aborted > 0 && barrier.blacklisted > 0,
+            "the parity scenario must actually exercise failures/hangs/blacklist"
+        );
+        assert_eq!(pipelined.outputs.len(), barrier.outputs.len());
+        for (p, b) in pipelined.outputs.iter().zip(&barrier.outputs) {
+            assert_eq!(sorted_tuples(p), sorted_tuples(b), "per-activity relations match");
+        }
+        assert_eq!(
+            status_counts(&pprov, pipelined.workflow),
+            status_counts(&bprov, barrier.workflow),
+            "identical provenance row counts per status"
+        );
+    }
+
+    /// Resume across dispatch modes: a barrier run's provenance can seed a
+    /// pipelined resume and vice versa (pair keys are mode-independent).
+    #[test]
+    fn pipelined_resumes_from_barrier_run() {
+        let wf = simple_workflow();
+        let prov = Arc::new(ProvenanceStore::new());
+        let files = Arc::new(FileStore::new());
+        let cfg1 = LocalConfig {
+            threads: 2,
+            failures: FailureModel {
+                fail_rate: 0.5,
+                hang_rate: 0.0,
+                fail_at_fraction: 0.5,
+                seed: 9,
+            },
+            max_retries: 0,
+            resume_from: None,
+            mode: DispatchMode::Barrier,
+        };
+        let r1 = run_local(&wf, input(20), Arc::clone(&files), Arc::clone(&prov), &cfg1).unwrap();
+        assert!(r1.finished < 40, "some activations must drop");
+        let cfg2 = LocalConfig {
+            threads: 2,
+            failures: FailureModel::none(),
+            max_retries: 0,
+            resume_from: Some(r1.workflow),
+            mode: DispatchMode::Pipelined,
+        };
+        let r2 = run_local(&wf, input(20), files, Arc::clone(&prov), &cfg2).unwrap();
+        assert_eq!(r2.resumed, r1.finished, "every finished activation is reused");
+        assert_eq!(r2.final_output().len(), 20, "the full relation is recovered");
+    }
+
+    /// The point of the tentpole: an activity-1 straggler must not stop
+    /// other pairs from reaching activity 2.
+    #[test]
+    fn straggler_does_not_block_downstream() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let t0 = Instant::now();
+        let slow: crate::workflow::ActivityFn = Arc::new(|tuples, _ctx| {
+            if tuples[0][0] == Value::Int(0) {
+                std::thread::sleep(std::time::Duration::from_millis(400));
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Ok(tuples.to_vec())
+        });
+        let reached = Arc::new(AtomicUsize::new(0));
+        let first_entry_ms = Arc::new(AtomicUsize::new(usize::MAX));
+        let (rc, fe) = (Arc::clone(&reached), Arc::clone(&first_entry_ms));
+        let second: crate::workflow::ActivityFn = Arc::new(move |tuples, _ctx| {
+            rc.fetch_add(1, Ordering::SeqCst);
+            fe.fetch_min(t0.elapsed().as_millis() as usize, Ordering::SeqCst);
+            Ok(tuples.to_vec())
+        });
+        let wf = WorkflowDef {
+            tag: "straggler".into(),
+            description: String::new(),
+            expdir: "/e".into(),
+            activities: vec![
+                Activity::map("slow_stage", &["x"], slow),
+                Activity::map("fast_stage", &["x"], second),
+            ],
+            deps: vec![vec![], vec![0]],
+        };
+        let cfg = LocalConfig { threads: 4, mode: DispatchMode::Pipelined, ..Default::default() };
+        let report = run_local(
+            &wf,
+            input(8),
+            Arc::new(FileStore::new()),
+            Arc::new(ProvenanceStore::new()),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(report.finished, 16);
+        // pair 0 held activity 1 for ~400 ms; the other 7 pairs must have
+        // entered activity 2 long before that
+        let first = first_entry_ms.load(Ordering::SeqCst);
+        assert!(
+            first < 300,
+            "first pair reached activity 2 after {first} ms — pipelining is not happening"
+        );
+    }
+
+    /// Same workload under the barrier executor for contrast: activity 2
+    /// cannot start until the straggler clears activity 1.
+    #[test]
+    fn barrier_mode_does_block_downstream() {
+        let t0 = Instant::now();
+        let slow: crate::workflow::ActivityFn = Arc::new(|tuples, _ctx| {
+            if tuples[0][0] == Value::Int(0) {
+                std::thread::sleep(std::time::Duration::from_millis(250));
+            }
+            Ok(tuples.to_vec())
+        });
+        let first_entry_ms = Arc::new(std::sync::atomic::AtomicUsize::new(usize::MAX));
+        let fe = Arc::clone(&first_entry_ms);
+        let second: crate::workflow::ActivityFn = Arc::new(move |tuples, _ctx| {
+            fe.fetch_min(t0.elapsed().as_millis() as usize, std::sync::atomic::Ordering::SeqCst);
+            Ok(tuples.to_vec())
+        });
+        let wf = WorkflowDef {
+            tag: "straggler_barrier".into(),
+            description: String::new(),
+            expdir: "/e".into(),
+            activities: vec![
+                Activity::map("slow_stage", &["x"], slow),
+                Activity::map("fast_stage", &["x"], second),
+            ],
+            deps: vec![vec![], vec![0]],
+        };
+        let cfg = LocalConfig { threads: 4, mode: DispatchMode::Barrier, ..Default::default() };
+        let _ = run_local(
+            &wf,
+            input(8),
+            Arc::new(FileStore::new()),
+            Arc::new(ProvenanceStore::new()),
+            &cfg,
+        )
+        .unwrap();
+        let first = first_entry_ms.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(
+            first >= 250,
+            "barrier mode entered activity 2 after only {first} ms — barrier missing"
+        );
+    }
+
+    /// Diamond dependencies (two upstreams into one consumer) with routing
+    /// stay correct under streaming delivery.
+    #[test]
+    fn diamond_with_route_filter_parity() {
+        let ident: crate::workflow::ActivityFn = Arc::new(|t, _| Ok(t.to_vec()));
+        let mk = || WorkflowDef {
+            tag: "diamond".into(),
+            description: String::new(),
+            expdir: "/e".into(),
+            activities: vec![
+                Activity::map("src_a", &["x"], Arc::clone(&ident)),
+                Activity::map("src_b", &["x"], Arc::clone(&ident)),
+                Activity::map("join", &["x"], Arc::clone(&ident)).with_route("x", Value::Int(3)),
+            ],
+            deps: vec![vec![], vec![], vec![0, 1]],
+        };
+        let run = |mode| {
+            run_local(
+                &mk(),
+                input(6),
+                Arc::new(FileStore::new()),
+                Arc::new(ProvenanceStore::new()),
+                &LocalConfig { mode, ..Default::default() },
+            )
+            .unwrap()
+        };
+        let b = run(DispatchMode::Barrier);
+        let p = run(DispatchMode::Pipelined);
+        // both sources emit 0..6; the route keeps only x == 3, twice
+        assert_eq!(b.final_output().len(), 2);
+        assert_eq!(sorted_tuples(p.final_output()), sorted_tuples(b.final_output()));
+        assert_eq!(p.finished, b.finished);
     }
 }

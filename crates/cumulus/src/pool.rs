@@ -4,8 +4,22 @@
 //! layer: the *local* backend executes activations on this pool. Built on
 //! `crossbeam::deque` (per-worker LIFO deques + a global FIFO injector, idle
 //! workers steal from siblings) and `parking_lot` synchronization.
+//!
+//! Two submission APIs:
+//! - [`Pool::submit`] hands one job to the pool and returns a [`JobHandle`]
+//!   immediately; the caller joins (or ignores) it whenever convenient. This
+//!   is what the ready-driven local backend dispatcher uses to keep
+//!   activations flowing without stage barriers.
+//! - [`Pool::execute_all`] is the batch API: submit a vec, block until every
+//!   job finished, return results in submission order.
+//!
+//! Idle workers park on a condvar and are woken per-push. The wakeup
+//! protocol avoids missed notifications by (a) incrementing `queued` before
+//! the job becomes stealable and (b) re-checking `queued` under `idle_lock`
+//! before sleeping; the wait itself keeps a generous timeout purely as a
+//! backstop against bugs, not as a polling loop.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -19,10 +33,64 @@ struct Shared {
     injector: Injector<Job>,
     stealers: Vec<Stealer<Job>>,
     shutdown: AtomicBool,
-    /// Jobs submitted but not yet finished (for idle parking heuristics).
-    pending: AtomicUsize,
+    /// Jobs pushed but not yet *popped* by a worker. This is the parking
+    /// predicate: when it is zero there is nothing to pick up, so sleeping
+    /// is safe. (Jobs still running on other workers don't count — a parked
+    /// worker can do nothing about those.)
+    queued: AtomicUsize,
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
+}
+
+impl Shared {
+    /// Publish one job: count it, make it stealable, wake one sleeper.
+    ///
+    /// `queued` is incremented *before* the push so a worker that observes
+    /// the job in `find_job` never sees a stale zero; the notify is taken
+    /// under `idle_lock` so it cannot land between a worker's re-check and
+    /// its wait.
+    fn inject(&self, job: Job) {
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        self.injector.push(job);
+        let _g = self.idle_lock.lock();
+        self.idle_cv.notify_one();
+    }
+}
+
+/// Completion handle for a job submitted with [`Pool::submit`].
+///
+/// Dropping the handle detaches the job (it still runs).
+pub struct JobHandle<T> {
+    state: Arc<HandleState<T>>,
+}
+
+struct HandleState<T> {
+    result: Mutex<Option<std::thread::Result<T>>>,
+    cv: Condvar,
+}
+
+impl<T> JobHandle<T> {
+    /// Has the job finished (success or panic)?
+    pub fn is_finished(&self) -> bool {
+        self.state.result.lock().is_some()
+    }
+
+    /// Block until the job finishes; `Err` carries a panic payload.
+    pub fn wait(self) -> std::thread::Result<T> {
+        let mut slot = self.state.result.lock();
+        while slot.is_none() {
+            self.state.cv.wait(&mut slot);
+        }
+        slot.take().expect("checked above")
+    }
+
+    /// Block until the job finishes, re-raising its panic if it had one.
+    pub fn join(self) -> T {
+        match self.wait() {
+            Ok(v) => v,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
 }
 
 /// A fixed-size work-stealing thread pool.
@@ -42,7 +110,7 @@ impl Pool {
             injector: Injector::new(),
             stealers,
             shutdown: AtomicBool::new(false),
-            pending: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
         });
@@ -65,6 +133,34 @@ impl Pool {
         self.threads
     }
 
+    /// Submit one job without blocking; the returned handle resolves when
+    /// the job completes. Panics inside the job are captured into the
+    /// handle (and re-raised by [`JobHandle::join`]), never onto a worker.
+    pub fn submit<T, F>(&self, job: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let state = Arc::new(HandleState { result: Mutex::new(None), cv: Condvar::new() });
+        let state2 = Arc::clone(&state);
+        self.shared.inject(Box::new(move || {
+            let out = catch_unwind(AssertUnwindSafe(job));
+            let mut slot = state2.result.lock();
+            *slot = Some(out);
+            state2.cv.notify_all();
+        }));
+        JobHandle { state }
+    }
+
+    /// Fire-and-forget submission. Panics are swallowed (the job is
+    /// responsible for reporting its own outcome, e.g. over a channel).
+    pub fn spawn<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        drop(self.submit(job));
+    }
+
     /// Run every job, returning results in submission order.
     ///
     /// Panics in jobs are caught per-job; the corresponding result re-raises
@@ -75,54 +171,14 @@ impl Pool {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        let n = jobs.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let results: Arc<Mutex<Vec<Option<std::thread::Result<T>>>>> =
-            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
-        let remaining = Arc::new(AtomicUsize::new(n));
-        let done_lock = Arc::new(Mutex::new(()));
-        let done_cv = Arc::new(Condvar::new());
-
-        self.shared.pending.fetch_add(n, Ordering::SeqCst);
-        for (i, job) in jobs.into_iter().enumerate() {
-            let results = Arc::clone(&results);
-            let remaining = Arc::clone(&remaining);
-            let done_lock = Arc::clone(&done_lock);
-            let done_cv = Arc::clone(&done_cv);
-            let shared = Arc::clone(&self.shared);
-            let wrapped: Job = Box::new(move || {
-                let out = catch_unwind(AssertUnwindSafe(job));
-                results.lock()[i] = Some(out);
-                shared.pending.fetch_sub(1, Ordering::SeqCst);
-                if remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-                    let _g = done_lock.lock();
-                    done_cv.notify_all();
-                }
-            });
-            self.shared.injector.push(wrapped);
-        }
-        // wake idle workers
-        {
-            let _g = self.shared.idle_lock.lock();
-            self.shared.idle_cv.notify_all();
-        }
-        // wait for completion
-        let mut g = done_lock.lock();
-        while remaining.load(Ordering::SeqCst) != 0 {
-            done_cv.wait(&mut g);
-        }
-        drop(g);
-
-        let slots = Arc::try_unwrap(results)
-            .unwrap_or_else(|arc| Mutex::new(std::mem::take(&mut *arc.lock())))
-            .into_inner();
-        slots
+        let handles: Vec<JobHandle<T>> = jobs.into_iter().map(|job| self.submit(job)).collect();
+        let results: Vec<std::thread::Result<T>> =
+            handles.into_iter().map(JobHandle::wait).collect();
+        results
             .into_iter()
-            .map(|slot| match slot.expect("every job ran") {
+            .map(|r| match r {
                 Ok(v) => v,
-                Err(payload) => std::panic::resume_unwind(payload),
+                Err(payload) => resume_unwind(payload),
             })
             .collect()
     }
@@ -162,19 +218,20 @@ impl Drop for Pool {
 fn worker_loop(index: usize, local: Worker<Job>, shared: Arc<Shared>) {
     loop {
         if let Some(job) = find_job(index, &local, &shared) {
+            shared.queued.fetch_sub(1, Ordering::SeqCst);
             job();
             continue;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        // nothing to do: park until new work arrives (with a timeout so a
-        // missed notify cannot deadlock the pool)
+        // Nothing to pick up: park until a push wakes us. The re-check of
+        // `queued` under `idle_lock` closes the race with `inject` (which
+        // bumps `queued` before pushing and notifies under the same lock),
+        // so the timeout is only a backstop, not a polling interval.
         let mut g = shared.idle_lock.lock();
-        if shared.pending.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst) {
-            shared
-                .idle_cv
-                .wait_for(&mut g, std::time::Duration::from_millis(5));
+        if shared.queued.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst) {
+            shared.idle_cv.wait_for(&mut g, std::time::Duration::from_millis(250));
         }
     }
 }
@@ -212,6 +269,7 @@ fn find_job(index: usize, local: &Worker<Job>, shared: &Shared) -> Option<Job> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn results_in_submission_order() {
@@ -246,15 +304,12 @@ mod tests {
         // 8 jobs that each sleep 30 ms on 8 threads must finish well under
         // the serial 240 ms
         let pool = Pool::new(8);
-        let t0 = std::time::Instant::now();
+        let t0 = Instant::now();
         pool.map((0..8).collect::<Vec<_>>(), |_| {
-            std::thread::sleep(std::time::Duration::from_millis(30));
+            std::thread::sleep(Duration::from_millis(30));
         });
         let elapsed = t0.elapsed();
-        assert!(
-            elapsed < std::time::Duration::from_millis(200),
-            "took {elapsed:?}, not parallel"
-        );
+        assert!(elapsed < Duration::from_millis(200), "took {elapsed:?}, not parallel");
     }
 
     #[test]
@@ -281,11 +336,8 @@ mod tests {
     #[should_panic(expected = "activation exploded")]
     fn job_panic_propagates_after_batch() {
         let pool = Pool::new(2);
-        let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![
-            Box::new(|| 1),
-            Box::new(|| panic!("activation exploded")),
-            Box::new(|| 3),
-        ];
+        let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("activation exploded")), Box::new(|| 3)];
         let _ = pool.execute_all(jobs);
     }
 
@@ -306,13 +358,69 @@ mod tests {
         // one long job + many short ones: stealing should keep total time
         // near the long job's duration
         let pool = Pool::new(4);
-        let t0 = std::time::Instant::now();
+        let t0 = Instant::now();
         pool.map((0..40).collect::<Vec<_>>(), |i| {
             let ms = if i == 0 { 80 } else { 5 };
-            std::thread::sleep(std::time::Duration::from_millis(ms));
+            std::thread::sleep(Duration::from_millis(ms));
         });
         let elapsed = t0.elapsed();
         // serial would be 80 + 39*5 = 275 ms; balanced is ~80-150 ms
-        assert!(elapsed < std::time::Duration::from_millis(220), "took {elapsed:?}");
+        assert!(elapsed < Duration::from_millis(220), "took {elapsed:?}");
+    }
+
+    #[test]
+    fn submit_returns_value_through_handle() {
+        let pool = Pool::new(2);
+        let h = pool.submit(|| 40 + 2);
+        assert_eq!(h.join(), 42);
+    }
+
+    #[test]
+    fn submit_panic_captured_in_handle_not_worker() {
+        let pool = Pool::new(1);
+        let h = pool.submit(|| -> i32 { panic!("contained") });
+        assert!(h.wait().is_err());
+        // the single worker survived the panic and still runs jobs
+        assert_eq!(pool.submit(|| 7).join(), 7);
+    }
+
+    #[test]
+    fn handles_resolve_out_of_order() {
+        // a short job submitted after a long one must complete (and be
+        // joinable) well before the long one finishes — no batch barrier
+        let pool = Pool::new(2);
+        let long = pool.submit(|| {
+            std::thread::sleep(Duration::from_millis(150));
+            "long"
+        });
+        let t0 = Instant::now();
+        let short = pool.submit(|| "short");
+        assert_eq!(short.join(), "short");
+        assert!(t0.elapsed() < Duration::from_millis(100), "short job waited on long job");
+        assert_eq!(long.join(), "long");
+    }
+
+    #[test]
+    fn parked_pool_wakes_promptly() {
+        let pool = Pool::new(2);
+        // let the workers park
+        std::thread::sleep(Duration::from_millis(120));
+        let t0 = Instant::now();
+        pool.submit(|| ()).join();
+        assert!(
+            t0.elapsed() < Duration::from_millis(60),
+            "parked worker was not woken by push (took {:?})",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn is_finished_tracks_completion() {
+        let pool = Pool::new(1);
+        let h = pool.submit(|| std::thread::sleep(Duration::from_millis(40)));
+        assert!(!h.is_finished());
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(h.is_finished());
+        h.join();
     }
 }

@@ -62,9 +62,7 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // max-heap by weight; FIFO (lower seq first) on ties
-        self.weight
-            .total_cmp(&other.weight)
-            .then_with(|| other.seq.cmp(&self.seq))
+        self.weight.total_cmp(&other.weight).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -80,14 +78,21 @@ impl ReadyQueue {
     }
 
     /// Add a ready task.
+    ///
+    /// Weights are estimates and can be garbage (a cold profile divides by
+    /// zero, a bad cost row goes negative). `total_cmp` sorts NaN above
+    /// +inf, so a single NaN entry would sit at the top of the greedy heap
+    /// and also poison tie-breaking below it — sanitize here instead of
+    /// trusting every producer.
     pub fn push(&mut self, t: ReadyTask) {
+        let weight = if t.weight.is_nan() { 0.0 } else { t.weight.max(0.0) };
         match self.policy {
             Policy::GreedyWeighted => {
                 let seq = self.seq;
                 self.seq += 1;
-                self.heap.push(HeapEntry { weight: t.weight, seq, task: t.task });
+                self.heap.push(HeapEntry { weight, seq, task: t.task });
             }
-            _ => self.fifo.push_back(t),
+            _ => self.fifo.push_back(ReadyTask { task: t.task, weight }),
         }
     }
 
@@ -95,16 +100,20 @@ impl ReadyQueue {
     pub fn pop(&mut self, rng: &mut ChaCha8Rng) -> Option<ReadyTask> {
         match self.policy {
             Policy::RoundRobin => self.fifo.pop_front(),
-            Policy::GreedyWeighted => self
-                .heap
-                .pop()
-                .map(|e| ReadyTask { task: e.task, weight: e.weight }),
+            Policy::GreedyWeighted => {
+                self.heap.pop().map(|e| ReadyTask { task: e.task, weight: e.weight })
+            }
             Policy::Random => {
                 if self.fifo.is_empty() {
                     return None;
                 }
+                // swap the pick to the back and pop: O(1) instead of the
+                // O(n) shift `VecDeque::remove` does. Random order anyway,
+                // so the shuffle it causes is free.
                 let i = rng.gen_range(0..self.fifo.len());
-                self.fifo.remove(i)
+                let last = self.fifo.len() - 1;
+                self.fifo.swap(i, last);
+                self.fifo.pop_back()
             }
         }
     }
@@ -202,7 +211,12 @@ pub struct ElasticityConfig {
 
 impl Default for ElasticityConfig {
     fn default() -> Self {
-        ElasticityConfig { grow_factor: 16.0, cooldown_s: 120.0, idle_release_s: 600.0, max_vms: 32 }
+        ElasticityConfig {
+            grow_factor: 16.0,
+            cooldown_s: 120.0,
+            idle_release_s: 600.0,
+            max_vms: 32,
+        }
     }
 }
 
@@ -237,8 +251,7 @@ mod tests {
     fn round_robin_is_fifo() {
         let mut queue = q(Policy::RoundRobin);
         let mut r = rng();
-        let order: Vec<usize> =
-            std::iter::from_fn(|| queue.pop(&mut r)).map(|t| t.task).collect();
+        let order: Vec<usize> = std::iter::from_fn(|| queue.pop(&mut r)).map(|t| t.task).collect();
         assert_eq!(order, vec![0, 1, 2]);
     }
 
@@ -250,6 +263,45 @@ mod tests {
             std::iter::from_fn(|| queue.pop(&mut r)).map(|t| t.task).collect();
         order.sort_unstable();
         assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nan_weight_does_not_hijack_greedy_order() {
+        let mut queue = ReadyQueue::new(Policy::GreedyWeighted);
+        queue.push(ReadyTask { task: 0, weight: f64::NAN });
+        queue.push(ReadyTask { task: 1, weight: 50.0 });
+        queue.push(ReadyTask { task: 2, weight: -3.0 });
+        queue.push(ReadyTask { task: 3, weight: 20.0 });
+        let mut r = rng();
+        // NaN and negative weights clamp to 0.0 and sink to the bottom
+        // (FIFO among themselves), instead of NaN sorting above +inf.
+        let order: Vec<usize> = std::iter::from_fn(|| queue.pop(&mut r)).map(|t| t.task).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn nan_weight_sanitized_in_fifo_policies_too() {
+        let mut queue = ReadyQueue::new(Policy::RoundRobin);
+        queue.push(ReadyTask { task: 0, weight: f64::NAN });
+        let mut r = rng();
+        assert_eq!(queue.pop(&mut r).unwrap().weight, 0.0);
+    }
+
+    #[test]
+    fn random_pop_uniform_over_large_queue() {
+        // also a smoke test that swap-based removal keeps every element
+        // reachable; with the old O(n) remove this test still passed but
+        // took quadratic time at scale
+        let mut queue = ReadyQueue::new(Policy::Random);
+        for task in 0..500 {
+            queue.push(ReadyTask { task, weight: 1.0 });
+        }
+        let mut r = rng();
+        let mut order: Vec<usize> =
+            std::iter::from_fn(|| queue.pop(&mut r)).map(|t| t.task).collect();
+        assert_ne!(order[..10], (0..10).collect::<Vec<_>>()[..]);
+        order.sort_unstable();
+        assert_eq!(order, (0..500).collect::<Vec<_>>());
     }
 
     #[test]
@@ -308,10 +360,7 @@ mod tests {
         assert!(more_cores > small);
         assert!(more_queue > small);
         // the window caps queue influence
-        assert_eq!(
-            m.dispatch_overhead(100_000, 32),
-            m.dispatch_overhead(m.window, 32)
-        );
+        assert_eq!(m.dispatch_overhead(100_000, 32), m.dispatch_overhead(m.window, 32));
     }
 
     #[test]

@@ -13,8 +13,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use cloudsim::{
-    Cluster, EventQueue, Fate, FailureModel, InstanceType, NoiseModel, SharedFsModel, SimTime,
-    VmId,
+    Cluster, EventQueue, FailureModel, Fate, InstanceType, NoiseModel, SharedFsModel, SimTime, VmId,
 };
 use provenance::{ActivationRecord, ActivationStatus, ActivityId, MachineId, ProvenanceStore};
 
@@ -145,11 +144,8 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
     let (wkf, act_ids): (Option<_>, Vec<Option<ActivityId>>) = match prov {
         Some(p) => {
             let w = p.begin_workflow(&cfg.workflow_tag, "simulated run", "/root/scidock/");
-            let ids = cfg
-                .activity_tags
-                .iter()
-                .map(|t| Some(p.register_activity(w, t, "Map")))
-                .collect();
+            let ids =
+                cfg.activity_tags.iter().map(|t| Some(p.register_activity(w, t, "Map"))).collect();
             (Some(w), ids)
         }
         None => (None, vec![None; cfg.activity_tags.len().max(1)]),
@@ -176,23 +172,32 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
     let mut vm_machine: Vec<Option<MachineId>> = Vec::new();
     let mut released: Vec<bool> = Vec::new();
 
-    let acquire = |itype: &'static InstanceType,
-                       t: SimTime,
-                       cluster: &mut Cluster,
-                       events: &mut EventQueue<Event>,
-                       vm_busy: &mut Vec<u32>,
-                       vm_machine: &mut Vec<Option<MachineId>>,
-                       released: &mut Vec<bool>| {
-        let id = cluster.acquire(itype, t);
-        events.push(cluster.vm(id).ready_at, Event::VmReady(id));
-        vm_busy.push(0);
-        released.push(false);
-        vm_machine.push(prov.map(|p| {
-            p.register_machine(&format!("vm-{}", id.0), itype.name, itype.cores as i64)
-        }));
-    };
+    let acquire =
+        |itype: &'static InstanceType,
+         t: SimTime,
+         cluster: &mut Cluster,
+         events: &mut EventQueue<Event>,
+         vm_busy: &mut Vec<u32>,
+         vm_machine: &mut Vec<Option<MachineId>>,
+         released: &mut Vec<bool>| {
+            let id = cluster.acquire(itype, t);
+            events.push(cluster.vm(id).ready_at, Event::VmReady(id));
+            vm_busy.push(0);
+            released.push(false);
+            vm_machine.push(prov.map(|p| {
+                p.register_machine(&format!("vm-{}", id.0), itype.name, itype.cores as i64)
+            }));
+        };
     for itype in &cfg.fleet {
-        acquire(itype, 0.0, &mut cluster, &mut events, &mut vm_busy, &mut vm_machine, &mut released);
+        acquire(
+            itype,
+            0.0,
+            &mut cluster,
+            &mut events,
+            &mut vm_busy,
+            &mut vm_machine,
+            &mut released,
+        );
     }
 
     let mut report = SimReport {
@@ -221,19 +226,21 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
             .unwrap_or(t.nominal_s)
     };
     // cancel a task and everything downstream of it
-    let cancel_downstream =
-        |start: usize, dropped: &mut Vec<bool>, report: &mut SimReport, successors: &Vec<Vec<usize>>| {
-            let mut stack = vec![start];
-            while let Some(u) = stack.pop() {
-                for &s in &successors[u] {
-                    if !dropped[s] {
-                        dropped[s] = true;
-                        report.cancelled += 1;
-                        stack.push(s);
-                    }
+    let cancel_downstream = |start: usize,
+                             dropped: &mut Vec<bool>,
+                             report: &mut SimReport,
+                             successors: &Vec<Vec<usize>>| {
+        let mut stack = vec![start];
+        while let Some(u) = stack.pop() {
+            for &s in &successors[u] {
+                if !dropped[s] {
+                    dropped[s] = true;
+                    report.cancelled += 1;
+                    stack.push(s);
                 }
             }
-        };
+        }
+    };
 
     // seed ready queue; handle blacklisted roots
     for (i, t) in tasks.iter().enumerate() {
@@ -318,22 +325,24 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
             };
             report.staging_s += staging;
             report.busy_core_seconds += duration;
-            events.push(dispatch_at + duration, Event::TaskDone {
-                task: rt.task,
-                vm: vm_id,
-                attempt,
-                fate,
-            });
+            events.push(
+                dispatch_at + duration,
+                Event::TaskDone { task: rt.task, vm: vm_id, attempt, fate },
+            );
 
             // adaptive elasticity: grow when backlogged
             if let Some(el) = &cfg.elasticity {
                 let alive = cluster.alive_at(now).len()
-                    + cluster.vms().iter().filter(|v| v.ready_at > now && v.released_at.is_none()).count();
+                    + cluster
+                        .vms()
+                        .iter()
+                        .filter(|v| v.ready_at > now && v.released_at.is_none())
+                        .count();
                 if ready.len() as f64 > el.grow_factor * total_cores as f64
                     && now - last_acquire >= el.cooldown_s
                     && alive < el.max_vms
                 {
-                    let itype = if alive % 2 == 0 {
+                    let itype = if alive.is_multiple_of(2) {
                         &cloudsim::M3_2XLARGE
                     } else {
                         &cloudsim::M3_XLARGE
@@ -431,7 +440,12 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
                         }
                     }
                     Fate::Fail => {
-                        record(ActivationStatus::Failed, now - 1.0_f64.min(now), now, attempt as i64);
+                        record(
+                            ActivationStatus::Failed,
+                            now - 1.0_f64.min(now),
+                            now,
+                            attempt as i64,
+                        );
                         report.failed_attempts += 1;
                         if attempt < cfg.max_retries {
                             attempts[ti] = attempt + 1;
@@ -442,7 +456,12 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
                         }
                     }
                     Fate::Hang => {
-                        record(ActivationStatus::Aborted, now - 1.0_f64.min(now), now, attempt as i64);
+                        record(
+                            ActivationStatus::Aborted,
+                            now - 1.0_f64.min(now),
+                            now,
+                            attempt as i64,
+                        );
                         report.aborted += 1;
                         dropped[ti] = true;
                         cancel_downstream(ti, &mut dropped, &mut report, &successors);
@@ -456,8 +475,7 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
                         for v in alive {
                             if vm_busy[v.0] == 0 && !released[v.0] && now > el.idle_release_s {
                                 // keep at least one VM
-                                let still_alive =
-                                    released.iter().filter(|r| !**r).count();
+                                let still_alive = released.iter().filter(|r| !**r).count();
                                 if still_alive <= 1 {
                                     break;
                                 }
@@ -621,11 +639,15 @@ mod tests {
         assert_eq!(r.blacklisted, 0);
         assert_eq!(r.aborted, 1);
         // the hang burned ~20× the nominal runtime
-        let clean = simulate(&chain_tasks(10, 2, 2.0), &{
-            let mut c = base_cfg(4);
-            c.hg_rule = false;
-            c
-        }, None);
+        let clean = simulate(
+            &chain_tasks(10, 2, 2.0),
+            &{
+                let mut c = base_cfg(4);
+                c.hg_rule = false;
+                c
+            },
+            None,
+        );
         assert!(r.busy_core_seconds > clean.busy_core_seconds);
     }
 
@@ -661,9 +683,7 @@ mod tests {
         assert_eq!(q.cell(0, 1), &provenance::Value::Int(5));
         // durations queryable via extract(epoch …)
         let d = prov
-            .query(
-                "SELECT max(extract('epoch' from (endtime - starttime))) FROM hactivation",
-            )
+            .query("SELECT max(extract('epoch' from (endtime - starttime))) FROM hactivation")
             .unwrap();
         assert!(d.cell(0, 0).as_f64().unwrap() > 0.0);
     }
@@ -690,7 +710,8 @@ mod tests {
         let tasks = chain_tasks(50, 2, 4.0);
         let mut cfg = base_cfg(8);
         cfg.noise = NoiseModel { amplitude: 0.1 };
-        cfg.failures = FailureModel { fail_rate: 0.1, hang_rate: 0.01, fail_at_fraction: 0.5, seed: 7 };
+        cfg.failures =
+            FailureModel { fail_rate: 0.1, hang_rate: 0.01, fail_at_fraction: 0.5, seed: 7 };
         let a = simulate(&tasks, &cfg, None);
         let b = simulate(&tasks, &cfg, None);
         assert_eq!(a.tet_s, b.tet_s);

@@ -131,11 +131,8 @@ impl Template {
         values: &BTreeMap<String, String>,
     ) -> Result<(String, Vec<(String, String)>), TemplateError> {
         let rendered = self.render(values)?;
-        let used: Vec<(String, String)> = self
-            .tags()
-            .iter()
-            .map(|t| (t.to_string(), values[*t].clone()))
-            .collect();
+        let used: Vec<(String, String)> =
+            self.tags().iter().map(|t| (t.to_string(), values[*t].clone())).collect();
         Ok((rendered, used))
     }
 }
@@ -196,9 +193,7 @@ mod tests {
     #[test]
     fn instrumented_render_reports_substitutions() {
         let t = Template::parse("dock %REC% %LIG% -out %LIG%_%REC%.dlg").unwrap();
-        let (out, used) = t
-            .render_instrumented(&vals(&[("REC", "2HHN"), ("LIG", "0E6")]))
-            .unwrap();
+        let (out, used) = t.render_instrumented(&vals(&[("REC", "2HHN"), ("LIG", "0E6")])).unwrap();
         assert_eq!(out, "dock 2HHN 0E6 -out 0E6_2HHN.dlg");
         assert_eq!(
             used,

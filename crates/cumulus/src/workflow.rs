@@ -46,13 +46,8 @@ impl FileStore {
 
     /// All paths under a prefix (sorted).
     pub fn list(&self, prefix: &str) -> Vec<String> {
-        let mut v: Vec<String> = self
-            .files
-            .lock()
-            .keys()
-            .filter(|k| k.starts_with(prefix))
-            .cloned()
-            .collect();
+        let mut v: Vec<String> =
+            self.files.lock().keys().filter(|k| k.starts_with(prefix)).cloned().collect();
         v.sort();
         v
     }
@@ -124,9 +119,7 @@ impl<'a> ActivationCtx<'a> {
 
     /// Read any file from the shared store.
     pub fn read_file(&self, path: &str) -> Result<String, ActivityError> {
-        self.files
-            .read(path)
-            .ok_or_else(|| ActivityError(format!("missing input file {path}")))
+        self.files.read(path).ok_or_else(|| ActivityError(format!("missing input file {path}")))
     }
 
     /// Record an extracted domain parameter (SciCumulus extractor component).
@@ -143,8 +136,9 @@ impl<'a> ActivationCtx<'a> {
 /// The function executed per activation: receives the activation's input
 /// tuples (one for Map/Filter, a group for Reduce, everything for queries)
 /// and returns output tuples.
-pub type ActivityFn =
-    Arc<dyn Fn(&[Tuple], &mut ActivationCtx<'_>) -> Result<Vec<Tuple>, ActivityError> + Send + Sync>;
+pub type ActivityFn = Arc<
+    dyn Fn(&[Tuple], &mut ActivationCtx<'_>) -> Result<Vec<Tuple>, ActivityError> + Send + Sync,
+>;
 
 /// Predicate marking tuples that must not be executed (poison inputs, e.g.
 /// Hg-containing receptors — paper §V.C).
@@ -259,12 +253,7 @@ impl WorkflowDef {
     /// Assemble the input relation of activity `i` from upstream outputs
     /// (or the workflow input when it has no dependencies), applying the
     /// activity's route filter.
-    pub fn input_for(
-        &self,
-        i: usize,
-        workflow_input: &Relation,
-        outputs: &[Relation],
-    ) -> Relation {
+    pub fn input_for(&self, i: usize, workflow_input: &Relation, outputs: &[Relation]) -> Relation {
         let a = &self.activities[i];
         let mut rel = if self.deps[i].is_empty() {
             workflow_input.clone()
@@ -331,7 +320,7 @@ mod tests {
         let p = ctx.write_file("out.mol2", "MOL");
         assert_eq!(p, "/exp/babel/0/out.mol2");
         assert!(fs.exists(&p));
-        assert_eq!(ctx.produced_files(), &[p.clone()]);
+        assert_eq!(ctx.produced_files(), std::slice::from_ref(&p));
         ctx.record_param("feb", Some(-5.0), None);
         assert_eq!(ctx.params.len(), 1);
         assert_eq!(ctx.read_file(&p).unwrap(), "MOL");

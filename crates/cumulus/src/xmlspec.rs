@@ -24,10 +24,7 @@ pub struct XmlElement {
 impl XmlElement {
     /// Attribute value by case-insensitive name.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attributes
-            .iter()
-            .find(|(k, _)| k.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+        self.attributes.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
     /// Children with a given tag name.
@@ -221,10 +218,7 @@ fn unescape(s: &str) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;")
-        .replace('<', "&lt;")
-        .replace('>', "&gt;")
-        .replace('"', "&quot;")
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
 }
 
 // ---------------------------------------------------------------------------
@@ -316,10 +310,9 @@ impl SciCumulusSpec {
                 message: format!("root element is <{}>, expected <SciCumulus>", root.name),
             });
         }
-        let db = root.child("database").ok_or_else(|| XmlError {
-            position: 0,
-            message: "missing <database>".into(),
-        })?;
+        let db = root
+            .child("database")
+            .ok_or_else(|| XmlError { position: 0, message: "missing <database>".into() })?;
         let database = DatabaseSpec {
             name: db.attr("name").unwrap_or("scicumulus").to_string(),
             server: db.attr("server").unwrap_or("localhost").to_string(),

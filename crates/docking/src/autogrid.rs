@@ -12,9 +12,7 @@ use molkit::{AdType, Molecule};
 
 use crate::grid::{GridMap, GridSpec};
 use crate::params::{Ad4Params, VinaParams};
-use crate::scoring::{
-    ad4_vdw_hb, dielectric, vina_pair, COULOMB, CUTOFF, DESOLV_SIGMA,
-};
+use crate::scoring::{ad4_vdw_hb, dielectric, vina_pair, COULOMB, CUTOFF, DESOLV_SIGMA};
 
 /// Which engine the grid set serves (their per-point physics differ).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,11 +42,8 @@ impl GridSet {
     /// Names of the map "files" AutoGrid would have produced (used for
     /// provenance records: one `.map` per type + `.e.map` + `.d.map`).
     pub fn map_file_names(&self, receptor: &str) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .affinity
-            .keys()
-            .map(|t| format!("{receptor}.{}.map", t.label()))
-            .collect();
+        let mut names: Vec<String> =
+            self.affinity.keys().map(|t| format!("{receptor}.{}.map", t.label())).collect();
         if self.electrostatic.is_some() {
             names.push(format!("{receptor}.e.map"));
         }

@@ -82,9 +82,7 @@ mod tests {
     /// Three poses at site A (tight), two at site B.
     fn two_sites() -> (Vec<Vec<Vec3>>, Vec<f64>) {
         let site = |base: Vec3, jitter: f64| -> Vec<Vec3> {
-            (0..5)
-                .map(|k| base + Vec3::new(k as f64, jitter, 0.0))
-                .collect()
+            (0..5).map(|k| base + Vec3::new(k as f64, jitter, 0.0)).collect()
         };
         let coords = vec![
             site(Vec3::ZERO, 0.0),

@@ -53,28 +53,23 @@ impl LigandModel {
         let root_centroid = if lig.tree.root.is_empty() {
             lig.mol.centroid()
         } else {
-            let s = lig
-                .tree
-                .root
-                .iter()
-                .fold(Vec3::ZERO, |acc, &i| acc + lig.mol.atoms[i].pos);
+            let s = lig.tree.root.iter().fold(Vec3::ZERO, |acc, &i| acc + lig.mol.atoms[i].pos);
             s / lig.tree.root.len() as f64
         };
-        let ref_coords: Vec<Vec3> =
-            lig.mol.atoms.iter().map(|a| a.pos - root_centroid).collect();
+        let ref_coords: Vec<Vec3> = lig.mol.atoms.iter().map(|a| a.pos - root_centroid).collect();
         let types: Vec<AdType> = lig.mol.atoms.iter().map(|a| a.ad_type).collect();
         let charges: Vec<f64> = lig.mol.atoms.iter().map(|a| a.charge).collect();
 
         // graph distances (BFS from each atom; ligands are small)
         let adj = lig.mol.adjacency();
         let mut dist = vec![vec![u32::MAX; n]; n];
-        for s in 0..n {
+        for (s, row) in dist.iter_mut().enumerate() {
             let mut q = std::collections::VecDeque::from([s]);
-            dist[s][s] = 0;
+            row[s] = 0;
             while let Some(u) = q.pop_front() {
                 for &v in &adj[u] {
-                    if dist[s][v] == u32::MAX {
-                        dist[s][v] = dist[s][u] + 1;
+                    if row[v] == u32::MAX {
+                        row[v] = row[u] + 1;
                         q.push_back(v);
                     }
                 }

@@ -80,7 +80,9 @@ pub fn write_vina_log(res: &DockResult) -> String {
 /// Extract the best FEB from a `.dlg` file.
 pub fn parse_dlg_feb(text: &str) -> Option<f64> {
     for line in text.lines() {
-        if let Some(rest) = line.trim().strip_prefix("DOCKED: USER    Estimated Free Energy of Binding") {
+        if let Some(rest) =
+            line.trim().strip_prefix("DOCKED: USER    Estimated Free Energy of Binding")
+        {
             let num = rest.trim_start_matches(['=', ' ']).split_whitespace().next()?;
             return num.parse().ok();
         }
@@ -154,9 +156,11 @@ mod tests {
             evaluations: 12345,
             pocket_center: Vec3::ZERO,
             torsdof: 5,
-            clusters: vec![
-                crate::engine::ClusterInfo { size: 2, best_feb: -7.25, mean_feb: -6.68 },
-            ],
+            clusters: vec![crate::engine::ClusterInfo {
+                size: 2,
+                best_feb: -7.25,
+                mean_feb: -6.68,
+            }],
             best_pose: crate::conformation::Pose::at(Vec3::ZERO, 0),
         }
     }

@@ -32,10 +32,7 @@ impl<'a> EnergyModel<'a> {
     /// is always run with the ligand's types).
     pub fn new(grids: &'a GridSet, ligand: &'a LigandModel) -> EnergyModel<'a> {
         for t in &ligand.types {
-            assert!(
-                grids.affinity.contains_key(t),
-                "grid set missing affinity map for type {t}"
-            );
+            assert!(grids.affinity.contains_key(t), "grid set missing affinity map for type {t}");
         }
         EnergyModel { grids, ligand, ad4: Ad4Params::new(), vina: VinaParams::default() }
     }
@@ -50,11 +47,8 @@ impl<'a> EnergyModel<'a> {
                     .electrostatic
                     .as_ref()
                     .expect("AD4 grid set has an electrostatic map");
-                let dmap = self
-                    .grids
-                    .desolvation
-                    .as_ref()
-                    .expect("AD4 grid set has a desolvation map");
+                let dmap =
+                    self.grids.desolvation.as_ref().expect("AD4 grid set has a desolvation map");
                 for (i, &p) in coords.iter().enumerate() {
                     let t = self.ligand.types[i];
                     let q = self.ligand.charges[i];
@@ -124,8 +118,7 @@ impl<'a> EnergyModel<'a> {
                     + self.ad4.feb_offset
             }
             GridKind::Vina => {
-                self.vina.feb_scale * inter
-                    / (1.0 + self.vina.w_rot * self.ligand.torsdof() as f64)
+                self.vina.feb_scale * inter / (1.0 + self.vina.w_rot * self.ligand.torsdof() as f64)
                     + self.vina.feb_offset
             }
         }
@@ -175,14 +168,9 @@ impl DirectEnergy {
                 }
                 let r = d2.sqrt();
                 e += match self.kind {
-                    GridKind::Ad4 => ad4_pair(
-                        &self.ad4,
-                        lt,
-                        self.rec_type[a],
-                        lq,
-                        self.rec_charge[a],
-                        r,
-                    ),
+                    GridKind::Ad4 => {
+                        ad4_pair(&self.ad4, lt, self.rec_type[a], lq, self.rec_charge[a], r)
+                    }
                     GridKind::Vina => vina_pair(&self.vina, lt, self.rec_type[a], r),
                 };
             }
@@ -278,7 +266,8 @@ mod tests {
         let em = EnergyModel::new(&g, &lm);
         // pose directly on top of receptor atoms vs a few Å away
         let clash = em.intermolecular(&lm.coords(&Pose::at(Vec3::ZERO, lm.torsdof())));
-        let contact = em.intermolecular(&lm.coords(&Pose::at(Vec3::new(0.0, 4.0, 0.0), lm.torsdof())));
+        let contact =
+            em.intermolecular(&lm.coords(&Pose::at(Vec3::new(0.0, 4.0, 0.0), lm.torsdof())));
         assert!(clash > contact, "clash {clash} must exceed contact {contact}");
     }
 
@@ -295,17 +284,15 @@ mod tests {
         let feb_ad4 = ea.free_energy_of_binding(&c);
         // AD4 FEB = scale×inter + tors penalty + offset — check the formula
         let p = Ad4Params::new();
-        let want_ad4 = p.feb_scale * ea.intermolecular(&c)
-            + p.w_tors * lm.torsdof() as f64
-            + p.feb_offset;
+        let want_ad4 =
+            p.feb_scale * ea.intermolecular(&c) + p.w_tors * lm.torsdof() as f64 + p.feb_offset;
         assert!((feb_ad4 - want_ad4).abs() < 1e-9);
 
         let gv = build_vina_grids(&r, spec(), &lig.mol.ad_types(), &VinaParams::default());
         let ev = EnergyModel::new(&gv, &lm);
         let feb_vina = ev.free_energy_of_binding(&c);
         let v = VinaParams::default();
-        let want_vina = v.feb_scale * ev.intermolecular(&c)
-            / (1.0 + v.w_rot * lm.torsdof() as f64)
+        let want_vina = v.feb_scale * ev.intermolecular(&c) / (1.0 + v.w_rot * lm.torsdof() as f64)
             + v.feb_offset;
         assert!((feb_vina - want_vina).abs() < 1e-9);
         // the two engines disagree on the same pose (different functions)
@@ -366,10 +353,7 @@ mod tests {
         let c = lm.coords(&pose);
         let via_grid = em.intermolecular(&c);
         let exact = de.intermolecular(&lm, &c);
-        assert!(
-            (via_grid - exact).abs() < 1.0,
-            "grid {via_grid} vs direct {exact}"
-        );
+        assert!((via_grid - exact).abs() < 1.0, "grid {via_grid} vs direct {exact}");
     }
 
     #[test]

@@ -11,10 +11,10 @@ use molkit::{Molecule, Vec3};
 use crate::autogrid::{build_ad4_grids, build_vina_grids, GridSet};
 use crate::cluster::cluster_poses;
 use crate::conformation::LigandModel;
+use crate::conformation::Pose;
 use crate::energy::EnergyModel;
 use crate::grid::GridSpec;
 use crate::params::{Ad4Params, VinaParams};
-use crate::conformation::Pose;
 use crate::search::{
     run_lga, run_mc, solis_wets, Evaluator, LgaConfig, McConfig, ScoredPose, SolisWetsConfig,
 };
@@ -212,15 +212,10 @@ pub fn dock_with_grids(
     let best_pose = poses[0].pose.clone();
     let best_coords = lm.coords(&poses[0].pose);
     let all_coords: Vec<Vec<Vec3>> = poses.iter().map(|sp| lm.coords(&sp.pose)).collect();
-    let all_febs: Vec<f64> =
-        all_coords.iter().map(|c| em.free_energy_of_binding(c)).collect();
+    let all_febs: Vec<f64> = all_coords.iter().map(|c| em.free_energy_of_binding(c)).collect();
     let clusters = cluster_poses(&all_coords, &all_febs, 2.0)
         .into_iter()
-        .map(|c| ClusterInfo {
-            size: c.size(),
-            best_feb: c.best_energy,
-            mean_feb: c.mean_energy,
-        })
+        .map(|c| ClusterInfo { size: c.size(), best_feb: c.best_energy, mean_feb: c.mean_energy })
         .collect();
     let modes: Vec<Mode> = poses
         .iter()
@@ -300,8 +295,8 @@ pub fn dock(
 mod tests {
     use super::*;
     use molkit::synth::{generate_ligand, generate_receptor, LigandParams, ReceptorParams};
-    use molkit::typer::{assign_ad_types, merge_nonpolar_hydrogens};
     use molkit::torsion::build_torsion_tree;
+    use molkit::typer::{assign_ad_types, merge_nonpolar_hydrogens};
 
     fn prepared_pair() -> (Molecule, PdbqtLigand) {
         let rp = ReceptorParams { min_residues: 40, max_residues: 50, hg_fraction: 0.0 };
@@ -385,10 +380,7 @@ mod tests {
     #[test]
     fn empty_ligand_rejected() {
         let (receptor, _) = prepared_pair();
-        let empty = PdbqtLigand {
-            mol: Molecule::new("E"),
-            tree: molkit::TorsionTree::rigid(0),
-        };
+        let empty = PdbqtLigand { mol: Molecule::new("E"), tree: molkit::TorsionTree::rigid(0) };
         // grid creation works off the receptor; docking must reject the ligand
         let cfg = fast_cfg();
         let err = dock(&receptor, &empty, EngineKind::Ad4, &cfg).unwrap_err();

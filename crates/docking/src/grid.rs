@@ -37,10 +37,7 @@ impl GridSpec {
     pub fn contains(&self, p: Vec3) -> bool {
         let o = self.origin();
         let e = self.edge();
-        p.x >= o.x && p.y >= o.y && p.z >= o.z
-            && p.x <= o.x + e
-            && p.y <= o.y + e
-            && p.z <= o.z + e
+        p.x >= o.x && p.y >= o.y && p.z >= o.z && p.x <= o.x + e && p.y <= o.y + e && p.z <= o.z + e
     }
 
     /// Coordinate of lattice point (i, j, k).
@@ -223,11 +220,8 @@ mod tests {
     fn interpolation_linear_functions_exact_everywhere() {
         // trilinear interpolation reproduces affine functions exactly
         let g = GridMap::from_fn(spec(), |p| 3.0 * p.x - p.y + 0.5 * p.z + 7.0);
-        for p in [
-            Vec3::new(0.25, -0.75, 1.3),
-            Vec3::new(-1.9, 1.9, 0.0),
-            Vec3::new(0.1, 0.2, 0.3),
-        ] {
+        for p in [Vec3::new(0.25, -0.75, 1.3), Vec3::new(-1.9, 1.9, 0.0), Vec3::new(0.1, 0.2, 0.3)]
+        {
             let want = 3.0 * p.x - p.y + 0.5 * p.z + 7.0;
             assert!((g.interpolate(p) - want).abs() < 1e-9, "at {p}");
         }

@@ -70,9 +70,7 @@ pub fn read_map(text: &str) -> Result<GridMap, MapParseError> {
         }
         if let Some(rest) = t.strip_prefix("SPACING") {
             spacing = Some(
-                rest.trim()
-                    .parse()
-                    .map_err(|_| MapParseError(format!("bad SPACING {rest:?}")))?,
+                rest.trim().parse().map_err(|_| MapParseError(format!("bad SPACING {rest:?}")))?,
             );
         } else if let Some(rest) = t.strip_prefix("NELEMENTS") {
             let parts: Vec<&str> = rest.split_whitespace().collect();
@@ -82,9 +80,7 @@ pub fn read_map(text: &str) -> Result<GridMap, MapParseError> {
                 )));
             }
             nelements = Some(
-                parts[0]
-                    .parse()
-                    .map_err(|_| MapParseError(format!("bad NELEMENTS {rest:?}")))?,
+                parts[0].parse().map_err(|_| MapParseError(format!("bad NELEMENTS {rest:?}")))?,
             );
         } else if let Some(rest) = t.strip_prefix("CENTER") {
             let parts: Vec<f64> = rest
@@ -122,10 +118,8 @@ pub fn read_map(text: &str) -> Result<GridMap, MapParseError> {
         if t.is_empty() {
             continue;
         }
-        values.push(
-            t.parse::<f64>()
-                .map_err(|_| MapParseError(format!("bad energy value {t:?}")))?,
-        );
+        values
+            .push(t.parse::<f64>().map_err(|_| MapParseError(format!("bad energy value {t:?}")))?);
     }
     if values.len() != spec.len() {
         return Err(MapParseError(format!(

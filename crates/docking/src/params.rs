@@ -141,8 +141,8 @@ impl Ad4Params {
                 // A/r^12 - B/r^6 with minimum (req, -eps)
                 let lj_b = 2.0 * eps * req.powi(6);
                 let lj_a = eps * req.powi(12);
-                let hbond = (ti.is_donor_h() && tj.is_acceptor())
-                    || (tj.is_donor_h() && ti.is_acceptor());
+                let hbond =
+                    (ti.is_donor_h() && tj.is_acceptor()) || (tj.is_donor_h() && ti.is_acceptor());
                 let (hb_c, hb_d) = if hbond {
                     // 12-10 potential: E = C/r¹² − D/r¹⁰ with minimum
                     // (−εhb at rhb) requires C = 5ε·rhb¹², D = 6ε·rhb¹⁰
@@ -237,7 +237,7 @@ mod tests {
 
     #[test]
     fn type_index_bijective() {
-        let mut seen = vec![false; N_TYPES];
+        let mut seen = [false; N_TYPES];
         for t in AdType::ALL {
             let i = type_index(t);
             assert!(i < N_TYPES);

@@ -61,7 +61,14 @@ pub fn ad4_electrostatic(params: &Ad4Params, qa: f64, qb: f64, r: f64) -> f64 {
 
 /// AD4 desolvation energy for one pair (weighted).
 #[inline]
-pub fn ad4_desolvation(params: &Ad4Params, ta: AdType, tb: AdType, qa: f64, qb: f64, r: f64) -> f64 {
+pub fn ad4_desolvation(
+    params: &Ad4Params,
+    ta: AdType,
+    tb: AdType,
+    qa: f64,
+    qb: f64,
+    r: f64,
+) -> f64 {
     if r >= CUTOFF {
         return 0.0;
     }
@@ -95,11 +102,8 @@ pub fn vina_pair(params: &VinaParams, ta: AdType, tb: AdType, r: f64) -> f64 {
     let g2 = (d - 3.0) / 2.0;
     let gauss2 = (-g2 * g2).exp();
     let repulsion = if d < 0.0 { d * d } else { 0.0 };
-    let hydrophobic = if ta.is_hydrophobic() && tb.is_hydrophobic() {
-        ramp(d, 0.5, 1.5)
-    } else {
-        0.0
-    };
+    let hydrophobic =
+        if ta.is_hydrophobic() && tb.is_hydrophobic() { ramp(d, 0.5, 1.5) } else { 0.0 };
     let hbond = if (ta.is_donor_h() && tb.is_acceptor())
         || (tb.is_donor_h() && ta.is_acceptor())
         // Vina (which drops hydrogens) treats donor/acceptor heavy pairs

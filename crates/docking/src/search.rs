@@ -53,16 +53,11 @@ pub fn apply_delta(pose: &Pose, delta: &[f64]) -> Pose {
     let rv = Vec3::new(delta[3], delta[4], delta[5]);
     let angle = rv.norm();
     let orientation = if angle > 1e-12 {
-        Quat::from_axis_angle(rv, angle).mul(pose.orientation).normalized()
+        (Quat::from_axis_angle(rv, angle) * pose.orientation).normalized()
     } else {
         pose.orientation
     };
-    let torsions = pose
-        .torsions
-        .iter()
-        .zip(&delta[6..])
-        .map(|(a, d)| a + d)
-        .collect();
+    let torsions = pose.torsions.iter().zip(&delta[6..]).map(|(a, d)| a + d).collect();
     Pose { translation: t, orientation, torsions }
 }
 
@@ -100,7 +95,13 @@ pub struct SolisWetsConfig {
 
 impl Default for SolisWetsConfig {
     fn default() -> Self {
-        SolisWetsConfig { max_iters: 60, rho: 1.0, rho_min: 0.01, expand_after: 4, contract_after: 4 }
+        SolisWetsConfig {
+            max_iters: 60,
+            rho: 1.0,
+            rho_min: 0.01,
+            expand_after: 4,
+            contract_after: 4,
+        }
     }
 }
 
@@ -126,10 +127,7 @@ pub fn solis_wets(
         if rho < cfg.rho_min {
             break;
         }
-        let step: Vec<f64> = bias
-            .iter()
-            .map(|b| b + rho * gauss(rng))
-            .collect();
+        let step: Vec<f64> = bias.iter().map(|b| b + rho * gauss(rng)).collect();
         let cand = apply_delta(&best.pose, &step);
         let e = ev.energy(&cand);
         if e < best.energy {
@@ -147,7 +145,7 @@ pub fn solis_wets(
             if e2 < best.energy {
                 best = ScoredPose { pose: cand2, energy: e2 };
                 for (b, s) in bias.iter_mut().zip(&neg) {
-                    *b = *b - 0.4 * s;
+                    *b -= 0.4 * s;
                 }
                 successes += 1;
                 failures = 0;
@@ -285,9 +283,8 @@ fn mutate(pose: &mut Pose, rate: f64, spec: &GridSpec, rng: &mut ChaCha8Rng) {
     }
     if rng.gen_bool(rate) {
         let axis = Vec3::new(gauss(rng), gauss(rng), gauss(rng));
-        pose.orientation = Quat::from_axis_angle(axis, gauss(rng) * 0.5)
-            .mul(pose.orientation)
-            .normalized();
+        pose.orientation =
+            (Quat::from_axis_angle(axis, gauss(rng) * 0.5) * pose.orientation).normalized();
     }
     for t in pose.torsions.iter_mut() {
         if rng.gen_bool(rate) {
@@ -405,8 +402,12 @@ mod tests {
     fn ligand() -> PdbqtLigand {
         let mut m = Molecule::new("L");
         for k in 0..3 {
-            let mut a =
-                Atom::new(k as u32 + 1, format!("C{k}"), Element::C, Vec3::new(k as f64 * 1.5, 0.0, 0.0));
+            let mut a = Atom::new(
+                k as u32 + 1,
+                format!("C{k}"),
+                Element::C,
+                Vec3::new(k as f64 * 1.5, 0.0, 0.0),
+            );
             a.charge = 0.0;
             m.add_atom(a);
         }

@@ -52,38 +52,14 @@ pub fn superpose(a: &[Vec3], b: &[Vec3]) -> Superposition {
     // Kearsley's 4×4 key matrix; its largest-eigenvalue eigenvector is the
     // optimal rotation quaternion
     let k = [
-        [
-            r[0][0] + r[1][1] + r[2][2],
-            r[1][2] - r[2][1],
-            r[2][0] - r[0][2],
-            r[0][1] - r[1][0],
-        ],
-        [
-            r[1][2] - r[2][1],
-            r[0][0] - r[1][1] - r[2][2],
-            r[0][1] + r[1][0],
-            r[2][0] + r[0][2],
-        ],
-        [
-            r[2][0] - r[0][2],
-            r[0][1] + r[1][0],
-            -r[0][0] + r[1][1] - r[2][2],
-            r[1][2] + r[2][1],
-        ],
-        [
-            r[0][1] - r[1][0],
-            r[2][0] + r[0][2],
-            r[1][2] + r[2][1],
-            -r[0][0] - r[1][1] + r[2][2],
-        ],
+        [r[0][0] + r[1][1] + r[2][2], r[1][2] - r[2][1], r[2][0] - r[0][2], r[0][1] - r[1][0]],
+        [r[1][2] - r[2][1], r[0][0] - r[1][1] - r[2][2], r[0][1] + r[1][0], r[2][0] + r[0][2]],
+        [r[2][0] - r[0][2], r[0][1] + r[1][0], -r[0][0] + r[1][1] - r[2][2], r[1][2] + r[2][1]],
+        [r[0][1] - r[1][0], r[2][0] + r[0][2], r[1][2] + r[2][1], -r[0][0] - r[1][1] + r[2][2]],
     ];
 
     // power iteration on (K + λI) to target the most-positive eigenvalue
-    let shift = 2.0
-        * k.iter()
-            .flatten()
-            .fold(0.0f64, |m, v| m.max(v.abs()))
-        + 1.0;
+    let shift = 2.0 * k.iter().flatten().fold(0.0f64, |m, v| m.max(v.abs())) + 1.0;
     let mut v = [0.5f64, 0.5, 0.5, 0.5];
     for _ in 0..128 {
         let mut w = [0.0f64; 4];

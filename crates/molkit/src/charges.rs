@@ -62,8 +62,7 @@ pub fn assign_gasteiger(mol: &mut Molecule, params: &GasteigerParams) -> ChargeS
     for _ in 0..params.max_iters {
         iterations += 1;
         // effective electronegativity grows as an atom becomes positive
-        let chi: Vec<f64> =
-            (0..n).map(|i| chi0[i] + params.hardness * charges[i]).collect();
+        let chi: Vec<f64> = (0..n).map(|i| chi0[i] + params.hardness * charges[i]).collect();
         let mut delta = vec![0.0f64; n];
         for b in &mol.bonds {
             let d = chi[b.b] - chi[b.a];

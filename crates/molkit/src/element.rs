@@ -168,12 +168,7 @@ impl Element {
     pub fn is_metal(self) -> bool {
         matches!(
             self,
-            Element::Mg
-                | Element::Ca
-                | Element::Mn
-                | Element::Fe
-                | Element::Zn
-                | Element::Hg
+            Element::Mg | Element::Ca | Element::Mn | Element::Fe | Element::Zn | Element::Hg
         )
     }
 

@@ -41,16 +41,12 @@ impl std::error::Error for ParseError {}
 
 /// Parse a float from a fixed-width field, tolerating surrounding spaces.
 pub(crate) fn field_f64(s: &str, line: usize, what: &str) -> Result<f64, ParseError> {
-    s.trim()
-        .parse::<f64>()
-        .map_err(|_| ParseError::new(line, format!("bad {what}: {s:?}")))
+    s.trim().parse::<f64>().map_err(|_| ParseError::new(line, format!("bad {what}: {s:?}")))
 }
 
 /// Parse an unsigned integer from a fixed-width field.
 pub(crate) fn field_u32(s: &str, line: usize, what: &str) -> Result<u32, ParseError> {
-    s.trim()
-        .parse::<u32>()
-        .map_err(|_| ParseError::new(line, format!("bad {what}: {s:?}")))
+    s.trim().parse::<u32>().map_err(|_| ParseError::new(line, format!("bad {what}: {s:?}")))
 }
 
 /// Slice a line by byte columns, clamped to the line length (PDB lines are

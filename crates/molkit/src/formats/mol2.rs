@@ -69,9 +69,8 @@ pub fn read_mol2(text: &str) -> Result<Molecule, ParseError> {
                 // SYBYL type like "C.3", "N.ar", "O.2": element before the dot
                 let sybyl = f[5];
                 let elem_str = sybyl.split('.').next().unwrap_or(sybyl);
-                let element: Element = elem_str
-                    .parse()
-                    .map_err(|e| ParseError::new(lineno, format!("{e}")))?;
+                let element: Element =
+                    elem_str.parse().map_err(|e| ParseError::new(lineno, format!("{e}")))?;
                 let mut atom = Atom::new(serial, name, element, Vec3::new(x, y, z));
                 if let Some(q) = f.get(8) {
                     atom.charge = q.parse().unwrap_or(0.0);
@@ -113,7 +112,10 @@ pub fn read_mol2(text: &str) -> Result<Molecule, ParseError> {
         if n != mol.atoms.len() {
             return Err(ParseError::new(
                 0,
-                format!("MOLECULE header declares {n} atoms but ATOM section has {}", mol.atoms.len()),
+                format!(
+                    "MOLECULE header declares {n} atoms but ATOM section has {}",
+                    mol.atoms.len()
+                ),
             ));
         }
     }
@@ -125,10 +127,8 @@ fn sybyl_type(mol: &Molecule, i: usize) -> String {
     let a = &mol.atoms[i];
     match a.element {
         Element::C => {
-            let arom = mol
-                .bonds
-                .iter()
-                .any(|b| (b.a == i || b.b == i) && b.order == BondOrder::Aromatic);
+            let arom =
+                mol.bonds.iter().any(|b| (b.a == i || b.b == i) && b.order == BondOrder::Aromatic);
             if arom {
                 "C.ar".into()
             } else {

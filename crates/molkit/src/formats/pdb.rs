@@ -48,16 +48,14 @@ pub fn read_pdb(text: &str) -> Result<Molecule, ParseError> {
                     // fall back to the first alphabetic character of the name
                     let guess: String =
                         name.chars().filter(|c| c.is_ascii_alphabetic()).take(1).collect();
-                    guess
-                        .parse()
-                        .map_err(|_| ParseError::new(lineno, format!("cannot infer element from name {name:?}")))?
+                    guess.parse().map_err(|_| {
+                        ParseError::new(lineno, format!("cannot infer element from name {name:?}"))
+                    })?
                 } else {
-                    elem_field
-                        .parse()
-                        .map_err(|e| ParseError::new(lineno, format!("{e}")))?
+                    elem_field.parse().map_err(|e| ParseError::new(lineno, format!("{e}")))?
                 };
-                let atom =
-                    Atom::new(serial, name, element, Vec3::new(x, y, z)).with_residue(res_name, res_seq);
+                let atom = Atom::new(serial, name, element, Vec3::new(x, y, z))
+                    .with_residue(res_name, res_seq);
                 mol.add_atom(atom);
             }
             other => {
@@ -88,19 +86,25 @@ pub fn write_pdb(mol: &Molecule) -> String {
 /// leading 66 columns).
 pub(crate) fn format_atom_prefix(record: &str, a: &Atom) -> String {
     // name placement: 1-2 char names start at column 14 per convention
-    let name = if a.name.len() <= 3 { format!(" {:<3}", a.name) } else { format!("{:<4}", &a.name[..4]) };
+    let name =
+        if a.name.len() <= 3 { format!(" {:<3}", a.name) } else { format!("{:<4}", &a.name[..4]) };
     format!(
         "{:<6}{:>5} {} {:<3}  {:>4}    {:>8.3}{:>8.3}{:>8.3}{:>6.2}{:>6.2}",
-        record, a.serial % 100_000, name, a.res_name, a.res_seq % 10_000, a.pos.x, a.pos.y, a.pos.z, 1.0, 0.0,
+        record,
+        a.serial % 100_000,
+        name,
+        a.res_name,
+        a.res_seq % 10_000,
+        a.pos.x,
+        a.pos.y,
+        a.pos.z,
+        1.0,
+        0.0,
     )
 }
 
 fn format_atom_line(record: &str, a: &Atom) -> String {
-    format!(
-        "{}          {:>2}\n",
-        format_atom_prefix(record, a),
-        a.element.symbol()
-    )
+    format!("{}          {:>2}\n", format_atom_prefix(record, a), a.element.symbol())
 }
 
 #[cfg(test)]

@@ -38,12 +38,8 @@ fn parse_atom_line(line: &str, lineno: usize) -> Result<Atom, ParseError> {
         .ok_or_else(|| ParseError::new(lineno, "missing charge column"))?
         .parse()
         .map_err(|_| ParseError::new(lineno, "bad charge"))?;
-    let ad_str = it
-        .next()
-        .ok_or_else(|| ParseError::new(lineno, "missing atom-type column"))?;
-    let ad_type: AdType = ad_str
-        .parse()
-        .map_err(|e| ParseError::new(lineno, format!("{e}")))?;
+    let ad_str = it.next().ok_or_else(|| ParseError::new(lineno, "missing atom-type column"))?;
+    let ad_type: AdType = ad_str.parse().map_err(|e| ParseError::new(lineno, format!("{e}")))?;
     let mut atom = Atom::new(serial, name, ad_type.element(), Vec3::new(x, y, z))
         .with_residue(res_name, res_seq);
     atom.charge = charge;
@@ -110,7 +106,7 @@ pub fn read_ligand_pdbqt(text: &str) -> Result<PdbqtLigand, ParseError> {
 
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx + 1;
-        let rec = cols(line, 0, 9).trim().split_whitespace().next().unwrap_or("");
+        let rec = cols(line, 0, 9).split_whitespace().next().unwrap_or("");
         match rec {
             "ATOM" | "HETATM" => {
                 let atom = parse_atom_line(line, lineno)?;
@@ -178,7 +174,7 @@ pub fn read_ligand_pdbqt(text: &str) -> Result<PdbqtLigand, ParseError> {
     }
     // branches were closed innermost-first; re-sort to parent-before-child
     // (parents have supersets of children's moved atoms, so sort by size desc)
-    branches.sort_by(|x, y| y.moved.len().cmp(&x.moved.len()));
+    branches.sort_by_key(|b| std::cmp::Reverse(b.moved.len()));
     if let Some(n) = torsdof {
         if n != branches.len() {
             return Err(ParseError::new(
@@ -213,7 +209,7 @@ pub fn write_ligand_pdbqt(lig: &PdbqtLigand) -> String {
     let n = tree.branches.len();
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut parent: Vec<Option<usize>> = vec![None; n];
-    for i in 0..n {
+    for (i, par) in parent.iter_mut().enumerate() {
         // parent of i = smallest branch strictly containing i's moved set
         let mut best: Option<usize> = None;
         for j in 0..n {
@@ -233,7 +229,7 @@ pub fn write_ligand_pdbqt(lig: &PdbqtLigand) -> String {
                 };
             }
         }
-        parent[i] = best;
+        *par = best;
         if let Some(p) = best {
             children[p].push(i);
         }
@@ -250,10 +246,8 @@ pub fn write_ligand_pdbqt(lig: &PdbqtLigand) -> String {
         let fa = mol.atoms[br.axis_from].serial;
         let ta = mol.atoms[br.axis_to].serial;
         out.push_str(&format!("BRANCH {fa:>3} {ta:>3}\n"));
-        let child_moved: std::collections::HashSet<usize> = children[b]
-            .iter()
-            .flat_map(|&c| tree.branches[c].moved.iter().copied())
-            .collect();
+        let child_moved: std::collections::HashSet<usize> =
+            children[b].iter().flat_map(|&c| tree.branches[c].moved.iter().copied()).collect();
         for &i in &br.moved {
             if !child_moved.contains(&i) {
                 out.push_str(&format_atom_line(&mol.atoms[i]));
@@ -265,8 +259,8 @@ pub fn write_ligand_pdbqt(lig: &PdbqtLigand) -> String {
         out.push_str(&format!("ENDBRANCH {fa:>3} {ta:>3}\n"));
     }
 
-    for b in 0..n {
-        if parent[b].is_none() {
+    for (b, par) in parent.iter().enumerate() {
+        if par.is_none() {
             emit(&mut out, mol, tree, &children, b);
         }
     }
@@ -309,7 +303,8 @@ mod tests {
         a.charge = 0.176;
         a.ad_type = AdType::C;
         m.add_atom(a);
-        let mut b = Atom::new(2, "OG", Element::O, Vec3::new(-4.5, 0.0, 9.25)).with_residue("SER", 2);
+        let mut b =
+            Atom::new(2, "OG", Element::O, Vec3::new(-4.5, 0.0, 9.25)).with_residue("SER", 2);
         b.charge = -0.398;
         b.ad_type = AdType::OA;
         m.add_atom(b);
@@ -337,23 +332,15 @@ mod tests {
         assert_eq!(a, b);
         // root+every-atom partition
         let total: usize = back.tree.root.len()
-            + back
-                .tree
-                .branches
-                .iter()
-                .map(|br| br.moved.len())
-                .max()
-                .unwrap_or(0);
+            + back.tree.branches.iter().map(|br| br.moved.len()).max().unwrap_or(0);
         assert!(total <= back.mol.atom_count() + back.tree.root.len());
     }
 
     #[test]
     fn torsdof_mismatch_rejected() {
         let lig = hexane_ligand();
-        let text = write_ligand_pdbqt(&lig).replace(
-            &format!("TORSDOF {}", lig.tree.torsdof()),
-            "TORSDOF 99",
-        );
+        let text = write_ligand_pdbqt(&lig)
+            .replace(&format!("TORSDOF {}", lig.tree.torsdof()), "TORSDOF 99");
         assert!(read_ligand_pdbqt(&text).unwrap_err().to_string().contains("TORSDOF"));
     }
 
@@ -382,7 +369,8 @@ mod tests {
 
     #[test]
     fn atom_outside_root_rejected() {
-        let text = "ATOM      1  C1  LIG     1       0.000   0.000   0.000  1.00  0.00    -0.050 C\nEND\n";
+        let text =
+            "ATOM      1  C1  LIG     1       0.000   0.000   0.000  1.00  0.00    -0.050 C\nEND\n";
         assert!(read_ligand_pdbqt(text).unwrap_err().to_string().contains("outside ROOT"));
     }
 
@@ -405,7 +393,8 @@ mod tests {
     fn rigid_ligand_all_in_root() {
         let mut m = Molecule::new("RIG");
         for k in 0..3 {
-            let mut a = Atom::new(k + 1, format!("C{k}"), Element::C, Vec3::new(k as f64, 0.0, 0.0));
+            let mut a =
+                Atom::new(k + 1, format!("C{k}"), Element::C, Vec3::new(k as f64, 0.0, 0.0));
             a.res_name = "LIG".into();
             m.add_atom(a);
         }

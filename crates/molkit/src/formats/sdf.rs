@@ -54,9 +54,13 @@ pub fn read_sdf_multi(text: &str) -> Result<Vec<Molecule>, ParseError> {
             let y = field_f64(cols(l, 10, 20), no, "y")?;
             let z = field_f64(cols(l, 20, 30), no, "z")?;
             let sym = cols(l, 31, 34).trim();
-            let element: Element =
-                sym.parse().map_err(|e| ParseError::new(no, format!("{e}")))?;
-            let mut a = Atom::new(k as u32 + 1, format!("{}{}", element.symbol(), k + 1), element, Vec3::new(x, y, z));
+            let element: Element = sym.parse().map_err(|e| ParseError::new(no, format!("{e}")))?;
+            let mut a = Atom::new(
+                k as u32 + 1,
+                format!("{}{}", element.symbol(), k + 1),
+                element,
+                Vec3::new(x, y, z),
+            );
             a.res_name = "LIG".to_string();
             mol.add_atom(a);
         }
@@ -68,7 +72,10 @@ pub fn read_sdf_multi(text: &str) -> Result<Vec<Molecule>, ParseError> {
             let b = field_u32(cols(l, 3, 6), no, "bond atom b")? as usize;
             let code = field_u32(cols(l, 6, 9), no, "bond type")?;
             if a == 0 || b == 0 || a > n_atoms || b > n_atoms {
-                return Err(ParseError::new(no, format!("bond references atom {a}/{b} out of 1..={n_atoms}")));
+                return Err(ParseError::new(
+                    no,
+                    format!("bond references atom {a}/{b} out of 1..={n_atoms}"),
+                ));
             }
             let order = BondOrder::from_sdf_code(code as u8)
                 .ok_or_else(|| ParseError::new(no, format!("bad bond type {code}")))?;

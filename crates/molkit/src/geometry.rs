@@ -84,7 +84,7 @@ pub fn find_pocket(receptor: &Molecule, probe_radius: f64) -> Option<Pocket> {
                 }
                 if !clash && near >= 8 {
                     let score = near as f64 + inv_dist_sum;
-                    if best.map_or(true, |(s, _, _)| score > s) {
+                    if best.is_none_or(|(s, _, _)| score > s) {
                         best = Some((score, p, near));
                     }
                 }

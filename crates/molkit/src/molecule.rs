@@ -155,8 +155,7 @@ impl Molecule {
             return 0.0;
         }
         let com = {
-            let weighted =
-                self.atoms.iter().fold(Vec3::ZERO, |s, a| s + a.pos * a.element.mass());
+            let weighted = self.atoms.iter().fold(Vec3::ZERO, |s, a| s + a.pos * a.element.mass());
             weighted / m
         };
         let sum: f64 = self.atoms.iter().map(|a| a.element.mass() * a.pos.dist_sq(com)).sum();
@@ -254,11 +253,8 @@ impl Molecule {
     /// Existing bonds are kept; duplicates are not added.
     pub fn perceive_bonds(&mut self, tolerance: f64) -> usize {
         let n = self.atoms.len();
-        let mut have: std::collections::HashSet<(usize, usize)> = self
-            .bonds
-            .iter()
-            .map(|b| (b.a.min(b.b), b.a.max(b.b)))
-            .collect();
+        let mut have: std::collections::HashSet<(usize, usize)> =
+            self.bonds.iter().map(|b| (b.a.min(b.b), b.a.max(b.b))).collect();
         let mut added = 0;
         for i in 0..n {
             for j in (i + 1)..n {

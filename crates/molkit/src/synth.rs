@@ -87,14 +87,11 @@ pub fn generate_receptor(id: &str, params: &ReceptorParams) -> Molecule {
         let r_xy = (1.0 - z * z).sqrt();
         let theta = golden * k as f64;
         // two shells: inner core + outer surface, alternating
-        let shell = if placed % 3 == 0 { radius * 0.55 } else { radius };
-        let jitter = Vec3::new(
-            rng.gen_range(-0.8..0.8),
-            rng.gen_range(-0.8..0.8),
-            rng.gen_range(-0.8..0.8),
-        );
-        let center = Vec3::new(shell * r_xy * theta.cos(), shell * r_xy * theta.sin(), shell * z)
-            + jitter;
+        let shell = if placed.is_multiple_of(3) { radius * 0.55 } else { radius };
+        let jitter =
+            Vec3::new(rng.gen_range(-0.8..0.8), rng.gen_range(-0.8..0.8), rng.gen_range(-0.8..0.8));
+        let center =
+            Vec3::new(shell * r_xy * theta.cos(), shell * r_xy * theta.sin(), shell * z) + jitter;
 
         let res_name = RES_NAMES[rng.gen_range(0..RES_NAMES.len())];
         let res_seq = placed as u32 + 1;
@@ -131,7 +128,9 @@ pub fn generate_receptor(id: &str, params: &ReceptorParams) -> Molecule {
     // poison-input rule: a deterministic fraction of receptors carry Hg
     if poison_roll(seed, params.hg_fraction) {
         let pos = Vec3::new(0.0, 0.0, -radius * 0.6);
-        mol.add_atom(Atom::new(serial, "HG", Element::Hg, pos).with_residue("HG", placed as u32 + 1));
+        mol.add_atom(
+            Atom::new(serial, "HG", Element::Hg, pos).with_residue("HG", placed as u32 + 1),
+        );
     }
     mol
 }
@@ -217,7 +216,7 @@ pub fn generate_ligand(code: &str, params: &LigandParams) -> Molecule {
             2 => Element::S,
             3 => {
                 // occasional halogen (terminal)
-                [Element::F, Element::Cl, Element::Br][rng.gen_range(0..3)]
+                [Element::F, Element::Cl, Element::Br][rng.gen_range(0..3usize)]
             }
             _ => Element::C,
         };
@@ -338,10 +337,8 @@ mod tests {
     fn hg_fraction_roughly_respected() {
         let p = ReceptorParams { min_residues: 10, max_residues: 12, hg_fraction: 0.25 };
         let ids: Vec<String> = (0..200).map(|i| format!("R{i:03}")).collect();
-        let with_hg = ids
-            .iter()
-            .filter(|id| generate_receptor(id, &p).contains_element(Element::Hg))
-            .count();
+        let with_hg =
+            ids.iter().filter(|id| generate_receptor(id, &p).contains_element(Element::Hg)).count();
         assert!((20..=80).contains(&with_hg), "expected ~50 of 200, got {with_hg}");
         // zero fraction -> never
         let p0 = ReceptorParams { hg_fraction: 0.0, ..p };
@@ -376,9 +373,7 @@ mod tests {
             let m = generate_ligand(code, &p);
             // aromatic core always present
             assert!(m.bonds.iter().any(|b| b.order == BondOrder::Aromatic), "{code}");
-            if m.atoms.iter().any(|a| {
-                matches!(a.element, Element::N | Element::O | Element::S)
-            }) {
+            if m.atoms.iter().any(|a| matches!(a.element, Element::N | Element::O | Element::S)) {
                 any_hetero = true;
             }
         }

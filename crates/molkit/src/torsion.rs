@@ -49,7 +49,13 @@ impl TorsionTree {
 ///
 /// A bond is rotatable when it is a single, non-ring bond and neither side is
 /// a terminal atom (rotating a terminal atom is a no-op for heavy-atom poses).
-pub fn is_rotatable(mol: &Molecule, a: usize, b: usize, order: BondOrder, rings: &HashSet<usize>) -> bool {
+pub fn is_rotatable(
+    mol: &Molecule,
+    a: usize,
+    b: usize,
+    order: BondOrder,
+    rings: &HashSet<usize>,
+) -> bool {
     if order != BondOrder::Single {
         return false;
     }
@@ -57,12 +63,8 @@ pub fn is_rotatable(mol: &Molecule, a: usize, b: usize, order: BondOrder, rings:
     if rings.contains(&a) && rings.contains(&b) {
         return false;
     }
-    let heavy_deg = |i: usize| {
-        mol.neighbors(i)
-            .iter()
-            .filter(|&&j| !mol.atoms[j].is_hydrogen())
-            .count()
-    };
+    let heavy_deg =
+        |i: usize| mol.neighbors(i).iter().filter(|&&j| !mol.atoms[j].is_hydrogen()).count();
     heavy_deg(a) >= 2 && heavy_deg(b) >= 2
 }
 
@@ -115,12 +117,7 @@ pub fn build_torsion_tree(mol: &Molecule) -> TorsionTree {
     // root fragment = fragment of the atom nearest the centroid
     let c = mol.centroid();
     let central = (0..n)
-        .min_by(|&i, &j| {
-            mol.atoms[i]
-                .pos
-                .dist_sq(c)
-                .total_cmp(&mol.atoms[j].pos.dist_sq(c))
-        })
+        .min_by(|&i, &j| mol.atoms[i].pos.dist_sq(c).total_cmp(&mol.atoms[j].pos.dist_sq(c)))
         .expect("non-empty molecule");
     let root_frag = fragment[central];
 
@@ -188,7 +185,12 @@ mod tests {
     fn butane() -> Molecule {
         let mut m = Molecule::new("BUT");
         for k in 0..4 {
-            m.add_atom(Atom::new(k as u32 + 1, format!("C{k}"), Element::C, Vec3::new(k as f64 * 1.5, 0.0, 0.0)));
+            m.add_atom(Atom::new(
+                k as u32 + 1,
+                format!("C{k}"),
+                Element::C,
+                Vec3::new(k as f64 * 1.5, 0.0, 0.0),
+            ));
         }
         for k in 0..3 {
             m.add_bond(k, k + 1, BondOrder::Single);
@@ -235,7 +237,12 @@ mod tests {
         let mut m = Molecule::new("CHX");
         for k in 0..6 {
             let ang = std::f64::consts::TAU * k as f64 / 6.0;
-            m.add_atom(Atom::new(k as u32 + 1, format!("C{k}"), Element::C, Vec3::new(1.5 * ang.cos(), 1.5 * ang.sin(), 0.0)));
+            m.add_atom(Atom::new(
+                k as u32 + 1,
+                format!("C{k}"),
+                Element::C,
+                Vec3::new(1.5 * ang.cos(), 1.5 * ang.sin(), 0.0),
+            ));
         }
         for k in 0..6 {
             m.add_bond(k, (k + 1) % 6, BondOrder::Single);
@@ -249,7 +256,12 @@ mod tests {
         // hexane heavy atoms: C0..C5, rotatable bonds C1-C2, C2-C3, C3-C4
         let mut m = Molecule::new("HEX");
         for k in 0..6 {
-            m.add_atom(Atom::new(k as u32 + 1, format!("C{k}"), Element::C, Vec3::new(k as f64 * 1.5, 0.0, 0.0)));
+            m.add_atom(Atom::new(
+                k as u32 + 1,
+                format!("C{k}"),
+                Element::C,
+                Vec3::new(k as f64 * 1.5, 0.0, 0.0),
+            ));
         }
         for k in 0..5 {
             m.add_bond(k, k + 1, BondOrder::Single);
@@ -264,8 +276,10 @@ mod tests {
             for later in &t.branches[i + 1..] {
                 if br.moved.contains(&later.axis_to) {
                     // nested branch: its whole moved set is a subset of ours
-                    assert!(later.moved.iter().all(|a| br.moved.contains(a)),
-                        "child branch moved set must nest");
+                    assert!(
+                        later.moved.iter().all(|a| br.moved.contains(a)),
+                        "child branch moved set must nest"
+                    );
                 }
             }
         }
@@ -280,7 +294,12 @@ mod tests {
         let c2 = m.add_atom(Atom::new(2, "C2", Element::C, Vec3::new(1.5, 0.0, 0.0)));
         m.add_bond(c1, c2, BondOrder::Single);
         for k in 0..3 {
-            let h = m.add_atom(Atom::new(3 + k, format!("H{k}"), Element::H, Vec3::new(-0.5, k as f64, 0.0)));
+            let h = m.add_atom(Atom::new(
+                3 + k,
+                format!("H{k}"),
+                Element::H,
+                Vec3::new(-0.5, k as f64, 0.0),
+            ));
             m.add_bond(c1, h, BondOrder::Single);
         }
         let t = build_torsion_tree(&m);

@@ -85,26 +85,20 @@ fn shortest_path_avoiding(
 pub fn assign_ad_types(mol: &mut Molecule) {
     let rings = ring_atoms(mol, 6);
     let adj = mol.adjacency();
-    for i in 0..mol.atoms.len() {
+    for (i, nbrs) in adj.iter().enumerate() {
         let e = mol.atoms[i].element;
         let aromatic = e == Element::C && rings.contains(&i);
         let acceptor = match e {
             // nitrogens with <3 heavy neighbors keep a lone pair → acceptor
-            Element::N => {
-                adj[i]
-                    .iter()
-                    .filter(|&&j| !mol.atoms[j].is_hydrogen())
-                    .count()
-                    < 3
-            }
+            Element::N => nbrs.iter().filter(|&&j| !mol.atoms[j].is_hydrogen()).count() < 3,
             // sulfur acceptors: thioether/thiol sulfurs with ≤2 neighbors
-            Element::S => adj[i].len() <= 2,
+            Element::S => nbrs.len() <= 2,
             _ => false,
         };
         let polar_h = e == Element::H
-            && adj[i].iter().any(|&j| {
-                matches!(mol.atoms[j].element, Element::N | Element::O | Element::S)
-            });
+            && nbrs
+                .iter()
+                .any(|&j| matches!(mol.atoms[j].element, Element::N | Element::O | Element::S));
         mol.atoms[i].ad_type = AdType::from_element(e, aromatic, acceptor, polar_h);
     }
 }
@@ -300,13 +294,10 @@ mod tests {
     fn amide_like_nitrogen_with_three_heavy_neighbors_not_acceptor() {
         let mut m = Molecule::new("N3");
         let n = m.add_atom(Atom::new(1, "N", Element::N, Vec3::ZERO));
-        for (i, p) in [
-            Vec3::new(1.4, 0.0, 0.0),
-            Vec3::new(-0.7, 1.2, 0.0),
-            Vec3::new(-0.7, -1.2, 0.0),
-        ]
-        .iter()
-        .enumerate()
+        for (i, p) in
+            [Vec3::new(1.4, 0.0, 0.0), Vec3::new(-0.7, 1.2, 0.0), Vec3::new(-0.7, -1.2, 0.0)]
+                .iter()
+                .enumerate()
         {
             let c = m.add_atom(Atom::new(i as u32 + 2, format!("C{}", i + 1), Element::C, *p));
             m.add_bond(n, c, BondOrder::Single);

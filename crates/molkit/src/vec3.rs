@@ -214,16 +214,6 @@ impl Quat {
         }
     }
 
-    /// Hamilton product `self * other` (apply `other`, then `self`).
-    pub fn mul(self, o: Quat) -> Quat {
-        Quat {
-            w: self.w * o.w - self.x * o.x - self.y * o.y - self.z * o.z,
-            x: self.w * o.x + self.x * o.w + self.y * o.z - self.z * o.y,
-            y: self.w * o.y - self.x * o.z + self.y * o.w + self.z * o.x,
-            z: self.w * o.z + self.x * o.y - self.y * o.x + self.z * o.w,
-        }
-    }
-
     /// Normalize to unit length, falling back to identity if degenerate.
     pub fn normalized(self) -> Quat {
         let n = (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt();
@@ -253,6 +243,20 @@ impl Quat {
             x: a * (TAU * u2).sin(),
             y: a * (TAU * u2).cos(),
             z: b * (TAU * u3).sin(),
+        }
+    }
+}
+
+/// Hamilton product `self * rhs` (apply `rhs`, then `self`).
+impl std::ops::Mul for Quat {
+    type Output = Quat;
+
+    fn mul(self, o: Quat) -> Quat {
+        Quat {
+            w: self.w * o.w - self.x * o.x - self.y * o.y - self.z * o.z,
+            x: self.w * o.x + self.x * o.w + self.y * o.z - self.z * o.y,
+            y: self.w * o.y - self.x * o.z + self.y * o.w + self.z * o.x,
+            z: self.w * o.z + self.x * o.y - self.y * o.x + self.z * o.w,
         }
     }
 }

@@ -10,8 +10,7 @@ use molkit::vec3::{Quat, Vec3};
 use molkit::{Atom, Element};
 
 fn arb_vec3() -> impl Strategy<Value = Vec3> {
-    (-100.0..100.0f64, -100.0..100.0f64, -100.0..100.0f64)
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    (-100.0..100.0f64, -100.0..100.0f64, -100.0..100.0f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 fn arb_quat() -> impl Strategy<Value = Quat> {
@@ -47,7 +46,7 @@ proptest! {
     #[test]
     fn quat_composition_matches_sequential(q1 in arb_quat(), q2 in arb_quat(), v in arb_vec3()) {
         let seq = q1.rotate(q2.rotate(v));
-        let composed = q1.mul(q2).rotate(v);
+        let composed = (q1 * q2).rotate(v);
         prop_assert!((seq - composed).norm() < 1e-9 * (1.0 + v.norm()));
     }
 

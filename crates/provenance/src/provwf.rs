@@ -207,12 +207,11 @@ impl ProvenanceStore {
         let mut g = self.inner.lock();
         let id = g.next_wkf;
         g.next_wkf += 1;
-        g.db
-            .insert(
-                "hworkflow",
-                vec![Value::Int(id), tag.into(), description.into(), expdir.into()],
-            )
-            .expect("schema matches");
+        g.db.insert(
+            "hworkflow",
+            vec![Value::Int(id), tag.into(), description.into(), expdir.into()],
+        )
+        .expect("schema matches");
         WorkflowId(id)
     }
 
@@ -221,9 +220,11 @@ impl ProvenanceStore {
         let mut g = self.inner.lock();
         let id = g.next_act;
         g.next_act += 1;
-        g.db
-            .insert("hactivity", vec![Value::Int(id), Value::Int(wkf.0), tag.into(), acttype.into()])
-            .expect("schema matches");
+        g.db.insert(
+            "hactivity",
+            vec![Value::Int(id), Value::Int(wkf.0), tag.into(), acttype.into()],
+        )
+        .expect("schema matches");
         ActivityId(id)
     }
 
@@ -232,12 +233,11 @@ impl ProvenanceStore {
         let mut g = self.inner.lock();
         let id = g.next_machine;
         g.next_machine += 1;
-        g.db
-            .insert(
-                "hmachine",
-                vec![Value::Int(id), name.into(), instance_type.into(), Value::Int(cores)],
-            )
-            .expect("schema matches");
+        g.db.insert(
+            "hmachine",
+            vec![Value::Int(id), name.into(), instance_type.into(), Value::Int(cores)],
+        )
+        .expect("schema matches");
         MachineId(id)
     }
 
@@ -246,22 +246,21 @@ impl ProvenanceStore {
         let mut g = self.inner.lock();
         let id = g.next_task;
         g.next_task += 1;
-        g.db
-            .insert(
-                "hactivation",
-                vec![
-                    Value::Int(id),
-                    Value::Int(rec.activity.0),
-                    Value::Int(rec.workflow.0),
-                    rec.status.as_str().into(),
-                    Value::Timestamp(rec.start_time),
-                    Value::Timestamp(rec.end_time),
-                    rec.machine.map(|m| Value::Int(m.0)).unwrap_or(Value::Null),
-                    Value::Int(rec.retries),
-                    rec.pair_key.as_str().into(),
-                ],
-            )
-            .expect("schema matches");
+        g.db.insert(
+            "hactivation",
+            vec![
+                Value::Int(id),
+                Value::Int(rec.activity.0),
+                Value::Int(rec.workflow.0),
+                rec.status.as_str().into(),
+                Value::Timestamp(rec.start_time),
+                Value::Timestamp(rec.end_time),
+                rec.machine.map(|m| Value::Int(m.0)).unwrap_or(Value::Null),
+                Value::Int(rec.retries),
+                rec.pair_key.as_str().into(),
+            ],
+        )
+        .expect("schema matches");
         TaskId(id)
     }
 
@@ -278,20 +277,19 @@ impl ProvenanceStore {
         let mut g = self.inner.lock();
         let id = g.next_file;
         g.next_file += 1;
-        g.db
-            .insert(
-                "hfile",
-                vec![
-                    Value::Int(id),
-                    Value::Int(task.0),
-                    Value::Int(activity.0),
-                    Value::Int(workflow.0),
-                    fname.into(),
-                    Value::Int(fsize),
-                    fdir.into(),
-                ],
-            )
-            .expect("schema matches");
+        g.db.insert(
+            "hfile",
+            vec![
+                Value::Int(id),
+                Value::Int(task.0),
+                Value::Int(activity.0),
+                Value::Int(workflow.0),
+                fname.into(),
+                Value::Int(fsize),
+                fdir.into(),
+            ],
+        )
+        .expect("schema matches");
     }
 
     /// Record an extracted domain parameter (numeric, textual, or both).
@@ -306,19 +304,18 @@ impl ProvenanceStore {
         let mut g = self.inner.lock();
         let id = g.next_param;
         g.next_param += 1;
-        g.db
-            .insert(
-                "hparameter",
-                vec![
-                    Value::Int(id),
-                    Value::Int(task.0),
-                    Value::Int(workflow.0),
-                    name.into(),
-                    num.map(Value::Float).unwrap_or(Value::Null),
-                    text.map(Value::from).unwrap_or(Value::Null),
-                ],
-            )
-            .expect("schema matches");
+        g.db.insert(
+            "hparameter",
+            vec![
+                Value::Int(id),
+                Value::Int(task.0),
+                Value::Int(workflow.0),
+                name.into(),
+                num.map(Value::Float).unwrap_or(Value::Null),
+                text.map(Value::from).unwrap_or(Value::Null),
+            ],
+        )
+        .expect("schema matches");
     }
 
     /// Persist one output tuple of an activation (SciCumulus stores the
@@ -348,44 +345,42 @@ impl ProvenanceStore {
                 Value::Bool(b) => (Some(*b as i64 as f64), None),
                 Value::Null => (None, None),
             };
-            g.db
-                .insert(
-                    "houtput",
-                    vec![
-                        Value::Int(id),
-                        Value::Int(task.0),
-                        Value::Int(activity.0),
-                        Value::Int(workflow.0),
-                        pair_key.into(),
-                        Value::Int(tuple_idx as i64),
-                        Value::Int(col as i64),
-                        num.map(Value::Float).unwrap_or(Value::Null),
-                        text.map(Value::from).unwrap_or(Value::Null),
-                    ],
-                )
-                .expect("schema matches");
+            g.db.insert(
+                "houtput",
+                vec![
+                    Value::Int(id),
+                    Value::Int(task.0),
+                    Value::Int(activity.0),
+                    Value::Int(workflow.0),
+                    pair_key.into(),
+                    Value::Int(tuple_idx as i64),
+                    Value::Int(col as i64),
+                    num.map(Value::Float).unwrap_or(Value::Null),
+                    text.map(Value::from).unwrap_or(Value::Null),
+                ],
+            )
+            .expect("schema matches");
         }
         // arity-0 tuples still need a marker row so resume can distinguish
         // "finished with no output" from "never ran"
         if tuple.is_empty() {
             let id = g.next_output;
             g.next_output += 1;
-            g.db
-                .insert(
-                    "houtput",
-                    vec![
-                        Value::Int(id),
-                        Value::Int(task.0),
-                        Value::Int(activity.0),
-                        Value::Int(workflow.0),
-                        pair_key.into(),
-                        Value::Int(tuple_idx as i64),
-                        Value::Int(-1),
-                        Value::Null,
-                        Value::Null,
-                    ],
-                )
-                .expect("schema matches");
+            g.db.insert(
+                "houtput",
+                vec![
+                    Value::Int(id),
+                    Value::Int(task.0),
+                    Value::Int(activity.0),
+                    Value::Int(workflow.0),
+                    pair_key.into(),
+                    Value::Int(tuple_idx as i64),
+                    Value::Int(-1),
+                    Value::Null,
+                    Value::Null,
+                ],
+            )
+            .expect("schema matches");
         }
     }
 
@@ -405,7 +400,9 @@ impl ProvenanceStore {
         // output rows (done with direct table scans: this is engine-internal,
         // not a user query)
         let mut out: std::collections::HashMap<String, Vec<Vec<Value>>> = Default::default();
-        let Ok(activities) = g.db.table("hactivity") else { return out };
+        let Ok(activities) = g.db.table("hactivity") else {
+            return out;
+        };
         let act_id = activities.rows().iter().find_map(|r| {
             let id = r[0].as_f64()? as i64;
             let w = r[1].as_f64()? as i64;
@@ -413,7 +410,9 @@ impl ProvenanceStore {
             (w == wkf.0 && tag == activity_tag).then_some(id)
         });
         let Some(act_id) = act_id else { return out };
-        let Ok(activations) = g.db.table("hactivation") else { return out };
+        let Ok(activations) = g.db.table("hactivation") else {
+            return out;
+        };
         let finished: std::collections::HashMap<i64, String> = activations
             .rows()
             .iter()
@@ -425,7 +424,9 @@ impl ProvenanceStore {
                 (a == act_id && status == "FINISHED").then(|| (task, pk.to_string()))
             })
             .collect();
-        let Ok(outputs) = g.db.table("houtput") else { return out };
+        let Ok(outputs) = g.db.table("houtput") else {
+            return out;
+        };
         // (pair_key, tuple_idx) -> Vec<(colidx, value)>
         let mut cells: std::collections::HashMap<(String, i64), Vec<(i64, Value)>> =
             Default::default();
@@ -434,7 +435,9 @@ impl ProvenanceStore {
                 Some(t) => t as i64,
                 None => continue,
             };
-            let Some(pk) = finished.get(&task) else { continue };
+            let Some(pk) = finished.get(&task) else {
+                continue;
+            };
             let tuple_idx = r[5].as_f64().unwrap_or(0.0) as i64;
             let colidx = r[6].as_f64().unwrap_or(-1.0) as i64;
             let value = if colidx < 0 {
@@ -452,7 +455,9 @@ impl ProvenanceStore {
         for pk in finished.values() {
             out.entry(pk.clone()).or_default();
         }
-        let mut keyed: Vec<((String, i64), Vec<(i64, Value)>)> = cells.into_iter().collect();
+        // (pair key, taskid) → column-indexed cells
+        type KeyedCells = Vec<((String, i64), Vec<(i64, Value)>)>;
+        let mut keyed: KeyedCells = cells.into_iter().collect();
         keyed.sort_by(|a, b| a.0.cmp(&b.0));
         for ((pk, _), mut cols) in keyed {
             cols.sort_by_key(|(c, _)| *c);
@@ -473,8 +478,7 @@ impl ProvenanceStore {
     /// Row counts per table (diagnostics).
     pub fn stats(&self) -> Vec<(String, usize)> {
         let g = self.inner.lock();
-        g.db
-            .table_names()
+        g.db.table_names()
             .iter()
             .map(|n| (n.to_string(), g.db.table(n).expect("listed table").len()))
             .collect()
@@ -579,9 +583,7 @@ mod tests {
     #[test]
     fn failed_activations_queryable() {
         let (p, _, _, _) = populated();
-        let r = p
-            .query("SELECT count(*) FROM hactivation WHERE status = 'FAILED'")
-            .unwrap();
+        let r = p.query("SELECT count(*) FROM hactivation WHERE status = 'FAILED'").unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(1));
     }
 
@@ -646,10 +648,22 @@ mod tests {
         let (p, w, babel, _) = populated();
         // find the FINISHED babel tasks and attach outputs
         let tasks: Vec<TaskId> = (1..=2).map(TaskId).collect();
-        p.record_output_tuple(tasks[0], babel, w, "1AEC:042",
-            0, &[Value::from("1AEC"), Value::Int(7)]);
-        p.record_output_tuple(tasks[1], babel, w, "1AEC:042",
-            1, &[Value::from("1AEC"), Value::Int(9)]);
+        p.record_output_tuple(
+            tasks[0],
+            babel,
+            w,
+            "1AEC:042",
+            0,
+            &[Value::from("1AEC"), Value::Int(7)],
+        );
+        p.record_output_tuple(
+            tasks[1],
+            babel,
+            w,
+            "1AEC:042",
+            1,
+            &[Value::from("1AEC"), Value::Int(9)],
+        );
         let outs = p.finished_outputs(w, "babel1k");
         let tuples = &outs["1AEC:042"];
         assert_eq!(tuples.len(), 2);

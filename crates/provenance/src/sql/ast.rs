@@ -117,9 +117,7 @@ impl Expr {
                 is_aggregate(name) || args.iter().any(Expr::contains_aggregate)
             }
             Expr::CountStar => true,
-            Expr::Binary { lhs, rhs, .. } => {
-                lhs.contains_aggregate() || rhs.contains_aggregate()
-            }
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_aggregate() || rhs.contains_aggregate(),
             Expr::Extract { from, .. } => from.contains_aggregate(),
             Expr::Like { expr, .. } | Expr::IsNull { expr, .. } | Expr::Neg(expr) => {
                 expr.contains_aggregate()
@@ -137,10 +135,7 @@ impl Expr {
 
 /// Is `name` an aggregate function?
 pub fn is_aggregate(name: &str) -> bool {
-    matches!(
-        name.to_ascii_lowercase().as_str(),
-        "min" | "max" | "sum" | "avg" | "count"
-    )
+    matches!(name.to_ascii_lowercase().as_str(), "min" | "max" | "sum" | "avg" | "count")
 }
 
 /// One item of the SELECT list.

@@ -45,11 +45,8 @@ impl fmt::Display for ResultSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // compute column widths
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
-        let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(|v| v.to_string()).collect())
-            .collect();
+        let rendered: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -179,12 +176,8 @@ impl Bindings {
                 Expr::Like { expr, .. } | Expr::IsNull { expr, .. } | Expr::Neg(expr) => {
                     walk(b, expr)
                 }
-                Expr::InList { expr, list, .. } => {
-                    walk(b, expr) && list.iter().all(|e| walk(b, e))
-                }
-                Expr::Between { expr, lo, hi, .. } => {
-                    walk(b, expr) && walk(b, lo) && walk(b, hi)
-                }
+                Expr::InList { expr, list, .. } => walk(b, expr) && list.iter().all(|e| walk(b, e)),
+                Expr::Between { expr, lo, hi, .. } => walk(b, expr) && walk(b, lo) && walk(b, hi),
             }
         }
         walk(&upto, expr)
@@ -219,10 +212,7 @@ fn eval(expr: &Expr, b: &Bindings, ctx: &Ctx<'_>) -> Result<Value, QueryError> {
                 // outside an aggregate, a column in a grouped query takes its
                 // value from the first row of the group (valid because the
                 // planner requires it to be a GROUP BY key)
-                Ctx::Group(rows) => Ok(rows
-                    .first()
-                    .map(|r| r[idx].clone())
-                    .unwrap_or(Value::Null)),
+                Ctx::Group(rows) => Ok(rows.first().map(|r| r[idx].clone()).unwrap_or(Value::Null)),
             }
         }
         Expr::Neg(inner) => {
@@ -364,8 +354,7 @@ fn binary(op: BinOp, a: Value, c: Value) -> Result<Value, QueryError> {
                 (Some(x), Some(y)) => (x, y),
                 _ => return Err(QueryError::Type(format!("arithmetic on {a} and {c}"))),
             };
-            let both_int =
-                matches!(a, Value::Int(_)) && matches!(c, Value::Int(_)) && op != Div;
+            let both_int = matches!(a, Value::Int(_)) && matches!(c, Value::Int(_)) && op != Div;
             let r = match op {
                 Add => x + y,
                 Sub => x - y,
@@ -395,12 +384,12 @@ fn aggregate(name: &str, vals: &[Value]) -> Result<Value, QueryError> {
         "min" => Ok(vals
             .iter()
             .cloned()
-            .reduce(|a, b| if a.compare(&b).map_or(true, |o| o.is_le()) { a } else { b })
+            .reduce(|a, b| if a.compare(&b).is_none_or(|o| o.is_le()) { a } else { b })
             .unwrap_or(Value::Null)),
         "max" => Ok(vals
             .iter()
             .cloned()
-            .reduce(|a, b| if a.compare(&b).map_or(true, |o| o.is_ge()) { a } else { b })
+            .reduce(|a, b| if a.compare(&b).is_none_or(|o| o.is_ge()) { a } else { b })
             .unwrap_or(Value::Null)),
         "sum" | "avg" => {
             let mut s = 0.0;
@@ -420,9 +409,7 @@ fn aggregate(name: &str, vals: &[Value]) -> Result<Value, QueryError> {
 
 fn scalar_fn(name: &str, args: &[Value]) -> Result<Value, QueryError> {
     let arg1 = || {
-        args.first()
-            .cloned()
-            .ok_or_else(|| QueryError::Type(format!("{name} needs an argument")))
+        args.first().cloned().ok_or_else(|| QueryError::Type(format!("{name} needs an argument")))
     };
     match name {
         "abs" => match arg1()? {
@@ -451,9 +438,7 @@ fn scalar_fn(name: &str, args: &[Value]) -> Result<Value, QueryError> {
             let digits = match args.get(1) {
                 Some(Value::Int(d)) => *d,
                 None => 0,
-                Some(other) => {
-                    return Err(QueryError::Type(format!("round digits: {other}")))
-                }
+                Some(other) => return Err(QueryError::Type(format!("round digits: {other}"))),
             };
             match v {
                 Value::Float(f) => {
@@ -529,17 +514,10 @@ pub fn execute_query(db: &Database, q: &Query) -> Result<ResultSet, QueryError> 
     // assign each conjunct to the earliest join step where it is fully bound
     let mut pred_at: Vec<Vec<&Expr>> = vec![Vec::new(); q.from.len() + 1];
     for p in preds {
-        let mut placed = false;
-        for n in 1..=q.from.len() {
-            if bindings.expr_bound(p, n) {
-                pred_at[n].push(p);
-                placed = true;
-                break;
-            }
-        }
-        if !placed {
+        match (1..=q.from.len()).find(|&n| bindings.expr_bound(p, n)) {
+            Some(n) => pred_at[n].push(p),
             // will fail with UnknownColumn during evaluation; evaluate last
-            pred_at[q.from.len()].push(p);
+            None => pred_at[q.from.len()].push(p),
         }
     }
 
@@ -569,8 +547,7 @@ pub fn execute_query(db: &Database, q: &Query) -> Result<ResultSet, QueryError> 
     }
     debug_assert!(joined.iter().all(|r| r.len() == bindings.width));
 
-    let grouped = !q.group_by.is_empty()
-        || q.items.iter().any(|i| i.expr.contains_aggregate());
+    let grouped = !q.group_by.is_empty() || q.items.iter().any(|i| i.expr.contains_aggregate());
 
     // (row values for projection, order keys)
     let mut out_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
@@ -583,9 +560,7 @@ pub fn execute_query(db: &Database, q: &Query) -> Result<ResultSet, QueryError> 
         columns = bindings
             .tables
             .iter()
-            .flat_map(|(b, s, _)| {
-                s.columns.iter().map(move |c| format!("{b}.{}", c.name))
-            })
+            .flat_map(|(b, s, _)| s.columns.iter().map(move |c| format!("{b}.{}", c.name)))
             .collect();
         for row in &joined {
             let keys = order_keys(q, &bindings, &Ctx::Row(row), row, &columns)?;
@@ -655,7 +630,7 @@ pub fn execute_query(db: &Database, q: &Query) -> Result<ResultSet, QueryError> 
     }
     if !q.order_by.is_empty() {
         out_rows.sort_by(|(_, ka), (_, kb)| {
-            for (k, spec) in ka.iter().zip(kb).zip(&q.order_by).map(|((a, b), s)| ((a, b), s)) {
+            for (k, spec) in ka.iter().zip(kb).zip(&q.order_by) {
                 let (a, b) = k;
                 let ord = a.compare(b).unwrap_or(std::cmp::Ordering::Equal);
                 let ord = if spec.descending { ord.reverse() } else { ord };
@@ -798,7 +773,8 @@ mod tests {
 
     #[test]
     fn aggregate_over_empty_input() {
-        let r = execute(&db(), "SELECT count(*), max(salary) FROM emp WHERE salary > 1000").unwrap();
+        let r =
+            execute(&db(), "SELECT count(*), max(salary) FROM emp WHERE salary > 1000").unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.cell(0, 0), &Value::Int(0));
         assert!(r.cell(0, 1).is_null());
@@ -831,7 +807,8 @@ mod tests {
 
     #[test]
     fn order_by_desc_and_limit() {
-        let r = execute(&db(), "SELECT name, salary FROM emp ORDER BY salary DESC LIMIT 2").unwrap();
+        let r =
+            execute(&db(), "SELECT name, salary FROM emp ORDER BY salary DESC LIMIT 2").unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r.cell(0, 0), &Value::from("eve"));
         assert_eq!(r.cell(1, 0), &Value::from("ann"));
@@ -856,10 +833,7 @@ mod tests {
             execute(&db(), "SELECT nope FROM emp"),
             Err(QueryError::UnknownColumn(_))
         ));
-        assert!(matches!(
-            execute(&db(), "SELECT 1 FROM missing"),
-            Err(QueryError::Db(_))
-        ));
+        assert!(matches!(execute(&db(), "SELECT 1 FROM missing"), Err(QueryError::Db(_))));
         assert!(matches!(
             execute(&db(), "SELECT e.bad FROM emp e"),
             Err(QueryError::UnknownColumn(_))
@@ -890,6 +864,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::approx_constant)] // round(3.14159, 2) tests rounding, not π
     fn scalar_functions() {
         let r = execute(
             &db(),
@@ -937,7 +912,8 @@ mod tests {
 
     #[test]
     fn or_predicates() {
-        let r = execute(&db(), "SELECT count(*) FROM emp WHERE dept = 'eng' OR dept = 'mgmt'").unwrap();
+        let r =
+            execute(&db(), "SELECT count(*) FROM emp WHERE dept = 'eng' OR dept = 'mgmt'").unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(3));
     }
 
@@ -977,7 +953,8 @@ mod tests {
     fn in_list_membership() {
         let r = execute(&db(), "SELECT count(*) FROM emp WHERE dept IN ('eng', 'mgmt')").unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(3));
-        let r2 = execute(&db(), "SELECT count(*) FROM emp WHERE dept NOT IN ('eng', 'mgmt')").unwrap();
+        let r2 =
+            execute(&db(), "SELECT count(*) FROM emp WHERE dept NOT IN ('eng', 'mgmt')").unwrap();
         assert_eq!(r2.cell(0, 0), &Value::Int(2));
         // numeric IN with cross-type compare
         let r3 = execute(&db(), "SELECT count(*) FROM emp WHERE id IN (1, 3, 99)").unwrap();
@@ -988,7 +965,8 @@ mod tests {
     fn between_inclusive() {
         let r = execute(&db(), "SELECT count(*) FROM emp WHERE salary BETWEEN 60 AND 100").unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(4), "60 and 100 are inclusive");
-        let r2 = execute(&db(), "SELECT count(*) FROM emp WHERE salary NOT BETWEEN 60 AND 100").unwrap();
+        let r2 =
+            execute(&db(), "SELECT count(*) FROM emp WHERE salary NOT BETWEEN 60 AND 100").unwrap();
         assert_eq!(r2.cell(0, 0), &Value::Int(1));
     }
 
@@ -1004,11 +982,9 @@ mod tests {
 
     #[test]
     fn order_by_select_alias() {
-        let r = execute(
-            &db(),
-            "SELECT name, salary * 2 AS pay2 FROM emp ORDER BY pay2 DESC LIMIT 2",
-        )
-        .unwrap();
+        let r =
+            execute(&db(), "SELECT name, salary * 2 AS pay2 FROM emp ORDER BY pay2 DESC LIMIT 2")
+                .unwrap();
         assert_eq!(r.cell(0, 0), &Value::from("eve"));
         assert_eq!(r.cell(1, 0), &Value::from("ann"));
         // grouped: order by an aggregate alias

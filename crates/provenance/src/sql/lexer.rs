@@ -201,7 +201,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i + 1 < bytes.len() && bytes[i] == b'.' && (bytes[i + 1] as char).is_ascii_digit()
+                if i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && (bytes[i + 1] as char).is_ascii_digit()
                 {
                     is_float = true;
                     i += 1;
@@ -245,7 +247,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 out.push(Token::Ident(input[start..i].to_string()));
             }
             other => {
-                return Err(LexError { position: i, message: format!("unexpected character {other:?}") })
+                return Err(LexError {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
             }
         }
     }
@@ -317,7 +322,10 @@ mod tests {
     #[test]
     fn comments_skipped() {
         let toks = lex("SELECT 1 -- comment here\n, 2").unwrap();
-        assert_eq!(toks, vec![Token::Ident("SELECT".into()), Token::Int(1), Token::Comma, Token::Int(2)]);
+        assert_eq!(
+            toks,
+            vec![Token::Ident("SELECT".into()), Token::Int(1), Token::Comma, Token::Int(2)]
+        );
     }
 
     #[test]

@@ -284,9 +284,7 @@ impl Parser {
         };
         if self.eat_kw("LIKE") {
             return match self.next() {
-                Some(Token::Str(p)) => {
-                    Ok(Expr::Like { expr: Box::new(lhs), pattern: p, negated })
-                }
+                Some(Token::Str(p)) => Ok(Expr::Like { expr: Box::new(lhs), pattern: p, negated }),
                 other => Err(SqlParseError(format!(
                     "LIKE expects a string pattern, found {}",
                     other.map(|t| t.to_string()).unwrap_or_else(|| "<eof>".into())
@@ -482,10 +480,7 @@ mod tests {
             "SELECT f.fname, f.fsize FROM hfile f WHERE f.fname LIKE '%.dlg' ORDER BY f.fsize DESC LIMIT 10",
         )
         .unwrap();
-        assert!(matches!(
-            q.where_clause,
-            Some(Expr::Like { negated: false, .. })
-        ));
+        assert!(matches!(q.where_clause, Some(Expr::Like { negated: false, .. })));
         assert!(q.order_by[0].descending);
         assert_eq!(q.limit, Some(10));
     }
@@ -547,10 +542,9 @@ mod tests {
 
     #[test]
     fn parses_distinct_and_having() {
-        let q = parse(
-            "SELECT DISTINCT dept FROM emp GROUP BY dept HAVING count(*) > 1 ORDER BY dept",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT DISTINCT dept FROM emp GROUP BY dept HAVING count(*) > 1 ORDER BY dept")
+                .unwrap();
         assert!(q.distinct);
         assert!(q.having.is_some());
         assert!(q.having.as_ref().unwrap().contains_aggregate());
@@ -558,8 +552,11 @@ mod tests {
 
     #[test]
     fn parses_in_and_between() {
-        let q = parse("SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT IN ('x') \
-                       AND c BETWEEN 1 AND 10 AND d NOT BETWEEN -5 AND 5").unwrap();
+        let q = parse(
+            "SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT IN ('x') \
+                       AND c BETWEEN 1 AND 10 AND d NOT BETWEEN -5 AND 5",
+        )
+        .unwrap();
         let w = q.where_clause.unwrap();
         let mut in_count = 0;
         let mut between_count = 0;

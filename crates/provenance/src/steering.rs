@@ -18,17 +18,13 @@ pub struct StatusCount {
 
 /// Activation counts by terminal status.
 pub fn status_summary(prov: &ProvenanceStore) -> Result<Vec<StatusCount>, QueryError> {
-    let rs = prov.query(
-        "SELECT status, count(*) FROM hactivation GROUP BY status ORDER BY status",
-    )?;
+    let rs =
+        prov.query("SELECT status, count(*) FROM hactivation GROUP BY status ORDER BY status")?;
     Ok(rs
         .rows
         .iter()
         .filter_map(|r| {
-            Some(StatusCount {
-                status: r[0].as_str()?.to_string(),
-                count: r[1].as_f64()? as i64,
-            })
+            Some(StatusCount { status: r[0].as_str()?.to_string(), count: r[1].as_f64()? as i64 })
         })
         .collect())
 }
@@ -91,14 +87,10 @@ pub fn problematic_pairs(
 /// Activation throughput: finished activations per time bucket of
 /// `bucket_s` simulated/real seconds — the "how is the run progressing"
 /// steering view.
-pub fn throughput(
-    prov: &ProvenanceStore,
-    bucket_s: f64,
-) -> Result<Vec<(i64, i64)>, QueryError> {
+pub fn throughput(prov: &ProvenanceStore, bucket_s: f64) -> Result<Vec<(i64, i64)>, QueryError> {
     assert!(bucket_s > 0.0, "bucket width must be positive");
-    let rs = prov.query(
-        "SELECT extract('epoch' from endtime) FROM hactivation WHERE status = 'FINISHED'",
-    )?;
+    let rs = prov
+        .query("SELECT extract('epoch' from endtime) FROM hactivation WHERE status = 'FINISHED'")?;
     let mut buckets: std::collections::BTreeMap<i64, i64> = Default::default();
     for r in &rs.rows {
         if let Some(t) = r[0].as_f64() {

@@ -32,10 +32,7 @@ impl Schema {
             assert!(seen.insert(n.to_ascii_lowercase()), "duplicate column {n}");
         }
         Schema {
-            columns: cols
-                .iter()
-                .map(|(n, t)| Column { name: n.to_string(), ty: *t })
-                .collect(),
+            columns: cols.iter().map(|(n, t)| Column { name: n.to_string(), ty: *t }).collect(),
         }
     }
 
@@ -191,7 +188,11 @@ mod tests {
     use super::*;
 
     fn schema() -> Schema {
-        Schema::new(&[("id", ValueType::Int), ("name", ValueType::Text), ("score", ValueType::Float)])
+        Schema::new(&[
+            ("id", ValueType::Int),
+            ("name", ValueType::Text),
+            ("score", ValueType::Float),
+        ])
     }
 
     #[test]

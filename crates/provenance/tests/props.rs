@@ -24,8 +24,7 @@ fn p_chars(s: &str) -> Vec<char> {
 
 fn tiny_db(values: &[(i64, String)]) -> Database {
     let mut db = Database::new();
-    db.create_table("t", Schema::new(&[("n", ValueType::Int), ("s", ValueType::Text)]))
-        .unwrap();
+    db.create_table("t", Schema::new(&[("n", ValueType::Int), ("s", ValueType::Text)])).unwrap();
     for (n, s) in values {
         db.insert("t", vec![Value::Int(*n), Value::Text(s.clone())]).unwrap();
     }

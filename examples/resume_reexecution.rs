@@ -38,7 +38,7 @@ fn main() {
                 seed: 99,
             },
             max_retries: 0,
-            resume_from: None,
+            ..Default::default()
         },
     )
     .expect("valid workflow");
@@ -61,6 +61,7 @@ fn main() {
             failures: FailureModel::none(),
             max_retries: 3,
             resume_from: Some(run1.workflow),
+            ..Default::default()
         },
     )
     .expect("valid workflow");
@@ -76,9 +77,7 @@ fn main() {
 
     // show how the engine found the failures: the paper's steering queries
     let q = prov
-        .query(
-            "SELECT status, count(*) FROM hactivation GROUP BY status ORDER BY status",
-        )
+        .query("SELECT status, count(*) FROM hactivation GROUP BY status ORDER BY status")
         .expect("status query");
     println!("\nprovenance view of both runs:\n{q}");
 }

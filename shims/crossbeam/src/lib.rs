@@ -1,0 +1,163 @@
+//! Offline stand-in for `crossbeam`: only the `deque` module, with the
+//! `Injector`/`Worker`/`Stealer` API the pool uses. Implemented with plain
+//! locked deques instead of lock-free ring buffers — correctness-identical,
+//! and the pool's jobs (whole docking activations) are far too coarse for
+//! the difference to show up.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// A job was stolen.
+        Success(T),
+        /// The source was empty.
+        Empty,
+        /// Transient contention; try again.
+        Retry,
+    }
+
+    /// Global FIFO injector queue.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// New empty injector.
+        pub fn new() -> Injector<T> {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Push a job (FIFO order).
+        pub fn push(&self, job: T) {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner).push_back(job);
+        }
+
+        /// Is the injector empty right now?
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner).is_empty()
+        }
+
+        /// Steal a batch of jobs into `dest`'s local deque and pop one.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            // move up to half the remainder (capped) into the local deque
+            let batch = (q.len() / 2).min(16);
+            if batch > 0 {
+                let mut local = dest.deque.lock().unwrap_or_else(PoisonError::into_inner);
+                for _ in 0..batch {
+                    let Some(j) = q.pop_front() else { break };
+                    local.push_back(j);
+                }
+            }
+            Steal::Success(first)
+        }
+    }
+
+    /// A worker's local deque (LIFO pop for cache locality).
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        deque: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// New LIFO worker deque.
+        pub fn new_lifo() -> Worker<T> {
+            Worker { deque: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Push a job onto the local end.
+        pub fn push(&self, job: T) {
+            self.deque.lock().unwrap_or_else(PoisonError::into_inner).push_back(job);
+        }
+
+        /// Pop from the local (most recently pushed) end.
+        pub fn pop(&self) -> Option<T> {
+            self.deque.lock().unwrap_or_else(PoisonError::into_inner).pop_back()
+        }
+
+        /// Create a stealer handle onto this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { deque: Arc::clone(&self.deque) }
+        }
+    }
+
+    /// Steals from the opposite end of a [`Worker`]'s deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        deque: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one job (FIFO end).
+        pub fn steal(&self) -> Steal<T> {
+            match self.deque.lock().unwrap_or_else(PoisonError::into_inner).pop_front() {
+                Some(j) => Steal::Success(j),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { deque: Arc::clone(&self.deque) }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_fifo() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            let w = Worker::new_lifo();
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(1));
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(2));
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::<i32>::Empty);
+        }
+
+        #[test]
+        fn worker_lifo_stealer_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(s.steal(), Steal::Success(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(s.steal(), Steal::<i32>::Empty);
+        }
+
+        #[test]
+        fn batch_moves_jobs_locally() {
+            let inj = Injector::new();
+            for k in 0..20 {
+                inj.push(k);
+            }
+            let w = Worker::new_lifo();
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+            // some of the remainder moved into the local deque
+            let mut local = 0;
+            while w.pop().is_some() {
+                local += 1;
+            }
+            assert!(local > 0, "batch must move jobs");
+        }
+    }
+}

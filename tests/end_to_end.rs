@@ -114,7 +114,12 @@ fn failure_injection_recovers_through_retries() {
         Arc::clone(&prov),
         &LocalConfig {
             threads: 2,
-            failures: FailureModel { fail_rate: 0.25, hang_rate: 0.0, fail_at_fraction: 0.5, seed: 3 },
+            failures: FailureModel {
+                fail_rate: 0.25,
+                hang_rate: 0.0,
+                fail_at_fraction: 0.5,
+                seed: 3,
+            },
             max_retries: 8,
             ..Default::default()
         },
@@ -123,9 +128,7 @@ fn failure_injection_recovers_through_retries() {
     assert!(report.failed_attempts > 0, "25% fail rate must produce failures");
     assert_eq!(report.final_output().len(), 3, "all pairs recover via retries");
     // every failed attempt is visible in provenance
-    let r = prov
-        .query("SELECT count(*) FROM hactivation WHERE status = 'FAILED'")
-        .unwrap();
+    let r = prov.query("SELECT count(*) FROM hactivation WHERE status = 'FAILED'").unwrap();
     assert_eq!(r.cell(0, 0), &Value::Int(report.failed_attempts as i64));
 }
 
@@ -173,7 +176,11 @@ fn xml_spec_describes_the_built_workflow() {
     let files = Arc::new(FileStore::new());
     let wf = build_scidock(EngineMode::Ad4Only, &cfg, files);
     let spec = SciCumulusSpec {
-        database: DatabaseSpec { name: "scicumulus".into(), server: "localhost".into(), port: 5432 },
+        database: DatabaseSpec {
+            name: "scicumulus".into(),
+            server: "localhost".into(),
+            port: 5432,
+        },
         tag: wf.tag.clone(),
         description: wf.description.clone(),
         exectag: "scidock".into(),

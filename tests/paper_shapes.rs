@@ -95,7 +95,12 @@ fn cost_model_matches_paper_tets() {
 #[test]
 fn fault_tolerance_story() {
     let s = SweepConfig {
-        failures: FailureModel { fail_rate: 0.10, hang_rate: 0.02, fail_at_fraction: 0.6, seed: 11 },
+        failures: FailureModel {
+            fail_rate: 0.10,
+            hang_rate: 0.02,
+            fail_at_fraction: 0.6,
+            seed: 11,
+        },
         ..sweep()
     };
     let prov = ProvenanceStore::new();
@@ -207,8 +212,7 @@ fn profile_weights_track_oracle_weights() {
     // mine per-activity means and re-run with profile weights
     let profile = cumulus::sched::activity_profiles(&prov);
     assert!(profile.len() >= 6, "all activities profiled: {profile:?}");
-    let profiled_sweep =
-        SweepConfig { weight_profile: Some(profile), ..SweepConfig::default() };
+    let profiled_sweep = SweepConfig { weight_profile: Some(profile), ..SweepConfig::default() };
     let profiled = simulate_at(32, EngineMode::Ad4Only, &profiled_sweep, None);
     assert!(
         profiled.tet_s <= oracle.tet_s * 1.10,
@@ -217,8 +221,7 @@ fn profile_weights_track_oracle_weights() {
         oracle.tet_s
     );
     // and clearly no worse than scheduling blind (random policy)
-    let random_sweep =
-        SweepConfig { policy: cumulus::Policy::Random, ..SweepConfig::default() };
+    let random_sweep = SweepConfig { policy: cumulus::Policy::Random, ..SweepConfig::default() };
     let random = simulate_at(32, EngineMode::Ad4Only, &random_sweep, None);
     assert!(
         profiled.tet_s <= random.tet_s * 1.05,
