@@ -20,4 +20,8 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== telemetry: crate tests + disabled-overhead smoke =="
+cargo test -q -p telemetry
+cargo run --release -p scidock-bench --bin telemetry_bench -- --smoke
+
 echo "CI OK"

@@ -24,4 +24,4 @@ pub use des::{EventQueue, SimTime};
 pub use failure::{FailureModel, Fate};
 pub use instance::{by_name, fleet_for_cores, InstanceType, CATALOG, M3_2XLARGE, M3_XLARGE};
 pub use sharedfs::SharedFsModel;
-pub use vm::{Cluster, NoiseModel, Vm, VmId};
+pub use vm::{sim_ns, Cluster, NoiseModel, Vm, VmId};

@@ -3,9 +3,15 @@
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use telemetry::Telemetry;
 
 use crate::des::SimTime;
 use crate::instance::InstanceType;
+
+/// Simulated seconds → the nanosecond timeline telemetry records on.
+pub fn sim_ns(t: SimTime) -> u64 {
+    (t.max(0.0) * 1e9) as u64
+}
 
 /// Identifier of a VM within a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,12 +71,27 @@ pub struct Cluster {
     vms: Vec<Vm>,
     noise: NoiseModel,
     rng: ChaCha8Rng,
+    tel: Telemetry,
+    /// Telemetry track (trace-viewer lane) per VM, indexed by `VmId`.
+    tracks: Vec<u64>,
 }
 
 impl Cluster {
     /// Empty cluster with deterministic noise from `seed`.
     pub fn new(seed: u64, noise: NoiseModel) -> Cluster {
-        Cluster { vms: Vec::new(), noise, rng: ChaCha8Rng::seed_from_u64(seed ^ 0xC10D_51A1) }
+        Cluster::with_telemetry(seed, noise, Telemetry::disabled())
+    }
+
+    /// Like [`Cluster::new`], with a telemetry sink: every VM gets its own
+    /// trace lane carrying boot/alive spans at simulated timestamps.
+    pub fn with_telemetry(seed: u64, noise: NoiseModel, tel: Telemetry) -> Cluster {
+        Cluster {
+            vms: Vec::new(),
+            noise,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0xC10D_51A1),
+            tel,
+            tracks: Vec::new(),
+        }
     }
 
     /// Acquire a VM of `itype` at time `t`; it becomes ready after boot.
@@ -78,13 +99,21 @@ impl Cluster {
         let id = VmId(self.vms.len());
         let a = self.noise.amplitude;
         let perf_factor = if a > 0.0 { 1.0 + self.rng.gen_range(-a..a) } else { 1.0 };
-        self.vms.push(Vm {
-            id,
-            itype,
-            perf_factor,
-            ready_at: t + itype.boot_seconds,
-            released_at: None,
-        });
+        let ready_at = t + itype.boot_seconds;
+        self.vms.push(Vm { id, itype, perf_factor, ready_at, released_at: None });
+        let track = self.tel.alloc_track(&format!("vm-{} ({})", id.0, itype.name));
+        self.tracks.push(track);
+        if self.tel.is_enabled() {
+            self.tel.record_span_at(
+                "vm",
+                "boot",
+                Some(track),
+                sim_ns(t),
+                sim_ns(ready_at),
+                Some(&format!("perf_factor={perf_factor:.3}")),
+            );
+            self.tel.count("sim.vm_acquired", 1);
+        }
         id
     }
 
@@ -97,6 +126,15 @@ impl Cluster {
         let vm = &mut self.vms[id.0];
         assert!(vm.released_at.is_none(), "VM {id:?} released twice");
         vm.released_at = Some(t);
+        if self.tel.is_enabled() {
+            self.tel.instant_at("vm", "release", Some(self.tracks[id.0]), sim_ns(t), None);
+            self.tel.count("sim.vm_released", 1);
+        }
+    }
+
+    /// Telemetry track (trace lane) of a VM — 0 when telemetry is disabled.
+    pub fn track(&self, id: VmId) -> u64 {
+        self.tracks[id.0]
     }
 
     /// Borrow a VM.
@@ -219,6 +257,30 @@ mod tests {
         c.release(b, 2.5 * 3600.0); // 2.5h -> 3 billed hours
         let want = M3_XLARGE.hourly_usd + 3.0 * M3_2XLARGE.hourly_usd;
         assert!((c.total_cost(2.5 * 3600.0) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_lanes_carry_boot_spans_and_lifecycle_counters() {
+        let tel = Telemetry::attached();
+        let mut c = Cluster::with_telemetry(1, NoiseModel { amplitude: 0.0 }, tel.clone());
+        let a = c.acquire(&M3_XLARGE, 0.0);
+        let b = c.acquire(&M3_2XLARGE, 5.0);
+        assert_ne!(c.track(a), 0);
+        assert_ne!(c.track(a), c.track(b));
+        c.release(a, 300.0);
+
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.counter("sim.vm_acquired"), Some(2));
+        assert_eq!(snap.counter("sim.vm_released"), Some(1));
+        let lane = snap.tracks.iter().find(|t| t.track == c.track(a)).expect("vm lane named");
+        assert!(lane.name.starts_with("vm-0"));
+        // the boot span covers exactly the boot window in simulated seconds
+        assert!((lane.busy_s - M3_XLARGE.boot_seconds).abs() < 1e-6, "busy {}", lane.busy_s);
+
+        // disabled telemetry: tracks are 0 and nothing records
+        let mut quiet = Cluster::new(1, NoiseModel { amplitude: 0.0 });
+        let q = quiet.acquire(&M3_XLARGE, 0.0);
+        assert_eq!(quiet.track(q), 0);
     }
 
     #[test]

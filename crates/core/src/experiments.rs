@@ -76,6 +76,7 @@ pub fn run_screening_dispatched(
             max_retries: 3,
             resume_from: None,
             mode: dispatch,
+            ..Default::default()
         },
     )
     .expect("workflow validated");
@@ -192,6 +193,7 @@ pub fn simulate_at(
         weight_profile: sweep.weight_profile.as_ref().map(|prof| {
             SIM_ACTIVITY_TAGS.iter().map(|tag| prof.get(*tag).copied().unwrap_or(1.0)).collect()
         }),
+        ..Default::default()
     };
     simulate(&tasks, &cfg, prov)
 }

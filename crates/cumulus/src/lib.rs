@@ -13,6 +13,9 @@
 //!   failure injection, retries, and poison-input blacklisting;
 //! * [`sched`] — the weighted greedy scheduler, its master cost model, and
 //!   elasticity configuration;
+//! * [`steer`] — the live-steering bridge that publishes in-flight
+//!   activation state into the provenance store on a tick, so the paper's
+//!   §V.C runtime queries answer during a run;
 //! * [`template`] — %TAG% activity command templates (the instrumentation
 //!   mechanism of paper Figs. 2–3);
 //! * [`simbackend`] — a discrete-event simulation of the engine on an
@@ -25,6 +28,7 @@ pub mod localbackend;
 pub mod pool;
 pub mod sched;
 pub mod simbackend;
+pub mod steer;
 pub mod template;
 pub mod workflow;
 pub mod xmlspec;
@@ -34,5 +38,6 @@ pub use localbackend::{run_local, DispatchMode, EngineError, LocalConfig, RunRep
 pub use pool::Pool;
 pub use sched::{ElasticityConfig, MasterCostModel, Policy};
 pub use simbackend::{simulate, SimConfig, SimReport, SimTask};
+pub use steer::SteeringBridge;
 pub use template::{Template, TemplateError};
 pub use workflow::{ActivationCtx, Activity, ActivityError, ActivityFn, FileStore, WorkflowDef};

@@ -34,10 +34,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cloudsim::{FailureModel, Fate};
-use provenance::{ActivationRecord, ActivationStatus, ActivityId, ProvenanceStore, WorkflowId};
+use provenance::{
+    ActivationRecord, ActivationStatus, ActivityId, ProvenanceStore, TaskId, WorkflowId,
+};
+use telemetry::{MetricsSnapshot, Telemetry};
 
 use crate::algebra::{Operator, Relation, Tuple};
 use crate::pool::Pool;
+use crate::steer::{SlotId, SteeringBridge};
 use crate::workflow::{ActivationCtx, FileStore, WorkflowDef};
 
 /// How [`run_local`] schedules activations across activities.
@@ -68,6 +72,13 @@ pub struct LocalConfig {
     pub resume_from: Option<WorkflowId>,
     /// Activation scheduling strategy.
     pub mode: DispatchMode,
+    /// Telemetry sink: spans/counters/histograms are recorded into it when
+    /// attached and near-free when disabled (the default).
+    pub telemetry: Telemetry,
+    /// When set, a [`SteeringBridge`] flushes in-flight activation state
+    /// into the provenance store at this interval, so steering queries see
+    /// `RUNNING` rows during the run.
+    pub steering_tick: Option<std::time::Duration>,
 }
 
 impl Default for LocalConfig {
@@ -78,6 +89,8 @@ impl Default for LocalConfig {
             max_retries: 3,
             resume_from: None,
             mode: DispatchMode::default(),
+            telemetry: Telemetry::disabled(),
+            steering_tick: None,
         }
     }
 }
@@ -102,6 +115,9 @@ pub struct RunReport {
     pub resumed: usize,
     /// Output relation of every activity, by activity index.
     pub outputs: Vec<Relation>,
+    /// Aggregated telemetry (per-activity latency quantiles, queue depth,
+    /// worker utilisation) — `None` when no sink was attached.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunReport {
@@ -212,9 +228,12 @@ struct ActivityCtx {
     failures: FailureModel,
     max_retries: u32,
     start_base: Instant,
+    tel: Telemetry,
+    bridge: Option<Arc<SteeringBridge>>,
 }
 
 impl ActivityCtx {
+    #[allow(clippy::too_many_arguments)] // one-call-site constructor bundling run-wide context
     fn build(
         def: &WorkflowDef,
         i: usize,
@@ -223,6 +242,7 @@ impl ActivityCtx {
         prov: &Arc<ProvenanceStore>,
         cfg: &LocalConfig,
         start_base: Instant,
+        bridge: &Option<Arc<SteeringBridge>>,
     ) -> ActivityCtx {
         let activity = &def.activities[i];
         let act_id = prov.register_activity(wkf, &activity.tag, activity.operator.name());
@@ -243,7 +263,24 @@ impl ActivityCtx {
             failures: cfg.failures,
             max_retries: cfg.max_retries,
             start_base,
+            tel: cfg.telemetry.clone(),
+            bridge: bridge.clone(),
         }
+    }
+
+    /// Write an attempt's definitive row: through the steering bridge when
+    /// one is active (replacing its `RUNNING` row in place), directly into
+    /// the store otherwise.
+    fn record(&self, slot: Option<SlotId>, rec: &ActivationRecord) -> TaskId {
+        match (&self.bridge, slot) {
+            (Some(b), Some(s)) => b.resolve(s, rec),
+            _ => self.prov.record_activation(rec),
+        }
+    }
+
+    /// Register the attempt with the steering bridge, if one is active.
+    fn begin_attempt(&self, key: &str, start: f64, attempt: u32) -> Option<SlotId> {
+        self.bridge.as_ref().map(|b| b.begin(self.act_id, self.wkf, key, start, attempt as i64))
     }
 
     /// Execute one activation: resume lookup, blacklist rule, then the
@@ -252,8 +289,16 @@ impl ActivityCtx {
     fn run_activation(&self, part: &[Tuple], part_index: usize) -> ActOutcome {
         let mut out = ActOutcome::default();
         let key = pair_key(part);
+        // one span per activation, covering the whole ready→terminal life
+        // including retries; its duration also feeds the per-activity
+        // histogram that RunReport::metrics summarises
+        let mut act_span = self
+            .tel
+            .span("activation", &self.tag)
+            .with_histogram(self.tel.histogram(&format!("activation.{}", self.tag)));
         // resume: a prior run already finished this activation
         if let Some(tuples) = self.prior.get(&key) {
+            act_span.set_detail(|| format!("resumed pair={key}"));
             out.tuples = tuples.clone();
             out.resumed = 1;
             return out;
@@ -262,6 +307,7 @@ impl ActivityCtx {
         if let Some(bl) = &self.blacklist {
             if part.iter().any(|t| bl(t)) {
                 let now = self.start_base.elapsed().as_secs_f64();
+                act_span.set_detail(|| format!("blacklisted pair={key}"));
                 self.prov.record_activation(&ActivationRecord {
                     activity: self.act_id,
                     workflow: self.wkf,
@@ -284,21 +330,28 @@ impl ActivityCtx {
         loop {
             let fate = self.failures.fate(&tag_key, attempt);
             let start = self.start_base.elapsed().as_secs_f64();
+            let slot = self.begin_attempt(&key, start, attempt);
+            let mut attempt_span = self.tel.span("attempt", &format!("{}#{attempt}", self.tag));
             match fate {
                 Fate::Hang => {
                     // the real program would loop forever; the engine
                     // detects and aborts it
                     let end = self.start_base.elapsed().as_secs_f64();
-                    self.prov.record_activation(&ActivationRecord {
-                        activity: self.act_id,
-                        workflow: self.wkf,
-                        status: ActivationStatus::Aborted,
-                        start_time: start,
-                        end_time: end,
-                        machine: None,
-                        retries: attempt as i64,
-                        pair_key: key,
-                    });
+                    attempt_span.set_detail(|| format!("aborted pair={key}"));
+                    act_span.set_detail(|| format!("aborted pair={key}"));
+                    self.record(
+                        slot,
+                        &ActivationRecord {
+                            activity: self.act_id,
+                            workflow: self.wkf,
+                            status: ActivationStatus::Aborted,
+                            start_time: start,
+                            end_time: end,
+                            machine: None,
+                            retries: attempt as i64,
+                            pair_key: key,
+                        },
+                    );
                     out.aborted = 1;
                     return out;
                 }
@@ -306,37 +359,49 @@ impl ActivityCtx {
                     let mut ctx = ActivationCtx::new(&self.files, &workdir);
                     let _ = (self.func)(part, &mut ctx); // work is lost
                     let end = self.start_base.elapsed().as_secs_f64();
-                    self.prov.record_activation(&ActivationRecord {
-                        activity: self.act_id,
-                        workflow: self.wkf,
-                        status: ActivationStatus::Failed,
-                        start_time: start,
-                        end_time: end,
-                        machine: None,
-                        retries: attempt as i64,
-                        pair_key: key.clone(),
-                    });
+                    attempt_span.set_detail(|| format!("failed pair={key}"));
+                    self.record(
+                        slot,
+                        &ActivationRecord {
+                            activity: self.act_id,
+                            workflow: self.wkf,
+                            status: ActivationStatus::Failed,
+                            start_time: start,
+                            end_time: end,
+                            machine: None,
+                            retries: attempt as i64,
+                            pair_key: key.clone(),
+                        },
+                    );
                     out.failed_attempts += 1;
                     if attempt >= self.max_retries {
+                        act_span.set_detail(|| format!("failed-permanently pair={key}"));
                         return out;
                     }
                     attempt += 1;
+                    self.tel.instant("activation", "retry", Some(&key));
                 }
                 Fate::Ok => {
                     let mut ctx = ActivationCtx::new(&self.files, &workdir);
                     match (self.func)(part, &mut ctx) {
                         Ok(tuples) => {
                             let end = self.start_base.elapsed().as_secs_f64();
-                            let task = self.prov.record_activation(&ActivationRecord {
-                                activity: self.act_id,
-                                workflow: self.wkf,
-                                status: ActivationStatus::Finished,
-                                start_time: start,
-                                end_time: end,
-                                machine: None,
-                                retries: attempt as i64,
-                                pair_key: key.clone(),
-                            });
+                            attempt_span.set_detail(|| format!("finished pair={key}"));
+                            act_span
+                                .set_detail(|| format!("finished pair={key} retries={attempt}"));
+                            let task = self.record(
+                                slot,
+                                &ActivationRecord {
+                                    activity: self.act_id,
+                                    workflow: self.wkf,
+                                    status: ActivationStatus::Finished,
+                                    start_time: start,
+                                    end_time: end,
+                                    machine: None,
+                                    retries: attempt as i64,
+                                    pair_key: key.clone(),
+                                },
+                            );
                             for path in ctx.produced_files() {
                                 let size = self.files.size(path).unwrap_or(0) as i64;
                                 let (dir, name) = split_path(path);
@@ -368,21 +433,27 @@ impl ActivityCtx {
                         Err(_e) => {
                             // domain error: behaves like a failure
                             let end = self.start_base.elapsed().as_secs_f64();
-                            self.prov.record_activation(&ActivationRecord {
-                                activity: self.act_id,
-                                workflow: self.wkf,
-                                status: ActivationStatus::Failed,
-                                start_time: start,
-                                end_time: end,
-                                machine: None,
-                                retries: attempt as i64,
-                                pair_key: key.clone(),
-                            });
+                            attempt_span.set_detail(|| format!("failed pair={key}"));
+                            self.record(
+                                slot,
+                                &ActivationRecord {
+                                    activity: self.act_id,
+                                    workflow: self.wkf,
+                                    status: ActivationStatus::Failed,
+                                    start_time: start,
+                                    end_time: end,
+                                    machine: None,
+                                    retries: attempt as i64,
+                                    pair_key: key.clone(),
+                                },
+                            );
                             out.failed_attempts += 1;
                             if attempt >= self.max_retries {
+                                act_span.set_detail(|| format!("failed-permanently pair={key}"));
                                 return out;
                             }
                             attempt += 1;
+                            self.tel.instant("activation", "retry", Some(&key));
                         }
                     }
                 }
@@ -400,13 +471,40 @@ pub fn run_local(
     cfg: &LocalConfig,
 ) -> Result<RunReport, EngineError> {
     def.validate().map_err(EngineError::Invalid)?;
-    let pool = Pool::new(cfg.threads);
+    let pool = Pool::with_telemetry(cfg.threads, cfg.telemetry.clone());
     let wkf = prov.begin_workflow(&def.tag, &def.description, &def.expdir);
     let t0 = Instant::now();
-    match cfg.mode {
-        DispatchMode::Barrier => run_barrier(def, input, files, prov, cfg, &pool, wkf, t0),
-        DispatchMode::Pipelined => run_pipelined(def, input, files, prov, cfg, &pool, wkf, t0),
+    let bridge = cfg.steering_tick.map(|tick| SteeringBridge::start(Arc::clone(&prov), t0, tick));
+    cfg.telemetry.name_current_track("dispatcher");
+    let run_start = cfg.telemetry.now_ns();
+    let result = match cfg.mode {
+        DispatchMode::Barrier => {
+            run_barrier(def, input, files, Arc::clone(&prov), cfg, &pool, wkf, t0, &bridge)
+        }
+        DispatchMode::Pipelined => {
+            run_pipelined(def, input, files, Arc::clone(&prov), cfg, &pool, wkf, t0, &bridge)
+        }
+    };
+    if let Some(b) = &bridge {
+        b.stop();
     }
+    // join the workers *before* snapshotting: Pool::drop flushes its
+    // lifetime counters (parks, steals, …) into the sink
+    drop(pool);
+    if cfg.telemetry.is_enabled() {
+        cfg.telemetry.record_span_at(
+            "run",
+            &def.tag,
+            None,
+            run_start,
+            cfg.telemetry.now_ns(),
+            Some(&format!("mode={:?}", cfg.mode)),
+        );
+    }
+    result.map(|mut report| {
+        report.metrics = cfg.telemetry.snapshot();
+        report
+    })
 }
 
 /// Stage-at-a-time executor: one `execute_all` barrier per activity.
@@ -420,6 +518,7 @@ fn run_barrier(
     pool: &Pool,
     wkf: WorkflowId,
     t0: Instant,
+    bridge: &Option<Arc<SteeringBridge>>,
 ) -> Result<RunReport, EngineError> {
     let mut outputs: Vec<Relation> = Vec::with_capacity(def.activities.len());
     let mut report = RunReport {
@@ -431,10 +530,11 @@ fn run_barrier(
         blacklisted: 0,
         resumed: 0,
         outputs: Vec::new(),
+        metrics: None,
     };
 
     for (i, activity) in def.activities.iter().enumerate() {
-        let actx = Arc::new(ActivityCtx::build(def, i, wkf, &files, &prov, cfg, t0));
+        let actx = Arc::new(ActivityCtx::build(def, i, wkf, &files, &prov, cfg, t0, bridge));
         let input_rel = def.input_for(i, &input, &outputs);
         let parts = activity.operator.partition(&input_rel);
 
@@ -447,7 +547,14 @@ fn run_barrier(
             })
             .collect();
 
+        // the barrier executor pays one stage-wide wait per activity: the
+        // dispatcher blocks here until every activation of stage i is done
+        let stage_span =
+            cfg.telemetry.span_detail("barrier", &format!("stage.{}", activity.tag), || {
+                format!("activity={i}")
+            });
         let results = pool.execute_all(jobs);
+        drop(stage_span);
         let mut rel = Relation { columns: activity.output_columns.clone(), tuples: Vec::new() };
         for r in results {
             tally(&mut report, &r);
@@ -486,6 +593,9 @@ struct ActState {
     input_columns: Vec<String>,
     /// Buffered input tuples (barrier operators only).
     buffer: Vec<Tuple>,
+    /// When the first tuple was buffered (barrier operators only) — start
+    /// of this activity's barrier-wait telemetry span.
+    barrier_wait_start: Option<u64>,
     /// Upstream activities that have not closed yet.
     upstream_open: usize,
     /// Activations submitted but not yet completed.
@@ -513,8 +623,10 @@ fn run_pipelined(
     pool: &Pool,
     wkf: WorkflowId,
     t0: Instant,
+    bridge: &Option<Arc<SteeringBridge>>,
 ) -> Result<RunReport, EngineError> {
     let n = def.activities.len();
+    let tel = cfg.telemetry.clone();
     let (tx, rx) = mpsc::channel::<Completion>();
 
     // successors with edge multiplicity (a duplicated dep feeds twice, just
@@ -544,13 +656,14 @@ fn run_pipelined(
                 first.clone()
             };
             ActState {
-                ctx: Arc::new(ActivityCtx::build(def, i, wkf, &files, &prov, cfg, t0)),
+                ctx: Arc::new(ActivityCtx::build(def, i, wkf, &files, &prov, cfg, t0, bridge)),
                 is_barrier_op: matches!(
                     activity.operator,
                     Operator::Reduce { .. } | Operator::SRQuery | Operator::MRQuery
                 ),
                 input_columns,
                 buffer: Vec::new(),
+                barrier_wait_start: None,
                 upstream_open: def.deps[i].len(),
                 in_flight: 0,
                 next_part: 0,
@@ -591,6 +704,9 @@ fn run_pipelined(
             }
         }
         if state.is_barrier_op {
+            if state.barrier_wait_start.is_none() && !accepted.is_empty() {
+                state.barrier_wait_start = Some(tel.now_ns());
+            }
             state.buffer.extend(accepted);
         } else {
             // Map/SplitMap/Filter partition one activation per tuple, so
@@ -607,6 +723,19 @@ fn run_pipelined(
         |state: &mut ActState, i: usize, operator: &Operator, tx: &mpsc::Sender<Completion>| {
             debug_assert!(!state.input_done);
             if state.is_barrier_op {
+                // the span from "first tuple buffered" to "last upstream
+                // closed" is exactly how long the algebra forced this
+                // activity to wait at its barrier
+                if let Some(start) = state.barrier_wait_start.take() {
+                    tel.record_span_at(
+                        "barrier",
+                        &format!("wait.{}", def.activities[i].tag),
+                        None,
+                        start,
+                        tel.now_ns(),
+                        Some("pipelined barrier operator waited for full input relation"),
+                    );
+                }
                 let rel = Relation {
                     columns: state.input_columns.clone(),
                     tuples: std::mem::take(&mut state.buffer),
@@ -627,6 +756,7 @@ fn run_pipelined(
         blacklisted: 0,
         resumed: 0,
         outputs: Vec::new(),
+        metrics: None,
     };
     let mut open = n;
 
@@ -1187,7 +1317,14 @@ mod tests {
             FailureModel { fail_rate: 0.15, hang_rate: 0.05, fail_at_fraction: 0.5, seed: 42 };
         let run = |mode: DispatchMode| {
             let prov = Arc::new(ProvenanceStore::new());
-            let cfg = LocalConfig { threads: 4, failures, max_retries: 2, resume_from: None, mode };
+            let cfg = LocalConfig {
+                threads: 4,
+                failures,
+                max_retries: 2,
+                resume_from: None,
+                mode,
+                ..Default::default()
+            };
             let rep =
                 run_local(&mk_wf(), input(25), Arc::new(FileStore::new()), Arc::clone(&prov), &cfg)
                     .unwrap();
@@ -1234,6 +1371,7 @@ mod tests {
             max_retries: 0,
             resume_from: None,
             mode: DispatchMode::Barrier,
+            ..Default::default()
         };
         let r1 = run_local(&wf, input(20), Arc::clone(&files), Arc::clone(&prov), &cfg1).unwrap();
         assert!(r1.finished < 40, "some activations must drop");
@@ -1243,6 +1381,7 @@ mod tests {
             max_retries: 0,
             resume_from: Some(r1.workflow),
             mode: DispatchMode::Pipelined,
+            ..Default::default()
         };
         let r2 = run_local(&wf, input(20), files, Arc::clone(&prov), &cfg2).unwrap();
         assert_eq!(r2.resumed, r1.finished, "every finished activation is reused");
@@ -1375,5 +1514,178 @@ mod tests {
         assert_eq!(b.final_output().len(), 2);
         assert_eq!(sorted_tuples(p.final_output()), sorted_tuples(b.final_output()));
         assert_eq!(p.finished, b.finished);
+    }
+
+    // ---- telemetry & live steering ----
+
+    /// Split a Chrome-trace string into its event objects (each starts with
+    /// `{"ph":`) — enough structure for the assertions below without a JSON
+    /// parser in the test.
+    fn trace_events(trace: &str) -> Vec<&str> {
+        let starts: Vec<usize> = trace.match_indices("{\"ph\":").map(|(i, _)| i).collect();
+        starts
+            .iter()
+            .enumerate()
+            .map(|(k, &s)| {
+                let e = starts.get(k + 1).copied().unwrap_or(trace.len());
+                &trace[s..e]
+            })
+            .collect()
+    }
+
+    fn event_field_u64(ev: &str, key: &str) -> Option<u64> {
+        let i = ev.find(key)? + key.len();
+        let rest = &ev[i..];
+        let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+
+    /// Acceptance: a pipelined run with a sink attached exports valid
+    /// Chrome-trace JSON whose activation spans sit (parent-linked) on the
+    /// worker-thread tracks, and its report carries a metrics snapshot.
+    #[test]
+    fn pipelined_run_exports_chrome_trace_with_nested_activation_spans() {
+        let tel = Telemetry::attached();
+        let cfg = LocalConfig {
+            threads: 2,
+            telemetry: tel.clone(),
+            mode: DispatchMode::Pipelined,
+            ..Default::default()
+        };
+        let report = run_local(
+            &simple_workflow(),
+            input(6),
+            Arc::new(FileStore::new()),
+            Arc::new(ProvenanceStore::new()),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(report.finished, 12);
+
+        // the metrics snapshot rode along on the report
+        let snap = report.metrics.as_ref().expect("sink attached => metrics present");
+        let h = snap.histogram("activation.double").expect("per-activity histogram");
+        assert_eq!(h.count, 6);
+        assert!(h.p95_s >= h.p50_s);
+        assert_eq!(snap.counter("pool.submitted"), Some(12));
+        assert_eq!(snap.counter("pool.completed"), Some(12));
+        assert!(snap.histogram("pool.queue_wait").is_some(), "queue-wait histogram captured");
+
+        let trace = tel.export_chrome_trace().unwrap();
+        telemetry::json::validate(&trace).unwrap_or_else(|off| {
+            panic!("invalid trace JSON at byte {off}: …{}…", &trace[off.saturating_sub(40)..off])
+        });
+
+        let evs = trace_events(&trace);
+        let worker_tids: std::collections::HashSet<u64> = evs
+            .iter()
+            .filter(|e| e.starts_with("{\"ph\":\"M\"") && e.contains("cumulus-worker-"))
+            .filter_map(|e| event_field_u64(e, "\"tid\":"))
+            .collect();
+        assert_eq!(worker_tids.len(), 2, "one named track per worker thread");
+        let nested_activations = evs
+            .iter()
+            .filter(|e| e.starts_with("{\"ph\":\"X\"") && e.contains("\"cat\":\"activation\""))
+            .filter(|e| {
+                event_field_u64(e, "\"tid\":").is_some_and(|tid| worker_tids.contains(&tid))
+            })
+            .filter(|e| e.contains("\"parent\":"))
+            .count();
+        assert_eq!(
+            nested_activations, 12,
+            "every activation span lies on a worker track, nested under its pool job span"
+        );
+    }
+
+    /// Acceptance: with `steering_tick` set, `steering::status_summary`
+    /// answers *during* the run — activations observe other activations as
+    /// RUNNING — and no RUNNING rows survive the run.
+    #[test]
+    fn steering_tick_exposes_running_rows_mid_run() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let prov = Arc::new(ProvenanceStore::new());
+        let max_running_seen = Arc::new(AtomicUsize::new(0));
+        let (p2, seen) = (Arc::clone(&prov), Arc::clone(&max_running_seen));
+        let func: crate::workflow::ActivityFn = Arc::new(move |tuples, _ctx| {
+            // give the 10 ms ticker time to publish this attempt, then ask
+            // the steering API what is in flight right now
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            let running = provenance::steering::status_summary(&p2)
+                .unwrap()
+                .into_iter()
+                .find(|s| s.status == "RUNNING")
+                .map(|s| s.count as usize)
+                .unwrap_or(0);
+            seen.fetch_max(running, Ordering::SeqCst);
+            Ok(tuples.to_vec())
+        });
+        let wf = WorkflowDef {
+            tag: "live".into(),
+            description: String::new(),
+            expdir: "/e".into(),
+            activities: vec![Activity::map("slow", &["x"], func)],
+            deps: vec![vec![]],
+        };
+        let cfg = LocalConfig {
+            threads: 4,
+            steering_tick: Some(std::time::Duration::from_millis(10)),
+            ..Default::default()
+        };
+        let report =
+            run_local(&wf, input(8), Arc::new(FileStore::new()), Arc::clone(&prov), &cfg).unwrap();
+        assert_eq!(report.finished, 8);
+        assert!(
+            max_running_seen.load(Ordering::SeqCst) >= 1,
+            "a mid-run steering query must see in-flight activations as RUNNING"
+        );
+        // every RUNNING row was replaced in place by its terminal row
+        let statuses = status_counts(&prov, report.workflow);
+        assert_eq!(statuses, vec![("FINISHED".to_string(), 8)]);
+    }
+
+    /// Satellite: the steering queries themselves agree across dispatch
+    /// modes on a failure-heavy workload.
+    #[test]
+    fn steering_queries_agree_across_dispatch_modes() {
+        use provenance::steering;
+        let failures =
+            FailureModel { fail_rate: 0.3, hang_rate: 0.05, fail_at_fraction: 0.5, seed: 11 };
+        let run = |mode| {
+            let prov = Arc::new(ProvenanceStore::new());
+            let cfg = LocalConfig {
+                threads: 4,
+                failures,
+                max_retries: 2,
+                mode,
+                steering_tick: Some(std::time::Duration::from_millis(5)),
+                ..Default::default()
+            };
+            let rep = run_local(
+                &simple_workflow(),
+                input(30),
+                Arc::new(FileStore::new()),
+                Arc::clone(&prov),
+                &cfg,
+            )
+            .unwrap();
+            (rep, prov)
+        };
+        let (brep, bprov) = run(DispatchMode::Barrier);
+        let (_prep, pprov) = run(DispatchMode::Pipelined);
+        assert!(brep.failed_attempts > 0, "scenario must exercise failures");
+
+        let bsum = steering::status_summary(&bprov).unwrap();
+        let psum = steering::status_summary(&pprov).unwrap();
+        assert_eq!(
+            bsum.iter().map(|s| (s.status.clone(), s.count)).collect::<Vec<_>>(),
+            psum.iter().map(|s| (s.status.clone(), s.count)).collect::<Vec<_>>(),
+            "status_summary must agree across modes (and hold no RUNNING residue)"
+        );
+        assert!(bsum.iter().all(|s| s.status != "RUNNING"));
+        assert_eq!(
+            steering::failures_by_activity(&bprov).unwrap(),
+            steering::failures_by_activity(&pprov).unwrap(),
+            "failures_by_activity must agree across modes"
+        );
     }
 }

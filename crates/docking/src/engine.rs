@@ -2,6 +2,7 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use telemetry::Telemetry;
 
 use molkit::align::aligned_rmsd;
 use molkit::formats::pdbqt::PdbqtLigand;
@@ -56,6 +57,9 @@ pub struct DockConfig {
     pub box_edge: f64,
     /// Probe radius used for pocket detection.
     pub pocket_probe: f64,
+    /// Telemetry sink: per-phase spans (pocket, grids, search, analysis)
+    /// when attached, near-free when disabled (the default).
+    pub telemetry: Telemetry,
 }
 
 impl Default for DockConfig {
@@ -68,6 +72,7 @@ impl Default for DockConfig {
             grid_spacing: 0.75,
             box_edge: 16.0,
             pocket_probe: 9.0,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -168,7 +173,12 @@ pub fn make_grids(
     engine: EngineKind,
     cfg: &DockConfig,
 ) -> Result<GridSet, DockError> {
-    let spec = make_grid_spec(receptor, ligand, cfg)?;
+    let spec = {
+        let _phase = cfg.telemetry.span("dock", "pocket");
+        make_grid_spec(receptor, ligand, cfg)?
+    };
+    let _phase =
+        cfg.telemetry.span_detail("dock", "grids", || format!("spacing={} Å", cfg.grid_spacing));
     let types = ligand.mol.ad_types();
     Ok(match engine {
         EngineKind::Ad4 => build_ad4_grids(receptor, spec, &types, &Ad4Params::new()),
@@ -192,23 +202,29 @@ pub fn dock_with_grids(
     let mut ev = Evaluator::new(&em);
     let reference: Vec<Vec3> = ligand.mol.positions();
 
-    let (poses, rmsd_vs_best): (Vec<ScoredPose>, bool) = match engine {
-        EngineKind::Ad4 => {
-            let mut runs = Vec::with_capacity(cfg.ad4_runs);
-            for i in 0..cfg.ad4_runs {
-                let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
-                runs.push(run_lga(&mut ev, &grids.spec, &lm, &cfg.lga, &mut rng));
+    let (poses, rmsd_vs_best): (Vec<ScoredPose>, bool) = {
+        let mut phase = cfg.telemetry.span("dock", "search");
+        let out = match engine {
+            EngineKind::Ad4 => {
+                let mut runs = Vec::with_capacity(cfg.ad4_runs);
+                for i in 0..cfg.ad4_runs {
+                    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
+                    runs.push(run_lga(&mut ev, &grids.spec, &lm, &cfg.lga, &mut rng));
+                }
+                runs.sort_by(|a, b| a.energy.total_cmp(&b.energy));
+                (runs, false)
             }
-            runs.sort_by(|a, b| a.energy.total_cmp(&b.energy));
-            (runs, false)
-        }
-        EngineKind::Vina => {
-            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-            let out = run_mc(&mut ev, &grids.spec, &lm, &cfg.mc, &mut rng);
-            (out.modes, true)
-        }
+            EngineKind::Vina => {
+                let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+                let out = run_mc(&mut ev, &grids.spec, &lm, &cfg.mc, &mut rng);
+                (out.modes, true)
+            }
+        };
+        phase.set_detail(|| format!("{} evals={}", engine.program_name(), ev.evals));
+        out
     };
 
+    let _phase = cfg.telemetry.span("dock", "analysis");
     let best_pose = poses[0].pose.clone();
     let best_coords = lm.coords(&poses[0].pose);
     let all_coords: Vec<Vec<Vec3>> = poses.iter().map(|sp| lm.coords(&sp.pose)).collect();
@@ -232,6 +248,7 @@ pub fn dock_with_grids(
         })
         .collect();
 
+    cfg.telemetry.count("dock.evaluations", ev.evals);
     Ok(DockResult {
         engine,
         receptor: receptor_name.to_string(),
@@ -287,6 +304,9 @@ pub fn dock(
     engine: EngineKind,
     cfg: &DockConfig,
 ) -> Result<DockResult, DockError> {
+    let _pair_span = cfg
+        .telemetry
+        .span_detail("dock", "pair", || format!("{}:{}", receptor.name, ligand.mol.name));
     let grids = make_grids(receptor, ligand, engine, cfg)?;
     dock_with_grids(&grids, &receptor.name, ligand, engine, cfg)
 }
@@ -393,6 +413,23 @@ mod tests {
         let cfg = fast_cfg();
         let spec = make_grid_spec(&receptor, &lig, &cfg).unwrap();
         assert!(spec.edge() >= diameter(&lig.mol) + 6.0 - 1e-9);
+    }
+
+    #[test]
+    fn per_phase_spans_recorded_under_pair_span() {
+        let (receptor, lig) = prepared_pair();
+        let tel = Telemetry::attached();
+        let cfg = DockConfig { telemetry: tel.clone(), ..fast_cfg() };
+        let res = dock(&receptor, &lig, EngineKind::Ad4, &cfg).unwrap();
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.counter("dock.evaluations"), Some(res.evaluations));
+        let trace = tel.export_chrome_trace().unwrap();
+        for phase in ["\"pair\"", "\"pocket\"", "\"grids\"", "\"search\"", "\"analysis\""] {
+            assert!(trace.contains(phase), "missing phase {phase}");
+        }
+        assert!(trace.contains("autodock4 evals="), "search detail carries eval count");
+        // all four phases nest under the pair span
+        assert_eq!(trace.matches("\"parent\":").count(), 4);
     }
 
     #[test]

@@ -31,7 +31,8 @@ pub struct TaskId(pub i64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MachineId(pub i64);
 
-/// Terminal status of an activation.
+/// Status of an activation. All but [`ActivationStatus::Running`] are
+/// terminal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ActivationStatus {
     /// Completed successfully.
@@ -42,6 +43,9 @@ pub enum ActivationStatus {
     Aborted,
     /// Never executed: input was blacklisted (e.g. Hg-containing receptor).
     Blacklisted,
+    /// Currently executing — written by the live-steering bridge so runtime
+    /// queries see in-flight work; replaced in place by a terminal status.
+    Running,
 }
 
 impl ActivationStatus {
@@ -52,7 +56,13 @@ impl ActivationStatus {
             ActivationStatus::Failed => "FAILED",
             ActivationStatus::Aborted => "ABORTED",
             ActivationStatus::Blacklisted => "BLACKLISTED",
+            ActivationStatus::Running => "RUNNING",
         }
+    }
+
+    /// Is this a terminal (will-not-change) status?
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, ActivationStatus::Running)
     }
 }
 
@@ -264,6 +274,34 @@ impl ProvenanceStore {
         TaskId(id)
     }
 
+    /// Replace the row of an existing activation in place.
+    ///
+    /// This is the live-steering write path: a `RUNNING` row inserted when
+    /// the activation started is overwritten with its terminal record, so
+    /// `status_summary` never double-counts the activation. Returns `false`
+    /// when `task` is unknown (the row is then left to the caller to insert).
+    pub fn update_activation(&self, task: TaskId, rec: &ActivationRecord) -> bool {
+        let mut g = self.inner.lock();
+        let Ok(t) = g.db.table_mut("hactivation") else {
+            return false;
+        };
+        let Some(row) = t.rows_mut().iter_mut().find(|r| r[0] == Value::Int(task.0)) else {
+            return false;
+        };
+        *row = vec![
+            Value::Int(task.0),
+            Value::Int(rec.activity.0),
+            Value::Int(rec.workflow.0),
+            rec.status.as_str().into(),
+            Value::Timestamp(rec.start_time),
+            Value::Timestamp(rec.end_time),
+            rec.machine.map(|m| Value::Int(m.0)).unwrap_or(Value::Null),
+            Value::Int(rec.retries),
+            rec.pair_key.as_str().into(),
+        ];
+        true
+    }
+
     /// Record a file produced by an activation.
     pub fn record_file(
         &self,
@@ -473,6 +511,13 @@ impl ProvenanceStore {
     pub fn query(&self, sql: &str) -> Result<ResultSet, QueryError> {
         let g = self.inner.lock();
         execute(&g.db, sql)
+    }
+
+    /// Run a SQL query with a typed row limit: `n` is applied as the query's
+    /// `LIMIT` without ever being spliced into the SQL text.
+    pub fn query_limited(&self, sql: &str, n: usize) -> Result<ResultSet, QueryError> {
+        let g = self.inner.lock();
+        crate::sql::execute_with_limit(&g.db, sql, n)
     }
 
     /// Row counts per table (diagnostics).
@@ -692,6 +737,57 @@ mod tests {
         let outs = p.finished_outputs(w, "babel1k");
         assert!(outs.contains_key("1AEC:042"));
         assert!(outs["1AEC:042"].is_empty());
+    }
+
+    #[test]
+    fn running_rows_update_in_place() {
+        let p = ProvenanceStore::new();
+        let w = p.begin_workflow("live", "", "");
+        let a = p.register_activity(w, "vina", "Map");
+        let mut rec = ActivationRecord {
+            activity: a,
+            workflow: w,
+            status: ActivationStatus::Running,
+            start_time: 1.0,
+            end_time: 1.0,
+            machine: None,
+            retries: 0,
+            pair_key: "R:L".into(),
+        };
+        let t = p.record_activation(&rec);
+        let r = p.query("SELECT count(*) FROM hactivation WHERE status = 'RUNNING'").unwrap();
+        assert_eq!(r.cell(0, 0), &Value::Int(1));
+
+        rec.status = ActivationStatus::Finished;
+        rec.end_time = 9.0;
+        assert!(p.update_activation(t, &rec));
+        // the RUNNING row was replaced, not duplicated
+        let r = p.query("SELECT status, count(*) FROM hactivation GROUP BY status").unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cell(0, 0), &Value::from("FINISHED"));
+        assert_eq!(r.cell(0, 1), &Value::Int(1));
+        // unknown task id refuses the update
+        assert!(!p.update_activation(TaskId(999), &rec));
+    }
+
+    #[test]
+    fn status_terminality() {
+        assert!(ActivationStatus::Finished.is_terminal());
+        assert!(ActivationStatus::Failed.is_terminal());
+        assert!(!ActivationStatus::Running.is_terminal());
+        assert_eq!(ActivationStatus::Running.as_str(), "RUNNING");
+    }
+
+    #[test]
+    fn query_limited_applies_typed_limit() {
+        let (p, _, _, _) = populated();
+        let r = p.query_limited("SELECT taskid FROM hactivation ORDER BY taskid", 2).unwrap();
+        assert_eq!(r.len(), 2);
+        let r = p.query_limited("SELECT taskid FROM hactivation", 0).unwrap();
+        assert!(r.is_empty());
+        // an in-text LIMIT is overridden by the typed one
+        let r = p.query_limited("SELECT taskid FROM hactivation LIMIT 4", 1).unwrap();
+        assert_eq!(r.len(), 1);
     }
 
     #[test]

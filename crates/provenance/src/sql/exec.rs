@@ -498,6 +498,16 @@ pub fn execute(db: &Database, sql: &str) -> Result<ResultSet, QueryError> {
     execute_query(db, &q)
 }
 
+/// Execute a SQL string with a typed `LIMIT` override: `n` replaces any
+/// `LIMIT` present in the text. This is the checked path for caller-supplied
+/// row counts — the value goes into the parsed [`Query`] directly and is
+/// never interpolated into the SQL string.
+pub fn execute_with_limit(db: &Database, sql: &str, n: usize) -> Result<ResultSet, QueryError> {
+    let mut q = parse(sql)?;
+    q.limit = Some(n);
+    execute_query(db, &q)
+}
+
 /// Execute a parsed query.
 pub fn execute_query(db: &Database, q: &Query) -> Result<ResultSet, QueryError> {
     // bind FROM tables

@@ -12,5 +12,5 @@ pub mod exec;
 pub mod lexer;
 pub mod parser;
 
-pub use exec::{execute, execute_query, QueryError, ResultSet};
+pub use exec::{execute, execute_query, execute_with_limit, QueryError, ResultSet};
 pub use parser::{parse, SqlParseError};

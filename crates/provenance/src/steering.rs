@@ -10,7 +10,8 @@ use crate::sql::QueryError;
 /// Per-status activation counts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatusCount {
-    /// The status label (`FINISHED`, `FAILED`, `ABORTED`, `BLACKLISTED`).
+    /// The status label (`FINISHED`, `FAILED`, `ABORTED`, `BLACKLISTED`,
+    /// or `RUNNING` for in-flight activations flushed by live steering).
     pub status: String,
     /// Activations with that status.
     pub count: i64,
@@ -43,26 +44,46 @@ pub fn failures_by_activity(prov: &ProvenanceStore) -> Result<Vec<(String, i64)>
         .collect())
 }
 
-/// The `n` slowest finished activations: `(activity tag, pair key, seconds)`.
+/// One row of [`slowest_activations`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowActivation {
+    /// Activity tag (e.g. `autodockvina1k`).
+    pub activity: String,
+    /// Receptor–ligand pair key the activation processed.
+    pub pair_key: String,
+    /// Wall-clock duration in seconds.
+    pub seconds: f64,
+}
+
+/// The `n` slowest finished activations, slowest first.
 ///
 /// The paper's anomaly hunt — "several activities with abnormal execution
 /// time (they remain in looping state) when processing specific ligands" —
 /// is exactly this query followed by a look at the pair keys.
+///
+/// `n` is applied as a typed `LIMIT` on the parsed query (never interpolated
+/// into the SQL text), so `n = 0` yields an empty result rather than a
+/// syntax surprise.
 pub fn slowest_activations(
     prov: &ProvenanceStore,
     n: usize,
-) -> Result<Vec<(String, String, f64)>, QueryError> {
-    let rs = prov.query(&format!(
+) -> Result<Vec<SlowActivation>, QueryError> {
+    let rs = prov.query_limited(
         "SELECT a.tag, t.pairkey, extract('epoch' from (t.endtime - t.starttime)) AS dur \
          FROM hactivity a, hactivation t \
          WHERE a.actid = t.actid AND t.status = 'FINISHED' \
-         ORDER BY dur DESC LIMIT {n}"
-    ))?;
+         ORDER BY dur DESC",
+        n,
+    )?;
     Ok(rs
         .rows
         .iter()
         .filter_map(|r| {
-            Some((r[0].as_str()?.to_string(), r[1].as_str()?.to_string(), r[2].as_f64()?))
+            Some(SlowActivation {
+                activity: r[0].as_str()?.to_string(),
+                pair_key: r[1].as_str()?.to_string(),
+                seconds: r[2].as_f64()?,
+            })
         })
         .collect())
 }
@@ -161,9 +182,22 @@ mod tests {
     fn slowest_finds_the_long_dockings() {
         let s = slowest_activations(&store(), 2).unwrap();
         assert_eq!(s.len(), 2);
-        assert_eq!(s[0].0, "vina");
-        assert!(s[0].2 >= s[1].2);
-        assert!((s[0].2 - 60.0).abs() < 1e-9);
+        assert_eq!(s[0].activity, "vina");
+        assert!(s[0].seconds >= s[1].seconds);
+        assert!((s[0].seconds - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowest_with_zero_limit_is_empty() {
+        // regression: n used to be spliced into the SQL text via format!;
+        // the typed LIMIT path must treat 0 as "no rows", not a parse quirk
+        assert_eq!(slowest_activations(&store(), 0).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn slowest_limit_larger_than_table_returns_all() {
+        let s = slowest_activations(&store(), 1000).unwrap();
+        assert_eq!(s.len(), 5, "five FINISHED activations exist");
     }
 
     #[test]

@@ -125,6 +125,12 @@ impl Table {
         &self.rows
     }
 
+    /// Mutable row access for in-place updates (the caller is responsible
+    /// for keeping values type-compatible with the schema).
+    pub fn rows_mut(&mut self) -> &mut [Vec<Value>] {
+        &mut self.rows
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()

@@ -1,0 +1,139 @@
+//! Chrome-trace (Trace Event Format) exporter.
+//!
+//! The output is a JSON object `{"traceEvents": [...], "displayTimeUnit":
+//! "ms"}` that loads directly in `chrome://tracing` or
+//! <https://ui.perfetto.dev>. Spans become `"X"` (complete) events on
+//! `pid = 1` with `tid` = the span's track, so each worker thread or
+//! simulated VM renders as its own lane; named tracks emit `thread_name`
+//! metadata events; instants become `"i"` events and gauges `"C"` counter
+//! events.
+
+use crate::json::{escape, num};
+use crate::{Collector, Record};
+use std::fmt::Write as _;
+
+const US: f64 = 1000.0; // ns per microsecond
+
+/// Render everything currently held by `col` as Chrome-trace JSON.
+pub(crate) fn export(col: &Collector) -> String {
+    let (records, dropped) = col.drain_snapshot();
+    let mut out = String::with_capacity(records.len() * 128 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&ev);
+    };
+
+    for (track, name) in col.track_names() {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{track},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(&name)
+            ),
+        );
+    }
+
+    for r in &records {
+        match r {
+            Record::Span { id, parent, track, cat, name, start_ns, end_ns, detail } => {
+                let mut args = format!("\"id\":{id}");
+                if *parent != 0 {
+                    let _ = write!(args, ",\"parent\":{parent}");
+                }
+                if let Some(d) = detail {
+                    let _ = write!(args, ",\"detail\":\"{}\"", escape(d));
+                }
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{track},\"ts\":{},\"dur\":{},\
+                         \"name\":\"{}\",\"cat\":\"{}\",\"args\":{{{args}}}}}",
+                        num(*start_ns as f64 / US),
+                        num(end_ns.saturating_sub(*start_ns) as f64 / US),
+                        escape(name),
+                        escape(cat),
+                    ),
+                );
+            }
+            Record::Instant { track, cat, name, ts_ns, detail } => {
+                let args = match detail {
+                    Some(d) => format!("{{\"detail\":\"{}\"}}", escape(d)),
+                    None => "{}".to_string(),
+                };
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{track},\"ts\":{},\
+                         \"name\":\"{}\",\"cat\":\"{}\",\"args\":{args}}}",
+                        num(*ts_ns as f64 / US),
+                        escape(name),
+                        escape(cat),
+                    ),
+                );
+            }
+            Record::Gauge { name, ts_ns, value } => {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"ph\":\"C\",\"pid\":1,\"ts\":{},\"name\":\"{}\",\
+                         \"args\":{{\"value\":{}}}}}",
+                        num(*ts_ns as f64 / US),
+                        escape(name),
+                        num(*value),
+                    ),
+                );
+            }
+        }
+    }
+
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped_records\":{dropped}}}}}"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json::validate;
+    use crate::Telemetry;
+
+    #[test]
+    fn export_is_valid_json_with_expected_events() {
+        let tel = Telemetry::attached();
+        tel.name_current_track("main \"thread\"");
+        {
+            let _outer = tel.span("test", "outer");
+            let _inner = tel.span_detail("test", "inner", || "k=v".into());
+        }
+        tel.instant("test", "tick", Some("note"));
+        tel.gauge("queue.depth", 4.0);
+        let vm = tel.alloc_track("vm-0");
+        tel.record_span_at("sim", "boot", Some(vm), 0, 1_000_000, None);
+
+        let trace = tel.export_chrome_trace().unwrap();
+        validate(&trace).unwrap_or_else(|off| {
+            panic!("invalid JSON at byte {off}: …{}…", &trace[off.saturating_sub(40)..]);
+        });
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"ph\":\"i\""));
+        assert!(trace.contains("\"ph\":\"C\""));
+        assert!(trace.contains("thread_name"));
+        assert!(trace.contains("main \\\"thread\\\""));
+        assert!(trace.contains("\"parent\""), "inner span should carry a parent arg");
+    }
+
+    #[test]
+    fn empty_collector_exports_cleanly() {
+        let tel = Telemetry::attached();
+        let trace = tel.export_chrome_trace().unwrap();
+        assert!(validate(&trace).is_ok());
+    }
+}

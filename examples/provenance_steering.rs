@@ -87,8 +87,8 @@ fn main() {
         println!("   {:<12} {}", s.status, s.count);
     }
     println!("   slowest activations:");
-    for (tag, pair, dur) in provenance::steering::slowest_activations(&prov, 3).unwrap() {
-        println!("     {tag} on {pair}: {dur:.1} s");
+    for s in provenance::steering::slowest_activations(&prov, 3).unwrap() {
+        println!("     {} on {}: {:.1} s", s.activity, s.pair_key, s.seconds);
     }
     let retried = provenance::steering::problematic_pairs(&prov, 2).unwrap();
     println!("   pairs retried ≥2 times: {}", retried.len());
