@@ -1,0 +1,64 @@
+//! End-to-end crash-recovery smoke: spawn the `provstore_crash` binary
+//! against a scratch directory, deliver a real `SIGKILL` mid-run, then
+//! invoke it again in `resume` mode as a genuinely fresh process and
+//! require the workflow to complete without re-executing recovered work.
+//!
+//! This is the cross-process version of `cumulus/tests/durable_resume.rs`:
+//! nothing survives the kill except the bytes `DirEnv` put on disk.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+
+use provenance::durable::testing::TempDir;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_provstore_crash")
+}
+
+#[test]
+fn kill_nine_mid_run_then_resume_completes() {
+    let dir = TempDir::new("crash-smoke");
+    let dir_arg = dir.path().to_str().unwrap().to_string();
+
+    // phase 1: run until a few activations have committed, then SIGKILL
+    let mut child = Command::new(bin())
+        .args(["run", &dir_arg])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn run phase");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut ticks = 0usize;
+    for line in BufReader::new(stdout).lines() {
+        let line = line.expect("read child stdout");
+        if line.starts_with("TICK") {
+            ticks += 1;
+            if ticks >= 6 {
+                break;
+            }
+        }
+        assert!(!line.starts_with("RUN OK"), "the run finished before the kill landed");
+    }
+    // Child::kill is SIGKILL on unix — no destructors, no flushes
+    child.kill().expect("kill -9");
+    let status = child.wait().expect("reap child");
+    assert!(!status.success(), "a killed process must not exit cleanly");
+
+    // phase 2: a fresh process reopens the directory and resumes
+    let out = Command::new(bin()).args(["resume", &dir_arg]).output().expect("resume phase");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "resume failed\nstdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let ok = stdout.lines().find(|l| l.starts_with("RESUME OK")).expect("RESUME OK line");
+    // at least one activation survived the kill and was reused
+    let resumed: usize = ok
+        .split("resumed=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("parse resumed count");
+    assert!(resumed > 0, "the kill landed after committed activations: {ok}");
+}

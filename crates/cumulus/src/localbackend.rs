@@ -79,6 +79,11 @@ pub struct LocalConfig {
     /// into the provenance store at this interval, so steering queries see
     /// `RUNNING` rows during the run.
     pub steering_tick: Option<std::time::Duration>,
+    /// Durability override applied to the provenance store for this run
+    /// (e.g. `Durability::Sync` for crash tests, a wider batch window for
+    /// throughput). `None` keeps whatever the store was opened with; the
+    /// knob has no effect on in-memory stores.
+    pub durability: Option<provenance::Durability>,
 }
 
 impl Default for LocalConfig {
@@ -91,6 +96,7 @@ impl Default for LocalConfig {
             mode: DispatchMode::default(),
             telemetry: Telemetry::disabled(),
             steering_tick: None,
+            durability: None,
         }
     }
 }
@@ -389,19 +395,25 @@ impl ActivityCtx {
                             attempt_span.set_detail(|| format!("finished pair={key}"));
                             act_span
                                 .set_detail(|| format!("finished pair={key} retries={attempt}"));
-                            let task = self.record(
-                                slot,
-                                &ActivationRecord {
-                                    activity: self.act_id,
-                                    workflow: self.wkf,
-                                    status: ActivationStatus::Finished,
-                                    start_time: start,
-                                    end_time: end,
-                                    machine: None,
-                                    retries: attempt as i64,
-                                    pair_key: key.clone(),
-                                },
-                            );
+                            // write-ahead ordering for crash recovery: the
+                            // row goes in as RUNNING, its files/params/
+                            // output tuples are recorded under that task id,
+                            // and only then does the row flip to FINISHED.
+                            // A recovered FINISHED row therefore always has
+                            // its complete outputs (the WAL preserves this
+                            // order), so resume never reuses a half-recorded
+                            // activation.
+                            let rec = ActivationRecord {
+                                activity: self.act_id,
+                                workflow: self.wkf,
+                                status: ActivationStatus::Running,
+                                start_time: start,
+                                end_time: end,
+                                machine: None,
+                                retries: attempt as i64,
+                                pair_key: key.clone(),
+                            };
+                            let task = self.record(slot, &rec);
                             for path in ctx.produced_files() {
                                 let size = self.files.size(path).unwrap_or(0) as i64;
                                 let (dir, name) = split_path(path);
@@ -426,6 +438,11 @@ impl ActivityCtx {
                                     t,
                                 );
                             }
+                            let done = self.prov.update_activation(
+                                task,
+                                &ActivationRecord { status: ActivationStatus::Finished, ..rec },
+                            );
+                            debug_assert!(done, "the RUNNING row we just wrote must exist");
                             out.tuples = tuples;
                             out.finished = 1;
                             return out;
@@ -471,6 +488,9 @@ pub fn run_local(
     cfg: &LocalConfig,
 ) -> Result<RunReport, EngineError> {
     def.validate().map_err(EngineError::Invalid)?;
+    if let Some(d) = cfg.durability {
+        prov.set_durability(d);
+    }
     let pool = Pool::with_telemetry(cfg.threads, cfg.telemetry.clone());
     let wkf = prov.begin_workflow(&def.tag, &def.description, &def.expdir);
     let t0 = Instant::now();
@@ -491,6 +511,8 @@ pub fn run_local(
     // join the workers *before* snapshotting: Pool::drop flushes its
     // lifetime counters (parks, steals, …) into the sink
     drop(pool);
+    // the run's final rows must survive a crash after run_local returns
+    prov.flush_wal();
     if cfg.telemetry.is_enabled() {
         cfg.telemetry.record_span_at(
             "run",

@@ -162,6 +162,11 @@ impl SteeringBridge {
                 None => entry.flushed = Some(self.prov.record_activation(&rec)),
             }
         }
+        drop(g);
+        // make the RUNNING rows crash-visible: a process killed mid-run
+        // recovers knowing which attempts were in flight (no-op for
+        // in-memory stores)
+        self.prov.flush_wal();
     }
 
     /// Number of attempts currently registered.

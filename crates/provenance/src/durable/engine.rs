@@ -1,0 +1,370 @@
+//! The durable engine: WAL appends with a group-commit policy, snapshot
+//! checkpoints, and crash recovery.
+//!
+//! The engine owns the [`StorageEnv`] and all sequence-number bookkeeping;
+//! it deliberately does **not** own the [`Database`] — the store applies
+//! ops to its tables and hands the engine the op to log, so the exact same
+//! `apply` code path runs live and during replay.
+
+use std::time::Instant;
+
+use telemetry::Telemetry;
+
+use crate::durable::io::{LogFile, StorageEnv};
+use crate::durable::snapshot::{self, Counters};
+use crate::durable::wal::{encode_frame, wal_header, WalOp, WalScan, WAL_HEADER_LEN};
+use crate::durable::{Durability, DurableError, DurableOptions};
+use crate::table::Database;
+
+/// What [`DurableEngine::open`] found on storage.
+pub(crate) struct Recovered {
+    /// Snapshot state, if a snapshot existed.
+    pub(crate) snapshot: Option<(Database, Counters)>,
+    /// Committed WAL ops after the snapshot, in commit order.
+    pub(crate) ops: Vec<WalOp>,
+}
+
+/// The storage engine behind a durable `ProvenanceStore`.
+pub(crate) struct DurableEngine {
+    env: Box<dyn StorageEnv>,
+    log: Box<dyn LogFile>,
+    /// Sequence number the next appended frame will carry.
+    next_seq: u64,
+    /// Highest sequence number covered by the current snapshot.
+    base_seq: u64,
+    durability: Durability,
+    /// Frames appended but not yet fsynced.
+    pending: usize,
+    /// When the oldest pending frame was appended.
+    pending_since: Option<Instant>,
+    /// Frames appended since the last checkpoint.
+    frames_since_checkpoint: u64,
+    /// Auto-checkpoint threshold in frames (0 = manual checkpoints only).
+    checkpoint_every: u64,
+    telemetry: Telemetry,
+}
+
+impl DurableEngine {
+    /// Open the env, run recovery, and return the engine plus whatever
+    /// committed state it found.
+    ///
+    /// Torn WAL tails are truncated here; a corrupt snapshot or WAL header
+    /// is a hard error (we will not silently drop a whole database).
+    pub(crate) fn open(
+        env: Box<dyn StorageEnv>,
+        options: &DurableOptions,
+    ) -> Result<(DurableEngine, Recovered), DurableError> {
+        let snap = match env.read_snapshot().map_err(DurableError::Io)? {
+            Some(bytes) => {
+                let (db, counters, base_seq) = snapshot::decode(&bytes)?;
+                Some((db, counters, base_seq))
+            }
+            None => None,
+        };
+        let base_seq = snap.as_ref().map_or(0, |(_, _, s)| *s);
+        let mut log = env.open_log().map_err(DurableError::Io)?;
+        let bytes = log.read_all().map_err(DurableError::Io)?;
+        let (ops, last_seq) = match crate::durable::wal::scan(&bytes) {
+            WalScan::Reinit => {
+                // no frame was ever durable: write a fresh header
+                log.truncate(0).map_err(DurableError::Io)?;
+                log.append(&wal_header()).map_err(DurableError::Io)?;
+                log.sync().map_err(DurableError::Io)?;
+                (Vec::new(), base_seq)
+            }
+            WalScan::BadHeader(msg) => {
+                return Err(DurableError::Corrupt(format!("WAL header: {msg}")))
+            }
+            WalScan::Frames { ops, valid_len, torn } => {
+                if torn {
+                    log.truncate(valid_len).map_err(DurableError::Io)?;
+                    log.sync().map_err(DurableError::Io)?;
+                }
+                let last_seq = ops.last().map_or(base_seq, |(s, _)| (*s).max(base_seq));
+                // frames at or below base_seq are already inside the
+                // snapshot (a crash between snapshot rename and WAL
+                // truncate leaves them behind); replay only what's newer
+                let kept: Vec<(u64, WalOp)> =
+                    ops.into_iter().filter(|(s, _)| *s > base_seq).collect();
+                if let Some((first, _)) = kept.first() {
+                    if *first != base_seq + 1 {
+                        return Err(DurableError::Corrupt(format!(
+                            "WAL starts at seq {first}, snapshot covers up to {base_seq}"
+                        )));
+                    }
+                }
+                (kept.into_iter().map(|(_, op)| op).collect(), last_seq)
+            }
+        };
+        let engine = DurableEngine {
+            env,
+            log,
+            next_seq: last_seq + 1,
+            base_seq,
+            durability: options.durability,
+            pending: 0,
+            pending_since: None,
+            frames_since_checkpoint: 0,
+            checkpoint_every: options.checkpoint_every,
+            telemetry: options.telemetry.clone(),
+        };
+        Ok((engine, Recovered { snapshot: snap.map(|(db, c, _)| (db, c)), ops }))
+    }
+
+    /// Append one op to the WAL and apply the group-commit policy.
+    pub(crate) fn append(&mut self, op: &WalOp) -> std::io::Result<()> {
+        let t0 = Instant::now();
+        let frame = encode_frame(self.next_seq, op);
+        self.log.append(&frame)?;
+        self.next_seq += 1;
+        self.frames_since_checkpoint += 1;
+        self.pending += 1;
+        if self.pending_since.is_none() {
+            self.pending_since = Some(t0);
+        }
+        let flush_now = match self.durability {
+            Durability::Sync => true,
+            Durability::Batched { max_ops, max_delay } => {
+                self.pending >= max_ops
+                    || self.pending_since.is_some_and(|s| s.elapsed() >= max_delay)
+            }
+        };
+        if flush_now {
+            self.flush()?;
+        }
+        if self.telemetry.is_enabled() {
+            if let Some(h) = self.telemetry.histogram("provstore.wal_append") {
+                h.record(t0.elapsed().as_nanos() as u64);
+            }
+            self.telemetry.count("provstore.wal_appends", 1);
+        }
+        Ok(())
+    }
+
+    /// Fsync any pending appends (a group commit).
+    pub(crate) fn flush(&mut self) -> std::io::Result<()> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        self.log.sync()?;
+        if self.telemetry.is_enabled() {
+            if let Some(h) = self.telemetry.histogram("provstore.group_commit") {
+                h.record(t0.elapsed().as_nanos() as u64);
+            }
+            if let Some(h) = self.telemetry.histogram("provstore.commit_batch") {
+                h.record(self.pending as u64);
+            }
+        }
+        self.pending = 0;
+        self.pending_since = None;
+        Ok(())
+    }
+
+    /// Replace the commit policy (the caller flushes first if it wants the
+    /// old policy's pending work bounded).
+    pub(crate) fn set_durability(&mut self, durability: Durability) {
+        self.durability = durability;
+    }
+
+    /// Should the caller take a checkpoint now? (Frame-count policy.)
+    pub(crate) fn should_checkpoint(&self) -> bool {
+        self.checkpoint_every > 0 && self.frames_since_checkpoint >= self.checkpoint_every
+    }
+
+    /// Write a snapshot of `db`/`counters` covering everything logged so
+    /// far, then truncate the WAL back to its header.
+    ///
+    /// Ordering: flush WAL → write+rename snapshot → truncate WAL. A crash
+    /// between the last two steps leaves stale frames the next recovery
+    /// skips via the snapshot's `base_seq`.
+    pub(crate) fn checkpoint(&mut self, db: &Database, counters: &Counters) -> std::io::Result<()> {
+        self.flush()?;
+        let covered = self.next_seq - 1;
+        let bytes = snapshot::encode(db, counters, covered);
+        self.env.write_snapshot(&bytes)?;
+        self.log.truncate(WAL_HEADER_LEN)?;
+        self.log.sync()?;
+        self.base_seq = covered;
+        self.frames_since_checkpoint = 0;
+        self.telemetry.count("provstore.checkpoints", 1);
+        Ok(())
+    }
+
+    /// Sequence number of the last appended frame (0 = none ever).
+    #[cfg(test)]
+    pub(crate) fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Highest sequence the snapshot covers.
+    #[cfg(test)]
+    pub(crate) fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+}
+
+impl Drop for DurableEngine {
+    fn drop(&mut self) {
+        // best-effort group-commit flush; a crash here is what the WAL is for
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durable::io::MemEnv;
+    use crate::provwf::{ActivationRecord, ActivationStatus, ActivityId, MachineId, WorkflowId};
+
+    fn opts(durability: Durability) -> DurableOptions {
+        DurableOptions { durability, ..Default::default() }
+    }
+
+    fn op(i: i64) -> WalOp {
+        WalOp::RecordActivation {
+            task: i,
+            rec: ActivationRecord {
+                activity: ActivityId(1),
+                workflow: WorkflowId(1),
+                status: ActivationStatus::Finished,
+                start_time: i as f64,
+                end_time: i as f64 + 1.0,
+                machine: Some(MachineId(1)),
+                retries: 0,
+                pair_key: format!("R:{i}"),
+            },
+        }
+    }
+
+    #[test]
+    fn append_flush_reopen_roundtrip() {
+        let env = MemEnv::new();
+        let (mut eng, rec) = DurableEngine::open(Box::new(env.clone()), &opts(Durability::Sync))
+            .expect("fresh env opens");
+        assert!(rec.snapshot.is_none());
+        assert!(rec.ops.is_empty());
+        for i in 1..=5 {
+            eng.append(&op(i)).unwrap();
+        }
+        assert_eq!(eng.last_seq(), 5);
+        drop(eng);
+        let (eng2, rec2) =
+            DurableEngine::open(Box::new(env), &opts(Durability::Sync)).expect("reopen");
+        assert_eq!(rec2.ops, (1..=5).map(op).collect::<Vec<_>>());
+        assert_eq!(eng2.last_seq(), 5);
+    }
+
+    #[test]
+    fn torn_tail_truncated_on_open() {
+        let env = MemEnv::new();
+        let (mut eng, _) =
+            DurableEngine::open(Box::new(env.clone()), &opts(Durability::Sync)).unwrap();
+        for i in 1..=3 {
+            eng.append(&op(i)).unwrap();
+        }
+        drop(eng);
+        let mut bytes = env.wal_bytes();
+        let full = bytes.len();
+        bytes.truncate(full - 7); // tear the last frame
+        env.set_wal_bytes(bytes);
+        let (eng2, rec) =
+            DurableEngine::open(Box::new(env.clone()), &opts(Durability::Sync)).unwrap();
+        assert_eq!(rec.ops.len(), 2);
+        assert_eq!(eng2.last_seq(), 2);
+        // the torn bytes are physically gone, and appending works again
+        assert!(env.wal_bytes().len() < full - 7 + 1);
+        drop(eng2);
+    }
+
+    #[test]
+    fn checkpoint_then_tail_replay() {
+        let env = MemEnv::new();
+        let (mut eng, _) =
+            DurableEngine::open(Box::new(env.clone()), &opts(Durability::Sync)).unwrap();
+        let mut db = Database::new();
+        db.create_table("t", crate::table::Schema::new(&[("x", crate::value::ValueType::Int)]))
+            .unwrap();
+        for i in 1..=4 {
+            eng.append(&op(i)).unwrap();
+        }
+        db.insert("t", vec![crate::value::Value::Int(42)]).unwrap();
+        let counters = Counters { next_task: 5, ..Default::default() };
+        eng.checkpoint(&db, &counters).unwrap();
+        assert_eq!(eng.base_seq(), 4);
+        for i in 5..=6 {
+            eng.append(&op(i)).unwrap();
+        }
+        drop(eng);
+        let (eng2, rec) = DurableEngine::open(Box::new(env), &opts(Durability::Sync)).unwrap();
+        let (snap_db, snap_counters) = rec.snapshot.expect("snapshot written");
+        assert_eq!(snap_counters, counters);
+        assert_eq!(snap_db.table("t").unwrap().len(), 1);
+        assert_eq!(rec.ops, vec![op(5), op(6)]);
+        assert_eq!(eng2.last_seq(), 6);
+    }
+
+    #[test]
+    fn stale_frames_below_snapshot_skipped() {
+        // simulate a crash between snapshot rename and WAL truncate: the
+        // snapshot covers seq 1..=3 but the WAL still holds those frames
+        let env = MemEnv::new();
+        let (mut eng, _) =
+            DurableEngine::open(Box::new(env.clone()), &opts(Durability::Sync)).unwrap();
+        for i in 1..=3 {
+            eng.append(&op(i)).unwrap();
+        }
+        drop(eng);
+        let db = Database::new();
+        let snap = snapshot::encode(&db, &Counters::default(), 3);
+        env.set_snapshot_bytes(Some(snap));
+        let (eng2, rec) =
+            DurableEngine::open(Box::new(env.clone()), &opts(Durability::Sync)).unwrap();
+        assert!(rec.snapshot.is_some());
+        assert!(rec.ops.is_empty(), "frames ≤ base_seq are in the snapshot already");
+        assert_eq!(eng2.last_seq(), 3);
+        drop(eng2);
+        // partial overlap: snapshot covers 1..=2, WAL holds 1..=3 → only
+        // frame 3 replays
+        let snap = snapshot::encode(&db, &Counters::default(), 2);
+        env.set_snapshot_bytes(Some(snap));
+        let (_, rec) = DurableEngine::open(Box::new(env), &opts(Durability::Sync)).unwrap();
+        assert_eq!(rec.ops, vec![op(3)]);
+    }
+
+    #[test]
+    fn batched_commit_flushes_at_max_ops() {
+        let env = MemEnv::new();
+        let durability =
+            Durability::Batched { max_ops: 3, max_delay: std::time::Duration::from_secs(3600) };
+        let (mut eng, _) = DurableEngine::open(Box::new(env.clone()), &opts(durability)).unwrap();
+        eng.append(&op(1)).unwrap();
+        eng.append(&op(2)).unwrap();
+        assert_eq!(eng.pending, 2);
+        eng.append(&op(3)).unwrap();
+        assert_eq!(eng.pending, 0, "hit max_ops → group commit");
+        eng.append(&op(4)).unwrap();
+        eng.flush().unwrap();
+        assert_eq!(eng.pending, 0);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_hard_error() {
+        let env = MemEnv::new();
+        env.set_snapshot_bytes(Some(b"garbage".to_vec()));
+        let Err(err) = DurableEngine::open(Box::new(env), &opts(Durability::Sync)) else {
+            panic!("garbage snapshot must not open");
+        };
+        assert!(matches!(err, DurableError::Corrupt(_)));
+    }
+
+    #[test]
+    fn bad_wal_header_is_a_hard_error() {
+        let env = MemEnv::new();
+        env.set_wal_bytes(b"NOTMAGIC\x01\x00\x00\x00rest".to_vec());
+        let Err(err) = DurableEngine::open(Box::new(env), &opts(Durability::Sync)) else {
+            panic!("foreign WAL header must not open");
+        };
+        assert!(matches!(err, DurableError::Corrupt(_)));
+    }
+}

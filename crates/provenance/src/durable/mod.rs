@@ -1,0 +1,187 @@
+//! Durable storage for the provenance database: write-ahead log +
+//! snapshot checkpoints + crash recovery.
+//!
+//! SciCumulus keeps its provenance in PostgreSQL precisely so steering and
+//! re-submission survive worker *and coordinator* failures; this module
+//! gives our from-scratch store the same property without leaving std:
+//!
+//! * every mutation is one logical [`wal`] record, appended (length-prefixed
+//!   and CRC-checksummed) before the caller sees the new id;
+//! * a frame-count policy takes [`snapshot`] checkpoints — full table
+//!   serializations written atomically (temp + rename) — and truncates the
+//!   log;
+//! * on open, recovery loads the snapshot, replays the WAL tail through the
+//!   exact code path used live, and truncates any torn tail at the first
+//!   bad checksum.
+//!
+//! The group-commit policy ([`Durability::Batched`]) amortizes fsync over
+//! many appends so the hot activation path is not fsync-bound; an explicit
+//! [`crate::provwf::ProvenanceStore::flush_wal`] (called by the steering
+//! bridge and at run end) bounds the window of unfsynced work.
+//!
+//! The recovery invariant, property-tested in `tests/durable_props.rs`:
+//! **any byte prefix of the WAL recovers to a record prefix of the
+//! committed mutation sequence** — never a lost committed record below the
+//! prefix, never a phantom partial record.
+
+pub mod codec;
+pub(crate) mod engine;
+pub mod io;
+pub(crate) mod snapshot;
+pub(crate) mod wal;
+
+pub use snapshot::Counters;
+
+use std::time::Duration;
+
+use telemetry::Telemetry;
+
+/// When WAL appends are forced to durable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// fsync after every mutation. Nothing acknowledged is ever lost;
+    /// the hot path pays one fsync per op.
+    Sync,
+    /// Group commit: fsync once a batch fills or ages out. A crash loses at
+    /// most the unfsynced suffix — which is still a committed *prefix*
+    /// boundary, never a torn record.
+    Batched {
+        /// Flush after this many unfsynced appends.
+        max_ops: usize,
+        /// Flush when the oldest unfsynced append is this old (checked on
+        /// the next append; call `flush_wal` for a hard bound).
+        max_delay: Duration,
+    },
+}
+
+impl Default for Durability {
+    fn default() -> Self {
+        Durability::Batched { max_ops: 64, max_delay: Duration::from_millis(20) }
+    }
+}
+
+/// Configuration for opening a durable store.
+#[derive(Clone)]
+pub struct DurableOptions {
+    /// Commit policy.
+    pub durability: Durability,
+    /// Take a snapshot checkpoint every N WAL frames (0 = only on an
+    /// explicit `checkpoint()` call).
+    pub checkpoint_every: u64,
+    /// Telemetry sink for `provstore.*` metrics (detached by default).
+    pub telemetry: Telemetry,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            durability: Durability::default(),
+            checkpoint_every: 4096,
+            telemetry: Telemetry::default(),
+        }
+    }
+}
+
+/// Errors opening or recovering a durable store.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The storage environment failed.
+    Io(std::io::Error),
+    /// Stored bytes are unreadable beyond what the torn-tail rule repairs
+    /// (bad snapshot CRC, foreign magic, version from the future…).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "provstore I/O error: {e}"),
+            DurableError::Corrupt(m) => write!(f, "provstore corruption: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Io(e) => Some(e),
+            DurableError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+impl From<codec::CodecError> for DurableError {
+    fn from(e: codec::CodecError) -> Self {
+        DurableError::Corrupt(e.0)
+    }
+}
+
+/// Test support shared by this crate's storage tests and downstream
+/// crash-recovery tests.
+pub mod testing {
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique scratch directory removed (recursively) on drop, so storage
+    /// tests never leak state between runs or into the repo.
+    #[derive(Debug)]
+    pub struct TempDir {
+        path: PathBuf,
+    }
+
+    impl TempDir {
+        /// Create `<system tmp>/<prefix>-<pid>-<n>`.
+        ///
+        /// # Panics
+        /// Panics if the directory cannot be created.
+        pub fn new(prefix: &str) -> TempDir {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            let path =
+                std::env::temp_dir().join(format!("provstore-{prefix}-{}-{n}", std::process::id()));
+            std::fs::create_dir_all(&path).expect("create tempdir");
+            TempDir { path }
+        }
+
+        /// The directory's path.
+        pub fn path(&self) -> &Path {
+            &self.path
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn tempdir_is_created_and_removed() {
+            let keep;
+            {
+                let d = TempDir::new("lifecycle");
+                keep = d.path().to_path_buf();
+                assert!(keep.is_dir());
+                std::fs::write(keep.join("f"), b"x").unwrap();
+            }
+            assert!(!keep.exists(), "dropped tempdir must be removed");
+        }
+
+        #[test]
+        fn tempdirs_are_unique() {
+            let a = TempDir::new("uniq");
+            let b = TempDir::new("uniq");
+            assert_ne!(a.path(), b.path());
+        }
+    }
+}

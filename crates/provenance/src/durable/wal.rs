@@ -1,0 +1,555 @@
+//! Write-ahead log format: logical mutation records (one [`WalOp`] per
+//! [`crate::provwf::ProvenanceStore`] mutation), length-prefixed and
+//! CRC-checksummed.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! file   := header frame*
+//! header := "SCWFWAL1" u32:version            (12 bytes)
+//! frame  := u32:payload_len u64:seq payload u32:crc32(seq_le ++ payload)
+//! ```
+//!
+//! `seq` increases by exactly 1 per frame across the store's lifetime
+//! (checkpoints do not reset it; the snapshot records the last sequence
+//! it contains, and replay skips frames at or below it).
+//!
+//! ## Torn-tail rule
+//!
+//! [`scan`] walks frames from the front and stops at the first frame that
+//! is incomplete, fails its CRC, carries an implausible length, breaks the
+//! seq chain, or does not decode — everything before it is the committed
+//! prefix, everything from it on is a torn tail the recovery path
+//! truncates away. A torn *header* can only happen before any frame was
+//! ever durable, so it downgrades to "empty log".
+
+use crate::durable::codec::{crc32, CodecError, Reader, Writer};
+use crate::provwf::{ActivationRecord, ActivationStatus, ActivityId, MachineId, WorkflowId};
+use crate::value::Value;
+
+/// Magic bytes opening every WAL file.
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"SCWFWAL1";
+/// Format version.
+pub(crate) const WAL_VERSION: u32 = 1;
+/// Bytes of the file header (magic + version).
+pub(crate) const WAL_HEADER_LEN: u64 = 12;
+/// Upper bound on a frame payload — anything larger is treated as
+/// corruption rather than allocated.
+const MAX_PAYLOAD: u32 = 1 << 26;
+
+/// One logged mutation. Every public mutator of `ProvenanceStore` reduces
+/// to exactly one of these; the same `apply` path consumes them live and
+/// during recovery, so replay is application-order deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WalOp {
+    /// `begin_workflow`.
+    BeginWorkflow { id: i64, tag: String, description: String, expdir: String },
+    /// `register_activity`.
+    RegisterActivity { id: i64, wkf: i64, tag: String, acttype: String },
+    /// `register_machine`.
+    RegisterMachine { id: i64, name: String, instance_type: String, cores: i64 },
+    /// `record_activation` (insert of a new row with id `task`).
+    RecordActivation { task: i64, rec: ActivationRecord },
+    /// `update_activation` (in-place replacement of row `task`).
+    UpdateActivation { task: i64, rec: ActivationRecord },
+    /// `record_file`.
+    RecordFile {
+        id: i64,
+        task: i64,
+        activity: i64,
+        workflow: i64,
+        fname: String,
+        fsize: i64,
+        fdir: String,
+    },
+    /// `record_parameter`.
+    RecordParameter {
+        id: i64,
+        task: i64,
+        workflow: i64,
+        name: String,
+        num: Option<f64>,
+        text: Option<String>,
+    },
+    /// `record_output_tuple` — consumes one `houtput` id per cell starting
+    /// at `first_id` (or a single marker id for an empty tuple).
+    RecordOutputTuple {
+        first_id: i64,
+        task: i64,
+        activity: i64,
+        workflow: i64,
+        pair_key: String,
+        tuple_idx: i64,
+        tuple: Vec<Value>,
+    },
+}
+
+fn status_tag(s: ActivationStatus) -> u8 {
+    match s {
+        ActivationStatus::Finished => 0,
+        ActivationStatus::Failed => 1,
+        ActivationStatus::Aborted => 2,
+        ActivationStatus::Blacklisted => 3,
+        ActivationStatus::Running => 4,
+    }
+}
+
+fn status_from_tag(t: u8) -> Result<ActivationStatus, CodecError> {
+    Ok(match t {
+        0 => ActivationStatus::Finished,
+        1 => ActivationStatus::Failed,
+        2 => ActivationStatus::Aborted,
+        3 => ActivationStatus::Blacklisted,
+        4 => ActivationStatus::Running,
+        other => return Err(CodecError(format!("bad status tag {other}"))),
+    })
+}
+
+fn write_activation(w: &mut Writer, task: i64, rec: &ActivationRecord) {
+    w.i64(task);
+    w.i64(rec.activity.0);
+    w.i64(rec.workflow.0);
+    w.u8(status_tag(rec.status));
+    w.f64(rec.start_time);
+    w.f64(rec.end_time);
+    w.opt(rec.machine, |w, m| w.i64(m.0));
+    w.i64(rec.retries);
+    w.str(&rec.pair_key);
+}
+
+fn read_activation(r: &mut Reader<'_>) -> Result<(i64, ActivationRecord), CodecError> {
+    let task = r.i64()?;
+    let rec = ActivationRecord {
+        activity: ActivityId(r.i64()?),
+        workflow: WorkflowId(r.i64()?),
+        status: status_from_tag(r.u8()?)?,
+        start_time: r.f64()?,
+        end_time: r.f64()?,
+        machine: r.opt(|r| r.i64())?.map(MachineId),
+        retries: r.i64()?,
+        pair_key: r.str()?,
+    };
+    Ok((task, rec))
+}
+
+/// Encode an op's payload (no frame envelope).
+pub(crate) fn encode_op(op: &WalOp) -> Vec<u8> {
+    let mut w = Writer::new();
+    match op {
+        WalOp::BeginWorkflow { id, tag, description, expdir } => {
+            w.u8(0);
+            w.i64(*id);
+            w.str(tag);
+            w.str(description);
+            w.str(expdir);
+        }
+        WalOp::RegisterActivity { id, wkf, tag, acttype } => {
+            w.u8(1);
+            w.i64(*id);
+            w.i64(*wkf);
+            w.str(tag);
+            w.str(acttype);
+        }
+        WalOp::RegisterMachine { id, name, instance_type, cores } => {
+            w.u8(2);
+            w.i64(*id);
+            w.str(name);
+            w.str(instance_type);
+            w.i64(*cores);
+        }
+        WalOp::RecordActivation { task, rec } => {
+            w.u8(3);
+            write_activation(&mut w, *task, rec);
+        }
+        WalOp::UpdateActivation { task, rec } => {
+            w.u8(4);
+            write_activation(&mut w, *task, rec);
+        }
+        WalOp::RecordFile { id, task, activity, workflow, fname, fsize, fdir } => {
+            w.u8(5);
+            w.i64(*id);
+            w.i64(*task);
+            w.i64(*activity);
+            w.i64(*workflow);
+            w.str(fname);
+            w.i64(*fsize);
+            w.str(fdir);
+        }
+        WalOp::RecordParameter { id, task, workflow, name, num, text } => {
+            w.u8(6);
+            w.i64(*id);
+            w.i64(*task);
+            w.i64(*workflow);
+            w.str(name);
+            w.opt(*num, |w, v| w.f64(v));
+            w.opt(text.as_deref(), |w, v| w.str(v));
+        }
+        WalOp::RecordOutputTuple {
+            first_id,
+            task,
+            activity,
+            workflow,
+            pair_key,
+            tuple_idx,
+            tuple,
+        } => {
+            w.u8(7);
+            w.i64(*first_id);
+            w.i64(*task);
+            w.i64(*activity);
+            w.i64(*workflow);
+            w.str(pair_key);
+            w.i64(*tuple_idx);
+            w.u32(tuple.len() as u32);
+            for v in tuple {
+                w.value(v);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode an op payload encoded by [`encode_op`].
+pub(crate) fn decode_op(payload: &[u8]) -> Result<WalOp, CodecError> {
+    let mut r = Reader::new(payload);
+    let op = match r.u8()? {
+        0 => WalOp::BeginWorkflow {
+            id: r.i64()?,
+            tag: r.str()?,
+            description: r.str()?,
+            expdir: r.str()?,
+        },
+        1 => WalOp::RegisterActivity {
+            id: r.i64()?,
+            wkf: r.i64()?,
+            tag: r.str()?,
+            acttype: r.str()?,
+        },
+        2 => WalOp::RegisterMachine {
+            id: r.i64()?,
+            name: r.str()?,
+            instance_type: r.str()?,
+            cores: r.i64()?,
+        },
+        3 => {
+            let (task, rec) = read_activation(&mut r)?;
+            WalOp::RecordActivation { task, rec }
+        }
+        4 => {
+            let (task, rec) = read_activation(&mut r)?;
+            WalOp::UpdateActivation { task, rec }
+        }
+        5 => WalOp::RecordFile {
+            id: r.i64()?,
+            task: r.i64()?,
+            activity: r.i64()?,
+            workflow: r.i64()?,
+            fname: r.str()?,
+            fsize: r.i64()?,
+            fdir: r.str()?,
+        },
+        6 => WalOp::RecordParameter {
+            id: r.i64()?,
+            task: r.i64()?,
+            workflow: r.i64()?,
+            name: r.str()?,
+            num: r.opt(|r| r.f64())?,
+            text: r.opt(|r| r.str())?,
+        },
+        7 => {
+            let first_id = r.i64()?;
+            let task = r.i64()?;
+            let activity = r.i64()?;
+            let workflow = r.i64()?;
+            let pair_key = r.str()?;
+            let tuple_idx = r.i64()?;
+            let n = r.u32()? as usize;
+            if n > MAX_PAYLOAD as usize {
+                return Err(CodecError(format!("implausible tuple arity {n}")));
+            }
+            let mut tuple = Vec::with_capacity(n);
+            for _ in 0..n {
+                tuple.push(r.value()?);
+            }
+            WalOp::RecordOutputTuple {
+                first_id,
+                task,
+                activity,
+                workflow,
+                pair_key,
+                tuple_idx,
+                tuple,
+            }
+        }
+        t => return Err(CodecError(format!("bad op tag {t}"))),
+    };
+    if r.remaining() != 0 {
+        return Err(CodecError(format!("{} trailing bytes after op", r.remaining())));
+    }
+    Ok(op)
+}
+
+/// The 12-byte file header.
+pub(crate) fn wal_header() -> Vec<u8> {
+    let mut h = Vec::with_capacity(WAL_HEADER_LEN as usize);
+    h.extend_from_slice(WAL_MAGIC);
+    h.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    h
+}
+
+/// Wrap one op in a frame (length prefix + seq + crc).
+pub(crate) fn encode_frame(seq: u64, op: &WalOp) -> Vec<u8> {
+    let payload = encode_op(op);
+    let mut out = Vec::with_capacity(16 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    let mut crc_input = Vec::with_capacity(8 + payload.len());
+    crc_input.extend_from_slice(&seq.to_le_bytes());
+    crc_input.extend_from_slice(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    out
+}
+
+/// Result of scanning a WAL file.
+#[derive(Debug)]
+pub(crate) enum WalScan {
+    /// File absent/empty or shorter than the header: reinitialize. Safe
+    /// because the header is synced before any frame is ever appended, so
+    /// a sub-header file cannot contain committed frames.
+    Reinit,
+    /// Header present but wrong magic/version: refuse to guess.
+    BadHeader(String),
+    /// Header valid; `ops` is the committed prefix and `valid_len` the
+    /// byte length it occupies (truncate the file there if `torn`).
+    Frames {
+        /// `(seq, op)` in commit order.
+        ops: Vec<(u64, WalOp)>,
+        /// Byte length of the valid prefix (header included).
+        valid_len: u64,
+        /// Whether bytes past `valid_len` exist (a torn tail).
+        torn: bool,
+    },
+}
+
+/// Scan WAL bytes applying the torn-tail rule (see module docs).
+pub(crate) fn scan(bytes: &[u8]) -> WalScan {
+    if (bytes.len() as u64) < WAL_HEADER_LEN {
+        return WalScan::Reinit;
+    }
+    if &bytes[..8] != WAL_MAGIC {
+        return WalScan::BadHeader("bad magic".into());
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != WAL_VERSION {
+        return WalScan::BadHeader(format!("unsupported WAL version {version}"));
+    }
+    let mut ops = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    let mut prev_seq: Option<u64> = None;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < 16 {
+            break; // incomplete frame envelope
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD || rest.len() < 16 + len as usize {
+            break; // implausible or incomplete
+        }
+        let seq = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        let payload = &rest[12..12 + len as usize];
+        let stored_crc =
+            u32::from_le_bytes(rest[12 + len as usize..16 + len as usize].try_into().expect("4"));
+        let mut crc_input = Vec::with_capacity(8 + payload.len());
+        crc_input.extend_from_slice(&rest[4..12]);
+        crc_input.extend_from_slice(payload);
+        if crc32(&crc_input) != stored_crc {
+            break; // torn or corrupt frame
+        }
+        if let Some(p) = prev_seq {
+            if seq != p + 1 {
+                break; // broken seq chain: treat as tail corruption
+            }
+        }
+        let Ok(op) = decode_op(payload) else {
+            break; // checksummed but undecodable: stop, don't guess
+        };
+        prev_seq = Some(seq);
+        ops.push((seq, op));
+        pos += 16 + len as usize;
+    }
+    WalScan::Frames { ops, valid_len: pos as u64, torn: pos < bytes.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<WalOp> {
+        vec![
+            WalOp::BeginWorkflow {
+                id: 1,
+                tag: "SciDock".into(),
+                description: "docking".into(),
+                expdir: "/e".into(),
+            },
+            WalOp::RegisterActivity { id: 1, wkf: 1, tag: "vina".into(), acttype: "Map".into() },
+            WalOp::RegisterMachine {
+                id: 1,
+                name: "vm-1".into(),
+                instance_type: "m3.xlarge".into(),
+                cores: 4,
+            },
+            WalOp::RecordActivation {
+                task: 1,
+                rec: ActivationRecord {
+                    activity: ActivityId(1),
+                    workflow: WorkflowId(1),
+                    status: ActivationStatus::Running,
+                    start_time: 0.5,
+                    end_time: 0.5,
+                    machine: Some(MachineId(1)),
+                    retries: 0,
+                    pair_key: "R:L".into(),
+                },
+            },
+            WalOp::RecordFile {
+                id: 1,
+                task: 1,
+                activity: 1,
+                workflow: 1,
+                fname: "out.dlg".into(),
+                fsize: 1234,
+                fdir: "/e/vina/0/".into(),
+            },
+            WalOp::RecordParameter {
+                id: 1,
+                task: 1,
+                workflow: 1,
+                name: "feb".into(),
+                num: Some(-7.25),
+                text: None,
+            },
+            WalOp::RecordOutputTuple {
+                first_id: 1,
+                task: 1,
+                activity: 1,
+                workflow: 1,
+                pair_key: "R:L".into(),
+                tuple_idx: 0,
+                tuple: vec![Value::Int(5), Value::Text("x".into()), Value::Null],
+            },
+        ]
+    }
+
+    #[test]
+    fn op_payload_roundtrip() {
+        for op in sample_ops() {
+            let payload = encode_op(&op);
+            assert_eq!(decode_op(&payload).unwrap(), op, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_in_payload_rejected() {
+        let mut payload = encode_op(&sample_ops()[0]);
+        payload.push(0);
+        assert!(decode_op(&payload).is_err());
+    }
+
+    #[test]
+    fn scan_roundtrips_full_file() {
+        let mut bytes = wal_header();
+        for (k, op) in sample_ops().into_iter().enumerate() {
+            bytes.extend_from_slice(&encode_frame(k as u64 + 1, &op));
+        }
+        match scan(&bytes) {
+            WalScan::Frames { ops, valid_len, torn } => {
+                assert_eq!(ops.len(), 7);
+                assert_eq!(valid_len, bytes.len() as u64);
+                assert!(!torn);
+                assert_eq!(ops[0].0, 1);
+                assert_eq!(ops.last().unwrap().0, 7);
+            }
+            other => panic!("unexpected scan result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_stops_at_every_torn_prefix() {
+        let ops = sample_ops();
+        let mut bytes = wal_header();
+        let mut boundaries = vec![bytes.len()];
+        for (k, op) in ops.iter().enumerate() {
+            bytes.extend_from_slice(&encode_frame(k as u64 + 1, op));
+            boundaries.push(bytes.len());
+        }
+        // cut at every byte: recovered ops must be the longest whole-frame
+        // prefix that fits
+        for cut in WAL_HEADER_LEN as usize..bytes.len() {
+            let WalScan::Frames { ops: got, valid_len, torn } = scan(&bytes[..cut]) else {
+                panic!("header was intact");
+            };
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(got.len(), whole, "cut at {cut}");
+            assert_eq!(valid_len as usize, boundaries[whole]);
+            assert_eq!(torn, cut != boundaries[whole]);
+        }
+    }
+
+    #[test]
+    fn scan_rejects_corrupted_byte() {
+        let ops = sample_ops();
+        let mut bytes = wal_header();
+        for (k, op) in ops.iter().enumerate() {
+            bytes.extend_from_slice(&encode_frame(k as u64 + 1, op));
+        }
+        // flip one byte inside the 3rd frame's payload: scan keeps frames
+        // 1..=2 only
+        let f1 =
+            wal_header().len() + encode_frame(1, &ops[0]).len() + encode_frame(2, &ops[1]).len();
+        let mut corrupt = bytes.clone();
+        corrupt[f1 + 13] ^= 0xff;
+        match scan(&corrupt) {
+            WalScan::Frames { ops: got, torn, .. } => {
+                assert_eq!(got.len(), 2);
+                assert!(torn);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_detects_seq_gap() {
+        let ops = sample_ops();
+        let mut bytes = wal_header();
+        bytes.extend_from_slice(&encode_frame(1, &ops[0]));
+        bytes.extend_from_slice(&encode_frame(3, &ops[1])); // gap: 2 missing
+        match scan(&bytes) {
+            WalScan::Frames { ops: got, torn, .. } => {
+                assert_eq!(got.len(), 1);
+                assert!(torn);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_validation() {
+        assert!(matches!(scan(b""), WalScan::Reinit));
+        assert!(matches!(scan(b"SCWFWA"), WalScan::Reinit));
+        assert!(matches!(scan(b"NOTMAGIC\x01\x00\x00\x00"), WalScan::BadHeader(_)));
+        let mut v2 = wal_header();
+        v2[8] = 9;
+        assert!(matches!(scan(&v2), WalScan::BadHeader(_)));
+        // bare valid header: zero frames
+        match scan(&wal_header()) {
+            WalScan::Frames { ops, valid_len, torn } => {
+                assert!(ops.is_empty());
+                assert_eq!(valid_len, WAL_HEADER_LEN);
+                assert!(!torn);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

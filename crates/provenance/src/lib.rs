@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod provn;
 pub mod provwf;
 pub mod sql;
@@ -35,6 +36,7 @@ pub mod steering;
 pub mod table;
 pub mod value;
 
+pub use durable::{Durability, DurableError, DurableOptions};
 pub use provn::export_provn;
 pub use provwf::{
     ActivationRecord, ActivationStatus, ActivityId, MachineId, ProvenanceStore, TaskId, WorkflowId,

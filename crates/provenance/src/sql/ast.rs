@@ -107,6 +107,12 @@ pub enum Expr {
     },
     /// Unary minus.
     Neg(Box<Expr>),
+    /// `?` positional parameter (0-based, numbered left to right).
+    ///
+    /// Parameters are placeholders bound to typed [`Value`]s by
+    /// [`execute_with_params`](crate::sql::execute_with_params) before
+    /// evaluation; an unbound parameter reaching the executor is an error.
+    Param(usize),
 }
 
 impl Expr {
@@ -128,7 +134,7 @@ impl Expr {
             Expr::Between { expr, lo, hi, .. } => {
                 expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
             }
-            Expr::Column { .. } | Expr::Literal(_) => false,
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Param(_) => false,
         }
     }
 }

@@ -94,6 +94,8 @@ pub enum QueryError {
     UnknownFunction(String),
     /// Type error during evaluation.
     Type(String),
+    /// Parameter binding error: wrong count or an unbound `?` placeholder.
+    Param(String),
 }
 
 impl fmt::Display for QueryError {
@@ -105,6 +107,7 @@ impl fmt::Display for QueryError {
             QueryError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
             QueryError::UnknownFunction(n) => write!(f, "unknown function: {n}"),
             QueryError::Type(m) => write!(f, "type error: {m}"),
+            QueryError::Param(m) => write!(f, "parameter error: {m}"),
         }
     }
 }
@@ -169,7 +172,7 @@ impl Bindings {
         fn walk(b: &Bindings, e: &Expr) -> bool {
             match e {
                 Expr::Column { table, name } => b.resolve(table.as_deref(), name).is_ok(),
-                Expr::Literal(_) | Expr::CountStar => true,
+                Expr::Literal(_) | Expr::CountStar | Expr::Param(_) => true,
                 Expr::Binary { lhs, rhs, .. } => walk(b, lhs) && walk(b, rhs),
                 Expr::Call { args, .. } => args.iter().all(|a| walk(b, a)),
                 Expr::Extract { from, .. } => walk(b, from),
@@ -205,6 +208,13 @@ enum Ctx<'a> {
 fn eval(expr: &Expr, b: &Bindings, ctx: &Ctx<'_>) -> Result<Value, QueryError> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
+        // `?` placeholders are substituted by `bind_params` before execution;
+        // one surviving to evaluation means the caller used `execute` instead
+        // of `execute_with_params` on parameterized SQL.
+        Expr::Param(i) => Err(QueryError::Param(format!(
+            "unbound parameter ?{} — use execute_with_params",
+            i + 1
+        ))),
         Expr::Column { table, name } => {
             let idx = b.resolve(table.as_deref(), name)?;
             match ctx {
@@ -506,6 +516,97 @@ pub fn execute_with_limit(db: &Database, sql: &str, n: usize) -> Result<ResultSe
     let mut q = parse(sql)?;
     q.limit = Some(n);
     execute_query(db, &q)
+}
+
+/// Execute a SQL string with typed positional parameters.
+///
+/// Each `?` placeholder (numbered left to right) is replaced by the
+/// corresponding [`Value`] from `params` *after parsing*, so caller-supplied
+/// values can never change the query's structure — this is the injection-safe
+/// path for anything derived from user input or runtime state. The parameter
+/// count must match exactly.
+///
+/// ```
+/// # use provenance::table::{Database, Schema};
+/// # use provenance::value::{Value, ValueType};
+/// # use provenance::sql::execute_with_params;
+/// # let mut db = Database::new();
+/// # db.create_table("t", Schema::new(&[("x", ValueType::Int)])).unwrap();
+/// # db.insert("t", vec![Value::Int(7)]).unwrap();
+/// let r = execute_with_params(&db, "SELECT x FROM t WHERE x >= ?", &[Value::Int(5)]).unwrap();
+/// assert_eq!(r.len(), 1);
+/// ```
+pub fn execute_with_params(
+    db: &Database,
+    sql: &str,
+    params: &[Value],
+) -> Result<ResultSet, QueryError> {
+    let mut q = parse(sql)?;
+    bind_params(&mut q, params)?;
+    execute_query(db, &q)
+}
+
+/// Replace every [`Expr::Param`] in the query with the matching literal from
+/// `params`. Errors if the placeholder count differs from `params.len()`.
+fn bind_params(q: &mut Query, params: &[Value]) -> Result<(), QueryError> {
+    fn walk(e: &mut Expr, params: &[Value], seen: &mut usize) -> Result<(), QueryError> {
+        match e {
+            Expr::Param(i) => {
+                *seen = (*seen).max(*i + 1);
+                let v = params.get(*i).ok_or_else(|| {
+                    QueryError::Param(format!(
+                        "query needs at least {} parameter(s), got {}",
+                        *i + 1,
+                        params.len()
+                    ))
+                })?;
+                *e = Expr::Literal(v.clone());
+                Ok(())
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                walk(lhs, params, seen)?;
+                walk(rhs, params, seen)
+            }
+            Expr::Call { args, .. } => args.iter_mut().try_for_each(|a| walk(a, params, seen)),
+            Expr::Extract { from, .. } => walk(from, params, seen),
+            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } | Expr::Neg(expr) => {
+                walk(expr, params, seen)
+            }
+            Expr::InList { expr, list, .. } => {
+                walk(expr, params, seen)?;
+                list.iter_mut().try_for_each(|e| walk(e, params, seen))
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                walk(expr, params, seen)?;
+                walk(lo, params, seen)?;
+                walk(hi, params, seen)
+            }
+            Expr::Column { .. } | Expr::Literal(_) | Expr::CountStar => Ok(()),
+        }
+    }
+    let mut seen = 0usize;
+    for item in &mut q.items {
+        walk(&mut item.expr, params, &mut seen)?;
+    }
+    if let Some(w) = &mut q.where_clause {
+        walk(w, params, &mut seen)?;
+    }
+    for g in &mut q.group_by {
+        walk(g, params, &mut seen)?;
+    }
+    if let Some(h) = &mut q.having {
+        walk(h, params, &mut seen)?;
+    }
+    for k in &mut q.order_by {
+        walk(&mut k.expr, params, &mut seen)?;
+    }
+    if seen != params.len() {
+        return Err(QueryError::Param(format!(
+            "query has {seen} placeholder(s) but {} parameter(s) were supplied",
+            params.len()
+        )));
+    }
+    Ok(())
 }
 
 /// Execute a parsed query.
@@ -1005,6 +1106,60 @@ mod tests {
         .unwrap();
         assert_eq!(g.cell(0, 1), &Value::Int(2));
         assert_eq!(g.cell(2, 1), &Value::Int(1));
+    }
+
+    #[test]
+    fn params_bind_typed_values() {
+        let r = execute_with_params(
+            &db(),
+            "SELECT name FROM emp WHERE salary >= ? AND dept = ? ORDER BY name",
+            &[Value::Float(75.0), Value::from("eng")],
+        )
+        .unwrap();
+        let names: Vec<String> = r.rows.iter().map(|x| x[0].to_string()).collect();
+        assert_eq!(names, vec!["ann", "bob"]);
+    }
+
+    #[test]
+    fn params_in_having_and_order() {
+        let r = execute_with_params(
+            &db(),
+            "SELECT dept, count(*) FROM emp GROUP BY dept HAVING count(*) >= ? ORDER BY dept",
+            &[Value::Int(2)],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn params_are_values_not_sql() {
+        // a hostile string binds as plain text instead of splicing into the query
+        let r = execute_with_params(
+            &db(),
+            "SELECT count(*) FROM emp WHERE name = ?",
+            &[Value::from("x' OR '1'='1")],
+        )
+        .unwrap();
+        assert_eq!(r.cell(0, 0), &Value::Int(0));
+    }
+
+    #[test]
+    fn param_count_mismatch_errors() {
+        let too_few = execute_with_params(&db(), "SELECT id FROM emp WHERE id = ?", &[]);
+        assert!(matches!(too_few, Err(QueryError::Param(_))), "{too_few:?}");
+        let too_many = execute_with_params(
+            &db(),
+            "SELECT id FROM emp WHERE id = ?",
+            &[Value::Int(1), Value::Int(2)],
+        );
+        assert!(matches!(too_many, Err(QueryError::Param(_))), "{too_many:?}");
+    }
+
+    #[test]
+    fn unbound_param_rejected_by_plain_execute() {
+        let err = execute(&db(), "SELECT id FROM emp WHERE id = ?").unwrap_err();
+        assert!(matches!(err, QueryError::Param(_)), "{err:?}");
+        assert!(err.to_string().contains("unbound parameter"));
     }
 
     #[test]

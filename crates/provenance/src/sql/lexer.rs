@@ -43,6 +43,8 @@ pub enum Token {
     GtEq,
     /// Statement terminator (optional).
     Semi,
+    /// `?` — a positional query parameter placeholder.
+    Question,
 }
 
 impl fmt::Display for Token {
@@ -67,6 +69,7 @@ impl fmt::Display for Token {
             Token::Gt => write!(f, ">"),
             Token::GtEq => write!(f, ">="),
             Token::Semi => write!(f, ";"),
+            Token::Question => write!(f, "?"),
         }
     }
 }
@@ -137,6 +140,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
             }
             ';' => {
                 out.push(Token::Semi);
+                i += 1;
+            }
+            '?' => {
+                out.push(Token::Question);
                 i += 1;
             }
             '=' => {
@@ -345,6 +352,15 @@ mod tests {
         // "1.x" should lex as Int(1), Dot, Ident — not a malformed float
         let toks = lex("1.x").unwrap();
         assert_eq!(toks, vec![Token::Int(1), Token::Dot, Token::Ident("x".into())]);
+    }
+
+    #[test]
+    fn question_mark_parameter() {
+        let toks = lex("x >= ? AND y = ?").unwrap();
+        assert_eq!(toks[2], Token::Question);
+        assert_eq!(toks[6], Token::Question);
+        // inside a string it is just text
+        assert_eq!(lex("'?'").unwrap(), vec![Token::Str("?".into())]);
     }
 
     #[test]

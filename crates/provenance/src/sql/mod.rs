@@ -4,13 +4,16 @@
 //! and 2, the histogram query of Fig. 5) and a bit more: multi-table FROM
 //! with aliases, WHERE with AND/OR and comparison operators, `LIKE`,
 //! `IS [NOT] NULL`, arithmetic, `extract('epoch' from …)`, the aggregates
-//! `min`/`max`/`sum`/`avg`/`count`, `GROUP BY`, `ORDER BY … [DESC]`, and
-//! `LIMIT`.
+//! `min`/`max`/`sum`/`avg`/`count`, `GROUP BY`, `ORDER BY … [DESC]`,
+//! `LIMIT`, and `?` positional parameters bound to typed values via
+//! [`execute_with_params`].
 
 pub mod ast;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
 
-pub use exec::{execute, execute_query, execute_with_limit, QueryError, ResultSet};
+pub use exec::{
+    execute, execute_query, execute_with_limit, execute_with_params, QueryError, ResultSet,
+};
 pub use parser::{parse, SqlParseError};

@@ -41,7 +41,7 @@ impl std::error::Error for SqlParseError {}
 /// Parse a SELECT statement.
 pub fn parse(sql: &str) -> Result<Query, SqlParseError> {
     let tokens = lex(sql).map_err(|e| SqlParseError(e.to_string()))?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, params: 0 };
     let q = p.query()?;
     p.eat_optional_semi();
     if p.pos != p.tokens.len() {
@@ -53,6 +53,8 @@ pub fn parse(sql: &str) -> Result<Query, SqlParseError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Number of `?` placeholders seen so far; assigns positional indices.
+    params: usize,
 }
 
 impl Parser {
@@ -368,6 +370,11 @@ impl Parser {
             Some(Token::Int(i)) => Ok(Expr::Literal(Value::Int(i))),
             Some(Token::Float(x)) => Ok(Expr::Literal(Value::Float(x))),
             Some(Token::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(Token::Question) => {
+                let idx = self.params;
+                self.params += 1;
+                Ok(Expr::Param(idx))
+            }
             Some(Token::LParen) => {
                 let e = self.expr()?;
                 self.expect(&Token::RParen)?;
@@ -579,6 +586,30 @@ mod tests {
         walk(&w, &mut in_count, &mut between_count);
         assert_eq!(in_count, 2);
         assert_eq!(between_count, 2);
+    }
+
+    #[test]
+    fn parses_positional_params() {
+        let q = parse("SELECT a FROM t WHERE a >= ? AND b IN (?, ?) HAVING max(c) > ?").unwrap();
+        let mut seen = Vec::new();
+        fn walk(e: &Expr, seen: &mut Vec<usize>) {
+            match e {
+                Expr::Param(i) => seen.push(*i),
+                Expr::Binary { lhs, rhs, .. } => {
+                    walk(lhs, seen);
+                    walk(rhs, seen);
+                }
+                Expr::InList { expr, list, .. } => {
+                    walk(expr, seen);
+                    list.iter().for_each(|e| walk(e, seen));
+                }
+                Expr::Call { args, .. } => args.iter().for_each(|e| walk(e, seen)),
+                _ => {}
+            }
+        }
+        walk(q.where_clause.as_ref().unwrap(), &mut seen);
+        walk(q.having.as_ref().unwrap(), &mut seen);
+        assert_eq!(seen, vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -90,14 +90,19 @@ pub fn slowest_activations(
 
 /// Pair keys that were retried at least `min_retries` times ("problematic
 /// ligands that could present the same behavior").
+///
+/// `min_retries` is bound as a typed `?` parameter after parsing (like the
+/// `LIMIT` handling in [`slowest_activations`]), never interpolated into the
+/// SQL text.
 pub fn problematic_pairs(
     prov: &ProvenanceStore,
     min_retries: i64,
 ) -> Result<Vec<(String, i64)>, QueryError> {
-    let rs = prov.query(&format!(
+    let rs = prov.query_with_params(
         "SELECT pairkey, max(retries) AS r FROM hactivation \
-         GROUP BY pairkey HAVING max(retries) >= {min_retries} ORDER BY pairkey"
-    ))?;
+         GROUP BY pairkey HAVING max(retries) >= ? ORDER BY pairkey",
+        &[crate::value::Value::Int(min_retries)],
+    )?;
     Ok(rs
         .rows
         .iter()
@@ -206,6 +211,16 @@ mod tests {
         assert_eq!(p, vec![("B:x".to_string(), 2)]);
         let loose = problematic_pairs(&store(), 1).unwrap();
         assert_eq!(loose.len(), 1, "only B:x was retried");
+    }
+
+    #[test]
+    fn problematic_pairs_binds_threshold_as_typed_param() {
+        // regression: min_retries used to be spliced into the SQL via
+        // format!. Extreme values must bind cleanly instead of producing
+        // a malformed or surprising query.
+        assert_eq!(problematic_pairs(&store(), i64::MIN).unwrap().len(), 4);
+        assert_eq!(problematic_pairs(&store(), i64::MAX).unwrap(), vec![]);
+        assert_eq!(problematic_pairs(&store(), 0).unwrap().len(), 4);
     }
 
     #[test]
