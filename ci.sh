@@ -24,6 +24,9 @@ echo "== telemetry: crate tests + disabled-overhead smoke =="
 cargo test -q -p telemetry
 cargo run --release -p scidock-bench --bin telemetry_bench -- --smoke
 
+echo "== docking kernels: parity + speedup smoke (naive vs cell-list/parallel) =="
+cargo run --release -p scidock-bench --bin dock_bench -- --smoke
+
 echo "== provstore: crash-recovery smoke (kill -9 mid-run, reopen, resume) =="
 cargo test -q -p scidock-bench --test crash_recovery
 cargo run --release -p scidock-bench --bin provstore_bench -- --smoke

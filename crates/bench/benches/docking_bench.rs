@@ -84,7 +84,7 @@ fn bench_energy_eval(c: &mut Criterion) {
     let lm = LigandModel::new(&lig);
     let spec = GridSpec::with_edge(receptor.centroid(), 18.0, 1.0);
     let grids = build_ad4_grids(&receptor, spec, &lig.mol.ad_types(), &Ad4Params::new());
-    let em = EnergyModel::new(&grids, &lm);
+    let em = EnergyModel::new(&grids, &lm).unwrap();
     let pose = Pose::at(receptor.centroid(), lm.torsdof());
     let coords = lm.coords(&pose);
     c.bench_function("energy/pose_apply", |b| {

@@ -1,0 +1,315 @@
+//! Docking-kernel benchmark: measures the three optimizations of the fast
+//! docking path against the retained naive reference kernels and *asserts*
+//! they agree bit-for-bit.
+//!
+//! 1. **Grid build** — naive all-atoms scan ([`docking::autogrid::reference`])
+//!    vs the cell-list kernel, serial and with a thread fan across z-slabs.
+//! 2. **Energy inner loop** — the per-eval map-lookup path
+//!    (`Evaluator::new_reference`) vs the resolved-pointer, stencil-sharing
+//!    loop (`Evaluator::new`).
+//! 3. **End-to-end AD4 pair** — the pre-PR serial path (naive grids +
+//!    reference evaluator + one LGA run after another) vs the fast path
+//!    (`dock_with_grids` with `threads` = core count).
+//!
+//! ```sh
+//! cargo run --release -p scidock-bench --bin dock_bench            # full
+//! cargo run --release -p scidock-bench --bin dock_bench -- --smoke # CI
+//! ```
+//!
+//! Exit code 1 if any parity assertion fails or a speedup gate is missed.
+//! The thread-scaling gates (grid ≥ 2×, end-to-end ≥ 3×) only arm on
+//! machines with ≥ 4 cores; below that the fan cannot pay for itself and the
+//! gates fall back to single-thread algorithmic floors (cell list ≥ 1.2× on
+//! the grid build, fast path ≥ 1.2× end-to-end), overridable via
+//! `DOCK_BENCH_MIN_GRID_SPEEDUP` / `DOCK_BENCH_MIN_E2E_SPEEDUP`.
+//! Results land in `target/dock_bench.json`.
+
+use std::time::Instant;
+
+use docking::autogrid::{
+    build_ad4_grids, build_ad4_grids_threads, effective_threads, reference, GridSet,
+};
+use docking::conformation::LigandModel;
+use docking::energy::EnergyModel;
+use docking::engine::{dock_with_grids, make_grid_spec, DockConfig, EngineKind};
+use docking::params::Ad4Params;
+use docking::search::{random_pose, run_lga, Evaluator, LgaConfig, ScoredPose};
+use molkit::formats::pdbqt::PdbqtLigand;
+use molkit::synth::{generate_ligand, generate_receptor, LigandParams, ReceptorParams};
+use molkit::torsion::build_torsion_tree;
+use molkit::typer::{assign_ad_types, merge_nonpolar_hydrogens};
+use molkit::Molecule;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use scidock_bench::sidecar::Sidecar;
+use telemetry::json;
+
+fn prepared_receptor() -> Molecule {
+    // a mid-size receptor (paper-scale targets run hundreds of residues);
+    // the cell list's edge over the all-atoms scan grows with atom count
+    let mut r = generate_receptor(
+        "1HUC",
+        &ReceptorParams { min_residues: 180, max_residues: 200, hg_fraction: 0.0 },
+    );
+    assign_ad_types(&mut r);
+    molkit::charges::assign_gasteiger(&mut r, &Default::default());
+    r
+}
+
+fn prepared_ligand() -> PdbqtLigand {
+    let mut l =
+        generate_ligand("0D6", &LigandParams { min_heavy: 14, max_heavy: 18, hang_fraction: 0.0 });
+    assign_ad_types(&mut l);
+    molkit::charges::assign_gasteiger(&mut l, &Default::default());
+    merge_nonpolar_hydrogens(&mut l);
+    let tree = build_torsion_tree(&l);
+    PdbqtLigand { mol: l, tree }
+}
+
+fn bench_cfg(threads: usize) -> DockConfig {
+    DockConfig {
+        seed: 7,
+        ad4_runs: 4,
+        lga: LgaConfig { population: 14, generations: 10, ..Default::default() },
+        grid_spacing: 0.75,
+        box_edge: 18.0,
+        threads,
+        ..Default::default()
+    }
+}
+
+/// Median wall-clock seconds of `reps` runs of `f` (first run pays warm-up).
+fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Bitwise comparison of every map in two grid sets.
+fn assert_grids_identical(a: &GridSet, b: &GridSet, what: &str) {
+    assert_eq!(a.affinity.len(), b.affinity.len(), "{what}: map count");
+    for (t, ma) in &a.affinity {
+        let mb = &b.affinity[t];
+        assert!(ma.values() == mb.values(), "{what}: affinity map {t:?} differs");
+    }
+    let pairs = [
+        (a.electrostatic.as_ref(), b.electrostatic.as_ref(), "e"),
+        (a.desolvation.as_ref(), b.desolvation.as_ref(), "d"),
+    ];
+    for (ma, mb, tag) in pairs {
+        match (ma, mb) {
+            (Some(x), Some(y)) => {
+                assert!(x.values() == y.values(), "{what}: {tag} map differs")
+            }
+            (None, None) => {}
+            _ => panic!("{what}: {tag} map presence differs"),
+        }
+    }
+}
+
+/// The pre-PR serial AD4 search: naive grids are built by the caller; here
+/// each run gets its `seed + i` stream (exactly the old loop) and a
+/// reference-path evaluator, one run after another on one thread.
+fn legacy_lga_runs(
+    em: &EnergyModel<'_>,
+    grids: &GridSet,
+    lm: &LigandModel,
+    cfg: &DockConfig,
+) -> Vec<ScoredPose> {
+    let mut runs = Vec::with_capacity(cfg.ad4_runs);
+    for i in 0..cfg.ad4_runs {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
+        let mut ev = Evaluator::new_reference(em);
+        runs.push(run_lga(&mut ev, &grids.spec, lm, &cfg.lga, &mut rng));
+    }
+    runs.sort_by(|a, b| a.energy.total_cmp(&b.energy));
+    runs
+}
+
+fn gate(name: &str, speedup: f64, floor: f64, failures: &mut Vec<String>) {
+    let verdict = if speedup >= floor { "ok" } else { "FAIL" };
+    println!("  gate {name}: {speedup:.2}x (floor {floor:.2}x) .. {verdict}");
+    if speedup < floor {
+        failures.push(format!("{name}: {speedup:.2}x < {floor:.2}x"));
+    }
+}
+
+fn env_floor(var: &str, default: f64) -> f64 {
+    std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let cores = effective_threads(0);
+    let reps = if smoke { 3 } else { 7 };
+    let mut failures: Vec<String> = Vec::new();
+    let mut sc = Sidecar::new();
+
+    let receptor = prepared_receptor();
+    let lig = prepared_ligand();
+    let cfg = bench_cfg(cores);
+    let spec = make_grid_spec(&receptor, &lig, &cfg).expect("pocket");
+    let types = lig.mol.ad_types();
+    let params = Ad4Params::new();
+    println!(
+        "dock_bench: {} receptor atoms, {} ligand atoms, {}^3 grid, {} cores, {reps} reps",
+        receptor.atoms.len(),
+        lig.mol.atoms.len(),
+        spec.npts,
+        cores
+    );
+
+    // -- 1. grid build ------------------------------------------------------
+    let naive = reference::build_ad4_grids(&receptor, spec, &types, &params);
+    let cell = build_ad4_grids(&receptor, spec, &types, &params);
+    let fanned = build_ad4_grids_threads(&receptor, spec, &types, &params, cores);
+    assert_grids_identical(&naive, &cell, "cell-list vs naive");
+    assert_grids_identical(&naive, &fanned, "threaded vs naive");
+    println!("parity: cell-list and threaded grid builds are bit-identical to naive");
+
+    let t_naive =
+        time_median(reps, || reference::build_ad4_grids(&receptor, spec, &types, &params));
+    let t_cell = time_median(reps, || build_ad4_grids(&receptor, spec, &types, &params));
+    let t_fan =
+        time_median(reps, || build_ad4_grids_threads(&receptor, spec, &types, &params, cores));
+    let grid_serial_speedup = t_naive / t_cell;
+    let grid_fan_speedup = t_naive / t_fan;
+    println!(
+        "grid build: naive {:.1} ms | cell-list {:.1} ms ({grid_serial_speedup:.2}x) | \
+         {} threads {:.1} ms ({grid_fan_speedup:.2}x)",
+        t_naive * 1e3,
+        t_cell * 1e3,
+        cores,
+        t_fan * 1e3
+    );
+
+    // -- 2. energy inner loop ----------------------------------------------
+    let lm = LigandModel::new(&lig);
+    let em = EnergyModel::new(&naive, &lm).expect("full type superset");
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let poses: Vec<_> = (0..200).map(|_| random_pose(&spec, lm.torsdof(), &mut rng)).collect();
+    {
+        let mut fast = Evaluator::new(&em);
+        let mut refr = Evaluator::new_reference(&em);
+        for p in &poses {
+            assert_eq!(fast.energy(p).to_bits(), refr.energy(p).to_bits(), "energy parity");
+        }
+    }
+    println!("parity: optimized energy loop is bit-identical to reference on 200 poses");
+    let t_eref = time_median(reps, || {
+        let mut ev = Evaluator::new_reference(&em);
+        poses.iter().map(|p| ev.energy(p)).sum::<f64>()
+    });
+    let t_efast = time_median(reps, || {
+        let mut ev = Evaluator::new(&em);
+        poses.iter().map(|p| ev.energy(p)).sum::<f64>()
+    });
+    let energy_speedup = t_eref / t_efast;
+    println!(
+        "energy loop (200 poses): reference {:.2} ms | optimized {:.2} ms ({energy_speedup:.2}x)",
+        t_eref * 1e3,
+        t_efast * 1e3
+    );
+
+    // -- 3. end-to-end AD4 pair --------------------------------------------
+    // parity first: the fast path must reproduce the legacy run set exactly
+    let legacy_runs = legacy_lga_runs(&em, &naive, &lm, &cfg);
+    let fast_result = dock_with_grids(&cell, "1HUC", &lig, EngineKind::Ad4, &cfg).expect("dock");
+    let legacy_best = lm.coords(&legacy_runs[0].pose);
+    assert_eq!(
+        legacy_runs[0].energy.to_bits(),
+        fast_result.modes[0].energy.to_bits(),
+        "end-to-end best energy parity"
+    );
+    assert!(
+        legacy_best
+            .iter()
+            .zip(&fast_result.best_coords)
+            .all(|(a, b)| a.x == b.x && a.y == b.y && a.z == b.z),
+        "end-to-end best coordinates parity"
+    );
+    println!("parity: fast path reproduces the legacy serial AD4 result bit-for-bit");
+
+    let t_legacy = time_median(reps, || {
+        let g = reference::build_ad4_grids(&receptor, spec, &types, &params);
+        let em = EnergyModel::new(&g, &lm).expect("maps");
+        legacy_lga_runs(&em, &g, &lm, &cfg)
+    });
+    let t_fast = time_median(reps, || {
+        let g = build_ad4_grids_threads(&receptor, spec, &types, &params, cores);
+        dock_with_grids(&g, "1HUC", &lig, EngineKind::Ad4, &cfg).expect("dock")
+    });
+    let e2e_speedup = t_legacy / t_fast;
+    println!(
+        "end-to-end AD4 pair: legacy serial {:.1} ms ({:.2} pairs/s) | fast {:.1} ms \
+         ({:.2} pairs/s) = {e2e_speedup:.2}x",
+        t_legacy * 1e3,
+        1.0 / t_legacy,
+        t_fast * 1e3,
+        1.0 / t_fast
+    );
+
+    // -- gates --------------------------------------------------------------
+    println!();
+    if cores >= 4 {
+        gate(
+            "grid_fan",
+            grid_fan_speedup,
+            env_floor("DOCK_BENCH_MIN_GRID_SPEEDUP", 2.0),
+            &mut failures,
+        );
+        gate("e2e", e2e_speedup, env_floor("DOCK_BENCH_MIN_E2E_SPEEDUP", 3.0), &mut failures);
+    } else {
+        println!("  ({cores} core(s): thread-scaling gates disarmed, algorithmic floors only)");
+        gate(
+            "grid_cell_serial",
+            grid_serial_speedup,
+            env_floor("DOCK_BENCH_MIN_GRID_SPEEDUP", 1.2),
+            &mut failures,
+        );
+        gate("e2e", e2e_speedup, env_floor("DOCK_BENCH_MIN_E2E_SPEEDUP", 1.2), &mut failures);
+    }
+
+    sc.push(
+        "dock_bench",
+        format!(
+            "{{\"cores\":{cores},\"reps\":{reps},\"grid\":{{\"naive_s\":{},\"cell_s\":{},\
+             \"fan_s\":{},\"serial_speedup\":{},\"fan_speedup\":{}}},\
+             \"energy\":{{\"reference_s\":{},\"optimized_s\":{},\"speedup\":{}}},\
+             \"e2e\":{{\"legacy_s\":{},\"fast_s\":{},\"speedup\":{},\
+             \"legacy_pairs_per_s\":{},\"fast_pairs_per_s\":{}}},\"parity\":true}}",
+            json::num(t_naive),
+            json::num(t_cell),
+            json::num(t_fan),
+            json::num(grid_serial_speedup),
+            json::num(grid_fan_speedup),
+            json::num(t_eref),
+            json::num(t_efast),
+            json::num(energy_speedup),
+            json::num(t_legacy),
+            json::num(t_fast),
+            json::num(e2e_speedup),
+            json::num(1.0 / t_legacy),
+            json::num(1.0 / t_fast),
+        ),
+    );
+    let path = std::path::Path::new("target/dock_bench.json");
+    sc.write(path).expect("write sidecar");
+    println!();
+    println!("results written to {}", path.display());
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("OK: all parity assertions and speedup gates passed");
+}

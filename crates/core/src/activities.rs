@@ -113,6 +113,10 @@ impl GridCache {
     /// Cached grid lookup / computation. Grids are ligand-independent: the
     /// box is sized from the receptor pocket + `cfg.box_edge` and carries
     /// affinity maps for the whole ligand-type superset.
+    ///
+    /// Emits `gridcache.hit` / `gridcache.miss` counters plus
+    /// `gridcache.bytes` (resident map bytes of freshly built sets) through
+    /// `cfg.telemetry`, and builds maps with `cfg.threads` slab workers.
     pub fn get_or_build(
         &self,
         receptor_id: &str,
@@ -121,8 +125,10 @@ impl GridCache {
         cfg: &DockConfig,
     ) -> Result<Arc<GridSet>, ActivityError> {
         if let Some(g) = self.inner.lock().get(&(receptor_id.to_string(), engine)) {
+            cfg.telemetry.count("gridcache.hit", 1);
             return Ok(Arc::clone(g));
         }
+        cfg.telemetry.count("gridcache.miss", 1);
         let receptor = pdbqt::read_receptor_pdbqt(receptor_pdbqt)
             .map_err(|e| ActivityError(format!("receptor pdbqt: {e}")))?;
         let pocket = molkit::geometry::find_pocket(&receptor, cfg.pocket_probe)
@@ -130,19 +136,22 @@ impl GridCache {
         let spec =
             docking::grid::GridSpec::with_edge(pocket.center, cfg.box_edge, cfg.grid_spacing);
         let grids = match engine {
-            EngineKind::Ad4 => docking::autogrid::build_ad4_grids(
+            EngineKind::Ad4 => docking::autogrid::build_ad4_grids_threads(
                 &receptor,
                 spec,
                 &LIGAND_TYPE_SUPERSET,
                 &docking::params::Ad4Params::new(),
+                cfg.threads,
             ),
-            EngineKind::Vina => docking::autogrid::build_vina_grids(
+            EngineKind::Vina => docking::autogrid::build_vina_grids_threads(
                 &receptor,
                 spec,
                 &LIGAND_TYPE_SUPERSET,
                 &docking::params::VinaParams::default(),
+                cfg.threads,
             ),
         };
+        cfg.telemetry.count("gridcache.bytes", grids.bytes());
         let arc = Arc::new(grids);
         self.inner.lock().insert((receptor_id.to_string(), engine), Arc::clone(&arc));
         Ok(arc)
@@ -885,6 +894,41 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.final_output().len(), 2, "one receptor, two ligands");
+    }
+
+    #[test]
+    fn grid_cache_counters_surface_in_metrics() {
+        let mut p = DatasetParams::default();
+        p.receptor.min_residues = 30;
+        p.receptor.max_residues = 35;
+        p.receptor.hg_fraction = 0.0;
+        p.ligand.min_heavy = 8;
+        p.ligand.max_heavy = 10;
+        let ds = Dataset::subset(&["1HUC"], &["042", "074"], p);
+        let files = Arc::new(FileStore::new());
+        let tel = telemetry::Telemetry::attached();
+        let mut cfg = fast_cfg();
+        cfg.dock.telemetry = tel.clone();
+        let input = stage_inputs(&ds, &files, &cfg.expdir);
+        let wf = build_scidock(EngineMode::Ad4Only, &cfg, Arc::clone(&files));
+        // single-threaded so the first lookup is the only miss (concurrent
+        // activations may each miss and build; the cache tolerates that)
+        let report = run_local(
+            &wf,
+            input,
+            files,
+            Arc::new(ProvenanceStore::new()),
+            &LocalConfig { threads: 1, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(report.final_output().len(), 2);
+        let snap = tel.snapshot().unwrap();
+        // one receptor → one grid build; activities 5 and 8 each look the
+        // set up once per ligand, so the other three lookups are hits
+        assert_eq!(snap.counter("gridcache.miss"), Some(1));
+        assert_eq!(snap.counter("gridcache.hit"), Some(3));
+        let bytes = snap.counter("gridcache.bytes").expect("bytes counter present");
+        assert!(bytes > 0, "resident grid bytes recorded");
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub fn redock_pair(
     let result = docking::engine::dock_with_grids(&grids, receptor_id, &ligand, engine, cfg)?;
     let sw = SolisWetsConfig { max_iters: 120, rho: 0.4, ..Default::default() };
     let seed = name_seed(&format!("redock:{receptor_id}:{ligand_code}"));
-    let refined = refine_pose(&grids, &ligand, &result.best_pose, seed, &sw);
+    let refined = refine_pose(&grids, &ligand, &result.best_pose, seed, &sw)?;
     Ok(RedockOutcome {
         receptor: receptor_id.to_string(),
         ligand: ligand_code.to_string(),

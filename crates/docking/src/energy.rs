@@ -1,15 +1,54 @@
 //! Pose energy evaluation: grid-interpolated intermolecular terms plus
 //! direct pairwise intramolecular terms.
+//!
+//! [`EnergyModel::new`] front-loads every per-atom and per-pair lookup the
+//! search's inner loop would otherwise repeat millions of times: each ligand
+//! atom's affinity map is resolved to a reference once (killing the
+//! per-atom-per-evaluation `BTreeMap` walk), the AD4 electrostatic and
+//! desolvation coefficients are folded per atom, and the intramolecular pair
+//! table is precomputed ([`ad4_pair_pre`]/[`vina_pair_pre`]). Evaluation
+//! then computes one interpolation [`Stencil`] per atom and samples all
+//! co-located maps through it. Every shortcut is bit-identical to the
+//! retained reference path ([`EnergyModel::total_reference`]); the
+//! `kernel_props` property tests and `dock_bench --smoke` enforce that.
 
 use molkit::{Molecule, Vec3};
 
 use crate::autogrid::{GridKind, GridSet};
 use crate::conformation::LigandModel;
-use crate::params::{type_index, Ad4Params, VinaParams};
-use crate::scoring::{ad4_pair, vina_pair, CUTOFF};
+use crate::engine::DockError;
+use crate::grid::GridMap;
+use crate::params::{type_index, vina_radius, Ad4Params, PairParams, VinaParams};
+use crate::scoring::{
+    ad4_pair, ad4_pair_pre, ad4_solvation_param, vina_hbond_pair, vina_pair, vina_pair_pre, CUTOFF,
+};
 
 /// Extra per-unit-|charge| desolvation parameter (AD4's `qsolpar`).
 const QSOLPAR: f64 = 0.01097;
+
+/// One precomputed AD4 intramolecular pair: atom indices plus every
+/// distance-independent quantity [`ad4_pair_pre`] needs.
+struct Ad4Intra {
+    i: usize,
+    j: usize,
+    pp: PairParams,
+    qq: f64,
+    dcoef: f64,
+}
+
+/// One precomputed Vina intramolecular pair for [`vina_pair_pre`].
+struct VinaIntra {
+    i: usize,
+    j: usize,
+    rsum: f64,
+    hydrophobic: bool,
+    hbond: bool,
+}
+
+enum IntraTable {
+    Ad4(Vec<Ad4Intra>),
+    Vina(Vec<VinaIntra>),
+}
 
 /// Evaluates ligand poses against a receptor's precomputed grids.
 pub struct EnergyModel<'a> {
@@ -21,24 +60,157 @@ pub struct EnergyModel<'a> {
     pub ad4: Ad4Params,
     /// Vina parameter set (used when `grids.kind` is Vina).
     pub vina: VinaParams,
+    /// Per-ligand-atom affinity map, resolved once at construction.
+    atom_map: Vec<&'a GridMap>,
+    /// Per-atom electrostatic coefficient `w_estat · q` (AD4 only).
+    atom_elec: Vec<f64>,
+    /// Per-atom desolvation coefficient `(w_desolv · 2) · s` (AD4 only).
+    atom_desolv: Vec<f64>,
+    /// Resolved electrostatic map (AD4 only).
+    emap: Option<&'a GridMap>,
+    /// Resolved desolvation map (AD4 only).
+    dmap: Option<&'a GridMap>,
+    /// Precomputed intramolecular pair table.
+    intra: IntraTable,
 }
 
 impl<'a> EnergyModel<'a> {
     /// Build an evaluator. The grid set must contain a map for every AD type
-    /// the ligand uses.
-    ///
-    /// # Panics
-    /// Panics when a needed affinity map is missing (a pipeline bug: AutoGrid
-    /// is always run with the ligand's types).
-    pub fn new(grids: &'a GridSet, ligand: &'a LigandModel) -> EnergyModel<'a> {
+    /// the ligand uses; a missing map is a pipeline error
+    /// ([`DockError::MissingAffinityMap`]), not a panic.
+    pub fn new(grids: &'a GridSet, ligand: &'a LigandModel) -> Result<EnergyModel<'a>, DockError> {
+        let ad4 = Ad4Params::new();
+        let vina = VinaParams::default();
+
+        let mut atom_map = Vec::with_capacity(ligand.types.len());
         for t in &ligand.types {
-            assert!(grids.affinity.contains_key(t), "grid set missing affinity map for type {t}");
+            match grids.affinity.get(t) {
+                Some(m) => atom_map.push(m),
+                None => return Err(DockError::MissingAffinityMap(t.to_string())),
+            }
         }
-        EnergyModel { grids, ligand, ad4: Ad4Params::new(), vina: VinaParams::default() }
+
+        let (mut atom_elec, mut atom_desolv) = (Vec::new(), Vec::new());
+        if grids.kind == GridKind::Ad4 {
+            atom_elec.reserve(ligand.types.len());
+            atom_desolv.reserve(ligand.types.len());
+            for (i, &t) in ligand.types.iter().enumerate() {
+                let q = ligand.charges[i];
+                let s = ad4.solpar[type_index(t)] + QSOLPAR * q.abs();
+                atom_elec.push(ad4.w_estat * q);
+                atom_desolv.push(ad4.w_desolv * 2.0 * s);
+            }
+        }
+
+        let intra = match grids.kind {
+            GridKind::Ad4 => IntraTable::Ad4(
+                ligand
+                    .intra_pairs
+                    .iter()
+                    .map(|&(i, j)| {
+                        let (ta, tb) = (ligand.types[i], ligand.types[j]);
+                        let (qa, qb) = (ligand.charges[i], ligand.charges[j]);
+                        let dcoef = ad4_solvation_param(&ad4, ta, qa) * ad4.volume[type_index(tb)]
+                            + ad4_solvation_param(&ad4, tb, qb) * ad4.volume[type_index(ta)];
+                        Ad4Intra { i, j, pp: *ad4.pair(ta, tb), qq: qa * qb, dcoef }
+                    })
+                    .collect(),
+            ),
+            GridKind::Vina => IntraTable::Vina(
+                ligand
+                    .intra_pairs
+                    .iter()
+                    .map(|&(i, j)| {
+                        let (ta, tb) = (ligand.types[i], ligand.types[j]);
+                        VinaIntra {
+                            i,
+                            j,
+                            rsum: vina_radius(ta) + vina_radius(tb),
+                            hydrophobic: ta.is_hydrophobic() && tb.is_hydrophobic(),
+                            hbond: vina_hbond_pair(ta, tb),
+                        }
+                    })
+                    .collect(),
+            ),
+        };
+
+        Ok(EnergyModel {
+            grids,
+            ligand,
+            ad4,
+            vina,
+            atom_map,
+            atom_elec,
+            atom_desolv,
+            emap: grids.electrostatic.as_ref(),
+            dmap: grids.desolvation.as_ref(),
+            intra,
+        })
     }
 
     /// Receptor–ligand interaction energy of world coordinates `coords`.
+    ///
+    /// One [`Stencil`](crate::grid::Stencil) per atom, sampled by every
+    /// co-located map; bit-identical to [`intermolecular_reference`]
+    /// (which re-interpolates and re-walks the map `BTreeMap` per atom).
+    ///
+    /// [`intermolecular_reference`]: EnergyModel::intermolecular_reference
     pub fn intermolecular(&self, coords: &[Vec3]) -> f64 {
+        let mut e = 0.0;
+        match self.grids.kind {
+            GridKind::Ad4 => {
+                let emap = self.emap.expect("AD4 grid set has an electrostatic map");
+                let dmap = self.dmap.expect("AD4 grid set has a desolvation map");
+                for (i, &p) in coords.iter().enumerate() {
+                    let st = self.grids.spec.stencil(p);
+                    let aff = self.atom_map[i].sample(&st);
+                    let elec = self.atom_elec[i] * emap.sample(&st);
+                    // one-map approximation of the symmetric AD4 desolvation
+                    // term (see DESIGN.md): ligand-side solvation parameter
+                    // against the receptor volume field, doubled.
+                    let desolv = self.atom_desolv[i] * dmap.sample(&st);
+                    e += aff + elec + desolv;
+                }
+            }
+            GridKind::Vina => {
+                for (i, &p) in coords.iter().enumerate() {
+                    e += self.atom_map[i].interpolate(p);
+                }
+            }
+        }
+        e
+    }
+
+    /// Ligand internal energy (pairs across rotatable bonds), evaluated via
+    /// the precomputed pair table.
+    pub fn intramolecular(&self, coords: &[Vec3]) -> f64 {
+        let mut e = 0.0;
+        match &self.intra {
+            IntraTable::Ad4(pairs) => {
+                for pr in pairs {
+                    let r = coords[pr.i].dist(coords[pr.j]);
+                    e += ad4_pair_pre(&self.ad4, &pr.pp, pr.qq, pr.dcoef, r);
+                }
+            }
+            IntraTable::Vina(pairs) => {
+                for pr in pairs {
+                    let r = coords[pr.i].dist(coords[pr.j]);
+                    e += vina_pair_pre(&self.vina, pr.rsum, pr.hydrophobic, pr.hbond, r);
+                }
+            }
+        }
+        e
+    }
+
+    /// Total pose energy used by the search (inter + intra).
+    pub fn total(&self, coords: &[Vec3]) -> f64 {
+        self.intermolecular(coords) + self.intramolecular(coords)
+    }
+
+    /// Naive intermolecular evaluation retained as the parity reference:
+    /// per-atom map lookup through the `BTreeMap` and three independent
+    /// interpolations, exactly as the pre-optimization code did it.
+    pub fn intermolecular_reference(&self, coords: &[Vec3]) -> f64 {
         let mut e = 0.0;
         match self.grids.kind {
             GridKind::Ad4 => {
@@ -55,9 +227,6 @@ impl<'a> EnergyModel<'a> {
                     let aff = self.grids.affinity[&t].interpolate(p);
                     let elec = self.ad4.w_estat * q * emap.interpolate(p);
                     let s = self.ad4.solpar[type_index(t)] + QSOLPAR * q.abs();
-                    // one-map approximation of the symmetric AD4 desolvation
-                    // term (see DESIGN.md): ligand-side solvation parameter
-                    // against the receptor volume field, doubled.
                     let desolv = self.ad4.w_desolv * 2.0 * s * dmap.interpolate(p);
                     e += aff + elec + desolv;
                 }
@@ -72,8 +241,9 @@ impl<'a> EnergyModel<'a> {
         e
     }
 
-    /// Ligand internal energy (pairs across rotatable bonds).
-    pub fn intramolecular(&self, coords: &[Vec3]) -> f64 {
+    /// Naive intramolecular evaluation (full pair-function unfold per pair),
+    /// the parity reference for [`intramolecular`](EnergyModel::intramolecular).
+    pub fn intramolecular_reference(&self, coords: &[Vec3]) -> f64 {
         let mut e = 0.0;
         match self.grids.kind {
             GridKind::Ad4 => {
@@ -99,9 +269,10 @@ impl<'a> EnergyModel<'a> {
         e
     }
 
-    /// Total pose energy used by the search (inter + intra).
-    pub fn total(&self, coords: &[Vec3]) -> f64 {
-        self.intermolecular(coords) + self.intramolecular(coords)
+    /// Naive total (reference intermolecular + reference intramolecular);
+    /// the pre-optimization evaluation path, kept for the parity gate.
+    pub fn total_reference(&self, coords: &[Vec3]) -> f64 {
+        self.intermolecular_reference(coords) + self.intramolecular_reference(coords)
     }
 
     /// Engine-specific estimated free energy of binding for a final pose.
@@ -236,7 +407,7 @@ mod tests {
         let lm = LigandModel::new(&lig);
         let types = lig.mol.ad_types();
         let g = build_ad4_grids(&r, spec(), &types, &Ad4Params::new());
-        let em = EnergyModel::new(&g, &lm);
+        let em = EnergyModel::new(&g, &lm).unwrap();
         let pose = Pose::at(Vec3::new(0.0, 3.0, 0.0), lm.torsdof());
         let c = lm.coords(&pose);
         let e = em.total(&c);
@@ -250,7 +421,7 @@ mod tests {
         let lig = ligand();
         let lm = LigandModel::new(&lig);
         let g = build_vina_grids(&r, spec(), &lig.mol.ad_types(), &VinaParams::default());
-        let em = EnergyModel::new(&g, &lm);
+        let em = EnergyModel::new(&g, &lm).unwrap();
         let inside = em.intermolecular(&lm.coords(&Pose::at(Vec3::ZERO, lm.torsdof())));
         let outside =
             em.intermolecular(&lm.coords(&Pose::at(Vec3::new(100.0, 0.0, 0.0), lm.torsdof())));
@@ -263,7 +434,7 @@ mod tests {
         let lig = ligand();
         let lm = LigandModel::new(&lig);
         let g = build_ad4_grids(&r, spec(), &lig.mol.ad_types(), &Ad4Params::new());
-        let em = EnergyModel::new(&g, &lm);
+        let em = EnergyModel::new(&g, &lm).unwrap();
         // pose directly on top of receptor atoms vs a few Å away
         let clash = em.intermolecular(&lm.coords(&Pose::at(Vec3::ZERO, lm.torsdof())));
         let contact =
@@ -280,7 +451,7 @@ mod tests {
         let c = lm.coords(&pose);
 
         let ga = build_ad4_grids(&r, spec(), &lig.mol.ad_types(), &Ad4Params::new());
-        let ea = EnergyModel::new(&ga, &lm);
+        let ea = EnergyModel::new(&ga, &lm).unwrap();
         let feb_ad4 = ea.free_energy_of_binding(&c);
         // AD4 FEB = scale×inter + tors penalty + offset — check the formula
         let p = Ad4Params::new();
@@ -289,7 +460,7 @@ mod tests {
         assert!((feb_ad4 - want_ad4).abs() < 1e-9);
 
         let gv = build_vina_grids(&r, spec(), &lig.mol.ad_types(), &VinaParams::default());
-        let ev = EnergyModel::new(&gv, &lm);
+        let ev = EnergyModel::new(&gv, &lm).unwrap();
         let feb_vina = ev.free_energy_of_binding(&c);
         let v = VinaParams::default();
         let want_vina = v.feb_scale * ev.intermolecular(&c) / (1.0 + v.w_rot * lm.torsdof() as f64)
@@ -305,7 +476,7 @@ mod tests {
         let lm = LigandModel::new(&lig);
         let r = receptor();
         let g = build_ad4_grids(&r, spec(), &lig.mol.ad_types(), &Ad4Params::new());
-        let em = EnergyModel::new(&g, &lm);
+        let em = EnergyModel::new(&g, &lm).unwrap();
         assert!(lm.torsdof() >= 1, "test ligand must be flexible");
         let e0 = em.intramolecular(&lm.coords(&Pose::at(Vec3::ZERO, lm.torsdof())));
         let mut folded = Pose::at(Vec3::ZERO, lm.torsdof());
@@ -322,7 +493,7 @@ mod tests {
         let lig = ligand();
         let lm = LigandModel::new(&lig);
         let g = build_vina_grids(&r, spec(), &lig.mol.ad_types(), &VinaParams::default());
-        let em = EnergyModel::new(&g, &lm);
+        let em = EnergyModel::new(&g, &lm).unwrap();
         let de = DirectEnergy::new(&r, GridKind::Vina);
         for dy in [4.0, 5.5] {
             let pose = Pose::at(Vec3::new(0.3, dy, 0.2), lm.torsdof());
@@ -347,7 +518,7 @@ mod tests {
         let lig = ligand();
         let lm = LigandModel::new(&lig);
         let g = build_ad4_grids(&r, spec(), &lig.mol.ad_types(), &Ad4Params::new());
-        let em = EnergyModel::new(&g, &lm);
+        let em = EnergyModel::new(&g, &lm).unwrap();
         let de = DirectEnergy::new(&r, GridKind::Ad4);
         let pose = Pose::at(Vec3::new(0.0, 4.0, 0.0), lm.torsdof());
         let c = lm.coords(&pose);
@@ -357,13 +528,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "missing affinity map")]
-    fn missing_map_panics() {
+    fn optimized_energy_bit_identical_to_reference() {
+        let r = receptor();
+        let lig = ligand();
+        let lm = LigandModel::new(&lig);
+        let poses = [
+            Pose::at(Vec3::new(0.0, 3.0, 0.0), lm.torsdof()),
+            Pose::at(Vec3::new(1.3, -2.2, 0.7), lm.torsdof()),
+            Pose::at(Vec3::new(40.0, 0.0, 0.0), lm.torsdof()), // out of box
+        ];
+        let ga = build_ad4_grids(&r, spec(), &lig.mol.ad_types(), &Ad4Params::new());
+        let ea = EnergyModel::new(&ga, &lm).unwrap();
+        let gv = build_vina_grids(&r, spec(), &lig.mol.ad_types(), &VinaParams::default());
+        let ev = EnergyModel::new(&gv, &lm).unwrap();
+        for pose in &poses {
+            let c = lm.coords(pose);
+            assert_eq!(ea.intermolecular(&c), ea.intermolecular_reference(&c));
+            assert_eq!(ea.intramolecular(&c), ea.intramolecular_reference(&c));
+            assert_eq!(ea.total(&c), ea.total_reference(&c));
+            assert_eq!(ev.total(&c), ev.total_reference(&c));
+        }
+    }
+
+    #[test]
+    fn missing_map_is_an_error_not_a_panic() {
         let r = receptor();
         let lig = ligand();
         let lm = LigandModel::new(&lig);
         // build grids without the ligand's carbon map
         let g = build_ad4_grids(&r, spec(), &[AdType::OA], &Ad4Params::new());
-        let _ = EnergyModel::new(&g, &lm);
+        match EnergyModel::new(&g, &lm) {
+            Err(DockError::MissingAffinityMap(t)) => assert_eq!(t, "C"),
+            other => panic!("expected MissingAffinityMap, got {:?}", other.err()),
+        }
     }
 }

@@ -9,7 +9,7 @@ use molkit::formats::pdbqt::PdbqtLigand;
 use molkit::geometry::{diameter, find_pocket, rmsd};
 use molkit::{Molecule, Vec3};
 
-use crate::autogrid::{build_ad4_grids, build_vina_grids, GridSet};
+use crate::autogrid::{build_ad4_grids_threads, build_vina_grids_threads, planned_slabs, GridSet};
 use crate::cluster::cluster_poses;
 use crate::conformation::LigandModel;
 use crate::conformation::Pose;
@@ -17,7 +17,8 @@ use crate::energy::EnergyModel;
 use crate::grid::GridSpec;
 use crate::params::{Ad4Params, VinaParams};
 use crate::search::{
-    run_lga, run_mc, solis_wets, Evaluator, LgaConfig, McConfig, ScoredPose, SolisWetsConfig,
+    run_lga_seeded, run_mc_seeded, solis_wets, Evaluator, LgaConfig, McConfig, ScoredPose,
+    SolisWetsConfig,
 };
 
 /// Which docking program SciDock activity 8 invokes.
@@ -57,6 +58,10 @@ pub struct DockConfig {
     pub box_edge: f64,
     /// Probe radius used for pocket detection.
     pub pocket_probe: f64,
+    /// Worker threads for grid construction and the independent search
+    /// runs: `0` = one per available core, `1` (default) = serial. The
+    /// docking result is byte-identical for every value.
+    pub threads: usize,
     /// Telemetry sink: per-phase spans (pocket, grids, search, analysis)
     /// when attached, near-free when disabled (the default).
     pub telemetry: Telemetry,
@@ -72,6 +77,7 @@ impl Default for DockConfig {
             grid_spacing: 0.75,
             box_edge: 16.0,
             pocket_probe: 9.0,
+            threads: 1,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -141,6 +147,9 @@ pub enum DockError {
     NoPocket,
     /// The ligand has no atoms.
     EmptyLigand,
+    /// The grid set lacks an affinity map for a ligand atom type (the
+    /// label); AutoGrid was run with the wrong probe set.
+    MissingAffinityMap(String),
 }
 
 impl std::fmt::Display for DockError {
@@ -148,6 +157,9 @@ impl std::fmt::Display for DockError {
         match self {
             DockError::NoPocket => write!(f, "no binding pocket detected on receptor"),
             DockError::EmptyLigand => write!(f, "ligand has no atoms"),
+            DockError::MissingAffinityMap(t) => {
+                write!(f, "grid set missing affinity map for ligand atom type {t}")
+            }
         }
     }
 }
@@ -177,12 +189,17 @@ pub fn make_grids(
         let _phase = cfg.telemetry.span("dock", "pocket");
         make_grid_spec(receptor, ligand, cfg)?
     };
-    let _phase =
-        cfg.telemetry.span_detail("dock", "grids", || format!("spacing={} Å", cfg.grid_spacing));
+    let _phase = cfg.telemetry.span_detail("dock", "grids", || {
+        format!("spacing={} Å slabs={}", cfg.grid_spacing, planned_slabs(spec.npts, cfg.threads))
+    });
     let types = ligand.mol.ad_types();
     Ok(match engine {
-        EngineKind::Ad4 => build_ad4_grids(receptor, spec, &types, &Ad4Params::new()),
-        EngineKind::Vina => build_vina_grids(receptor, spec, &types, &VinaParams::default()),
+        EngineKind::Ad4 => {
+            build_ad4_grids_threads(receptor, spec, &types, &Ad4Params::new(), cfg.threads)
+        }
+        EngineKind::Vina => {
+            build_vina_grids_threads(receptor, spec, &types, &VinaParams::default(), cfg.threads)
+        }
     })
 }
 
@@ -198,29 +215,32 @@ pub fn dock_with_grids(
         return Err(DockError::EmptyLigand);
     }
     let lm = LigandModel::new(ligand);
-    let em = EnergyModel::new(grids, &lm);
-    let mut ev = Evaluator::new(&em);
+    let em = EnergyModel::new(grids, &lm)?;
     let reference: Vec<Vec3> = ligand.mol.positions();
 
-    let (poses, rmsd_vs_best): (Vec<ScoredPose>, bool) = {
+    let (poses, rmsd_vs_best, evaluations): (Vec<ScoredPose>, bool, u64) = {
         let mut phase = cfg.telemetry.span("dock", "search");
         let out = match engine {
             EngineKind::Ad4 => {
-                let mut runs = Vec::with_capacity(cfg.ad4_runs);
-                for i in 0..cfg.ad4_runs {
-                    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
-                    runs.push(run_lga(&mut ev, &grids.spec, &lm, &cfg.lga, &mut rng));
-                }
+                let (mut runs, evals) = run_lga_seeded(
+                    &em,
+                    &grids.spec,
+                    &lm,
+                    &cfg.lga,
+                    cfg.seed,
+                    cfg.ad4_runs,
+                    cfg.threads,
+                );
                 runs.sort_by(|a, b| a.energy.total_cmp(&b.energy));
-                (runs, false)
+                (runs, false, evals)
             }
             EngineKind::Vina => {
-                let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-                let out = run_mc(&mut ev, &grids.spec, &lm, &cfg.mc, &mut rng);
-                (out.modes, true)
+                let (out, evals) =
+                    run_mc_seeded(&em, &grids.spec, &lm, &cfg.mc, cfg.seed, cfg.threads);
+                (out.modes, true, evals)
             }
         };
-        phase.set_detail(|| format!("{} evals={}", engine.program_name(), ev.evals));
+        phase.set_detail(|| format!("{} evals={}", engine.program_name(), out.2));
         out
     };
 
@@ -248,7 +268,7 @@ pub fn dock_with_grids(
         })
         .collect();
 
-    cfg.telemetry.count("dock.evaluations", ev.evals);
+    cfg.telemetry.count("dock.evaluations", evaluations);
     Ok(DockResult {
         engine,
         receptor: receptor_name.to_string(),
@@ -256,7 +276,7 @@ pub fn dock_with_grids(
         feb: modes[0].feb,
         modes,
         best_coords,
-        evaluations: ev.evals,
+        evaluations,
         pocket_center: grids.spec.center,
         torsdof: lm.torsdof(),
         clusters,
@@ -285,16 +305,16 @@ pub fn refine_pose(
     start: &Pose,
     seed: u64,
     sw: &SolisWetsConfig,
-) -> Refinement {
+) -> Result<Refinement, DockError> {
     let lm = LigandModel::new(ligand);
-    let em = EnergyModel::new(grids, &lm);
+    let em = EnergyModel::new(grids, &lm)?;
     let mut ev = Evaluator::new(&em);
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x8ED0_C4E1);
     let e0 = ev.energy(start);
     let refined = solis_wets(&mut ev, ScoredPose { pose: start.clone(), energy: e0 }, sw, &mut rng);
     let coords = lm.coords(&refined.pose);
     let feb = em.free_energy_of_binding(&coords);
-    Refinement { pose: refined.pose, coords, feb, evaluations: ev.evals }
+    Ok(Refinement { pose: refined.pose, coords, feb, evaluations: ev.evals })
 }
 
 /// Dock one receptor–ligand pair end to end (pocket → grids → search).
@@ -430,6 +450,29 @@ mod tests {
         assert!(trace.contains("autodock4 evals="), "search detail carries eval count");
         // all four phases nest under the pair span
         assert_eq!(trace.matches("\"parent\":").count(), 4);
+    }
+
+    #[test]
+    fn dock_result_byte_identical_across_thread_counts() {
+        let (receptor, lig) = prepared_pair();
+        let base = fast_cfg();
+        for engine in [EngineKind::Ad4, EngineKind::Vina] {
+            let serial =
+                dock(&receptor, &lig, engine, &DockConfig { threads: 1, ..base.clone() }).unwrap();
+            for t in [2, 4, 0] {
+                let par = dock(&receptor, &lig, engine, &DockConfig { threads: t, ..base.clone() })
+                    .unwrap();
+                assert_eq!(serial.feb.to_bits(), par.feb.to_bits(), "feb threads={t}");
+                assert_eq!(serial.evaluations, par.evaluations, "evals threads={t}");
+                assert_eq!(serial.best_coords, par.best_coords, "coords threads={t}");
+                for (a, b) in serial.modes.iter().zip(&par.modes) {
+                    assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+                    assert_eq!(a.feb.to_bits(), b.feb.to_bits());
+                    assert_eq!(a.rmsd.to_bits(), b.rmsd.to_bits());
+                    assert_eq!(a.rmsd_lb.to_bits(), b.rmsd_lb.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

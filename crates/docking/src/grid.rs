@@ -55,6 +55,64 @@ impl GridSpec {
     pub fn is_empty(&self) -> bool {
         self.npts == 0
     }
+
+    /// Precompute the trilinear interpolation stencil for `p`.
+    ///
+    /// Every map sharing this spec can be sampled through the same stencil
+    /// ([`GridMap::sample`]), so the cell-base computation is paid once per
+    /// point instead of once per map. The arithmetic is identical to
+    /// [`GridMap::interpolate`] (which is implemented on top of this), so
+    /// sampling through a stencil is bit-identical to direct interpolation.
+    pub fn stencil(&self, p: Vec3) -> Stencil {
+        let o = self.origin();
+        let s = self.spacing;
+        let n = self.npts;
+        let gx = (p.x - o.x) / s;
+        let gy = (p.y - o.y) / s;
+        let gz = (p.z - o.z) / s;
+        if gx < 0.0 || gy < 0.0 || gz < 0.0 {
+            return Stencil::Outside;
+        }
+        let i0 = gx.floor() as usize;
+        let j0 = gy.floor() as usize;
+        let k0 = gz.floor() as usize;
+        if i0 + 1 >= n || j0 + 1 >= n || k0 + 1 >= n {
+            // on the upper face is fine only if exactly on the last point
+            if i0 + 1 == n && (gx - i0 as f64).abs() < 1e-9
+                || j0 + 1 == n && (gy - j0 as f64).abs() < 1e-9
+                || k0 + 1 == n && (gz - k0 as f64).abs() < 1e-9
+            {
+                return Stencil::Face(i0.min(n - 1), j0.min(n - 1), k0.min(n - 1));
+            }
+            return Stencil::Outside;
+        }
+        Stencil::Cell { i0, j0, k0, fx: gx - i0 as f64, fy: gy - j0 as f64, fz: gz - k0 as f64 }
+    }
+}
+
+/// A resolved interpolation location on a [`GridSpec`] lattice — the
+/// map-independent half of a trilinear interpolation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stencil {
+    /// The point is outside the box: sampling yields [`OUT_OF_BOX_PENALTY`].
+    Outside,
+    /// The point sits exactly on an upper-face lattice point.
+    Face(usize, usize, usize),
+    /// An interior cell with fractional offsets into it.
+    Cell {
+        /// Lower-corner lattice indices of the cell.
+        i0: usize,
+        /// See `i0`.
+        j0: usize,
+        /// See `i0`.
+        k0: usize,
+        /// Fractional offsets into the cell along each axis, in `[0, 1)`.
+        fx: f64,
+        /// See `fx`.
+        fy: f64,
+        /// See `fx`.
+        fz: f64,
+    },
 }
 
 /// One scalar field sampled on a [`GridSpec`] lattice.
@@ -74,6 +132,15 @@ impl GridMap {
     /// Allocate a zero-filled map.
     pub fn zeros(spec: GridSpec) -> GridMap {
         GridMap { spec, values: vec![0.0; spec.len()] }
+    }
+
+    /// Wrap a pre-filled value buffer (row-major, `spec.len()` entries).
+    ///
+    /// Used by the parallel grid builders, which fill per-slab chunks of a
+    /// plain buffer across threads and only then assemble the map.
+    pub fn from_values(spec: GridSpec, values: Vec<f64>) -> GridMap {
+        assert_eq!(values.len(), spec.len(), "value buffer does not match the lattice");
+        GridMap { spec, values }
     }
 
     /// Build a map by evaluating `f` at every lattice point.
@@ -111,49 +178,38 @@ impl GridMap {
     ///
     /// Points outside the box return [`OUT_OF_BOX_PENALTY`].
     pub fn interpolate(&self, p: Vec3) -> f64 {
-        let o = self.spec.origin();
-        let s = self.spec.spacing;
-        let n = self.spec.npts;
-        let gx = (p.x - o.x) / s;
-        let gy = (p.y - o.y) / s;
-        let gz = (p.z - o.z) / s;
-        if gx < 0.0 || gy < 0.0 || gz < 0.0 {
-            return OUT_OF_BOX_PENALTY;
-        }
-        let i0 = gx.floor() as usize;
-        let j0 = gy.floor() as usize;
-        let k0 = gz.floor() as usize;
-        if i0 + 1 >= n || j0 + 1 >= n || k0 + 1 >= n {
-            // on the upper face is fine only if exactly on the last point
-            if i0 + 1 == n && (gx - i0 as f64).abs() < 1e-9
-                || j0 + 1 == n && (gy - j0 as f64).abs() < 1e-9
-                || k0 + 1 == n && (gz - k0 as f64).abs() < 1e-9
-            {
-                let i = i0.min(n - 1);
-                let j = j0.min(n - 1);
-                let k = k0.min(n - 1);
-                return self.at(i, j, k);
+        self.sample(&self.spec.stencil(p))
+    }
+
+    /// Sample the map through a precomputed [`Stencil`].
+    ///
+    /// The stencil must come from this map's own spec (or an identical one).
+    /// `sample(&spec.stencil(p))` is bit-identical to `interpolate(p)`; the
+    /// split lets the energy loop evaluate several co-located maps while
+    /// computing the cell base and fractional weights only once.
+    #[inline]
+    pub fn sample(&self, st: &Stencil) -> f64 {
+        match *st {
+            Stencil::Outside => OUT_OF_BOX_PENALTY,
+            Stencil::Face(i, j, k) => self.at(i, j, k),
+            Stencil::Cell { i0, j0, k0, fx, fy, fz } => {
+                let c000 = self.at(i0, j0, k0);
+                let c100 = self.at(i0 + 1, j0, k0);
+                let c010 = self.at(i0, j0 + 1, k0);
+                let c110 = self.at(i0 + 1, j0 + 1, k0);
+                let c001 = self.at(i0, j0, k0 + 1);
+                let c101 = self.at(i0 + 1, j0, k0 + 1);
+                let c011 = self.at(i0, j0 + 1, k0 + 1);
+                let c111 = self.at(i0 + 1, j0 + 1, k0 + 1);
+                let c00 = c000 + (c100 - c000) * fx;
+                let c10 = c010 + (c110 - c010) * fx;
+                let c01 = c001 + (c101 - c001) * fx;
+                let c11 = c011 + (c111 - c011) * fx;
+                let c0 = c00 + (c10 - c00) * fy;
+                let c1 = c01 + (c11 - c01) * fy;
+                c0 + (c1 - c0) * fz
             }
-            return OUT_OF_BOX_PENALTY;
         }
-        let fx = gx - i0 as f64;
-        let fy = gy - j0 as f64;
-        let fz = gz - k0 as f64;
-        let c000 = self.at(i0, j0, k0);
-        let c100 = self.at(i0 + 1, j0, k0);
-        let c010 = self.at(i0, j0 + 1, k0);
-        let c110 = self.at(i0 + 1, j0 + 1, k0);
-        let c001 = self.at(i0, j0, k0 + 1);
-        let c101 = self.at(i0 + 1, j0, k0 + 1);
-        let c011 = self.at(i0, j0 + 1, k0 + 1);
-        let c111 = self.at(i0 + 1, j0 + 1, k0 + 1);
-        let c00 = c000 + (c100 - c000) * fx;
-        let c10 = c010 + (c110 - c010) * fx;
-        let c01 = c001 + (c101 - c001) * fx;
-        let c11 = c011 + (c111 - c011) * fx;
-        let c0 = c00 + (c10 - c00) * fy;
-        let c1 = c01 + (c11 - c01) * fy;
-        c0 + (c1 - c0) * fz
     }
 
     /// Minimum value over the lattice.

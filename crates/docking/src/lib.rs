@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod autogrid;
+pub mod celllist;
 pub mod cluster;
 pub mod conformation;
 pub mod dlg;

@@ -74,9 +74,8 @@ pub fn ad4_desolvation(
     }
     let ia = crate::params::type_index(ta);
     let ib = crate::params::type_index(tb);
-    const QSOLPAR: f64 = 0.01097;
-    let s_a = params.solpar[ia] + QSOLPAR * qa.abs();
-    let s_b = params.solpar[ib] + QSOLPAR * qb.abs();
+    let s_a = ad4_solvation_param(params, ta, qa);
+    let s_b = ad4_solvation_param(params, tb, qb);
     let g = (-r * r / (2.0 * DESOLV_SIGMA * DESOLV_SIGMA)).exp();
     params.w_desolv * (s_a * params.volume[ib] + s_b * params.volume[ia]) * g
 }
@@ -87,6 +86,50 @@ pub fn ad4_pair(params: &Ad4Params, ta: AdType, tb: AdType, qa: f64, qb: f64, r:
     ad4_vdw_hb(params, ta, tb, r)
         + ad4_electrostatic(params, qa, qb, r)
         + ad4_desolvation(params, ta, tb, qa, qb, r)
+}
+
+/// [`ad4_pair`] with every distance-independent quantity precomputed:
+/// `pp = params.pair(ta, tb)`, `qq = qa * qb`, and
+/// `dcoef = s_a·vol_b + s_b·vol_a` where `s = solpar + QSOLPAR·|q|`.
+///
+/// Bit-identical to `ad4_pair(params, ta, tb, qa, qb, r)` — the precomputed
+/// values are exactly the subexpressions the unfolded form evaluates, and
+/// the remaining operations run in the same order. The energy inner loop
+/// hoists the precomputation to [`EnergyModel::new`](crate::EnergyModel)
+/// so per-evaluation work is arithmetic only (no table walks).
+#[inline]
+pub fn ad4_pair_pre(
+    params: &Ad4Params,
+    pp: &crate::params::PairParams,
+    qq: f64,
+    dcoef: f64,
+    r: f64,
+) -> f64 {
+    if r >= CUTOFF {
+        return 0.0;
+    }
+    let rc = r.max(0.35);
+    let vdw = if pp.hbond {
+        let r10 = rc.powi(10);
+        params.w_hbond * (pp.hb_c / (r10 * rc * rc) - pp.hb_d / r10)
+    } else {
+        let r6 = rc.powi(6);
+        params.w_vdw * (pp.lj_a / (r6 * r6) - pp.lj_b / r6)
+    };
+    let elec = params.w_estat * COULOMB * qq / (dielectric(rc) * rc);
+    // the desolvation gaussian uses the *unclamped* distance, matching
+    // ad4_desolvation
+    let g = (-r * r / (2.0 * DESOLV_SIGMA * DESOLV_SIGMA)).exp();
+    vdw + elec + params.w_desolv * dcoef * g
+}
+
+/// The per-atom solvation parameter `s = solpar + QSOLPAR·|q|` used by the
+/// desolvation term (shared by [`ad4_desolvation`] and the precomputed
+/// paths).
+#[inline]
+pub fn ad4_solvation_param(params: &Ad4Params, t: AdType, q: f64) -> f64 {
+    const QSOLPAR: f64 = 0.01097;
+    params.solpar[crate::params::type_index(t)] + QSOLPAR * q.abs()
 }
 
 /// Vina pairwise energy at distance `r` (weighted sum of the five terms).
@@ -104,20 +147,50 @@ pub fn vina_pair(params: &VinaParams, ta: AdType, tb: AdType, r: f64) -> f64 {
     let repulsion = if d < 0.0 { d * d } else { 0.0 };
     let hydrophobic =
         if ta.is_hydrophobic() && tb.is_hydrophobic() { ramp(d, 0.5, 1.5) } else { 0.0 };
-    let hbond = if (ta.is_donor_h() && tb.is_acceptor())
-        || (tb.is_donor_h() && ta.is_acceptor())
-        // Vina (which drops hydrogens) treats donor/acceptor heavy pairs
-        || (ta.is_acceptor() && tb.is_acceptor())
-    {
-        ramp(d, -0.7, 0.0)
-    } else {
-        0.0
-    };
+    // Vina (which drops hydrogens) also treats acceptor/acceptor heavy pairs
+    let hbond = if vina_hbond_pair(ta, tb) { ramp(d, -0.7, 0.0) } else { 0.0 };
     params.w_gauss1 * gauss1
         + params.w_gauss2 * gauss2
         + params.w_repulsion * repulsion
         + params.w_hydrophobic * hydrophobic
         + params.w_hbond * hbond
+}
+
+/// [`vina_pair`] with the type-dependent parts precomputed:
+/// `rsum = vina_radius(ta) + vina_radius(tb)` plus the hydrophobic and
+/// H-bond pair eligibility flags. Bit-identical to the unfolded form.
+#[inline]
+pub fn vina_pair_pre(
+    params: &VinaParams,
+    rsum: f64,
+    hydrophobic: bool,
+    hbond: bool,
+    r: f64,
+) -> f64 {
+    if r >= CUTOFF {
+        return 0.0;
+    }
+    let d = r - rsum;
+    let gauss1 = (-(d / 0.5) * (d / 0.5)).exp();
+    let g2 = (d - 3.0) / 2.0;
+    let gauss2 = (-g2 * g2).exp();
+    let repulsion = if d < 0.0 { d * d } else { 0.0 };
+    let hydrophobic = if hydrophobic { ramp(d, 0.5, 1.5) } else { 0.0 };
+    let hbond = if hbond { ramp(d, -0.7, 0.0) } else { 0.0 };
+    params.w_gauss1 * gauss1
+        + params.w_gauss2 * gauss2
+        + params.w_repulsion * repulsion
+        + params.w_hydrophobic * hydrophobic
+        + params.w_hbond * hbond
+}
+
+/// Whether a (ligand-atom, ligand-atom) Vina pair is H-bond eligible —
+/// matches the condition inside [`vina_pair`].
+#[inline]
+pub fn vina_hbond_pair(ta: AdType, tb: AdType) -> bool {
+    (ta.is_donor_h() && tb.is_acceptor())
+        || (tb.is_donor_h() && ta.is_acceptor())
+        || (ta.is_acceptor() && tb.is_acceptor())
 }
 
 /// Linear ramp: 1 below `lo`, 0 above `hi`.
@@ -225,6 +298,41 @@ mod tests {
         assert_eq!(ramp(-1.0, 0.5, 1.5), 1.0);
         assert_eq!(ramp(2.0, 0.5, 1.5), 0.0);
         assert!((ramp(1.0, 0.5, 1.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precomputed_pair_functions_bit_identical() {
+        let p = Ad4Params::new();
+        let v = VinaParams::default();
+        let cases = [
+            (AdType::C, AdType::C, 0.1, -0.2),
+            (AdType::HD, AdType::OA, 0.25, -0.4),
+            (AdType::NA, AdType::A, -0.35, 0.0),
+        ];
+        for (ta, tb, qa, qb) in cases {
+            let pp = *p.pair(ta, tb);
+            let qq = qa * qb;
+            let ia = crate::params::type_index(ta);
+            let ib = crate::params::type_index(tb);
+            let dcoef = ad4_solvation_param(&p, ta, qa) * p.volume[ib]
+                + ad4_solvation_param(&p, tb, qb) * p.volume[ia];
+            let rsum = vina_radius(ta) + vina_radius(tb);
+            let hydro = ta.is_hydrophobic() && tb.is_hydrophobic();
+            let hb = vina_hbond_pair(ta, tb);
+            for k in 0..60 {
+                let r = 0.2 + k as f64 * 0.15;
+                assert_eq!(
+                    ad4_pair(&p, ta, tb, qa, qb, r),
+                    ad4_pair_pre(&p, &pp, qq, dcoef, r),
+                    "ad4 {ta:?}/{tb:?} at r={r}"
+                );
+                assert_eq!(
+                    vina_pair(&v, ta, tb, r),
+                    vina_pair_pre(&v, rsum, hydro, hb, r),
+                    "vina {ta:?}/{tb:?} at r={r}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -23,25 +23,40 @@ pub struct ScoredPose {
 }
 
 /// Shared evaluation context: counts energy evaluations.
+///
+/// The scratch coordinate buffer is reused across calls, so
+/// [`Evaluator::energy`] performs no allocation after the first call.
 pub struct Evaluator<'a> {
     /// The energy model being evaluated.
     pub model: &'a EnergyModel<'a>,
     /// Energy evaluations performed so far.
     pub evals: u64,
     scratch: Vec<Vec3>,
+    reference: bool,
 }
 
 impl<'a> Evaluator<'a> {
     /// Wrap an energy model with a zeroed evaluation counter.
     pub fn new(model: &'a EnergyModel<'a>) -> Evaluator<'a> {
-        Evaluator { model, evals: 0, scratch: Vec::new() }
+        Evaluator { model, evals: 0, scratch: Vec::new(), reference: false }
+    }
+
+    /// Like [`Evaluator::new`] but scoring through the naive
+    /// [`EnergyModel::total_reference`] path — used by `dock_bench` to time
+    /// the pre-optimization inner loop (the results are bit-identical).
+    pub fn new_reference(model: &'a EnergyModel<'a>) -> Evaluator<'a> {
+        Evaluator { model, evals: 0, scratch: Vec::new(), reference: true }
     }
 
     /// Energy of a pose (counts one evaluation).
     pub fn energy(&mut self, pose: &Pose) -> f64 {
         self.evals += 1;
         self.model.ligand.apply(pose, &mut self.scratch);
-        self.model.total(&self.scratch)
+        if self.reference {
+            self.model.total_reference(&self.scratch)
+        } else {
+            self.model.total(&self.scratch)
+        }
     }
 }
 
@@ -327,7 +342,44 @@ pub struct McOutcome {
     pub modes: Vec<ScoredPose>,
 }
 
-/// Run Vina-style Monte-Carlo iterated local search.
+/// One MC restart: random start, local refinement, then `steps` rounds of
+/// perturbation + refinement with Metropolis acceptance.
+pub fn mc_restart(
+    ev: &mut Evaluator<'_>,
+    spec: &GridSpec,
+    ligand: &LigandModel,
+    cfg: &McConfig,
+    rng: &mut ChaCha8Rng,
+) -> ScoredPose {
+    let n_tors = ligand.torsdof();
+    let pose = random_pose(spec, n_tors, rng);
+    let energy = ev.energy(&pose);
+    let mut current = solis_wets(ev, ScoredPose { pose, energy }, &cfg.solis_wets, rng);
+    let mut best = current.clone();
+    for _ in 0..cfg.steps {
+        // large perturbation then local refinement
+        let dim = 6 + n_tors;
+        let step: Vec<f64> = (0..dim).map(|_| gauss(rng) * 1.5).collect();
+        let cand_pose = apply_delta(&current.pose, &step);
+        let e = ev.energy(&cand_pose);
+        let cand = solis_wets(ev, ScoredPose { pose: cand_pose, energy: e }, &cfg.solis_wets, rng);
+        let accept = cand.energy < current.energy
+            || rng.gen_bool(
+                (-(cand.energy - current.energy) / cfg.temperature).exp().clamp(0.0, 1.0),
+            );
+        if accept {
+            current = cand;
+        }
+        if current.energy < best.energy {
+            best = current.clone();
+        }
+    }
+    best
+}
+
+/// Run Vina-style Monte-Carlo iterated local search with one shared RNG
+/// stream across restarts (the serial legacy entry point; see
+/// [`run_mc_seeded`] for the per-restart-seeded parallel driver).
 pub fn run_mc(
     ev: &mut Evaluator<'_>,
     spec: &GridSpec,
@@ -335,37 +387,121 @@ pub fn run_mc(
     cfg: &McConfig,
     rng: &mut ChaCha8Rng,
 ) -> McOutcome {
-    let n_tors = ligand.torsdof();
     let mut modes: Vec<ScoredPose> = Vec::with_capacity(cfg.restarts);
-
     for _ in 0..cfg.restarts {
-        let pose = random_pose(spec, n_tors, rng);
-        let energy = ev.energy(&pose);
-        let mut current = solis_wets(ev, ScoredPose { pose, energy }, &cfg.solis_wets, rng);
-        let mut best = current.clone();
-        for _ in 0..cfg.steps {
-            // large perturbation then local refinement
-            let dim = 6 + n_tors;
-            let step: Vec<f64> = (0..dim).map(|_| gauss(rng) * 1.5).collect();
-            let cand_pose = apply_delta(&current.pose, &step);
-            let e = ev.energy(&cand_pose);
-            let cand =
-                solis_wets(ev, ScoredPose { pose: cand_pose, energy: e }, &cfg.solis_wets, rng);
-            let accept = cand.energy < current.energy
-                || rng.gen_bool(
-                    (-(cand.energy - current.energy) / cfg.temperature).exp().clamp(0.0, 1.0),
-                );
-            if accept {
-                current = cand;
-            }
-            if current.energy < best.energy {
-                best = current.clone();
-            }
-        }
-        modes.push(best);
+        modes.push(mc_restart(ev, spec, ligand, cfg, rng));
     }
     modes.sort_by(|a, b| a.energy.total_cmp(&b.energy));
     McOutcome { best: modes[0].clone(), modes }
+}
+
+/// Round-robin a set of independently seeded work items across `threads`
+/// scoped threads and return the results in item order plus the summed
+/// evaluation count.
+///
+/// Each item `i` gets its own `ChaCha8Rng::seed_from_u64(seed + i)` stream
+/// and its own [`Evaluator`], so the output is **byte-identical regardless
+/// of thread count**: no RNG state and no evaluation counter is shared
+/// between items, and results are merged back by index.
+fn run_indexed<F>(
+    em: &EnergyModel<'_>,
+    seed: u64,
+    n: usize,
+    threads: usize,
+    f: F,
+) -> (Vec<ScoredPose>, u64)
+where
+    F: Fn(&mut Evaluator<'_>, &mut ChaCha8Rng) -> ScoredPose + Sync,
+{
+    use rand::SeedableRng;
+    let t = crate::autogrid::effective_threads(threads).min(n).max(1);
+    let one = |i: usize| {
+        let mut ev = Evaluator::new(em);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+        let sp = f(&mut ev, &mut rng);
+        (sp, ev.evals)
+    };
+    if t <= 1 {
+        let mut out = Vec::with_capacity(n);
+        let mut evals = 0u64;
+        for i in 0..n {
+            let (sp, e) = one(i);
+            out.push(sp);
+            evals += e;
+        }
+        return (out, evals);
+    }
+    let mut slots: Vec<Option<(ScoredPose, u64)>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let one = &one;
+        let handles: Vec<_> = (0..t)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut i = w;
+                    while i < n {
+                        local.push((i, one(i)));
+                        i += t;
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("search worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    let mut evals = 0u64;
+    for slot in slots {
+        let (sp, e) = slot.expect("every work item completed");
+        out.push(sp);
+        evals += e;
+    }
+    (out, evals)
+}
+
+/// Run `runs` independent LGA runs, fanned across `threads` threads
+/// (`0` = one per core), each seeded `seed + i`.
+///
+/// Returns the per-run best poses **in run order** (unsorted) plus the total
+/// evaluation count. Serial and threaded execution produce byte-identical
+/// results: run `i`'s RNG stream depends only on `seed + i`, and the shared
+/// evaluation counter of the legacy serial loop carried no feedback into the
+/// search.
+pub fn run_lga_seeded(
+    em: &EnergyModel<'_>,
+    spec: &GridSpec,
+    ligand: &LigandModel,
+    cfg: &LgaConfig,
+    seed: u64,
+    runs: usize,
+    threads: usize,
+) -> (Vec<ScoredPose>, u64) {
+    run_indexed(em, seed, runs, threads, |ev, rng| run_lga(ev, spec, ligand, cfg, rng))
+}
+
+/// Run `cfg.restarts` MC restarts, fanned across `threads` threads
+/// (`0` = one per core), restart `r` seeded `seed + r`.
+///
+/// Unlike [`run_mc`] (one RNG stream threaded through all restarts), each
+/// restart owns an independent ChaCha8 stream, which is what makes the fan
+/// deterministic and byte-identical for any thread count.
+pub fn run_mc_seeded(
+    em: &EnergyModel<'_>,
+    spec: &GridSpec,
+    ligand: &LigandModel,
+    cfg: &McConfig,
+    seed: u64,
+    threads: usize,
+) -> (McOutcome, u64) {
+    let (mut modes, evals) = run_indexed(em, seed, cfg.restarts, threads, |ev, rng| {
+        mc_restart(ev, spec, ligand, cfg, rng)
+    });
+    modes.sort_by(|a, b| a.energy.total_cmp(&b.energy));
+    (McOutcome { best: modes[0].clone(), modes }, evals)
 }
 
 #[cfg(test)]
@@ -452,7 +588,7 @@ mod tests {
         let lig = ligand();
         let lm = crate::conformation::LigandModel::new(&lig);
         let g = build_ad4_grids(&r, spec(), &lig.mol.ad_types(), &Ad4Params::new());
-        let em = crate::energy::EnergyModel::new(&g, &lm);
+        let em = crate::energy::EnergyModel::new(&g, &lm).unwrap();
         let mut ev = Evaluator::new(&em);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let start_pose = Pose::at(Vec3::new(0.0, 1.0, 2.0), lm.torsdof());
@@ -473,7 +609,7 @@ mod tests {
         let lig = ligand();
         let lm = crate::conformation::LigandModel::new(&lig);
         let g = build_ad4_grids(&r, spec(), &lig.mol.ad_types(), &Ad4Params::new());
-        let em = crate::energy::EnergyModel::new(&g, &lm);
+        let em = crate::energy::EnergyModel::new(&g, &lm).unwrap();
         let mut ev = Evaluator::new(&em);
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let cfg = LgaConfig { population: 10, generations: 8, ..Default::default() };
@@ -491,7 +627,7 @@ mod tests {
         let lig = ligand();
         let lm = crate::conformation::LigandModel::new(&lig);
         let g = build_ad4_grids(&r, spec(), &lig.mol.ad_types(), &Ad4Params::new());
-        let em = crate::energy::EnergyModel::new(&g, &lm);
+        let em = crate::energy::EnergyModel::new(&g, &lm).unwrap();
         let cfg = LgaConfig { population: 8, generations: 5, ..Default::default() };
         let run = |seed| {
             let mut ev = Evaluator::new(&em);
@@ -511,7 +647,7 @@ mod tests {
         let lig = ligand();
         let lm = crate::conformation::LigandModel::new(&lig);
         let g = build_vina_grids(&r, spec(), &lig.mol.ad_types(), &VinaParams::default());
-        let em = crate::energy::EnergyModel::new(&g, &lm);
+        let em = crate::energy::EnergyModel::new(&g, &lm).unwrap();
         let mut ev = Evaluator::new(&em);
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let cfg = McConfig { restarts: 4, steps: 5, ..Default::default() };
@@ -524,12 +660,51 @@ mod tests {
     }
 
     #[test]
+    fn seeded_lga_byte_identical_across_thread_counts() {
+        let r = receptor();
+        let lig = ligand();
+        let lm = crate::conformation::LigandModel::new(&lig);
+        let g = build_ad4_grids(&r, spec(), &lig.mol.ad_types(), &Ad4Params::new());
+        let em = crate::energy::EnergyModel::new(&g, &lm).unwrap();
+        let cfg = LgaConfig { population: 6, generations: 3, ..Default::default() };
+        let (serial, evals) = run_lga_seeded(&em, &spec(), &lm, &cfg, 11, 5, 1);
+        for t in [2, 3, 4, 8] {
+            let (par, par_evals) = run_lga_seeded(&em, &spec(), &lm, &cfg, 11, 5, t);
+            assert_eq!(evals, par_evals, "eval count at threads={t}");
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.energy.to_bits(), b.energy.to_bits(), "energy at threads={t}");
+                assert_eq!(a.pose, b.pose, "pose at threads={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_mc_byte_identical_across_thread_counts() {
+        let r = receptor();
+        let lig = ligand();
+        let lm = crate::conformation::LigandModel::new(&lig);
+        let g = build_vina_grids(&r, spec(), &lig.mol.ad_types(), &VinaParams::default());
+        let em = crate::energy::EnergyModel::new(&g, &lm).unwrap();
+        let cfg = McConfig { restarts: 4, steps: 3, ..Default::default() };
+        let (serial, evals) = run_mc_seeded(&em, &spec(), &lm, &cfg, 23, 1);
+        for t in [2, 4] {
+            let (par, par_evals) = run_mc_seeded(&em, &spec(), &lm, &cfg, 23, t);
+            assert_eq!(evals, par_evals);
+            assert_eq!(serial.best.energy.to_bits(), par.best.energy.to_bits());
+            for (a, b) in serial.modes.iter().zip(&par.modes) {
+                assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+                assert_eq!(a.pose, b.pose);
+            }
+        }
+    }
+
+    #[test]
     fn evaluation_counter_monotonic() {
         let r = receptor();
         let lig = ligand();
         let lm = crate::conformation::LigandModel::new(&lig);
         let g = build_vina_grids(&r, spec(), &lig.mol.ad_types(), &VinaParams::default());
-        let em = crate::energy::EnergyModel::new(&g, &lm);
+        let em = crate::energy::EnergyModel::new(&g, &lm).unwrap();
         let mut ev = Evaluator::new(&em);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let cfg = McConfig { restarts: 2, steps: 3, ..Default::default() };

@@ -1,0 +1,168 @@
+//! Property-based tests for the fast docking kernels: the cell-list grid
+//! build, the allocation-free energy loop, and the deterministic parallel
+//! search drivers must be *bit-identical* to their retained naive
+//! references over randomized receptors, ligands, lattices, and seeds.
+
+use proptest::prelude::*;
+
+use docking::autogrid::{
+    build_ad4_grids, build_ad4_grids_threads, build_vina_grids, build_vina_grids_threads,
+    reference, GridSet,
+};
+use docking::conformation::LigandModel;
+use docking::energy::EnergyModel;
+use docking::grid::GridSpec;
+use docking::params::{Ad4Params, VinaParams};
+use docking::search::{
+    random_pose, run_lga_seeded, run_mc_seeded, Evaluator, LgaConfig, McConfig, ScoredPose,
+};
+use molkit::formats::pdbqt::PdbqtLigand;
+use molkit::synth::{generate_ligand, generate_receptor, LigandParams, ReceptorParams};
+use molkit::typer::{assign_ad_types, merge_nonpolar_hydrogens};
+use molkit::Molecule;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn prepared_receptor(name: &str) -> Molecule {
+    let mut r = generate_receptor(
+        name,
+        &ReceptorParams { min_residues: 20, max_residues: 35, hg_fraction: 0.0 },
+    );
+    assign_ad_types(&mut r);
+    molkit::charges::assign_gasteiger(&mut r, &Default::default());
+    r
+}
+
+fn prepared_ligand(name: &str) -> PdbqtLigand {
+    let mut l =
+        generate_ligand(name, &LigandParams { min_heavy: 8, max_heavy: 14, hang_fraction: 0.0 });
+    assign_ad_types(&mut l);
+    molkit::charges::assign_gasteiger(&mut l, &Default::default());
+    merge_nonpolar_hydrogens(&mut l);
+    let tree = molkit::torsion::build_torsion_tree(&l);
+    PdbqtLigand { mol: l, tree }
+}
+
+fn grids_bits_equal(a: &GridSet, b: &GridSet) -> bool {
+    a.affinity.len() == b.affinity.len()
+        && a.affinity.iter().all(|(t, ma)| ma.values() == b.affinity[t].values())
+        && match (&a.electrostatic, &b.electrostatic) {
+            (Some(x), Some(y)) => x.values() == y.values(),
+            (None, None) => true,
+            _ => false,
+        }
+        && match (&a.desolvation, &b.desolvation) {
+            (Some(x), Some(y)) => x.values() == y.values(),
+            (None, None) => true,
+            _ => false,
+        }
+}
+
+fn poses_bits_equal(lm: &LigandModel, a: &[ScoredPose], b: &[ScoredPose]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.energy.to_bits() == y.energy.to_bits()
+                && lm
+                    .coords(&x.pose)
+                    .iter()
+                    .zip(&lm.coords(&y.pose))
+                    .all(|(p, q)| p.x == q.x && p.y == q.y && p.z == q.z)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn cell_list_ad4_grids_match_naive_exactly(name in "[A-Z0-9]{3}",
+                                               spacing in 1.0..1.6f64,
+                                               edge in 10.0..16.0f64,
+                                               threads in 1..5usize) {
+        let receptor = prepared_receptor(&name);
+        let spec = GridSpec::with_edge(receptor.centroid(), edge, spacing);
+        let types = [molkit::AdType::C, molkit::AdType::OA, molkit::AdType::HD];
+        let p = Ad4Params::new();
+        let naive = reference::build_ad4_grids(&receptor, spec, &types, &p);
+        prop_assert!(grids_bits_equal(&naive, &build_ad4_grids(&receptor, spec, &types, &p)),
+                     "serial cell list diverged");
+        prop_assert!(
+            grids_bits_equal(&naive, &build_ad4_grids_threads(&receptor, spec, &types, &p, threads)),
+            "threaded ({threads}) cell list diverged");
+    }
+
+    #[test]
+    fn cell_list_vina_grids_match_naive_exactly(name in "[A-Z0-9]{3}",
+                                                spacing in 1.0..1.6f64,
+                                                edge in 10.0..16.0f64,
+                                                threads in 1..5usize) {
+        let receptor = prepared_receptor(&name);
+        let spec = GridSpec::with_edge(receptor.centroid(), edge, spacing);
+        let types = [molkit::AdType::C, molkit::AdType::NA, molkit::AdType::HD];
+        let p = VinaParams::default();
+        let naive = reference::build_vina_grids(&receptor, spec, &types, &p);
+        prop_assert!(grids_bits_equal(&naive, &build_vina_grids(&receptor, spec, &types, &p)),
+                     "serial cell list diverged");
+        prop_assert!(
+            grids_bits_equal(&naive, &build_vina_grids_threads(&receptor, spec, &types, &p, threads)),
+            "threaded ({threads}) cell list diverged");
+    }
+
+    #[test]
+    fn optimized_energy_matches_reference(rname in "[A-Z0-9]{3}",
+                                          lname in "[A-Z0-9]{3}",
+                                          seed in 0..10_000u64) {
+        let receptor = prepared_receptor(&rname);
+        let lig = prepared_ligand(&lname);
+        let lm = LigandModel::new(&lig);
+        let spec = GridSpec::with_edge(receptor.centroid(), 14.0, 1.25);
+        let grids = build_ad4_grids(&receptor, spec, &lig.mol.ad_types(), &Ad4Params::new());
+        let em = EnergyModel::new(&grids, &lm).unwrap();
+        let mut fast = Evaluator::new(&em);
+        let mut refr = Evaluator::new_reference(&em);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..12 {
+            let pose = random_pose(&spec, lm.torsdof(), &mut rng);
+            prop_assert_eq!(fast.energy(&pose).to_bits(), refr.energy(&pose).to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_lga_byte_identical_to_serial(rname in "[A-Z0-9]{3}",
+                                             lname in "[A-Z0-9]{3}",
+                                             seed in 0..10_000u64) {
+        let receptor = prepared_receptor(&rname);
+        let lig = prepared_ligand(&lname);
+        let lm = LigandModel::new(&lig);
+        let spec = GridSpec::with_edge(receptor.centroid(), 14.0, 1.25);
+        let grids = build_ad4_grids(&receptor, spec, &lig.mol.ad_types(), &Ad4Params::new());
+        let em = EnergyModel::new(&grids, &lm).unwrap();
+        let cfg = LgaConfig { population: 6, generations: 3, ..Default::default() };
+        let (serial, ev1) = run_lga_seeded(&em, &spec, &lm, &cfg, seed, 3, 1);
+        for threads in [2usize, 4] {
+            let (fanned, evn) = run_lga_seeded(&em, &spec, &lm, &cfg, seed, 3, threads);
+            prop_assert!(poses_bits_equal(&lm, &serial, &fanned),
+                         "LGA diverged at {threads} threads");
+            prop_assert_eq!(ev1, evn);
+        }
+    }
+
+    #[test]
+    fn parallel_mc_byte_identical_to_serial(rname in "[A-Z0-9]{3}",
+                                            lname in "[A-Z0-9]{3}",
+                                            seed in 0..10_000u64) {
+        let receptor = prepared_receptor(&rname);
+        let lig = prepared_ligand(&lname);
+        let lm = LigandModel::new(&lig);
+        let spec = GridSpec::with_edge(receptor.centroid(), 14.0, 1.25);
+        let grids = build_vina_grids(&receptor, spec, &lig.mol.ad_types(), &VinaParams::default());
+        let em = EnergyModel::new(&grids, &lm).unwrap();
+        let cfg = McConfig { restarts: 3, steps: 2, ..Default::default() };
+        let (serial, ev1) = run_mc_seeded(&em, &spec, &lm, &cfg, seed, 1);
+        for threads in [2usize, 4] {
+            let (fanned, evn) = run_mc_seeded(&em, &spec, &lm, &cfg, seed, threads);
+            prop_assert!(poses_bits_equal(&lm, &serial.modes, &fanned.modes),
+                         "MC diverged at {threads} threads");
+            prop_assert_eq!(ev1, evn);
+        }
+    }
+}
