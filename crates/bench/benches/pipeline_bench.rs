@@ -58,7 +58,7 @@ fn input() -> Relation {
 
 fn run(mode: DispatchMode) {
     let wf = straggler_workflow();
-    let cfg = LocalConfig { threads: 4, mode, ..Default::default() };
+    let cfg = LocalConfig::new().with_threads(4).with_mode(mode);
     let report =
         run_local(&wf, input(), Arc::new(FileStore::new()), Arc::new(ProvenanceStore::new()), &cfg)
             .expect("valid workflow");

@@ -1,0 +1,107 @@
+//! `dist_bench` — measures the distributed backend against itself and
+//! drills its crash recovery, with real `scidock-worker` OS processes.
+//!
+//! Three stages:
+//!
+//! 1. a CPU-bound spin workload on 1 worker vs 2 workers (the multi-process
+//!    speedup the backend exists to provide),
+//! 2. a SIGKILL fault drill: worker 0 is killed upon its first activation
+//!    and the run must still complete with exactly one reassignment,
+//! 3. a JSON sidecar (`target/dist_bench.json`) so bench trajectories can
+//!    be diffed across PRs.
+//!
+//! `--smoke` additionally asserts the 2-worker speedup is ≥ 1.5× — only on
+//! hosts with ≥ 4 cores, because two spinning worker processes cannot beat
+//! one on a starved machine.
+
+use std::sync::Arc;
+use std::thread::available_parallelism;
+
+use cumulus::distbackend::{run_dist, DistConfig, KillPlan};
+use cumulus::workflow::FileStore;
+use cumulus::RunReport;
+use provenance::ProvenanceStore;
+use scidock_bench::distspec;
+use scidock_bench::sidecar::Sidecar;
+
+const SPIN_SPEC: &str = "unit:spin:8:150";
+const FAULT_SPEC: &str = "unit:sleep:6:50";
+
+fn worker_bin() -> String {
+    let exe = std::env::current_exe().expect("own path");
+    let bin = exe.parent().expect("bin dir").join("scidock-worker");
+    if !bin.exists() {
+        eprintln!(
+            "dist_bench: worker binary missing at {} (build it with \
+             `cargo build --release -p scidock-bench --bin scidock-worker`)",
+            bin.display()
+        );
+        std::process::exit(2);
+    }
+    bin.to_string_lossy().into_owned()
+}
+
+fn run(spec: &str, workers: usize, kill: Option<KillPlan>) -> RunReport {
+    let files = Arc::new(FileStore::new());
+    let prov = Arc::new(ProvenanceStore::new());
+    let def = distspec::resolve_with(spec, &files).expect("known spec");
+    let input = distspec::prepare(spec, &files).expect("known spec");
+    let mut cfg = DistConfig::new()
+        .with_workers(workers)
+        .with_worker_command(worker_bin(), Vec::new())
+        .with_spec(spec)
+        .with_max_in_flight(1);
+    if let Some(plan) = kill {
+        cfg = cfg.with_kill_plan(plan);
+    }
+    run_dist(&def, input, files, prov, &cfg).expect("distributed run")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cores = available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut sidecar = Sidecar::new();
+
+    println!("== dist_bench: {SPIN_SPEC} over scidock-worker processes ==");
+    let one = run(SPIN_SPEC, 1, None);
+    println!("  1 worker : {:>7.3}s  ({} activations)", one.total_seconds, one.finished);
+    let two = run(SPIN_SPEC, 2, None);
+    println!("  2 workers: {:>7.3}s  ({} activations)", two.total_seconds, two.finished);
+    let speedup = one.total_seconds / two.total_seconds.max(1e-9);
+    println!("  speedup  : {speedup:>7.2}x  on {cores} cores");
+    assert_eq!(one.finished, 8);
+    assert_eq!(two.finished, 8);
+    sidecar.push("spin_1worker_s", format!("{:.4}", one.total_seconds));
+    sidecar.push("spin_2workers_s", format!("{:.4}", two.total_seconds));
+    sidecar.push("speedup", format!("{speedup:.3}"));
+    sidecar.push("cores", format!("{cores}"));
+
+    println!("== fault drill: SIGKILL worker 0 on its first activation ==");
+    let faulted = run(FAULT_SPEC, 2, Some(KillPlan { worker: 0, after_runs: 1 }));
+    println!(
+        "  finished={} failed_attempts={} blacklisted={} in {:.3}s",
+        faulted.finished, faulted.failed_attempts, faulted.blacklisted, faulted.total_seconds
+    );
+    assert_eq!(faulted.finished, 6, "every activation must complete despite the crash");
+    assert_eq!(faulted.failed_attempts, 1, "exactly the activation lost with the worker");
+    assert_eq!(faulted.blacklisted, 0);
+    sidecar.push("fault_finished", format!("{}", faulted.finished));
+    sidecar.push("fault_failed_attempts", format!("{}", faulted.failed_attempts));
+    sidecar.push("fault_total_s", format!("{:.4}", faulted.total_seconds));
+
+    if smoke {
+        if cores >= 4 {
+            assert!(
+                speedup >= 1.5,
+                "2-worker speedup {speedup:.2}x below the 1.5x floor on {cores} cores"
+            );
+            println!("smoke: speedup floor met ({speedup:.2}x >= 1.5x)");
+        } else {
+            println!("smoke: speedup floor skipped ({cores} cores < 4)");
+        }
+    }
+
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/dist_bench.json", sidecar.to_json()).expect("write sidecar");
+    println!("sidecar written to target/dist_bench.json");
+}

@@ -80,7 +80,10 @@ fn main() {
         }
         _ => None,
     };
-    let cfg = LocalConfig { threads: 2, resume_from, ..Default::default() };
+    let mut cfg = LocalConfig::new().with_threads(2);
+    if let Some(prior) = resume_from {
+        cfg = cfg.with_resume_from(prior);
+    }
     let report =
         run_local(&wf, input(), Arc::new(FileStore::new()), Arc::clone(&prov), &cfg).unwrap();
 

@@ -125,14 +125,12 @@ fn main() {
     );
 
     // warm-up: first run pays thread-spawn and page-fault costs
-    run_once(&LocalConfig { mode: DispatchMode::Pipelined, ..Default::default() });
+    run_once(&LocalConfig::new().with_mode(DispatchMode::Pipelined));
 
     // best of three batches: keep the batch whose median saw the least
     // ambient interference
     let batches: Vec<(f64, f64, f64)> = (0..3)
-        .map(|_| {
-            measure(samples, || LocalConfig { mode: DispatchMode::Pipelined, ..Default::default() })
-        })
+        .map(|_| measure(samples, || LocalConfig::new().with_mode(DispatchMode::Pipelined)))
         .collect();
     let (dis_min, dis_med, dis_mean) =
         *batches.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("three batches");
@@ -141,21 +139,19 @@ fn main() {
         "telemetry disabled", dis_min, dis_med, dis_mean
     );
 
-    let (att_min, att_med, att_mean) = measure(samples.min(5), || LocalConfig {
-        mode: DispatchMode::Pipelined,
-        telemetry: Telemetry::attached(),
-        ..Default::default()
+    let (att_min, att_med, att_mean) = measure(samples.min(5), || {
+        LocalConfig::new().with_mode(DispatchMode::Pipelined).with_telemetry(Telemetry::attached())
     });
     println!(
         "{:<22} | {:>9.3} | {:>9.3} | {:>9.3}",
         "telemetry attached", att_min, att_med, att_mean
     );
 
-    let (st_min, st_med, st_mean) = measure(samples.min(5), || LocalConfig {
-        mode: DispatchMode::Pipelined,
-        telemetry: Telemetry::attached(),
-        steering_tick: Some(Duration::from_millis(10)),
-        ..Default::default()
+    let (st_min, st_med, st_mean) = measure(samples.min(5), || {
+        LocalConfig::new()
+            .with_mode(DispatchMode::Pipelined)
+            .with_telemetry(Telemetry::attached())
+            .with_steering_tick(Duration::from_millis(10))
     });
     println!(
         "{:<22} | {:>9.3} | {:>9.3} | {:>9.3}",
@@ -165,12 +161,10 @@ fn main() {
     if !smoke {
         // demonstrate the full observability path once: snapshot + Chrome trace
         let tel = Telemetry::attached();
-        let cfg = LocalConfig {
-            mode: DispatchMode::Pipelined,
-            telemetry: tel.clone(),
-            steering_tick: Some(Duration::from_millis(10)),
-            ..Default::default()
-        };
+        let cfg = LocalConfig::new()
+            .with_mode(DispatchMode::Pipelined)
+            .with_telemetry(tel.clone())
+            .with_steering_tick(Duration::from_millis(10));
         run_once(&cfg);
         let snap = tel.snapshot().expect("collector attached");
         println!();

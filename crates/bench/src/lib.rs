@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod distspec;
+
 /// Machine-readable JSON sidecar for the `figures` binary: each figure or
 /// table pushes its series as a pre-rendered JSON value under a key, and the
 /// whole collection is written as one object so bench trajectories can be

@@ -316,16 +316,16 @@ pub fn build_scidock(mode: EngineMode, cfg: &SciDockConfig, files: Arc<FileStore
         let rec_text = ctx.read_file(&rec_path)?;
         let grids = cache5.get_or_build(&receptor, &rec_text, EngineKind::Ad4, &cfg5.dock)?;
         // AutoGrid's outputs: one .map file per type + e/d maps, in the real
-        // AutoGrid format. Maps are per-receptor, so ligands after the first
-        // reuse the files already staged (like a real screening campaign
-        // sharing a map directory).
-        let gpf_name = format!("{ligand}_{receptor}.gpf");
+        // AutoGrid format. Maps are per-receptor and byte-identical for every
+        // ligand (the header names the receptor's .gpf, not the pair's), so
+        // every activation (re)stages the shared set idempotently and records
+        // it — skipping files another activation already staged would make
+        // the recorded producer a scheduling artifact, and provenance must
+        // not depend on activation order.
+        let gpf_name = format!("{receptor}.gpf");
         let map_dir = format!("{}/maps", cfg5.expdir.trim_end_matches('/'));
         for name in grids.map_file_names(&receptor) {
             let path = format!("{map_dir}/{name}");
-            if ctx.files.exists(&path) {
-                continue;
-            }
             let map_key = name
                 .trim_start_matches(&format!("{receptor}."))
                 .trim_end_matches(".map")
@@ -790,7 +790,7 @@ mod tests {
             input,
             Arc::clone(&files),
             Arc::clone(&prov),
-            &LocalConfig { threads: 2, ..Default::default() },
+            &LocalConfig::new().with_threads(2),
         )
         .unwrap();
         assert_eq!(report.final_output().len(), 2, "both pairs docked");
@@ -813,14 +813,9 @@ mod tests {
         let cfg = fast_cfg();
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::VinaOnly, &cfg, Arc::clone(&files));
-        let report = run_local(
-            &wf,
-            input,
-            Arc::clone(&files),
-            prov,
-            &LocalConfig { threads: 2, ..Default::default() },
-        )
-        .unwrap();
+        let report =
+            run_local(&wf, input, Arc::clone(&files), prov, &LocalConfig::new().with_threads(2))
+                .unwrap();
         assert_eq!(report.final_output().len(), 2);
         // Vina writes the docked pose pdbqt
         let outs = files.list(&format!("{}/vina", cfg.expdir));
@@ -855,14 +850,9 @@ mod tests {
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::Adaptive, &cfg, Arc::clone(&files));
         assert_eq!(wf.activities.len(), 10);
-        let report = run_local(
-            &wf,
-            input,
-            files,
-            Arc::clone(&prov),
-            &LocalConfig { threads: 2, ..Default::default() },
-        )
-        .unwrap();
+        let report =
+            run_local(&wf, input, files, Arc::clone(&prov), &LocalConfig::new().with_threads(2))
+                .unwrap();
         // outputs: activity index 8 = autodock4, 9 = vina
         let ad4_out = &report.outputs[8];
         let vina_out = &report.outputs[9];
@@ -890,7 +880,7 @@ mod tests {
             input,
             files,
             Arc::new(ProvenanceStore::new()),
-            &LocalConfig { threads: 2, ..Default::default() },
+            &LocalConfig::new().with_threads(2),
         )
         .unwrap();
         assert_eq!(report.final_output().len(), 2, "one receptor, two ligands");
@@ -918,7 +908,7 @@ mod tests {
             input,
             files,
             Arc::new(ProvenanceStore::new()),
-            &LocalConfig { threads: 1, ..Default::default() },
+            &LocalConfig::new().with_threads(1),
         )
         .unwrap();
         assert_eq!(report.final_output().len(), 2);
@@ -951,14 +941,9 @@ mod tests {
         cfg.hg_rule = true;
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::Ad4Only, &cfg, Arc::clone(&files));
-        let report = run_local(
-            &wf,
-            input,
-            files,
-            Arc::clone(&prov),
-            &LocalConfig { threads: 2, ..Default::default() },
-        )
-        .unwrap();
+        let report =
+            run_local(&wf, input, files, Arc::clone(&prov), &LocalConfig::new().with_threads(2))
+                .unwrap();
         assert_eq!(report.blacklisted, 1);
         let r =
             prov.query("SELECT count(*) FROM hactivation WHERE status = 'BLACKLISTED'").unwrap();
@@ -1014,7 +999,7 @@ mod tests {
             input,
             Arc::clone(&files),
             Arc::clone(&prov),
-            &LocalConfig { threads: 2, ..Default::default() },
+            &LocalConfig::new().with_threads(2),
         )
         .unwrap();
         let ranked = report.final_output();

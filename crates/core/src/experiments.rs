@@ -70,14 +70,11 @@ pub fn run_screening_dispatched(
         input,
         Arc::clone(&files),
         Arc::clone(&prov),
-        &LocalConfig {
-            threads,
-            failures: FailureModel::none(),
-            max_retries: 3,
-            resume_from: None,
-            mode: dispatch,
-            ..Default::default()
-        },
+        &LocalConfig::new()
+            .with_threads(threads)
+            .with_failures(FailureModel::none())
+            .with_max_retries(3)
+            .with_mode(dispatch),
     )
     .expect("workflow validated");
     let mut results = Vec::new();
@@ -172,29 +169,31 @@ pub fn simulate_at(
     let codes: Vec<&str> = sweep.ligand_codes.iter().map(|s| s.as_str()).collect();
     let ds = Dataset::subset(&ids, &codes, DatasetParams::default());
     let tasks = build_sim_tasks(&ds, mode, &CostModel::default());
-    let cfg = SimConfig {
-        seed: sweep.seed,
-        fleet: fleet_for_cores(cores),
-        noise: sweep.noise,
-        failures: sweep.failures,
-        max_retries: 3,
-        hang_timeout_factor: 10.0,
-        sharedfs: sweep.sharedfs,
-        policy: sweep.policy,
-        master: sweep.master,
-        elasticity: sweep.elasticity,
-        hg_rule: sweep.hg_rule,
-        workflow_tag: match mode {
-            EngineMode::Ad4Only => "SciDock-AD4".to_string(),
-            EngineMode::VinaOnly => "SciDock-Vina".to_string(),
-            EngineMode::Adaptive => "SciDock".to_string(),
-        },
-        activity_tags: SIM_ACTIVITY_TAGS.iter().map(|s| s.to_string()).collect(),
-        weight_profile: sweep.weight_profile.as_ref().map(|prof| {
-            SIM_ACTIVITY_TAGS.iter().map(|tag| prof.get(*tag).copied().unwrap_or(1.0)).collect()
-        }),
-        ..Default::default()
-    };
+    let mut cfg = SimConfig::new()
+        .with_seed(sweep.seed)
+        .with_fleet(fleet_for_cores(cores))
+        .with_noise(sweep.noise)
+        .with_failures(sweep.failures)
+        .with_max_retries(3)
+        .with_hang_timeout_factor(10.0)
+        .with_sharedfs(sweep.sharedfs)
+        .with_policy(sweep.policy)
+        .with_master(sweep.master)
+        .with_hg_rule(sweep.hg_rule)
+        .with_workflow_tag(match mode {
+            EngineMode::Ad4Only => "SciDock-AD4",
+            EngineMode::VinaOnly => "SciDock-Vina",
+            EngineMode::Adaptive => "SciDock",
+        })
+        .with_activity_tags(SIM_ACTIVITY_TAGS.iter().map(|s| s.to_string()).collect());
+    if let Some(elasticity) = sweep.elasticity {
+        cfg = cfg.with_elasticity(elasticity);
+    }
+    if let Some(prof) = &sweep.weight_profile {
+        cfg = cfg.with_weight_profile(
+            SIM_ACTIVITY_TAGS.iter().map(|tag| prof.get(*tag).copied().unwrap_or(1.0)).collect(),
+        );
+    }
     simulate(&tasks, &cfg, prov)
 }
 

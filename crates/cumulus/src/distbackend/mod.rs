@@ -1,0 +1,1313 @@
+//! The distributed execution backend: a master–worker engine running one
+//! workflow across multiple OS processes on the same machine.
+//!
+//! The master owns the same ready-driven pipelined dispatcher as the local
+//! backend ([`crate::dispatch::PipelineState`]) — but instead of handing
+//! activations to a thread pool it shards them over TCP to worker
+//! processes, each a [`worker::serve`] loop around the length-prefixed
+//! frame protocol in [`proto`] (`mod proto` is private; the frame layout is
+//! documented in `DESIGN.md` §10). The master keeps every run honest:
+//!
+//! * **Backpressure** — at most [`DistConfig::max_in_flight`] activations
+//!   are outstanding per worker; the rest wait in a FIFO.
+//! * **Liveness** — workers heartbeat on an interval; a silent worker is
+//!   declared lost after [`DistConfig::heartbeat_timeout`], its socket cut,
+//!   and its in-flight activations reassigned.
+//! * **Crash recovery** — a lost activation gets a `FAILED` provenance row
+//!   and re-enters the queue with a bumped attempt; after more than
+//!   [`DistConfig::reassign_budget`] crashes the input is treated as poison
+//!   and `BLACKLISTED`, so one bad tuple cannot wedge the run.
+//! * **Provenance parity** — the master writes every row itself in the
+//!   exact RUNNING → outputs → FINISHED-last order the local backend uses,
+//!   so `provenance::export_provn_canonical` of a local and a distributed
+//!   run are byte-identical and `resume_from` stays sound across a master
+//!   crash.
+//! * **Telemetry lanes** — each worker ships its spans back inside result
+//!   frames; the master merges them onto a per-worker track with a clock
+//!   offset, so a Chrome trace shows one lane per worker process.
+//!
+//! Activity functions are Rust closures and cannot cross a process
+//! boundary, so both sides rebuild the workflow from a spec name: the
+//! master ships [`DistConfig::spec`] in its `Hello`, and the worker
+//! resolves it through a [`worker::WorkflowResolver`] registry.
+
+pub mod worker;
+
+mod proto;
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use cloudsim::{FailureModel, Fate};
+use parking_lot::Mutex;
+use provenance::{ActivationRecord, ActivationStatus, ProvenanceStore, WorkflowId};
+use telemetry::{RemoteSpan, Telemetry};
+
+use crate::algebra::Relation;
+use crate::dispatch::{pair_key, split_path, PipelineState, SubmitReq};
+use crate::error::CumulusError;
+use crate::localbackend::{tally, ActOutcome, ActivityCtx, LocalConfig, RunReport};
+use crate::steer::SteeringBridge;
+use crate::workflow::{FileStore, WorkflowDef};
+
+use proto::{Frame, WireFate, WireOutcome};
+
+/// Fault-drill hook: sever worker `worker` right after it has been sent its
+/// `after_runs`-th `Run` frame (1-based). Spawned workers are killed with
+/// SIGKILL mid-activation; in-process workers cut their own socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillPlan {
+    /// Index of the doomed worker (accept order, 0-based).
+    pub worker: usize,
+    /// Die upon the Nth dispatched activation (1-based).
+    pub after_runs: usize,
+}
+
+/// Distributed backend configuration.
+///
+/// Marked `#[non_exhaustive]`: construct it with [`DistConfig::new`] (or
+/// `Default`) and the `with_*` builder methods rather than a struct
+/// literal, so new knobs can be added without breaking downstream crates.
+#[derive(Clone)]
+#[non_exhaustive]
+pub struct DistConfig {
+    /// Number of worker processes (or in-process worker threads).
+    pub workers: usize,
+    /// Worker executable and its leading arguments; the master appends
+    /// `--connect <addr>`. `None` = run workers as in-process threads via
+    /// [`DistConfig::resolver`] (used by tests and single-binary setups).
+    pub worker_cmd: Option<(String, Vec<String>)>,
+    /// Spec-name resolver for in-process workers (`worker_cmd: None`).
+    pub resolver: Option<worker::WorkflowResolver>,
+    /// Workflow spec name shipped to workers in the `Hello` frame.
+    pub spec: String,
+    /// Maximum activations outstanding per worker (backpressure bound).
+    pub max_in_flight: usize,
+    /// Heartbeat interval requested from workers.
+    pub heartbeat: Duration,
+    /// A worker silent for longer than this is declared lost.
+    pub heartbeat_timeout: Duration,
+    /// An activation running longer than this wedges its worker: the
+    /// worker is declared lost and the activation reassigned. `None`
+    /// disables the hang detector.
+    pub activation_timeout: Option<Duration>,
+    /// Deadline for all workers to connect and complete the handshake.
+    pub connect_timeout: Duration,
+    /// Worker crashes an activation survives before being blacklisted as
+    /// poison input.
+    pub reassign_budget: u32,
+    /// Failure injection model (fates roll on the master, exactly like the
+    /// local backend, so injected failures are schedule-independent).
+    pub failures: FailureModel,
+    /// Maximum re-executions of a failed activation before dropping it.
+    pub max_retries: u32,
+    /// Resume from a prior workflow execution (skip finished activations).
+    pub resume_from: Option<WorkflowId>,
+    /// Telemetry sink; worker spans merge into it on per-worker tracks.
+    pub telemetry: Telemetry,
+    /// When set, a [`SteeringBridge`] publishes in-flight activation state
+    /// into the provenance store at this interval.
+    pub steering_tick: Option<Duration>,
+    /// Durability override applied to the provenance store for this run.
+    pub durability: Option<provenance::Durability>,
+    /// Fault-drill hook (tests / `dist_bench`).
+    pub kill_plan: Option<KillPlan>,
+    /// Test-only: in-process worker index that never heartbeats, to drill
+    /// the master's liveness timeout.
+    pub(crate) mute_heartbeat: Option<usize>,
+}
+
+impl std::fmt::Debug for DistConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistConfig")
+            .field("workers", &self.workers)
+            .field("worker_cmd", &self.worker_cmd)
+            .field("resolver", &self.resolver.as_ref().map(|_| "<resolver>"))
+            .field("spec", &self.spec)
+            .field("max_in_flight", &self.max_in_flight)
+            .field("heartbeat", &self.heartbeat)
+            .field("heartbeat_timeout", &self.heartbeat_timeout)
+            .field("activation_timeout", &self.activation_timeout)
+            .field("connect_timeout", &self.connect_timeout)
+            .field("reassign_budget", &self.reassign_budget)
+            .field("failures", &self.failures)
+            .field("max_retries", &self.max_retries)
+            .field("resume_from", &self.resume_from)
+            .field("steering_tick", &self.steering_tick)
+            .field("durability", &self.durability)
+            .field("kill_plan", &self.kill_plan)
+            .finish()
+    }
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            workers: 2,
+            worker_cmd: None,
+            resolver: None,
+            spec: String::new(),
+            max_in_flight: 4,
+            heartbeat: Duration::from_millis(100),
+            heartbeat_timeout: Duration::from_secs(3),
+            activation_timeout: None,
+            connect_timeout: Duration::from_secs(10),
+            reassign_budget: 2,
+            failures: FailureModel::none(),
+            max_retries: 3,
+            resume_from: None,
+            telemetry: Telemetry::disabled(),
+            steering_tick: None,
+            durability: None,
+            kill_plan: None,
+            mute_heartbeat: None,
+        }
+    }
+}
+
+impl DistConfig {
+    /// The default configuration (2 in-process workers, 4 in-flight each,
+    /// no failure injection, telemetry disabled).
+    pub fn new() -> DistConfig {
+        DistConfig::default()
+    }
+
+    /// Set the number of workers.
+    pub fn with_workers(mut self, workers: usize) -> DistConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Spawn workers as OS processes running `program` (the master appends
+    /// `--connect <addr>` to `args`).
+    pub fn with_worker_command(
+        mut self,
+        program: impl Into<String>,
+        args: Vec<String>,
+    ) -> DistConfig {
+        self.worker_cmd = Some((program.into(), args));
+        self
+    }
+
+    /// Run workers as in-process threads resolving specs through `resolver`.
+    pub fn with_resolver(mut self, resolver: worker::WorkflowResolver) -> DistConfig {
+        self.resolver = Some(resolver);
+        self
+    }
+
+    /// Set the workflow spec name shipped to workers.
+    pub fn with_spec(mut self, spec: impl Into<String>) -> DistConfig {
+        self.spec = spec.into();
+        self
+    }
+
+    /// Set the per-worker in-flight bound.
+    pub fn with_max_in_flight(mut self, n: usize) -> DistConfig {
+        self.max_in_flight = n;
+        self
+    }
+
+    /// Set the worker heartbeat interval.
+    pub fn with_heartbeat(mut self, interval: Duration) -> DistConfig {
+        self.heartbeat = interval;
+        self
+    }
+
+    /// Set the heartbeat liveness timeout.
+    pub fn with_heartbeat_timeout(mut self, timeout: Duration) -> DistConfig {
+        self.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Enable the per-activation hang detector.
+    pub fn with_activation_timeout(mut self, timeout: Duration) -> DistConfig {
+        self.activation_timeout = Some(timeout);
+        self
+    }
+
+    /// Set the worker connect/handshake deadline.
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> DistConfig {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Set the crash budget before an input is blacklisted as poison.
+    pub fn with_reassign_budget(mut self, budget: u32) -> DistConfig {
+        self.reassign_budget = budget;
+        self
+    }
+
+    /// Set the failure-injection model.
+    pub fn with_failures(mut self, failures: FailureModel) -> DistConfig {
+        self.failures = failures;
+        self
+    }
+
+    /// Set the per-activation retry budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> DistConfig {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Resume from a prior workflow execution.
+    pub fn with_resume_from(mut self, prev: WorkflowId) -> DistConfig {
+        self.resume_from = Some(prev);
+        self
+    }
+
+    /// Attach a telemetry sink.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> DistConfig {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Enable the steering bridge at the given flush interval.
+    pub fn with_steering_tick(mut self, tick: Duration) -> DistConfig {
+        self.steering_tick = Some(tick);
+        self
+    }
+
+    /// Override the provenance store's durability for this run.
+    pub fn with_durability(mut self, durability: provenance::Durability) -> DistConfig {
+        self.durability = Some(durability);
+        self
+    }
+
+    /// Install a fault-drill kill plan.
+    pub fn with_kill_plan(mut self, plan: KillPlan) -> DistConfig {
+        self.kill_plan = Some(plan);
+        self
+    }
+}
+
+// ------------------------------------------------------------------ master
+
+/// One activation the master wants executed somewhere.
+#[derive(Debug, Clone)]
+struct Job {
+    activity: usize,
+    part: Vec<crate::algebra::Tuple>,
+    part_index: usize,
+    key: String,
+    attempt: u32,
+    /// Worker crashes this activation has survived (reassignment count).
+    crashes: u32,
+}
+
+/// Master-side record of a dispatched activation.
+struct InFlight {
+    job: Job,
+    slot: Option<crate::steer::SlotId>,
+    /// Provenance clock (seconds since run start) at dispatch.
+    start: f64,
+    /// Wall clock at dispatch, for the hang detector.
+    dispatched: Instant,
+}
+
+/// Everything the master tracks about one worker connection.
+struct WorkerHandle {
+    writer: Arc<Mutex<TcpStream>>,
+    alive: bool,
+    child: Option<Child>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    last_seen: Instant,
+    in_flight: HashMap<u64, InFlight>,
+    /// Telemetry track (trace lane) for this worker's spans.
+    track: u64,
+    /// master_clock − worker_clock, for span merging.
+    offset_ns: i64,
+    runs_sent: usize,
+}
+
+impl WorkerHandle {
+    fn sever(&mut self) {
+        self.alive = false;
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
+    }
+}
+
+enum Event {
+    Frame(usize, Frame),
+    Gone(usize),
+}
+
+/// Run a workflow across worker processes. The distributed analogue of
+/// [`crate::run_local`]; prefer [`crate::backend::Backend::run`] on a
+/// [`crate::backend::DistBackend`] in new code.
+pub fn run_dist(
+    def: &WorkflowDef,
+    input: Relation,
+    files: Arc<FileStore>,
+    prov: Arc<ProvenanceStore>,
+    cfg: &DistConfig,
+) -> Result<RunReport, CumulusError> {
+    def.validate().map_err(CumulusError::Invalid)?;
+    if cfg.workers == 0 {
+        return Err(CumulusError::Invalid("distributed run needs at least one worker".into()));
+    }
+    if cfg.worker_cmd.is_none() && cfg.resolver.is_none() {
+        return Err(CumulusError::Invalid(
+            "DistConfig needs a worker command or an in-process resolver".into(),
+        ));
+    }
+    if let Some(d) = cfg.durability {
+        prov.set_durability(d);
+    }
+    let tel = cfg.telemetry.clone();
+    let wkf = prov.begin_workflow(&def.tag, &def.description, &def.expdir);
+    let t0 = Instant::now();
+    let bridge = cfg.steering_tick.map(|tick| SteeringBridge::start(Arc::clone(&prov), t0, tick));
+    tel.name_current_track("master");
+    let run_start = tel.now_ns();
+
+    let result = master_loop(def, input, &files, &prov, cfg, wkf, t0, &bridge);
+
+    if let Some(b) = &bridge {
+        b.stop();
+    }
+    // the run's final rows must survive a crash after run_dist returns
+    prov.flush_wal();
+    if tel.is_enabled() {
+        tel.record_span_at(
+            "run",
+            &def.tag,
+            None,
+            run_start,
+            tel.now_ns(),
+            Some(&format!("dist workers={}", cfg.workers)),
+        );
+    }
+    result.map(|mut report| {
+        report.metrics = tel.snapshot();
+        report
+    })
+}
+
+/// Spawn/connect the fleet, pump the pipelined dispatcher over it, and
+/// drain. Split out of [`run_dist`] so bridge/WAL/telemetry teardown in the
+/// caller runs on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn master_loop(
+    def: &WorkflowDef,
+    input: Relation,
+    files: &Arc<FileStore>,
+    prov: &Arc<ProvenanceStore>,
+    cfg: &DistConfig,
+    wkf: WorkflowId,
+    t0: Instant,
+    bridge: &Option<Arc<SteeringBridge>>,
+) -> Result<RunReport, CumulusError> {
+    let tel = cfg.telemetry.clone();
+    // the master reuses the local backend's per-activity provenance
+    // bookkeeping (activity registration, resume lookup, steering slots)
+    let lcfg = {
+        let c = LocalConfig::new()
+            .with_failures(cfg.failures)
+            .with_max_retries(cfg.max_retries)
+            .with_telemetry(tel.clone());
+        match cfg.resume_from {
+            Some(prev) => c.with_resume_from(prev),
+            None => c,
+        }
+    };
+    let ctxs: Vec<ActivityCtx> = (0..def.activities.len())
+        .map(|i| ActivityCtx::build(def, i, wkf, files, prov, &lcfg, t0, bridge))
+        .collect();
+
+    let mut fleet = connect_fleet(cfg, files)?;
+    let (events_tx, events) = mpsc::channel::<Event>();
+    for (i, w) in fleet.workers.iter_mut().enumerate() {
+        let mut stream = w
+            .writer
+            .lock()
+            .try_clone()
+            .map_err(|e| CumulusError::Io(format!("cloning worker {i} stream: {e}")))?;
+        let writer = Arc::clone(&w.writer);
+        let files = Arc::clone(files);
+        let tx = events_tx.clone();
+        w.reader = Some(std::thread::spawn(move || loop {
+            match proto::read_frame(&mut stream) {
+                // answer file fetches right here so they never queue
+                // behind the master's dispatch loop
+                Ok(Frame::FileReq { req, path }) => {
+                    let contents = files.read(&path);
+                    if proto::write_frame(&mut *writer.lock(), &Frame::FileData { req, contents })
+                        .is_err()
+                    {
+                        let _ = tx.send(Event::Gone(i));
+                        break;
+                    }
+                }
+                Ok(f) => {
+                    if tx.send(Event::Frame(i, f)).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => {
+                    let _ = tx.send(Event::Gone(i));
+                    break;
+                }
+            }
+        }));
+    }
+    drop(events_tx);
+
+    let mut report = RunReport {
+        workflow: wkf,
+        total_seconds: 0.0,
+        finished: 0,
+        failed_attempts: 0,
+        aborted: 0,
+        blacklisted: 0,
+        resumed: 0,
+        outputs: Vec::new(),
+        metrics: None,
+    };
+
+    let (mut pipe, seeds) = PipelineState::new(def, &input, tel.clone());
+    let mut submits: VecDeque<SubmitReq> = seeds.into();
+    let mut pending: VecDeque<Job> = VecDeque::new();
+    let mut next_job: u64 = 0;
+
+    'run: loop {
+        // 1. turn dispatcher submissions into queued jobs; resume hits and
+        //    blacklisted inputs complete inline without touching a worker
+        while let Some(req) = submits.pop_front() {
+            let ctx = &ctxs[req.activity];
+            let key = pair_key(&req.part);
+            if let Some(tuples) = ctx.prior.get(&key).cloned() {
+                let out = ActOutcome { tuples, resumed: 1, ..Default::default() };
+                tally(&mut report, &out);
+                submits.extend(pipe.on_completion(req.activity, &out.tuples));
+                continue;
+            }
+            if let Some(bl) = &ctx.blacklist {
+                if req.part.iter().any(|t| bl(t)) {
+                    let now = t0.elapsed().as_secs_f64();
+                    prov.record_activation(&ActivationRecord {
+                        activity: ctx.act_id,
+                        workflow: ctx.wkf,
+                        status: ActivationStatus::Blacklisted,
+                        start_time: now,
+                        end_time: now,
+                        machine: None,
+                        retries: 0,
+                        pair_key: key,
+                    });
+                    report.blacklisted += 1;
+                    submits.extend(pipe.on_completion(req.activity, &[]));
+                    continue;
+                }
+            }
+            next_job += 1;
+            pending.push_back(Job {
+                activity: req.activity,
+                part: req.part,
+                part_index: req.part_index,
+                key,
+                attempt: 0,
+                crashes: 0,
+            });
+        }
+        if pipe.done() {
+            break 'run;
+        }
+
+        // 2. dispatch queued jobs to workers with spare capacity
+        while !pending.is_empty() {
+            let Some(wi) = fleet.pick(cfg.max_in_flight) else { break };
+            let job = pending.pop_front().expect("loop guard");
+            let ctx = &ctxs[job.activity];
+            let fate = cfg.failures.fate(&format!("{}#{}", ctx.tag, job.key), job.attempt);
+            let start = t0.elapsed().as_secs_f64();
+            let slot = ctx.begin_attempt(&job.key, start, job.attempt);
+            if fate == Fate::Hang {
+                // the activation would loop forever; the engine aborts it
+                // without wasting a worker (the local backend's hang path)
+                let end = t0.elapsed().as_secs_f64();
+                ctx.record(
+                    slot,
+                    &ActivationRecord {
+                        activity: ctx.act_id,
+                        workflow: ctx.wkf,
+                        status: ActivationStatus::Aborted,
+                        start_time: start,
+                        end_time: end,
+                        machine: None,
+                        retries: job.attempt as i64,
+                        pair_key: job.key.clone(),
+                    },
+                );
+                report.aborted += 1;
+                submits.extend(pipe.on_completion(job.activity, &[]));
+                continue 'run; // new submissions may precede queued work
+            }
+            next_job += 1;
+            let id = next_job;
+            let frame = Frame::Run {
+                job: id,
+                activity: job.activity as u32,
+                part_index: job.part_index as u64,
+                attempt: job.attempt,
+                fate: if fate == Fate::Fail { WireFate::Fail } else { WireFate::Ok },
+                workdir: format!("{}/{}", ctx.workdir_base, job.part_index),
+                part: job.part.clone(),
+            };
+            let w = &mut fleet.workers[wi];
+            w.in_flight.insert(id, InFlight { job, slot, start, dispatched: Instant::now() });
+            let sent = proto::write_frame(&mut *w.writer.lock(), &frame).is_ok();
+            w.runs_sent += 1;
+            if let Some(plan) = cfg.kill_plan {
+                if plan.worker == wi && plan.after_runs == w.runs_sent {
+                    // SIGKILL mid-activation; in-process workers sever
+                    // themselves via their own die_on_run counter
+                    if let Some(child) = &mut w.child {
+                        let _ = child.kill();
+                    }
+                }
+            }
+            if !sent {
+                lose_worker(
+                    &mut fleet,
+                    wi,
+                    cfg,
+                    &ctxs,
+                    &mut pending,
+                    &mut submits,
+                    &mut pipe,
+                    &mut report,
+                    t0,
+                    prov,
+                );
+                continue 'run;
+            }
+        }
+
+        // 3. wait for worker events, checking liveness on a tick
+        match events.recv_timeout(Duration::from_millis(50)) {
+            Ok(Event::Frame(wi, frame)) => {
+                fleet.workers[wi].last_seen = Instant::now();
+                match frame {
+                    Frame::Heartbeat { .. } => {}
+                    Frame::Done { job, outcome } => {
+                        let Some(inflight) = fleet.workers[wi].in_flight.remove(&job) else {
+                            continue 'run; // completion raced a reassignment
+                        };
+                        let out = complete(
+                            &ctxs[inflight.job.activity],
+                            &inflight,
+                            outcome,
+                            files,
+                            prov,
+                            t0,
+                            &tel,
+                            fleet.workers[wi].track,
+                            fleet.workers[wi].offset_ns,
+                            cfg.max_retries,
+                        );
+                        match out {
+                            Completed::Terminal(out) => {
+                                tally(&mut report, &out);
+                                submits
+                                    .extend(pipe.on_completion(inflight.job.activity, &out.tuples));
+                            }
+                            Completed::Retry => {
+                                report.failed_attempts += 1;
+                                let mut job = inflight.job;
+                                job.attempt += 1;
+                                pending.push_front(job);
+                            }
+                        }
+                    }
+                    f => {
+                        return Err(CumulusError::Protocol(format!(
+                            "unexpected frame from worker {wi}: {f:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(Event::Gone(wi)) => {
+                lose_worker(
+                    &mut fleet,
+                    wi,
+                    cfg,
+                    &ctxs,
+                    &mut pending,
+                    &mut submits,
+                    &mut pipe,
+                    &mut report,
+                    t0,
+                    prov,
+                );
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // every reader thread exited; fall through to the liveness
+                // check, which will report the loss
+            }
+        }
+
+        // liveness: heartbeat silence and wedged activations
+        let lost: Vec<usize> = fleet
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| {
+                w.alive
+                    && (w.last_seen.elapsed() > cfg.heartbeat_timeout
+                        || cfg.activation_timeout.is_some_and(|limit| {
+                            w.in_flight.values().any(|j| j.dispatched.elapsed() > limit)
+                        }))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for wi in lost {
+            lose_worker(
+                &mut fleet,
+                wi,
+                cfg,
+                &ctxs,
+                &mut pending,
+                &mut submits,
+                &mut pipe,
+                &mut report,
+                t0,
+                prov,
+            );
+        }
+        if fleet.workers.iter().all(|w| !w.alive) && !pipe.done() {
+            return Err(CumulusError::WorkerLost(format!(
+                "all {} workers lost with work outstanding",
+                cfg.workers
+            )));
+        }
+    }
+
+    tel.instant("dist", "jobs", Some(&format!("submitted={}", pipe.submitted())));
+    report.outputs = pipe.into_outputs();
+    report.total_seconds = t0.elapsed().as_secs_f64();
+    fleet.drain();
+    Ok(report)
+}
+
+/// Outcome of folding a worker's `Done` frame into provenance.
+enum Completed {
+    /// The activation reached a terminal state (finished or out of budget).
+    Terminal(ActOutcome),
+    /// A retryable failure: bump the attempt and requeue.
+    Retry,
+}
+
+/// Write the provenance for one finished/failed attempt, in the same
+/// RUNNING → files/params/tuples → FINISHED-last order as the local
+/// backend, and merge the worker's spans onto its telemetry track.
+#[allow(clippy::too_many_arguments)]
+fn complete(
+    ctx: &ActivityCtx,
+    inflight: &InFlight,
+    outcome: WireOutcome,
+    files: &Arc<FileStore>,
+    prov: &Arc<ProvenanceStore>,
+    t0: Instant,
+    tel: &Telemetry,
+    track: u64,
+    offset_ns: i64,
+    max_retries: u32,
+) -> Completed {
+    let job = &inflight.job;
+    let end = t0.elapsed().as_secs_f64();
+    match outcome {
+        WireOutcome::Finished { tuples, files: shipped, params, spans } => {
+            import(tel, track, offset_ns, spans);
+            // land the worker's artifacts in the shared store first, so
+            // recorded sizes are real and downstream fetches always hit
+            for (path, contents) in &shipped {
+                files.write(path, contents.clone());
+            }
+            let rec = ActivationRecord {
+                activity: ctx.act_id,
+                workflow: ctx.wkf,
+                status: ActivationStatus::Running,
+                start_time: inflight.start,
+                end_time: end,
+                machine: None,
+                retries: job.attempt as i64,
+                pair_key: job.key.clone(),
+            };
+            let task = ctx.record(inflight.slot, &rec);
+            for (path, _) in &shipped {
+                let size = files.size(path).unwrap_or(0) as i64;
+                let (dir, name) = split_path(path);
+                prov.record_file(task, ctx.act_id, ctx.wkf, name, size, dir);
+            }
+            for (name, num, text) in &params {
+                prov.record_parameter(task, ctx.wkf, name, *num, text.as_deref());
+            }
+            for (ti, t) in tuples.iter().enumerate() {
+                prov.record_output_tuple(task, ctx.act_id, ctx.wkf, &job.key, ti, t);
+            }
+            let done = prov.update_activation(
+                task,
+                &ActivationRecord { status: ActivationStatus::Finished, ..rec },
+            );
+            debug_assert!(done, "the RUNNING row we just wrote must exist");
+            Completed::Terminal(ActOutcome { tuples, finished: 1, ..Default::default() })
+        }
+        WireOutcome::Failed { error: _, files: shipped, spans } => {
+            import(tel, track, offset_ns, spans);
+            // even a failed attempt's files persist: the local backend
+            // shares one store, so parity demands the same here
+            for (path, contents) in shipped {
+                files.write(&path, contents);
+            }
+            ctx.record(
+                inflight.slot,
+                &ActivationRecord {
+                    activity: ctx.act_id,
+                    workflow: ctx.wkf,
+                    status: ActivationStatus::Failed,
+                    start_time: inflight.start,
+                    end_time: end,
+                    machine: None,
+                    retries: job.attempt as i64,
+                    pair_key: job.key.clone(),
+                },
+            );
+            if job.attempt >= max_retries {
+                Completed::Terminal(ActOutcome { failed_attempts: 1, ..Default::default() })
+            } else {
+                Completed::Retry
+            }
+        }
+    }
+}
+
+fn import(tel: &Telemetry, track: u64, offset_ns: i64, spans: Vec<proto::WireSpan>) {
+    if spans.is_empty() {
+        return;
+    }
+    let remote: Vec<RemoteSpan> = spans
+        .into_iter()
+        .map(|s| RemoteSpan {
+            name: s.name,
+            start_ns: s.start_ns,
+            end_ns: s.end_ns,
+            detail: s.detail,
+        })
+        .collect();
+    tel.import_spans(track, offset_ns, &remote);
+}
+
+/// Declare worker `wi` lost: cut it down, record a `FAILED` row for every
+/// activation it was running, and reassign each — or blacklist it as
+/// poison once its crash budget is spent.
+#[allow(clippy::too_many_arguments)]
+fn lose_worker(
+    fleet: &mut Fleet,
+    wi: usize,
+    cfg: &DistConfig,
+    ctxs: &[ActivityCtx],
+    pending: &mut VecDeque<Job>,
+    submits: &mut VecDeque<SubmitReq>,
+    pipe: &mut PipelineState<'_>,
+    report: &mut RunReport,
+    t0: Instant,
+    prov: &Arc<ProvenanceStore>,
+) {
+    let w = &mut fleet.workers[wi];
+    if !w.alive {
+        return;
+    }
+    w.sever();
+    let end = t0.elapsed().as_secs_f64();
+    let mut lost: Vec<InFlight> = w.in_flight.drain().map(|(_, j)| j).collect();
+    // deterministic reassignment order regardless of hash-map iteration
+    lost.sort_by_key(|j| (j.job.activity, j.job.part_index));
+    for inflight in lost {
+        let ctx = &ctxs[inflight.job.activity];
+        ctx.record(
+            inflight.slot,
+            &ActivationRecord {
+                activity: ctx.act_id,
+                workflow: ctx.wkf,
+                status: ActivationStatus::Failed,
+                start_time: inflight.start,
+                end_time: end,
+                machine: None,
+                retries: inflight.job.attempt as i64,
+                pair_key: inflight.job.key.clone(),
+            },
+        );
+        report.failed_attempts += 1;
+        let mut job = inflight.job;
+        job.crashes += 1;
+        if job.crashes > cfg.reassign_budget {
+            // this input has now taken down too many workers: poison
+            prov.record_activation(&ActivationRecord {
+                activity: ctx.act_id,
+                workflow: ctx.wkf,
+                status: ActivationStatus::Blacklisted,
+                start_time: end,
+                end_time: end,
+                machine: None,
+                retries: job.attempt as i64,
+                pair_key: job.key.clone(),
+            });
+            report.blacklisted += 1;
+            submits.extend(pipe.on_completion(job.activity, &[]));
+        } else {
+            job.attempt += 1;
+            pending.push_front(job);
+        }
+    }
+}
+
+// ------------------------------------------------------------------- fleet
+
+/// The connected worker fleet plus the spawn handles behind it.
+struct Fleet {
+    workers: Vec<WorkerHandle>,
+}
+
+impl Fleet {
+    /// The alive worker with the most spare capacity (ties broken by
+    /// index, for deterministic assignment).
+    fn pick(&self, max_in_flight: usize) -> Option<usize> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.alive && w.in_flight.len() < max_in_flight)
+            .min_by_key(|(i, w)| (w.in_flight.len(), *i))
+            .map(|(i, _)| i)
+    }
+
+    /// Graceful shutdown: ask every live worker to drain, give processes a
+    /// moment to exit, then reap whatever is left.
+    fn drain(&mut self) {
+        for w in self.workers.iter_mut().filter(|w| w.alive) {
+            let _ = proto::write_frame(&mut *w.writer.lock(), &Frame::Shutdown);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut waiting = false;
+            for w in &mut self.workers {
+                if let Some(child) = &mut w.child {
+                    match child.try_wait() {
+                        Ok(Some(_)) => w.child = None,
+                        Ok(None) => waiting = true,
+                        Err(_) => w.child = None,
+                    }
+                }
+            }
+            if !waiting || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for w in &mut self.workers {
+            w.sever();
+            if let Some(t) = w.thread.take() {
+                let _ = t.join();
+            }
+            if let Some(r) = w.reader.take() {
+                let _ = r.join();
+            }
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        // safety net for error paths: never leave worker processes behind
+        for w in &mut self.workers {
+            w.sever();
+            if let Some(t) = w.thread.take() {
+                let _ = t.join();
+            }
+            if let Some(r) = w.reader.take() {
+                let _ = r.join();
+            }
+        }
+    }
+}
+
+/// Bind, launch the fleet, and complete the `Ready`/`Hello` handshake with
+/// every worker.
+fn connect_fleet(cfg: &DistConfig, _files: &Arc<FileStore>) -> Result<Fleet, CumulusError> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    listener.set_nonblocking(true)?;
+
+    // launch: OS processes, or in-process serve() threads for tests
+    let mut children: Vec<Child> = Vec::new();
+    let mut threads: VecDeque<std::thread::JoinHandle<()>> = VecDeque::new();
+    if let Some((program, args)) = &cfg.worker_cmd {
+        for i in 0..cfg.workers {
+            let child = Command::new(program)
+                .args(args)
+                .arg("--connect")
+                .arg(&addr)
+                .stdin(Stdio::null())
+                .spawn()
+                .map_err(|e| CumulusError::Io(format!("spawning worker {i} ({program}): {e}")))?;
+            children.push(child);
+        }
+    } else {
+        let resolver = cfg.resolver.clone().expect("validated by run_dist");
+        for i in 0..cfg.workers {
+            let addr = addr.clone();
+            let resolver = Arc::clone(&resolver);
+            let opts = worker::ServeOptions {
+                no_heartbeat: cfg.mute_heartbeat == Some(i),
+                die_on_run: cfg.kill_plan.filter(|p| p.worker == i).map(|p| p.after_runs),
+            };
+            threads.push_back(std::thread::spawn(move || {
+                let _ = worker::serve_with(&addr, resolver, opts);
+            }));
+        }
+    }
+
+    let tel = &cfg.telemetry;
+    let deadline = Instant::now() + cfg.connect_timeout;
+    let mut workers: Vec<WorkerHandle> = Vec::with_capacity(cfg.workers);
+    while workers.len() < cfg.workers {
+        let (mut stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() > deadline {
+                    // the Fleet isn't built yet; reap spawned children here
+                    for mut c in children {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    return Err(CumulusError::Timeout(format!(
+                        "only {}/{} workers connected within {:?}",
+                        workers.len(),
+                        cfg.workers,
+                        cfg.connect_timeout
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(e) => return Err(CumulusError::Io(e.to_string())),
+        };
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(cfg.connect_timeout))?;
+        let (pid, worker_now) = match proto::read_frame(&mut stream) {
+            Ok(Frame::Ready { pid, now_ns }) => (pid, now_ns),
+            Ok(f) => {
+                return Err(CumulusError::Protocol(format!("expected Ready, got {f:?}")));
+            }
+            Err(e) => return Err(CumulusError::Protocol(format!("bad handshake: {e}"))),
+        };
+        stream.set_read_timeout(None)?;
+        let offset_ns = tel.now_ns() as i64 - worker_now as i64;
+        let i = workers.len();
+        let track = tel.alloc_track(&format!("worker-{i}"));
+        let mut stream = stream;
+        proto::write_frame(
+            &mut stream,
+            &Frame::Hello {
+                worker_id: i as u32,
+                spec: cfg.spec.clone(),
+                heartbeat_ms: cfg.heartbeat.as_millis() as u64,
+            },
+        )?;
+        // match the OS child (if any) to this connection by pid
+        let child = children.iter().position(|c| c.id() == pid).map(|at| children.swap_remove(at));
+        workers.push(WorkerHandle {
+            writer: Arc::new(Mutex::new(stream)),
+            alive: true,
+            child,
+            thread: threads.pop_front(),
+            reader: None,
+            last_seen: Instant::now(),
+            in_flight: HashMap::new(),
+            track,
+            offset_ns,
+            runs_sent: 0,
+        });
+    }
+    Ok(Fleet { workers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Operator;
+    use crate::workflow::Activity;
+    use provenance::{export_provn_canonical, Value};
+
+    /// Three activities: stage (writes a file per tuple), score (reads the
+    /// staged file — exercising cross-worker fetch), and reduce (a barrier
+    /// summing everything).
+    fn test_def(sleep_ms: u64) -> WorkflowDef {
+        WorkflowDef {
+            tag: "dist-test".into(),
+            description: "distbackend test workflow".into(),
+            expdir: "/exp/dist".into(),
+            activities: vec![
+                Activity::map(
+                    "stage",
+                    &["x", "path"],
+                    Arc::new(move |t, ctx| {
+                        if sleep_ms > 0 {
+                            std::thread::sleep(Duration::from_millis(sleep_ms));
+                        }
+                        Ok(t.iter()
+                            .map(|row| {
+                                let x = match row[0] {
+                                    Value::Int(i) => i,
+                                    _ => 0,
+                                };
+                                let path = ctx.write_file(&format!("in-{x}.txt"), x.to_string());
+                                vec![Value::Int(x), Value::Text(path)]
+                            })
+                            .collect())
+                    }),
+                ),
+                Activity::map(
+                    "score",
+                    &["y"],
+                    Arc::new(|t, ctx| {
+                        ctx.record_param("factor", Some(3.0), None);
+                        t.iter()
+                            .map(|row| {
+                                let path = row[1].to_string();
+                                let staged: i64 = ctx.read_file(&path)?.trim().parse().unwrap_or(0);
+                                Ok(vec![Value::Int(staged * 3)])
+                            })
+                            .collect()
+                    }),
+                ),
+                Activity::map(
+                    "reduce",
+                    &["total"],
+                    Arc::new(|t: &[crate::algebra::Tuple], _: &mut _| {
+                        let s: i64 = t
+                            .iter()
+                            .map(|row| match row[0] {
+                                Value::Int(i) => i,
+                                _ => 0,
+                            })
+                            .sum();
+                        Ok(vec![vec![Value::Int(s)]])
+                    }),
+                )
+                .with_operator(Operator::SRQuery),
+            ],
+            deps: vec![vec![], vec![0], vec![1]],
+        }
+    }
+
+    fn test_input(n: i64) -> Relation {
+        let mut r = Relation::new(&["x"]);
+        for i in 0..n {
+            r.push(vec![Value::Int(i)]);
+        }
+        r
+    }
+
+    fn resolver(sleep_ms: u64) -> worker::WorkflowResolver {
+        Arc::new(move |spec| (spec == "dist-test").then(|| test_def(sleep_ms)))
+    }
+
+    fn dist_cfg(workers: usize) -> DistConfig {
+        DistConfig::new().with_workers(workers).with_resolver(resolver(0)).with_spec("dist-test")
+    }
+
+    fn run(cfg: &DistConfig) -> (RunReport, Arc<ProvenanceStore>, Arc<FileStore>) {
+        let prov = Arc::new(ProvenanceStore::new());
+        let files = Arc::new(FileStore::new());
+        let report =
+            run_dist(&test_def(0), test_input(4), Arc::clone(&files), Arc::clone(&prov), cfg)
+                .expect("distributed run");
+        (report, prov, files)
+    }
+
+    #[test]
+    fn dist_matches_local_canonical_provenance() {
+        let (report, prov, _) = run(&dist_cfg(2));
+        assert_eq!(report.finished, 9); // 4 stage + 4 score + 1 reduce
+                                        // 0+1+2+3 staged, ×3 scored, summed
+        let last = report.outputs.last().unwrap();
+        assert_eq!(last.tuples, vec![vec![Value::Int(18)]]);
+
+        let lprov = Arc::new(ProvenanceStore::new());
+        let lreport = crate::run_local(
+            &test_def(0),
+            test_input(4),
+            Arc::new(FileStore::new()),
+            Arc::clone(&lprov),
+            &LocalConfig::new().with_threads(2),
+        )
+        .expect("local run");
+        assert_eq!(lreport.finished, report.finished);
+        assert_eq!(
+            export_provn_canonical(&prov),
+            export_provn_canonical(&lprov),
+            "local and distributed canonical PROV-N must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn workers_fetch_files_through_the_master() {
+        // serialize hard so stage and score land on different workers
+        let cfg = dist_cfg(2).with_max_in_flight(1);
+        let (report, _, files) = run(&cfg);
+        assert_eq!(report.finished, 9);
+        assert_eq!(report.outputs.last().unwrap().tuples, vec![vec![Value::Int(18)]]);
+        // every staged artifact landed in the master's shared store
+        assert_eq!(files.list("/exp/dist").len(), 4);
+    }
+
+    #[test]
+    fn injected_failures_stay_in_parity_with_local() {
+        let failures =
+            FailureModel { fail_rate: 0.35, hang_rate: 0.15, fail_at_fraction: 0.5, seed: 7 };
+        let cfg = dist_cfg(2).with_failures(failures).with_max_retries(2);
+        let (report, prov, _) = run(&cfg);
+
+        let lprov = Arc::new(ProvenanceStore::new());
+        let lreport = crate::run_local(
+            &test_def(0),
+            test_input(4),
+            Arc::new(FileStore::new()),
+            Arc::clone(&lprov),
+            &LocalConfig::new().with_threads(2).with_failures(failures).with_max_retries(2),
+        )
+        .expect("local run");
+        assert_eq!(report.finished, lreport.finished);
+        assert_eq!(report.failed_attempts, lreport.failed_attempts);
+        assert_eq!(report.aborted, lreport.aborted);
+        assert!(
+            report.failed_attempts > 0 || report.aborted > 0,
+            "seed 7 must actually inject faults for this test to mean anything"
+        );
+        assert_eq!(export_provn_canonical(&prov), export_provn_canonical(&lprov));
+    }
+
+    #[test]
+    fn killed_worker_is_reassigned_and_the_run_completes() {
+        let fair = dist_cfg(2).with_max_in_flight(1);
+        let (clean, _, _) = run(&fair);
+
+        // worker 0 dies the moment it receives its first activation
+        let cfg = fair.clone().with_kill_plan(KillPlan { worker: 0, after_runs: 1 });
+        let (report, prov, _) = run(&cfg);
+        assert_eq!(report.finished, clean.finished);
+        assert_eq!(report.failed_attempts, 1, "exactly the activation lost with the worker");
+        assert_eq!(report.blacklisted, 0);
+        let sorted = |r: &RunReport| {
+            let mut t = r.outputs.last().unwrap().tuples.clone();
+            t.sort_by_key(|row| row.first().map(|v| v.to_string()));
+            t
+        };
+        assert_eq!(sorted(&report), sorted(&clean));
+        // the crash left exactly one FAILED attempt in provenance
+        let failed = prov
+            .query("SELECT taskid FROM hactivation WHERE status = 'FAILED'")
+            .unwrap()
+            .rows
+            .len();
+        assert_eq!(failed, 1);
+    }
+
+    #[test]
+    fn silent_worker_trips_the_heartbeat_timeout() {
+        let mut cfg = DistConfig::new()
+            .with_workers(1)
+            .with_resolver(resolver(600))
+            .with_spec("dist-test")
+            .with_heartbeat(Duration::from_millis(20))
+            .with_heartbeat_timeout(Duration::from_millis(250))
+            .with_reassign_budget(0);
+        cfg.mute_heartbeat = Some(0);
+        let prov = Arc::new(ProvenanceStore::new());
+        let report = run_dist(
+            &test_def(600),
+            test_input(1),
+            Arc::new(FileStore::new()),
+            Arc::clone(&prov),
+            &cfg,
+        )
+        .expect("run must complete by blacklisting the lost activation");
+        assert_eq!(report.finished, 0);
+        assert_eq!(report.failed_attempts, 1);
+        assert_eq!(report.blacklisted, 1, "budget 0 turns the crash into poison");
+    }
+
+    #[test]
+    fn wedged_activation_trips_the_hang_detector() {
+        // tuple 0 wedges its worker for 2s; the detector fires at 300ms
+        let def = WorkflowDef {
+            tag: "hang-test".into(),
+            description: "hang detector".into(),
+            expdir: "/exp/hang".into(),
+            activities: vec![Activity::map(
+                "work",
+                &["x"],
+                Arc::new(|t, _| {
+                    for row in t {
+                        if row[0] == Value::Int(0) {
+                            std::thread::sleep(Duration::from_secs(2));
+                        }
+                    }
+                    Ok(t.to_vec())
+                }),
+            )],
+            deps: vec![vec![]],
+        };
+        let hung = def.clone();
+        let cfg = DistConfig::new()
+            .with_workers(2)
+            .with_resolver(Arc::new(move |spec| (spec == "hang-test").then(|| hung.clone())))
+            .with_spec("hang-test")
+            .with_max_in_flight(1)
+            .with_activation_timeout(Duration::from_millis(300))
+            .with_reassign_budget(0);
+        let prov = Arc::new(ProvenanceStore::new());
+        let report =
+            run_dist(&def, test_input(3), Arc::new(FileStore::new()), Arc::clone(&prov), &cfg)
+                .expect("the healthy worker must finish the rest");
+        assert_eq!(report.finished, 2);
+        assert_eq!(report.blacklisted, 1);
+    }
+
+    #[test]
+    fn dist_runs_resume_from_prior_dist_runs() {
+        let prov = Arc::new(ProvenanceStore::new());
+        let files = Arc::new(FileStore::new());
+        let cfg = dist_cfg(2);
+        let first =
+            run_dist(&test_def(0), test_input(4), Arc::clone(&files), Arc::clone(&prov), &cfg)
+                .expect("first run");
+        assert_eq!(first.finished, 9);
+
+        let resumed = run_dist(
+            &test_def(0),
+            test_input(4),
+            Arc::clone(&files),
+            Arc::clone(&prov),
+            &cfg.clone().with_resume_from(first.workflow),
+        )
+        .expect("resumed run");
+        assert_eq!(resumed.finished, 0, "nothing re-executes");
+        assert_eq!(resumed.resumed, first.finished);
+        assert_eq!(
+            resumed.outputs.last().unwrap().tuples,
+            vec![vec![Value::Int(18)]],
+            "resumed outputs reconstruct from provenance"
+        );
+    }
+}

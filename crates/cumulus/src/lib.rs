@@ -24,6 +24,10 @@
 #![warn(missing_docs)]
 
 pub mod algebra;
+pub mod backend;
+mod dispatch;
+pub mod distbackend;
+pub mod error;
 pub mod localbackend;
 pub mod pool;
 pub mod sched;
@@ -34,10 +38,17 @@ pub mod workflow;
 pub mod xmlspec;
 
 pub use algebra::{Operator, Relation, Tuple};
+pub use backend::{
+    ActivityTiming, Backend, DistBackend, LocalBackend, RunOutcome, SimBackend, Workflow,
+};
+pub use distbackend::{run_dist, DistConfig, KillPlan};
+pub use error::CumulusError;
 pub use localbackend::{run_local, DispatchMode, EngineError, LocalConfig, RunReport};
 pub use pool::Pool;
 pub use sched::{ElasticityConfig, MasterCostModel, Policy};
 pub use simbackend::{simulate, SimConfig, SimReport, SimTask};
 pub use steer::SteeringBridge;
 pub use template::{Template, TemplateError};
-pub use workflow::{ActivationCtx, Activity, ActivityError, ActivityFn, FileStore, WorkflowDef};
+pub use workflow::{
+    ActivationCtx, Activity, ActivityError, ActivityFn, FetchFn, FileStore, WorkflowDef,
+};

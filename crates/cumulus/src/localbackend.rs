@@ -39,7 +39,8 @@ use provenance::{
 };
 use telemetry::{MetricsSnapshot, Telemetry};
 
-use crate::algebra::{Operator, Relation, Tuple};
+use crate::algebra::{Relation, Tuple};
+use crate::dispatch::{pair_key, split_path, PipelineState};
 use crate::pool::Pool;
 use crate::steer::{SlotId, SteeringBridge};
 use crate::workflow::{ActivationCtx, FileStore, WorkflowDef};
@@ -57,7 +58,12 @@ pub enum DispatchMode {
 }
 
 /// Local backend configuration.
+///
+/// Marked `#[non_exhaustive]`: construct it with [`LocalConfig::new`] (or
+/// `Default`) and the `with_*` builder methods rather than a struct
+/// literal, so new knobs can be added without breaking downstream crates.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct LocalConfig {
     /// Worker threads (≙ local cores).
     pub threads: usize,
@@ -98,6 +104,62 @@ impl Default for LocalConfig {
             steering_tick: None,
             durability: None,
         }
+    }
+}
+
+impl LocalConfig {
+    /// The default configuration (4 threads, pipelined dispatch, no failure
+    /// injection, telemetry disabled).
+    pub fn new() -> LocalConfig {
+        LocalConfig::default()
+    }
+
+    /// Set the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> LocalConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the failure-injection model.
+    pub fn with_failures(mut self, failures: FailureModel) -> LocalConfig {
+        self.failures = failures;
+        self
+    }
+
+    /// Set the per-activation retry budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> LocalConfig {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Resume from a prior workflow execution (skip activations it finished).
+    pub fn with_resume_from(mut self, prev: WorkflowId) -> LocalConfig {
+        self.resume_from = Some(prev);
+        self
+    }
+
+    /// Set the activation scheduling strategy.
+    pub fn with_mode(mut self, mode: DispatchMode) -> LocalConfig {
+        self.mode = mode;
+        self
+    }
+
+    /// Attach a telemetry sink.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> LocalConfig {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Enable the steering bridge at the given flush interval.
+    pub fn with_steering_tick(mut self, tick: std::time::Duration) -> LocalConfig {
+        self.steering_tick = Some(tick);
+        self
+    }
+
+    /// Override the provenance store's durability for this run.
+    pub fn with_durability(mut self, durability: provenance::Durability) -> LocalConfig {
+        self.durability = Some(durability);
+        self
     }
 }
 
@@ -152,95 +214,40 @@ impl std::error::Error for EngineError {}
 
 /// Per-activation result collected from a worker.
 #[derive(Default)]
-struct ActOutcome {
-    tuples: Vec<Tuple>,
-    finished: usize,
-    failed_attempts: usize,
-    aborted: usize,
-    blacklisted: usize,
-    resumed: usize,
-}
-
-/// Derive a stable key for one activation (provenance + failure rolls).
-///
-/// Single-tuple parts (Map/SplitMap/Filter activations) key on that tuple.
-/// Multi-tuple parts (Reduce groups, query relations) must key *order-
-/// insensitively*: the barrier executor assembles a group in submission
-/// order while the pipelined one collects it in completion order, and the
-/// key feeds both resume lookups and failure-fate rolls, which must agree
-/// across modes. They get the smallest per-tuple render plus a digest over
-/// the sorted renders.
-fn pair_key(tuples: &[Tuple]) -> String {
-    match tuples {
-        [] => String::from("<empty>"),
-        [t] => tuple_key(t),
-        many => {
-            let mut keys: Vec<String> = many.iter().map(tuple_key).collect();
-            keys.sort();
-            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-            for k in &keys {
-                for b in k.as_bytes() {
-                    h ^= *b as u64;
-                    h = h.wrapping_mul(0x100_0000_01b3);
-                }
-                h = h.wrapping_mul(0x100_0000_01b3); // separator
-            }
-            let first = keys.swap_remove(0);
-            format!("{first}*{h:016x}")
-        }
-    }
-}
-
-/// Render one tuple as a short key.
-///
-/// Integral floats render without the decimal point so that tuples resumed
-/// from provenance (which stores all numerics as floats) key identically to
-/// their original integer-typed versions.
-fn tuple_key(t: &Tuple) -> String {
-    let mut s = String::new();
-    for (k, v) in t.iter().enumerate() {
-        if k > 0 {
-            s.push(':');
-        }
-        let text = match v {
-            provenance::Value::Float(f) if f.fract() == 0.0 && f.abs() < 1e15 => {
-                format!("{}", *f as i64)
-            }
-            other => other.to_string(),
-        };
-        // keep keys short: long values (file bodies) are truncated
-        if text.len() > 24 {
-            s.push_str(&text[..24]);
-        } else {
-            s.push_str(&text);
-        }
-    }
-    s
+pub(crate) struct ActOutcome {
+    pub(crate) tuples: Vec<Tuple>,
+    pub(crate) finished: usize,
+    pub(crate) failed_attempts: usize,
+    pub(crate) aborted: usize,
+    pub(crate) blacklisted: usize,
+    pub(crate) resumed: usize,
 }
 
 /// Everything one activity's activations share, regardless of dispatch
-/// mode. Built once per activity, cloned (cheaply, all `Arc`s) into jobs.
-struct ActivityCtx {
-    act_id: ActivityId,
-    wkf: WorkflowId,
-    tag: String,
-    func: crate::workflow::ActivityFn,
-    blacklist: Option<crate::workflow::BlacklistFn>,
+/// mode (or backend: the distributed master reuses this for its
+/// provenance/steering/resume bookkeeping). Built once per activity,
+/// cloned (cheaply, all `Arc`s) into jobs.
+pub(crate) struct ActivityCtx {
+    pub(crate) act_id: ActivityId,
+    pub(crate) wkf: WorkflowId,
+    pub(crate) tag: String,
+    pub(crate) func: crate::workflow::ActivityFn,
+    pub(crate) blacklist: Option<crate::workflow::BlacklistFn>,
     /// Outputs this activity already finished in the resumed-from run.
-    prior: Arc<HashMap<String, Vec<Tuple>>>,
-    workdir_base: String,
-    files: Arc<FileStore>,
-    prov: Arc<ProvenanceStore>,
-    failures: FailureModel,
-    max_retries: u32,
-    start_base: Instant,
-    tel: Telemetry,
-    bridge: Option<Arc<SteeringBridge>>,
+    pub(crate) prior: Arc<HashMap<String, Vec<Tuple>>>,
+    pub(crate) workdir_base: String,
+    pub(crate) files: Arc<FileStore>,
+    pub(crate) prov: Arc<ProvenanceStore>,
+    pub(crate) failures: FailureModel,
+    pub(crate) max_retries: u32,
+    pub(crate) start_base: Instant,
+    pub(crate) tel: Telemetry,
+    pub(crate) bridge: Option<Arc<SteeringBridge>>,
 }
 
 impl ActivityCtx {
     #[allow(clippy::too_many_arguments)] // one-call-site constructor bundling run-wide context
-    fn build(
+    pub(crate) fn build(
         def: &WorkflowDef,
         i: usize,
         wkf: WorkflowId,
@@ -277,7 +284,7 @@ impl ActivityCtx {
     /// Write an attempt's definitive row: through the steering bridge when
     /// one is active (replacing its `RUNNING` row in place), directly into
     /// the store otherwise.
-    fn record(&self, slot: Option<SlotId>, rec: &ActivationRecord) -> TaskId {
+    pub(crate) fn record(&self, slot: Option<SlotId>, rec: &ActivationRecord) -> TaskId {
         match (&self.bridge, slot) {
             (Some(b), Some(s)) => b.resolve(s, rec),
             _ => self.prov.record_activation(rec),
@@ -285,14 +292,14 @@ impl ActivityCtx {
     }
 
     /// Register the attempt with the steering bridge, if one is active.
-    fn begin_attempt(&self, key: &str, start: f64, attempt: u32) -> Option<SlotId> {
+    pub(crate) fn begin_attempt(&self, key: &str, start: f64, attempt: u32) -> Option<SlotId> {
         self.bridge.as_ref().map(|b| b.begin(self.act_id, self.wkf, key, start, attempt as i64))
     }
 
     /// Execute one activation: resume lookup, blacklist rule, then the
     /// fate/retry loop with full provenance capture. `part_index` only
     /// names the activation's working directory.
-    fn run_activation(&self, part: &[Tuple], part_index: usize) -> ActOutcome {
+    pub(crate) fn run_activation(&self, part: &[Tuple], part_index: usize) -> ActOutcome {
         let mut out = ActOutcome::default();
         let key = pair_key(part);
         // one span per activation, covering the whole ready→terminal life
@@ -480,6 +487,13 @@ impl ActivityCtx {
 }
 
 /// Run a workflow on the local pool.
+///
+/// Deprecation note: prefer [`crate::backend::Backend::run`] on a
+/// [`crate::backend::LocalBackend`] in new code — it returns the
+/// backend-independent [`crate::backend::RunOutcome`] and lets callers swap
+/// execution substrates (local / distributed / simulated) behind one trait.
+/// This function remains as the underlying implementation and is not going
+/// away.
 pub fn run_local(
     def: &WorkflowDef,
     input: Relation,
@@ -603,38 +617,14 @@ fn run_barrier(
 /// identically to the barrier executor).
 type Completion = (usize, std::thread::Result<ActOutcome>);
 
-/// Dispatcher-side state of one activity in the pipelined executor.
-struct ActState {
-    /// Context shared with this activity's activations on the pool.
-    ctx: Arc<ActivityCtx>,
-    /// `Reduce`/`SRQuery`/`MRQuery` need the whole input relation before
-    /// partitioning; Map-like operators dispatch tuple-by-tuple.
-    is_barrier_op: bool,
-    /// Columns of this activity's *input* relation (upstream schema or the
-    /// workflow input schema) — needed for route filtering and Reduce keys.
-    input_columns: Vec<String>,
-    /// Buffered input tuples (barrier operators only).
-    buffer: Vec<Tuple>,
-    /// When the first tuple was buffered (barrier operators only) — start
-    /// of this activity's barrier-wait telemetry span.
-    barrier_wait_start: Option<u64>,
-    /// Upstream activities that have not closed yet.
-    upstream_open: usize,
-    /// Activations submitted but not yet completed.
-    in_flight: usize,
-    /// Next working-directory index (arrival order).
-    next_part: usize,
-    /// No more input will arrive (all upstreams closed + barrier flushed).
-    input_done: bool,
-    /// Output relation, filled in completion order.
-    output: Relation,
-    closed: bool,
-}
-
 /// Ready-driven dataflow executor (see module docs): activations are
 /// submitted the moment their input exists, with per-activity barriers only
-/// for Reduce/queries. Mirrors `simbackend::simulate`'s ready-queue
-/// structure, with the mpsc completion channel playing the event queue.
+/// for Reduce/queries. The scheduling state machine lives in
+/// [`crate::dispatch::PipelineState`] (shared with the distributed master);
+/// this function only binds its [`SubmitReq`]s to the local pool, with the
+/// mpsc completion channel playing the event queue.
+///
+/// [`SubmitReq`]: crate::dispatch::SubmitReq
 #[allow(clippy::too_many_arguments)]
 fn run_pipelined(
     def: &WorkflowDef,
@@ -647,127 +637,22 @@ fn run_pipelined(
     t0: Instant,
     bridge: &Option<Arc<SteeringBridge>>,
 ) -> Result<RunReport, EngineError> {
-    let n = def.activities.len();
-    let tel = cfg.telemetry.clone();
     let (tx, rx) = mpsc::channel::<Completion>();
-
-    // successors with edge multiplicity (a duplicated dep feeds twice, just
-    // like input_for's concatenation would)
-    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (i, deps) in def.deps.iter().enumerate() {
-        for &d in deps {
-            successors[d].push(i);
-        }
-    }
-
-    let mut states: Vec<ActState> = (0..n)
-        .map(|i| {
-            let activity = &def.activities[i];
-            let input_columns = if def.deps[i].is_empty() {
-                input.columns.clone()
-            } else {
-                // input_for asserts upstreams share a schema; check the
-                // static column lists up front since we stream per-edge
-                let first = &def.activities[def.deps[i][0]].output_columns;
-                for &d in &def.deps[i] {
-                    assert_eq!(
-                        &def.activities[d].output_columns, first,
-                        "activity {i}: upstream relations must share a schema"
-                    );
-                }
-                first.clone()
-            };
-            ActState {
-                ctx: Arc::new(ActivityCtx::build(def, i, wkf, &files, &prov, cfg, t0, bridge)),
-                is_barrier_op: matches!(
-                    activity.operator,
-                    Operator::Reduce { .. } | Operator::SRQuery | Operator::MRQuery
-                ),
-                input_columns,
-                buffer: Vec::new(),
-                barrier_wait_start: None,
-                upstream_open: def.deps[i].len(),
-                in_flight: 0,
-                next_part: 0,
-                input_done: false,
-                output: Relation { columns: activity.output_columns.clone(), tuples: Vec::new() },
-                closed: false,
-            }
-        })
+    let ctxs: Vec<Arc<ActivityCtx>> = (0..def.activities.len())
+        .map(|i| Arc::new(ActivityCtx::build(def, i, wkf, &files, &prov, cfg, t0, bridge)))
         .collect();
 
-    let submit =
-        |state: &mut ActState, i: usize, part: Vec<Tuple>, tx: &mpsc::Sender<Completion>| {
-            let j = state.next_part;
-            state.next_part += 1;
-            state.in_flight += 1;
-            let ctx = Arc::clone(&state.ctx);
-            let tx = tx.clone();
-            pool.spawn(move || {
-                let out = catch_unwind(AssertUnwindSafe(|| ctx.run_activation(&part, j)));
-                // the dispatcher owns the receiver for the whole run, so the
-                // send only fails if run_local is already unwinding
-                let _ = tx.send((i, out));
-            });
-        };
-
-    // deliver tuples to activity `i`, applying its route filter against its
-    // input schema exactly as input_for does on the assembled relation
-    let feed = |state: &mut ActState,
-                i: usize,
-                route: &Option<(String, provenance::Value)>,
-                tuples: Vec<Tuple>,
-                tx: &mpsc::Sender<Completion>| {
-        let mut accepted = tuples;
-        if let Some((col, val)) = route {
-            match state.input_columns.iter().position(|c| c.eq_ignore_ascii_case(col)) {
-                Some(ci) => accepted.retain(|t| t[ci].sql_eq(val).unwrap_or(false)),
-                None => accepted.clear(),
-            }
-        }
-        if state.is_barrier_op {
-            if state.barrier_wait_start.is_none() && !accepted.is_empty() {
-                state.barrier_wait_start = Some(tel.now_ns());
-            }
-            state.buffer.extend(accepted);
-        } else {
-            // Map/SplitMap/Filter partition one activation per tuple, so
-            // each tuple is ready the moment it arrives
-            for t in accepted {
-                submit(state, i, vec![t], tx);
-            }
-        }
+    let submit = |req: crate::dispatch::SubmitReq| {
+        let ctx = Arc::clone(&ctxs[req.activity]);
+        let tx = tx.clone();
+        pool.spawn(move || {
+            let out =
+                catch_unwind(AssertUnwindSafe(|| ctx.run_activation(&req.part, req.part_index)));
+            // the dispatcher owns the receiver for the whole run, so the
+            // send only fails if run_local is already unwinding
+            let _ = tx.send((req.activity, out));
+        });
     };
-
-    // when every upstream has closed: flush barrier operators (partition
-    // the buffered relation) and mark the input complete
-    let flush =
-        |state: &mut ActState, i: usize, operator: &Operator, tx: &mpsc::Sender<Completion>| {
-            debug_assert!(!state.input_done);
-            if state.is_barrier_op {
-                // the span from "first tuple buffered" to "last upstream
-                // closed" is exactly how long the algebra forced this
-                // activity to wait at its barrier
-                if let Some(start) = state.barrier_wait_start.take() {
-                    tel.record_span_at(
-                        "barrier",
-                        &format!("wait.{}", def.activities[i].tag),
-                        None,
-                        start,
-                        tel.now_ns(),
-                        Some("pipelined barrier operator waited for full input relation"),
-                    );
-                }
-                let rel = Relation {
-                    columns: state.input_columns.clone(),
-                    tuples: std::mem::take(&mut state.buffer),
-                };
-                for part in operator.partition(&rel) {
-                    submit(state, i, part, tx);
-                }
-            }
-            state.input_done = true;
-        };
 
     let mut report = RunReport {
         workflow: wkf,
@@ -780,99 +665,38 @@ fn run_pipelined(
         outputs: Vec::new(),
         metrics: None,
     };
-    let mut open = n;
 
-    // seed: source activities read the (route-filtered) workflow input
-    let mut to_close: Vec<usize> = Vec::new();
-    for (i, state) in states.iter_mut().enumerate() {
-        if def.deps[i].is_empty() {
-            let activity = &def.activities[i];
-            feed(state, i, &activity.route, input.tuples.clone(), &tx);
-            flush(state, i, &activity.operator, &tx);
-            if state.in_flight == 0 {
-                to_close.push(i);
-            }
-        }
+    let (mut pipe, seeds) = PipelineState::new(def, &input, cfg.telemetry.clone());
+    for req in seeds {
+        submit(req);
     }
-
     // event loop: consume completions until every activity closes. The
     // invariant that keeps `recv` live: the topologically first non-closed
     // activity always has `input_done` and therefore in-flight work (or it
     // would have closed already).
-    while open > 0 {
-        // cascade closures breadth-first; closing an activity may complete
-        // the input of (and immediately close) an empty downstream
-        while let Some(i) = to_close.pop() {
-            let state = &mut states[i];
-            debug_assert!(state.input_done && state.in_flight == 0 && !state.closed);
-            state.closed = true;
-            open -= 1;
-            // outputs were already streamed to successors as each
-            // activation completed; closing only completes their input
-            for &d in &successors[i] {
-                let dstate = &mut states[d];
-                dstate.upstream_open -= 1;
-                if dstate.upstream_open == 0 {
-                    flush(dstate, d, &def.activities[d].operator, &tx);
-                    if dstate.in_flight == 0 && !dstate.closed {
-                        to_close.push(d);
-                    }
-                }
-            }
-        }
-        if open == 0 {
-            break;
-        }
-
+    while !pipe.done() {
         let (i, outcome) = rx.recv().expect("dispatcher holds a sender");
         let outcome = match outcome {
             Ok(o) => o,
             Err(payload) => resume_unwind(payload),
         };
         tally(&mut report, &outcome);
-        let state = &mut states[i];
-        state.in_flight -= 1;
-        for t in &outcome.tuples {
-            assert_eq!(
-                t.len(),
-                state.output.columns.len(),
-                "activity {} produced tuple of wrong arity",
-                def.activities[i].tag
-            );
-        }
-        state.output.tuples.extend(outcome.tuples.iter().cloned());
-        // stream this activation's outputs straight into ready downstreams
-        // (tuple-at-a-time operators start working on them immediately;
-        // barrier operators buffer until this activity closes)
-        if !outcome.tuples.is_empty() {
-            for &d in &successors[i] {
-                feed(&mut states[d], d, &def.activities[d].route, outcome.tuples.clone(), &tx);
-            }
-        }
-        let state = &states[i];
-        if state.input_done && state.in_flight == 0 && !state.closed {
-            to_close.push(i);
+        for req in pipe.on_completion(i, &outcome.tuples) {
+            submit(req);
         }
     }
 
-    report.outputs = states.into_iter().map(|s| s.output).collect();
+    report.outputs = pipe.into_outputs();
     report.total_seconds = t0.elapsed().as_secs_f64();
     Ok(report)
 }
 
-fn tally(report: &mut RunReport, out: &ActOutcome) {
+pub(crate) fn tally(report: &mut RunReport, out: &ActOutcome) {
     report.finished += out.finished;
     report.failed_attempts += out.failed_attempts;
     report.aborted += out.aborted;
     report.blacklisted += out.blacklisted;
     report.resumed += out.resumed;
-}
-
-fn split_path(path: &str) -> (&str, &str) {
-    match path.rfind('/') {
-        Some(i) => (&path[..i + 1], &path[i + 1..]),
-        None => ("", path),
-    }
 }
 
 #[cfg(test)]

@@ -43,7 +43,12 @@ pub struct SimTask {
 }
 
 /// Simulation configuration.
+///
+/// Marked `#[non_exhaustive]`: construct it with [`SimConfig::new`] (or
+/// `Default`) and the `with_*` builder methods rather than a struct
+/// literal, so new knobs can be added without breaking downstream crates.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// Master seed for every stochastic component.
     pub seed: u64,
@@ -104,6 +109,104 @@ impl Default for SimConfig {
     }
 }
 
+impl SimConfig {
+    /// The default configuration (one m3.xlarge, greedy-weighted policy,
+    /// no failure injection, Hg rule on, telemetry disabled).
+    pub fn new() -> SimConfig {
+        SimConfig::default()
+    }
+
+    /// Set the master seed for every stochastic component.
+    pub fn with_seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the initial fleet.
+    pub fn with_fleet(mut self, fleet: Vec<&'static InstanceType>) -> SimConfig {
+        self.fleet = fleet;
+        self
+    }
+
+    /// Set the VM performance-noise model.
+    pub fn with_noise(mut self, noise: NoiseModel) -> SimConfig {
+        self.noise = noise;
+        self
+    }
+
+    /// Set the failure-injection model.
+    pub fn with_failures(mut self, failures: FailureModel) -> SimConfig {
+        self.failures = failures;
+        self
+    }
+
+    /// Set the per-activation retry budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> SimConfig {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Set the hang-detector timeout factor.
+    pub fn with_hang_timeout_factor(mut self, factor: f64) -> SimConfig {
+        self.hang_timeout_factor = factor;
+        self
+    }
+
+    /// Set the shared-filesystem model.
+    pub fn with_sharedfs(mut self, sharedfs: SharedFsModel) -> SimConfig {
+        self.sharedfs = sharedfs;
+        self
+    }
+
+    /// Set the scheduling policy.
+    pub fn with_policy(mut self, policy: Policy) -> SimConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the master dispatch cost model.
+    pub fn with_master(mut self, master: MasterCostModel) -> SimConfig {
+        self.master = master;
+        self
+    }
+
+    /// Enable adaptive elasticity.
+    pub fn with_elasticity(mut self, elasticity: ElasticityConfig) -> SimConfig {
+        self.elasticity = Some(elasticity);
+        self
+    }
+
+    /// Install (or remove) the provenance-driven Hg blacklist rule.
+    pub fn with_hg_rule(mut self, on: bool) -> SimConfig {
+        self.hg_rule = on;
+        self
+    }
+
+    /// Set the workflow tag recorded in provenance.
+    pub fn with_workflow_tag(mut self, tag: impl Into<String>) -> SimConfig {
+        self.workflow_tag = tag.into();
+        self
+    }
+
+    /// Set the activity tags by `activity_index`.
+    pub fn with_activity_tags(mut self, tags: Vec<String>) -> SimConfig {
+        self.activity_tags = tags;
+        self
+    }
+
+    /// Feed the scheduler per-activity weights mined from a prior run.
+    pub fn with_weight_profile(mut self, profile: Vec<f64>) -> SimConfig {
+        self.weight_profile = Some(profile);
+        self
+    }
+
+    /// Attach a telemetry sink.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> SimConfig {
+        self.telemetry = telemetry;
+        self
+    }
+}
+
 /// Simulation outcome.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -145,6 +248,13 @@ enum Event {
 /// Run the simulation. When `prov` is given, every activation is recorded
 /// with its simulated timestamps, so the paper's provenance queries run
 /// against simulated executions too.
+///
+/// Deprecation note: prefer [`crate::backend::Backend::run`] on a
+/// [`crate::backend::SimBackend`] when simulating a real [`crate::workflow::WorkflowDef`]
+/// — it synthesizes the task DAG from the workflow shape and returns the
+/// backend-independent [`crate::backend::RunOutcome`]. This function remains
+/// the underlying engine for cost-model studies that build [`SimTask`]s
+/// directly (the paper's scaling sweeps) and is not going away.
 pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStore>) -> SimReport {
     assert!(!cfg.fleet.is_empty(), "fleet must contain at least one VM");
     let n = tasks.len();

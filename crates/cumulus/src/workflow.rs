@@ -3,19 +3,39 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use provenance::Value;
 
 use crate::algebra::{Operator, Relation, Tuple};
 
+/// Read-through hook consulted by [`FileStore::read`] on a local miss (e.g.
+/// a distributed worker fetching a staged input from the master's store).
+/// Returns `None` when the remote side doesn't have the file either.
+pub type FetchFn = Box<dyn Fn(&str) -> Option<String> + Send + Sync>;
+
 /// The in-memory shared filesystem (stands in for the s3fs mount): path →
 /// file contents. Thread-safe; activations on any worker see each other's
 /// files.
-#[derive(Debug, Default)]
+///
+/// A store may carry a read-through [`FetchFn`]: on a local `read` miss the
+/// hook is consulted and a hit is cached locally, so a distributed worker
+/// transparently pulls inputs it doesn't hold yet. `exists`/`size`/`list`
+/// stay strictly local — only `read` reaches out.
+#[derive(Default)]
 pub struct FileStore {
     files: Mutex<HashMap<String, String>>,
+    fetch: OnceLock<FetchFn>,
+}
+
+impl fmt::Debug for FileStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileStore")
+            .field("files", &self.files)
+            .field("fetch", &self.fetch.get().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl FileStore {
@@ -29,9 +49,23 @@ impl FileStore {
         self.files.lock().insert(path.to_string(), contents.into());
     }
 
-    /// Read a file's contents.
+    /// Read a file's contents. On a local miss, consults the remote-fetch
+    /// hook (if [`FileStore::set_fetch_hook`] installed one) and caches a
+    /// hit locally so repeat reads stay in-process.
     pub fn read(&self, path: &str) -> Option<String> {
-        self.files.lock().get(path).cloned()
+        if let Some(c) = self.files.lock().get(path).cloned() {
+            return Some(c);
+        }
+        let fetched = self.fetch.get()?(path)?;
+        self.files.lock().entry(path.to_string()).or_insert_with(|| fetched.clone());
+        Some(fetched)
+    }
+
+    /// Install the read-through hook consulted on local `read` misses.
+    /// Settable once per store; a second call is ignored (the first hook
+    /// wins), which keeps an already-wired worker store consistent.
+    pub fn set_fetch_hook(&self, hook: FetchFn) {
+        let _ = self.fetch.set(hook);
     }
 
     /// File size in bytes, if present.
@@ -302,6 +336,36 @@ mod tests {
         assert_eq!(fs.list("/a/"), vec!["/a/b.txt", "/a/c.txt"]);
         assert_eq!(fs.len(), 2);
         assert_eq!(fs.total_bytes(), 6);
+    }
+
+    #[test]
+    fn filestore_fetch_hook_reads_through_and_caches() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = Arc::new(AtomicUsize::new(0));
+        let fs = FileStore::new();
+        let c = Arc::clone(&calls);
+        fs.set_fetch_hook(Box::new(move |path| {
+            c.fetch_add(1, Ordering::SeqCst);
+            (path == "/remote/only.txt").then(|| "from master".to_string())
+        }));
+        // local files never hit the hook
+        fs.write("/local.txt", "here");
+        assert_eq!(fs.read("/local.txt").as_deref(), Some("here"));
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
+        // miss → fetch → cached, so the second read is local
+        assert_eq!(fs.read("/remote/only.txt").as_deref(), Some("from master"));
+        assert_eq!(fs.read("/remote/only.txt").as_deref(), Some("from master"));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        // exists/size stay strictly local
+        assert!(!fs.exists("/remote/other.txt"));
+        assert_eq!(fs.size("/remote/other.txt"), None);
+        // a remote miss is a miss (and not cached)
+        assert_eq!(fs.read("/remote/other.txt"), None);
+        assert_eq!(fs.read("/remote/other.txt"), None);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        // second hook install is ignored
+        fs.set_fetch_hook(Box::new(|_| Some("usurper".into())));
+        assert_eq!(fs.read("/remote/other.txt"), None);
     }
 
     #[test]

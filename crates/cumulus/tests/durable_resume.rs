@@ -63,7 +63,7 @@ fn injected_crash_mid_run_then_reopen_and_resume() {
         input(N),
         Arc::new(FileStore::new()),
         Arc::clone(&prov_ref),
-        &LocalConfig { threads: 2, ..Default::default() },
+        &LocalConfig::new().with_threads(2),
     )
     .unwrap();
     assert_eq!(full.finished, N as usize);
@@ -83,7 +83,7 @@ fn injected_crash_mid_run_then_reopen_and_resume() {
             input(N),
             Arc::new(FileStore::new()),
             Arc::clone(&prov1),
-            &LocalConfig { threads: 2, ..Default::default() },
+            &LocalConfig::new().with_threads(2),
         )
     }));
     assert!(crashed.is_err(), "the injected fault must kill the run");
@@ -108,7 +108,7 @@ fn injected_crash_mid_run_then_reopen_and_resume() {
         input(N),
         Arc::new(FileStore::new()),
         Arc::clone(&prov2),
-        &LocalConfig { threads: 2, resume_from: Some(prior), ..Default::default() },
+        &LocalConfig::new().with_threads(2).with_resume_from(prior),
     )
     .unwrap();
     assert_eq!(resumed.resumed as i64, recovered, "every recovered FINISHED row is reused");
@@ -129,7 +129,7 @@ fn torn_wal_tail_recovers_committed_prefix_and_resumes() {
         input(N),
         Arc::new(FileStore::new()),
         Arc::clone(&prov1),
-        &LocalConfig { threads: 2, ..Default::default() },
+        &LocalConfig::new().with_threads(2),
     )
     .unwrap();
     drop(prov1);
@@ -156,7 +156,7 @@ fn torn_wal_tail_recovers_committed_prefix_and_resumes() {
         input(N),
         Arc::new(FileStore::new()),
         Arc::clone(&prov2),
-        &LocalConfig { threads: 2, resume_from: Some(prior), ..Default::default() },
+        &LocalConfig::new().with_threads(2).with_resume_from(prior),
     )
     .unwrap();
     assert_eq!(resumed.finished + resumed.resumed, N as usize);
@@ -174,12 +174,10 @@ fn durability_knob_and_steering_flush_reach_the_wal() {
     assert!(prov.is_durable());
     let calls = Arc::new(AtomicUsize::new(0));
     let wf = doubling_workflow(&calls);
-    let cfg = LocalConfig {
-        threads: 2,
-        durability: Some(Durability::Sync),
-        steering_tick: Some(std::time::Duration::from_millis(1)),
-        ..Default::default()
-    };
+    let cfg = LocalConfig::new()
+        .with_threads(2)
+        .with_durability(Durability::Sync)
+        .with_steering_tick(std::time::Duration::from_millis(1));
     let r = run_local(&wf, input(N), Arc::new(FileStore::new()), Arc::clone(&prov), &cfg).unwrap();
     assert_eq!(r.finished, N as usize);
     drop(prov);
@@ -196,7 +194,7 @@ fn durability_knob_and_steering_flush_reach_the_wal() {
         input(N),
         Arc::new(FileStore::new()),
         Arc::clone(&prov2),
-        &LocalConfig { resume_from: Some(prior), ..Default::default() },
+        &LocalConfig::new().with_resume_from(prior),
     )
     .unwrap();
     assert_eq!(r2.resumed, N as usize);

@@ -37,7 +37,7 @@ pub mod table;
 pub mod value;
 
 pub use durable::{Durability, DurableError, DurableOptions};
-pub use provn::export_provn;
+pub use provn::{export_provn, export_provn_canonical};
 pub use provwf::{
     ActivationRecord, ActivationStatus, ActivityId, MachineId, ProvenanceStore, TaskId, WorkflowId,
 };

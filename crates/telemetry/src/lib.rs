@@ -625,6 +625,43 @@ impl Telemetry {
     pub fn export_chrome_trace(&self) -> Option<String> {
         self.inner.as_ref().map(|c| chrome::export(c))
     }
+
+    /// Merge spans measured on a *remote* clock into this collector, placed
+    /// on `track` (usually one lane per worker, from [`Telemetry::alloc_track`]).
+    /// Each timestamp is shifted by `offset_ns` — the master-epoch time minus
+    /// the remote-epoch time at a common instant — so remote spans line up
+    /// with local ones in a Chrome trace. No-op when disabled.
+    pub fn import_spans(&self, track: u64, offset_ns: i64, spans: &[RemoteSpan]) {
+        if self.inner.is_none() {
+            return;
+        }
+        let shift = |t: u64| -> u64 { (t as i64).saturating_add(offset_ns).max(0) as u64 };
+        for s in spans {
+            self.record_span_at(
+                "worker",
+                &s.name,
+                Some(track),
+                shift(s.start_ns),
+                shift(s.end_ns),
+                s.detail.as_deref(),
+            );
+        }
+    }
+}
+
+/// A span measured on a remote worker's own monotonic clock, shipped back in
+/// a result frame and merged into the master's collector with
+/// [`Telemetry::import_spans`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteSpan {
+    /// Span name (e.g. the activity tag the worker executed).
+    pub name: String,
+    /// Start, in nanoseconds since the worker's epoch.
+    pub start_ns: u64,
+    /// End, in nanoseconds since the worker's epoch.
+    pub end_ns: u64,
+    /// Optional human detail (pair key, attempt number, …).
+    pub detail: Option<String>,
 }
 
 #[cfg(test)]
@@ -777,6 +814,34 @@ mod tests {
         let t = snap.tracks.iter().find(|t| t.track == vm).expect("vm track present");
         assert_eq!(t.name, "vm-0 (m3.xlarge)");
         assert!((t.busy_s - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remote_spans_merge_onto_their_track_with_clock_shift() {
+        let tel = Telemetry::attached();
+        let lane = tel.alloc_track("worker-1 (pid 4242)");
+        let spans = vec![
+            RemoteSpan {
+                name: "vina".into(),
+                start_ns: 5_000,
+                end_ns: 1_000_005_000,
+                detail: Some("pair=1AEC:042 attempt=0".into()),
+            },
+            RemoteSpan { name: "rank".into(), start_ns: 10, end_ns: 20, detail: None },
+        ];
+        // offset larger than the remote timestamps: all spans shift forward
+        tel.import_spans(lane, 2_000_000_000, &spans);
+        let snap = tel.snapshot().unwrap();
+        let t = snap.tracks.iter().find(|t| t.track == lane).expect("worker lane present");
+        assert_eq!(t.name, "worker-1 (pid 4242)");
+        assert!((t.busy_s - 1.0).abs() < 1e-6, "busy {} != imported span time", t.busy_s);
+        let trace = tel.export_chrome_trace().unwrap();
+        assert!(trace.contains("pair=1AEC:042 attempt=0"));
+        // a negative offset saturates at 0 instead of wrapping
+        tel.import_spans(lane, -1_000_000, &[spans[1].clone()]);
+        json::validate(&tel.export_chrome_trace().unwrap()).unwrap();
+        // disabled handles ignore imports entirely
+        Telemetry::disabled().import_spans(lane, 0, &spans);
     }
 
     #[test]

@@ -50,13 +50,11 @@ fn main() {
         input,
         files,
         Arc::clone(&prov),
-        &LocalConfig {
-            threads: 4,
-            mode: DispatchMode::Pipelined,
-            telemetry: tel.clone(),
-            steering_tick: Some(Duration::from_millis(50)),
-            ..Default::default()
-        },
+        &LocalConfig::new()
+            .with_threads(4)
+            .with_mode(DispatchMode::Pipelined)
+            .with_telemetry(tel.clone())
+            .with_steering_tick(Duration::from_millis(50)),
     )
     .expect("workflow validated");
     watcher.join().expect("watcher thread");

@@ -29,17 +29,15 @@ fn main() {
         input.clone(),
         Arc::clone(&files),
         Arc::clone(&prov),
-        &LocalConfig {
-            threads: 4,
-            failures: FailureModel {
+        &LocalConfig::new()
+            .with_threads(4)
+            .with_failures(FailureModel {
                 fail_rate: 0.30,
                 hang_rate: 0.0,
                 fail_at_fraction: 0.5,
                 seed: 99,
-            },
-            max_retries: 0,
-            ..Default::default()
-        },
+            })
+            .with_max_retries(0),
     )
     .expect("valid workflow");
     println!(
@@ -56,13 +54,11 @@ fn main() {
         input,
         Arc::clone(&files),
         Arc::clone(&prov),
-        &LocalConfig {
-            threads: 4,
-            failures: FailureModel::none(),
-            max_retries: 3,
-            resume_from: Some(run1.workflow),
-            ..Default::default()
-        },
+        &LocalConfig::new()
+            .with_threads(4)
+            .with_failures(FailureModel::none())
+            .with_max_retries(3)
+            .with_resume_from(run1.workflow),
     )
     .expect("valid workflow");
     println!(

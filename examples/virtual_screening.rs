@@ -45,7 +45,7 @@ fn main() {
         input,
         Arc::clone(&files),
         Arc::clone(&prov),
-        &LocalConfig { threads: 8, ..Default::default() },
+        &LocalConfig::new().with_threads(8),
     )
     .expect("workflow is valid");
 

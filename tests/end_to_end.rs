@@ -51,7 +51,7 @@ fn full_pipeline_produces_consistent_results_in_three_places() {
         input,
         Arc::clone(&files),
         Arc::clone(&prov),
-        &LocalConfig { threads: 2, ..Default::default() },
+        &LocalConfig::new().with_threads(2),
     )
     .unwrap();
 
@@ -88,8 +88,7 @@ fn pipeline_is_deterministic() {
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::VinaOnly, &cfg, Arc::clone(&files));
         let report =
-            run_local(&wf, input, files, prov, &LocalConfig { threads: 2, ..Default::default() })
-                .unwrap();
+            run_local(&wf, input, files, prov, &LocalConfig::new().with_threads(2)).unwrap();
         results_from_relation(report.final_output())
     };
     let a = run();
@@ -112,17 +111,15 @@ fn failure_injection_recovers_through_retries() {
         input,
         files,
         Arc::clone(&prov),
-        &LocalConfig {
-            threads: 2,
-            failures: FailureModel {
+        &LocalConfig::new()
+            .with_threads(2)
+            .with_failures(FailureModel {
                 fail_rate: 0.25,
                 hang_rate: 0.0,
                 fail_at_fraction: 0.5,
                 seed: 3,
-            },
-            max_retries: 8,
-            ..Default::default()
-        },
+            })
+            .with_max_retries(8),
     )
     .unwrap();
     assert!(report.failed_attempts > 0, "25% fail rate must produce failures");
