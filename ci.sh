@@ -36,4 +36,7 @@ cargo test -q -p scidock-bench --test dist_parity
 cargo test -q -p scidock-bench --test dist_fault
 cargo run --release -p scidock-bench --bin dist_bench -- --smoke
 
+echo "== elastic fleet: queue-depth autoscaler beats a fixed 1-worker fleet =="
+cargo run --release -p scidock-bench --bin fleet_bench -- --smoke
+
 echo "CI OK"

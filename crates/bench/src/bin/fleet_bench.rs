@@ -1,0 +1,157 @@
+//! `fleet_bench` — measures the elastic fleet controller against a fixed
+//! fleet, with real `scidock-worker` OS processes.
+//!
+//! Three stages:
+//!
+//! 1. a sleep workload on a fixed 1-worker fleet (the baseline a static
+//!    allocation gives you when you under-provision),
+//! 2. the same workload starting from 1 worker under the queue-depth
+//!    autoscaler capped at 3 — the controller must grow the fleet mid-run,
+//!    beat the baseline, and drain-then-retire what it grew,
+//! 3. the same workload under the cost-aware policy, reporting the
+//!    per-started-hour fleet cost alongside the wall-clock.
+//!
+//! A JSON sidecar (`target/fleet_bench.json`) records the trajectory so it
+//! can be diffed across PRs. `--smoke` additionally asserts the elastic
+//! run beats the fixed 1-worker wall-clock and never exceeds its cap —
+//! sleep tasks overlap even on a starved host, so there is no core floor.
+
+use std::sync::Arc;
+
+use cloudsim::BillingModel;
+use cumulus::distbackend::{run_dist, DistConfig};
+use cumulus::workflow::FileStore;
+use cumulus::{
+    CostAwareConfig, CostAwareScheduler, QueueDepthConfig, QueueDepthScheduler, RunReport,
+    SchedulerFactory,
+};
+use provenance::ProvenanceStore;
+use scidock_bench::distspec;
+use scidock_bench::sidecar::Sidecar;
+
+/// 12 sleep activations of 400 ms: ~4.8 s serially, ~1.6 s on 3 workers.
+const SPEC: &str = "unit:sleep:12:400";
+const TASKS: usize = 12;
+const MAX_WORKERS: usize = 3;
+
+fn worker_bin() -> String {
+    let exe = std::env::current_exe().expect("own path");
+    let bin = exe.parent().expect("bin dir").join("scidock-worker");
+    if !bin.exists() {
+        eprintln!(
+            "fleet_bench: worker binary missing at {} (build it with \
+             `cargo build --release -p scidock-bench --bin scidock-worker`)",
+            bin.display()
+        );
+        std::process::exit(2);
+    }
+    bin.to_string_lossy().into_owned()
+}
+
+fn run(scheduler: Option<SchedulerFactory>) -> RunReport {
+    let files = Arc::new(FileStore::new());
+    let prov = Arc::new(ProvenanceStore::new());
+    let def = distspec::resolve_with(SPEC, &files).expect("known spec");
+    let input = distspec::prepare(SPEC, &files).expect("known spec");
+    let mut cfg = DistConfig::new()
+        .with_workers(1)
+        .with_worker_command(worker_bin(), Vec::new())
+        .with_spec(SPEC)
+        .with_max_in_flight(1);
+    if let Some(factory) = scheduler {
+        cfg = cfg.with_scheduler(factory);
+    }
+    run_dist(&def, input, files, prov, &cfg).expect("distributed run")
+}
+
+fn trace_line(report: &RunReport) -> String {
+    report
+        .scale_events
+        .iter()
+        .map(|e| format!("c{}:{:?}@{}", e.completions, e.decision, e.fleet))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut sidecar = Sidecar::new();
+
+    println!("== fleet_bench: {SPEC} over scidock-worker processes ==");
+    let fixed = run(None);
+    println!(
+        "  fixed 1 worker     : {:>7.3}s  ({} activations, peak {})",
+        fixed.total_seconds, fixed.finished, fixed.peak_workers
+    );
+    assert_eq!(fixed.finished, TASKS);
+    assert_eq!(fixed.peak_workers, 1, "the fixed policy must never scale");
+    sidecar.push("fixed_1worker_s", format!("{:.4}", fixed.total_seconds));
+
+    let elastic = run(Some(SchedulerFactory::new(|| {
+        Box::new(QueueDepthScheduler::new(QueueDepthConfig {
+            max_workers: MAX_WORKERS,
+            ..QueueDepthConfig::default()
+        }))
+    })));
+    println!(
+        "  queue-depth (1..{MAX_WORKERS}): {:>7.3}s  ({} activations, peak {})",
+        elastic.total_seconds, elastic.finished, elastic.peak_workers
+    );
+    println!("    trace: {}", trace_line(&elastic));
+    let speedup = fixed.total_seconds / elastic.total_seconds.max(1e-9);
+    println!("    speedup vs fixed: {speedup:.2}x");
+    assert_eq!(elastic.finished, TASKS);
+    assert_eq!(elastic.failed_attempts, 0, "drain-then-retire loses no work");
+    assert!(
+        !elastic.scale_events.is_empty(),
+        "the autoscaler must make at least one scale decision"
+    );
+    sidecar.push("elastic_s", format!("{:.4}", elastic.total_seconds));
+    sidecar.push("elastic_peak_workers", format!("{}", elastic.peak_workers));
+    sidecar.push("elastic_scale_events", format!("{}", elastic.scale_events.len()));
+    sidecar.push("speedup", format!("{speedup:.3}"));
+
+    // cost-aware: the same backlog priced at m1.small's $0.060/hour with a
+    // 2 s time-to-clear target and a budget that affords three workers
+    let billing = BillingModel::per_hour(0.060);
+    let costly = run(Some(SchedulerFactory::new(move || {
+        Box::new(CostAwareScheduler::new(CostAwareConfig {
+            max_usd_per_hour: 3.0 * billing.hourly_usd,
+            target_seconds: 2.0,
+            ..CostAwareConfig::new(billing, vec![0.4])
+        }))
+    })));
+    let cost = costly.fleet_cost_usd.expect("cost-aware runs carry a fleet cost");
+    println!(
+        "  cost-aware         : {:>7.3}s  (peak {}, fleet cost ${cost:.3})",
+        costly.total_seconds, costly.peak_workers
+    );
+    assert_eq!(costly.finished, TASKS);
+    assert!(
+        costly.peak_workers <= MAX_WORKERS,
+        "the $/hour cap must bound the fleet at {MAX_WORKERS}"
+    );
+    sidecar.push("cost_aware_s", format!("{:.4}", costly.total_seconds));
+    sidecar.push("cost_aware_peak_workers", format!("{}", costly.peak_workers));
+    sidecar.push("cost_aware_fleet_usd", format!("{cost:.4}"));
+
+    if smoke {
+        assert!(
+            elastic.peak_workers <= MAX_WORKERS,
+            "peak {} exceeded the {MAX_WORKERS}-worker cap",
+            elastic.peak_workers
+        );
+        assert!(elastic.peak_workers > 1, "the autoscaler never grew beyond the seed worker");
+        assert!(
+            elastic.total_seconds < fixed.total_seconds,
+            "elastic {:.3}s must beat the fixed 1-worker {:.3}s",
+            elastic.total_seconds,
+            fixed.total_seconds
+        );
+        println!("smoke: elastic beat fixed ({speedup:.2}x) within the {MAX_WORKERS}-worker cap");
+    }
+
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/fleet_bench.json", sidecar.to_json()).expect("write sidecar");
+    println!("sidecar written to target/fleet_bench.json");
+}

@@ -14,14 +14,18 @@
 
 #![warn(missing_docs)]
 
+pub mod billing;
 pub mod des;
 pub mod failure;
 pub mod instance;
 pub mod sharedfs;
 pub mod vm;
 
+pub use billing::BillingModel;
 pub use des::{EventQueue, SimTime};
 pub use failure::{FailureModel, Fate};
-pub use instance::{by_name, fleet_for_cores, InstanceType, CATALOG, M3_2XLARGE, M3_XLARGE};
+pub use instance::{
+    by_name, fleet_for_cores, InstanceType, CATALOG, M1_SMALL, M3_2XLARGE, M3_LARGE, M3_XLARGE,
+};
 pub use sharedfs::SharedFsModel;
 pub use vm::{sim_ns, Cluster, NoiseModel, Vm, VmId};

@@ -165,8 +165,7 @@ impl Cluster {
             .map(|v| {
                 let start = v.ready_at - v.itype.boot_seconds;
                 let end = v.released_at.unwrap_or(now).max(start);
-                let hours = ((end - start) / 3600.0).ceil().max(1.0);
-                hours * v.itype.hourly_usd
+                crate::billing::BillingModel::of(v.itype).charge(end - start)
             })
             .sum()
     }

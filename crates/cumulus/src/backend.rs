@@ -124,6 +124,14 @@ pub struct RunOutcome {
     pub metrics: Option<MetricsSnapshot>,
     /// Per-activity wall-time statistics folded from provenance.
     pub activity_timings: Vec<ActivityTiming>,
+    /// Scale decisions taken by the elastic fleet policy, in order (empty
+    /// for fixed fleets). Identical across `DistBackend` and `SimBackend`
+    /// under the same policy and workload — the parity tests assert this.
+    pub scale_events: Vec<crate::fleet::ScaleEvent>,
+    /// Largest provisioned fleet at any point in the run.
+    pub peak_workers: usize,
+    /// Fleet bill under the active cost model, when one applies.
+    pub fleet_cost_usd: Option<f64>,
 }
 
 impl RunOutcome {
@@ -150,6 +158,9 @@ impl RunOutcome {
             outputs: report.outputs,
             metrics: report.metrics,
             activity_timings,
+            scale_events: report.scale_events,
+            peak_workers: report.peak_workers,
+            fleet_cost_usd: report.fleet_cost_usd,
         }
     }
 }
@@ -381,6 +392,9 @@ impl Backend for SimBackend {
             outputs: Vec::new(),
             metrics: report.metrics,
             activity_timings: activity_timings(store, wkf),
+            scale_events: report.scale_events,
+            peak_workers: report.peak_vms,
+            fleet_cost_usd: Some(report.cost_usd),
         })
     }
 }

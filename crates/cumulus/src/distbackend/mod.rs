@@ -49,6 +49,7 @@ use telemetry::{RemoteSpan, Telemetry};
 use crate::algebra::Relation;
 use crate::dispatch::{pair_key, split_path, PipelineState, SubmitReq};
 use crate::error::CumulusError;
+use crate::fleet::{FleetController, FleetSnapshot, ScaleDecision, SchedulerFactory, WorkerView};
 use crate::localbackend::{tally, ActOutcome, ActivityCtx, LocalConfig, RunReport};
 use crate::steer::SteeringBridge;
 use crate::workflow::{FileStore, WorkflowDef};
@@ -115,6 +116,11 @@ pub struct DistConfig {
     pub durability: Option<provenance::Durability>,
     /// Fault-drill hook (tests / `dist_bench`).
     pub kill_plan: Option<KillPlan>,
+    /// Elastic fleet policy. `None` = fixed fleet (today's behavior): the
+    /// run starts with [`DistConfig::workers`] workers and keeps them.
+    /// With a factory, the controller re-evaluates after every completion
+    /// and may spawn new workers mid-run or drain-then-retire idle ones.
+    pub scheduler: Option<SchedulerFactory>,
     /// Test-only: in-process worker index that never heartbeats, to drill
     /// the master's liveness timeout.
     pub(crate) mute_heartbeat: Option<usize>,
@@ -139,6 +145,7 @@ impl std::fmt::Debug for DistConfig {
             .field("steering_tick", &self.steering_tick)
             .field("durability", &self.durability)
             .field("kill_plan", &self.kill_plan)
+            .field("scheduler", &self.scheduler)
             .finish()
     }
 }
@@ -163,6 +170,7 @@ impl Default for DistConfig {
             steering_tick: None,
             durability: None,
             kill_plan: None,
+            scheduler: None,
             mute_heartbeat: None,
         }
     }
@@ -281,6 +289,14 @@ impl DistConfig {
         self.kill_plan = Some(plan);
         self
     }
+
+    /// Drive the fleet elastically with a [`SchedulerFactory`]. The run
+    /// still *starts* with [`DistConfig::workers`] workers; the policy
+    /// then grows or drains the fleet as completions flow.
+    pub fn with_scheduler(mut self, factory: SchedulerFactory) -> DistConfig {
+        self.scheduler = Some(factory);
+        self
+    }
 }
 
 // ------------------------------------------------------------------ master
@@ -311,6 +327,10 @@ struct InFlight {
 struct WorkerHandle {
     writer: Arc<Mutex<TcpStream>>,
     alive: bool,
+    /// Fleet controller sent `Drain`: no new work; retires on its `Bye`.
+    draining: bool,
+    /// Left cleanly via drain-then-retire (as opposed to being lost).
+    retired: bool,
     child: Option<Child>,
     thread: Option<std::thread::JoinHandle<()>>,
     reader: Option<std::thread::JoinHandle<()>>,
@@ -321,6 +341,13 @@ struct WorkerHandle {
     /// master_clock − worker_clock, for span merging.
     offset_ns: i64,
     runs_sent: usize,
+    /// Handshake completion, for billing and utilisation.
+    connected_at: Instant,
+    /// Retirement/loss time; `None` while serving.
+    ended_at: Option<Instant>,
+    /// Wall-clock nanoseconds of completed activations (dispatch → Done),
+    /// for utilisation telemetry.
+    busy_ns: u64,
 }
 
 impl WorkerHandle {
@@ -422,43 +449,13 @@ fn master_loop(
         .map(|i| ActivityCtx::build(def, i, wkf, files, prov, &lcfg, t0, bridge))
         .collect();
 
-    let mut fleet = connect_fleet(cfg, files)?;
-    let (events_tx, events) = mpsc::channel::<Event>();
-    for (i, w) in fleet.workers.iter_mut().enumerate() {
-        let mut stream = w
-            .writer
-            .lock()
-            .try_clone()
-            .map_err(|e| CumulusError::Io(format!("cloning worker {i} stream: {e}")))?;
-        let writer = Arc::clone(&w.writer);
-        let files = Arc::clone(files);
-        let tx = events_tx.clone();
-        w.reader = Some(std::thread::spawn(move || loop {
-            match proto::read_frame(&mut stream) {
-                // answer file fetches right here so they never queue
-                // behind the master's dispatch loop
-                Ok(Frame::FileReq { req, path }) => {
-                    let contents = files.read(&path);
-                    if proto::write_frame(&mut *writer.lock(), &Frame::FileData { req, contents })
-                        .is_err()
-                    {
-                        let _ = tx.send(Event::Gone(i));
-                        break;
-                    }
-                }
-                Ok(f) => {
-                    if tx.send(Event::Frame(i, f)).is_err() {
-                        break;
-                    }
-                }
-                Err(_) => {
-                    let _ = tx.send(Event::Gone(i));
-                    break;
-                }
-            }
-        }));
-    }
-    drop(events_tx);
+    let (mut fleet, events) = connect_fleet(cfg, files)?;
+    let mut controller = match &cfg.scheduler {
+        Some(factory) => FleetController::new(factory),
+        None => FleetController::fixed(),
+    };
+    let mut peak_workers = fleet.provisioned();
+    tel.gauge("fleet.size", peak_workers as f64);
 
     let mut report = RunReport {
         workflow: wkf,
@@ -470,14 +467,31 @@ fn master_loop(
         resumed: 0,
         outputs: Vec::new(),
         metrics: None,
+        scale_events: Vec::new(),
+        peak_workers: 0,
+        fleet_cost_usd: None,
     };
 
     let (mut pipe, seeds) = PipelineState::new(def, &input, tel.clone());
     let mut submits: VecDeque<SubmitReq> = seeds.into();
     let mut pending: VecDeque<Job> = VecDeque::new();
     let mut next_job: u64 = 0;
+    // the scheduler sees the full initial backlog once, before dispatch
+    let mut evaluated_initial = false;
 
     'run: loop {
+        // 0. elastic bookkeeping: count this wakeup (the no-busy-spin
+        //    regression watches it), expire launches that never connected,
+        //    and welcome scaled-up workers
+        tel.count("dist.master.wakeups", 1);
+        let expired = fleet.expire_spawns(cfg);
+        if expired > 0 {
+            tel.count("fleet.spawn_timeouts", expired as u64);
+        }
+        if fleet.accept(cfg)? > 0 {
+            tel.gauge("fleet.size", fleet.provisioned() as f64);
+        }
+        peak_workers = peak_workers.max(fleet.provisioned());
         // 1. turn dispatcher submissions into queued jobs; resume hits and
         //    blacklisted inputs complete inline without touching a worker
         while let Some(req) = submits.pop_front() {
@@ -521,9 +535,49 @@ fn master_loop(
             break 'run;
         }
 
-        // 2. dispatch queued jobs to workers with spare capacity
+        // 1b. the policy's first look: the whole seeded backlog, before
+        //     any dispatch — the simulator evaluates at the same instant
+        if !evaluated_initial {
+            evaluated_initial = true;
+            let decision =
+                controller.evaluate(snapshot(&fleet, &pending, &submits, ctxs.len(), cfg));
+            for wi in apply_scale(decision, &mut fleet, cfg, &tel)? {
+                lose_worker(
+                    &mut fleet,
+                    wi,
+                    cfg,
+                    &ctxs,
+                    &mut pending,
+                    &mut submits,
+                    &mut pipe,
+                    &mut report,
+                    t0,
+                    prov,
+                );
+            }
+            peak_workers = peak_workers.max(fleet.provisioned());
+        }
+
+        // 2. dispatch queued jobs to workers with spare capacity; the
+        //    policy places each activation (least-loaded by default)
         while !pending.is_empty() {
-            let Some(wi) = fleet.pick(cfg.max_in_flight) else { break };
+            let views: Vec<WorkerView> = fleet
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.alive && !w.draining && w.in_flight.len() < cfg.max_in_flight)
+                .map(|(i, w)| WorkerView { index: i, in_flight: w.in_flight.len() })
+                .collect();
+            if views.is_empty() {
+                break;
+            }
+            let activity = pending.front().expect("loop guard").activity;
+            let wi = match controller.place(activity, &views) {
+                Some(i) if views.iter().any(|v| v.index == i) => i,
+                // a placement outside the offered candidates falls back
+                // to the default least-loaded choice
+                _ => fleet.pick(cfg.max_in_flight).expect("views is non-empty"),
+            };
             let job = pending.pop_front().expect("loop guard");
             let ctx = &ctxs[job.activity];
             let fate = cfg.failures.fate(&format!("{}#{}", ctx.tag, job.key), job.attempt);
@@ -601,6 +655,8 @@ fn master_loop(
                         let Some(inflight) = fleet.workers[wi].in_flight.remove(&job) else {
                             continue 'run; // completion raced a reassignment
                         };
+                        fleet.workers[wi].busy_ns +=
+                            inflight.dispatched.elapsed().as_nanos() as u64;
                         let out = complete(
                             &ctxs[inflight.job.activity],
                             &inflight,
@@ -626,6 +682,51 @@ fn master_loop(
                                 pending.push_front(job);
                             }
                         }
+                        // every processed completion is a scheduler tick
+                        controller.note_completion();
+                        let decision = controller.evaluate(snapshot(
+                            &fleet,
+                            &pending,
+                            &submits,
+                            ctxs.len(),
+                            cfg,
+                        ));
+                        for lost in apply_scale(decision, &mut fleet, cfg, &tel)? {
+                            lose_worker(
+                                &mut fleet,
+                                lost,
+                                cfg,
+                                &ctxs,
+                                &mut pending,
+                                &mut submits,
+                                &mut pipe,
+                                &mut report,
+                                t0,
+                                prov,
+                            );
+                        }
+                        peak_workers = peak_workers.max(fleet.provisioned());
+                    }
+                    Frame::Bye { completed } => {
+                        let w = &mut fleet.workers[wi];
+                        if !w.draining || !w.in_flight.is_empty() {
+                            return Err(CumulusError::Protocol(format!(
+                                "unexpected Bye from worker {wi} (draining={}, in_flight={})",
+                                w.draining,
+                                w.in_flight.len()
+                            )));
+                        }
+                        // drain-then-retire completed cleanly: this is not
+                        // a loss, so nothing is reassigned or blacklisted
+                        w.retired = true;
+                        w.ended_at = Some(Instant::now());
+                        w.sever();
+                        tel.instant(
+                            "fleet",
+                            "retire",
+                            Some(&format!("worker-{wi} completed={completed}")),
+                        );
+                        tel.gauge("fleet.size", fleet.provisioned() as f64);
                     }
                     f => {
                         return Err(CumulusError::Protocol(format!(
@@ -650,8 +751,27 @@ fn master_loop(
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => {
-                // every reader thread exited; fall through to the liveness
-                // check, which will report the loss
+                // Structurally unreachable — the fleet holds its own event
+                // sender for its whole lifetime — but if it ever happens no
+                // event can arrive again, so settle liveness for every
+                // worker at once instead of spinning on the empty channel
+                // until the heartbeat clock notices.
+                for wi in 0..fleet.workers.len() {
+                    if fleet.workers[wi].alive {
+                        lose_worker(
+                            &mut fleet,
+                            wi,
+                            cfg,
+                            &ctxs,
+                            &mut pending,
+                            &mut submits,
+                            &mut pipe,
+                            &mut report,
+                            t0,
+                            prov,
+                        );
+                    }
+                }
             }
         }
 
@@ -683,19 +803,126 @@ fn master_loop(
                 prov,
             );
         }
-        if fleet.workers.iter().all(|w| !w.alive) && !pipe.done() {
+        if fleet.workers.iter().all(|w| !w.alive) && fleet.spawning.is_empty() && !pipe.done() {
             return Err(CumulusError::WorkerLost(format!(
                 "all {} workers lost with work outstanding",
-                cfg.workers
+                fleet.workers.len()
             )));
         }
     }
 
     tel.instant("dist", "jobs", Some(&format!("submitted={}", pipe.submitted())));
+    // per-worker utilisation, and the fleet bill if the policy carries a
+    // cost model (per-started-hour, like the simulator's EC2 billing)
+    let run_end = Instant::now();
+    let billing = controller.billing();
+    let mut fleet_cost = 0.0;
+    for (i, w) in fleet.workers.iter().enumerate() {
+        let life = w.ended_at.unwrap_or(run_end).saturating_duration_since(w.connected_at);
+        let life_s = life.as_secs_f64();
+        let busy_s = w.busy_ns as f64 / 1e9;
+        let util = if life_s > 0.0 { (busy_s / life_s).min(1.0) } else { 0.0 };
+        tel.instant(
+            "fleet",
+            "utilization",
+            Some(&format!(
+                "worker-{i} busy={busy_s:.3}s life={life_s:.3}s util={:.0}%",
+                util * 100.0
+            )),
+        );
+        if let Some(b) = billing {
+            fleet_cost += b.charge(life_s);
+        }
+    }
+    report.fleet_cost_usd = billing.map(|_| fleet_cost);
+    report.peak_workers = peak_workers;
+    report.scale_events = controller.into_trace();
     report.outputs = pipe.into_outputs();
     report.total_seconds = t0.elapsed().as_secs_f64();
     fleet.drain();
     Ok(report)
+}
+
+/// The scheduler's view of the run: logical quantities only (queue depths,
+/// provisioned fleet, capacity) and never wall-clock state, so the
+/// simulator can reproduce the exact decision sequence.
+fn snapshot(
+    fleet: &Fleet,
+    pending: &VecDeque<Job>,
+    submits: &VecDeque<SubmitReq>,
+    n_activities: usize,
+    cfg: &DistConfig,
+) -> FleetSnapshot {
+    let mut queued_by_activity = vec![0usize; n_activities];
+    for j in pending {
+        queued_by_activity[j.activity] += 1;
+    }
+    for s in submits {
+        queued_by_activity[s.activity] += 1;
+    }
+    FleetSnapshot {
+        completions: 0, // the controller stamps its own count
+        queued: pending.len() + submits.len(),
+        in_flight: fleet.workers.iter().map(|w| w.in_flight.len()).sum(),
+        fleet: fleet.provisioned(),
+        idle: fleet
+            .workers
+            .iter()
+            .filter(|w| w.alive && !w.draining && w.in_flight.is_empty())
+            .count(),
+        slots_per_worker: cfg.max_in_flight,
+        queued_by_activity,
+    }
+}
+
+/// Apply a scale decision to the live fleet. Growth launches workers toward
+/// the listener (they join in [`Fleet::accept`]); shrink marks targets as
+/// draining and sends `Drain` — the worker finishes its queue, answers
+/// `Bye`, and is retired without a single `FAILED` row. Returns workers
+/// whose `Drain` could not be delivered; the caller declares those lost.
+fn apply_scale(
+    decision: ScaleDecision,
+    fleet: &mut Fleet,
+    cfg: &DistConfig,
+    tel: &Telemetry,
+) -> Result<Vec<usize>, CumulusError> {
+    match decision {
+        ScaleDecision::Hold => Ok(Vec::new()),
+        ScaleDecision::Grow(n) => {
+            for _ in 0..n {
+                fleet.launch(cfg)?;
+            }
+            tel.instant("fleet", "grow", Some(&format!("+{n} -> {}", fleet.provisioned())));
+            tel.gauge("fleet.size", fleet.provisioned() as f64);
+            Ok(Vec::new())
+        }
+        ScaleDecision::Shrink(n) => {
+            // idle workers first, lowest index first; whatever the policy
+            // asked for, at least one worker keeps serving
+            let mut targets: Vec<usize> = fleet
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.alive && !w.draining)
+                .map(|(i, _)| i)
+                .collect();
+            targets.sort_by_key(|&i| (!fleet.workers[i].in_flight.is_empty(), i));
+            let n = n.min((targets.len() + fleet.spawning.len()).saturating_sub(1));
+            let mut undeliverable = Vec::new();
+            for &wi in targets.iter().take(n) {
+                let w = &mut fleet.workers[wi];
+                w.draining = true;
+                if proto::write_frame(&mut *w.writer.lock(), &Frame::Drain).is_err() {
+                    undeliverable.push(wi);
+                }
+            }
+            if n > 0 {
+                tel.instant("fleet", "drain", Some(&format!("-{n} -> {}", fleet.provisioned())));
+                tel.gauge("fleet.size", fleet.provisioned() as f64);
+            }
+            Ok(undeliverable)
+        }
+    }
 }
 
 /// Outcome of folding a worker's `Done` frame into provenance.
@@ -761,8 +988,13 @@ fn complete(
             debug_assert!(done, "the RUNNING row we just wrote must exist");
             Completed::Terminal(ActOutcome { tuples, finished: 1, ..Default::default() })
         }
-        WireOutcome::Failed { error: _, files: shipped, spans } => {
+        WireOutcome::Failed { error, files: shipped, spans } => {
             import(tel, track, offset_ns, spans);
+            if error.starts_with("oversized result") {
+                // the worker degraded an over-cap Done frame into a failed
+                // attempt; the run survives, but the cause stays countable
+                tel.count("proto.oversized_done", 1);
+            }
             // even a failed attempt's files persist: the local backend
             // shares one store, so parity demands the same here
             for (path, contents) in shipped {
@@ -827,6 +1059,7 @@ fn lose_worker(
         return;
     }
     w.sever();
+    w.ended_at = Some(Instant::now());
     let end = t0.elapsed().as_secs_f64();
     let mut lost: Vec<InFlight> = w.in_flight.drain().map(|(_, j)| j).collect();
     // deterministic reassignment order regardless of hash-map iteration
@@ -872,21 +1105,182 @@ fn lose_worker(
 
 // ------------------------------------------------------------------- fleet
 
-/// The connected worker fleet plus the spawn handles behind it.
+/// The connected worker fleet plus everything needed to grow it mid-run:
+/// the listening socket stays open for the run's lifetime, and the fleet
+/// keeps a clone of the master's event sender so readers spawned for
+/// scaled-up workers feed the same channel (this also guarantees the
+/// channel can never disconnect while the fleet exists).
 struct Fleet {
     workers: Vec<WorkerHandle>,
+    listener: TcpListener,
+    addr: String,
+    events_tx: mpsc::Sender<Event>,
+    /// Shared file store reader threads answer `FileReq` from.
+    files: Arc<FileStore>,
+    /// Spawned OS processes not yet matched to a connection (by pid).
+    children: Vec<Child>,
+    /// In-process serve threads not yet matched to a connection.
+    threads: VecDeque<std::thread::JoinHandle<()>>,
+    /// Launch instants of workers that have not completed the handshake.
+    spawning: VecDeque<Instant>,
+    /// Total launches ever (drives per-launch test options).
+    launched: usize,
 }
 
 impl Fleet {
-    /// The alive worker with the most spare capacity (ties broken by
-    /// index, for deterministic assignment).
+    /// The alive, non-draining worker with the most spare capacity (ties
+    /// broken by index, for deterministic assignment).
     fn pick(&self, max_in_flight: usize) -> Option<usize> {
         self.workers
             .iter()
             .enumerate()
-            .filter(|(_, w)| w.alive && w.in_flight.len() < max_in_flight)
+            .filter(|(_, w)| w.alive && !w.draining && w.in_flight.len() < max_in_flight)
             .min_by_key(|(i, w)| (w.in_flight.len(), *i))
             .map(|(i, _)| i)
+    }
+
+    /// Provisioned fleet size the scheduler reasons about: serving workers
+    /// (alive, not draining) plus launches still connecting.
+    fn provisioned(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive && !w.draining).count() + self.spawning.len()
+    }
+
+    /// Launch one more worker (process or in-process thread) toward the
+    /// listening socket. The handshake completes later in [`Fleet::accept`].
+    fn launch(&mut self, cfg: &DistConfig) -> Result<(), CumulusError> {
+        let seq = self.launched;
+        self.launched += 1;
+        if let Some((program, args)) = &cfg.worker_cmd {
+            let child = Command::new(program)
+                .args(args)
+                .arg("--connect")
+                .arg(&self.addr)
+                .stdin(Stdio::null())
+                .spawn()
+                .map_err(|e| CumulusError::Io(format!("spawning worker {seq} ({program}): {e}")))?;
+            self.children.push(child);
+        } else {
+            let resolver = cfg.resolver.clone().expect("validated by run_dist");
+            let addr = self.addr.clone();
+            let opts = worker::ServeOptions {
+                no_heartbeat: cfg.mute_heartbeat == Some(seq),
+                die_on_run: cfg.kill_plan.filter(|p| p.worker == seq).map(|p| p.after_runs),
+            };
+            self.threads.push_back(std::thread::spawn(move || {
+                let _ = worker::serve_with(&addr, resolver, opts);
+            }));
+        }
+        self.spawning.push_back(Instant::now());
+        Ok(())
+    }
+
+    /// Accept and handshake every connection currently waiting on the
+    /// listener; spawn a reader thread per new worker. Returns how many
+    /// workers joined. Non-blocking: returns 0 when nobody is knocking.
+    fn accept(&mut self, cfg: &DistConfig) -> Result<usize, CumulusError> {
+        let tel = &cfg.telemetry;
+        let mut joined = 0;
+        loop {
+            let (mut stream, _) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(CumulusError::Io(e.to_string())),
+            };
+            stream.set_nonblocking(false)?;
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(cfg.connect_timeout))?;
+            let (pid, worker_now) = match proto::read_frame(&mut stream) {
+                Ok(Frame::Ready { pid, now_ns }) => (pid, now_ns),
+                Ok(f) => {
+                    return Err(CumulusError::Protocol(format!("expected Ready, got {f:?}")));
+                }
+                Err(e) => return Err(CumulusError::Protocol(format!("bad handshake: {e}"))),
+            };
+            stream.set_read_timeout(None)?;
+            let offset_ns = tel.now_ns() as i64 - worker_now as i64;
+            let i = self.workers.len();
+            let track = tel.alloc_track(&format!("worker-{i}"));
+            proto::write_frame(
+                &mut stream,
+                &Frame::Hello {
+                    worker_id: i as u32,
+                    spec: cfg.spec.clone(),
+                    heartbeat_ms: cfg.heartbeat.as_millis() as u64,
+                },
+            )?;
+            // match the OS child (if any) to this connection by pid
+            let child = self
+                .children
+                .iter()
+                .position(|c| c.id() == pid)
+                .map(|at| self.children.swap_remove(at));
+            let writer = Arc::new(Mutex::new(stream));
+            let reader = {
+                let mut stream = writer
+                    .lock()
+                    .try_clone()
+                    .map_err(|e| CumulusError::Io(format!("cloning worker {i} stream: {e}")))?;
+                let writer = Arc::clone(&writer);
+                let files = Arc::clone(&self.files);
+                let tx = self.events_tx.clone();
+                std::thread::spawn(move || loop {
+                    match proto::read_frame(&mut stream) {
+                        // answer file fetches right here so they never
+                        // queue behind the master's dispatch loop
+                        Ok(Frame::FileReq { req, path }) => {
+                            let contents = files.read(&path);
+                            if proto::write_frame(
+                                &mut *writer.lock(),
+                                &Frame::FileData { req, contents },
+                            )
+                            .is_err()
+                            {
+                                let _ = tx.send(Event::Gone(i));
+                                break;
+                            }
+                        }
+                        Ok(f) => {
+                            if tx.send(Event::Frame(i, f)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            let _ = tx.send(Event::Gone(i));
+                            break;
+                        }
+                    }
+                })
+            };
+            self.workers.push(WorkerHandle {
+                writer,
+                alive: true,
+                draining: false,
+                retired: false,
+                child,
+                thread: self.threads.pop_front(),
+                reader: Some(reader),
+                last_seen: Instant::now(),
+                in_flight: HashMap::new(),
+                track,
+                offset_ns,
+                runs_sent: 0,
+                connected_at: Instant::now(),
+                ended_at: None,
+                busy_ns: 0,
+            });
+            self.spawning.pop_front();
+            joined += 1;
+        }
+        Ok(joined)
+    }
+
+    /// Forget launches that never completed the handshake within the
+    /// connect deadline, so the scheduler stops counting them. Returns how
+    /// many expired.
+    fn expire_spawns(&mut self, cfg: &DistConfig) -> usize {
+        let before = self.spawning.len();
+        self.spawning.retain(|at| at.elapsed() <= cfg.connect_timeout);
+        before - self.spawning.len()
     }
 
     /// Graceful shutdown: ask every live worker to drain, give processes a
@@ -912,6 +1306,12 @@ impl Fleet {
             }
             std::thread::sleep(Duration::from_millis(20));
         }
+        self.teardown();
+    }
+
+    /// Sever everything and join every handle, including launches that
+    /// never finished connecting.
+    fn teardown(&mut self) {
         for w in &mut self.workers {
             w.sever();
             if let Some(t) = w.thread.take() {
@@ -921,130 +1321,72 @@ impl Fleet {
                 let _ = r.join();
             }
         }
+        for mut c in self.children.drain(..) {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        // Unmatched in-process threads detach rather than join: one could
+        // still be blocked in its handshake read, which only fails once
+        // the listener drops — joining here would deadlock against it.
+        self.threads.clear();
     }
 }
 
 impl Drop for Fleet {
     fn drop(&mut self) {
         // safety net for error paths: never leave worker processes behind
-        for w in &mut self.workers {
-            w.sever();
-            if let Some(t) = w.thread.take() {
-                let _ = t.join();
-            }
-            if let Some(r) = w.reader.take() {
-                let _ = r.join();
-            }
-        }
+        self.teardown();
     }
 }
 
-/// Bind, launch the fleet, and complete the `Ready`/`Hello` handshake with
-/// every worker.
-fn connect_fleet(cfg: &DistConfig, _files: &Arc<FileStore>) -> Result<Fleet, CumulusError> {
+/// Bind, launch the initial fleet, and complete the `Ready`/`Hello`
+/// handshake with every worker. Returns the fleet plus the receiving end
+/// of its event channel.
+fn connect_fleet(
+    cfg: &DistConfig,
+    files: &Arc<FileStore>,
+) -> Result<(Fleet, mpsc::Receiver<Event>), CumulusError> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?.to_string();
     listener.set_nonblocking(true)?;
-
-    // launch: OS processes, or in-process serve() threads for tests
-    let mut children: Vec<Child> = Vec::new();
-    let mut threads: VecDeque<std::thread::JoinHandle<()>> = VecDeque::new();
-    if let Some((program, args)) = &cfg.worker_cmd {
-        for i in 0..cfg.workers {
-            let child = Command::new(program)
-                .args(args)
-                .arg("--connect")
-                .arg(&addr)
-                .stdin(Stdio::null())
-                .spawn()
-                .map_err(|e| CumulusError::Io(format!("spawning worker {i} ({program}): {e}")))?;
-            children.push(child);
-        }
-    } else {
-        let resolver = cfg.resolver.clone().expect("validated by run_dist");
-        for i in 0..cfg.workers {
-            let addr = addr.clone();
-            let resolver = Arc::clone(&resolver);
-            let opts = worker::ServeOptions {
-                no_heartbeat: cfg.mute_heartbeat == Some(i),
-                die_on_run: cfg.kill_plan.filter(|p| p.worker == i).map(|p| p.after_runs),
-            };
-            threads.push_back(std::thread::spawn(move || {
-                let _ = worker::serve_with(&addr, resolver, opts);
-            }));
-        }
+    let (events_tx, events) = mpsc::channel::<Event>();
+    let mut fleet = Fleet {
+        workers: Vec::with_capacity(cfg.workers),
+        listener,
+        addr,
+        events_tx,
+        files: Arc::clone(files),
+        children: Vec::new(),
+        threads: VecDeque::new(),
+        spawning: VecDeque::new(),
+        launched: 0,
+    };
+    for _ in 0..cfg.workers {
+        fleet.launch(cfg)?;
     }
-
-    let tel = &cfg.telemetry;
     let deadline = Instant::now() + cfg.connect_timeout;
-    let mut workers: Vec<WorkerHandle> = Vec::with_capacity(cfg.workers);
-    while workers.len() < cfg.workers {
-        let (mut stream, _) = match listener.accept() {
-            Ok(conn) => conn,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if Instant::now() > deadline {
-                    // the Fleet isn't built yet; reap spawned children here
-                    for mut c in children {
-                        let _ = c.kill();
-                        let _ = c.wait();
-                    }
-                    return Err(CumulusError::Timeout(format!(
-                        "only {}/{} workers connected within {:?}",
-                        workers.len(),
-                        cfg.workers,
-                        cfg.connect_timeout
-                    )));
-                }
-                std::thread::sleep(Duration::from_millis(5));
-                continue;
+    while fleet.workers.len() < cfg.workers {
+        if fleet.accept(cfg)? == 0 {
+            if Instant::now() > deadline {
+                // Fleet::drop reaps the children and joins the threads
+                return Err(CumulusError::Timeout(format!(
+                    "only {}/{} workers connected within {:?}",
+                    fleet.workers.len(),
+                    cfg.workers,
+                    cfg.connect_timeout
+                )));
             }
-            Err(e) => return Err(CumulusError::Io(e.to_string())),
-        };
-        stream.set_nonblocking(false)?;
-        stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(cfg.connect_timeout))?;
-        let (pid, worker_now) = match proto::read_frame(&mut stream) {
-            Ok(Frame::Ready { pid, now_ns }) => (pid, now_ns),
-            Ok(f) => {
-                return Err(CumulusError::Protocol(format!("expected Ready, got {f:?}")));
-            }
-            Err(e) => return Err(CumulusError::Protocol(format!("bad handshake: {e}"))),
-        };
-        stream.set_read_timeout(None)?;
-        let offset_ns = tel.now_ns() as i64 - worker_now as i64;
-        let i = workers.len();
-        let track = tel.alloc_track(&format!("worker-{i}"));
-        let mut stream = stream;
-        proto::write_frame(
-            &mut stream,
-            &Frame::Hello {
-                worker_id: i as u32,
-                spec: cfg.spec.clone(),
-                heartbeat_ms: cfg.heartbeat.as_millis() as u64,
-            },
-        )?;
-        // match the OS child (if any) to this connection by pid
-        let child = children.iter().position(|c| c.id() == pid).map(|at| children.swap_remove(at));
-        workers.push(WorkerHandle {
-            writer: Arc::new(Mutex::new(stream)),
-            alive: true,
-            child,
-            thread: threads.pop_front(),
-            reader: None,
-            last_seen: Instant::now(),
-            in_flight: HashMap::new(),
-            track,
-            offset_ns,
-            runs_sent: 0,
-        });
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
-    Ok(Fleet { workers })
+    Ok((fleet, events))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::algebra::Operator;
+    use crate::fleet::{QueueDepthConfig, QueueDepthScheduler, ScaleEvent};
     use crate::workflow::Activity;
     use provenance::{export_provn_canonical, Value};
 
@@ -1282,6 +1624,228 @@ mod tests {
                 .expect("the healthy worker must finish the rest");
         assert_eq!(report.finished, 2);
         assert_eq!(report.blacklisted, 1);
+    }
+
+    // -------------------------------------------------- elastic fleet
+
+    /// One Map activity over `x`, each activation sleeping `sleep_ms`.
+    fn flat_def(sleep_ms: u64) -> WorkflowDef {
+        WorkflowDef {
+            tag: "flat-test".into(),
+            description: "flat elastic workload".into(),
+            expdir: "/exp/flat".into(),
+            activities: vec![Activity::map(
+                "work",
+                &["x"],
+                Arc::new(move |t, _: &mut _| {
+                    if sleep_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(sleep_ms));
+                    }
+                    Ok(t.to_vec())
+                }),
+            )],
+            deps: vec![vec![]],
+        }
+    }
+
+    fn qd_factory(max_workers: usize) -> SchedulerFactory {
+        SchedulerFactory::new(move || {
+            Box::new(QueueDepthScheduler::new(QueueDepthConfig {
+                max_workers,
+                ..QueueDepthConfig::default()
+            }))
+        })
+    }
+
+    fn flat_cfg(sleep_ms: u64) -> DistConfig {
+        DistConfig::new()
+            .with_workers(1)
+            .with_resolver(Arc::new(move |spec| (spec == "flat-test").then(|| flat_def(sleep_ms))))
+            .with_spec("flat-test")
+            .with_max_in_flight(1)
+    }
+
+    /// The decision trace a queue-depth policy (factor 2, step 1, cooldown
+    /// 2, fleet 1..=3) must produce over 10 flat activations starting from
+    /// one single-slot worker — and the simulator must reproduce it
+    /// event-for-event (see tests/fleet.rs).
+    fn expected_qd_trace() -> Vec<ScaleEvent> {
+        vec![
+            ScaleEvent {
+                completions: 0,
+                fleet: 1,
+                outstanding: 10,
+                decision: ScaleDecision::Grow(1),
+            },
+            ScaleEvent {
+                completions: 2,
+                fleet: 2,
+                outstanding: 8,
+                decision: ScaleDecision::Grow(1),
+            },
+            ScaleEvent {
+                completions: 8,
+                fleet: 3,
+                outstanding: 2,
+                decision: ScaleDecision::Shrink(1),
+            },
+            ScaleEvent {
+                completions: 10,
+                fleet: 2,
+                outstanding: 0,
+                decision: ScaleDecision::Shrink(1),
+            },
+        ]
+    }
+
+    fn sorted_ints(report: &RunReport) -> Vec<i64> {
+        let mut got: Vec<i64> = report
+            .outputs
+            .last()
+            .unwrap()
+            .tuples
+            .iter()
+            .map(|row| match row[0] {
+                Value::Int(i) => i,
+                _ => panic!("unexpected value"),
+            })
+            .collect();
+        got.sort_unstable();
+        got
+    }
+
+    #[test]
+    fn elastic_fleet_grows_and_retires() {
+        let cfg = flat_cfg(25).with_scheduler(qd_factory(3));
+        let prov = Arc::new(ProvenanceStore::new());
+        let report =
+            run_dist(&flat_def(25), test_input(10), Arc::new(FileStore::new()), prov, &cfg)
+                .expect("elastic run");
+        assert_eq!(report.finished, 10);
+        assert_eq!(report.failed_attempts, 0, "drain-then-retire loses no work");
+        assert_eq!(report.blacklisted, 0);
+        assert_eq!(report.peak_workers, 3, "the policy grew to its cap");
+        assert_eq!(report.scale_events, expected_qd_trace());
+        assert_eq!(sorted_ints(&report), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_killed_during_scale_up_is_reassigned() {
+        // launch-sequence 1 is the first *scaled-up* worker: it dies the
+        // moment it receives its first activation, mid-growth
+        let cfg = flat_cfg(25)
+            .with_scheduler(qd_factory(3))
+            .with_kill_plan(KillPlan { worker: 1, after_runs: 1 });
+        let prov = Arc::new(ProvenanceStore::new());
+        let report = run_dist(
+            &flat_def(25),
+            test_input(10),
+            Arc::new(FileStore::new()),
+            Arc::clone(&prov),
+            &cfg,
+        )
+        .expect("run completes despite losing a scaled-up worker");
+        assert_eq!(report.finished, 10);
+        assert_eq!(report.failed_attempts, 1, "exactly the activation lost with the worker");
+        assert_eq!(report.blacklisted, 0);
+        assert!(report.peak_workers <= 3);
+        assert_eq!(sorted_ints(&report), (0..10).collect::<Vec<_>>());
+        let failed = prov
+            .query("SELECT taskid FROM hactivation WHERE status = 'FAILED'")
+            .unwrap()
+            .rows
+            .len();
+        assert_eq!(failed, 1);
+    }
+
+    #[test]
+    fn autoscaling_preserves_canonical_provenance() {
+        let fixed = dist_cfg(1).with_max_in_flight(1);
+        let (freport, fprov, _) = run(&fixed);
+
+        let elastic = fixed.clone().with_scheduler(qd_factory(3));
+        let (ereport, eprov, _) = run(&elastic);
+        assert_eq!(ereport.finished, freport.finished);
+        assert!(!ereport.scale_events.is_empty(), "the policy must actually scale");
+        assert_eq!(
+            export_provn_canonical(&eprov),
+            export_provn_canonical(&fprov),
+            "fixed and autoscaled canonical PROV-N must be byte-identical"
+        );
+    }
+
+    // ------------------------------------------- wire-protocol hardening
+
+    #[test]
+    fn oversized_result_degrades_to_failed_attempt() {
+        // tuple 1 produces a >64 MiB artifact: its Done frame is refused
+        // before a byte hits the wire, the worker degrades to a Failed
+        // outcome, and with a zero retry budget the attempt lands as a
+        // FAILED row — never a worker loss or a blacklist
+        let def = WorkflowDef {
+            tag: "big-test".into(),
+            description: "oversized result drill".into(),
+            expdir: "/exp/big".into(),
+            activities: vec![Activity::map(
+                "big",
+                &["x"],
+                Arc::new(|t, ctx| {
+                    for row in t {
+                        if row[0] == Value::Int(1) {
+                            ctx.write_file("huge.bin", "x".repeat(65 << 20));
+                        }
+                    }
+                    Ok(t.to_vec())
+                }),
+            )],
+            deps: vec![vec![]],
+        };
+        let resolver_def = def.clone();
+        let tel = Telemetry::attached();
+        let cfg = DistConfig::new()
+            .with_workers(1)
+            .with_resolver(Arc::new(move |spec| (spec == "big-test").then(|| resolver_def.clone())))
+            .with_spec("big-test")
+            .with_max_in_flight(1)
+            .with_max_retries(0)
+            .with_telemetry(tel);
+        let prov = Arc::new(ProvenanceStore::new());
+        let report =
+            run_dist(&def, test_input(3), Arc::new(FileStore::new()), Arc::clone(&prov), &cfg)
+                .expect("run survives the oversized frame");
+        assert_eq!(report.finished, 2);
+        assert_eq!(report.failed_attempts, 1);
+        assert_eq!(report.blacklisted, 0, "both peers stayed alive: no loss, no poison");
+        let snap = report.metrics.expect("telemetry attached");
+        assert_eq!(snap.counter("proto.oversized_done"), Some(1));
+    }
+
+    #[test]
+    fn master_loop_does_not_busy_spin() {
+        // ~0.7 s of real waiting on slow activations: an event-driven
+        // master wakes on its 50 ms tick plus one wakeup per frame (tens
+        // of iterations); a busy-spinning one would log thousands
+        let tel = Telemetry::attached();
+        let cfg = DistConfig::new()
+            .with_workers(1)
+            .with_resolver(resolver(300))
+            .with_spec("dist-test")
+            .with_max_in_flight(1)
+            .with_telemetry(tel);
+        let prov = Arc::new(ProvenanceStore::new());
+        let report = run_dist(
+            &test_def(300),
+            test_input(2),
+            Arc::new(FileStore::new()),
+            Arc::clone(&prov),
+            &cfg,
+        )
+        .expect("slow run");
+        assert_eq!(report.finished, 5); // 2 stage + 2 score + 1 reduce
+        let snap = report.metrics.expect("telemetry attached");
+        let wakeups = snap.counter("dist.master.wakeups").expect("counted every iteration");
+        assert!(wakeups > 0);
+        assert!(wakeups < 200, "master loop spun {wakeups} times for a ~0.7 s run");
     }
 
     #[test]

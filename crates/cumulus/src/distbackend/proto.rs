@@ -146,31 +146,68 @@ pub(crate) enum Frame {
     },
     /// Master → worker: drain and exit.
     Shutdown,
+    /// Master → worker: finish everything already queued, confirm with
+    /// [`Frame::Bye`], then exit. Sent when the fleet controller retires a
+    /// worker; the master guarantees no further `Run` frames follow.
+    Drain,
+    /// Worker → master: drain complete, socket about to close. Lets the
+    /// master tell a *retired* worker from a *lost* one — no failure rows,
+    /// no reassignment, no blacklist pressure.
+    Bye {
+        /// Activation attempts this worker completed over its lifetime.
+        completed: u64,
+    },
 }
 
 // ---------------------------------------------------------------- encoding
 
-struct Buf(Vec<u8>);
+struct Buf {
+    out: Vec<u8>,
+    err: Option<String>,
+}
 
 impl Buf {
+    fn new() -> Buf {
+        Buf { out: Vec::new(), err: None }
+    }
+    fn finish(self) -> Result<Vec<u8>, String> {
+        match self.err {
+            None => Ok(self.out),
+            Some(e) => Err(e),
+        }
+    }
     fn u8(&mut self, v: u8) {
-        self.0.push(v);
+        self.out.push(v);
     }
     fn u32(&mut self, v: u32) {
-        self.0.extend_from_slice(&v.to_le_bytes());
+        self.out.extend_from_slice(&v.to_le_bytes());
     }
     fn u64(&mut self, v: u64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
+        self.out.extend_from_slice(&v.to_le_bytes());
     }
     fn i64(&mut self, v: i64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
+        self.out.extend_from_slice(&v.to_le_bytes());
     }
     fn f64(&mut self, v: f64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Emit a length prefix, refusing values the u32 cannot hold: an
+    /// unchecked `as u32` would silently truncate a ≥ 4 GiB payload and
+    /// desync the stream for every frame after it.
+    fn len32(&mut self, n: usize, what: &str) {
+        match u32::try_from(n) {
+            Ok(v) => self.u32(v),
+            Err(_) => {
+                if self.err.is_none() {
+                    self.err = Some(format!("{what} length {n} overflows the u32 length prefix"));
+                }
+                self.u32(0);
+            }
+        }
     }
     fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.0.extend_from_slice(s.as_bytes());
+        self.len32(s.len(), "string");
+        self.out.extend_from_slice(s.as_bytes());
     }
     fn opt_str(&mut self, s: &Option<String>) {
         match s {
@@ -207,16 +244,16 @@ impl Buf {
         }
     }
     fn tuples(&mut self, ts: &[Tuple]) {
-        self.u32(ts.len() as u32);
+        self.len32(ts.len(), "tuple vector");
         for t in ts {
-            self.u32(t.len() as u32);
+            self.len32(t.len(), "tuple");
             for v in t {
                 self.value(v);
             }
         }
     }
     fn spans(&mut self, ss: &[WireSpan]) {
-        self.u32(ss.len() as u32);
+        self.len32(ss.len(), "span vector");
         for s in ss {
             self.str(&s.name);
             self.u64(s.start_ns);
@@ -225,7 +262,7 @@ impl Buf {
         }
     }
     fn files(&mut self, fs: &[(String, String)]) {
-        self.u32(fs.len() as u32);
+        self.len32(fs.len(), "file vector");
         for (p, c) in fs {
             self.str(p);
             self.str(c);
@@ -233,9 +270,10 @@ impl Buf {
     }
 }
 
-/// Encode a frame body (without the length prefix).
-pub(crate) fn encode(frame: &Frame) -> Vec<u8> {
-    let mut b = Buf(Vec::new());
+/// Encode a frame body (without the length prefix). Fails if any length
+/// field overflows its u32 prefix — nothing is emitted for such a frame.
+pub(crate) fn encode(frame: &Frame) -> Result<Vec<u8>, String> {
+    let mut b = Buf::new();
     match frame {
         Frame::Ready { pid, now_ns } => {
             b.u8(0);
@@ -291,7 +329,7 @@ pub(crate) fn encode(frame: &Frame) -> Vec<u8> {
                     b.u8(0);
                     b.tuples(tuples);
                     b.files(files);
-                    b.u32(params.len() as u32);
+                    b.len32(params.len(), "parameter vector");
                     for (name, num, text) in params {
                         b.str(name);
                         match num {
@@ -314,8 +352,13 @@ pub(crate) fn encode(frame: &Frame) -> Vec<u8> {
             }
         }
         Frame::Shutdown => b.u8(7),
+        Frame::Drain => b.u8(8),
+        Frame::Bye { completed } => {
+            b.u8(9);
+            b.u64(*completed);
+        }
     }
-    b.0
+    b.finish()
 }
 
 // ---------------------------------------------------------------- decoding
@@ -475,6 +518,8 @@ pub(crate) fn decode(buf: &[u8]) -> DecodeResult<Frame> {
             Frame::Done { job, outcome }
         }
         7 => Frame::Shutdown,
+        8 => Frame::Drain,
+        9 => Frame::Bye { completed: c.u64()? },
         t => return Err(format!("unknown frame tag {t}")),
     };
     if c.at != buf.len() {
@@ -483,10 +528,32 @@ pub(crate) fn decode(buf: &[u8]) -> DecodeResult<Frame> {
     Ok(frame)
 }
 
+/// Marker prefix in the error message of a frame refused for size, so
+/// callers can tell "my frame was too big" (recoverable: degrade the
+/// payload) from a genuinely broken stream.
+const FRAME_TOO_BIG: &str = "frame exceeds the 64 MiB cap";
+
+/// True if `e` is [`write_frame`]'s refusal of an oversized frame.
+pub(crate) fn frame_too_big(e: &std::io::Error) -> bool {
+    e.kind() == std::io::ErrorKind::InvalidData && e.to_string().starts_with(FRAME_TOO_BIG)
+}
+
 /// Write one length-prefixed frame and flush it.
+///
+/// A frame that encodes above [`MAX_FRAME`] (or whose lengths overflow
+/// their u32 prefixes) is refused with `InvalidData` **before any byte is
+/// written**, so the stream stays framed and the connection stays usable —
+/// the peer would reject the oversized frame anyway, but only after the
+/// sender had already desynced the socket.
 pub(crate) fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> std::io::Result<()> {
-    let body = encode(frame);
-    debug_assert!(body.len() <= MAX_FRAME);
+    let body =
+        encode(frame).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    if body.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{FRAME_TOO_BIG}: body is {} bytes", body.len()),
+        ));
+    }
     w.write_all(&(body.len() as u32).to_le_bytes())?;
     w.write_all(&body)?;
     w.flush()
@@ -514,7 +581,7 @@ mod tests {
     use super::*;
 
     fn roundtrip(f: Frame) {
-        let body = encode(&f);
+        let body = encode(&f).unwrap();
         assert_eq!(decode(&body).unwrap(), f, "roundtrip mismatch");
         // and through a byte pipe with the length prefix
         let mut wire = Vec::new();
@@ -581,15 +648,31 @@ mod tests {
     }
 
     #[test]
+    fn fleet_frames_roundtrip() {
+        // The scale-up handshake reuses Ready/Hello mid-run …
+        roundtrip(Frame::Ready { pid: 0, now_ns: u64::MAX });
+        roundtrip(Frame::Hello {
+            worker_id: 17,
+            spec: "unit:sleep:6:50".into(),
+            heartbeat_ms: 100,
+        });
+        // … and drain-then-retire adds Drain/Bye.
+        roundtrip(Frame::Drain);
+        roundtrip(Frame::Bye { completed: 0 });
+        roundtrip(Frame::Bye { completed: 12_345_678 });
+    }
+
+    #[test]
     fn rejects_bad_magic_truncation_and_trailing_bytes() {
-        let mut body = encode(&Frame::Ready { pid: 1, now_ns: 2 });
+        let mut body = encode(&Frame::Ready { pid: 1, now_ns: 2 }).unwrap();
         body[1] ^= 0xFF; // corrupt the magic
         assert!(decode(&body).unwrap_err().contains("bad magic"));
 
-        let body = encode(&Frame::Hello { worker_id: 1, spec: "s".into(), heartbeat_ms: 1 });
+        let body =
+            encode(&Frame::Hello { worker_id: 1, spec: "s".into(), heartbeat_ms: 1 }).unwrap();
         assert!(decode(&body[..body.len() - 2]).unwrap_err().contains("truncated"));
 
-        let mut body = encode(&Frame::Shutdown);
+        let mut body = encode(&Frame::Shutdown).unwrap();
         body.push(0);
         assert!(decode(&body).unwrap_err().contains("trailing"));
 
@@ -603,5 +686,84 @@ mod tests {
         let mut cursor = &wire[..];
         let err = read_frame(&mut cursor).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_write_is_refused_without_touching_the_stream() {
+        // A Done frame whose produced file blows past MAX_FRAME. Before the
+        // fix, release builds wrote it anyway (the cap was a debug_assert)
+        // and the peer's read_frame desynced — the master then declared a
+        // healthy worker lost.
+        let big = Frame::Done {
+            job: 1,
+            outcome: WireOutcome::Failed {
+                error: "x".into(),
+                files: vec![("/exp/big.map".into(), "G".repeat(MAX_FRAME + 1))],
+                spans: vec![],
+            },
+        };
+        let mut wire = Vec::new();
+        let err = write_frame(&mut wire, &big).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(frame_too_big(&err), "cap refusals must be distinguishable: {err}");
+        assert!(wire.is_empty(), "no bytes may hit the wire for a refused frame");
+
+        // The stream stays usable: the very next frame round-trips.
+        write_frame(&mut wire, &Frame::Heartbeat { job: None, job_elapsed_ms: 3 }).unwrap();
+        let mut cursor = &wire[..];
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            Frame::Heartbeat { job: None, job_elapsed_ms: 3 }
+        );
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn length_prefix_overflow_is_a_checked_error() {
+        // Lengths ≥ 4 GiB used to be cast `as u32`, silently truncating the
+        // prefix. A 4 GiB string cannot be allocated in a unit test, so the
+        // length path is exercised directly.
+        let mut b = Buf::new();
+        b.len32(u32::MAX as usize, "string");
+        assert!(b.err.is_none(), "u32::MAX itself still fits");
+        let mut b = Buf::new();
+        b.len32(u32::MAX as usize + 1, "string");
+        b.len32(u32::MAX as usize + 2, "tuple vector"); // only the first error is kept
+        let err = b.finish().unwrap_err();
+        assert!(
+            err.contains("string length") && err.contains("overflows the u32"),
+            "unexpected error: {err}"
+        );
+        // and frame_too_big does not claim overflow errors
+        let io = std::io::Error::new(std::io::ErrorKind::InvalidData, err);
+        assert!(!frame_too_big(&io));
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_decoder() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xF022);
+        for _ in 0..512 {
+            let len = rng.gen_range(0..512);
+            let buf: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let _ = decode(&buf); // must return Err, never panic or OOM
+        }
+        // Mutated valid frames: flip bytes in real encodings.
+        let seed = encode(&Frame::Done {
+            job: 3,
+            outcome: WireOutcome::Finished {
+                tuples: vec![vec![Value::Int(1), Value::Text("t".into())]],
+                files: vec![("/f".into(), "c".into())],
+                params: vec![("p".into(), Some(1.0), Some("s".into()))],
+                spans: vec![WireSpan { name: "n".into(), start_ns: 0, end_ns: 1, detail: None }],
+            },
+        })
+        .unwrap();
+        for _ in 0..512 {
+            let mut m = seed.clone();
+            let i = rng.gen_range(0..m.len());
+            m[i] = rng.gen();
+            let _ = decode(&m); // Ok or Err both fine; panics are not
+        }
     }
 }

@@ -100,6 +100,8 @@ pub(crate) fn serve_with(
     let alive = Arc::new(AtomicBool::new(true));
     // the job currently executing: (job id, started at), for heartbeats
     let current: Arc<Mutex<Option<(u64, Instant)>>> = Arc::new(Mutex::new(None));
+    // lifetime Done count, reported in the Bye frame when drained
+    let completed = Arc::new(AtomicU64::new(0));
 
     let heartbeat = (!opts.no_heartbeat).then(|| {
         let writer = Arc::clone(&writer);
@@ -131,6 +133,7 @@ pub(crate) fn serve_with(
         let writer = Arc::clone(&writer);
         let files = Arc::clone(&files);
         let current = Arc::clone(&current);
+        let completed = Arc::clone(&completed);
         let def = Arc::new(def);
         std::thread::spawn(move || {
             while let Ok(frame) = run_rx.recv() {
@@ -197,14 +200,42 @@ pub(crate) fn serve_with(
                     }
                 };
                 *current.lock() = None;
-                if proto::write_frame(&mut *writer.lock(), &Frame::Done { job, outcome }).is_err() {
+                // complete the first write in its own statement: a guard
+                // created in a match scrutinee lives to the end of the
+                // match, and the fallback arm must re-lock the writer
+                let first = proto::write_frame(&mut *writer.lock(), &Frame::Done { job, outcome });
+                let sent = match first {
+                    Ok(()) => true,
+                    Err(e) if proto::frame_too_big(&e) => {
+                        // The result is too large for the wire. write_frame
+                        // refused it *before* emitting bytes, so the stream
+                        // is still framed: degrade to a Failed outcome the
+                        // master records against the attempt, instead of
+                        // desyncing the socket and being declared lost.
+                        let fallback = Frame::Done {
+                            job,
+                            outcome: WireOutcome::Failed {
+                                error: format!("oversized result: {e}"),
+                                files: Vec::new(),
+                                spans: Vec::new(),
+                            },
+                        };
+                        proto::write_frame(&mut *writer.lock(), &fallback).is_ok()
+                    }
+                    Err(_) => false,
+                };
+                if !sent {
                     break;
                 }
+                completed.fetch_add(1, Ordering::SeqCst);
             }
         })
     };
 
     // socket loop: route frames until shutdown / disconnect / injected death
+    let mut run_tx = Some(run_tx);
+    let mut executor = Some(executor);
+    let mut drain_helper: Option<std::thread::JoinHandle<()>> = None;
     let mut runs_seen = 0usize;
     let mut result = Ok(());
     loop {
@@ -215,20 +246,50 @@ pub(crate) fn serve_with(
                     // simulate SIGKILL: sever the socket without draining
                     alive.store(false, Ordering::SeqCst);
                     let _ = writer.lock().shutdown(std::net::Shutdown::Both);
-                    drop(run_tx);
-                    let _ = executor.join();
+                    drop(run_tx.take());
+                    if let Some(h) = executor.take() {
+                        let _ = h.join();
+                    }
                     if let Some(h) = heartbeat {
                         let _ = h.join();
                     }
                     return Ok(());
                 }
-                if run_tx.send(frame).is_err() {
-                    break;
+                match run_tx.as_ref() {
+                    Some(tx) => {
+                        if tx.send(frame).is_err() {
+                            break;
+                        }
+                    }
+                    None => {
+                        result = Err(CumulusError::Protocol("Run frame after Drain".to_string()));
+                        break;
+                    }
                 }
             }
             Ok(Frame::FileData { req, contents }) => {
                 if let Some(tx) = pending.lock().remove(&req) {
                     let _ = tx.send(contents);
+                }
+            }
+            Ok(Frame::Drain) => {
+                // Finish everything already queued, confirm with Bye, exit.
+                // The socket loop keeps running meanwhile: in-flight
+                // activations may still need FileData answers. A helper
+                // waits for the executor, sends Bye, and severs the socket
+                // — which pops this loop out of read_frame.
+                drop(run_tx.take());
+                if let Some(h) = executor.take() {
+                    let writer = Arc::clone(&writer);
+                    let alive = Arc::clone(&alive);
+                    let completed = Arc::clone(&completed);
+                    drain_helper = Some(std::thread::spawn(move || {
+                        let _ = h.join();
+                        let bye = Frame::Bye { completed: completed.load(Ordering::SeqCst) };
+                        let _ = proto::write_frame(&mut *writer.lock(), &bye);
+                        alive.store(false, Ordering::SeqCst);
+                        let _ = writer.lock().shutdown(std::net::Shutdown::Both);
+                    }));
                 }
             }
             Ok(Frame::Shutdown) => break,
@@ -242,8 +303,13 @@ pub(crate) fn serve_with(
 
     // graceful drain: finish queued work (Done frames flush through the
     // writer), then tear the connection down
-    drop(run_tx);
-    let _ = executor.join();
+    drop(run_tx.take());
+    if let Some(h) = executor.take() {
+        let _ = h.join();
+    }
+    if let Some(h) = drain_helper {
+        let _ = h.join();
+    }
     alive.store(false, Ordering::SeqCst);
     let _ = writer.lock().shutdown(std::net::Shutdown::Both);
     if let Some(h) = heartbeat {

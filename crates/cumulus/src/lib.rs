@@ -13,6 +13,10 @@
 //!   failure injection, retries, and poison-input blacklisting;
 //! * [`sched`] — the weighted greedy scheduler, its master cost model, and
 //!   elasticity configuration;
+//! * [`fleet`] — the elastic fleet layer: the [`Scheduler`](fleet::Scheduler)
+//!   trait (placement + scale decisions, separated from resource
+//!   bookkeeping) with fixed, queue-depth, and cost-aware policies, driven
+//!   identically by the distributed backend and the simulator;
 //! * [`steer`] — the live-steering bridge that publishes in-flight
 //!   activation state into the provenance store on a tick, so the paper's
 //!   §V.C runtime queries answer during a run;
@@ -28,6 +32,7 @@ pub mod backend;
 mod dispatch;
 pub mod distbackend;
 pub mod error;
+pub mod fleet;
 pub mod localbackend;
 pub mod pool;
 pub mod sched;
@@ -43,6 +48,10 @@ pub use backend::{
 };
 pub use distbackend::{run_dist, DistConfig, KillPlan};
 pub use error::CumulusError;
+pub use fleet::{
+    upward_ranks, CostAwareConfig, CostAwareScheduler, FixedScheduler, FleetSnapshot,
+    QueueDepthConfig, QueueDepthScheduler, ScaleDecision, ScaleEvent, Scheduler, SchedulerFactory,
+};
 pub use localbackend::{run_local, DispatchMode, EngineError, LocalConfig, RunReport};
 pub use pool::Pool;
 pub use sched::{ElasticityConfig, MasterCostModel, Policy};

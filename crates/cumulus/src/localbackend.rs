@@ -186,6 +186,15 @@ pub struct RunReport {
     /// Aggregated telemetry (per-activity latency quantiles, queue depth,
     /// worker utilisation) — `None` when no sink was attached.
     pub metrics: Option<MetricsSnapshot>,
+    /// Scale decisions taken by the elastic fleet policy, in order. Empty
+    /// for fixed fleets (and always for the local backend).
+    pub scale_events: Vec<crate::fleet::ScaleEvent>,
+    /// Largest provisioned fleet at any point in the run (the thread count
+    /// for the local backend).
+    pub peak_workers: usize,
+    /// Fleet bill under the policy's cost model (per-started-hour), when
+    /// the active scheduler carries one.
+    pub fleet_cost_usd: Option<f64>,
 }
 
 impl RunReport {
@@ -567,6 +576,9 @@ fn run_barrier(
         resumed: 0,
         outputs: Vec::new(),
         metrics: None,
+        scale_events: Vec::new(),
+        peak_workers: cfg.threads,
+        fleet_cost_usd: None,
     };
 
     for (i, activity) in def.activities.iter().enumerate() {
@@ -664,6 +676,9 @@ fn run_pipelined(
         resumed: 0,
         outputs: Vec::new(),
         metrics: None,
+        scale_events: Vec::new(),
+        peak_workers: cfg.threads,
+        fleet_cost_usd: None,
     };
 
     let (mut pipe, seeds) = PipelineState::new(def, &input, cfg.telemetry.clone());

@@ -19,6 +19,7 @@ use cloudsim::{
 use provenance::{ActivationRecord, ActivationStatus, ActivityId, MachineId, ProvenanceStore};
 use telemetry::{MetricsSnapshot, Telemetry};
 
+use crate::fleet::{FleetController, FleetSnapshot, ScaleDecision, ScaleEvent, SchedulerFactory};
 use crate::sched::{ElasticityConfig, MasterCostModel, Policy, ReadyQueue, ReadyTask};
 
 /// One activation to simulate.
@@ -69,8 +70,17 @@ pub struct SimConfig {
     pub policy: Policy,
     /// Master dispatch cost model.
     pub master: MasterCostModel,
-    /// Adaptive elasticity (None = fixed fleet).
+    /// Adaptive elasticity (None = fixed fleet). Ignored when
+    /// [`SimConfig::scheduler`] is set — the policy owns scaling then.
     pub elasticity: Option<ElasticityConfig>,
+    /// Elastic fleet policy — the same [`crate::fleet::Scheduler`] the
+    /// distributed backend runs. `None` = fixed fleet. When set, the
+    /// controller evaluates once over the seeded backlog and then after
+    /// every completion, exactly like the distributed master, so the
+    /// decision traces are comparable event-for-event.
+    pub scheduler: Option<SchedulerFactory>,
+    /// Instance type acquired on a `Grow` decision.
+    pub scale_itype: &'static InstanceType,
     /// Is the provenance-driven Hg blacklist rule installed?
     pub hg_rule: bool,
     /// Workflow tag recorded in provenance.
@@ -100,6 +110,8 @@ impl Default for SimConfig {
             policy: Policy::GreedyWeighted,
             master: MasterCostModel::default(),
             elasticity: None,
+            scheduler: None,
+            scale_itype: &cloudsim::M3_XLARGE,
             hg_rule: true,
             workflow_tag: "SciDock".to_string(),
             activity_tags: Vec::new(),
@@ -176,6 +188,19 @@ impl SimConfig {
         self
     }
 
+    /// Drive the fleet elastically with a [`SchedulerFactory`] — the same
+    /// policy object the distributed backend accepts.
+    pub fn with_scheduler(mut self, factory: SchedulerFactory) -> SimConfig {
+        self.scheduler = Some(factory);
+        self
+    }
+
+    /// Set the instance type acquired on `Grow` decisions.
+    pub fn with_scale_instance(mut self, itype: &'static InstanceType) -> SimConfig {
+        self.scale_itype = itype;
+        self
+    }
+
     /// Install (or remove) the provenance-driven Hg blacklist rule.
     pub fn with_hg_rule(mut self, on: bool) -> SimConfig {
         self.hg_rule = on;
@@ -237,6 +262,9 @@ pub struct SimReport {
     /// Aggregated telemetry over the simulated timeline — `None` when no
     /// sink was attached.
     pub metrics: Option<MetricsSnapshot>,
+    /// Scale decisions taken by the fleet policy, in order (empty unless
+    /// [`SimConfig::scheduler`] is set).
+    pub scale_events: Vec<ScaleEvent>,
 }
 
 #[derive(Debug)]
@@ -292,6 +320,9 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
     let mut vm_busy: Vec<u32> = Vec::new();
     let mut vm_machine: Vec<Option<MachineId>> = Vec::new();
     let mut released: Vec<bool> = Vec::new();
+    // fleet policy asked this VM to retire: no new tasks; released the
+    // moment its last in-flight task completes (drain-then-retire)
+    let mut draining: Vec<bool> = Vec::new();
 
     let acquire =
         |itype: &'static InstanceType,
@@ -300,11 +331,13 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
          events: &mut EventQueue<Event>,
          vm_busy: &mut Vec<u32>,
          vm_machine: &mut Vec<Option<MachineId>>,
-         released: &mut Vec<bool>| {
+         released: &mut Vec<bool>,
+         draining: &mut Vec<bool>| {
             let id = cluster.acquire(itype, t);
             events.push(cluster.vm(id).ready_at, Event::VmReady(id));
             vm_busy.push(0);
             released.push(false);
+            draining.push(false);
             vm_machine.push(prov.map(|p| {
                 p.register_machine(&format!("vm-{}", id.0), itype.name, itype.cores as i64)
             }));
@@ -318,8 +351,75 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
             &mut vm_busy,
             &mut vm_machine,
             &mut released,
+            &mut draining,
         );
     }
+
+    // fleet-policy state, mirroring the distributed master: the controller
+    // owns the completion counter, the snapshot carries logical quantities
+    // only, so the decision trace is reproducible across substrates
+    let mut controller = cfg.scheduler.as_ref().map(FleetController::new);
+    let mut sim_in_flight: usize = 0;
+    let n_acts = tasks
+        .iter()
+        .map(|t| t.activity_index + 1)
+        .max()
+        .unwrap_or(1)
+        .max(cfg.activity_tags.len().max(1));
+    let mut ready_by_activity = vec![0usize; n_acts];
+    let slots_per_worker = cfg.fleet.iter().map(|f| f.cores as usize).max().unwrap_or(1);
+    let apply_scale = |decision: ScaleDecision,
+                       now: SimTime,
+                       cluster: &mut Cluster,
+                       events: &mut EventQueue<Event>,
+                       vm_busy: &mut Vec<u32>,
+                       vm_machine: &mut Vec<Option<MachineId>>,
+                       released: &mut Vec<bool>,
+                       draining: &mut Vec<bool>,
+                       free_slots: &mut Vec<VmId>,
+                       report: &mut SimReport| {
+        match decision {
+            ScaleDecision::Hold => {}
+            ScaleDecision::Grow(k) => {
+                for _ in 0..k {
+                    acquire(
+                        cfg.scale_itype,
+                        now,
+                        cluster,
+                        events,
+                        vm_busy,
+                        vm_machine,
+                        released,
+                        draining,
+                    );
+                }
+                report.peak_vms = report.peak_vms.max(vm_busy.len());
+            }
+            ScaleDecision::Shrink(k) => {
+                // booted VMs, idle first, lowest id first; whatever the
+                // policy asked for, at least one VM keeps serving
+                let mut targets: Vec<usize> = (0..released.len())
+                    .filter(|&v| {
+                        !released[v] && !draining[v] && cluster.vm(VmId(v)).ready_at <= now
+                    })
+                    .collect();
+                targets.sort_by_key(|&v| (vm_busy[v] > 0, v));
+                let booting = (0..released.len())
+                    .filter(|&v| !released[v] && !draining[v] && cluster.vm(VmId(v)).ready_at > now)
+                    .count();
+                let k = k.min((targets.len() + booting).saturating_sub(1));
+                for &v in targets.iter().take(k) {
+                    draining[v] = true;
+                    free_slots.retain(|s| s.0 != v);
+                    if vm_busy[v] == 0 {
+                        // idle: the drain completes immediately
+                        released[v] = true;
+                        cluster.release(VmId(v), now);
+                    }
+                }
+            }
+        }
+    };
 
     let mut report = SimReport {
         tet_s: 0.0,
@@ -335,6 +435,7 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
         peak_vms: cfg.fleet.len(),
         final_cores: 0,
         metrics: None,
+        scale_events: Vec::new(),
     };
 
     let mut ready = ReadyQueue::new(cfg.policy);
@@ -387,6 +488,7 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
             dropped[i] = true;
             cancel_downstream(i, &mut dropped, &mut report, &successors);
         } else {
+            ready_by_activity[t.activity_index] += 1;
             ready.push(ReadyTask { task: i, weight: weight_of(t) });
         }
     }
@@ -394,6 +496,34 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
     let mut master_free: SimTime = 0.0;
     let mut last_acquire: SimTime = 0.0;
     let mut now: SimTime = 0.0;
+
+    // the policy's first look: the whole seeded backlog, before any
+    // dispatch — the distributed master evaluates at the same instant
+    if let Some(ctrl) = controller.as_mut() {
+        let decision = ctrl.evaluate(sim_snapshot(
+            ready.len(),
+            &ready_by_activity,
+            sim_in_flight,
+            &released,
+            &draining,
+            &vm_busy,
+            &cluster,
+            now,
+            slots_per_worker,
+        ));
+        apply_scale(
+            decision,
+            now,
+            &mut cluster,
+            &mut events,
+            &mut vm_busy,
+            &mut vm_machine,
+            &mut released,
+            &mut draining,
+            &mut free_slots,
+            &mut report,
+        );
+    }
 
     loop {
         // dispatch as long as both a free slot and a ready task exist
@@ -412,6 +542,9 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
 
             let rt = ready.pop(&mut rng).expect("non-empty");
             let task = &tasks[rt.task];
+            ready_by_activity[task.activity_index] =
+                ready_by_activity[task.activity_index].saturating_sub(1);
+            sim_in_flight += 1;
             // slot choice: greedy takes the fastest VM, others take the last
             let slot_idx = match cfg.policy {
                 Policy::GreedyWeighted => free_slots
@@ -493,8 +626,9 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
             }
             events.push(done_at, Event::TaskDone { task: rt.task, vm: vm_id, attempt, fate });
 
-            // adaptive elasticity: grow when backlogged
-            if let Some(el) = &cfg.elasticity {
+            // adaptive elasticity (legacy knob): grow when backlogged.
+            // Superseded by the fleet policy when one is installed.
+            if let Some(el) = cfg.elasticity.as_ref().filter(|_| cfg.scheduler.is_none()) {
                 let alive = cluster.alive_at(now).len()
                     + cluster
                         .vms()
@@ -518,6 +652,7 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
                         &mut vm_busy,
                         &mut vm_machine,
                         &mut released,
+                        &mut draining,
                     );
                     last_acquire = now;
                     report.peak_vms = report.peak_vms.max(vm_busy.len());
@@ -531,7 +666,7 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
         report.tet_s = report.tet_s.max(now);
         match ev {
             Event::VmReady(vm) => {
-                if !released[vm.0] {
+                if !released[vm.0] && !draining[vm.0] {
                     for _ in 0..cluster.vm(vm).itype.cores {
                         free_slots.push(vm);
                     }
@@ -539,7 +674,17 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
             }
             Event::TaskDone { task: ti, vm, attempt, fate } => {
                 vm_busy[vm.0] = vm_busy[vm.0].saturating_sub(1);
-                free_slots.push(vm);
+                sim_in_flight = sim_in_flight.saturating_sub(1);
+                if draining[vm.0] {
+                    // no new work for a draining VM; retire it the moment
+                    // its last in-flight task lands
+                    if vm_busy[vm.0] == 0 && !released[vm.0] {
+                        released[vm.0] = true;
+                        cluster.release(vm, now);
+                    }
+                } else {
+                    free_slots.push(vm);
+                }
                 let task = &tasks[ti];
                 let record = |status: ActivationStatus, start: f64, end: f64, retries: i64| {
                     if let Some(p) = prov {
@@ -598,6 +743,7 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
                                     dropped[s] = true;
                                     cancel_downstream(s, &mut dropped, &mut report, &successors);
                                 } else {
+                                    ready_by_activity[st.activity_index] += 1;
                                     ready.push(ReadyTask { task: s, weight: weight_of(st) });
                                 }
                             }
@@ -613,6 +759,7 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
                         report.failed_attempts += 1;
                         if attempt < cfg.max_retries {
                             attempts[ti] = attempt + 1;
+                            ready_by_activity[task.activity_index] += 1;
                             ready.push(ReadyTask { task: ti, weight: weight_of(task) });
                         } else {
                             dropped[ti] = true;
@@ -632,8 +779,9 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
                     }
                 }
 
-                // elasticity: release idle VMs when nothing is queued
-                if let Some(el) = &cfg.elasticity {
+                // legacy elasticity: release idle VMs when nothing is
+                // queued (the fleet policy replaces this path too)
+                if let Some(el) = cfg.elasticity.as_ref().filter(|_| cfg.scheduler.is_none()) {
                     if ready.is_empty() {
                         let alive = cluster.alive_at(now);
                         for v in alive {
@@ -650,6 +798,35 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
                         }
                     }
                 }
+
+                // every completion is a scheduler tick, exactly like the
+                // distributed master processing a Done frame
+                if let Some(ctrl) = controller.as_mut() {
+                    ctrl.note_completion();
+                    let decision = ctrl.evaluate(sim_snapshot(
+                        ready.len(),
+                        &ready_by_activity,
+                        sim_in_flight,
+                        &released,
+                        &draining,
+                        &vm_busy,
+                        &cluster,
+                        now,
+                        slots_per_worker,
+                    ));
+                    apply_scale(
+                        decision,
+                        now,
+                        &mut cluster,
+                        &mut events,
+                        &mut vm_busy,
+                        &mut vm_machine,
+                        &mut released,
+                        &mut draining,
+                        &mut free_slots,
+                        &mut report,
+                    );
+                }
             }
         }
     }
@@ -658,7 +835,42 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
     report.final_cores = cluster.cores_at(report.tet_s);
     report.peak_vms = report.peak_vms.max(cluster.vms().len());
     report.metrics = tel.snapshot();
+    if let Some(ctrl) = controller {
+        report.scale_events = ctrl.into_trace();
+    }
     report
+}
+
+/// The scheduler's view of a simulated run, shaped identically to the
+/// distributed master's: logical queue depths, provisioned fleet (booted +
+/// booting, minus draining), and per-worker slot capacity.
+#[allow(clippy::too_many_arguments)]
+fn sim_snapshot(
+    ready_len: usize,
+    ready_by_activity: &[usize],
+    in_flight: usize,
+    released: &[bool],
+    draining: &[bool],
+    vm_busy: &[u32],
+    cluster: &Cluster,
+    now: SimTime,
+    slots_per_worker: usize,
+) -> FleetSnapshot {
+    let fleet = (0..released.len()).filter(|&v| !released[v] && !draining[v]).count();
+    let idle = (0..released.len())
+        .filter(|&v| {
+            !released[v] && !draining[v] && vm_busy[v] == 0 && cluster.vm(VmId(v)).ready_at <= now
+        })
+        .count();
+    FleetSnapshot {
+        completions: 0, // the controller stamps its own count
+        queued: ready_len,
+        in_flight,
+        fleet,
+        idle,
+        slots_per_worker,
+        queued_by_activity: ready_by_activity.to_vec(),
+    }
 }
 
 fn record_blacklist(
@@ -868,6 +1080,50 @@ mod tests {
         // grown fleet must beat the fixed one
         let fixed = simulate(&tasks, &base_cfg(4), None);
         assert!(r.tet_s < fixed.tet_s);
+    }
+
+    #[test]
+    fn fleet_policy_drives_simulated_scaling() {
+        use crate::fleet::{QueueDepthConfig, QueueDepthScheduler};
+        let tasks = chain_tasks(10, 1, 5.0);
+        let cfg = SimConfig {
+            fleet: vec![&cloudsim::M1_SMALL],
+            scale_itype: &cloudsim::M1_SMALL,
+            scheduler: Some(SchedulerFactory::new(|| {
+                Box::new(QueueDepthScheduler::new(QueueDepthConfig {
+                    max_workers: 3,
+                    ..QueueDepthConfig::default()
+                }))
+            })),
+            noise: NoiseModel { amplitude: 0.0 },
+            sharedfs: SharedFsModel { latency_s: 0.0, bandwidth_bps: 1e12, contention: 0.0 },
+            master: MasterCostModel { c0: 0.0, c1: 0.0, window: 1, latency_per_vm: 0.0 },
+            activity_tags: vec!["work".into()],
+            ..Default::default()
+        };
+        let r = simulate(&tasks, &cfg, None);
+        assert_eq!(r.finished, 10);
+        assert_eq!(r.peak_vms, 3, "the policy grew to its cap");
+        use crate::fleet::ScaleDecision::{Grow, Shrink};
+        let got: Vec<_> = r
+            .scale_events
+            .iter()
+            .map(|e| (e.completions, e.fleet, e.outstanding, e.decision))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (0, 1, 10, Grow(1)),
+                (2, 2, 8, Grow(1)),
+                (8, 3, 2, Shrink(1)),
+                (10, 2, 0, Shrink(1))
+            ],
+            "queue-depth decisions over a 10-task flat backlog"
+        );
+        // determinism: the same config reproduces the same trace
+        let again = simulate(&tasks, &cfg, None);
+        assert_eq!(r.scale_events, again.scale_events);
+        assert_eq!(r.tet_s, again.tet_s);
     }
 
     #[test]
