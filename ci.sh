@@ -39,4 +39,7 @@ cargo run --release -p scidock-bench --bin dist_bench -- --smoke
 echo "== elastic fleet: queue-depth autoscaler beats a fixed 1-worker fleet =="
 cargo run --release -p scidock-bench --bin fleet_bench -- --smoke
 
+echo "== observability: disabled-overhead bound + /metrics+/healthz scrape smoke =="
+cargo run --release -p scidock-bench --bin obs_bench -- --smoke
+
 echo "CI OK"

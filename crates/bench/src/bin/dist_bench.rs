@@ -23,6 +23,7 @@ use cumulus::RunReport;
 use provenance::ProvenanceStore;
 use scidock_bench::distspec;
 use scidock_bench::sidecar::Sidecar;
+use telemetry::Telemetry;
 
 const SPIN_SPEC: &str = "unit:spin:8:150";
 const FAULT_SPEC: &str = "unit:sleep:6:50";
@@ -50,7 +51,8 @@ fn run(spec: &str, workers: usize, kill: Option<KillPlan>) -> RunReport {
         .with_workers(workers)
         .with_worker_command(worker_bin(), Vec::new())
         .with_spec(spec)
-        .with_max_in_flight(1);
+        .with_max_in_flight(1)
+        .with_telemetry(Telemetry::attached());
     if let Some(plan) = kill {
         cfg = cfg.with_kill_plan(plan);
     }
@@ -88,6 +90,9 @@ fn main() {
     sidecar.push("fault_finished", format!("{}", faulted.finished));
     sidecar.push("fault_failed_attempts", format!("{}", faulted.failed_attempts));
     sidecar.push("fault_total_s", format!("{:.4}", faulted.total_seconds));
+    if let Some(m) = &two.metrics {
+        sidecar.push_metrics(m);
+    }
 
     if smoke {
         if cores >= 4 {

@@ -300,6 +300,15 @@ fn main() {
             json::num(1.0 / t_fast),
         ),
     );
+    // one instrumented dock (outside the timed sections) so the sidecar
+    // carries the final MetricsSnapshot like every other bench sidecar
+    let tel = telemetry::Telemetry::attached();
+    let obs_cfg = DockConfig { telemetry: tel.clone(), ..bench_cfg(cores) };
+    dock_with_grids(&cell, "1HUC", &lig, EngineKind::Ad4, &obs_cfg).expect("dock");
+    if let Some(m) = tel.snapshot() {
+        sc.push_metrics(&m);
+    }
+
     let path = std::path::Path::new("target/dock_bench.json");
     sc.write(path).expect("write sidecar");
     println!();

@@ -87,9 +87,11 @@ fn main() {
 
     // ---------------- simulated 1,000-pair run: figs 5, 6, query 1 ----------
     let needs_sim_1k = want("fig5") || want("fig6") || want("query1");
+    let sim_tel = telemetry::Telemetry::attached();
     let sim_prov = if needs_sim_1k {
         let sweep = SweepConfig {
             ligand_codes: LIGAND_CODES[..4].iter().map(|s| s.to_string()).collect(),
+            telemetry: sim_tel.clone(),
             ..Default::default()
         };
         let prov = ProvenanceStore::new();
@@ -417,6 +419,11 @@ fn main() {
     }
 
     if !sidecar.is_empty() {
+        if let Some(m) = sim_tel.snapshot() {
+            if !m.counters.is_empty() || !m.histograms.is_empty() {
+                sidecar.push_metrics(&m);
+            }
+        }
         let path = std::path::Path::new(&json_path);
         match sidecar.write(path) {
             Ok(()) => eprintln!("[figures] JSON sidecar written to {}", path.display()),

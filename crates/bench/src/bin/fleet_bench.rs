@@ -28,6 +28,7 @@ use cumulus::{
 use provenance::ProvenanceStore;
 use scidock_bench::distspec;
 use scidock_bench::sidecar::Sidecar;
+use telemetry::Telemetry;
 
 /// 12 sleep activations of 400 ms: ~4.8 s serially, ~1.6 s on 3 workers.
 const SPEC: &str = "unit:sleep:12:400";
@@ -57,7 +58,8 @@ fn run(scheduler: Option<SchedulerFactory>) -> RunReport {
         .with_workers(1)
         .with_worker_command(worker_bin(), Vec::new())
         .with_spec(SPEC)
-        .with_max_in_flight(1);
+        .with_max_in_flight(1)
+        .with_telemetry(Telemetry::attached());
     if let Some(factory) = scheduler {
         cfg = cfg.with_scheduler(factory);
     }
@@ -134,6 +136,9 @@ fn main() {
     sidecar.push("cost_aware_s", format!("{:.4}", costly.total_seconds));
     sidecar.push("cost_aware_peak_workers", format!("{}", costly.peak_workers));
     sidecar.push("cost_aware_fleet_usd", format!("{cost:.4}"));
+    if let Some(m) = &elastic.metrics {
+        sidecar.push_metrics(m);
+    }
 
     if smoke {
         assert!(

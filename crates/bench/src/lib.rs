@@ -15,6 +15,12 @@ pub mod distspec;
 pub mod sidecar {
     use telemetry::json;
 
+    /// Version of the sidecar envelope shared by every bench binary
+    /// (`dock_bench.json`, `dist_bench.json`, `fleet_bench.json`,
+    /// `figures.json`). Emitted as the first key of [`Sidecar::to_json`];
+    /// bump it whenever a key is renamed or its value shape changes.
+    pub const SCHEMA_VERSION: u64 = 1;
+
     /// Accumulates `(key, json_value)` entries in insertion order.
     #[derive(Debug, Default)]
     pub struct Sidecar {
@@ -33,18 +39,23 @@ pub mod sidecar {
             self.entries.push((key.to_string(), value));
         }
 
+        /// Embed the final [`telemetry::MetricsSnapshot`] of the run that
+        /// produced this sidecar under the `"metrics"` key.
+        pub fn push_metrics(&mut self, snap: &telemetry::MetricsSnapshot) {
+            self.push("metrics", snap.to_json());
+        }
+
         /// Any figures recorded?
         pub fn is_empty(&self) -> bool {
             self.entries.is_empty()
         }
 
-        /// Render the whole collection as one JSON object.
+        /// Render the whole collection as one JSON object, led by the
+        /// `"schema"` envelope version.
         pub fn to_json(&self) -> String {
-            let mut out = String::from("{");
-            for (i, (k, v)) in self.entries.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
+            let mut out = format!("{{\"schema\":{SCHEMA_VERSION}");
+            for (k, v) in self.entries.iter() {
+                out.push(',');
                 out.push('"');
                 out.push_str(&json::escape(k));
                 out.push_str("\":");
@@ -83,8 +94,26 @@ pub mod sidecar {
             sc.push("headline", "{\"speedup_at_16\":13.1}".to_string());
             let out = sc.to_json();
             telemetry::json::validate(&out).expect("sidecar output is well-formed JSON");
-            assert!(out.starts_with("{\"fig7\":"));
+            assert!(out.starts_with(&format!("{{\"schema\":{SCHEMA_VERSION},\"fig7\":")));
             assert!(out.contains("\"headline\":{"));
+        }
+
+        #[test]
+        fn empty_sidecar_still_carries_the_schema_version() {
+            let sc = Sidecar::new();
+            assert_eq!(sc.to_json(), format!("{{\"schema\":{SCHEMA_VERSION}}}"));
+        }
+
+        #[test]
+        fn push_metrics_embeds_a_snapshot_object() {
+            let tel = telemetry::Telemetry::attached();
+            tel.count("worker.finished", 3);
+            let mut sc = Sidecar::new();
+            sc.push_metrics(&tel.snapshot().expect("attached"));
+            let out = sc.to_json();
+            telemetry::json::validate(&out).expect("valid JSON");
+            assert!(out.contains("\"metrics\":{"));
+            assert!(out.contains("\"worker.finished\":3"));
         }
 
         #[test]

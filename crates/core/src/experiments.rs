@@ -10,6 +10,7 @@ use cumulus::simbackend::{simulate, SimConfig, SimReport};
 use cumulus::workflow::FileStore;
 use cumulus::{ElasticityConfig, MasterCostModel, Policy};
 use provenance::ProvenanceStore;
+use telemetry::Telemetry;
 
 use crate::activities::{build_scidock, stage_inputs, EngineMode, SciDockConfig};
 use crate::analysis::{results_from_relation, PairResult};
@@ -133,6 +134,9 @@ pub struct SweepConfig {
     /// provenance (`cumulus::sched::activity_profiles`). `None` = oracle
     /// weights (the scheduler sees true task costs).
     pub weight_profile: Option<std::collections::HashMap<String, f64>>,
+    /// Telemetry sink for the simulated runs (disabled by default; attach
+    /// one to get a `MetricsSnapshot` in the returned report).
+    pub telemetry: Telemetry,
 }
 
 impl Default for SweepConfig {
@@ -154,6 +158,7 @@ impl Default for SweepConfig {
             elasticity: None,
             hg_rule: true,
             weight_profile: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -180,6 +185,7 @@ pub fn simulate_at(
         .with_policy(sweep.policy)
         .with_master(sweep.master)
         .with_hg_rule(sweep.hg_rule)
+        .with_telemetry(sweep.telemetry.clone())
         .with_workflow_tag(match mode {
             EngineMode::Ad4Only => "SciDock-AD4",
             EngineMode::VinaOnly => "SciDock-Vina",

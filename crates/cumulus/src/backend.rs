@@ -487,6 +487,45 @@ mod tests {
     }
 
     #[test]
+    fn local_and_sim_mirror_emit_the_same_event_sequence() {
+        use crate::localbackend::DispatchMode;
+        use crate::obs::EventLog;
+
+        // serial local run: thread scheduling cannot reorder the lifecycle
+        let local_events = EventLog::new();
+        let wf = Workflow::new(xy_def(), xy_input());
+        let store = Arc::new(ProvenanceStore::new());
+        let local = LocalBackend::new(
+            LocalConfig::new()
+                .with_threads(1)
+                .with_mode(DispatchMode::Barrier)
+                .with_events(local_events.clone()),
+        );
+        local.run(&wf, &store).unwrap();
+
+        // sim mirror of the same workflow shape, fixed seed
+        let sim_events = EventLog::new();
+        let sim_store = Arc::new(ProvenanceStore::new());
+        let sim = SimBackend::new(SimConfig::new().with_seed(7).with_events(sim_events.clone()));
+        sim.run(&wf, &sim_store).unwrap();
+
+        let local_seq: Vec<_> =
+            local_events.events().iter().map(|e| e.parity_signature()).collect();
+        let sim_seq: Vec<_> = sim_events.events().iter().map(|e| e.parity_signature()).collect();
+        assert!(!local_seq.is_empty());
+        assert_eq!(
+            local_seq, sim_seq,
+            "a sim mirror must produce the same event sequence modulo timestamps \
+             and backend-specific resource names"
+        );
+        // and the sequence is the expected lifecycle, start to finish
+        let kinds: Vec<String> = local_events.events().iter().map(|e| e.kind.clone()).collect();
+        assert_eq!(kinds.first().map(String::as_str), Some("run_started"));
+        assert_eq!(kinds.last().map(String::as_str), Some("run_finished"));
+        assert_eq!(kinds.iter().filter(|k| *k == "activation_finished").count(), 6);
+    }
+
+    #[test]
     fn invalid_workflow_maps_to_cumulus_error() {
         let mut def = xy_def();
         def.deps = vec![vec![1], vec![0]]; // cycle

@@ -51,6 +51,7 @@ use crate::dispatch::{pair_key, split_path, PipelineState, SubmitReq};
 use crate::error::CumulusError;
 use crate::fleet::{FleetController, FleetSnapshot, ScaleDecision, SchedulerFactory, WorkerView};
 use crate::localbackend::{tally, ActOutcome, ActivityCtx, LocalConfig, RunReport};
+use crate::obs::{BoundAddr, EventLog, HealthView, ObsServer, ObsState, Severity, WorkerHealth};
 use crate::steer::SteeringBridge;
 use crate::workflow::{FileStore, WorkflowDef};
 
@@ -121,6 +122,24 @@ pub struct DistConfig {
     /// With a factory, the controller re-evaluates after every completion
     /// and may spawn new workers mid-run or drain-then-retire idle ones.
     pub scheduler: Option<SchedulerFactory>,
+    /// Serve the observability endpoint (`/metrics`, `/snapshot.json`,
+    /// `/healthz`, `/events`) on this address for the run's duration.
+    /// `"127.0.0.1:0"` binds an ephemeral port readable through
+    /// [`DistConfig::metrics_bound`]. `None` = no listener.
+    pub metrics_addr: Option<String>,
+    /// Resolves to the endpoint's actual bound address once it is
+    /// listening (for ephemeral ports).
+    pub metrics_bound: Option<BoundAddr>,
+    /// Structured event log the run emits into (lifecycle, failures, fleet
+    /// scaling, stragglers). `None` = a fresh in-memory ring, still served
+    /// from `/events` when the endpoint is up.
+    pub events: Option<EventLog>,
+    /// Straggler threshold as a multiple of the activity's rolling p95
+    /// latency (merged from worker `Stats` frames).
+    pub straggler_factor: f64,
+    /// Straggler floor: an activation younger than this many milliseconds
+    /// is never flagged, whatever the baseline says.
+    pub straggler_min_ms: u64,
     /// Test-only: in-process worker index that never heartbeats, to drill
     /// the master's liveness timeout.
     pub(crate) mute_heartbeat: Option<usize>,
@@ -146,6 +165,10 @@ impl std::fmt::Debug for DistConfig {
             .field("durability", &self.durability)
             .field("kill_plan", &self.kill_plan)
             .field("scheduler", &self.scheduler)
+            .field("metrics_addr", &self.metrics_addr)
+            .field("events", &self.events.as_ref().map(|_| "<event-log>"))
+            .field("straggler_factor", &self.straggler_factor)
+            .field("straggler_min_ms", &self.straggler_min_ms)
             .finish()
     }
 }
@@ -171,6 +194,11 @@ impl Default for DistConfig {
             durability: None,
             kill_plan: None,
             scheduler: None,
+            metrics_addr: None,
+            metrics_bound: None,
+            events: None,
+            straggler_factor: 4.0,
+            straggler_min_ms: 30_000,
             mute_heartbeat: None,
         }
     }
@@ -297,6 +325,35 @@ impl DistConfig {
         self.scheduler = Some(factory);
         self
     }
+
+    /// Serve the observability endpoint on `addr` for the run's duration.
+    pub fn with_metrics_addr(mut self, addr: impl Into<String>) -> DistConfig {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Publish the endpoint's bound address into `bound` once listening
+    /// (pair with a `"127.0.0.1:0"` metrics address).
+    pub fn with_metrics_bound(mut self, bound: BoundAddr) -> DistConfig {
+        self.metrics_bound = Some(bound);
+        self
+    }
+
+    /// Emit structured run events into `events` (and its sink file, if it
+    /// has one) instead of a private in-memory ring.
+    pub fn with_events(mut self, events: EventLog) -> DistConfig {
+        self.events = Some(events);
+        self
+    }
+
+    /// Tune the straggler detector: flag an in-flight activation once it
+    /// runs longer than `factor ×` its activity's rolling p95 **and**
+    /// longer than `min_ms` milliseconds.
+    pub fn with_straggler(mut self, factor: f64, min_ms: u64) -> DistConfig {
+        self.straggler_factor = factor;
+        self.straggler_min_ms = min_ms;
+        self
+    }
 }
 
 // ------------------------------------------------------------------ master
@@ -321,6 +378,9 @@ struct InFlight {
     start: f64,
     /// Wall clock at dispatch, for the hang detector.
     dispatched: Instant,
+    /// Flagged by the straggler detector: running far beyond this
+    /// activity's latency baseline (each activation alarms at most once).
+    straggler: bool,
 }
 
 /// Everything the master tracks about one worker connection.
@@ -341,6 +401,10 @@ struct WorkerHandle {
     /// master_clock − worker_clock, for span merging.
     offset_ns: i64,
     runs_sent: usize,
+    /// Last heartbeat-reported `(job, elapsed_ms)`: the worker's own view
+    /// of its current activation's age (quoted by the hang detector and
+    /// cross-checked by the straggler detector).
+    last_job: Option<(u64, u64)>,
     /// Handshake completion, for billing and utilisation.
     connected_at: Instant,
     /// Retirement/loss time; `None` while serving.
@@ -389,13 +453,75 @@ pub fn run_dist(
         prov.set_durability(d);
     }
     let tel = cfg.telemetry.clone();
+    // The merged cluster-wide collector workers stream their Stats deltas
+    // into: the session's own collector when telemetry is attached, a
+    // private one when only the endpoint needs it, otherwise disabled (an
+    // absorb into a disabled collector is a no-op, so streaming costs one
+    // small frame per heartbeat and nothing else).
+    let obs_tel = if tel.is_enabled() {
+        tel.clone()
+    } else if cfg.metrics_addr.is_some() {
+        Telemetry::attached()
+    } else {
+        Telemetry::disabled()
+    };
+    let events = cfg.events.clone().unwrap_or_default();
+    let obs = ObsState::new(obs_tel, events.clone());
+    let server = match &cfg.metrics_addr {
+        Some(addr) => {
+            let s = ObsServer::start(addr, obs.clone())
+                .map_err(|e| CumulusError::Io(format!("metrics listener on {addr}: {e}")))?;
+            if let Some(bound) = &cfg.metrics_bound {
+                bound.set(s.addr());
+            }
+            Some(s)
+        }
+        None => None,
+    };
     let wkf = prov.begin_workflow(&def.tag, &def.description, &def.expdir);
     let t0 = Instant::now();
     let bridge = cfg.steering_tick.map(|tick| SteeringBridge::start(Arc::clone(&prov), t0, tick));
     tel.name_current_track("master");
     let run_start = tel.now_ns();
+    events.emit(
+        0.0,
+        Severity::Info,
+        "run_started",
+        &[
+            ("workflow", def.tag.clone()),
+            ("backend", "dist".to_string()),
+            ("workers", cfg.workers.to_string()),
+        ],
+    );
 
-    let result = master_loop(def, input, &files, &prov, cfg, wkf, t0, &bridge);
+    let result = master_loop(def, input, &files, &prov, cfg, wkf, t0, &bridge, &obs);
+    match &result {
+        Ok(r) => events.emit(
+            t0.elapsed().as_secs_f64(),
+            Severity::Info,
+            "run_finished",
+            &[
+                ("workflow", def.tag.clone()),
+                ("finished", r.finished.to_string()),
+                ("failed_attempts", r.failed_attempts.to_string()),
+                ("aborted", r.aborted.to_string()),
+                ("blacklisted", r.blacklisted.to_string()),
+            ],
+        ),
+        Err(e) => events.emit(
+            t0.elapsed().as_secs_f64(),
+            Severity::Error,
+            "run_error",
+            &[("workflow", def.tag.clone()), ("error", e.to_string())],
+        ),
+    }
+    {
+        let mut view = obs.health.lock().expect("health view poisoned");
+        view.phase = "done".to_string();
+    }
+    if let Some(s) = server {
+        s.shutdown();
+    }
 
     if let Some(b) = &bridge {
         b.stop();
@@ -431,6 +557,7 @@ fn master_loop(
     wkf: WorkflowId,
     t0: Instant,
     bridge: &Option<Arc<SteeringBridge>>,
+    obs: &ObsState,
 ) -> Result<RunReport, CumulusError> {
     let tel = cfg.telemetry.clone();
     // the master reuses the local backend's per-activity provenance
@@ -449,6 +576,14 @@ fn master_loop(
         .map(|i| ActivityCtx::build(def, i, wkf, files, prov, &lcfg, t0, bridge))
         .collect();
 
+    // per-activity histogram names the straggler detector reads baselines
+    // from (allocated once; the sweep runs every loop iteration)
+    let act_hist: Vec<String> = ctxs.iter().map(|c| format!("activation.{}", c.tag)).collect();
+
+    {
+        let mut view = obs.health.lock().expect("health view poisoned");
+        view.phase = "starting".to_string();
+    }
     let (mut fleet, events) = connect_fleet(cfg, files)?;
     let mut controller = match &cfg.scheduler {
         Some(factory) => FleetController::new(factory),
@@ -492,6 +627,7 @@ fn master_loop(
             tel.gauge("fleet.size", fleet.provisioned() as f64);
         }
         peak_workers = peak_workers.max(fleet.provisioned());
+        obs.set_health(health_view(&fleet, "running"));
         // 1. turn dispatcher submissions into queued jobs; resume hits and
         //    blacklisted inputs complete inline without touching a worker
         while let Some(req) = submits.pop_front() {
@@ -506,6 +642,12 @@ fn master_loop(
             if let Some(bl) = &ctx.blacklist {
                 if req.part.iter().any(|t| bl(t)) {
                     let now = t0.elapsed().as_secs_f64();
+                    obs.events.emit(
+                        now,
+                        Severity::Error,
+                        "activation_blacklisted",
+                        &[("activity", ctx.tag.clone()), ("key", key.clone())],
+                    );
                     prov.record_activation(&ActivationRecord {
                         activity: ctx.act_id,
                         workflow: ctx.wkf,
@@ -541,7 +683,7 @@ fn master_loop(
             evaluated_initial = true;
             let decision =
                 controller.evaluate(snapshot(&fleet, &pending, &submits, ctxs.len(), cfg));
-            for wi in apply_scale(decision, &mut fleet, cfg, &tel)? {
+            for wi in apply_scale(decision, &mut fleet, cfg, &tel, obs, t0)? {
                 lose_worker(
                     &mut fleet,
                     wi,
@@ -553,6 +695,8 @@ fn master_loop(
                     &mut report,
                     t0,
                     prov,
+                    obs,
+                    "drain_undeliverable",
                 );
             }
             peak_workers = peak_workers.max(fleet.provisioned());
@@ -601,6 +745,16 @@ fn master_loop(
                     },
                 );
                 report.aborted += 1;
+                obs.events.emit(
+                    end,
+                    Severity::Warn,
+                    "activation_aborted",
+                    &[
+                        ("activity", ctx.tag.clone()),
+                        ("key", job.key.clone()),
+                        ("attempt", job.attempt.to_string()),
+                    ],
+                );
                 submits.extend(pipe.on_completion(job.activity, &[]));
                 continue 'run; // new submissions may precede queued work
             }
@@ -616,7 +770,10 @@ fn master_loop(
                 part: job.part.clone(),
             };
             let w = &mut fleet.workers[wi];
-            w.in_flight.insert(id, InFlight { job, slot, start, dispatched: Instant::now() });
+            w.in_flight.insert(
+                id,
+                InFlight { job, slot, start, dispatched: Instant::now(), straggler: false },
+            );
             let sent = proto::write_frame(&mut *w.writer.lock(), &frame).is_ok();
             w.runs_sent += 1;
             if let Some(plan) = cfg.kill_plan {
@@ -640,6 +797,8 @@ fn master_loop(
                     &mut report,
                     t0,
                     prov,
+                    obs,
+                    "send_failed",
                 );
                 continue 'run;
             }
@@ -650,7 +809,23 @@ fn master_loop(
             Ok(Event::Frame(wi, frame)) => {
                 fleet.workers[wi].last_seen = Instant::now();
                 match frame {
-                    Frame::Heartbeat { .. } => {}
+                    Frame::Heartbeat { job, job_elapsed_ms } => {
+                        // the worker's own view of its current activation's
+                        // age: the straggler detector cross-checks it and
+                        // the hang detector quotes it on a loss
+                        fleet.workers[wi].last_job = job.map(|j| (j, job_elapsed_ms));
+                        if job.is_some() {
+                            if let Some(h) = obs.tel.histogram("dist.heartbeat.job_elapsed") {
+                                h.record(job_elapsed_ms.saturating_mul(1_000_000));
+                            }
+                        }
+                    }
+                    Frame::Stats { delta } => {
+                        // periodic worker-local counter/histogram growth:
+                        // merging it here keeps a continuously-current
+                        // cluster-wide snapshot behind /metrics mid-run
+                        obs.tel.absorb(&delta);
+                    }
                     Frame::Done { job, outcome } => {
                         let Some(inflight) = fleet.workers[wi].in_flight.remove(&job) else {
                             continue 'run; // completion raced a reassignment
@@ -669,13 +844,43 @@ fn master_loop(
                             fleet.workers[wi].offset_ns,
                             cfg.max_retries,
                         );
+                        let ev_t = t0.elapsed().as_secs_f64();
+                        let ev_fields = |job: &Job| {
+                            [
+                                ("activity", ctxs[job.activity].tag.clone()),
+                                ("key", job.key.clone()),
+                                ("attempt", job.attempt.to_string()),
+                                ("worker", wi.to_string()),
+                            ]
+                        };
                         match out {
                             Completed::Terminal(out) => {
+                                if out.finished > 0 {
+                                    obs.events.emit(
+                                        ev_t,
+                                        Severity::Info,
+                                        "activation_finished",
+                                        &ev_fields(&inflight.job),
+                                    );
+                                } else {
+                                    obs.events.emit(
+                                        ev_t,
+                                        Severity::Error,
+                                        "activation_failed",
+                                        &ev_fields(&inflight.job),
+                                    );
+                                }
                                 tally(&mut report, &out);
                                 submits
                                     .extend(pipe.on_completion(inflight.job.activity, &out.tuples));
                             }
                             Completed::Retry => {
+                                obs.events.emit(
+                                    ev_t,
+                                    Severity::Warn,
+                                    "activation_failed",
+                                    &ev_fields(&inflight.job),
+                                );
                                 report.failed_attempts += 1;
                                 let mut job = inflight.job;
                                 job.attempt += 1;
@@ -691,7 +896,7 @@ fn master_loop(
                             ctxs.len(),
                             cfg,
                         ));
-                        for lost in apply_scale(decision, &mut fleet, cfg, &tel)? {
+                        for lost in apply_scale(decision, &mut fleet, cfg, &tel, obs, t0)? {
                             lose_worker(
                                 &mut fleet,
                                 lost,
@@ -703,6 +908,8 @@ fn master_loop(
                                 &mut report,
                                 t0,
                                 prov,
+                                obs,
+                                "drain_undeliverable",
                             );
                         }
                         peak_workers = peak_workers.max(fleet.provisioned());
@@ -727,6 +934,12 @@ fn master_loop(
                             Some(&format!("worker-{wi} completed={completed}")),
                         );
                         tel.gauge("fleet.size", fleet.provisioned() as f64);
+                        obs.events.emit(
+                            t0.elapsed().as_secs_f64(),
+                            Severity::Info,
+                            "worker_retired",
+                            &[("worker", wi.to_string()), ("completed", completed.to_string())],
+                        );
                     }
                     f => {
                         return Err(CumulusError::Protocol(format!(
@@ -747,7 +960,10 @@ fn master_loop(
                     &mut report,
                     t0,
                     prov,
+                    obs,
+                    "socket_closed",
                 );
+                obs.set_health(health_view(&fleet, "running"));
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -769,27 +985,110 @@ fn master_loop(
                             &mut report,
                             t0,
                             prov,
+                            obs,
+                            "event_channel_closed",
                         );
                     }
                 }
             }
         }
 
+        // straggler detection: an in-flight activation running beyond
+        // `straggler_factor ×` its activity's rolling p95 (merged from
+        // worker Stats frames) *and* past the `straggler_min_ms` floor is
+        // flagged — once — as a straggler. The flag feeds the scheduler's
+        // FleetSnapshot and the event log; the activation itself keeps
+        // running (the hang detector, not this, cuts wedged workers).
+        for wi in 0..fleet.workers.len() {
+            let reported = fleet.workers[wi].last_job;
+            if !fleet.workers[wi].alive {
+                continue;
+            }
+            let mut flagged: Vec<(u64, String, String, u64, u64)> = Vec::new();
+            for (id, j) in fleet.workers[wi].in_flight.iter_mut() {
+                if j.straggler {
+                    continue;
+                }
+                // trust whichever clock has seen more: the master's
+                // dispatch age or the worker's own heartbeat report
+                let mut elapsed_ms = j.dispatched.elapsed().as_millis() as u64;
+                if let Some((rj, rms)) = reported {
+                    if rj == *id {
+                        elapsed_ms = elapsed_ms.max(rms);
+                    }
+                }
+                if elapsed_ms < cfg.straggler_min_ms {
+                    continue;
+                }
+                let threshold_ms = obs
+                    .tel
+                    .histogram(&act_hist[j.job.activity])
+                    .filter(|h| h.count() >= 3)
+                    .map(|h| (h.quantile(0.95) * cfg.straggler_factor / 1e6) as u64)
+                    .unwrap_or(0)
+                    .max(cfg.straggler_min_ms);
+                if elapsed_ms > threshold_ms {
+                    j.straggler = true;
+                    let job = &j.job;
+                    flagged.push((
+                        *id,
+                        ctxs[job.activity].tag.clone(),
+                        job.key.clone(),
+                        elapsed_ms,
+                        threshold_ms,
+                    ));
+                }
+            }
+            for (id, tag, key, elapsed_ms, threshold_ms) in flagged {
+                obs.tel.count("dist.stragglers", 1);
+                obs.events.emit(
+                    t0.elapsed().as_secs_f64(),
+                    Severity::Warn,
+                    "straggler",
+                    &[
+                        ("worker", wi.to_string()),
+                        ("job", id.to_string()),
+                        ("activity", tag),
+                        ("key", key),
+                        ("elapsed_ms", elapsed_ms.to_string()),
+                        ("threshold_ms", threshold_ms.to_string()),
+                    ],
+                );
+            }
+        }
+
         // liveness: heartbeat silence and wedged activations
-        let lost: Vec<usize> = fleet
+        let lost: Vec<(usize, &'static str)> = fleet
             .workers
             .iter()
             .enumerate()
-            .filter(|(_, w)| {
-                w.alive
-                    && (w.last_seen.elapsed() > cfg.heartbeat_timeout
-                        || cfg.activation_timeout.is_some_and(|limit| {
-                            w.in_flight.values().any(|j| j.dispatched.elapsed() > limit)
-                        }))
+            .filter(|(_, w)| w.alive)
+            .filter_map(|(i, w)| {
+                if cfg.activation_timeout.is_some_and(|limit| {
+                    w.in_flight.values().any(|j| j.dispatched.elapsed() > limit)
+                }) {
+                    Some((i, "activation_timeout"))
+                } else if w.last_seen.elapsed() > cfg.heartbeat_timeout {
+                    Some((i, "heartbeat_timeout"))
+                } else {
+                    None
+                }
             })
-            .map(|(i, _)| i)
             .collect();
-        for wi in lost {
+        for (wi, reason) in lost {
+            if reason == "activation_timeout" {
+                // S1: the hang detector's detail quotes the worker's own
+                // elapsed report alongside the master's view (the FAILED
+                // provenance row itself stays byte-stable)
+                let worker_ms = fleet.workers[wi]
+                    .last_job
+                    .map_or_else(|| "none".to_string(), |(j, ms)| format!("job={j} {ms}ms"));
+                tel.instant(
+                    "dist",
+                    "hang",
+                    Some(&format!("worker-{wi} worker_elapsed: {worker_ms}")),
+                );
+            }
             lose_worker(
                 &mut fleet,
                 wi,
@@ -801,6 +1100,8 @@ fn master_loop(
                 &mut report,
                 t0,
                 prov,
+                obs,
+                reason,
             );
         }
         if fleet.workers.iter().all(|w| !w.alive) && fleet.spawning.is_empty() && !pipe.done() {
@@ -839,8 +1140,30 @@ fn master_loop(
     report.scale_events = controller.into_trace();
     report.outputs = pipe.into_outputs();
     report.total_seconds = t0.elapsed().as_secs_f64();
+    obs.set_health(health_view(&fleet, "draining"));
     fleet.drain();
     Ok(report)
+}
+
+/// The fleet as `/healthz` reports it.
+fn health_view(fleet: &Fleet, phase: &str) -> HealthView {
+    HealthView {
+        phase: phase.to_string(),
+        fleet: fleet.provisioned(),
+        workers: fleet
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| WorkerHealth {
+                id: i,
+                alive: w.alive,
+                draining: w.draining,
+                last_seen_ms: w.last_seen.elapsed().as_millis() as u64,
+                in_flight: w.in_flight.len(),
+                stragglers: w.in_flight.values().filter(|j| j.straggler).count(),
+            })
+            .collect(),
+    }
 }
 
 /// The scheduler's view of the run: logical quantities only (queue depths,
@@ -872,6 +1195,13 @@ fn snapshot(
             .count(),
         slots_per_worker: cfg.max_in_flight,
         queued_by_activity,
+        stragglers: fleet
+            .workers
+            .iter()
+            .filter(|w| w.alive)
+            .flat_map(|w| w.in_flight.values())
+            .filter(|j| j.straggler)
+            .count(),
     }
 }
 
@@ -885,6 +1215,8 @@ fn apply_scale(
     fleet: &mut Fleet,
     cfg: &DistConfig,
     tel: &Telemetry,
+    obs: &ObsState,
+    t0: Instant,
 ) -> Result<Vec<usize>, CumulusError> {
     match decision {
         ScaleDecision::Hold => Ok(Vec::new()),
@@ -894,6 +1226,12 @@ fn apply_scale(
             }
             tel.instant("fleet", "grow", Some(&format!("+{n} -> {}", fleet.provisioned())));
             tel.gauge("fleet.size", fleet.provisioned() as f64);
+            obs.events.emit(
+                t0.elapsed().as_secs_f64(),
+                Severity::Info,
+                "fleet_scale",
+                &[("decision", format!("grow {n}")), ("fleet", fleet.provisioned().to_string())],
+            );
             Ok(Vec::new())
         }
         ScaleDecision::Shrink(n) => {
@@ -919,6 +1257,15 @@ fn apply_scale(
             if n > 0 {
                 tel.instant("fleet", "drain", Some(&format!("-{n} -> {}", fleet.provisioned())));
                 tel.gauge("fleet.size", fleet.provisioned() as f64);
+                obs.events.emit(
+                    t0.elapsed().as_secs_f64(),
+                    Severity::Info,
+                    "fleet_scale",
+                    &[
+                        ("decision", format!("drain {n}")),
+                        ("fleet", fleet.provisioned().to_string()),
+                    ],
+                );
             }
             Ok(undeliverable)
         }
@@ -1053,6 +1400,8 @@ fn lose_worker(
     report: &mut RunReport,
     t0: Instant,
     prov: &Arc<ProvenanceStore>,
+    obs: &ObsState,
+    reason: &str,
 ) {
     let w = &mut fleet.workers[wi];
     if !w.alive {
@@ -1061,6 +1410,20 @@ fn lose_worker(
     w.sever();
     w.ended_at = Some(Instant::now());
     let end = t0.elapsed().as_secs_f64();
+    {
+        let mut fields = vec![
+            ("worker", wi.to_string()),
+            ("reason", reason.to_string()),
+            ("in_flight", w.in_flight.len().to_string()),
+        ];
+        if let Some((job, ms)) = w.last_job {
+            // the worker's own last elapsed report (from its heartbeat):
+            // for a hang this is how long the wedged activation really ran
+            fields.push(("last_job", job.to_string()));
+            fields.push(("job_elapsed_ms", ms.to_string()));
+        }
+        obs.events.emit(end, Severity::Error, "worker_lost", &fields);
+    }
     let mut lost: Vec<InFlight> = w.in_flight.drain().map(|(_, j)| j).collect();
     // deterministic reassignment order regardless of hash-map iteration
     lost.sort_by_key(|j| (j.job.activity, j.job.part_index));
@@ -1080,6 +1443,17 @@ fn lose_worker(
             },
         );
         report.failed_attempts += 1;
+        obs.events.emit(
+            end,
+            Severity::Warn,
+            "activation_failed",
+            &[
+                ("activity", ctx.tag.clone()),
+                ("key", inflight.job.key.clone()),
+                ("attempt", inflight.job.attempt.to_string()),
+                ("worker", wi.to_string()),
+            ],
+        );
         let mut job = inflight.job;
         job.crashes += 1;
         if job.crashes > cfg.reassign_budget {
@@ -1095,6 +1469,12 @@ fn lose_worker(
                 pair_key: job.key.clone(),
             });
             report.blacklisted += 1;
+            obs.events.emit(
+                end,
+                Severity::Error,
+                "activation_blacklisted",
+                &[("activity", ctx.tag.clone()), ("key", job.key.clone())],
+            );
             submits.extend(pipe.on_completion(job.activity, &[]));
         } else {
             job.attempt += 1;
@@ -1264,6 +1644,7 @@ impl Fleet {
                 track,
                 offset_ns,
                 runs_sent: 0,
+                last_job: None,
                 connected_at: Instant::now(),
                 ended_at: None,
                 busy_ns: 0,
@@ -1873,5 +2254,277 @@ mod tests {
             vec![vec![Value::Int(18)]],
             "resumed outputs reconstruct from provenance"
         );
+    }
+
+    // ------------------------------------------- observability plane
+
+    use crate::obs::http_get;
+
+    #[test]
+    fn live_endpoint_streams_metrics_health_and_events_mid_run() {
+        let events = EventLog::new();
+        let bound = BoundAddr::new();
+        let cfg = DistConfig::new()
+            .with_workers(2)
+            .with_resolver(resolver(80))
+            .with_spec("dist-test")
+            .with_max_in_flight(1)
+            .with_heartbeat(Duration::from_millis(15))
+            .with_metrics_addr("127.0.0.1:0")
+            .with_metrics_bound(bound.clone())
+            .with_events(events.clone());
+        let handle = std::thread::spawn(move || {
+            let prov = Arc::new(ProvenanceStore::new());
+            run_dist(&test_def(80), test_input(12), Arc::new(FileStore::new()), prov, &cfg)
+                .expect("observed run")
+        });
+        let addr = bound.wait(Duration::from_secs(10)).expect("endpoint must come up");
+        let get = |path: &str| {
+            http_get(addr, path, Duration::from_secs(2)).expect("endpoint reachable mid-run")
+        };
+
+        // two mid-run scrapes of valid Prometheus text, with the merged
+        // worker activation counter strictly increasing between them. The
+        // first scrape waits for the first streamed Stats frame — with 25
+        // activations at ≥80 ms each over 2 serialized workers, that is
+        // early in a >1 s run, so everything up to the second scrape
+        // happens safely mid-run.
+        let finished_total = |body: &str| -> Option<f64> {
+            let samples = telemetry::prom::parse(body)
+                .unwrap_or_else(|off| panic!("exposition must parse, bad line {off}:\n{body}"));
+            samples.into_iter().find(|s| s.name == "scidock_worker_finished_total").map(|s| s.value)
+        };
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let first = loop {
+            assert!(Instant::now() < deadline, "no Stats frame ever reached /metrics");
+            let (status, body) = get("/metrics");
+            assert_eq!(status, 200);
+            match finished_total(&body) {
+                Some(v) if v > 0.0 => break v,
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
+        };
+
+        // the other exposition formats hold up mid-run
+        let (status, body) = get("/snapshot.json");
+        assert_eq!(status, 200);
+        telemetry::json::validate(&body)
+            .unwrap_or_else(|off| panic!("invalid snapshot JSON at byte {off}"));
+        let (status, body) = get("/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"phase\":\"running\""), "mid-run phase: {body}");
+        let (status, body) = get("/events");
+        assert_eq!(status, 200);
+        for line in body.lines() {
+            telemetry::json::validate(line)
+                .unwrap_or_else(|off| panic!("invalid event JSON at byte {off}: {line}"));
+        }
+
+        let second = loop {
+            assert!(
+                Instant::now() < deadline,
+                "activation counter never increased past {first} between scrapes"
+            );
+            let (status, body) = get("/metrics");
+            assert_eq!(status, 200);
+            match finished_total(&body) {
+                Some(v) if v > first => break v,
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
+        };
+        assert!(second > first);
+
+        let report = handle.join().expect("run thread");
+        assert_eq!(report.finished, 25); // 12 stage + 12 score + 1 reduce
+        let evs = events.events();
+        assert_eq!(evs.first().map(|e| e.kind.as_str()), Some("run_started"));
+        assert_eq!(evs.last().map(|e| e.kind.as_str()), Some("run_finished"));
+        assert_eq!(evs.iter().filter(|e| e.kind == "activation_finished").count(), 25);
+    }
+
+    #[test]
+    fn healthz_reports_a_killed_worker_dead_mid_run() {
+        let bound = BoundAddr::new();
+        let cfg = DistConfig::new()
+            .with_workers(2)
+            .with_resolver(resolver(100))
+            .with_spec("dist-test")
+            .with_max_in_flight(1)
+            .with_heartbeat(Duration::from_millis(15))
+            .with_metrics_addr("127.0.0.1:0")
+            .with_metrics_bound(bound.clone())
+            // worker 0 dies on its first activation, early in the run
+            .with_kill_plan(KillPlan { worker: 0, after_runs: 1 });
+        let handle = std::thread::spawn(move || {
+            let prov = Arc::new(ProvenanceStore::new());
+            run_dist(&test_def(100), test_input(8), Arc::new(FileStore::new()), prov, &cfg)
+                .expect("run survives the kill")
+        });
+        let addr = bound.wait(Duration::from_secs(10)).expect("endpoint must come up");
+        // the master sees the socket drop the moment the worker dies; the
+        // health view must flip alive=false while the run is still going
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut saw_dead_mid_run = false;
+        while Instant::now() < deadline && !saw_dead_mid_run {
+            let (status, body) =
+                http_get(addr, "/healthz", Duration::from_secs(2)).expect("healthz reachable");
+            assert_eq!(status, 200);
+            saw_dead_mid_run = body.contains("\"alive\":false");
+            if !saw_dead_mid_run {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        let report = handle.join().expect("run thread");
+        assert!(saw_dead_mid_run, "/healthz never reported the killed worker dead mid-run");
+        assert_eq!(report.finished, 17); // 8 stage + 8 score + 1 reduce
+    }
+
+    #[test]
+    fn straggler_is_flagged_before_its_activation_completes() {
+        // tuple 0 runs ~30× longer than its peers; with a 150 ms floor and
+        // a 1× p95 factor the sweep must flag it while it is in flight
+        let def = WorkflowDef {
+            tag: "strag-test".into(),
+            description: "straggler drill".into(),
+            expdir: "/exp/strag".into(),
+            activities: vec![Activity::map(
+                "work",
+                &["x"],
+                Arc::new(|t, _| {
+                    for row in t {
+                        let ms = if row[0] == Value::Int(0) { 1200 } else { 40 };
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
+                    Ok(t.to_vec())
+                }),
+            )],
+            deps: vec![vec![]],
+        };
+        let resolver_def = def.clone();
+        let events = EventLog::new();
+        let tel = Telemetry::attached();
+        let cfg = DistConfig::new()
+            .with_workers(2)
+            .with_resolver(Arc::new(move |spec| {
+                (spec == "strag-test").then(|| resolver_def.clone())
+            }))
+            .with_spec("strag-test")
+            .with_max_in_flight(1)
+            .with_heartbeat(Duration::from_millis(15))
+            .with_straggler(1.0, 150)
+            .with_telemetry(tel)
+            .with_events(events.clone());
+        let prov = Arc::new(ProvenanceStore::new());
+        let report =
+            run_dist(&def, test_input(6), Arc::new(FileStore::new()), Arc::clone(&prov), &cfg)
+                .expect("straggler run completes");
+        assert_eq!(report.finished, 6, "a straggler is observed, never killed");
+
+        let evs = events.events();
+        let strag = evs
+            .iter()
+            .find(|e| e.kind == "straggler")
+            .expect("the slow activation must be flagged");
+        let key = strag
+            .fields
+            .iter()
+            .find(|(k, _)| k == "key")
+            .map(|(_, v)| v.clone())
+            .expect("straggler event names its activation");
+        assert_eq!(key, "0", "the slow tuple is the straggler");
+        let finished_seq = evs
+            .iter()
+            .find(|e| {
+                e.kind == "activation_finished"
+                    && e.fields.iter().any(|(k, v)| k == "key" && v == &key)
+            })
+            .map(|e| e.seq)
+            .expect("the straggler still finishes");
+        assert!(
+            strag.seq < finished_seq,
+            "straggler must be flagged before its activation completes \
+             (straggler seq {}, finished seq {finished_seq})",
+            strag.seq
+        );
+        let snap = report.metrics.expect("telemetry attached");
+        assert!(snap.counter("dist.stragglers").unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn observability_plane_never_perturbs_canonical_provenance() {
+        let (plain_report, plain_prov, _) = run(&dist_cfg(2));
+
+        let events = EventLog::new();
+        let bound = BoundAddr::new();
+        let observed = dist_cfg(2)
+            .with_metrics_addr("127.0.0.1:0")
+            .with_metrics_bound(bound)
+            .with_events(events.clone())
+            .with_straggler(1.0, 100);
+        let (obs_report, obs_prov, _) = run(&observed);
+
+        assert_eq!(obs_report.finished, plain_report.finished);
+        assert!(!events.is_empty(), "the observed run must actually emit events");
+        assert_eq!(
+            export_provn_canonical(&obs_prov),
+            export_provn_canonical(&plain_prov),
+            "canonical PROV-N must be byte-identical with the obs plane on or off"
+        );
+    }
+
+    /// S3 guard: every metric name emitted by a fully-exercised run of all
+    /// three backends must appear in `telemetry::registry` (and hence in the
+    /// DESIGN.md §12 table) — a silent rename breaks dashboards scraping
+    /// `/metrics`, so it must break this test first.
+    #[test]
+    fn every_emitted_metric_name_is_in_the_registry() {
+        use telemetry::{registry, Telemetry};
+
+        // distributed: master wakeups, fleet size, worker.* counters,
+        // activation histograms, heartbeat/straggler plumbing
+        let dtel = Telemetry::attached();
+        let cfg = dist_cfg(2)
+            .with_telemetry(dtel)
+            .with_max_in_flight(1)
+            .with_straggler(1.0, 1)
+            .with_heartbeat(Duration::from_millis(10));
+        let (report, _, _) = run(&cfg);
+        let dsnap = report.metrics.expect("dist telemetry attached");
+        assert!(!dsnap.counters.is_empty(), "dist run must emit counters");
+        assert_eq!(registry::unregistered(&dsnap), Vec::<String>::new());
+
+        // local: pool.* counters/histograms/gauges + activation histograms
+        let ltel = Telemetry::attached();
+        let lreport = crate::run_local(
+            &test_def(0),
+            test_input(4),
+            Arc::new(FileStore::new()),
+            Arc::new(ProvenanceStore::new()),
+            &LocalConfig::new().with_threads(2).with_telemetry(ltel.clone()),
+        )
+        .expect("local run");
+        assert_eq!(lreport.finished, 9);
+        let lsnap = ltel.snapshot().expect("local telemetry attached");
+        assert!(!lsnap.histograms.is_empty(), "local run must emit histograms");
+        assert_eq!(registry::unregistered(&lsnap), Vec::<String>::new());
+
+        // simulated: sim.* counters, vm acquire/release, ready-queue gauge
+        let stel = Telemetry::attached();
+        let tasks: Vec<crate::simbackend::SimTask> = (0..6)
+            .map(|i| crate::simbackend::SimTask {
+                activity_index: 0,
+                pair_key: format!("pair{i}"),
+                nominal_s: 1.0 + i as f64 * 0.1,
+                in_bytes: 0,
+                out_bytes: 0,
+                deps: vec![],
+                poison: false,
+            })
+            .collect();
+        let scfg = crate::simbackend::SimConfig::new().with_seed(11).with_telemetry(stel);
+        let sreport = crate::simbackend::simulate(&tasks, &scfg, None);
+        let ssnap = sreport.metrics.expect("sim telemetry attached");
+        assert!(ssnap.counter("sim.dispatched").unwrap_or(0) >= 6);
+        assert_eq!(registry::unregistered(&ssnap), Vec::<String>::new());
     }
 }

@@ -157,6 +157,17 @@ pub(crate) enum Frame {
         /// Activation attempts this worker completed over its lifetime.
         completed: u64,
     },
+    /// Worker → master: metrics streamed at heartbeat cadence — the growth
+    /// of the worker's counters and histograms since its previous `Stats`
+    /// frame. The master absorbs each delta into its own collector, so a
+    /// cluster-wide merged [`telemetry::MetricsSnapshot`] exists *mid-run*
+    /// rather than only after every `Done` has landed. Deltas ride TCP, so
+    /// nothing is lost or double-counted.
+    Stats {
+        /// Counter increments and histogram sample deltas since the last
+        /// `Stats` frame from this worker.
+        delta: telemetry::StatsDelta,
+    },
 }
 
 // ---------------------------------------------------------------- encoding
@@ -268,6 +279,20 @@ impl Buf {
             self.str(c);
         }
     }
+    fn stats_delta(&mut self, d: &telemetry::StatsDelta) {
+        self.len32(d.counters.len(), "counter vector");
+        for (name, v) in &d.counters {
+            self.str(name);
+            self.u64(*v);
+        }
+        self.len32(d.hists.len(), "histogram vector");
+        for (name, snap) in &d.hists {
+            self.str(name);
+            for w in snap.to_words() {
+                self.u64(w);
+            }
+        }
+    }
 }
 
 /// Encode a frame body (without the length prefix). Fails if any length
@@ -356,6 +381,10 @@ pub(crate) fn encode(frame: &Frame) -> Result<Vec<u8>, String> {
         Frame::Bye { completed } => {
             b.u8(9);
             b.u64(*completed);
+        }
+        Frame::Stats { delta } => {
+            b.u8(10);
+            b.stats_delta(delta);
         }
     }
     b.finish()
@@ -451,6 +480,27 @@ impl<'a> Cur<'a> {
         }
         Ok(fs)
     }
+    fn stats_delta(&mut self) -> DecodeResult<telemetry::StatsDelta> {
+        let mut d = telemetry::StatsDelta::default();
+        let n = self.u32()? as usize;
+        d.counters.reserve(n.min(1 << 12));
+        for _ in 0..n {
+            d.counters.push((self.str()?, self.u64()?));
+        }
+        let n = self.u32()? as usize;
+        d.hists.reserve(n.min(1 << 12));
+        for _ in 0..n {
+            let name = self.str()?;
+            let mut words = [0u64; 3 + telemetry::HIST_BUCKETS];
+            for w in words.iter_mut() {
+                *w = self.u64()?;
+            }
+            let snap = telemetry::HistogramSnapshot::from_words(&words)
+                .ok_or_else(|| "bad histogram snapshot".to_string())?;
+            d.hists.push((name, snap));
+        }
+        Ok(d)
+    }
 }
 
 /// Decode a frame body (without the length prefix).
@@ -520,6 +570,7 @@ pub(crate) fn decode(buf: &[u8]) -> DecodeResult<Frame> {
         7 => Frame::Shutdown,
         8 => Frame::Drain,
         9 => Frame::Bye { completed: c.u64()? },
+        10 => Frame::Stats { delta: c.stats_delta()? },
         t => return Err(format!("unknown frame tag {t}")),
     };
     if c.at != buf.len() {
@@ -660,6 +711,31 @@ mod tests {
         roundtrip(Frame::Drain);
         roundtrip(Frame::Bye { completed: 0 });
         roundtrip(Frame::Bye { completed: 12_345_678 });
+    }
+
+    #[test]
+    fn stats_frames_roundtrip() {
+        use telemetry::{HistogramSnapshot, StatsDelta};
+        roundtrip(Frame::Stats { delta: StatsDelta::default() });
+        let mut h = HistogramSnapshot::new();
+        for v in [0u64, 17, 4096, 1 << 40, u64::MAX] {
+            h.record(v);
+        }
+        roundtrip(Frame::Stats {
+            delta: StatsDelta {
+                counters: vec![("worker.jobs".into(), 3), ("worker.failures".into(), 1)],
+                hists: vec![("activation.dock".into(), h.clone()), ("rank".into(), h)],
+            },
+        });
+        // a truncated histogram body is a decode error, not a panic
+        let body = encode(&Frame::Stats {
+            delta: StatsDelta {
+                counters: vec![],
+                hists: vec![("h".into(), HistogramSnapshot::new())],
+            },
+        })
+        .unwrap();
+        assert!(decode(&body[..body.len() - 4]).unwrap_err().contains("truncated"));
     }
 
     #[test]

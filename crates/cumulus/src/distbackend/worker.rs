@@ -103,10 +103,31 @@ pub(crate) fn serve_with(
     // lifetime Done count, reported in the Bye frame when drained
     let completed = Arc::new(AtomicU64::new(0));
 
+    // worker-local metrics (activation latencies, outcome counters),
+    // streamed to the master as Stats deltas at heartbeat cadence. The
+    // collector's ring shards stay unused (spans ship inside Done frames),
+    // so the smallest sizing suffices.
+    let wtel = telemetry::Telemetry::with_config(telemetry::CollectorConfig {
+        shards: 1,
+        shard_capacity: 16,
+    });
+    let stats_cursor = Arc::new(Mutex::new(telemetry::DeltaCursor::default()));
+    let flush_stats = {
+        let wtel = wtel.clone();
+        let cursor = Arc::clone(&stats_cursor);
+        let writer = Arc::clone(&writer);
+        Arc::new(move || -> bool {
+            let delta = wtel.delta_since(&mut cursor.lock());
+            delta.is_empty()
+                || proto::write_frame(&mut *writer.lock(), &Frame::Stats { delta }).is_ok()
+        })
+    };
+
     let heartbeat = (!opts.no_heartbeat).then(|| {
         let writer = Arc::clone(&writer);
         let alive = Arc::clone(&alive);
         let current = Arc::clone(&current);
+        let flush_stats = Arc::clone(&flush_stats);
         let interval = Duration::from_millis(heartbeat_ms.max(10));
         std::thread::spawn(move || {
             while alive.load(Ordering::SeqCst) {
@@ -122,6 +143,10 @@ pub(crate) fn serve_with(
                 if proto::write_frame(&mut *writer.lock(), &hb).is_err() {
                     break;
                 }
+                // piggyback a Stats frame when anything changed
+                if !flush_stats() {
+                    break;
+                }
             }
         })
     });
@@ -134,6 +159,7 @@ pub(crate) fn serve_with(
         let files = Arc::clone(&files);
         let current = Arc::clone(&current);
         let completed = Arc::clone(&completed);
+        let wtel = wtel.clone();
         let def = Arc::new(def);
         std::thread::spawn(move || {
             while let Ok(frame) = run_rx.recv() {
@@ -200,6 +226,18 @@ pub(crate) fn serve_with(
                     }
                 };
                 *current.lock() = None;
+                // stream-side metrics: per-activity latency plus outcome
+                // counters, picked up by the next heartbeat's Stats frame
+                if let Some(h) = wtel.histogram(&format!("activation.{tag}")) {
+                    h.record(now_ns(Instant::now()).saturating_sub(start));
+                }
+                wtel.count(
+                    match &outcome {
+                        WireOutcome::Finished { .. } => "worker.finished",
+                        WireOutcome::Failed { .. } => "worker.failed",
+                    },
+                    1,
+                );
                 // complete the first write in its own statement: a guard
                 // created in a match scrutinee lives to the end of the
                 // match, and the fallback arm must re-lock the writer
@@ -283,8 +321,12 @@ pub(crate) fn serve_with(
                     let writer = Arc::clone(&writer);
                     let alive = Arc::clone(&alive);
                     let completed = Arc::clone(&completed);
+                    let flush_stats = Arc::clone(&flush_stats);
                     drain_helper = Some(std::thread::spawn(move || {
                         let _ = h.join();
+                        // final stats so the master's merged view does not
+                        // miss this worker's last activations
+                        let _ = flush_stats();
                         let bye = Frame::Bye { completed: completed.load(Ordering::SeqCst) };
                         let _ = proto::write_frame(&mut *writer.lock(), &bye);
                         alive.store(false, Ordering::SeqCst);
@@ -310,6 +352,7 @@ pub(crate) fn serve_with(
     if let Some(h) = drain_helper {
         let _ = h.join();
     }
+    let _ = flush_stats(); // best-effort: the master may already be gone
     alive.store(false, Ordering::SeqCst);
     let _ = writer.lock().shutdown(std::net::Shutdown::Both);
     if let Some(h) = heartbeat {

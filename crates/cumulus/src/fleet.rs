@@ -57,6 +57,11 @@ pub struct FleetSnapshot {
     pub slots_per_worker: usize,
     /// `queued` broken down by activity index (for rank-weighted policies).
     pub queued_by_activity: Vec<usize>,
+    /// In-flight activations currently flagged as stragglers (running far
+    /// beyond their activity's latency baseline). Always 0 for backends
+    /// without a straggler detector, which keeps decision traces identical
+    /// across backends unless a detector actually fires.
+    pub stragglers: usize,
 }
 
 impl FleetSnapshot {
@@ -68,6 +73,13 @@ impl FleetSnapshot {
     /// Activations the provisioned fleet can run concurrently.
     pub fn capacity(&self) -> usize {
         self.fleet * self.slots_per_worker
+    }
+
+    /// Capacity discounted by straggling slots: a straggler occupies a slot
+    /// without making progress, so policies should not count it as
+    /// throughput. Equals [`FleetSnapshot::capacity`] when no detector ran.
+    pub fn effective_capacity(&self) -> usize {
+        self.capacity().saturating_sub(self.stragglers)
     }
 }
 
@@ -308,7 +320,9 @@ impl Scheduler for QueueDepthScheduler {
         }
         let slots = snap.slots_per_worker.max(1);
         let outstanding = snap.outstanding();
-        if outstanding as f64 > self.cfg.backlog_factor * snap.capacity() as f64
+        // straggling slots are stalled, not capacity: discounting them
+        // makes the policy grow sooner when part of the fleet is wedged
+        if outstanding as f64 > self.cfg.backlog_factor * snap.effective_capacity() as f64
             && snap.fleet < self.cfg.max_workers
         {
             let step = self.cfg.grow_step.min(self.cfg.max_workers - snap.fleet).max(1);
@@ -390,8 +404,9 @@ impl CostAwareScheduler {
         let queued: f64 =
             snap.queued_by_activity.iter().enumerate().map(|(a, &n)| n as f64 * rank(a)).sum();
         // In-flight work is already placed; assume half of a mean rank
-        // remains on each (we cannot see per-activation progress).
-        queued + snap.in_flight as f64 * mean * 0.5
+        // remains on each (we cannot see per-activation progress). A
+        // straggler has blown its baseline, so charge it a full extra rank.
+        queued + snap.in_flight as f64 * mean * 0.5 + snap.stragglers as f64 * mean
     }
 }
 
@@ -471,6 +486,7 @@ mod tests {
             idle: 0,
             slots_per_worker: slots,
             queued_by_activity: vec![queued],
+            stragglers: 0,
         }
     }
 
@@ -539,6 +555,25 @@ mod tests {
         assert_eq!(s.decide(&sn), ScaleDecision::Hold, "cooling down");
         sn.completions = 3;
         assert_eq!(s.decide(&sn), ScaleDecision::Grow(1), "cooldown expired");
+    }
+
+    #[test]
+    fn stragglers_discount_capacity_and_grow_the_fleet_sooner() {
+        let mut s = QueueDepthScheduler::new(QueueDepthConfig {
+            backlog_factor: 2.0,
+            grow_step: 1,
+            cooldown: 0,
+            min_workers: 1,
+            max_workers: 4,
+        });
+        // 6 outstanding on 3×1 slots: 6 ≤ 2×3, so a healthy fleet holds…
+        let healthy = snap(3, 3, 3, 1);
+        assert_eq!(s.decide(&healthy), ScaleDecision::Hold);
+        // …but with two of those slots wedged, effective capacity is 1 and
+        // the same backlog now warrants growth
+        let wedged = FleetSnapshot { stragglers: 2, ..healthy };
+        assert_eq!(wedged.effective_capacity(), 1);
+        assert_eq!(s.decide(&wedged), ScaleDecision::Grow(1));
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`steer`] — the live-steering bridge that publishes in-flight
 //!   activation state into the provenance store on a tick, so the paper's
 //!   §V.C runtime queries answer during a run;
+//! * [`obs`] — the live observability plane: structured event log, fleet
+//!   health view, and a std-only HTTP endpoint serving Prometheus text
+//!   exposition, snapshot JSON, health and events mid-run;
 //! * [`template`] — %TAG% activity command templates (the instrumentation
 //!   mechanism of paper Figs. 2–3);
 //! * [`simbackend`] — a discrete-event simulation of the engine on an
@@ -34,6 +37,7 @@ pub mod distbackend;
 pub mod error;
 pub mod fleet;
 pub mod localbackend;
+pub mod obs;
 pub mod pool;
 pub mod sched;
 pub mod simbackend;
@@ -53,6 +57,7 @@ pub use fleet::{
     QueueDepthConfig, QueueDepthScheduler, ScaleDecision, ScaleEvent, Scheduler, SchedulerFactory,
 };
 pub use localbackend::{run_local, DispatchMode, EngineError, LocalConfig, RunReport};
+pub use obs::{BoundAddr, EventLog, HealthView, ObsEvent, Severity};
 pub use pool::Pool;
 pub use sched::{ElasticityConfig, MasterCostModel, Policy};
 pub use simbackend::{simulate, SimConfig, SimReport, SimTask};

@@ -41,6 +41,7 @@ use telemetry::{MetricsSnapshot, Telemetry};
 
 use crate::algebra::{Relation, Tuple};
 use crate::dispatch::{pair_key, split_path, PipelineState};
+use crate::obs::{BoundAddr, EventLog, HealthView, ObsServer, ObsState, Severity};
 use crate::pool::Pool;
 use crate::steer::{SlotId, SteeringBridge};
 use crate::workflow::{ActivationCtx, FileStore, WorkflowDef};
@@ -90,6 +91,16 @@ pub struct LocalConfig {
     /// throughput). `None` keeps whatever the store was opened with; the
     /// knob has no effect on in-memory stores.
     pub durability: Option<provenance::Durability>,
+    /// Structured event log: run/activation lifecycle events are emitted
+    /// into it (and served from `/events` when an endpoint is bound).
+    pub events: Option<EventLog>,
+    /// When set, bind a std-only HTTP exposition endpoint at this address
+    /// (e.g. `"127.0.0.1:0"`) serving `/metrics`, `/snapshot.json`,
+    /// `/healthz` and `/events` for the duration of the run.
+    pub metrics_addr: Option<String>,
+    /// Resolves to the endpoint's actual bound address once the listener is
+    /// up — needed to discover the ephemeral port when binding port 0.
+    pub metrics_bound: Option<BoundAddr>,
 }
 
 impl Default for LocalConfig {
@@ -103,6 +114,9 @@ impl Default for LocalConfig {
             telemetry: Telemetry::disabled(),
             steering_tick: None,
             durability: None,
+            events: None,
+            metrics_addr: None,
+            metrics_bound: None,
         }
     }
 }
@@ -159,6 +173,25 @@ impl LocalConfig {
     /// Override the provenance store's durability for this run.
     pub fn with_durability(mut self, durability: provenance::Durability) -> LocalConfig {
         self.durability = Some(durability);
+        self
+    }
+
+    /// Attach a structured event log.
+    pub fn with_events(mut self, events: EventLog) -> LocalConfig {
+        self.events = Some(events);
+        self
+    }
+
+    /// Serve `/metrics`, `/snapshot.json`, `/healthz` and `/events` over
+    /// HTTP at `addr` for the duration of the run.
+    pub fn with_metrics_addr(mut self, addr: impl Into<String>) -> LocalConfig {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Resolve the endpoint's actual bound address into `bound`.
+    pub fn with_metrics_bound(mut self, bound: BoundAddr) -> LocalConfig {
+        self.metrics_bound = Some(bound);
         self
     }
 }
@@ -252,6 +285,9 @@ pub(crate) struct ActivityCtx {
     pub(crate) start_base: Instant,
     pub(crate) tel: Telemetry,
     pub(crate) bridge: Option<Arc<SteeringBridge>>,
+    /// Structured event log, when one is attached to the run. Lifecycle
+    /// events carry `start_base`-relative timestamps.
+    pub(crate) events: Option<EventLog>,
 }
 
 impl ActivityCtx {
@@ -287,6 +323,7 @@ impl ActivityCtx {
             start_base,
             tel: cfg.telemetry.clone(),
             bridge: bridge.clone(),
+            events: cfg.events.clone(),
         }
     }
 
@@ -330,6 +367,14 @@ impl ActivityCtx {
             if part.iter().any(|t| bl(t)) {
                 let now = self.start_base.elapsed().as_secs_f64();
                 act_span.set_detail(|| format!("blacklisted pair={key}"));
+                if let Some(ev) = &self.events {
+                    ev.emit(
+                        now,
+                        Severity::Error,
+                        "activation_blacklisted",
+                        &[("activity", self.tag.clone()), ("key", key.clone())],
+                    );
+                }
                 self.prov.record_activation(&ActivationRecord {
                     activity: self.act_id,
                     workflow: self.wkf,
@@ -361,6 +406,18 @@ impl ActivityCtx {
                     let end = self.start_base.elapsed().as_secs_f64();
                     attempt_span.set_detail(|| format!("aborted pair={key}"));
                     act_span.set_detail(|| format!("aborted pair={key}"));
+                    if let Some(ev) = &self.events {
+                        ev.emit(
+                            end,
+                            Severity::Warn,
+                            "activation_aborted",
+                            &[
+                                ("activity", self.tag.clone()),
+                                ("key", key.clone()),
+                                ("attempt", attempt.to_string()),
+                            ],
+                        );
+                    }
                     self.record(
                         slot,
                         &ActivationRecord {
@@ -396,6 +453,23 @@ impl ActivityCtx {
                         },
                     );
                     out.failed_attempts += 1;
+                    if let Some(ev) = &self.events {
+                        let sev = if attempt >= self.max_retries {
+                            Severity::Error // budget exhausted: terminal
+                        } else {
+                            Severity::Warn // will be retried
+                        };
+                        ev.emit(
+                            end,
+                            sev,
+                            "activation_failed",
+                            &[
+                                ("activity", self.tag.clone()),
+                                ("key", key.clone()),
+                                ("attempt", attempt.to_string()),
+                            ],
+                        );
+                    }
                     if attempt >= self.max_retries {
                         act_span.set_detail(|| format!("failed-permanently pair={key}"));
                         return out;
@@ -459,6 +533,18 @@ impl ActivityCtx {
                                 &ActivationRecord { status: ActivationStatus::Finished, ..rec },
                             );
                             debug_assert!(done, "the RUNNING row we just wrote must exist");
+                            if let Some(ev) = &self.events {
+                                ev.emit(
+                                    end,
+                                    Severity::Info,
+                                    "activation_finished",
+                                    &[
+                                        ("activity", self.tag.clone()),
+                                        ("key", key.clone()),
+                                        ("attempt", attempt.to_string()),
+                                    ],
+                                );
+                            }
                             out.tuples = tuples;
                             out.finished = 1;
                             return out;
@@ -481,6 +567,23 @@ impl ActivityCtx {
                                 },
                             );
                             out.failed_attempts += 1;
+                            if let Some(ev) = &self.events {
+                                let sev = if attempt >= self.max_retries {
+                                    Severity::Error
+                                } else {
+                                    Severity::Warn
+                                };
+                                ev.emit(
+                                    end,
+                                    sev,
+                                    "activation_failed",
+                                    &[
+                                        ("activity", self.tag.clone()),
+                                        ("key", key.clone()),
+                                        ("attempt", attempt.to_string()),
+                                    ],
+                                );
+                            }
                             if attempt >= self.max_retries {
                                 act_span.set_detail(|| format!("failed-permanently pair={key}"));
                                 return out;
@@ -517,6 +620,46 @@ pub fn run_local(
     let pool = Pool::with_telemetry(cfg.threads, cfg.telemetry.clone());
     let wkf = prov.begin_workflow(&def.tag, &def.description, &def.expdir);
     let t0 = Instant::now();
+
+    // observability plane: structured lifecycle events, plus an optional
+    // std-only HTTP endpoint serving /metrics, /snapshot.json, /healthz and
+    // /events for the duration of the run. Observation never perturbs
+    // results: the plane only reads engine state.
+    let evlog = cfg.events.clone();
+    let obs = cfg.metrics_addr.as_ref().map(|_| {
+        let o = ObsState::new(cfg.telemetry.clone(), evlog.clone().unwrap_or_default());
+        o.set_health(HealthView {
+            phase: "running".to_string(),
+            fleet: cfg.threads,
+            workers: Vec::new(),
+        });
+        o
+    });
+    let server = match (&cfg.metrics_addr, &obs) {
+        (Some(addr), Some(o)) => {
+            let s = ObsServer::start(addr, o.clone()).map_err(|e| {
+                EngineError::Invalid(format!("cannot bind metrics endpoint {addr}: {e}"))
+            })?;
+            if let Some(b) = &cfg.metrics_bound {
+                b.set(s.addr());
+            }
+            Some(s)
+        }
+        _ => None,
+    };
+    if let Some(ev) = &evlog {
+        ev.emit(
+            0.0,
+            Severity::Info,
+            "run_started",
+            &[
+                ("workflow", def.tag.clone()),
+                ("backend", "local".to_string()),
+                ("workers", cfg.threads.to_string()),
+            ],
+        );
+    }
+
     let bridge = cfg.steering_tick.map(|tick| SteeringBridge::start(Arc::clone(&prov), t0, tick));
     cfg.telemetry.name_current_track("dispatcher");
     let run_start = cfg.telemetry.now_ns();
@@ -545,6 +688,35 @@ pub fn run_local(
             cfg.telemetry.now_ns(),
             Some(&format!("mode={:?}", cfg.mode)),
         );
+    }
+    if let Some(ev) = &evlog {
+        match &result {
+            Ok(r) => ev.emit(
+                t0.elapsed().as_secs_f64(),
+                Severity::Info,
+                "run_finished",
+                &[
+                    ("workflow", def.tag.clone()),
+                    ("finished", r.finished.to_string()),
+                    ("failed_attempts", r.failed_attempts.to_string()),
+                    ("aborted", r.aborted.to_string()),
+                    ("blacklisted", r.blacklisted.to_string()),
+                ],
+            ),
+            Err(e) => ev.emit(
+                t0.elapsed().as_secs_f64(),
+                Severity::Error,
+                "run_error",
+                &[("workflow", def.tag.clone()), ("error", e.to_string())],
+            ),
+        }
+    }
+    if let Some(o) = &obs {
+        let mut view = o.health.lock().expect("health view poisoned");
+        view.phase = "done".to_string();
+    }
+    if let Some(s) = server {
+        s.shutdown();
     }
     result.map(|mut report| {
         report.metrics = cfg.telemetry.snapshot();

@@ -20,6 +20,7 @@ use provenance::{ActivationRecord, ActivationStatus, ActivityId, MachineId, Prov
 use telemetry::{MetricsSnapshot, Telemetry};
 
 use crate::fleet::{FleetController, FleetSnapshot, ScaleDecision, ScaleEvent, SchedulerFactory};
+use crate::obs::{EventLog, Severity};
 use crate::sched::{ElasticityConfig, MasterCostModel, Policy, ReadyQueue, ReadyTask};
 
 /// One activation to simulate.
@@ -95,6 +96,12 @@ pub struct SimConfig {
     /// trace lane per VM, so a Chrome trace of a simulated run lays out like
     /// a real one.
     pub telemetry: Telemetry,
+    /// Structured event log. Events are emitted at *simulated* timestamps
+    /// with the same kinds and lifecycle ordering as the real backends, so a
+    /// sim mirror of a run produces the same event sequence (modulo
+    /// timestamps and resource names — see
+    /// [`crate::obs::ObsEvent::parity_signature`]).
+    pub events: Option<EventLog>,
 }
 
 impl Default for SimConfig {
@@ -117,6 +124,7 @@ impl Default for SimConfig {
             activity_tags: Vec::new(),
             weight_profile: None,
             telemetry: Telemetry::disabled(),
+            events: None,
         }
     }
 }
@@ -230,6 +238,12 @@ impl SimConfig {
         self.telemetry = telemetry;
         self
     }
+
+    /// Attach a structured event log (events carry simulated timestamps).
+    pub fn with_events(mut self, events: EventLog) -> SimConfig {
+        self.events = Some(events);
+        self
+    }
 }
 
 /// Simulation outcome.
@@ -299,6 +313,24 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
         None => (None, vec![None; cfg.activity_tags.len().max(1)]),
     };
     let act_id = |i: usize| -> Option<ActivityId> { act_ids.get(i).copied().flatten() };
+
+    // structured events, mirroring the distributed master's lifecycle
+    // emissions at simulated timestamps
+    let evlog = cfg.events.clone();
+    let tag_of =
+        |i: usize| -> String { cfg.activity_tags.get(i).cloned().unwrap_or_else(|| "task".into()) };
+    if let Some(ev) = &evlog {
+        ev.emit(
+            0.0,
+            Severity::Info,
+            "run_started",
+            &[
+                ("workflow", cfg.workflow_tag.clone()),
+                ("backend", "sim".to_string()),
+                ("workers", cfg.fleet.len().to_string()),
+            ],
+        );
+    }
 
     // dependency bookkeeping
     let mut dep_count: Vec<usize> = tasks.iter().map(|t| t.deps.len()).collect();
@@ -394,8 +426,32 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
                     );
                 }
                 report.peak_vms = report.peak_vms.max(vm_busy.len());
+                if let Some(ev) = &evlog {
+                    ev.emit(
+                        now,
+                        Severity::Info,
+                        "fleet_scale",
+                        &[
+                            ("decision", format!("grow {k}")),
+                            ("fleet", released.iter().filter(|r| !**r).count().to_string()),
+                        ],
+                    );
+                }
             }
             ScaleDecision::Shrink(k) => {
+                if k > 0 {
+                    if let Some(ev) = &evlog {
+                        ev.emit(
+                            now,
+                            Severity::Info,
+                            "fleet_scale",
+                            &[
+                                ("decision", format!("drain {k}")),
+                                ("fleet", released.iter().filter(|r| !**r).count().to_string()),
+                            ],
+                        );
+                    }
+                }
                 // booted VMs, idle first, lowest id first; whatever the
                 // policy asked for, at least one VM keeps serving
                 let mut targets: Vec<usize> = (0..released.len())
@@ -472,6 +528,14 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
         }
         if t.poison && cfg.hg_rule {
             // provenance-driven rule fires before execution
+            if let Some(ev) = &evlog {
+                ev.emit(
+                    0.0,
+                    Severity::Error,
+                    "activation_blacklisted",
+                    &[("activity", tag_of(t.activity_index)), ("key", t.pair_key.clone())],
+                );
+            }
             if let Some(p) = prov {
                 p.record_activation(&ActivationRecord {
                     activity: act_id(t.activity_index).expect("registered activity"),
@@ -730,6 +794,18 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
                             );
                         }
                         report.finished += 1;
+                        if let Some(ev) = &evlog {
+                            ev.emit(
+                                now,
+                                Severity::Info,
+                                "activation_finished",
+                                &[
+                                    ("activity", tag_of(task.activity_index)),
+                                    ("key", task.pair_key.clone()),
+                                    ("attempt", attempt.to_string()),
+                                ],
+                            );
+                        }
                         for &s in &successors[ti] {
                             if dropped[s] {
                                 continue;
@@ -738,6 +814,17 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
                             if dep_count[s] == 0 {
                                 let st = &tasks[s];
                                 if st.poison && cfg.hg_rule {
+                                    if let Some(ev) = &evlog {
+                                        ev.emit(
+                                            now,
+                                            Severity::Error,
+                                            "activation_blacklisted",
+                                            &[
+                                                ("activity", tag_of(st.activity_index)),
+                                                ("key", st.pair_key.clone()),
+                                            ],
+                                        );
+                                    }
                                     record_blacklist(prov, wkf, act_id(st.activity_index), st, now);
                                     report.blacklisted += 1;
                                     dropped[s] = true;
@@ -757,6 +844,23 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
                             attempt as i64,
                         );
                         report.failed_attempts += 1;
+                        if let Some(ev) = &evlog {
+                            let sev = if attempt < cfg.max_retries {
+                                Severity::Warn // will be retried
+                            } else {
+                                Severity::Error // budget exhausted: terminal
+                            };
+                            ev.emit(
+                                now,
+                                sev,
+                                "activation_failed",
+                                &[
+                                    ("activity", tag_of(task.activity_index)),
+                                    ("key", task.pair_key.clone()),
+                                    ("attempt", attempt.to_string()),
+                                ],
+                            );
+                        }
                         if attempt < cfg.max_retries {
                             attempts[ti] = attempt + 1;
                             ready_by_activity[task.activity_index] += 1;
@@ -774,6 +878,18 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
                             attempt as i64,
                         );
                         report.aborted += 1;
+                        if let Some(ev) = &evlog {
+                            ev.emit(
+                                now,
+                                Severity::Warn,
+                                "activation_aborted",
+                                &[
+                                    ("activity", tag_of(task.activity_index)),
+                                    ("key", task.pair_key.clone()),
+                                    ("attempt", attempt.to_string()),
+                                ],
+                            );
+                        }
                         dropped[ti] = true;
                         cancel_downstream(ti, &mut dropped, &mut report, &successors);
                     }
@@ -838,6 +954,20 @@ pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStor
     if let Some(ctrl) = controller {
         report.scale_events = ctrl.into_trace();
     }
+    if let Some(ev) = &evlog {
+        ev.emit(
+            report.tet_s,
+            Severity::Info,
+            "run_finished",
+            &[
+                ("workflow", cfg.workflow_tag.clone()),
+                ("finished", report.finished.to_string()),
+                ("failed_attempts", report.failed_attempts.to_string()),
+                ("aborted", report.aborted.to_string()),
+                ("blacklisted", report.blacklisted.to_string()),
+            ],
+        );
+    }
     report
 }
 
@@ -870,6 +1000,8 @@ fn sim_snapshot(
         idle,
         slots_per_worker,
         queued_by_activity: ready_by_activity.to_vec(),
+        // the simulator has no wall-clock variance, so nothing straggles
+        stragglers: 0,
     }
 }
 

@@ -96,3 +96,72 @@ proptest! {
         let _ = SciCumulusSpec::from_xml(&input);
     }
 }
+
+// ---- telemetry histogram: the mergeable/streamable metrics substrate ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Quantiles are monotone in `q`: a higher quantile can never report a
+    /// smaller value, whatever the sample distribution.
+    #[test]
+    fn histogram_quantiles_are_monotone(samples in prop::collection::vec(0u64..=u64::MAX, 1..300),
+                                        qs in prop::collection::vec(0.0..1.0f64, 2..8)) {
+        let mut h = telemetry::HistogramSnapshot::new();
+        for s in &samples {
+            h.record(*s);
+        }
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.total_cmp(b));
+        let vals: Vec<f64> = qs.iter().map(|q| h.quantile(*q)).collect();
+        prop_assert!(
+            vals.windows(2).all(|w| w[0] <= w[1]),
+            "quantiles not monotone: {qs:?} -> {vals:?}"
+        );
+        // the top quantile reports the exact maximum
+        prop_assert_eq!(h.quantile(1.0), h.max as f64);
+    }
+
+    /// Merging two snapshots is bitwise identical to having recorded the
+    /// union of their sample streams — the property the master's mid-run
+    /// cluster-wide merge of worker `Stats` frames depends on.
+    #[test]
+    fn histogram_merge_equals_union_stream(a in prop::collection::vec(0u64..=u64::MAX, 0..200),
+                                           b in prop::collection::vec(0u64..=u64::MAX, 0..200)) {
+        let mut ha = telemetry::HistogramSnapshot::new();
+        for s in &a {
+            ha.record(*s);
+        }
+        let mut hb = telemetry::HistogramSnapshot::new();
+        for s in &b {
+            hb.record(*s);
+        }
+        ha.merge(&hb);
+
+        let mut hu = telemetry::HistogramSnapshot::new();
+        for s in a.iter().chain(b.iter()) {
+            hu.record(*s);
+        }
+        prop_assert_eq!(&ha.buckets[..], &hu.buckets[..]);
+        prop_assert_eq!(ha.count, hu.count);
+        prop_assert_eq!(ha.sum, hu.sum); // wrapping adds commute
+        prop_assert_eq!(ha.max, hu.max);
+    }
+
+    /// The wire form (`[count, sum, max, bucket 0..63]`) round-trips
+    /// losslessly, so a worker's streamed histogram reconstructs exactly.
+    #[test]
+    fn histogram_words_roundtrip(samples in prop::collection::vec(0u64..=u64::MAX, 0..300)) {
+        let mut h = telemetry::HistogramSnapshot::new();
+        for s in &samples {
+            h.record(*s);
+        }
+        let words = h.to_words();
+        prop_assert_eq!(words.len(), 3 + telemetry::HIST_BUCKETS);
+        let back = telemetry::HistogramSnapshot::from_words(&words)
+            .expect("well-formed word vector");
+        prop_assert_eq!(back, h);
+        // wrong lengths are rejected, never misparsed
+        prop_assert_eq!(telemetry::HistogramSnapshot::from_words(&words[..words.len() - 1]), None);
+    }
+}

@@ -41,6 +41,8 @@
 pub mod chrome;
 pub mod json;
 pub mod metrics;
+pub mod prom;
+pub mod registry;
 
 pub use metrics::{GaugeSeries, HistogramStats, MetricsSnapshot, TrackStats};
 
@@ -98,7 +100,9 @@ impl Counter {
     }
 }
 
-const HIST_BUCKETS: usize = 64;
+/// Number of log₂ buckets in a [`Histogram`] (and its serialized
+/// [`HistogramSnapshot`] form).
+pub const HIST_BUCKETS: usize = 64;
 
 /// A log₂-bucketed histogram of `u64` samples (nanoseconds by convention).
 ///
@@ -126,7 +130,8 @@ impl Default for Histogram {
 
 impl Histogram {
     fn bucket_of(v: u64) -> usize {
-        (u64::BITS - v.leading_zeros()) as usize
+        // values with the top bit set land in the last bucket
+        ((u64::BITS - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
     }
 
     /// Representative value of bucket `i` (geometric midpoint of its range).
@@ -169,24 +174,172 @@ impl Histogram {
     /// Approximate quantile `q` in `[0, 1]` (bucket midpoint, exact max for
     /// the top sample).
     pub fn quantile(&self, q: f64) -> f64 {
-        let n = self.count();
+        self.snapshot().quantile(q)
+    }
+
+    /// A point-in-time copy of this histogram's state, suitable for
+    /// serialization and merging. Concurrent writers may leave `count`,
+    /// `sum` and the bucket totals momentarily out of step with each other;
+    /// each field is individually consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (b, out) in self.buckets.iter().zip(buckets.iter_mut()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Merge a (possibly remote) snapshot's samples into this histogram:
+    /// bucket counts, count and sum add; max takes the maximum.
+    pub fn merge_from(&self, snap: &HistogramSnapshot) {
+        for (b, v) in self.buckets.iter().zip(snap.buckets.iter()) {
+            if *v > 0 {
+                b.fetch_add(*v, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+}
+
+/// A lossless, mergeable serialized form of a [`Histogram`]: the raw bucket
+/// counts plus count/sum/max. This is what workers stream to the master in
+/// `Stats` frames and what quantile math runs on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (same log₂ layout as [`Histogram`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Exact maximum sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0 && self.buckets.iter().all(|b| *b == 0)
+    }
+
+    /// Record one sample (handy for tests and offline aggregation; live
+    /// recording goes through [`Histogram::record`]).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Histogram::bucket_of(v)] += 1;
+        self.count += 1;
+        // wrap like the live histogram's atomic adds do
+        self.sum = self.sum.wrapping_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merge `other` into `self`: bucket counts, count and sum add; max
+    /// takes the maximum. Merging two snapshots is exactly equivalent to
+    /// having recorded the union of their sample streams.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The samples recorded since `earlier` (bucket counts, count and sum
+    /// subtract, saturating; max carries the current cumulative maximum so
+    /// that merging deltas preserves the exact max).
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (out, (a, b)) in buckets.iter_mut().zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            *out = a.saturating_sub(*b);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (bucket midpoint, exact max for
+    /// the top sample).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count;
         if n == 0 {
             return 0.0;
         }
         let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         if target >= n {
-            return self.max() as f64;
+            return self.max as f64;
         }
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+            seen += *b;
             if seen >= target {
                 // the top bucket's representative can overshoot the true
                 // maximum; clamp to the exact max
-                return Self::bucket_rep(i).min(self.max() as f64);
+                return Histogram::bucket_rep(i).min(self.max as f64);
             }
         }
-        self.max() as f64
+        self.max as f64
+    }
+
+    /// Serialize to a flat word vector: `[count, sum, max, bucket 0 .. 63]`.
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut w = Vec::with_capacity(3 + HIST_BUCKETS);
+        w.push(self.count);
+        w.push(self.sum);
+        w.push(self.max);
+        w.extend_from_slice(&self.buckets);
+        w
+    }
+
+    /// Deserialize the [`HistogramSnapshot::to_words`] layout. `None` when
+    /// the word count is wrong.
+    pub fn from_words(w: &[u64]) -> Option<HistogramSnapshot> {
+        if w.len() != 3 + HIST_BUCKETS {
+            return None;
+        }
+        let mut buckets = [0u64; HIST_BUCKETS];
+        buckets.copy_from_slice(&w[3..]);
+        Some(HistogramSnapshot { buckets, count: w[0], sum: w[1], max: w[2] })
     }
 }
 
@@ -626,6 +779,51 @@ impl Telemetry {
         self.inner.as_ref().map(|c| chrome::export(c))
     }
 
+    /// Counter and histogram growth since `cursor`'s last position,
+    /// advancing the cursor. This is the worker side of metrics streaming:
+    /// call it periodically and ship the (small) delta; the receiver feeds
+    /// each delta to [`Telemetry::absorb`]. An empty delta (and a disabled
+    /// handle) returns [`StatsDelta::is_empty`]` == true`.
+    pub fn delta_since(&self, cursor: &mut DeltaCursor) -> StatsDelta {
+        let mut out = StatsDelta::default();
+        let Some(col) = &self.inner else { return out };
+        for (name, cur) in col.counter_values() {
+            let last = cursor.counters.get(&name).copied().unwrap_or(0);
+            if cur > last {
+                out.counters.push((name.clone(), cur - last));
+            }
+            cursor.counters.insert(name, cur);
+        }
+        for (name, h) in col.hist_handles() {
+            let snap = h.snapshot();
+            let delta = match cursor.hists.get(&name) {
+                Some(prev) => snap.delta_since(prev),
+                None => snap.clone(),
+            };
+            if !delta.is_empty() {
+                out.hists.push((name.clone(), delta));
+            }
+            cursor.hists.insert(name, snap);
+        }
+        out
+    }
+
+    /// Merge a [`StatsDelta`] (usually streamed from a remote worker) into
+    /// this collector's counters and histograms. No-op when disabled.
+    pub fn absorb(&self, delta: &StatsDelta) {
+        if self.inner.is_none() {
+            return;
+        }
+        for (name, v) in &delta.counters {
+            self.count(name, *v);
+        }
+        for (name, snap) in &delta.hists {
+            if let Some(h) = self.histogram(name) {
+                h.merge_from(snap);
+            }
+        }
+    }
+
     /// Merge spans measured on a *remote* clock into this collector, placed
     /// on `track` (usually one lane per worker, from [`Telemetry::alloc_track`]).
     /// Each timestamp is shifted by `offset_ns` — the master-epoch time minus
@@ -647,6 +845,31 @@ impl Telemetry {
             );
         }
     }
+}
+
+/// Counter increments and histogram sample deltas accumulated between two
+/// [`Telemetry::delta_since`] calls — the payload of a worker `Stats` frame.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsDelta {
+    /// Counter increments since the cursor position, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram sample deltas since the cursor position, name-sorted.
+    pub hists: Vec<(String, HistogramSnapshot)>,
+}
+
+impl StatsDelta {
+    /// True when nothing changed since the cursor position.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.hists.is_empty()
+    }
+}
+
+/// Remembers the counter/histogram state last seen by
+/// [`Telemetry::delta_since`], so successive calls return only growth.
+#[derive(Debug, Default)]
+pub struct DeltaCursor {
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, HistogramSnapshot>,
 }
 
 /// A span measured on a remote worker's own monotonic clock, shipped back in
@@ -842,6 +1065,80 @@ mod tests {
         json::validate(&tel.export_chrome_trace().unwrap()).unwrap();
         // disabled handles ignore imports entirely
         Telemetry::disabled().import_spans(lane, 0, &spans);
+    }
+
+    #[test]
+    fn histogram_snapshot_round_trips_and_merges() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 7, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 5);
+        assert_eq!(snap.max(), u64::MAX);
+        assert_eq!(HistogramSnapshot::from_words(&snap.to_words()), Some(snap.clone()));
+        assert_eq!(HistogramSnapshot::from_words(&[1, 2, 3]), None);
+
+        // merge(a, b) == recording the union stream
+        let mut a = HistogramSnapshot::new();
+        let mut b = HistogramSnapshot::new();
+        let mut union = HistogramSnapshot::new();
+        for v in [5u64, 80, 80, 4096] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [1u64, 80, 1 << 40] {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+        assert_eq!(a.quantile(1.0), (1u64 << 40) as f64);
+
+        // merge_from feeds a snapshot back into a live histogram
+        let live = Histogram::default();
+        live.record(2);
+        live.merge_from(&union);
+        assert_eq!(live.count(), union.count() + 1);
+        assert_eq!(live.max(), union.max());
+    }
+
+    #[test]
+    fn delta_since_streams_only_growth() {
+        let tel = Telemetry::attached();
+        let mut cur = DeltaCursor::default();
+        tel.count("jobs", 3);
+        tel.histogram("lat").unwrap().record(500);
+
+        let d1 = tel.delta_since(&mut cur);
+        assert_eq!(d1.counters, vec![("jobs".to_string(), 3)]);
+        assert_eq!(d1.hists.len(), 1);
+        assert_eq!(d1.hists[0].1.count(), 1);
+
+        // nothing new → empty delta
+        assert!(tel.delta_since(&mut cur).is_empty());
+
+        tel.count("jobs", 2);
+        tel.histogram("lat").unwrap().record(9000);
+        let d2 = tel.delta_since(&mut cur);
+        assert_eq!(d2.counters, vec![("jobs".to_string(), 2)]);
+        assert_eq!(d2.hists[0].1.count(), 1);
+        assert_eq!(d2.hists[0].1.max(), 9000, "delta carries the cumulative max");
+
+        // absorbing both deltas reconstructs the full stream elsewhere
+        let master = Telemetry::attached();
+        master.absorb(&d1);
+        master.absorb(&d2);
+        let snap = master.snapshot().unwrap();
+        assert_eq!(snap.counter("jobs"), Some(5));
+        let lat = snap.histogram("lat").unwrap();
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.max_s, 9000.0 / 1e9);
+
+        // disabled handles stream nothing and absorb nothing
+        let off = Telemetry::disabled();
+        assert!(off.delta_since(&mut DeltaCursor::default()).is_empty());
+        off.absorb(&d1);
     }
 
     #[test]

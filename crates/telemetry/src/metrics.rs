@@ -90,6 +90,68 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Render the snapshot as one JSON object (std-only, via
+    /// [`crate::json`]) — served from `/snapshot.json` and embedded in the
+    /// bench sidecars.
+    pub fn to_json(&self) -> String {
+        use crate::json::{escape, num};
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"wall_s\":{},\"dropped_records\":{},\"counters\":{{",
+            num(self.wall_s),
+            self.dropped_records
+        );
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(s, "{sep}\"{}\":{v}", escape(n));
+        }
+        s.push_str("},\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                s,
+                "{sep}{{\"name\":\"{}\",\"count\":{},\"mean_s\":{},\"p50_s\":{},\
+                 \"p95_s\":{},\"max_s\":{}}}",
+                escape(&h.name),
+                h.count,
+                num(h.mean_s),
+                num(h.p50_s),
+                num(h.p95_s),
+                num(h.max_s)
+            );
+        }
+        s.push_str("],\"gauges\":[");
+        for (i, g) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let last = g.samples.last().map(|(_, v)| *v).unwrap_or(0.0);
+            let _ = write!(
+                s,
+                "{sep}{{\"name\":\"{}\",\"samples\":{},\"last\":{}}}",
+                escape(&g.name),
+                g.samples.len(),
+                num(last)
+            );
+        }
+        s.push_str("],\"tracks\":[");
+        for (i, t) in self.tracks.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                s,
+                "{sep}{{\"track\":{},\"name\":\"{}\",\"busy_s\":{},\"spans\":{},\
+                 \"utilization\":{}}}",
+                t.track,
+                escape(&t.name),
+                num(t.busy_s),
+                t.spans,
+                num(t.utilization)
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+
     /// Multi-line human-readable rendering (used by examples and reports).
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -238,6 +300,20 @@ mod tests {
         assert!((main.busy_s - 1.0).abs() < 1e-9);
         assert!(main.utilization > 0.9);
         assert!(!snap.render().is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_is_valid() {
+        let tel = Telemetry::attached();
+        tel.name_current_track("main \"lane\"");
+        tel.count("a.b", 1);
+        tel.histogram("h").unwrap().record(500);
+        tel.gauge_at("g", 0, 2.5);
+        tel.record_span_at("t", "w", None, 0, 10, None);
+        let j = tel.snapshot().unwrap().to_json();
+        crate::json::validate(&j).unwrap_or_else(|off| panic!("invalid JSON at byte {off}: {j}"));
+        assert!(j.contains("\"a.b\":1"));
+        assert!(j.contains("\"last\":2.5"));
     }
 
     #[test]
