@@ -42,4 +42,8 @@ cargo run --release -p scidock-bench --bin fleet_bench -- --smoke
 echo "== observability: disabled-overhead bound + /metrics+/healthz scrape smoke =="
 cargo run --release -p scidock-bench --bin obs_bench -- --smoke
 
+echo "== scidockd: multi-campaign service tests + overload/latency load smoke =="
+cargo test -q -p cumulus --test serve
+cargo run --release -p scidock-bench --bin serve_bench -- --smoke
+
 echo "CI OK"

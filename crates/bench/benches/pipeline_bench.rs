@@ -16,8 +16,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cumulus::localbackend::{run_local, DispatchMode, LocalConfig};
-use cumulus::workflow::{Activity, ActivityFn, FileStore, WorkflowDef};
+use cumulus::localbackend::{DispatchMode, LocalConfig};
+use cumulus::workflow::{Activity, ActivityFn, WorkflowDef};
+use cumulus::{Backend, LocalBackend, Workflow};
 use cumulus::{Relation, Tuple};
 use provenance::{ProvenanceStore, Value};
 
@@ -59,9 +60,9 @@ fn input() -> Relation {
 fn run(mode: DispatchMode) {
     let wf = straggler_workflow();
     let cfg = LocalConfig::new().with_threads(4).with_mode(mode);
-    let report =
-        run_local(&wf, input(), Arc::new(FileStore::new()), Arc::new(ProvenanceStore::new()), &cfg)
-            .expect("valid workflow");
+    let report = LocalBackend::new(cfg)
+        .run(&Workflow::new(wf, input()), &Arc::new(ProvenanceStore::new()))
+        .expect("valid workflow");
     assert_eq!(report.finished, PAIRS as usize * STAGES);
 }
 

@@ -15,7 +15,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use cumulus::{run_local, Activity, ActivityFn, FileStore, LocalConfig, Relation, WorkflowDef};
+use cumulus::{
+    Activity, ActivityFn, Backend, LocalBackend, LocalConfig, Relation, Workflow, WorkflowDef,
+};
 use provenance::durable::io::DirEnv;
 use provenance::{Durability, DurableOptions, ProvenanceStore, Value};
 
@@ -84,8 +86,7 @@ fn main() {
     if let Some(prior) = resume_from {
         cfg = cfg.with_resume_from(prior);
     }
-    let report =
-        run_local(&wf, input(), Arc::new(FileStore::new()), Arc::clone(&prov), &cfg).unwrap();
+    let report = LocalBackend::new(cfg).run(&Workflow::new(wf, input()), &prov).unwrap();
 
     assert_eq!(report.finished + report.resumed, N as usize, "every pair accounted for");
     let mut out: Vec<f64> =

@@ -12,6 +12,11 @@
 //! client (`cumulus::obs::http_get`) — no curl, no HTTP library — and
 //! renders fleet health, the campaign counters, per-activity latency
 //! summaries, and the tail of the structured event log.
+//!
+//! Pointed at a `scidockd` endpoint it additionally renders a per-campaign
+//! panel (id, tenant, state, done/total, p95) from `/campaigns`; against a
+//! pre-campaign endpoint (a plain local or distributed run, which 404s
+//! that route) the panel is simply omitted — no error, no retry.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::Duration;
@@ -70,6 +75,12 @@ fn worker_objects(health: &str) -> Vec<&str> {
     body[..end].split("},{").filter(|s| !s.is_empty()).collect()
 }
 
+/// The objects of a `/campaigns` array body, one string per campaign.
+fn campaign_objects(body: &str) -> Vec<&str> {
+    let inner = body.trim().trim_start_matches('[').trim_end_matches(']');
+    inner.split("},{").filter(|s| !s.trim().is_empty()).collect()
+}
+
 fn sample_value<'a>(samples: &'a [Sample], name: &str) -> Option<&'a Sample> {
     samples.iter().find(|s| s.name == name)
 }
@@ -80,7 +91,7 @@ fn counter(samples: &[Sample], short: &str) -> u64 {
         .unwrap_or(0)
 }
 
-fn render(addr: SocketAddr, health: &str, metrics: &str, events: &str) {
+fn render(addr: SocketAddr, health: &str, metrics: &str, events: &str, campaigns: Option<&str>) {
     let samples = prom::parse(metrics).unwrap_or_default();
     let phase = json_str(health, "phase").unwrap_or_else(|| "?".into());
     let fleet = json_num(health, "fleet").unwrap_or(0.0) as u64;
@@ -92,6 +103,30 @@ fn render(addr: SocketAddr, health: &str, metrics: &str, events: &str) {
         "scidock-top — {addr}  phase={phase}  fleet={fleet}  \
          finished={finished}  failed={failed}  stragglers={stragglers}"
     );
+
+    // per-campaign panel: only a scidockd endpoint serves /campaigns
+    if let Some(body) = campaigns {
+        let rows = campaign_objects(body);
+        if !rows.is_empty() {
+            println!();
+            println!(
+                "{:>4} {:<12} {:<10} {:>12} {:>9}",
+                "id", "tenant", "state", "done/total", "p95_ms"
+            );
+            for c in &rows {
+                let done = json_num(c, "done").unwrap_or(0.0) as u64;
+                let total = json_num(c, "total").unwrap_or(0.0) as u64;
+                println!(
+                    "{:>4} {:<12} {:<10} {:>12} {:>9.1}",
+                    json_num(c, "id").unwrap_or(-1.0) as i64,
+                    json_str(c, "tenant").unwrap_or_else(|| "?".into()),
+                    json_str(c, "state").unwrap_or_else(|| "?".into()),
+                    format!("{done}/{total}"),
+                    json_num(c, "p95_ms").unwrap_or(0.0),
+                );
+            }
+        }
+    }
 
     let workers = worker_objects(health);
     if !workers.is_empty() {
@@ -187,7 +222,7 @@ fn main() {
     };
 
     loop {
-        let fetched = (|| -> std::io::Result<(String, String, String)> {
+        let fetched = (|| -> std::io::Result<(String, String, String, Option<String>)> {
             let (hs, health) = http_get(addr, "/healthz", TIMEOUT)?;
             let (ms, metrics) = http_get(addr, "/metrics", TIMEOUT)?;
             let (es, events) = http_get(addr, "/events", TIMEOUT)?;
@@ -196,14 +231,19 @@ fn main() {
                     "endpoint returned {hs}/{ms}/{es} for /healthz,/metrics,/events"
                 )));
             }
-            Ok((health, metrics, events))
+            // pre-campaign endpoints 404 this route: fall back to no panel
+            let campaigns = match http_get(addr, "/campaigns", TIMEOUT) {
+                Ok((200, body)) => Some(body),
+                _ => None,
+            };
+            Ok((health, metrics, events, campaigns))
         })();
         match fetched {
-            Ok((health, metrics, events)) => {
+            Ok((health, metrics, events, campaigns)) => {
                 if !once {
                     print!("\x1b[2J\x1b[H"); // clear screen, home cursor
                 }
-                render(addr, &health, &metrics, &events);
+                render(addr, &health, &metrics, &events, campaigns.as_deref());
             }
             Err(e) => {
                 eprintln!("scidock-top: {addr}: {e}");

@@ -33,8 +33,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cumulus::localbackend::{run_local, DispatchMode, LocalConfig};
-use cumulus::workflow::{Activity, ActivityFn, FileStore, WorkflowDef};
+use cumulus::localbackend::{DispatchMode, LocalConfig};
+use cumulus::workflow::{Activity, ActivityFn, WorkflowDef};
+use cumulus::{Backend, LocalBackend, Workflow};
 use cumulus::{Relation, Tuple};
 use provenance::{ProvenanceStore, Value};
 use telemetry::Telemetry;
@@ -84,9 +85,9 @@ fn input() -> Relation {
 fn run_once(cfg: &LocalConfig) -> f64 {
     let wf = straggler_workflow();
     let t0 = Instant::now();
-    let report =
-        run_local(&wf, input(), Arc::new(FileStore::new()), Arc::new(ProvenanceStore::new()), cfg)
-            .expect("valid workflow");
+    let report = LocalBackend::new(cfg.clone())
+        .run(&Workflow::new(wf, input()), &Arc::new(ProvenanceStore::new()))
+        .expect("valid workflow");
     let ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(report.finished, PAIRS as usize * STAGES);
     ms

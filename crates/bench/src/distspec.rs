@@ -173,14 +173,9 @@ mod tests {
         let files = Arc::new(FileStore::new());
         let prov = Arc::new(provenance::ProvenanceStore::new());
         let input = prepare("unit:spin:4:0", &files).unwrap();
-        let report = cumulus::run_local(
-            &def,
-            input,
-            files,
-            prov,
-            &cumulus::LocalConfig::new().with_threads(2),
-        )
-        .unwrap();
+        let backend = cumulus::LocalBackend::new(cumulus::LocalConfig::new().with_threads(2));
+        let wf = cumulus::Workflow::new(def, input).with_files(files);
+        let report = cumulus::Backend::run(&backend, &wf, &prov).unwrap();
         assert_eq!(report.finished, 4);
         let mut got: Vec<i64> = report
             .outputs

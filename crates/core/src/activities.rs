@@ -742,8 +742,21 @@ pub fn scidock_xml_spec(mode: EngineMode, cfg: &SciDockConfig) -> String {
 mod tests {
     use super::*;
     use crate::dataset::{Dataset, DatasetParams};
-    use cumulus::localbackend::{run_local, LocalConfig};
+    use cumulus::localbackend::LocalConfig;
+    use cumulus::{Backend, LocalBackend, RunOutcome, Workflow};
     use provenance::ProvenanceStore;
+
+    /// Run a workflow through the `Backend` trait (the non-deprecated
+    /// surface) with the activities' shared file store attached.
+    fn run(
+        wf: cumulus::WorkflowDef,
+        input: cumulus::Relation,
+        files: Arc<FileStore>,
+        prov: &Arc<ProvenanceStore>,
+        cfg: LocalConfig,
+    ) -> RunOutcome {
+        LocalBackend::new(cfg).run(&Workflow::new(wf, input).with_files(files), prov).unwrap()
+    }
 
     fn tiny_dataset() -> Dataset {
         let mut p = DatasetParams::default();
@@ -785,14 +798,7 @@ mod tests {
         let wf = build_scidock(EngineMode::Ad4Only, &cfg, Arc::clone(&files));
         assert!(wf.validate().is_ok());
         assert_eq!(wf.activities.len(), 8);
-        let report = run_local(
-            &wf,
-            input,
-            Arc::clone(&files),
-            Arc::clone(&prov),
-            &LocalConfig::new().with_threads(2),
-        )
-        .unwrap();
+        let report = run(wf, input, Arc::clone(&files), &prov, LocalConfig::new().with_threads(2));
         assert_eq!(report.final_output().len(), 2, "both pairs docked");
         // FEB column is a finite float
         let feb = report.final_output().tuples[0][3].as_f64().unwrap();
@@ -813,9 +819,7 @@ mod tests {
         let cfg = fast_cfg();
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::VinaOnly, &cfg, Arc::clone(&files));
-        let report =
-            run_local(&wf, input, Arc::clone(&files), prov, &LocalConfig::new().with_threads(2))
-                .unwrap();
+        let report = run(wf, input, Arc::clone(&files), &prov, LocalConfig::new().with_threads(2));
         assert_eq!(report.final_output().len(), 2);
         // Vina writes the docked pose pdbqt
         let outs = files.list(&format!("{}/vina", cfg.expdir));
@@ -850,9 +854,7 @@ mod tests {
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::Adaptive, &cfg, Arc::clone(&files));
         assert_eq!(wf.activities.len(), 10);
-        let report =
-            run_local(&wf, input, files, Arc::clone(&prov), &LocalConfig::new().with_threads(2))
-                .unwrap();
+        let report = run(wf, input, files, &prov, LocalConfig::new().with_threads(2));
         // outputs: activity index 8 = autodock4, 9 = vina
         let ad4_out = &report.outputs[8];
         let vina_out = &report.outputs[9];
@@ -875,14 +877,13 @@ mod tests {
         let cfg = fast_cfg();
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::Ad4Only, &cfg, Arc::clone(&files));
-        let report = run_local(
-            &wf,
+        let report = run(
+            wf,
             input,
             files,
-            Arc::new(ProvenanceStore::new()),
-            &LocalConfig::new().with_threads(2),
-        )
-        .unwrap();
+            &Arc::new(ProvenanceStore::new()),
+            LocalConfig::new().with_threads(2),
+        );
         assert_eq!(report.final_output().len(), 2, "one receptor, two ligands");
     }
 
@@ -903,14 +904,13 @@ mod tests {
         let wf = build_scidock(EngineMode::Ad4Only, &cfg, Arc::clone(&files));
         // single-threaded so the first lookup is the only miss (concurrent
         // activations may each miss and build; the cache tolerates that)
-        let report = run_local(
-            &wf,
+        let report = run(
+            wf,
             input,
             files,
-            Arc::new(ProvenanceStore::new()),
-            &LocalConfig::new().with_threads(1),
-        )
-        .unwrap();
+            &Arc::new(ProvenanceStore::new()),
+            LocalConfig::new().with_threads(1),
+        );
         assert_eq!(report.final_output().len(), 2);
         let snap = tel.snapshot().unwrap();
         // one receptor → one grid build; activities 5 and 8 each look the
@@ -941,9 +941,7 @@ mod tests {
         cfg.hg_rule = true;
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::Ad4Only, &cfg, Arc::clone(&files));
-        let report =
-            run_local(&wf, input, files, Arc::clone(&prov), &LocalConfig::new().with_threads(2))
-                .unwrap();
+        let report = run(wf, input, files, &prov, LocalConfig::new().with_threads(2));
         assert_eq!(report.blacklisted, 1);
         let r =
             prov.query("SELECT count(*) FROM hactivation WHERE status = 'BLACKLISTED'").unwrap();
@@ -960,9 +958,7 @@ mod tests {
         let cfg = fast_cfg();
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::VinaOnly, &cfg, Arc::clone(&files));
-        let _ =
-            run_local(&wf, input, Arc::clone(&files), Arc::clone(&prov), &LocalConfig::default())
-                .unwrap();
+        let _ = run(wf, input, Arc::clone(&files), &prov, LocalConfig::default());
         // every vinaconfig activation recorded its substituted template tags
         let q = prov
             .query(
@@ -994,14 +990,7 @@ mod tests {
         let wf = build_scidock(EngineMode::VinaOnly, &cfg, Arc::clone(&files));
         assert_eq!(wf.activities.len(), 9, "8 activities + ranking");
         assert_eq!(wf.activities.last().unwrap().operator, Operator::SRQuery);
-        let report = run_local(
-            &wf,
-            input,
-            Arc::clone(&files),
-            Arc::clone(&prov),
-            &LocalConfig::new().with_threads(2),
-        )
-        .unwrap();
+        let report = run(wf, input, Arc::clone(&files), &prov, LocalConfig::new().with_threads(2));
         let ranked = report.final_output();
         assert_eq!(ranked.len(), 2);
         // rank column ascending, FEB ascending
@@ -1045,7 +1034,7 @@ mod tests {
         let cfg = fast_cfg();
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::Ad4Only, &cfg, Arc::clone(&files));
-        let _ = run_local(&wf, input, files, Arc::clone(&prov), &LocalConfig::default()).unwrap();
+        let _ = run(wf, input, files, &prov, LocalConfig::default());
         // Query 1 (paper Fig. 10)
         let q1 = prov
             .query(

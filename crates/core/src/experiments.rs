@@ -5,10 +5,12 @@
 use std::sync::Arc;
 
 use cloudsim::{fleet_for_cores, FailureModel, NoiseModel, SharedFsModel};
-use cumulus::localbackend::{run_local, DispatchMode, LocalConfig, RunReport};
-use cumulus::simbackend::{simulate, SimConfig, SimReport};
+use cumulus::localbackend::{DispatchMode, LocalConfig};
+use cumulus::simbackend::{simulate_tasks, SimConfig, SimReport};
 use cumulus::workflow::FileStore;
-use cumulus::{ElasticityConfig, MasterCostModel, Policy};
+use cumulus::{
+    Backend, ElasticityConfig, LocalBackend, MasterCostModel, Policy, RunOutcome, Workflow,
+};
 use provenance::ProvenanceStore;
 use telemetry::Telemetry;
 
@@ -19,8 +21,8 @@ use crate::dataset::{Dataset, DatasetParams, LIGAND_CODES, RECEPTOR_IDS};
 
 /// Outcome of a real (local-backend) screening run.
 pub struct ScreeningOutcome {
-    /// The engine report.
-    pub report: RunReport,
+    /// The backend-independent outcome of the run.
+    pub report: RunOutcome,
     /// Provenance database of the run (query it!).
     pub prov: Arc<ProvenanceStore>,
     /// The shared file store with every produced artifact.
@@ -66,18 +68,16 @@ pub fn run_screening_dispatched(
     let prov = Arc::new(ProvenanceStore::new());
     let input = stage_inputs(&ds, &files, &cfg.expdir);
     let wf = build_scidock(mode, cfg, Arc::clone(&files));
-    let report = run_local(
-        &wf,
-        input,
-        Arc::clone(&files),
-        Arc::clone(&prov),
-        &LocalConfig::new()
+    let backend = LocalBackend::new(
+        LocalConfig::new()
             .with_threads(threads)
             .with_failures(FailureModel::none())
             .with_max_retries(3)
             .with_mode(dispatch),
-    )
-    .expect("workflow validated");
+    );
+    let report = backend
+        .run(&Workflow::new(wf, input).with_files(Arc::clone(&files)), &prov)
+        .expect("workflow validated");
     let mut results = Vec::new();
     // docking activities are the trailing ones; collect from all that carry
     // the dock output schema
@@ -200,7 +200,7 @@ pub fn simulate_at(
             SIM_ACTIVITY_TAGS.iter().map(|tag| prof.get(*tag).copied().unwrap_or(1.0)).collect(),
         );
     }
-    simulate(&tasks, &cfg, prov)
+    simulate_tasks(&tasks, &cfg, prov)
 }
 
 /// Run the Figure 7–9 sweep: TET/speedup/efficiency at each core count.

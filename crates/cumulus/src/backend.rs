@@ -48,8 +48,8 @@ use telemetry::MetricsSnapshot;
 use crate::algebra::{Operator, Relation};
 use crate::distbackend::{run_dist, DistConfig};
 use crate::error::CumulusError;
-use crate::localbackend::{run_local, LocalConfig, RunReport};
-use crate::simbackend::{simulate, SimConfig, SimTask};
+use crate::localbackend::{run_local_impl, LocalConfig, RunReport};
+use crate::simbackend::{simulate_tasks, SimConfig, SimTask};
 use crate::workflow::{FileStore, WorkflowDef};
 
 /// A runnable workflow: the definition plus its input relation and the
@@ -238,7 +238,7 @@ impl LocalBackend {
 
 impl Backend for LocalBackend {
     fn run(&self, wf: &Workflow, store: &Arc<ProvenanceStore>) -> Result<RunOutcome, CumulusError> {
-        let report = run_local(
+        let report = run_local_impl(
             &wf.def,
             wf.input.clone(),
             Arc::clone(&wf.files),
@@ -367,8 +367,8 @@ impl Backend for SimBackend {
             .clone()
             .with_workflow_tag(wf.def.tag.clone())
             .with_activity_tags(wf.def.activities.iter().map(|a| a.tag.clone()).collect());
-        let report = simulate(&tasks, &cfg, Some(store));
-        // simulate() registers the workflow itself; recover its id
+        let report = simulate_tasks(&tasks, &cfg, Some(store));
+        // simulate_tasks() registers the workflow itself; recover its id
         let wkf = store
             .query("SELECT max(wkfid) FROM hworkflow")
             .ok()

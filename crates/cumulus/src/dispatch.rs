@@ -12,6 +12,8 @@
 //! where the algebra requires the whole relation (`Reduce`, `SRQuery`,
 //! `MRQuery`).
 
+use std::sync::Arc;
+
 use telemetry::Telemetry;
 
 use crate::algebra::{Operator, Relation, Tuple};
@@ -57,8 +59,13 @@ struct ActState {
 }
 
 /// The pipelined dispatcher state machine (see module docs).
-pub(crate) struct PipelineState<'a> {
-    def: &'a WorkflowDef,
+///
+/// Owns its workflow definition (`Arc`, cheap to share), so a pipeline can
+/// outlive the scope that resolved the definition — a requirement for
+/// [`crate::serve`], where campaigns are created dynamically at daemon
+/// runtime and live in a long-running engine loop.
+pub(crate) struct PipelineState {
+    def: Arc<WorkflowDef>,
     tel: Telemetry,
     /// Successors with edge multiplicity (a duplicated dep feeds twice,
     /// just like `input_for`'s concatenation would).
@@ -68,15 +75,15 @@ pub(crate) struct PipelineState<'a> {
     open: usize,
 }
 
-impl<'a> PipelineState<'a> {
+impl PipelineState {
     /// Build the dispatcher and seed it: source activities read the
     /// (route-filtered) workflow input. Returns the initial batch of ready
     /// activations. The definition must already be validated.
     pub fn new(
-        def: &'a WorkflowDef,
+        def: Arc<WorkflowDef>,
         input: &Relation,
         tel: Telemetry,
-    ) -> (PipelineState<'a>, Vec<SubmitReq>) {
+    ) -> (PipelineState, Vec<SubmitReq>) {
         let n = def.activities.len();
         let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, deps) in def.deps.iter().enumerate() {
@@ -126,7 +133,7 @@ impl<'a> PipelineState<'a> {
         let mut reqs = Vec::new();
         let mut to_close: Vec<usize> = Vec::new();
         for i in 0..n {
-            if def.deps[i].is_empty() {
+            if pipe.def.deps[i].is_empty() {
                 pipe.feed(i, input.tuples.clone(), &mut reqs);
                 pipe.flush(i, &mut reqs);
                 if pipe.states[i].in_flight == 0 {
@@ -367,7 +374,8 @@ mod tests {
     /// Drive a PipelineState synchronously with an identity executor and
     /// return the final outputs.
     fn drive(def: &WorkflowDef, input: &Relation) -> Vec<Relation> {
-        let (mut pipe, mut queue) = PipelineState::new(def, input, Telemetry::disabled());
+        let (mut pipe, mut queue) =
+            PipelineState::new(Arc::new(def.clone()), input, Telemetry::disabled());
         while let Some(req) = queue.pop() {
             // identity semantics: every activation echoes its input part
             let more = pipe.on_completion(req.activity, &req.part);
@@ -389,7 +397,7 @@ mod tests {
             ],
             deps: vec![vec![], vec![0]],
         };
-        let (mut pipe, reqs) = PipelineState::new(&def, &input(3), Telemetry::disabled());
+        let (mut pipe, reqs) = PipelineState::new(Arc::new(def), &input(3), Telemetry::disabled());
         // only the source is ready at seed time, one activation per tuple
         assert_eq!(reqs.len(), 3);
         assert!(reqs.iter().all(|r| r.activity == 0));
@@ -413,7 +421,7 @@ mod tests {
             ],
             deps: vec![vec![], vec![0]],
         };
-        let (mut pipe, reqs) = PipelineState::new(&def, &input(3), Telemetry::disabled());
+        let (mut pipe, reqs) = PipelineState::new(Arc::new(def), &input(3), Telemetry::disabled());
         assert_eq!(reqs.len(), 3);
         // completing two of three source activations releases nothing
         assert!(pipe.on_completion(0, &reqs[0].part).is_empty());
@@ -461,7 +469,7 @@ mod tests {
             ],
             deps: vec![vec![], vec![0]],
         };
-        let (pipe, reqs) = PipelineState::new(&def, &input(0), Telemetry::disabled());
+        let (pipe, reqs) = PipelineState::new(Arc::new(def), &input(0), Telemetry::disabled());
         assert!(reqs.is_empty());
         assert!(pipe.done(), "empty workflow closes at seed time");
         assert_eq!(pipe.submitted(), 0);

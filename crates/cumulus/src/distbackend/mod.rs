@@ -33,7 +33,7 @@
 
 pub mod worker;
 
-mod proto;
+pub(crate) mod proto;
 
 use std::collections::{HashMap, VecDeque};
 use std::net::{TcpListener, TcpStream};
@@ -607,7 +607,7 @@ fn master_loop(
         fleet_cost_usd: None,
     };
 
-    let (mut pipe, seeds) = PipelineState::new(def, &input, tel.clone());
+    let (mut pipe, seeds) = PipelineState::new(Arc::new(def.clone()), &input, tel.clone());
     let mut submits: VecDeque<SubmitReq> = seeds.into();
     let mut pending: VecDeque<Job> = VecDeque::new();
     let mut next_job: u64 = 0;
@@ -1396,7 +1396,7 @@ fn lose_worker(
     ctxs: &[ActivityCtx],
     pending: &mut VecDeque<Job>,
     submits: &mut VecDeque<SubmitReq>,
-    pipe: &mut PipelineState<'_>,
+    pipe: &mut PipelineState,
     report: &mut RunReport,
     t0: Instant,
     prov: &Arc<ProvenanceStore>,
@@ -1867,7 +1867,7 @@ mod tests {
         assert_eq!(last.tuples, vec![vec![Value::Int(18)]]);
 
         let lprov = Arc::new(ProvenanceStore::new());
-        let lreport = crate::run_local(
+        let lreport = crate::localbackend::run_local_impl(
             &test_def(0),
             test_input(4),
             Arc::new(FileStore::new()),
@@ -1902,7 +1902,7 @@ mod tests {
         let (report, prov, _) = run(&cfg);
 
         let lprov = Arc::new(ProvenanceStore::new());
-        let lreport = crate::run_local(
+        let lreport = crate::localbackend::run_local_impl(
             &test_def(0),
             test_input(4),
             Arc::new(FileStore::new()),
@@ -2495,7 +2495,7 @@ mod tests {
 
         // local: pool.* counters/histograms/gauges + activation histograms
         let ltel = Telemetry::attached();
-        let lreport = crate::run_local(
+        let lreport = crate::localbackend::run_local_impl(
             &test_def(0),
             test_input(4),
             Arc::new(FileStore::new()),
@@ -2522,9 +2522,50 @@ mod tests {
             })
             .collect();
         let scfg = crate::simbackend::SimConfig::new().with_seed(11).with_telemetry(stel);
-        let sreport = crate::simbackend::simulate(&tasks, &scfg, None);
+        let sreport = crate::simbackend::simulate_tasks(&tasks, &scfg, None);
         let ssnap = sreport.metrics.expect("sim telemetry attached");
         assert!(ssnap.counter("sim.dispatched").unwrap_or(0) >= 6);
         assert_eq!(registry::unregistered(&ssnap), Vec::<String>::new());
+
+        // served: campaign.* counters/gauges/histograms layered over the
+        // local activation machinery
+        let vtel = Telemetry::attached();
+        let resolver: crate::serve::CampaignResolver = Arc::new(|spec: &str| {
+            (spec == "ok").then(|| crate::backend::Workflow::new(test_def(0), test_input(4)))
+        });
+        let daemon = crate::serve::Daemon::start(
+            crate::serve::ServeConfig::new().with_workers(2).with_telemetry(vtel.clone()),
+            resolver,
+            Arc::new(ProvenanceStore::new()),
+        )
+        .expect("daemon starts");
+        let mut client = crate::serve::ServeClient::connect(daemon.addr()).expect("connect");
+        assert!(matches!(
+            client.submit("t0", 0, "nope").expect("submit io"),
+            crate::serve::SubmitOutcome::Rejected { .. }
+        ));
+        let crate::serve::SubmitOutcome::Accepted { id } =
+            client.submit("t0", 0, "ok").expect("submit io")
+        else {
+            panic!("valid spec must be admitted");
+        };
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let st = client.status(id).expect("status io");
+            if st.state == crate::serve::CampaignState::Finished {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "campaign stuck in {:?}", st.state);
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        daemon.shutdown();
+        let vsnap = vtel.snapshot().expect("serve telemetry attached");
+        assert_eq!(vsnap.counter("campaign.finished"), Some(1));
+        assert_eq!(vsnap.counter("campaign.rejected"), Some(1));
+        assert!(
+            vsnap.histograms.iter().any(|h| h.name == "campaign.first_result"),
+            "first-result latency must be recorded"
+        );
+        assert_eq!(registry::unregistered(&vsnap), Vec::<String>::new());
     }
 }

@@ -172,40 +172,40 @@ pub(crate) enum Frame {
 
 // ---------------------------------------------------------------- encoding
 
-struct Buf {
+pub(crate) struct Buf {
     out: Vec<u8>,
     err: Option<String>,
 }
 
 impl Buf {
-    fn new() -> Buf {
+    pub(crate) fn new() -> Buf {
         Buf { out: Vec::new(), err: None }
     }
-    fn finish(self) -> Result<Vec<u8>, String> {
+    pub(crate) fn finish(self) -> Result<Vec<u8>, String> {
         match self.err {
             None => Ok(self.out),
             Some(e) => Err(e),
         }
     }
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.out.push(v);
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.out.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.out.extend_from_slice(&v.to_le_bytes());
     }
-    fn i64(&mut self, v: i64) {
+    pub(crate) fn i64(&mut self, v: i64) {
         self.out.extend_from_slice(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.out.extend_from_slice(&v.to_le_bytes());
     }
     /// Emit a length prefix, refusing values the u32 cannot hold: an
     /// unchecked `as u32` would silently truncate a ≥ 4 GiB payload and
     /// desync the stream for every frame after it.
-    fn len32(&mut self, n: usize, what: &str) {
+    pub(crate) fn len32(&mut self, n: usize, what: &str) {
         match u32::try_from(n) {
             Ok(v) => self.u32(v),
             Err(_) => {
@@ -216,11 +216,11 @@ impl Buf {
             }
         }
     }
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.len32(s.len(), "string");
         self.out.extend_from_slice(s.as_bytes());
     }
-    fn opt_str(&mut self, s: &Option<String>) {
+    pub(crate) fn opt_str(&mut self, s: &Option<String>) {
         match s {
             None => self.u8(0),
             Some(s) => {
@@ -229,7 +229,7 @@ impl Buf {
             }
         }
     }
-    fn value(&mut self, v: &Value) {
+    pub(crate) fn value(&mut self, v: &Value) {
         match v {
             Value::Null => self.u8(0),
             Value::Int(i) => {
@@ -254,7 +254,7 @@ impl Buf {
             }
         }
     }
-    fn tuples(&mut self, ts: &[Tuple]) {
+    pub(crate) fn tuples(&mut self, ts: &[Tuple]) {
         self.len32(ts.len(), "tuple vector");
         for t in ts {
             self.len32(t.len(), "tuple");
@@ -392,7 +392,7 @@ pub(crate) fn encode(frame: &Frame) -> Result<Vec<u8>, String> {
 
 // ---------------------------------------------------------------- decoding
 
-struct Cur<'a> {
+pub(crate) struct Cur<'a> {
     buf: &'a [u8],
     at: usize,
 }
@@ -400,7 +400,15 @@ struct Cur<'a> {
 type DecodeResult<T> = Result<T, String>;
 
 impl<'a> Cur<'a> {
-    fn take(&mut self, n: usize) -> DecodeResult<&'a [u8]> {
+    pub(crate) fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, at: 0 }
+    }
+
+    pub(crate) fn at_end(&self) -> bool {
+        self.at == self.buf.len()
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> DecodeResult<&'a [u8]> {
         if self.at + n > self.buf.len() {
             return Err(format!("truncated frame: wanted {n} bytes at {}", self.at));
         }
@@ -408,34 +416,34 @@ impl<'a> Cur<'a> {
         self.at += n;
         Ok(s)
     }
-    fn u8(&mut self) -> DecodeResult<u8> {
+    pub(crate) fn u8(&mut self) -> DecodeResult<u8> {
         Ok(self.take(1)?[0])
     }
-    fn u32(&mut self) -> DecodeResult<u32> {
+    pub(crate) fn u32(&mut self) -> DecodeResult<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> DecodeResult<u64> {
+    pub(crate) fn u64(&mut self) -> DecodeResult<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn i64(&mut self) -> DecodeResult<i64> {
+    pub(crate) fn i64(&mut self) -> DecodeResult<i64> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn f64(&mut self) -> DecodeResult<f64> {
+    pub(crate) fn f64(&mut self) -> DecodeResult<f64> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn str(&mut self) -> DecodeResult<String> {
+    pub(crate) fn str(&mut self) -> DecodeResult<String> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| "invalid utf-8 in string".to_string())
     }
-    fn opt_str(&mut self) -> DecodeResult<Option<String>> {
+    pub(crate) fn opt_str(&mut self) -> DecodeResult<Option<String>> {
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.str()?)),
             t => Err(format!("bad option tag {t}")),
         }
     }
-    fn value(&mut self) -> DecodeResult<Value> {
+    pub(crate) fn value(&mut self) -> DecodeResult<Value> {
         Ok(match self.u8()? {
             0 => Value::Null,
             1 => Value::Int(self.i64()?),
@@ -446,7 +454,7 @@ impl<'a> Cur<'a> {
             t => return Err(format!("bad value tag {t}")),
         })
     }
-    fn tuples(&mut self) -> DecodeResult<Vec<Tuple>> {
+    pub(crate) fn tuples(&mut self) -> DecodeResult<Vec<Tuple>> {
         let n = self.u32()? as usize;
         let mut ts = Vec::with_capacity(n.min(1 << 16));
         for _ in 0..n {

@@ -26,7 +26,11 @@
 //! * [`template`] — %TAG% activity command templates (the instrumentation
 //!   mechanism of paper Figs. 2–3);
 //! * [`simbackend`] — a discrete-event simulation of the engine on an
-//!   elastic EC2 fleet, for the cloud-scale studies of Figures 7–9.
+//!   elastic EC2 fleet, for the cloud-scale studies of Figures 7–9;
+//! * [`serve`] — `scidockd`, the always-on campaign service: many
+//!   concurrent campaigns from many tenants over one shared elastic fleet
+//!   and one durable provenance store, with fair-share scheduling and
+//!   explicit admission control.
 
 #![warn(missing_docs)]
 
@@ -40,6 +44,7 @@ pub mod localbackend;
 pub mod obs;
 pub mod pool;
 pub mod sched;
+pub mod serve;
 pub mod simbackend;
 pub mod steer;
 pub mod template;
@@ -56,11 +61,19 @@ pub use fleet::{
     upward_ranks, CostAwareConfig, CostAwareScheduler, FixedScheduler, FleetSnapshot,
     QueueDepthConfig, QueueDepthScheduler, ScaleDecision, ScaleEvent, Scheduler, SchedulerFactory,
 };
-pub use localbackend::{run_local, DispatchMode, EngineError, LocalConfig, RunReport};
+#[allow(deprecated)]
+pub use localbackend::run_local;
+pub use localbackend::{DispatchMode, EngineError, LocalConfig, RunReport};
 pub use obs::{BoundAddr, EventLog, HealthView, ObsEvent, Severity};
 pub use pool::Pool;
 pub use sched::{ElasticityConfig, MasterCostModel, Policy};
-pub use simbackend::{simulate, SimConfig, SimReport, SimTask};
+pub use serve::{
+    CampaignResolver, CampaignState, CampaignStatus, Daemon, ServeClient, ServeConfig,
+    SubmitOutcome,
+};
+#[allow(deprecated)]
+pub use simbackend::simulate;
+pub use simbackend::{simulate_tasks, SimConfig, SimReport, SimTask};
 pub use steer::SteeringBridge;
 pub use template::{Template, TemplateError};
 pub use workflow::{

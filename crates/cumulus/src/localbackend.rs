@@ -600,13 +600,29 @@ impl ActivityCtx {
 
 /// Run a workflow on the local pool.
 ///
-/// Deprecation note: prefer [`crate::backend::Backend::run`] on a
+/// Deprecated: prefer [`crate::backend::Backend::run`] on a
 /// [`crate::backend::LocalBackend`] in new code — it returns the
 /// backend-independent [`crate::backend::RunOutcome`] and lets callers swap
 /// execution substrates (local / distributed / simulated) behind one trait.
-/// This function remains as the underlying implementation and is not going
-/// away.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Backend::run` on a `LocalBackend` instead; this one-shot \
+            entry point bypasses the backend-independent `RunOutcome` surface"
+)]
 pub fn run_local(
+    def: &WorkflowDef,
+    input: Relation,
+    files: Arc<FileStore>,
+    prov: Arc<ProvenanceStore>,
+    cfg: &LocalConfig,
+) -> Result<RunReport, EngineError> {
+    run_local_impl(def, input, files, prov, cfg)
+}
+
+/// The engine behind both [`run_local`] and
+/// [`crate::backend::LocalBackend`]; in-crate callers use this directly so
+/// the deprecation attribute only fires on external one-shot use.
+pub(crate) fn run_local_impl(
     def: &WorkflowDef,
     input: Relation,
     files: Arc<FileStore>,
@@ -853,7 +869,8 @@ fn run_pipelined(
         fleet_cost_usd: None,
     };
 
-    let (mut pipe, seeds) = PipelineState::new(def, &input, cfg.telemetry.clone());
+    let (mut pipe, seeds) =
+        PipelineState::new(Arc::new(def.clone()), &input, cfg.telemetry.clone());
     for req in seeds {
         submit(req);
     }
@@ -927,7 +944,7 @@ mod tests {
 
     #[test]
     fn chain_executes_and_collects() {
-        let report = run_local(
+        let report = run_local_impl(
             &simple_workflow(),
             input(10),
             Arc::new(FileStore::new()),
@@ -946,7 +963,7 @@ mod tests {
     #[test]
     fn provenance_rows_recorded() {
         let prov = Arc::new(ProvenanceStore::new());
-        let _ = run_local(
+        let _ = run_local_impl(
             &simple_workflow(),
             input(5),
             Arc::new(FileStore::new()),
@@ -977,7 +994,7 @@ mod tests {
         };
         let prov = Arc::new(ProvenanceStore::new());
         let files = Arc::new(FileStore::new());
-        let _ = run_local(
+        let _ = run_local_impl(
             &wf,
             input(3),
             Arc::clone(&files),
@@ -1008,7 +1025,7 @@ mod tests {
             ..Default::default()
         };
         let prov = Arc::new(ProvenanceStore::new());
-        let report = run_local(
+        let report = run_local_impl(
             &simple_workflow(),
             input(30),
             Arc::new(FileStore::new()),
@@ -1041,7 +1058,7 @@ mod tests {
             max_retries: 1,
             ..Default::default()
         };
-        let report = run_local(
+        let report = run_local_impl(
             &simple_workflow(),
             input(40),
             Arc::new(FileStore::new()),
@@ -1062,7 +1079,7 @@ mod tests {
             .clone()
             .with_blacklist(Arc::new(|t| matches!(t[0], Value::Int(k) if k % 2 == 0)));
         let prov = Arc::new(ProvenanceStore::new());
-        let report = run_local(
+        let report = run_local_impl(
             &wf,
             input(10),
             Arc::new(FileStore::new()),
@@ -1081,7 +1098,7 @@ mod tests {
     fn invalid_workflow_rejected() {
         let mut wf = simple_workflow();
         wf.deps = vec![vec![], vec![5]];
-        let err = run_local(
+        let err = run_local_impl(
             &wf,
             input(1),
             Arc::new(FileStore::new()),
@@ -1104,7 +1121,7 @@ mod tests {
             deps: vec![vec![]],
         };
         let cfg = LocalConfig { max_retries: 2, ..Default::default() };
-        let report = run_local(
+        let report = run_local_impl(
             &wf,
             input(4),
             Arc::new(FileStore::new()),
@@ -1153,7 +1170,7 @@ mod tests {
             rel.push(vec![Value::Int(k)]);
         }
         let prov = Arc::new(ProvenanceStore::new());
-        let report = run_local(
+        let report = run_local_impl(
             &wf,
             rel,
             Arc::new(FileStore::new()),
@@ -1221,7 +1238,8 @@ mod tests {
             resume_from: None,
             ..Default::default()
         };
-        let r1 = run_local(&wf, input(20), Arc::clone(&files), Arc::clone(&prov), &cfg1).unwrap();
+        let r1 =
+            run_local_impl(&wf, input(20), Arc::clone(&files), Arc::clone(&prov), &cfg1).unwrap();
         assert!(r1.finished < 20, "some activations must drop");
         assert!(r1.failed_attempts > 0);
         let calls_after_run1 = func_calls.load(std::sync::atomic::Ordering::SeqCst);
@@ -1235,7 +1253,8 @@ mod tests {
             resume_from: Some(r1.workflow),
             ..Default::default()
         };
-        let r2 = run_local(&wf, input(20), Arc::clone(&files), Arc::clone(&prov), &cfg2).unwrap();
+        let r2 =
+            run_local_impl(&wf, input(20), Arc::clone(&files), Arc::clone(&prov), &cfg2).unwrap();
         assert_eq!(r2.resumed, r1.finished, "every finished activation is reused");
         assert_eq!(r2.finished + r2.resumed, 20, "the full relation is recovered");
         assert_eq!(r2.final_output().len(), 20);
@@ -1252,7 +1271,7 @@ mod tests {
         let wf = simple_workflow();
         let prov = Arc::new(ProvenanceStore::new());
         let files = Arc::new(FileStore::new());
-        let r1 = run_local(
+        let r1 = run_local_impl(
             &wf,
             input(5),
             Arc::clone(&files),
@@ -1261,7 +1280,7 @@ mod tests {
         )
         .unwrap();
         let cfg2 = LocalConfig { resume_from: Some(r1.workflow), ..Default::default() };
-        let r2 = run_local(&wf, input(5), files, Arc::clone(&prov), &cfg2).unwrap();
+        let r2 = run_local_impl(&wf, input(5), files, Arc::clone(&prov), &cfg2).unwrap();
         assert_eq!(r2.resumed, 10, "both activities fully resumed");
         assert_eq!(r2.finished, 0);
         let mut a: Vec<f64> =
@@ -1358,9 +1377,14 @@ mod tests {
                 mode,
                 ..Default::default()
             };
-            let rep =
-                run_local(&mk_wf(), input(25), Arc::new(FileStore::new()), Arc::clone(&prov), &cfg)
-                    .unwrap();
+            let rep = run_local_impl(
+                &mk_wf(),
+                input(25),
+                Arc::new(FileStore::new()),
+                Arc::clone(&prov),
+                &cfg,
+            )
+            .unwrap();
             (rep, prov)
         };
         let (barrier, bprov) = run(DispatchMode::Barrier);
@@ -1406,7 +1430,8 @@ mod tests {
             mode: DispatchMode::Barrier,
             ..Default::default()
         };
-        let r1 = run_local(&wf, input(20), Arc::clone(&files), Arc::clone(&prov), &cfg1).unwrap();
+        let r1 =
+            run_local_impl(&wf, input(20), Arc::clone(&files), Arc::clone(&prov), &cfg1).unwrap();
         assert!(r1.finished < 40, "some activations must drop");
         let cfg2 = LocalConfig {
             threads: 2,
@@ -1416,7 +1441,7 @@ mod tests {
             mode: DispatchMode::Pipelined,
             ..Default::default()
         };
-        let r2 = run_local(&wf, input(20), files, Arc::clone(&prov), &cfg2).unwrap();
+        let r2 = run_local_impl(&wf, input(20), files, Arc::clone(&prov), &cfg2).unwrap();
         assert_eq!(r2.resumed, r1.finished, "every finished activation is reused");
         assert_eq!(r2.final_output().len(), 20, "the full relation is recovered");
     }
@@ -1454,7 +1479,7 @@ mod tests {
             deps: vec![vec![], vec![0]],
         };
         let cfg = LocalConfig { threads: 4, mode: DispatchMode::Pipelined, ..Default::default() };
-        let report = run_local(
+        let report = run_local_impl(
             &wf,
             input(8),
             Arc::new(FileStore::new()),
@@ -1500,7 +1525,7 @@ mod tests {
             deps: vec![vec![], vec![0]],
         };
         let cfg = LocalConfig { threads: 4, mode: DispatchMode::Barrier, ..Default::default() };
-        let _ = run_local(
+        let _ = run_local_impl(
             &wf,
             input(8),
             Arc::new(FileStore::new()),
@@ -1532,7 +1557,7 @@ mod tests {
             deps: vec![vec![], vec![], vec![0, 1]],
         };
         let run = |mode| {
-            run_local(
+            run_local_impl(
                 &mk(),
                 input(6),
                 Arc::new(FileStore::new()),
@@ -1585,7 +1610,7 @@ mod tests {
             mode: DispatchMode::Pipelined,
             ..Default::default()
         };
-        let report = run_local(
+        let report = run_local_impl(
             &simple_workflow(),
             input(6),
             Arc::new(FileStore::new()),
@@ -1665,7 +1690,8 @@ mod tests {
             ..Default::default()
         };
         let report =
-            run_local(&wf, input(8), Arc::new(FileStore::new()), Arc::clone(&prov), &cfg).unwrap();
+            run_local_impl(&wf, input(8), Arc::new(FileStore::new()), Arc::clone(&prov), &cfg)
+                .unwrap();
         assert_eq!(report.finished, 8);
         assert!(
             max_running_seen.load(Ordering::SeqCst) >= 1,
@@ -1693,7 +1719,7 @@ mod tests {
                 steering_tick: Some(std::time::Duration::from_millis(5)),
                 ..Default::default()
             };
-            let rep = run_local(
+            let rep = run_local_impl(
                 &simple_workflow(),
                 input(30),
                 Arc::new(FileStore::new()),

@@ -61,7 +61,15 @@ pub struct ObsEvent {
 }
 
 /// Schema version stamped into every event line.
-pub const EVENT_SCHEMA_VERSION: u32 = 1;
+///
+/// History:
+/// * **v1** — run/activation/fleet/worker lifecycle kinds.
+/// * **v2** — adds the campaign lifecycle kinds emitted by `scidockd`
+///   (`campaign_submitted`, `campaign_started`, `campaign_finished`,
+///   `campaign_rejected`, `campaign_cancelled`). Purely additive: every v1
+///   kind and field is unchanged, so v1 consumers can read v2 streams by
+///   ignoring unknown kinds.
+pub const EVENT_SCHEMA_VERSION: u32 = 2;
 
 impl ObsEvent {
     /// One JSON object, no trailing newline.
@@ -305,9 +313,56 @@ impl HealthView {
     }
 }
 
+/// One campaign's row in the `/campaigns` listing — what `scidock-top`
+/// renders per campaign when pointed at a `scidockd` endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRow {
+    /// Campaign id assigned at admission.
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Lifecycle state (`pending`, `running`, `finished`, `cancelled`,
+    /// `failed`).
+    pub state: String,
+    /// Completed activations.
+    pub done: u64,
+    /// Activations submitted to the dispatcher so far.
+    pub total: u64,
+    /// 95th-percentile activation latency, milliseconds.
+    pub p95_ms: f64,
+}
+
+impl CampaignRow {
+    /// One JSON object, no trailing newline.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"tenant\":\"{}\",\"state\":\"{}\",\"done\":{},\"total\":{},\
+             \"p95_ms\":{}}}",
+            self.id,
+            telemetry::json::escape(&self.tenant),
+            telemetry::json::escape(&self.state),
+            self.done,
+            self.total,
+            telemetry::json::num(self.p95_ms)
+        )
+    }
+}
+
+fn campaigns_to_json(rows: &[CampaignRow]) -> String {
+    let mut s = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&r.to_json());
+    }
+    s.push(']');
+    s
+}
+
 /// Shared state behind the HTTP endpoint: the (merged) telemetry collector,
-/// the event log, and the mutable health view the engine refreshes on every
-/// scheduling tick.
+/// the event log, the mutable health view the engine refreshes on every
+/// scheduling tick, and (for `scidockd`) the per-campaign rows.
 #[derive(Debug, Clone)]
 pub struct ObsState {
     /// Collector the endpoint snapshots for `/metrics` and `/snapshot.json`.
@@ -316,17 +371,29 @@ pub struct ObsState {
     pub events: EventLog,
     /// Health view served from `/healthz`.
     pub health: Arc<Mutex<HealthView>>,
+    /// Campaign rows served from `/campaigns` (empty outside `scidockd`).
+    pub campaigns: Arc<Mutex<Vec<CampaignRow>>>,
 }
 
 impl ObsState {
     /// Fresh state over the given collector and event log.
     pub fn new(tel: Telemetry, events: EventLog) -> ObsState {
-        ObsState { tel, events, health: Arc::new(Mutex::new(HealthView::default())) }
+        ObsState {
+            tel,
+            events,
+            health: Arc::new(Mutex::new(HealthView::default())),
+            campaigns: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Replace the health view (called by the engine's scheduling loop).
     pub fn set_health(&self, view: HealthView) {
         *self.health.lock().expect("health view poisoned") = view;
+    }
+
+    /// Replace the campaign rows (called by the `scidockd` engine loop).
+    pub fn set_campaigns(&self, rows: Vec<CampaignRow>) {
+        *self.campaigns.lock().expect("campaign rows poisoned") = rows;
     }
 }
 
@@ -436,6 +503,11 @@ fn handle_conn(mut stream: TcpStream, state: &ObsState) {
                 state.health.lock().expect("health view poisoned").to_json(),
             ),
             "/events" => ("200 OK", "application/x-ndjson", state.events.to_jsonl()),
+            "/campaigns" => (
+                "200 OK",
+                "application/json",
+                campaigns_to_json(&state.campaigns.lock().expect("campaign rows poisoned")),
+            ),
             _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
         }
     };
@@ -485,7 +557,7 @@ mod tests {
         for line in log.to_jsonl().lines() {
             telemetry::json::validate(line)
                 .unwrap_or_else(|off| panic!("invalid event JSON at byte {off}: {line}"));
-            assert!(line.contains("\"v\":1"));
+            assert!(line.contains("\"v\":2"));
         }
         assert_eq!(evs[1].signature().1, "straggler");
     }
@@ -558,6 +630,22 @@ mod tests {
         let (code, body) = http_get(addr, "/events", t).unwrap();
         assert_eq!(code, 200);
         assert!(body.contains("\"kind\":\"run_started\""));
+
+        let (code, body) = http_get(addr, "/campaigns", t).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, "[]", "no campaigns registered yet");
+        state.set_campaigns(vec![CampaignRow {
+            id: 7,
+            tenant: "alice".into(),
+            state: "running".into(),
+            done: 3,
+            total: 9,
+            p95_ms: 12.5,
+        }]);
+        let (code, body) = http_get(addr, "/campaigns", t).unwrap();
+        assert_eq!(code, 200);
+        telemetry::json::validate(&body).expect("valid campaigns JSON");
+        assert!(body.contains("\"tenant\":\"alice\"") && body.contains("\"total\":9"));
 
         let (code, _) = http_get(addr, "/nope", t).unwrap();
         assert_eq!(code, 404);

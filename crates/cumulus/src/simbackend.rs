@@ -291,13 +291,32 @@ enum Event {
 /// with its simulated timestamps, so the paper's provenance queries run
 /// against simulated executions too.
 ///
-/// Deprecation note: prefer [`crate::backend::Backend::run`] on a
+/// Deprecated: prefer [`crate::backend::Backend::run`] on a
 /// [`crate::backend::SimBackend`] when simulating a real [`crate::workflow::WorkflowDef`]
 /// — it synthesizes the task DAG from the workflow shape and returns the
-/// backend-independent [`crate::backend::RunOutcome`]. This function remains
-/// the underlying engine for cost-model studies that build [`SimTask`]s
-/// directly (the paper's scaling sweeps) and is not going away.
+/// backend-independent [`crate::backend::RunOutcome`]. Cost-model studies
+/// that build [`SimTask`]s directly (the paper's scaling sweeps) should call
+/// [`simulate_tasks`], which is this function under its non-deprecated name.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Backend::run` on a `SimBackend` for workflow simulation, or \
+            `simulate_tasks` for raw task-DAG cost-model studies"
+)]
 pub fn simulate(tasks: &[SimTask], cfg: &SimConfig, prov: Option<&ProvenanceStore>) -> SimReport {
+    simulate_tasks(tasks, cfg, prov)
+}
+
+/// Run the discrete-event simulation over a raw [`SimTask`] DAG.
+///
+/// This is the engine behind [`crate::backend::SimBackend`] and the
+/// deprecated [`simulate`] wrapper. It stays public (and non-deprecated)
+/// because task-level cost-model sweeps have no workflow definition to hand
+/// to the `Backend` trait.
+pub fn simulate_tasks(
+    tasks: &[SimTask],
+    cfg: &SimConfig,
+    prov: Option<&ProvenanceStore>,
+) -> SimReport {
     assert!(!cfg.fleet.is_empty(), "fleet must contain at least one VM");
     let n = tasks.len();
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x5C4E_D01E);
@@ -1064,7 +1083,7 @@ mod tests {
     #[test]
     fn all_tasks_finish() {
         let tasks = chain_tasks(10, 3, 5.0);
-        let r = simulate(&tasks, &base_cfg(8), None);
+        let r = simulate_tasks(&tasks, &base_cfg(8), None);
         assert_eq!(r.finished, 30);
         assert_eq!(r.failed_attempts, 0);
         assert_eq!(r.cancelled, 0);
@@ -1075,8 +1094,8 @@ mod tests {
     fn ideal_speedup_without_overheads() {
         // 64 independent 10 s tasks: 4 cores → ~160 s + boot; 16 cores → ~40 s + boot
         let tasks = chain_tasks(64, 1, 10.0);
-        let t4 = simulate(&tasks, &base_cfg(4), None).tet_s;
-        let t16 = simulate(&tasks, &base_cfg(16), None).tet_s;
+        let t4 = simulate_tasks(&tasks, &base_cfg(4), None).tet_s;
+        let t16 = simulate_tasks(&tasks, &base_cfg(16), None).tet_s;
         let boot = cloudsim::M3_2XLARGE.boot_seconds.max(cloudsim::M3_XLARGE.boot_seconds);
         let s = (t4 - boot) / (t16 - boot);
         assert!(
@@ -1090,7 +1109,7 @@ mod tests {
         // 1 pair, 5 sequential 10 s activities on plenty of cores: TET ≈ 50 s
         // + boot — dependencies force serialization
         let tasks = chain_tasks(1, 5, 10.0);
-        let r = simulate(&tasks, &base_cfg(16), None);
+        let r = simulate_tasks(&tasks, &base_cfg(16), None);
         // the chain can start no earlier than the fastest-booting VM type
         let boot = cloudsim::M3_XLARGE.boot_seconds.min(cloudsim::M3_2XLARGE.boot_seconds);
         assert!(r.tet_s >= boot + 50.0 - 1e-6, "TET {} must serialize the chain", r.tet_s);
@@ -1103,11 +1122,11 @@ mod tests {
             FailureModel { fail_rate: 0.25, hang_rate: 0.0, fail_at_fraction: 0.5, seed: 3 };
         cfg.max_retries = 10;
         let tasks = chain_tasks(40, 2, 5.0);
-        let r = simulate(&tasks, &cfg, None);
+        let r = simulate_tasks(&tasks, &cfg, None);
         assert_eq!(r.finished, 80, "with retries everything finishes");
         assert!(r.failed_attempts > 5);
         // failures cost extra wall-clock vs a failure-free run
-        let clean = simulate(&tasks, &base_cfg(8), None);
+        let clean = simulate_tasks(&tasks, &base_cfg(8), None);
         assert!(r.tet_s > clean.tet_s);
     }
 
@@ -1117,7 +1136,7 @@ mod tests {
         cfg.failures =
             FailureModel { fail_rate: 0.0, hang_rate: 0.9, fail_at_fraction: 0.5, seed: 1 };
         let tasks = chain_tasks(20, 3, 2.0);
-        let r = simulate(&tasks, &cfg, None);
+        let r = simulate_tasks(&tasks, &cfg, None);
         assert!(r.aborted > 10, "most first activations hang");
         assert!(r.cancelled > 10, "downstream activations get cancelled");
         assert_eq!(r.finished + r.aborted + r.cancelled + r.failed_attempts, 60);
@@ -1131,7 +1150,7 @@ mod tests {
         }
         let mut cfg = base_cfg(4);
         cfg.hg_rule = true;
-        let r = simulate(&tasks, &cfg, None);
+        let r = simulate_tasks(&tasks, &cfg, None);
         assert_eq!(r.blacklisted, 3);
         assert_eq!(r.cancelled, 3, "their second activations are cancelled");
         assert_eq!(r.finished, 14);
@@ -1144,11 +1163,11 @@ mod tests {
         let mut cfg = base_cfg(4);
         cfg.hg_rule = false;
         cfg.hang_timeout_factor = 20.0;
-        let r = simulate(&tasks, &cfg, None);
+        let r = simulate_tasks(&tasks, &cfg, None);
         assert_eq!(r.blacklisted, 0);
         assert_eq!(r.aborted, 1);
         // the hang burned ~20× the nominal runtime
-        let clean = simulate(
+        let clean = simulate_tasks(
             &chain_tasks(10, 2, 2.0),
             &{
                 let mut c = base_cfg(4);
@@ -1167,8 +1186,8 @@ mod tests {
         cheap.master = MasterCostModel { c0: 0.0, c1: 0.0, window: 1, latency_per_vm: 0.0 };
         let mut costly = base_cfg(32);
         costly.master = MasterCostModel { c0: 0.05, c1: 1e-4, window: 512, latency_per_vm: 0.0 };
-        let fast = simulate(&tasks, &cheap, None);
-        let slow = simulate(&tasks, &costly, None);
+        let fast = simulate_tasks(&tasks, &cheap, None);
+        let slow = simulate_tasks(&tasks, &costly, None);
         assert!(slow.tet_s > fast.tet_s, "{} vs {}", slow.tet_s, fast.tet_s);
         assert!(slow.master_overhead_s > 0.0);
         assert_eq!(fast.master_overhead_s, 0.0);
@@ -1180,7 +1199,7 @@ mod tests {
         let tasks = chain_tasks(5, 2, 3.0);
         let mut cfg = base_cfg(4);
         cfg.activity_tags = vec!["prep".into(), "dock".into()];
-        let r = simulate(&tasks, &cfg, Some(&prov));
+        let r = simulate_tasks(&tasks, &cfg, Some(&prov));
         assert_eq!(r.finished, 10);
         let q = prov
             .query(
@@ -1207,10 +1226,10 @@ mod tests {
             idle_release_s: 50.0,
             max_vms: 8,
         });
-        let r = simulate(&tasks, &cfg, None);
+        let r = simulate_tasks(&tasks, &cfg, None);
         assert!(r.peak_vms > cfg.fleet.len(), "fleet should grow, peak {}", r.peak_vms);
         // grown fleet must beat the fixed one
-        let fixed = simulate(&tasks, &base_cfg(4), None);
+        let fixed = simulate_tasks(&tasks, &base_cfg(4), None);
         assert!(r.tet_s < fixed.tet_s);
     }
 
@@ -1233,7 +1252,7 @@ mod tests {
             activity_tags: vec!["work".into()],
             ..Default::default()
         };
-        let r = simulate(&tasks, &cfg, None);
+        let r = simulate_tasks(&tasks, &cfg, None);
         assert_eq!(r.finished, 10);
         assert_eq!(r.peak_vms, 3, "the policy grew to its cap");
         use crate::fleet::ScaleDecision::{Grow, Shrink};
@@ -1253,7 +1272,7 @@ mod tests {
             "queue-depth decisions over a 10-task flat backlog"
         );
         // determinism: the same config reproduces the same trace
-        let again = simulate(&tasks, &cfg, None);
+        let again = simulate_tasks(&tasks, &cfg, None);
         assert_eq!(r.scale_events, again.scale_events);
         assert_eq!(r.tet_s, again.tet_s);
     }
@@ -1265,8 +1284,8 @@ mod tests {
         cfg.noise = NoiseModel { amplitude: 0.1 };
         cfg.failures =
             FailureModel { fail_rate: 0.1, hang_rate: 0.01, fail_at_fraction: 0.5, seed: 7 };
-        let a = simulate(&tasks, &cfg, None);
-        let b = simulate(&tasks, &cfg, None);
+        let a = simulate_tasks(&tasks, &cfg, None);
+        let b = simulate_tasks(&tasks, &cfg, None);
         assert_eq!(a.tet_s, b.tet_s);
         assert_eq!(a.finished, b.finished);
         assert_eq!(a.failed_attempts, b.failed_attempts);
@@ -1276,8 +1295,8 @@ mod tests {
     #[test]
     fn cost_scales_with_fleet() {
         let tasks = chain_tasks(100, 1, 10.0);
-        let small = simulate(&tasks, &base_cfg(4), None);
-        let big = simulate(&tasks, &base_cfg(64), None);
+        let small = simulate_tasks(&tasks, &base_cfg(4), None);
+        let big = simulate_tasks(&tasks, &base_cfg(64), None);
         assert!(big.cost_usd > small.cost_usd, "{} vs {}", big.cost_usd, small.cost_usd);
     }
 
@@ -1285,7 +1304,7 @@ mod tests {
     #[should_panic(expected = "fleet must contain")]
     fn empty_fleet_panics() {
         let cfg = SimConfig { fleet: vec![], ..Default::default() };
-        simulate(&[], &cfg, None);
+        simulate_tasks(&[], &cfg, None);
     }
 
     #[test]
@@ -1299,7 +1318,7 @@ mod tests {
             t.in_bytes = 500_000;
             t.out_bytes = 250_000;
         }
-        let r = simulate(&tasks, &cfg, None);
+        let r = simulate_tasks(&tasks, &cfg, None);
         assert_eq!(r.finished, 12);
 
         let snap = r.metrics.expect("sink attached => metrics present");
@@ -1344,8 +1363,8 @@ mod tests {
         greedy.policy = Policy::GreedyWeighted;
         let mut random = base_cfg(16);
         random.policy = Policy::Random;
-        let g = simulate(&tasks, &greedy, None);
-        let r = simulate(&tasks, &random, None);
+        let g = simulate_tasks(&tasks, &greedy, None);
+        let r = simulate_tasks(&tasks, &random, None);
         assert!(
             g.tet_s <= r.tet_s * 1.05,
             "greedy {} should not lose badly to random {}",

@@ -7,7 +7,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use cumulus::{run_local, Activity, FileStore, LocalConfig, Relation, WorkflowDef};
+use cumulus::{
+    Activity, Backend, CumulusError, FileStore, LocalBackend, LocalConfig, Relation, RunOutcome,
+    Workflow, WorkflowDef,
+};
 use provenance::durable::io::{FaultEnv, FaultPlan, MemEnv};
 use provenance::{Durability, DurableOptions, ProvenanceStore, Value};
 
@@ -35,6 +38,18 @@ fn input(n: i64) -> Relation {
     rel
 }
 
+/// Run `wf` over `input` through the `Backend` trait (the non-deprecated
+/// surface these tests exercise the engine through).
+fn run(
+    wf: WorkflowDef,
+    input: Relation,
+    prov: &Arc<ProvenanceStore>,
+    cfg: LocalConfig,
+) -> Result<RunOutcome, CumulusError> {
+    LocalBackend::new(cfg)
+        .run(&Workflow::new(wf, input).with_files(Arc::new(FileStore::new())), prov)
+}
+
 fn sync_options() -> DurableOptions {
     DurableOptions { durability: Durability::Sync, ..Default::default() }
 }
@@ -58,14 +73,7 @@ fn injected_crash_mid_run_then_reopen_and_resume() {
     let calls_ref = Arc::new(AtomicUsize::new(0));
     let wf_ref = doubling_workflow(&calls_ref);
     let prov_ref = Arc::new(ProvenanceStore::new());
-    let full = run_local(
-        &wf_ref,
-        input(N),
-        Arc::new(FileStore::new()),
-        Arc::clone(&prov_ref),
-        &LocalConfig::new().with_threads(2),
-    )
-    .unwrap();
+    let full = run(wf_ref, input(N), &prov_ref, LocalConfig::new().with_threads(2)).unwrap();
     assert_eq!(full.finished, N as usize);
 
     // crashing run: the storage env panics after a handful of WAL appends,
@@ -78,13 +86,7 @@ fn injected_crash_mid_run_then_reopen_and_resume() {
     let calls1 = Arc::new(AtomicUsize::new(0));
     let wf1 = doubling_workflow(&calls1);
     let crashed = catch_unwind(AssertUnwindSafe(|| {
-        run_local(
-            &wf1,
-            input(N),
-            Arc::new(FileStore::new()),
-            Arc::clone(&prov1),
-            &LocalConfig::new().with_threads(2),
-        )
+        run(wf1, input(N), &prov1, LocalConfig::new().with_threads(2))
     }));
     assert!(crashed.is_err(), "the injected fault must kill the run");
     assert!(plan.appends_seen() >= 9);
@@ -103,14 +105,9 @@ fn injected_crash_mid_run_then_reopen_and_resume() {
     // uninterrupted reference run
     let calls2 = Arc::new(AtomicUsize::new(0));
     let wf2 = doubling_workflow(&calls2);
-    let resumed = run_local(
-        &wf2,
-        input(N),
-        Arc::new(FileStore::new()),
-        Arc::clone(&prov2),
-        &LocalConfig::new().with_threads(2).with_resume_from(prior),
-    )
-    .unwrap();
+    let resumed =
+        run(wf2, input(N), &prov2, LocalConfig::new().with_threads(2).with_resume_from(prior))
+            .unwrap();
     assert_eq!(resumed.resumed as i64, recovered, "every recovered FINISHED row is reused");
     assert_eq!(resumed.finished + resumed.resumed, N as usize);
     assert_eq!(calls2.load(Ordering::SeqCst) as i64, N - recovered);
@@ -124,14 +121,7 @@ fn torn_wal_tail_recovers_committed_prefix_and_resumes() {
     let wf = doubling_workflow(&calls);
     let env = MemEnv::new();
     let prov1 = Arc::new(ProvenanceStore::open_env(Box::new(env.clone()), sync_options()).unwrap());
-    let full = run_local(
-        &wf,
-        input(N),
-        Arc::new(FileStore::new()),
-        Arc::clone(&prov1),
-        &LocalConfig::new().with_threads(2),
-    )
-    .unwrap();
+    let full = run(wf, input(N), &prov1, LocalConfig::new().with_threads(2)).unwrap();
     drop(prov1);
 
     // simulate a crash mid-write: keep ~60% of the WAL and smear garbage
@@ -151,14 +141,9 @@ fn torn_wal_tail_recovers_committed_prefix_and_resumes() {
 
     let calls2 = Arc::new(AtomicUsize::new(0));
     let wf2 = doubling_workflow(&calls2);
-    let resumed = run_local(
-        &wf2,
-        input(N),
-        Arc::new(FileStore::new()),
-        Arc::clone(&prov2),
-        &LocalConfig::new().with_threads(2).with_resume_from(prior),
-    )
-    .unwrap();
+    let resumed =
+        run(wf2, input(N), &prov2, LocalConfig::new().with_threads(2).with_resume_from(prior))
+            .unwrap();
     assert_eq!(resumed.finished + resumed.resumed, N as usize);
     // the engine flips a row to FINISHED only after its outputs are in the
     // WAL, so every recovered FINISHED row is fully resumable
@@ -178,7 +163,7 @@ fn durability_knob_and_steering_flush_reach_the_wal() {
         .with_threads(2)
         .with_durability(Durability::Sync)
         .with_steering_tick(std::time::Duration::from_millis(1));
-    let r = run_local(&wf, input(N), Arc::new(FileStore::new()), Arc::clone(&prov), &cfg).unwrap();
+    let r = run(wf, input(N), &prov, cfg).unwrap();
     assert_eq!(r.finished, N as usize);
     drop(prov);
 
@@ -189,14 +174,7 @@ fn durability_knob_and_steering_flush_reach_the_wal() {
     let calls2 = Arc::new(AtomicUsize::new(0));
     let wf2 = doubling_workflow(&calls2);
     let prior = prov2.latest_workflow().unwrap();
-    let r2 = run_local(
-        &wf2,
-        input(N),
-        Arc::new(FileStore::new()),
-        Arc::clone(&prov2),
-        &LocalConfig::new().with_resume_from(prior),
-    )
-    .unwrap();
+    let r2 = run(wf2, input(N), &prov2, LocalConfig::new().with_resume_from(prior)).unwrap();
     assert_eq!(r2.resumed, N as usize);
     assert_eq!(calls2.load(Ordering::SeqCst), 0, "nothing re-executes");
 }

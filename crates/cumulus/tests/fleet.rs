@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use cumulus::workflow::{Activity, FileStore, WorkflowDef};
 use cumulus::{
-    run_dist, simulate, CostAwareConfig, CostAwareScheduler, DistConfig, QueueDepthConfig,
+    run_dist, simulate_tasks, CostAwareConfig, CostAwareScheduler, DistConfig, QueueDepthConfig,
     QueueDepthScheduler, Relation, SchedulerFactory, SimConfig, SimTask,
 };
 use provenance::{ProvenanceStore, Value};
@@ -92,7 +92,7 @@ fn sim_and_dist_schedulers_decide_identically() {
         .with_scale_instance(&cloudsim::M1_SMALL)
         .with_activity_tags(vec!["work".into()])
         .with_scheduler(factory);
-    let sim = simulate(&flat_tasks(10), &scfg, None);
+    let sim = simulate_tasks(&flat_tasks(10), &scfg, None);
     assert_eq!(sim.finished, 10);
 
     assert!(!dist.scale_events.is_empty(), "the policy must actually scale");

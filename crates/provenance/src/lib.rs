@@ -37,7 +37,7 @@ pub mod table;
 pub mod value;
 
 pub use durable::{Durability, DurableError, DurableOptions};
-pub use provn::{export_provn, export_provn_canonical};
+pub use provn::{export_provn, export_provn_canonical, export_provn_canonical_for};
 pub use provwf::{
     ActivationRecord, ActivationStatus, ActivityId, MachineId, ProvenanceStore, TaskId, WorkflowId,
 };

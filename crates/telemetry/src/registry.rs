@@ -12,6 +12,11 @@ use crate::MetricsSnapshot;
 
 /// Every registered counter name, sorted.
 pub const COUNTERS: &[&str] = &[
+    "campaign.cancelled",
+    "campaign.finished",
+    "campaign.rejected",
+    "campaign.started",
+    "campaign.submitted",
     "dist.master.wakeups",
     "dist.stragglers",
     "dock.evaluations",
@@ -39,6 +44,7 @@ pub const COUNTERS: &[&str] = &[
 /// Every registered fixed histogram name, sorted. Histograms may also use a
 /// registered dynamic prefix (see [`HISTOGRAM_PREFIXES`]).
 pub const HISTOGRAMS: &[&str] = &[
+    "campaign.first_result",
     "dist.heartbeat.job_elapsed",
     "pool.queue_wait",
     "provstore.commit_batch",
@@ -50,7 +56,8 @@ pub const HISTOGRAMS: &[&str] = &[
 pub const HISTOGRAM_PREFIXES: &[&str] = &["activation."];
 
 /// Every registered gauge name, sorted.
-pub const GAUGES: &[&str] = &["fleet.size", "pool.queue_depth", "sim.ready_queue"];
+pub const GAUGES: &[&str] =
+    &["campaign.active", "campaign.queued", "fleet.size", "pool.queue_depth", "sim.ready_queue"];
 
 /// Names in `snap` that are NOT in the registry, each prefixed with its
 /// metric kind (e.g. `"counter:dist.jobs"`). Empty means the snapshot is

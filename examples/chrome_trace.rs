@@ -10,8 +10,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use cumulus::localbackend::{run_local, DispatchMode, LocalConfig};
+use cumulus::localbackend::{DispatchMode, LocalConfig};
 use cumulus::workflow::FileStore;
+use cumulus::{Backend, LocalBackend, Workflow};
 use provenance::{steering, ProvenanceStore};
 use scidock::activities::{build_scidock, stage_inputs, EngineMode, SciDockConfig};
 use scidock::dataset::{Dataset, DatasetParams, LIGAND_CODES, RECEPTOR_IDS};
@@ -45,18 +46,16 @@ fn main() {
         })
     };
 
-    let report = run_local(
-        &wf,
-        input,
-        files,
-        Arc::clone(&prov),
-        &LocalConfig::new()
+    let backend = LocalBackend::new(
+        LocalConfig::new()
             .with_threads(4)
             .with_mode(DispatchMode::Pipelined)
             .with_telemetry(tel.clone())
             .with_steering_tick(Duration::from_millis(50)),
-    )
-    .expect("workflow validated");
+    );
+    let report = backend
+        .run(&Workflow::new(wf, input).with_files(files), &prov)
+        .expect("workflow validated");
     watcher.join().expect("watcher thread");
 
     println!("\nfinished {} activations in {:.1} s", report.finished, report.total_seconds);

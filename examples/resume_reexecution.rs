@@ -9,8 +9,9 @@
 use std::sync::Arc;
 
 use cloudsim::FailureModel;
-use cumulus::localbackend::{run_local, LocalConfig};
+use cumulus::localbackend::LocalConfig;
 use cumulus::workflow::FileStore;
+use cumulus::{Backend, LocalBackend, Workflow};
 use provenance::ProvenanceStore;
 use scidock::activities::{build_scidock, stage_inputs, EngineMode, SciDockConfig};
 use scidock::dataset::{Dataset, DatasetParams, LIGAND_CODES, RECEPTOR_IDS};
@@ -24,12 +25,9 @@ fn main() {
     let wf = build_scidock(EngineMode::VinaOnly, &cfg, Arc::clone(&files));
 
     println!("== run 1: {} pairs with heavy failure injection, no retries ==", ds.pair_count());
-    let run1 = run_local(
-        &wf,
-        input.clone(),
-        Arc::clone(&files),
-        Arc::clone(&prov),
-        &LocalConfig::new()
+    let workflow = Workflow::new(wf, input).with_files(Arc::clone(&files));
+    let run1 = LocalBackend::new(
+        LocalConfig::new()
             .with_threads(4)
             .with_failures(FailureModel {
                 fail_rate: 0.30,
@@ -39,6 +37,7 @@ fn main() {
             })
             .with_max_retries(0),
     )
+    .run(&workflow, &prov)
     .expect("valid workflow");
     println!(
         "  finished {} activations, {} failed attempts → only {}/{} pairs docked",
@@ -49,17 +48,14 @@ fn main() {
     );
 
     println!("\n== run 2: resume from run 1's provenance (workflow id {}) ==", run1.workflow.0);
-    let run2 = run_local(
-        &wf,
-        input,
-        Arc::clone(&files),
-        Arc::clone(&prov),
-        &LocalConfig::new()
+    let run2 = LocalBackend::new(
+        LocalConfig::new()
             .with_threads(4)
             .with_failures(FailureModel::none())
             .with_max_retries(3)
             .with_resume_from(run1.workflow),
     )
+    .run(&workflow, &prov)
     .expect("valid workflow");
     println!(
         "  resumed {} finished activations from provenance, executed only {} new ones",

@@ -9,8 +9,9 @@
 
 use std::sync::Arc;
 
-use cumulus::localbackend::{run_local, LocalConfig};
+use cumulus::localbackend::LocalConfig;
 use cumulus::workflow::FileStore;
+use cumulus::{Backend, LocalBackend, Workflow};
 use provenance::ProvenanceStore;
 use scidock::activities::{build_scidock, stage_inputs, EngineMode, SciDockConfig};
 use scidock::analysis::results_from_provenance;
@@ -40,14 +41,9 @@ fn main() {
     let input = stage_inputs(&ds, &files, &cfg.expdir);
     let wf = build_scidock(EngineMode::Adaptive, &cfg, Arc::clone(&files));
 
-    let report = run_local(
-        &wf,
-        input,
-        Arc::clone(&files),
-        Arc::clone(&prov),
-        &LocalConfig::new().with_threads(8),
-    )
-    .expect("workflow is valid");
+    let report = LocalBackend::new(LocalConfig::new().with_threads(8))
+        .run(&Workflow::new(wf.clone(), input).with_files(Arc::clone(&files)), &prov)
+        .expect("workflow is valid");
 
     println!(
         "workflow '{}' finished in {:.1}s wall-clock: {} activations ok, {} blacklisted",

@@ -4,8 +4,9 @@
 use std::sync::Arc;
 
 use cloudsim::FailureModel;
-use cumulus::localbackend::{run_local, LocalConfig};
+use cumulus::localbackend::LocalConfig;
 use cumulus::workflow::FileStore;
+use cumulus::{Backend, LocalBackend, Workflow};
 use provenance::{ProvenanceStore, Value};
 use scidock::activities::{build_scidock, stage_inputs, EngineMode, SciDockConfig};
 use scidock::analysis::{results_from_provenance, results_from_relation};
@@ -46,14 +47,9 @@ fn full_pipeline_produces_consistent_results_in_three_places() {
     let cfg = fast_cfg();
     let input = stage_inputs(&ds, &files, &cfg.expdir);
     let wf = build_scidock(EngineMode::Ad4Only, &cfg, Arc::clone(&files));
-    let report = run_local(
-        &wf,
-        input,
-        Arc::clone(&files),
-        Arc::clone(&prov),
-        &LocalConfig::new().with_threads(2),
-    )
-    .unwrap();
+    let backend = LocalBackend::new(LocalConfig::new().with_threads(2));
+    let report =
+        backend.run(&Workflow::new(wf, input).with_files(Arc::clone(&files)), &prov).unwrap();
 
     let from_rel = results_from_relation(report.final_output());
     let from_prov = results_from_provenance(&prov);
@@ -87,8 +83,8 @@ fn pipeline_is_deterministic() {
         let cfg = fast_cfg();
         let input = stage_inputs(&ds, &files, &cfg.expdir);
         let wf = build_scidock(EngineMode::VinaOnly, &cfg, Arc::clone(&files));
-        let report =
-            run_local(&wf, input, files, prov, &LocalConfig::new().with_threads(2)).unwrap();
+        let backend = LocalBackend::new(LocalConfig::new().with_threads(2));
+        let report = backend.run(&Workflow::new(wf, input).with_files(files), &prov).unwrap();
         results_from_relation(report.final_output())
     };
     let a = run();
@@ -106,12 +102,8 @@ fn failure_injection_recovers_through_retries() {
     let cfg = fast_cfg();
     let input = stage_inputs(&ds, &files, &cfg.expdir);
     let wf = build_scidock(EngineMode::VinaOnly, &cfg, Arc::clone(&files));
-    let report = run_local(
-        &wf,
-        input,
-        files,
-        Arc::clone(&prov),
-        &LocalConfig::new()
+    let backend = LocalBackend::new(
+        LocalConfig::new()
             .with_threads(2)
             .with_failures(FailureModel {
                 fail_rate: 0.25,
@@ -120,8 +112,8 @@ fn failure_injection_recovers_through_retries() {
                 seed: 3,
             })
             .with_max_retries(8),
-    )
-    .unwrap();
+    );
+    let report = backend.run(&Workflow::new(wf, input).with_files(files), &prov).unwrap();
     assert!(report.failed_attempts > 0, "25% fail rate must produce failures");
     assert_eq!(report.final_output().len(), 3, "all pairs recover via retries");
     // every failed attempt is visible in provenance
@@ -156,7 +148,9 @@ fn adaptive_split_and_both_engines_report() {
     cfg.size_threshold_atoms = 400;
     let input = stage_inputs(&ds, &files, &cfg.expdir);
     let wf = build_scidock(EngineMode::Adaptive, &cfg, Arc::clone(&files));
-    let _ = run_local(&wf, input, files, Arc::clone(&prov), &LocalConfig::default()).unwrap();
+    let _ = LocalBackend::new(LocalConfig::default())
+        .run(&Workflow::new(wf, input).with_files(files), &prov)
+        .unwrap();
     let results = results_from_provenance(&prov);
     assert_eq!(results.len(), 2);
     let engines: std::collections::BTreeSet<&str> =
@@ -227,7 +221,8 @@ fn six_hundred_gb_scale_bookkeeping() {
     let staged = files.total_bytes();
     assert!(staged > 0);
     let wf = build_scidock(EngineMode::Ad4Only, &cfg, Arc::clone(&files));
-    let _ = run_local(&wf, input, Arc::clone(&files), Arc::clone(&prov), &LocalConfig::default())
+    let _ = LocalBackend::new(LocalConfig::default())
+        .run(&Workflow::new(wf, input).with_files(Arc::clone(&files)), &prov)
         .unwrap();
     assert!(files.total_bytes() > staged, "activities must add artifacts");
     // hfile's sizes agree with the store
