@@ -30,7 +30,8 @@ fn usage() -> ! {
         "usage: scidockd [--addr HOST:PORT] [--workers N] [--min-workers N] [--max-workers N]\n\
          \x20               [--max-active N] [--max-pending N] [--tenant-quota N]\n\
          \x20               [--retry-after-ms MS] [--steering-ms MS]\n\
-         \x20               [--metrics-addr HOST:PORT] [--events FILE] [--wal FILE]"
+         \x20               [--metrics-addr HOST:PORT] [--events FILE] [--wal FILE]\n\
+         \x20               [--grid-cache-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -101,6 +102,15 @@ fn main() {
                 }
             }
             "--wal" => wal = Some(parse(&mut args, "--wal")),
+            "--grid-cache-dir" => {
+                // exported so the resolver — and every spawned dist worker,
+                // which inherits the environment — points each campaign's
+                // GridCache at one shared persistent directory: the same
+                // receptor set across thousands of campaigns builds each map
+                // set exactly once
+                let dir: String = parse(&mut args, "--grid-cache-dir");
+                std::env::set_var("SCIDOCK_GRID_CACHE_DIR", dir);
+            }
             _ => usage(),
         }
     }

@@ -35,6 +35,11 @@ use scidock::{
 
 /// The fast search budget shared by every `scidock:` spec (mirrors the
 /// integration tests: small LGA/MC budgets, coarse grid).
+///
+/// `SCIDOCK_GRID_CACHE_DIR`, when set, points every resolved workflow —
+/// including the ones dist worker processes resolve, since spawned workers
+/// inherit the environment — at one persistent on-disk grid cache, so
+/// repeated runs and concurrent campaigns build each receptor's maps once.
 fn fast_cfg() -> SciDockConfig {
     SciDockConfig {
         dock: docking::engine::DockConfig {
@@ -46,6 +51,7 @@ fn fast_cfg() -> SciDockConfig {
             ..Default::default()
         },
         hg_rule: true,
+        grid_cache_dir: std::env::var_os("SCIDOCK_GRID_CACHE_DIR").map(std::path::PathBuf::from),
         ..Default::default()
     }
 }

@@ -1,0 +1,162 @@
+//! Cross-campaign persistent grid cache through the daemon.
+//!
+//! Two campaigns over the same receptor set share one on-disk grid cache:
+//! the first (cold) builds and persists every map set, the second (warm)
+//! must build ZERO new grid maps — asserted through the
+//! `gridcache.persist.*` counters — and its canonical PROV-N must be
+//! byte-identical to the cold campaign's and to a one-shot cold-cache run
+//! through the local backend, because cache traffic never appears as
+//! produced files in provenance.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cumulus::serve::{
+    CampaignResolver, CampaignState, Daemon, ServeClient, ServeConfig, SubmitOutcome,
+};
+use cumulus::workflow::FileStore;
+use cumulus::{Backend, LocalBackend, LocalConfig, Workflow};
+use provenance::{export_provn_canonical_for, ProvenanceStore};
+use scidock::{build_scidock, stage_inputs, Dataset, DatasetParams, EngineMode, SciDockConfig};
+use telemetry::Telemetry;
+
+/// The fast integration-test search budget, pointed at `cache_dir` and
+/// wired to `tel` so the gridcache counters are observable.
+fn campaign_cfg(tel: &Telemetry, cache_dir: &std::path::Path) -> SciDockConfig {
+    SciDockConfig {
+        dock: docking::engine::DockConfig {
+            ad4_runs: 1,
+            lga: docking::search::LgaConfig { population: 6, generations: 4, ..Default::default() },
+            mc: docking::search::McConfig { restarts: 2, steps: 3, ..Default::default() },
+            grid_spacing: 1.5,
+            box_edge: 14.0,
+            telemetry: tel.clone(),
+            ..Default::default()
+        },
+        hg_rule: true,
+        grid_cache_dir: Some(cache_dir.to_path_buf()),
+        ..Default::default()
+    }
+}
+
+fn dataset() -> Dataset {
+    let mut p = DatasetParams::default();
+    p.receptor.min_residues = 30;
+    p.receptor.max_residues = 35;
+    p.receptor.hg_fraction = 0.0;
+    p.ligand.min_heavy = 8;
+    p.ligand.max_heavy = 10;
+    Dataset::subset(&["1HUC"], &["042", "074"], p)
+}
+
+fn scidock_workflow(cfg: &SciDockConfig) -> Workflow {
+    let files = Arc::new(FileStore::new());
+    let def = build_scidock(EngineMode::Ad4Only, cfg, Arc::clone(&files));
+    let input = stage_inputs(&dataset(), &files, &cfg.expdir);
+    Workflow::new(def, input).with_files(files)
+}
+
+fn wait_finished(client: &mut ServeClient, id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let st = client.status(id).expect("status io");
+        if st.state == CampaignState::Finished {
+            return;
+        }
+        assert!(Instant::now() < deadline, "campaign {id} stuck in {:?}", st.state);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn second_campaign_reuses_persisted_grids_with_identical_provenance() {
+    let dir = std::env::temp_dir().join(format!("scidock-serve-gridcache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let tel = Telemetry::attached();
+    let cfg = campaign_cfg(&tel, &dir);
+    let resolver: CampaignResolver = {
+        let cfg = cfg.clone();
+        Arc::new(move |spec: &str| (spec == "sd:ad4").then(|| scidock_workflow(&cfg)))
+    };
+    let prov = Arc::new(ProvenanceStore::new());
+    let daemon = Daemon::start(
+        ServeConfig::new().with_workers(2).with_telemetry(tel.clone()),
+        resolver,
+        Arc::clone(&prov),
+    )
+    .expect("daemon starts");
+    let mut client = ServeClient::connect(daemon.addr()).expect("connect");
+
+    // campaign 1: cold cache — builds each receptor's maps and persists them
+    let SubmitOutcome::Accepted { id: cold } =
+        client.submit("alice", 0, "sd:ad4").expect("submit io")
+    else {
+        panic!("cold campaign must be admitted")
+    };
+    wait_finished(&mut client, cold);
+    let snap1 = tel.snapshot().expect("attached");
+    let built_cold = snap1.counter("gridcache.bytes").unwrap_or(0);
+    assert!(
+        snap1.counter("gridcache.persist.miss").unwrap_or(0) >= 1,
+        "cold campaign must miss the persistent tier"
+    );
+    assert!(
+        snap1.counter("gridcache.persist.write").unwrap_or(0) >= 1,
+        "cold campaign must persist what it built"
+    );
+    assert!(built_cold > 0, "cold campaign built grids");
+
+    // campaign 2: same receptors — served wholly from the persistent tier
+    let SubmitOutcome::Accepted { id: warm } =
+        client.submit("bob", 0, "sd:ad4").expect("submit io")
+    else {
+        panic!("warm campaign must be admitted")
+    };
+    wait_finished(&mut client, warm);
+    let snap2 = tel.snapshot().expect("attached");
+    assert_eq!(
+        snap2.counter("gridcache.persist.miss"),
+        snap1.counter("gridcache.persist.miss"),
+        "warm campaign must not miss the persistent tier"
+    );
+    assert_eq!(
+        snap2.counter("gridcache.bytes"),
+        Some(built_cold),
+        "warm campaign must build ZERO new grid maps"
+    );
+    assert!(
+        snap2.counter("gridcache.persist.hit").unwrap_or(0) >= 1,
+        "warm campaign must load persisted entries"
+    );
+    // containment: everything a persistent-cache campaign emits is in the
+    // metric-name registry
+    assert_eq!(telemetry::registry::unregistered(&snap2), Vec::<String>::new());
+    daemon.shutdown();
+
+    // PROV-N parity: warm == cold == one-shot cold-cache local run; the
+    // cache is invisible to provenance
+    let wf_rows = prov.query("SELECT wkfid FROM hworkflow").expect("wkf listing");
+    let mut ids: Vec<i64> = wf_rows.rows.iter().map(|r| r[0].as_f64().unwrap() as i64).collect();
+    ids.sort_unstable();
+    assert_eq!(ids.len(), 2, "two campaigns recorded");
+    let cold_export = export_provn_canonical_for(&prov, provenance::WorkflowId(ids[0]));
+    let warm_export = export_provn_canonical_for(&prov, provenance::WorkflowId(ids[1]));
+    assert_eq!(cold_export, warm_export, "warm-cache PROV-N == cold-cache PROV-N");
+
+    let solo_dir =
+        std::env::temp_dir().join(format!("scidock-serve-gridcache-solo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&solo_dir);
+    let solo_prov = Arc::new(ProvenanceStore::new());
+    let solo_cfg = campaign_cfg(&Telemetry::attached(), &solo_dir);
+    LocalBackend::new(LocalConfig::new().with_threads(2))
+        .run(&scidock_workflow(&solo_cfg), &solo_prov)
+        .expect("one-shot run");
+    let solo_wkf = solo_prov.latest_workflow().expect("one-shot workflow recorded");
+    assert_eq!(
+        warm_export,
+        export_provn_canonical_for(&solo_prov, solo_wkf),
+        "daemon provenance must equal one-shot cold-cache provenance"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&solo_dir);
+}

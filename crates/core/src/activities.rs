@@ -59,6 +59,9 @@ pub struct SciDockConfig {
     /// every docked tuple, ranks by FEB, and writes `ranking.txt` (the
     /// §V.D "top interactions" analysis as a workflow step).
     pub with_ranking: bool,
+    /// Directory for the persistent cross-campaign grid cache; `None`
+    /// keeps the cache in-memory per workflow (the pre-PR-9 behavior).
+    pub grid_cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SciDockConfig {
@@ -80,15 +83,50 @@ impl Default for SciDockConfig {
             expdir: "/root/exp_SciDock".to_string(),
             hg_rule: true,
             with_ranking: false,
+            grid_cache_dir: None,
         }
     }
 }
 
-/// Per-run cache of receptor grids (AutoGrid output is shared by every
-/// ligand docked against the same receptor).
+/// Content-addressed cache of receptor grids (AutoGrid output is shared by
+/// every ligand docked against the same receptor — and, content-addressed,
+/// by every *campaign* docking the same receptor under the same knobs).
+///
+/// Keys are [`docking::gridio::grid_set_digest`] values over the receptor
+/// PDBQT text plus every map-shaping knob, so renamed or re-staged receptors
+/// still share one entry. Three read-through tiers:
+///
+/// 1. in-memory (per workflow instance),
+/// 2. an optional on-disk directory (`<digest>.grid` entries, shared across
+///    runs, campaigns, and worker processes on one machine; writes use
+///    temp+rename like `provenance::durable` snapshots, so readers never see
+///    a torn entry),
+/// 3. the shared [`FileStore`] under `/gridcache/` — on a distributed worker
+///    a read miss triggers the existing `FileReq` fetch hook, pulling an
+///    entry the master already holds instead of rebuilding it.
+///
+/// Entries are written *directly* to tiers 2–3, never through the activation
+/// context: cache traffic must not appear as produced files in provenance
+/// (a warm-cache run stays byte-identical to a cold one).
 #[derive(Default)]
 pub struct GridCache {
-    inner: Mutex<HashMap<(String, EngineKind), Arc<GridSet>>>,
+    inner: Mutex<HashMap<u64, Arc<GridSet>>>,
+    persist: Option<GridCachePersist>,
+}
+
+struct GridCachePersist {
+    dir: std::path::PathBuf,
+    files: Arc<FileStore>,
+}
+
+impl GridCachePersist {
+    fn entry_path(&self, digest: u64) -> std::path::PathBuf {
+        self.dir.join(format!("{digest:016x}.grid"))
+    }
+
+    fn store_path(digest: u64) -> String {
+        format!("/gridcache/{digest:016x}.grid")
+    }
 }
 
 /// Every AD type a generated ligand can contain — cached receptor grids
@@ -109,33 +147,136 @@ const LIGAND_TYPE_SUPERSET: [molkit::AdType; 12] = [
     molkit::AdType::Br,
 ];
 
+/// Monotonic temp-name counter so concurrent writers in one process never
+/// collide on the same temp file (the pid separates processes).
+static GRID_TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 impl GridCache {
+    /// A cache whose entries persist in `dir` across runs and campaigns and
+    /// are published to (and fetched from) `files` under `/gridcache/`.
+    pub fn persistent(dir: impl Into<std::path::PathBuf>, files: Arc<FileStore>) -> GridCache {
+        GridCache {
+            inner: Mutex::new(HashMap::new()),
+            persist: Some(GridCachePersist { dir: dir.into(), files }),
+        }
+    }
+
     /// Cached grid lookup / computation. Grids are ligand-independent: the
     /// box is sized from the receptor pocket + `cfg.box_edge` and carries
     /// affinity maps for the whole ligand-type superset.
     ///
-    /// Emits `gridcache.hit` / `gridcache.miss` counters plus
+    /// Emits `gridcache.hit` / `gridcache.miss` counters (memory tier) plus
     /// `gridcache.bytes` (resident map bytes of freshly built sets) through
     /// `cfg.telemetry`, and builds maps with `cfg.threads` slab workers.
+    /// With a persistent tier configured, a memory miss additionally emits
+    /// `gridcache.persist.hit` (entry loaded from disk or the shared file
+    /// store), or `gridcache.persist.miss` + `gridcache.persist.write`
+    /// (built and persisted), and `gridcache.persist.bytes` (entry bytes
+    /// moved through the tier).
     pub fn get_or_build(
         &self,
-        receptor_id: &str,
+        _receptor_id: &str,
         receptor_pdbqt: &str,
         engine: EngineKind,
         cfg: &DockConfig,
     ) -> Result<Arc<GridSet>, ActivityError> {
-        if let Some(g) = self.inner.lock().get(&(receptor_id.to_string(), engine)) {
+        let digest = docking::gridio::grid_set_digest(
+            receptor_pdbqt,
+            engine.program_name(),
+            cfg.grid_spacing,
+            cfg.box_edge,
+            cfg.pocket_probe,
+            &LIGAND_TYPE_SUPERSET,
+        );
+        if let Some(g) = self.inner.lock().get(&digest) {
             cfg.telemetry.count("gridcache.hit", 1);
             return Ok(Arc::clone(g));
         }
         cfg.telemetry.count("gridcache.miss", 1);
+
+        if let Some(p) = &self.persist {
+            if let Some(grids) = self.load_persisted(p, digest, cfg) {
+                let arc = Arc::new(grids);
+                self.inner.lock().insert(digest, Arc::clone(&arc));
+                return Ok(arc);
+            }
+            cfg.telemetry.count("gridcache.persist.miss", 1);
+        }
+
+        let grids = Self::build(receptor_pdbqt, engine, cfg)?;
+        cfg.telemetry.count("gridcache.bytes", grids.bytes());
+        if let Some(p) = &self.persist {
+            let text = docking::gridio::serialize_grid_set(&grids);
+            cfg.telemetry.count("gridcache.persist.write", 1);
+            cfg.telemetry.count("gridcache.persist.bytes", text.len() as u64);
+            Self::write_entry(p, digest, &text);
+            p.files.write(&GridCachePersist::store_path(digest), text);
+        }
+        let arc = Arc::new(grids);
+        self.inner.lock().insert(digest, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Try the persistent tiers (disk, then shared file store / `FileReq`
+    /// fetch). A hit back-fills whichever tier was missing.
+    fn load_persisted(
+        &self,
+        p: &GridCachePersist,
+        digest: u64,
+        cfg: &DockConfig,
+    ) -> Option<GridSet> {
+        let disk = std::fs::read_to_string(p.entry_path(digest)).ok();
+        let (text, from_disk) = match disk {
+            Some(t) => (t, true),
+            None => (p.files.read(&GridCachePersist::store_path(digest))?, false),
+        };
+        // a corrupt or torn entry (integrity digest mismatch) falls back to
+        // a rebuild instead of failing the activation
+        let grids = match docking::gridio::deserialize_grid_set(&text) {
+            Ok(g) => g,
+            Err(_) => return None,
+        };
+        cfg.telemetry.count("gridcache.persist.hit", 1);
+        cfg.telemetry.count("gridcache.persist.bytes", text.len() as u64);
+        if from_disk {
+            if !p.files.exists(&GridCachePersist::store_path(digest)) {
+                p.files.write(&GridCachePersist::store_path(digest), text);
+            }
+        } else {
+            Self::write_entry(p, digest, &text);
+        }
+        Some(grids)
+    }
+
+    /// Atomically publish an entry on disk: write to a uniquely named temp
+    /// file, then rename over the final path (the `provenance::durable`
+    /// snapshot discipline). Racing writers produce identical bytes, so
+    /// whichever rename lands last is as good as the first; readers only
+    /// ever see a complete entry.
+    fn write_entry(p: &GridCachePersist, digest: u64, text: &str) {
+        if std::fs::create_dir_all(&p.dir).is_err() {
+            return; // persistence is best-effort; the build already succeeded
+        }
+        let seq = GRID_TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = p.dir.join(format!("{digest:016x}.grid.tmp.{}.{seq}", std::process::id()));
+        if std::fs::write(&tmp, text).is_ok() {
+            let _ = std::fs::rename(&tmp, p.entry_path(digest));
+        }
+        let _ = std::fs::remove_file(&tmp); // no-op after a successful rename
+    }
+
+    fn build(
+        receptor_pdbqt: &str,
+        engine: EngineKind,
+        cfg: &DockConfig,
+    ) -> Result<GridSet, ActivityError> {
         let receptor = pdbqt::read_receptor_pdbqt(receptor_pdbqt)
             .map_err(|e| ActivityError(format!("receptor pdbqt: {e}")))?;
         let pocket = molkit::geometry::find_pocket(&receptor, cfg.pocket_probe)
             .ok_or_else(|| ActivityError("no binding pocket detected".into()))?;
         let spec =
             docking::grid::GridSpec::with_edge(pocket.center, cfg.box_edge, cfg.grid_spacing);
-        let grids = match engine {
+        Ok(match engine {
             EngineKind::Ad4 => docking::autogrid::build_ad4_grids_threads(
                 &receptor,
                 spec,
@@ -150,11 +291,7 @@ impl GridCache {
                 &docking::params::VinaParams::default(),
                 cfg.threads,
             ),
-        };
-        cfg.telemetry.count("gridcache.bytes", grids.bytes());
-        let arc = Arc::new(grids);
-        self.inner.lock().insert((receptor_id.to_string(), engine), Arc::clone(&arc));
-        Ok(arc)
+        })
     }
 
     /// Number of cached grid sets.
@@ -215,7 +352,10 @@ pub fn stage_inputs(ds: &Dataset, files: &FileStore, expdir: &str) -> Relation {
 /// engine column). `files` is the shared store the workflow will run
 /// against; the Hg blacklist rule inspects staged receptor files through it.
 pub fn build_scidock(mode: EngineMode, cfg: &SciDockConfig, files: Arc<FileStore>) -> WorkflowDef {
-    let cache = Arc::new(GridCache::default());
+    let cache = match &cfg.grid_cache_dir {
+        Some(dir) => Arc::new(GridCache::persistent(dir.clone(), Arc::clone(&files))),
+        None => Arc::new(GridCache::default()),
+    };
     let cfga = Arc::new(cfg.clone());
 
     // -- activity 1: babel (SDF -> MOL2) ------------------------------------
@@ -919,6 +1059,102 @@ mod tests {
         assert_eq!(snap.counter("gridcache.hit"), Some(3));
         let bytes = snap.counter("gridcache.bytes").expect("bytes counter present");
         assert!(bytes > 0, "resident grid bytes recorded");
+    }
+
+    /// One prepared receptor's PDBQT text plus a fast `DockConfig` bound to
+    /// `tel`, shared by the persistent-cache tests below.
+    fn cache_fixture(tel: &telemetry::Telemetry) -> (String, DockConfig) {
+        let mut p = DatasetParams::default();
+        p.receptor.min_residues = 30;
+        p.receptor.max_residues = 35;
+        p.receptor.hg_fraction = 0.0;
+        let mut mol = crate::dataset::make_receptor("1HUC", &p).structure;
+        assign_ad_types(&mut mol);
+        assign_gasteiger(&mut mol, &Default::default());
+        let text = pdbqt::write_receptor_pdbqt(&mol);
+        let cfg = DockConfig {
+            grid_spacing: 1.5,
+            box_edge: 14.0,
+            telemetry: tel.clone(),
+            ..Default::default()
+        };
+        (text, cfg)
+    }
+
+    #[test]
+    fn persistent_grid_cache_survives_across_cache_instances() {
+        let dir =
+            std::env::temp_dir().join(format!("scidock-gridcache-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tel = telemetry::Telemetry::attached();
+        let (text, cfg) = cache_fixture(&tel);
+
+        // cold: fresh cache over an empty dir → build + persist
+        let cold = GridCache::persistent(&dir, Arc::new(FileStore::new()));
+        let built = cold.get_or_build("1HUC", &text, EngineKind::Ad4, &cfg).unwrap();
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.counter("gridcache.persist.miss"), Some(1));
+        assert_eq!(snap.counter("gridcache.persist.write"), Some(1));
+        assert_eq!(snap.counter("gridcache.persist.hit"), None);
+
+        // warm: a NEW cache instance (empty memory tier) over the same dir
+        // loads the entry instead of rebuilding
+        let warm = GridCache::persistent(&dir, Arc::new(FileStore::new()));
+        let loaded = warm.get_or_build("1HUC", &text, EngineKind::Ad4, &cfg).unwrap();
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.counter("gridcache.persist.miss"), Some(1), "no second build");
+        assert_eq!(snap.counter("gridcache.persist.write"), Some(1));
+        assert_eq!(snap.counter("gridcache.persist.hit"), Some(1));
+        assert_eq!(
+            docking::gridio::serialize_grid_set(&built),
+            docking::gridio::serialize_grid_set(&loaded),
+            "persisted entry round-trips bit-identically"
+        );
+        assert_eq!(
+            telemetry::registry::unregistered(&snap),
+            Vec::<String>::new(),
+            "persistent-cache metrics are all registered"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_grid_cache_racers_share_one_untorn_entry() {
+        let dir =
+            std::env::temp_dir().join(format!("scidock-gridcache-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tel = telemetry::Telemetry::attached();
+        let (text, cfg) = cache_fixture(&tel);
+        let text = Arc::new(text);
+        let sets: Vec<Arc<GridSet>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let text = Arc::clone(&text);
+                    let cfg = cfg.clone();
+                    let dir = dir.clone();
+                    s.spawn(move || {
+                        // each racer is its own campaign: private memory
+                        // tier, shared on-disk dir
+                        let cache = GridCache::persistent(dir, Arc::new(FileStore::new()));
+                        cache.get_or_build("1HUC", &text, EngineKind::Ad4, &cfg).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()).collect();
+        assert_eq!(entries.len(), 1, "one entry, no leftover temp files: {entries:?}");
+        let on_disk = std::fs::read_to_string(&entries[0]).unwrap();
+        let parsed = docking::gridio::deserialize_grid_set(&on_disk).expect("entry not torn");
+        let want = docking::gridio::serialize_grid_set(&sets[0]);
+        assert_eq!(docking::gridio::serialize_grid_set(&parsed), want);
+        assert_eq!(on_disk, want, "bytes on disk are the canonical serialization");
+        assert_eq!(
+            docking::gridio::serialize_grid_set(&sets[1]),
+            want,
+            "both racers observe identical grids"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

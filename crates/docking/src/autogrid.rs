@@ -28,7 +28,9 @@ use molkit::{AdType, Molecule};
 use crate::celllist::CellList;
 use crate::grid::{GridMap, GridSpec};
 use crate::params::{type_index, Ad4Params, VinaParams};
-use crate::scoring::{ad4_vdw_hb, dielectric, vina_pair, COULOMB, CUTOFF, DESOLV_SIGMA};
+use crate::scoring::{
+    ad4_vdw_hb, ad4_vdw_hb_pre, dielectric, vina_pair, COULOMB, CUTOFF, DESOLV_SIGMA,
+};
 
 /// Cell edge for receptor binning: half the interaction cutoff, so the
 /// gathered neighborhood is a 20 Å cube instead of the 24 Å cube that
@@ -192,8 +194,11 @@ fn fill_ad4_chunk(
                     e_acc += coulomb_term(atoms.charge[a], r);
                     d_acc += params.volume[type_index(atoms.ad_type[a])]
                         * (-d2 / (2.0 * DESOLV_SIGMA * DESOLV_SIGMA)).exp();
+                    // one set of distance powers serves every probe type
+                    let (r6, r10) = (r.powi(6), r.powi(10));
+                    let tb = atoms.ad_type[a];
                     for (ti, &t) in probe_types.iter().enumerate() {
-                        aff[ti] += ad4_vdw_hb(params, t, atoms.ad_type[a], r);
+                        aff[ti] += ad4_vdw_hb_pre(params, params.pair(t, tb), r, r6, r10);
                     }
                 }
                 let off = ((k - k0) * npts + j) * npts + i;

@@ -7,17 +7,23 @@
 //! per-atom-per-evaluation `BTreeMap` walk), the AD4 electrostatic and
 //! desolvation coefficients are folded per atom, and the intramolecular pair
 //! table is precomputed ([`ad4_pair_pre`]/[`vina_pair_pre`]). Evaluation
-//! then computes one interpolation [`Stencil`] per atom and samples all
-//! co-located maps through it. Every shortcut is bit-identical to the
-//! retained reference path ([`EnergyModel::total_reference`]); the
-//! `kernel_props` property tests and `dock_bench --smoke` enforce that.
+//! runs a structure-of-arrays kernel: fractional lattice coordinates are
+//! computed for fixed-width chunks of atoms (the subtract-divide sweeps
+//! auto-vectorize), each atom then resolves one flattened stencil whose
+//! row-major cell base is shared by every co-located map, and
+//! [`EnergyModel::total_batch`] scores a whole population of poses through
+//! the same chunked pass so the lanes stay full across pose boundaries.
+//! Every shortcut is bit-identical to the retained references — the PR-4
+//! stencil kernel ([`EnergyModel::total_scalar`]) and the naive path
+//! ([`EnergyModel::total_reference`]); the `kernel_props` property tests and
+//! `dock_bench --smoke` enforce that.
 
 use molkit::{Molecule, Vec3};
 
 use crate::autogrid::{GridKind, GridSet};
 use crate::conformation::LigandModel;
 use crate::engine::DockError;
-use crate::grid::GridMap;
+use crate::grid::{sample_flat, GridMap};
 use crate::params::{type_index, vina_radius, Ad4Params, PairParams, VinaParams};
 use crate::scoring::{
     ad4_pair, ad4_pair_pre, ad4_solvation_param, vina_hbond_pair, vina_pair, vina_pair_pre, CUTOFF,
@@ -72,7 +78,22 @@ pub struct EnergyModel<'a> {
     dmap: Option<&'a GridMap>,
     /// Precomputed intramolecular pair table.
     intra: IntraTable,
+    /// Grid origin, precomputed once. [`crate::grid::GridSpec::origin`] is a
+    /// pure function of the spec, so this is bit-identical to recomputing it
+    /// inside every stencil.
+    origin: Vec3,
+    /// Raw value slices of the per-atom affinity maps (SoA fast path).
+    atom_vals: Vec<&'a [f64]>,
+    /// Raw electrostatic map values (AD4 only; empty for Vina).
+    emap_vals: &'a [f64],
+    /// Raw desolvation map values (AD4 only; empty for Vina).
+    dmap_vals: &'a [f64],
 }
+
+/// Lane width of the chunked SoA pass: wide enough to fill two 4-lane AVX
+/// registers. The sweeps are plain indexed std code — the compiler picks the
+/// actual vector width, and any `LANES` value produces identical bits.
+const LANES: usize = 8;
 
 impl<'a> EnergyModel<'a> {
     /// Build an evaluator. The grid set must contain a map for every AD type
@@ -134,6 +155,9 @@ impl<'a> EnergyModel<'a> {
             ),
         };
 
+        let atom_vals: Vec<&'a [f64]> = atom_map.iter().map(|m| m.values()).collect();
+        let emap = grids.electrostatic.as_ref();
+        let dmap = grids.desolvation.as_ref();
         Ok(EnergyModel {
             grids,
             ligand,
@@ -142,20 +166,156 @@ impl<'a> EnergyModel<'a> {
             atom_map,
             atom_elec,
             atom_desolv,
-            emap: grids.electrostatic.as_ref(),
-            dmap: grids.desolvation.as_ref(),
+            emap,
+            dmap,
             intra,
+            origin: grids.spec.origin(),
+            atom_vals,
+            emap_vals: emap.map_or(&[][..], |m| m.values()),
+            dmap_vals: dmap.map_or(&[][..], |m| m.values()),
         })
     }
 
     /// Receptor–ligand interaction energy of world coordinates `coords`.
     ///
-    /// One [`Stencil`](crate::grid::Stencil) per atom, sampled by every
-    /// co-located map; bit-identical to [`intermolecular_reference`]
-    /// (which re-interpolates and re-walks the map `BTreeMap` per atom).
-    ///
-    /// [`intermolecular_reference`]: EnergyModel::intermolecular_reference
+    /// SoA fast path: single-pose front end of the chunked kernel behind
+    /// [`total_batch`](EnergyModel::total_batch). Bit-identical to
+    /// [`intermolecular_scalar`](EnergyModel::intermolecular_scalar) and
+    /// [`intermolecular_reference`](EnergyModel::intermolecular_reference).
     pub fn intermolecular(&self, coords: &[Vec3]) -> f64 {
+        let mut out = [0.0];
+        self.intermolecular_batch(coords, coords.len().max(1), &mut out);
+        out[0]
+    }
+
+    /// Chunked SoA intermolecular kernel over `out.len()` consecutive poses
+    /// of `natoms` atoms each (`coords` is pose-major, back to back).
+    ///
+    /// The subtract-divide sweeps producing fractional lattice coordinates
+    /// run over fixed-width lanes so they auto-vectorize; each atom then
+    /// resolves one [`FlatStencil`](crate::grid::FlatStencil) whose flattened
+    /// cell base is shared by every co-located map. Per-pose accumulation
+    /// order is atom order, exactly as the scalar loop, so the result is
+    /// bit-identical for every batch size.
+    fn intermolecular_batch(&self, coords: &[Vec3], natoms: usize, out: &mut [f64]) {
+        debug_assert_eq!(coords.len(), natoms * out.len());
+        let spec = &self.grids.spec;
+        let (o, s) = (self.origin, spec.spacing);
+        let (sy, sz) = (spec.npts, spec.npts * spec.npts);
+        let ad4 = self.grids.kind == GridKind::Ad4;
+        let mut gx = [0.0f64; LANES];
+        let mut gy = [0.0f64; LANES];
+        let mut gz = [0.0f64; LANES];
+        let mut pose = 0usize;
+        let mut atom = 0usize; // index within the current pose
+        let mut acc = 0.0f64; // running sum of the current pose, in a register
+        let mut start = 0usize;
+        while start < coords.len() {
+            let m = (coords.len() - start).min(LANES);
+            for l in 0..m {
+                let p = coords[start + l];
+                gx[l] = (p.x - o.x) / s;
+                gy[l] = (p.y - o.y) / s;
+                gz[l] = (p.z - o.z) / s;
+            }
+            for l in 0..m {
+                let st = spec.flat_stencil(gx[l], gy[l], gz[l]);
+                let term = if ad4 {
+                    let aff = sample_flat(self.atom_vals[atom], &st, sy, sz);
+                    let elec = self.atom_elec[atom] * sample_flat(self.emap_vals, &st, sy, sz);
+                    // one-map approximation of the symmetric AD4 desolvation
+                    // term (see DESIGN.md): ligand-side solvation parameter
+                    // against the receptor volume field, doubled.
+                    let desolv = self.atom_desolv[atom] * sample_flat(self.dmap_vals, &st, sy, sz);
+                    aff + elec + desolv
+                } else {
+                    sample_flat(self.atom_vals[atom], &st, sy, sz)
+                };
+                // local accumulation, flushed once per pose: same 0.0-seeded
+                // atom-order sum as a per-pose loop, without a memory RMW
+                // per atom
+                acc += term;
+                atom += 1;
+                if atom == natoms {
+                    out[pose] = acc;
+                    acc = 0.0;
+                    atom = 0;
+                    pose += 1;
+                }
+            }
+            start += m;
+        }
+        debug_assert_eq!(pose, out.len());
+    }
+
+    /// Ligand internal energy (pairs across rotatable bonds), evaluated via
+    /// the precomputed pair table with a squared-distance cutoff prefilter.
+    ///
+    /// Both pair kernels return exactly `0.0` at `r ≥ CUTOFF`, and
+    /// `CUTOFF² = 64` is exact in binary, so `d² < 64` selects precisely the
+    /// pairs with a nonzero term (IEEE sqrt is monotone and exact at
+    /// 64 → 8). Skipping a far pair skips only `e += 0.0`, which cannot
+    /// change `e`: no partial sum here is ever `-0.0` (every nonzero pair
+    /// term carries a non-underflowing vdW/steric component, and exact
+    /// cancellation rounds to `+0.0`), so this is bit-identical to the
+    /// filter-free scalar loop.
+    pub fn intramolecular(&self, coords: &[Vec3]) -> f64 {
+        const CUTOFF_SQ: f64 = CUTOFF * CUTOFF;
+        let mut e = 0.0;
+        match &self.intra {
+            IntraTable::Ad4(pairs) => {
+                for pr in pairs {
+                    let d2 = coords[pr.i].dist_sq(coords[pr.j]);
+                    if d2 < CUTOFF_SQ {
+                        e += ad4_pair_pre(&self.ad4, &pr.pp, pr.qq, pr.dcoef, d2.sqrt());
+                    }
+                }
+            }
+            IntraTable::Vina(pairs) => {
+                for pr in pairs {
+                    let d2 = coords[pr.i].dist_sq(coords[pr.j]);
+                    if d2 < CUTOFF_SQ {
+                        e +=
+                            vina_pair_pre(&self.vina, pr.rsum, pr.hydrophobic, pr.hbond, d2.sqrt());
+                    }
+                }
+            }
+        }
+        e
+    }
+
+    /// Total pose energy used by the search (inter + intra).
+    pub fn total(&self, coords: &[Vec3]) -> f64 {
+        self.intermolecular(coords) + self.intramolecular(coords)
+    }
+
+    /// Score `out.len()` poses in one call. `coords` holds the world
+    /// coordinates of every pose back to back (pose-major,
+    /// `out.len() × ligand.atom_count()` entries).
+    ///
+    /// Batching amortizes stencil setup and keeps the SoA chunks full across
+    /// pose boundaries; it never changes the arithmetic — each `out[p]` is
+    /// bit-identical to [`total`](EnergyModel::total) of that pose's
+    /// coordinate slice, for every batch size.
+    pub fn total_batch(&self, coords: &[Vec3], out: &mut [f64]) {
+        let natoms = self.ligand.atom_count();
+        assert_eq!(
+            coords.len(),
+            natoms * out.len(),
+            "coords must hold out.len() poses of {natoms} atoms"
+        );
+        self.intermolecular_batch(coords, natoms, out);
+        for (p, c) in coords.chunks_exact(natoms.max(1)).enumerate() {
+            out[p] += self.intramolecular(c);
+        }
+    }
+
+    /// The PR-4 stencil-per-atom kernel, retained verbatim as the mid-tier
+    /// reference between the SoA fast path and the naive reference — one
+    /// [`Stencil`](crate::grid::Stencil) per atom, sampled by every
+    /// co-located map. `dock_bench` uses it to price the SoA restructuring
+    /// on its own.
+    pub fn intermolecular_scalar(&self, coords: &[Vec3]) -> f64 {
         let mut e = 0.0;
         match self.grids.kind {
             GridKind::Ad4 => {
@@ -165,9 +325,6 @@ impl<'a> EnergyModel<'a> {
                     let st = self.grids.spec.stencil(p);
                     let aff = self.atom_map[i].sample(&st);
                     let elec = self.atom_elec[i] * emap.sample(&st);
-                    // one-map approximation of the symmetric AD4 desolvation
-                    // term (see DESIGN.md): ligand-side solvation parameter
-                    // against the receptor volume field, doubled.
                     let desolv = self.atom_desolv[i] * dmap.sample(&st);
                     e += aff + elec + desolv;
                 }
@@ -181,9 +338,9 @@ impl<'a> EnergyModel<'a> {
         e
     }
 
-    /// Ligand internal energy (pairs across rotatable bonds), evaluated via
-    /// the precomputed pair table.
-    pub fn intramolecular(&self, coords: &[Vec3]) -> f64 {
+    /// The PR-4 intramolecular loop (no distance prefilter), retained as the
+    /// mid-tier reference for [`intramolecular`](EnergyModel::intramolecular).
+    pub fn intramolecular_scalar(&self, coords: &[Vec3]) -> f64 {
         let mut e = 0.0;
         match &self.intra {
             IntraTable::Ad4(pairs) => {
@@ -202,9 +359,9 @@ impl<'a> EnergyModel<'a> {
         e
     }
 
-    /// Total pose energy used by the search (inter + intra).
-    pub fn total(&self, coords: &[Vec3]) -> f64 {
-        self.intermolecular(coords) + self.intramolecular(coords)
+    /// Mid-tier total (scalar intermolecular + scalar intramolecular).
+    pub fn total_scalar(&self, coords: &[Vec3]) -> f64 {
+        self.intermolecular_scalar(coords) + self.intramolecular_scalar(coords)
     }
 
     /// Naive intermolecular evaluation retained as the parity reference:
@@ -547,6 +704,48 @@ mod tests {
             assert_eq!(ea.intramolecular(&c), ea.intramolecular_reference(&c));
             assert_eq!(ea.total(&c), ea.total_reference(&c));
             assert_eq!(ev.total(&c), ev.total_reference(&c));
+            // all three tiers agree bitwise: SoA == PR-4 scalar == naive
+            assert_eq!(ea.intermolecular(&c).to_bits(), ea.intermolecular_scalar(&c).to_bits());
+            assert_eq!(ea.intramolecular(&c).to_bits(), ea.intramolecular_scalar(&c).to_bits());
+            assert_eq!(ea.total(&c).to_bits(), ea.total_scalar(&c).to_bits());
+            assert_eq!(ev.total(&c).to_bits(), ev.total_scalar(&c).to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_total_bit_identical_to_per_pose() {
+        let r = receptor();
+        let lig = ligand();
+        let lm = LigandModel::new(&lig);
+        let poses = [
+            Pose::at(Vec3::new(0.0, 3.0, 0.0), lm.torsdof()),
+            Pose::at(Vec3::new(1.3, -2.2, 0.7), lm.torsdof()),
+            Pose::at(Vec3::new(40.0, 0.0, 0.0), lm.torsdof()), // out of box
+            Pose::at(Vec3::new(-1.0, 0.5, -0.5), lm.torsdof()),
+            Pose::at(Vec3::new(0.2, 0.2, 0.2), lm.torsdof()),
+        ];
+        for grids in [
+            build_ad4_grids(&receptor(), spec(), &lig.mol.ad_types(), &Ad4Params::new()),
+            build_vina_grids(&r, spec(), &lig.mol.ad_types(), &VinaParams::default()),
+        ] {
+            let em = EnergyModel::new(&grids, &lm).unwrap();
+            let per_pose: Vec<f64> = poses.iter().map(|p| em.total(&lm.coords(p))).collect();
+            for bs in [1usize, 2, 3, poses.len()] {
+                for chunk in poses.chunks(bs) {
+                    let first = poses.iter().position(|p| p == &chunk[0]).unwrap();
+                    let flat: Vec<Vec3> = chunk.iter().flat_map(|p| lm.coords(p)).collect();
+                    let mut out = vec![0.0; chunk.len()];
+                    em.total_batch(&flat, &mut out);
+                    for (k, e) in out.iter().enumerate() {
+                        assert_eq!(
+                            e.to_bits(),
+                            per_pose[first + k].to_bits(),
+                            "batch size {bs}, pose {}",
+                            first + k
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -246,9 +246,11 @@ pub fn dock_with_grids(
 
     let _phase = cfg.telemetry.span("dock", "analysis");
     let best_pose = poses[0].pose.clone();
-    let best_coords = lm.coords(&poses[0].pose);
+    // pose application is deterministic, so the coordinate/FEB arrays built
+    // for clustering serve the per-mode report too — no recomputation
     let all_coords: Vec<Vec<Vec3>> = poses.iter().map(|sp| lm.coords(&sp.pose)).collect();
     let all_febs: Vec<f64> = all_coords.iter().map(|c| em.free_energy_of_binding(c)).collect();
+    let best_coords = all_coords[0].clone();
     let clusters = cluster_poses(&all_coords, &all_febs, 2.0)
         .into_iter()
         .map(|c| ClusterInfo { size: c.size(), best_feb: c.best_energy, mean_feb: c.mean_energy })
@@ -257,12 +259,12 @@ pub fn dock_with_grids(
         .iter()
         .enumerate()
         .map(|(k, sp)| {
-            let coords = lm.coords(&sp.pose);
-            let feb = em.free_energy_of_binding(&coords);
+            let coords = &all_coords[k];
+            let feb = all_febs[k];
             let (r, r_lb) = if rmsd_vs_best {
-                (rmsd(&coords, &best_coords), aligned_rmsd(&coords, &best_coords))
+                (rmsd(coords, &best_coords), aligned_rmsd(coords, &best_coords))
             } else {
-                (rmsd(&coords, &reference), aligned_rmsd(&coords, &reference))
+                (rmsd(coords, &reference), aligned_rmsd(coords, &reference))
             };
             Mode { rank: k + 1, energy: sp.energy, feb, rmsd: r, rmsd_lb: r_lb }
         })

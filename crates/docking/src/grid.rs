@@ -90,6 +90,98 @@ impl GridSpec {
     }
 }
 
+impl GridSpec {
+    /// Resolve fractional lattice coordinates (already divided by spacing,
+    /// relative to the origin) into a [`FlatStencil`].
+    ///
+    /// This is the classification half of [`GridSpec::stencil`] operating on
+    /// precomputed `g = (p - origin) / spacing` lanes, with the cell base
+    /// folded into a single row-major index. The branch structure and
+    /// arithmetic are identical to `stencil`, so
+    /// `sample_flat(map.values(), &flat, sy, sz)` is bit-identical to
+    /// `map.sample(&spec.stencil(p))` for matching inputs — the SoA energy
+    /// kernel depends on that.
+    #[inline]
+    pub(crate) fn flat_stencil(&self, gx: f64, gy: f64, gz: f64) -> FlatStencil {
+        let n = self.npts;
+        if gx < 0.0 || gy < 0.0 || gz < 0.0 {
+            return FlatStencil::Outside;
+        }
+        let i0 = gx.floor() as usize;
+        let j0 = gy.floor() as usize;
+        let k0 = gz.floor() as usize;
+        if i0 + 1 >= n || j0 + 1 >= n || k0 + 1 >= n {
+            // on the upper face is fine only if exactly on the last point
+            if i0 + 1 == n && (gx - i0 as f64).abs() < 1e-9
+                || j0 + 1 == n && (gy - j0 as f64).abs() < 1e-9
+                || k0 + 1 == n && (gz - k0 as f64).abs() < 1e-9
+            {
+                let (i, j, k) = (i0.min(n - 1), j0.min(n - 1), k0.min(n - 1));
+                return FlatStencil::Point((k * n + j) * n + i);
+            }
+            return FlatStencil::Outside;
+        }
+        FlatStencil::Cell {
+            base: (k0 * n + j0) * n + i0,
+            fx: gx - i0 as f64,
+            fy: gy - j0 as f64,
+            fz: gz - k0 as f64,
+        }
+    }
+}
+
+/// A [`Stencil`] with the lattice indices pre-flattened to row-major offsets,
+/// for sampling raw value slices without per-corner index arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum FlatStencil {
+    /// The point is outside the box: sampling yields [`OUT_OF_BOX_PENALTY`].
+    Outside,
+    /// Exactly on a lattice point: sampling reads this flat index.
+    Point(usize),
+    /// An interior cell.
+    Cell {
+        /// Flat row-major index of the cell's lower corner.
+        base: usize,
+        /// Fractional offsets into the cell, as in [`Stencil::Cell`].
+        fx: f64,
+        /// See `fx`.
+        fy: f64,
+        /// See `fx`.
+        fz: f64,
+    },
+}
+
+/// Sample a raw value slice through a [`FlatStencil`].
+///
+/// `sy`/`sz` are the row-major strides for +1 in j and k (`npts` and
+/// `npts²`). The lerp chain is a verbatim copy of [`GridMap::sample`], so
+/// the result is bit-identical to sampling through the map for the same
+/// point.
+#[inline]
+pub(crate) fn sample_flat(v: &[f64], st: &FlatStencil, sy: usize, sz: usize) -> f64 {
+    match *st {
+        FlatStencil::Outside => OUT_OF_BOX_PENALTY,
+        FlatStencil::Point(ix) => v[ix],
+        FlatStencil::Cell { base, fx, fy, fz } => {
+            let c000 = v[base];
+            let c100 = v[base + 1];
+            let c010 = v[base + sy];
+            let c110 = v[base + sy + 1];
+            let c001 = v[base + sz];
+            let c101 = v[base + sz + 1];
+            let c011 = v[base + sy + sz];
+            let c111 = v[base + sy + sz + 1];
+            let c00 = c000 + (c100 - c000) * fx;
+            let c10 = c010 + (c110 - c010) * fx;
+            let c01 = c001 + (c101 - c001) * fx;
+            let c11 = c011 + (c111 - c011) * fx;
+            let c0 = c00 + (c10 - c00) * fy;
+            let c1 = c01 + (c11 - c01) * fy;
+            c0 + (c1 - c0) * fz
+        }
+    }
+}
+
 /// A resolved interpolation location on a [`GridSpec`] lattice — the
 /// map-independent half of a trilinear interpolation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -299,6 +391,31 @@ mod tests {
         for p in [Vec3::new(0.33, 0.77, -1.2), Vec3::new(-0.5, 1.99, 1.99)] {
             let v = g.interpolate(p);
             assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn flat_stencil_sampling_bit_identical_to_stencil() {
+        let g = GridMap::from_fn(spec(), |p| (p.x * 1.7).sin() + (p.y - p.z).cos());
+        let s = g.spec;
+        let o = s.origin();
+        let (sy, sz) = (s.npts, s.npts * s.npts);
+        for p in [
+            Vec3::new(0.33, 0.77, -1.2),
+            Vec3::new(2.0, 2.0, 2.0),    // exact upper corner
+            Vec3::new(-2.0, -2.0, -2.0), // exact lower corner
+            Vec3::new(5.0, 0.0, 0.0),    // outside
+            Vec3::new(0.0, 0.0, -9.0),   // outside (negative)
+            Vec3::new(1.9999999999, -0.3, 0.4),
+        ] {
+            let via_stencil = g.sample(&s.stencil(p));
+            let fs = s.flat_stencil(
+                (p.x - o.x) / s.spacing,
+                (p.y - o.y) / s.spacing,
+                (p.z - o.z) / s.spacing,
+            );
+            let via_flat = sample_flat(g.values(), &fs, sy, sz);
+            assert_eq!(via_stencil.to_bits(), via_flat.to_bits(), "at {p}");
         }
     }
 

@@ -54,6 +54,7 @@ pub mod dlg;
 pub mod energy;
 pub mod engine;
 pub mod grid;
+pub mod gridio;
 pub mod mapfile;
 pub mod params;
 pub mod scoring;

@@ -48,6 +48,30 @@ pub fn ad4_vdw_hb(params: &Ad4Params, ta: AdType, tb: AdType, r: f64) -> f64 {
     }
 }
 
+/// [`ad4_vdw_hb`] with the pair row and distance powers hoisted by the
+/// caller: `r` already clamped to ≥ 0.35, `r6 = r.powi(6)`,
+/// `r10 = r.powi(10)` of that clamped distance. The grid-build inner loop
+/// computes the powers once per receptor atom and shares them across every
+/// probe type at a lattice point; each branch's arithmetic is exactly
+/// [`ad4_vdw_hb`]'s, so the result is bit-identical.
+#[inline]
+pub fn ad4_vdw_hb_pre(
+    params: &Ad4Params,
+    p: &crate::params::PairParams,
+    r: f64,
+    r6: f64,
+    r10: f64,
+) -> f64 {
+    if r >= CUTOFF {
+        return 0.0;
+    }
+    if p.hbond {
+        params.w_hbond * (p.hb_c / (r10 * r * r) - p.hb_d / r10)
+    } else {
+        params.w_vdw * (p.lj_a / (r6 * r6) - p.lj_b / r6)
+    }
+}
+
 /// AD4 electrostatic energy for one pair (weighted).
 #[inline]
 pub fn ad4_electrostatic(params: &Ad4Params, qa: f64, qb: f64, r: f64) -> f64 {

@@ -32,20 +32,33 @@ pub struct Evaluator<'a> {
     /// Energy evaluations performed so far.
     pub evals: u64,
     scratch: Vec<Vec3>,
+    batch_coords: Vec<Vec3>,
     reference: bool,
 }
 
 impl<'a> Evaluator<'a> {
     /// Wrap an energy model with a zeroed evaluation counter.
     pub fn new(model: &'a EnergyModel<'a>) -> Evaluator<'a> {
-        Evaluator { model, evals: 0, scratch: Vec::new(), reference: false }
+        Evaluator {
+            model,
+            evals: 0,
+            scratch: Vec::new(),
+            batch_coords: Vec::new(),
+            reference: false,
+        }
     }
 
     /// Like [`Evaluator::new`] but scoring through the naive
     /// [`EnergyModel::total_reference`] path — used by `dock_bench` to time
     /// the pre-optimization inner loop (the results are bit-identical).
     pub fn new_reference(model: &'a EnergyModel<'a>) -> Evaluator<'a> {
-        Evaluator { model, evals: 0, scratch: Vec::new(), reference: true }
+        Evaluator {
+            model,
+            evals: 0,
+            scratch: Vec::new(),
+            batch_coords: Vec::new(),
+            reference: true,
+        }
     }
 
     /// Energy of a pose (counts one evaluation).
@@ -57,6 +70,34 @@ impl<'a> Evaluator<'a> {
         } else {
             self.model.total(&self.scratch)
         }
+    }
+
+    /// Score a whole batch of poses in one kernel call (counts one
+    /// evaluation per pose), writing per-pose totals into `out`.
+    ///
+    /// Poses are applied into one flat pose-major coordinate buffer and
+    /// scored by [`EnergyModel::total_batch`], which keeps the SoA lanes full
+    /// across pose boundaries. Each `out[i]` is bit-identical to
+    /// [`energy`](Evaluator::energy) of `poses[i]` for every batch size; a
+    /// reference evaluator scores pose by pose through `total_reference`
+    /// instead, so parity tests can batch on both sides.
+    pub fn energy_batch(&mut self, poses: &[Pose], out: &mut Vec<f64>) {
+        self.evals += poses.len() as u64;
+        out.clear();
+        if self.reference {
+            for pose in poses {
+                self.model.ligand.apply(pose, &mut self.scratch);
+                out.push(self.model.total_reference(&self.scratch));
+            }
+            return;
+        }
+        self.batch_coords.clear();
+        for pose in poses {
+            self.model.ligand.apply(pose, &mut self.scratch);
+            self.batch_coords.extend_from_slice(&self.scratch);
+        }
+        out.resize(poses.len(), 0.0);
+        self.model.total_batch(&self.batch_coords, out);
     }
 }
 
@@ -223,6 +264,15 @@ impl Default for LgaConfig {
 }
 
 /// Run the Lamarckian genetic algorithm; returns the best pose found.
+///
+/// Scoring goes through [`Evaluator::energy_batch`]: the initial population
+/// is generated first and scored in one call, and within each generation
+/// children accumulate in a pending batch that is flushed whenever a child
+/// wins the local-search draw (its Solis–Wets refinement must run before the
+/// next child's selection draws) and at generation end. Energy evaluation
+/// consumes no RNG, so deferring the scores leaves the RNG stream — and
+/// therefore every pose and energy — bit-identical to the pose-at-a-time
+/// loop, for every batch size the draws happen to produce.
 pub fn run_lga(
     ev: &mut Evaluator<'_>,
     spec: &GridSpec,
@@ -231,18 +281,21 @@ pub fn run_lga(
     rng: &mut ChaCha8Rng,
 ) -> ScoredPose {
     let n_tors = ligand.torsdof();
-    let mut pop: Vec<ScoredPose> = (0..cfg.population)
-        .map(|_| {
-            let pose = random_pose(spec, n_tors, rng);
-            let energy = ev.energy(&pose);
-            ScoredPose { pose, energy }
-        })
+    let init: Vec<Pose> = (0..cfg.population).map(|_| random_pose(spec, n_tors, rng)).collect();
+    let mut energies: Vec<f64> = Vec::with_capacity(cfg.population);
+    ev.energy_batch(&init, &mut energies);
+    let mut pop: Vec<ScoredPose> = init
+        .into_iter()
+        .zip(energies.iter().copied())
+        .map(|(pose, energy)| ScoredPose { pose, energy })
         .collect();
     pop.sort_by(|a, b| a.energy.total_cmp(&b.energy));
 
+    let mut pending: Vec<Pose> = Vec::with_capacity(cfg.population);
+    let mut pending_ls: Vec<bool> = Vec::with_capacity(cfg.population);
     for _gen in 0..cfg.generations {
         let mut next: Vec<ScoredPose> = pop.iter().take(cfg.elite).cloned().collect();
-        while next.len() < cfg.population {
+        while next.len() + pending.len() < cfg.population {
             let pa = tournament(&pop, rng);
             let pb = tournament(&pop, rng);
             let mut child_pose = if rng.gen_bool(cfg.crossover_rate) {
@@ -251,18 +304,55 @@ pub fn run_lga(
                 pop[pa].pose.clone()
             };
             mutate(&mut child_pose, cfg.mutation_rate, spec, rng);
-            let energy = ev.energy(&child_pose);
-            let mut child = ScoredPose { pose: child_pose, energy };
-            if rng.gen_bool(cfg.local_search_rate) {
-                // Lamarckian: the refined genotype replaces the child
-                child = solis_wets(ev, child, &cfg.solis_wets, rng);
+            let ls = rng.gen_bool(cfg.local_search_rate);
+            pending.push(child_pose);
+            pending_ls.push(ls);
+            if ls {
+                // Lamarckian: the refined genotype replaces the child, and
+                // its local search draws from the RNG — flush the batch so
+                // the refinement starts from this child's scored energy at
+                // the same stream position as the unbatched loop.
+                flush_pending(
+                    ev,
+                    cfg,
+                    &mut pending,
+                    &mut pending_ls,
+                    &mut energies,
+                    &mut next,
+                    rng,
+                );
             }
-            next.push(child);
         }
+        flush_pending(ev, cfg, &mut pending, &mut pending_ls, &mut energies, &mut next, rng);
         next.sort_by(|a, b| a.energy.total_cmp(&b.energy));
         pop = next;
     }
     pop.into_iter().next().expect("population is never empty")
+}
+
+/// Batch-score the pending children and append them to `next`, running the
+/// Lamarckian local search on the (at most one, final) child that drew it.
+fn flush_pending(
+    ev: &mut Evaluator<'_>,
+    cfg: &LgaConfig,
+    pending: &mut Vec<Pose>,
+    pending_ls: &mut Vec<bool>,
+    energies: &mut Vec<f64>,
+    next: &mut Vec<ScoredPose>,
+    rng: &mut ChaCha8Rng,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    ev.energy_batch(pending, energies);
+    for (i, pose) in pending.drain(..).enumerate() {
+        let mut child = ScoredPose { pose, energy: energies[i] };
+        if pending_ls[i] {
+            child = solis_wets(ev, child, &cfg.solis_wets, rng);
+        }
+        next.push(child);
+    }
+    pending_ls.clear();
 }
 
 fn tournament(pop: &[ScoredPose], rng: &mut ChaCha8Rng) -> usize {
@@ -344,6 +434,11 @@ pub struct McOutcome {
 
 /// One MC restart: random start, local refinement, then `steps` rounds of
 /// perturbation + refinement with Metropolis acceptance.
+///
+/// Every score feeds the next proposal (Metropolis), so the chain is
+/// inherently sequential: it evaluates through [`Evaluator::energy`], which
+/// is the batch kernel at width 1 — bit-identical, amortization comes from
+/// the restart fan instead.
 pub fn mc_restart(
     ev: &mut Evaluator<'_>,
     spec: &GridSpec,
@@ -695,6 +790,35 @@ mod tests {
                 assert_eq!(a.energy.to_bits(), b.energy.to_bits());
                 assert_eq!(a.pose, b.pose);
             }
+        }
+    }
+
+    #[test]
+    fn energy_batch_bit_identical_and_counts_evals() {
+        let r = receptor();
+        let lig = ligand();
+        let lm = crate::conformation::LigandModel::new(&lig);
+        let g = build_ad4_grids(&r, spec(), &lig.mol.ad_types(), &Ad4Params::new());
+        let em = crate::energy::EnergyModel::new(&g, &lm).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let poses: Vec<Pose> =
+            (0..5).map(|_| random_pose(&spec(), lm.torsdof(), &mut rng)).collect();
+        let mut ev = Evaluator::new(&em);
+        let singles: Vec<f64> = poses.iter().map(|p| ev.energy(p)).collect();
+        let n_single = ev.evals;
+        let mut out = Vec::new();
+        ev.energy_batch(&poses, &mut out);
+        assert_eq!(ev.evals, n_single + poses.len() as u64);
+        for (a, b) in singles.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // the reference evaluator batches bit-identically too
+        let mut evr = Evaluator::new_reference(&em);
+        let mut outr = Vec::new();
+        evr.energy_batch(&poses, &mut outr);
+        assert_eq!(evr.evals, poses.len() as u64);
+        for (a, b) in out.iter().zip(&outr) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

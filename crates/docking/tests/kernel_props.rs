@@ -127,6 +127,47 @@ proptest! {
     }
 
     #[test]
+    fn batched_scoring_bit_identical_in_every_batch_size(rname in "[A-Z0-9]{3}",
+                                                         lname in "[A-Z0-9]{3}",
+                                                         seed in 0..10_000u64,
+                                                         population in 4..12usize) {
+        let receptor = prepared_receptor(&rname);
+        let lig = prepared_ligand(&lname);
+        let lm = LigandModel::new(&lig);
+        let spec = GridSpec::with_edge(receptor.centroid(), 14.0, 1.25);
+        let grids = build_ad4_grids(&receptor, spec, &lig.mol.ad_types(), &Ad4Params::new());
+        let em = EnergyModel::new(&grids, &lm).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let natoms = lm.atom_count();
+        // a whole population of random poses, flattened SoA-style
+        let mut coords = Vec::with_capacity(population * natoms);
+        let mut per_pose = Vec::with_capacity(population);
+        let mut scratch = vec![molkit::Vec3::default(); natoms];
+        for _ in 0..population {
+            let pose = random_pose(&spec, lm.torsdof(), &mut rng);
+            lm.apply(&pose, &mut scratch);
+            coords.extend_from_slice(&scratch);
+            per_pose.push((em.total(&scratch), em.total_reference(&scratch)));
+        }
+        for (fast, naive) in &per_pose {
+            prop_assert_eq!(fast.to_bits(), naive.to_bits(), "fast path diverged from naive");
+        }
+        for batch in [1usize, 3, 7, population] {
+            let mut scored = Vec::new();
+            for chunk in coords.chunks(batch * natoms) {
+                let mut out = vec![0.0; chunk.len() / natoms];
+                em.total_batch(chunk, &mut out);
+                scored.extend(out);
+            }
+            prop_assert_eq!(scored.len(), population);
+            for (got, (want, _)) in scored.iter().zip(&per_pose) {
+                prop_assert_eq!(got.to_bits(), want.to_bits(),
+                                "batch size {} diverged from per-pose total", batch);
+            }
+        }
+    }
+
+    #[test]
     fn parallel_lga_byte_identical_to_serial(rname in "[A-Z0-9]{3}",
                                              lname in "[A-Z0-9]{3}",
                                              seed in 0..10_000u64) {

@@ -24,6 +24,10 @@ pub const COUNTERS: &[&str] = &[
     "gridcache.bytes",
     "gridcache.hit",
     "gridcache.miss",
+    "gridcache.persist.bytes",
+    "gridcache.persist.hit",
+    "gridcache.persist.miss",
+    "gridcache.persist.write",
     "pool.completed",
     "pool.parks",
     "pool.steals",

@@ -81,7 +81,7 @@ fn main() {
     // the timeline view: one lane per worker thread, spans nested
     // job → activation → attempt, plus the dispatcher lane
     let trace = tel.export_chrome_trace().expect("collector was attached");
-    let path = "scidock_trace.json";
+    let path = "target/scidock_trace.json";
     std::fs::write(path, &trace).expect("write trace");
     println!("\nwrote {path} ({} bytes)", trace.len());
     println!("open it in chrome://tracing or https://ui.perfetto.dev");
