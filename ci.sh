@@ -31,6 +31,9 @@ echo "== provstore: crash-recovery smoke (kill -9 mid-run, reopen, resume) =="
 cargo test -q -p scidock-bench --test crash_recovery
 cargo run --release -p scidock-bench --bin provstore_bench -- --smoke
 
+echo "== prov query engine: indexed steering p95 + speedup gates =="
+cargo run --release -p scidock-bench --bin prov_bench -- --smoke
+
 echo "== distbackend: local-vs-dist parity + SIGKILL fault drill + 2-worker smoke =="
 cargo test -q -p scidock-bench --test dist_parity
 cargo test -q -p scidock-bench --test dist_fault

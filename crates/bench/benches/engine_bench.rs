@@ -95,13 +95,15 @@ fn bench_provenance_queries(c: &mut Criterion) {
               WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND w.wkfid = 1 \
               GROUP BY a.tag";
     c.bench_function("provenance/query1_7k_activations", |b| {
-        b.iter(|| p.query(black_box(q1)).unwrap())
+        b.iter(|| p.query_rows(black_box(q1), &[]).unwrap())
     });
     let q2 = "SELECT w.tag, a.tag, f.fname, f.fsize, f.fdir \
               FROM hworkflow w, hactivity a, hactivation t, hfile f \
               WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND t.taskid = f.taskid \
               AND f.fname LIKE '%.dlg'";
-    c.bench_function("provenance/query2_like_join", |b| b.iter(|| p.query(black_box(q2)).unwrap()));
+    c.bench_function("provenance/query2_like_join", |b| {
+        b.iter(|| p.query_rows(black_box(q2), &[]).unwrap())
+    });
     c.bench_function("provenance/insert_activation", |b| {
         let store = ProvenanceStore::new();
         let w = store.begin_workflow("x", "", "");

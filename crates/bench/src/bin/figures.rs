@@ -190,7 +190,7 @@ fn main() {
                    WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND w.wkfid = 1 \
                    GROUP BY a.tag ORDER BY a.tag";
         println!("SQL: {sql}\n");
-        match prov.query(sql) {
+        match prov.query_rows(sql, &[]) {
             Ok(rs) => println!("{rs}"),
             Err(e) => println!("query failed: {e}"),
         }
@@ -411,7 +411,7 @@ fn main() {
                        WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND t.taskid = f.taskid \
                        AND f.fname LIKE '%.dlg' ORDER BY f.fsize DESC LIMIT 10";
             println!("SQL: {sql}\n");
-            match ad4_out.prov.query(sql) {
+            match ad4_out.prov.query_rows(sql, &[]) {
                 Ok(rs) => println!("{rs}"),
                 Err(e) => println!("query failed: {e}"),
             }

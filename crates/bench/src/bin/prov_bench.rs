@@ -1,0 +1,231 @@
+//! Benchmark the paged provenance engine's steering queries at campaign
+//! scale — the workload the paper's §V.C runtime queries generate once a
+//! screening has produced hundreds of thousands of activations.
+//!
+//! Two stores receive an identical synthetic campaign (default 1,000,000
+//! activation rows; `--smoke` 120,000):
+//!
+//! 1. **in-memory** — `ProvenanceStore::new()`: every query is a full scan
+//!    through `Vec`-of-rows tables (the pre-paged reference engine);
+//! 2. **paged + indexed** — `ProvenanceStore::new_paged()`: slotted-page
+//!    heap files behind an LRU page cache with B+tree indexes on the hot
+//!    `hactivation` columns; the planner turns steering predicates into
+//!    `IndexScan`/`IndexRange` access paths.
+//!
+//! Three steering queries run repeatedly against both, and the run
+//! *asserts* (exit 1 on failure) that on the indexed store
+//!
+//! * the p95 latency of each indexed query stays under
+//!   `PROV_BENCH_P95_MS` (default 50 ms), and
+//! * the median speedup over the full-scan store is at least
+//!   `PROV_BENCH_SPEEDUP_X` (default 10×).
+//!
+//! ```sh
+//! cargo run --release -p scidock-bench --bin prov_bench            # full, 1M rows
+//! cargo run --release -p scidock-bench --bin prov_bench -- --smoke # CI
+//! ```
+//!
+//! Results land in `target/prov_bench.json` (sidecar schema v1).
+
+use std::time::Instant;
+
+use provenance::provwf::{ActivationRecord, ActivationStatus, ProvenanceStore};
+use provenance::Value;
+use scidock_bench::sidecar::{num_array, Sidecar};
+
+/// Pour `n` activation rows into `p`: one workflow, 8 SciDock activities,
+/// statuses in the paper's observed mix (~90% finished, ~8% failed, a few
+/// aborted), end times increasing like a real campaign's.
+fn populate(p: &ProvenanceStore, n: usize) -> f64 {
+    let t0 = Instant::now();
+    let w = p.begin_workflow("SciDock", "prov_bench campaign", "/bench");
+    let acts: Vec<_> = [
+        "extract",
+        "babel1k",
+        "gpf1k",
+        "autogrid1k",
+        "dpf1k",
+        "autodock1k",
+        "vinaconfig",
+        "autodockvina1k",
+    ]
+    .iter()
+    .map(|tag| p.register_activity(w, tag, "Map"))
+    .collect();
+    let vm = p.register_machine("vm-001", "m3.xlarge", 4);
+    for i in 0..n {
+        let status = match i % 50 {
+            0..=3 => ActivationStatus::Failed,
+            4 => ActivationStatus::Aborted,
+            _ => ActivationStatus::Finished,
+        };
+        let start = i as f64 * 0.05;
+        p.record_activation(&ActivationRecord {
+            activity: acts[i % acts.len()],
+            workflow: w,
+            status,
+            start_time: start,
+            end_time: start + 20.0 + (i % 7) as f64 * 5.0,
+            machine: Some(vm),
+            retries: (i % 17 == 0) as i64,
+            pair_key: format!("R{:03}:L{:04}", i / 997, i % 997),
+        });
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Run `sql` `reps` times; returns sorted per-run latencies in seconds.
+fn time_query(p: &ProvenanceStore, sql: &str, params: &[Value], reps: usize) -> Vec<f64> {
+    let mut lat = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let rs = p.query_rows(sql, params).expect("bench query runs");
+        std::hint::black_box(rs.len());
+        lat.push(t0.elapsed().as_secs_f64());
+    }
+    lat.sort_by(f64::total_cmp);
+    lat
+}
+
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    let ix = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[ix]
+}
+
+struct Gate {
+    name: &'static str,
+    paged_p95_ms: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rows = if smoke { 120_000 } else { 1_000_000 };
+    let reps = if smoke { 30 } else { 60 };
+    let p95_bound_ms: f64 =
+        std::env::var("PROV_BENCH_P95_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(50.0);
+    let speedup_bound: f64 =
+        std::env::var("PROV_BENCH_SPEEDUP_X").ok().and_then(|v| v.parse().ok()).unwrap_or(10.0);
+
+    println!("prov_bench: {rows} activation rows, {reps} reps per query");
+
+    let mem = ProvenanceStore::new();
+    let paged = ProvenanceStore::new_paged();
+    let mem_load = populate(&mem, rows);
+    let paged_load = populate(&paged, rows);
+    println!(
+        "load: in-memory {:.2}s ({:.0} rows/s) | paged+indexed {:.2}s ({:.0} rows/s)",
+        mem_load,
+        rows as f64 / mem_load,
+        paged_load,
+        rows as f64 / paged_load
+    );
+    paged.verify_integrity().expect("paged store passes structural checks after load");
+
+    // the three steering shapes the planner must accelerate: a point
+    // lookup (IndexScan eq on taskid), a time-window poll (IndexRange on
+    // endtime), and a pair-key probe (IndexScan eq on pairkey)
+    let last_window = rows as f64 * 0.05 * 0.995;
+    let queries: [(&str, &str, Vec<Value>); 3] = [
+        (
+            "taskid point lookup",
+            "SELECT taskid, status, pairkey FROM hactivation WHERE taskid = ?",
+            vec![Value::Int(rows as i64 / 2)],
+        ),
+        (
+            "endtime window (last 0.5%)",
+            "SELECT taskid, status FROM hactivation WHERE endtime >= ? ORDER BY endtime",
+            vec![Value::Timestamp(last_window)],
+        ),
+        (
+            "pairkey probe",
+            "SELECT taskid, status, retries FROM hactivation WHERE pairkey = ?",
+            vec![Value::from(
+                format!("R{:03}:L{:04}", (rows / 2) / 997, (rows / 2) % 997).as_str(),
+            )],
+        ),
+    ];
+
+    println!();
+    println!(
+        "{:<28} | {:>12} | {:>12} | {:>12} | {:>8}",
+        "steering query", "scan p50(ms)", "idx p50(ms)", "idx p95(ms)", "speedup"
+    );
+    println!("{:-<28}-+-{:-<12}-+-{:-<12}-+-{:-<12}-+-{:-<8}", "", "", "", "", "");
+
+    let mut sc = Sidecar::new();
+    sc.push("rows", format!("{rows}"));
+    let mut gates = Vec::new();
+    for (name, sql, params) in &queries {
+        let scan = time_query(&mem, sql, params, reps);
+        let idx = time_query(&paged, sql, params, reps);
+        let scan_p50 = pct(&scan, 0.5);
+        let idx_p50 = pct(&idx, 0.5);
+        let idx_p95 = pct(&idx, 0.95);
+        let speedup = scan_p50 / idx_p50;
+        println!(
+            "{name:<28} | {:>12.3} | {:>12.3} | {:>12.3} | {speedup:>7.1}x",
+            scan_p50 * 1e3,
+            idx_p50 * 1e3,
+            idx_p95 * 1e3
+        );
+        let key = name.split_whitespace().next().unwrap();
+        sc.push(
+            &format!("prov_{key}"),
+            format!(
+                "{{\"scan_ms\":{},\"idx_ms\":{},\"idx_p95_ms\":{},\"speedup\":{:.2}}}",
+                num_array(&[scan_p50 * 1e3]),
+                num_array(&[idx_p50 * 1e3]),
+                num_array(&[idx_p95 * 1e3]),
+                speedup
+            ),
+        );
+        gates.push(Gate { name, paged_p95_ms: idx_p95 * 1e3, speedup });
+    }
+
+    let stats = paged.cache_stats();
+    println!();
+    println!(
+        "page cache: {} hits, {} misses, {} evictions, {} writebacks",
+        stats.hits, stats.misses, stats.evictions, stats.writebacks
+    );
+    sc.push(
+        "cache",
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"writebacks\":{}}}",
+            stats.hits, stats.misses, stats.evictions, stats.writebacks
+        ),
+    );
+
+    let path = std::path::Path::new("target/prov_bench.json");
+    sc.write(path).expect("write sidecar");
+    println!("sidecar: {}", path.display());
+
+    println!();
+    let mut failed = false;
+    for g in &gates {
+        let p95_ok = g.paged_p95_ms < p95_bound_ms;
+        let speedup_ok = g.speedup >= speedup_bound;
+        if !p95_ok {
+            eprintln!(
+                "FAIL: {} p95 {:.3} ms on the indexed store (limit {p95_bound_ms:.0} ms)",
+                g.name, g.paged_p95_ms
+            );
+            failed = true;
+        }
+        if !speedup_ok {
+            eprintln!(
+                "FAIL: {} speedup {:.1}x over full scan (required {speedup_bound:.0}x)",
+                g.name, g.speedup
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "OK: all indexed steering queries under {p95_bound_ms:.0} ms p95 and \
+         >= {speedup_bound:.0}x over full scans"
+    );
+}

@@ -58,10 +58,14 @@ fn sigkilled_worker_mid_activation_does_not_lose_work() {
 
     // provenance shows the crash: one FAILED attempt, and the reassigned
     // activation's FINISHED row carries the bumped attempt counter
-    let failed = prov.query("SELECT pairkey FROM hactivation WHERE status = 'FAILED'").unwrap();
+    let failed =
+        prov.query_rows("SELECT pairkey FROM hactivation WHERE status = 'FAILED'", &[]).unwrap();
     assert_eq!(failed.rows.len(), 1, "exactly one extra FAILED attempt recorded");
     let retried = prov
-        .query("SELECT count(*) FROM hactivation WHERE status = 'FINISHED' AND retries >= 1")
+        .query_rows(
+            "SELECT count(*) FROM hactivation WHERE status = 'FINISHED' AND retries >= 1",
+            &[],
+        )
         .unwrap();
     assert_eq!(retried.rows[0][0].as_f64().unwrap() as i64, 1);
 }

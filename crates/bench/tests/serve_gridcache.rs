@@ -135,7 +135,7 @@ fn second_campaign_reuses_persisted_grids_with_identical_provenance() {
 
     // PROV-N parity: warm == cold == one-shot cold-cache local run; the
     // cache is invisible to provenance
-    let wf_rows = prov.query("SELECT wkfid FROM hworkflow").expect("wkf listing");
+    let wf_rows = prov.query_rows("SELECT wkfid FROM hworkflow", &[]).expect("wkf listing");
     let mut ids: Vec<i64> = wf_rows.rows.iter().map(|r| r[0].as_f64().unwrap() as i64).collect();
     ids.sort_unstable();
     assert_eq!(ids.len(), 2, "two campaigns recorded");

@@ -944,10 +944,12 @@ mod tests {
         let feb = report.final_output().tuples[0][3].as_f64().unwrap();
         assert!(feb.is_finite());
         // .dlg files recorded in provenance
-        let r = prov.query("SELECT count(*) FROM hfile WHERE fname LIKE '%.dlg'").unwrap();
+        let r =
+            prov.query_rows("SELECT count(*) FROM hfile WHERE fname LIKE '%.dlg'", &[]).unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(2));
         // feb params extracted
-        let p = prov.query("SELECT count(*) FROM hparameter WHERE pname = 'feb'").unwrap();
+        let p =
+            prov.query_rows("SELECT count(*) FROM hparameter WHERE pname = 'feb'", &[]).unwrap();
         assert_eq!(p.cell(0, 0), &Value::Int(2));
     }
 
@@ -1179,8 +1181,9 @@ mod tests {
         let wf = build_scidock(EngineMode::Ad4Only, &cfg, Arc::clone(&files));
         let report = run(wf, input, files, &prov, LocalConfig::new().with_threads(2));
         assert_eq!(report.blacklisted, 1);
-        let r =
-            prov.query("SELECT count(*) FROM hactivation WHERE status = 'BLACKLISTED'").unwrap();
+        let r = prov
+            .query_rows("SELECT count(*) FROM hactivation WHERE status = 'BLACKLISTED'", &[])
+            .unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(1));
         // the poisoned pair never reaches docking
         assert_eq!(report.final_output().len(), 1);
@@ -1197,9 +1200,10 @@ mod tests {
         let _ = run(wf, input, Arc::clone(&files), &prov, LocalConfig::default());
         // every vinaconfig activation recorded its substituted template tags
         let q = prov
-            .query(
+            .query_rows(
                 "SELECT pname, count(*) FROM hparameter WHERE pname LIKE 'tpl_%' \
                  GROUP BY pname ORDER BY pname",
+                &[],
             )
             .unwrap();
         let names: Vec<String> = q.rows.iter().map(|r| r[0].to_string()).collect();
@@ -1240,7 +1244,9 @@ mod tests {
         assert_eq!(rank_files.len(), 1);
         let body = files.read(&rank_files[0]).unwrap();
         assert!(body.starts_with("rank receptor ligand"));
-        let q = prov.query("SELECT pvalue_text FROM hparameter WHERE pname = 'best_pair'").unwrap();
+        let q = prov
+            .query_rows("SELECT pvalue_text FROM hparameter WHERE pname = 'best_pair'", &[])
+            .unwrap();
         assert_eq!(q.len(), 1);
     }
 
@@ -1273,7 +1279,7 @@ mod tests {
         let _ = run(wf, input, files, &prov, LocalConfig::default());
         // Query 1 (paper Fig. 10)
         let q1 = prov
-            .query(
+            .query_rows(
                 "SELECT a.tag, \
                    min(extract('epoch' from (t.endtime-t.starttime))), \
                    max(extract('epoch' from (t.endtime-t.starttime))), \
@@ -1282,16 +1288,18 @@ mod tests {
                  FROM hworkflow w, hactivity a, hactivation t \
                  WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND w.wkfid = 1 \
                  GROUP BY a.tag ORDER BY a.tag",
+                &[],
             )
             .unwrap();
         assert_eq!(q1.len(), 8, "eight SciDock activities");
         // Query 2 (paper Fig. 11)
         let q2 = prov
-            .query(
+            .query_rows(
                 "SELECT w.tag, a.tag, f.fname, f.fsize, f.fdir \
                  FROM hworkflow w, hactivity a, hactivation t, hfile f \
                  WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND t.taskid = f.taskid \
                  AND f.fname LIKE '%.dlg'",
+                &[],
             )
             .unwrap();
         assert_eq!(q2.len(), 2);

@@ -52,7 +52,7 @@ pub fn results_from_provenance(prov: &ProvenanceStore) -> Vec<PairResult> {
                  AND p_pair.taskid = p_engine.taskid \
                  AND p_pair.taskid = p_feb.taskid \
                  AND p_pair.taskid = p_rmsd.taskid";
-    let rs = prov.query(sql).unwrap_or_else(|e| panic!("provenance query failed: {e}"));
+    let rs = prov.query_rows(sql, &[]).unwrap_or_else(|e| panic!("provenance query failed: {e}"));
     rs.rows
         .iter()
         .filter_map(|r| {
@@ -180,7 +180,7 @@ pub fn activation_durations(prov: &ProvenanceStore, wkfid: i64) -> Vec<f64> {
          WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND w.wkfid = {wkfid} \
          ORDER BY t.endtime"
     );
-    prov.query(&sql)
+    prov.query_rows(&sql, &[])
         .map(|rs| rs.rows.iter().filter_map(|r| r[0].as_f64()).collect())
         .unwrap_or_default()
 }
@@ -198,7 +198,7 @@ pub fn per_activity_stats(prov: &ProvenanceStore, wkfid: i64) -> Vec<(String, f6
          WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND w.wkfid = {wkfid} \
          GROUP BY a.tag ORDER BY a.tag"
     );
-    prov.query(&sql)
+    prov.query_rows(&sql, &[])
         .map(|rs| {
             rs.rows
                 .iter()

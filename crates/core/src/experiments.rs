@@ -307,8 +307,10 @@ mod tests {
         assert!(out.results.iter().all(|r| r.feb.is_finite()));
         // files were produced and recorded
         assert!(out.files.len() > 6);
-        let q =
-            out.prov.query("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'").unwrap();
+        let q = out
+            .prov
+            .query_rows("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'", &[])
+            .unwrap();
         assert!(q.cell(0, 0).as_f64().unwrap() >= 16.0);
     }
 
@@ -376,10 +378,12 @@ mod tests {
         let prov = ProvenanceStore::new();
         let r = simulate_at(4, EngineMode::VinaOnly, &sweep, Some(&prov));
         assert!(r.finished > 0);
-        let q = prov.query("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'").unwrap();
+        let q = prov
+            .query_rows("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'", &[])
+            .unwrap();
         assert_eq!(q.cell(0, 0).as_f64().unwrap() as usize, r.finished);
         // the seven simulated activity tags are registered
-        let tags = prov.query("SELECT count(*) FROM hactivity").unwrap();
+        let tags = prov.query_rows("SELECT count(*) FROM hactivity", &[]).unwrap();
         assert_eq!(tags.cell(0, 0), &provenance::Value::Int(7));
     }
 

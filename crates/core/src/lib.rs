@@ -28,7 +28,7 @@
 //!     println!("{}-{}: FEB {:.1} kcal/mol", r.receptor, r.ligand, r.feb);
 //! }
 //! // the provenance DB answers the paper's queries
-//! let q = out.prov.query("SELECT count(*) FROM hactivation").unwrap();
+//! let q = out.prov.query_rows("SELECT count(*) FROM hactivation", &[]).unwrap();
 //! println!("{q}");
 //! ```
 

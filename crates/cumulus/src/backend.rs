@@ -169,16 +169,19 @@ impl RunOutcome {
 /// `FINISHED` rows for one workflow execution.
 pub fn activity_timings(store: &ProvenanceStore, wkf: WorkflowId) -> Vec<ActivityTiming> {
     let rows = store
-        .query(&format!(
+        .query_rows(
             "SELECT a.tag, t.starttime, t.endtime FROM hactivation t, hactivity a \
-             WHERE t.actid = a.actid AND t.wkfid = {} AND t.status = 'FINISHED' \
+             WHERE t.actid = a.actid AND t.wkfid = ? AND t.status = 'FINISHED' \
              ORDER BY t.taskid",
-            wkf.0
-        ))
+            &[Value::Int(wkf.0)],
+        )
         .expect("provenance schema is fixed");
     // preserve activity registration order
     let acts = store
-        .query(&format!("SELECT tag FROM hactivity WHERE wkfid = {} ORDER BY actid", wkf.0))
+        .query_rows(
+            "SELECT tag FROM hactivity WHERE wkfid = ? ORDER BY actid",
+            &[Value::Int(wkf.0)],
+        )
         .expect("provenance schema is fixed");
     let mut out: Vec<ActivityTiming> = acts
         .rows
@@ -370,7 +373,7 @@ impl Backend for SimBackend {
         let report = simulate_tasks(&tasks, &cfg, Some(store));
         // simulate_tasks() registers the workflow itself; recover its id
         let wkf = store
-            .query("SELECT max(wkfid) FROM hworkflow")
+            .query_rows("SELECT max(wkfid) FROM hworkflow", &[])
             .ok()
             .and_then(|r| r.rows.first().map(|row| row[0].clone()))
             .and_then(|v| match v {
@@ -479,7 +482,7 @@ mod tests {
         assert!(out.outputs.is_empty());
         assert!(out.total_seconds > 0.0);
         // provenance carries the workflow's own tags
-        let tags = store.query("SELECT tag FROM hactivity ORDER BY actid").unwrap();
+        let tags = store.query_rows("SELECT tag FROM hactivity ORDER BY actid", &[]).unwrap();
         let tags: Vec<String> = tags.rows.iter().map(|r| r[0].to_string()).collect();
         assert_eq!(tags, vec!["inc", "sum"]);
         assert_eq!(out.activity_timings.len(), 2);

@@ -1939,7 +1939,7 @@ mod tests {
         assert_eq!(sorted(&report), sorted(&clean));
         // the crash left exactly one FAILED attempt in provenance
         let failed = prov
-            .query("SELECT taskid FROM hactivation WHERE status = 'FAILED'")
+            .query_rows("SELECT taskid FROM hactivation WHERE status = 'FAILED'", &[])
             .unwrap()
             .rows
             .len();
@@ -2132,7 +2132,7 @@ mod tests {
         assert!(report.peak_workers <= 3);
         assert_eq!(sorted_ints(&report), (0..10).collect::<Vec<_>>());
         let failed = prov
-            .query("SELECT taskid FROM hactivation WHERE status = 'FAILED'")
+            .query_rows("SELECT taskid FROM hactivation WHERE status = 'FAILED'", &[])
             .unwrap()
             .rows
             .len();

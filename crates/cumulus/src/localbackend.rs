@@ -971,9 +971,11 @@ mod tests {
             &LocalConfig::default(),
         )
         .unwrap();
-        let r = prov.query("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'").unwrap();
+        let r = prov
+            .query_rows("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'", &[])
+            .unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(10));
-        let acts = prov.query("SELECT tag FROM hactivity ORDER BY actid").unwrap();
+        let acts = prov.query_rows("SELECT tag FROM hactivity ORDER BY actid", &[]).unwrap();
         assert_eq!(acts.len(), 2);
         assert_eq!(acts.cell(0, 0), &Value::from("double"));
     }
@@ -1002,11 +1004,14 @@ mod tests {
             &LocalConfig::default(),
         )
         .unwrap();
-        let r = prov.query("SELECT fname, fdir FROM hfile WHERE fname LIKE '%.dlg'").unwrap();
+        let r =
+            prov.query_rows("SELECT fname, fdir FROM hfile WHERE fname LIKE '%.dlg'", &[]).unwrap();
         assert_eq!(r.len(), 3);
         assert_eq!(r.cell(0, 0), &Value::from("result.dlg"));
         assert!(r.cell(0, 1).to_string().starts_with("/root/exp/dock/"));
-        let p = prov.query("SELECT avg(pvalue_num) FROM hparameter WHERE pname = 'feb'").unwrap();
+        let p = prov
+            .query_rows("SELECT avg(pvalue_num) FROM hparameter WHERE pname = 'feb'", &[])
+            .unwrap();
         assert_eq!(p.cell(0, 0), &Value::Float(-6.5));
         assert_eq!(files.len(), 3);
     }
@@ -1036,8 +1041,9 @@ mod tests {
         // with generous retries every activation eventually finishes
         assert_eq!(report.finished, 60);
         assert!(report.failed_attempts > 0, "the 30% fail rate must bite");
-        let failed =
-            prov.query("SELECT count(*) FROM hactivation WHERE status = 'FAILED'").unwrap();
+        let failed = prov
+            .query_rows("SELECT count(*) FROM hactivation WHERE status = 'FAILED'", &[])
+            .unwrap();
         assert_eq!(
             failed.cell(0, 0),
             &Value::Int(report.failed_attempts as i64),
@@ -1089,8 +1095,9 @@ mod tests {
         .unwrap();
         assert_eq!(report.blacklisted, 5);
         assert_eq!(report.final_output().len(), 5);
-        let r =
-            prov.query("SELECT count(*) FROM hactivation WHERE status = 'BLACKLISTED'").unwrap();
+        let r = prov
+            .query_rows("SELECT count(*) FROM hactivation WHERE status = 'BLACKLISTED'", &[])
+            .unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(5));
     }
 
@@ -1190,9 +1197,10 @@ mod tests {
         assert_eq!(report.final_output().tuples[0][0].as_f64(), Some(9.0));
         // activation counts in provenance: 3 + 3 + 1
         let q = prov
-            .query(
+            .query_rows(
                 "SELECT a.tag, count(*) FROM hactivity a, hactivation t \
                  WHERE a.actid = t.actid GROUP BY a.tag ORDER BY a.tag",
+                &[],
             )
             .unwrap();
         let counts: Vec<(String, f64)> =
@@ -1314,9 +1322,10 @@ mod tests {
 
     fn status_counts(prov: &ProvenanceStore, wkf: WorkflowId) -> Vec<(String, i64)> {
         let q = prov
-            .query(
+            .query_rows(
                 "SELECT status, count(*) FROM hactivation \
                  GROUP BY status ORDER BY status",
+                &[],
             )
             .unwrap();
         let _ = wkf;

@@ -180,10 +180,11 @@ pub fn activity_profiles(
     prov: &provenance::ProvenanceStore,
 ) -> std::collections::HashMap<String, f64> {
     let mut out = std::collections::HashMap::new();
-    if let Ok(rs) = prov.query(
+    if let Ok(rs) = prov.query_rows(
         "SELECT a.tag, avg(extract('epoch' from (t.endtime - t.starttime))) \
          FROM hactivity a, hactivation t \
          WHERE a.actid = t.actid AND t.status = 'FINISHED' GROUP BY a.tag",
+        &[],
     ) {
         for r in &rs.rows {
             if let (Some(tag), Some(avg)) = (r[0].as_str(), r[1].as_f64()) {

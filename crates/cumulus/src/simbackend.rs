@@ -1202,16 +1202,20 @@ mod tests {
         let r = simulate_tasks(&tasks, &cfg, Some(&prov));
         assert_eq!(r.finished, 10);
         let q = prov
-            .query(
+            .query_rows(
                 "SELECT a.tag, count(*) FROM hactivity a, hactivation t \
                  WHERE a.actid = t.actid GROUP BY a.tag ORDER BY a.tag",
+                &[],
             )
             .unwrap();
         assert_eq!(q.len(), 2);
         assert_eq!(q.cell(0, 1), &provenance::Value::Int(5));
         // durations queryable via extract(epoch …)
         let d = prov
-            .query("SELECT max(extract('epoch' from (endtime - starttime))) FROM hactivation")
+            .query_rows(
+                "SELECT max(extract('epoch' from (endtime - starttime))) FROM hactivation",
+                &[],
+            )
             .unwrap();
         assert!(d.cell(0, 0).as_f64().unwrap() > 0.0);
     }

@@ -201,7 +201,9 @@ mod tests {
     }
 
     fn running_count(prov: &ProvenanceStore) -> i64 {
-        let r = prov.query("SELECT count(*) FROM hactivation WHERE status = 'RUNNING'").unwrap();
+        let r = prov
+            .query_rows("SELECT count(*) FROM hactivation WHERE status = 'RUNNING'", &[])
+            .unwrap();
         r.rows.first().and_then(|row| row[0].as_f64()).unwrap_or(0.0) as i64
     }
 
@@ -234,14 +236,15 @@ mod tests {
         };
         bridge.resolve(s1, &rec);
         assert_eq!(running_count(&prov), 1, "resolved row replaced in place");
-        let finished =
-            prov.query("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'").unwrap();
+        let finished = prov
+            .query_rows("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'", &[])
+            .unwrap();
         assert_eq!(finished.cell(0, 0).as_f64(), Some(1.0));
 
         // resolving an unflushed slot inserts a fresh row
         let s3 = bridge.begin(a, w, "R3:L3", 1.0, 0);
         bridge.resolve(s3, &ActivationRecord { pair_key: "R3:L3".into(), ..rec.clone() });
-        let total = prov.query("SELECT count(*) FROM hactivation").unwrap();
+        let total = prov.query_rows("SELECT count(*) FROM hactivation", &[]).unwrap();
         assert_eq!(total.cell(0, 0).as_f64(), Some(3.0), "s1 + s2-running + s3");
 
         bridge.forget(s2);

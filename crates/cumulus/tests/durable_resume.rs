@@ -61,7 +61,8 @@ fn sorted_output(rel: &Relation) -> Vec<f64> {
 }
 
 fn finished_count(prov: &ProvenanceStore) -> i64 {
-    let r = prov.query("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'").unwrap();
+    let r =
+        prov.query_rows("SELECT count(*) FROM hactivation WHERE status = 'FINISHED'", &[]).unwrap();
     r.cell(0, 0).as_f64().unwrap() as i64
 }
 

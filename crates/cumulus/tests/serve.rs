@@ -193,7 +193,7 @@ fn nine_campaigns_from_four_tenants_share_one_daemon() {
     // PROV-N parity: each campaign's scoped canonical export from the
     // SHARED store is byte-identical to the same workflow run one-shot
     // through the local backend into a fresh store
-    let wf_rows = prov.query("SELECT wkfid, tag FROM hworkflow").expect("wkf listing");
+    let wf_rows = prov.query_rows("SELECT wkfid, tag FROM hworkflow", &[]).expect("wkf listing");
     for (_, _, spec) in &ids {
         let tag = format!("wf-{}", &spec[3..spec.len() - 4]); // wf:cN:8:4 → wf-cN
         let wkfid = wf_rows

@@ -15,6 +15,7 @@
 //! crashes — see [`crate::durable`] for the storage format and guarantees.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -22,8 +23,12 @@ use crate::durable::engine::DurableEngine;
 use crate::durable::io::{DirEnv, StorageEnv};
 use crate::durable::wal::WalOp;
 use crate::durable::{Counters, Durability, DurableError, DurableOptions};
-use crate::sql::{execute, QueryError, ResultSet};
-use crate::table::{Database, Schema};
+use crate::sql::exec::bind_params;
+use crate::sql::volcano::{build_pipeline, ExecCtx, Pipeline};
+use crate::sql::{explain_query, parse, run_query, QueryError, ResultSet};
+use crate::storage::pager::{FilePageStore, MemPageStore, PageStore};
+use crate::storage::{PagedDb, TableProvider};
+use crate::table::{Database, DbError, Schema};
 use crate::value::{Value, ValueType};
 
 /// Workflow execution id.
@@ -98,8 +103,88 @@ pub struct ActivationRecord {
     pub pair_key: String,
 }
 
+/// The table storage under a [`ProvenanceStore`]: either the reference
+/// in-memory engine or the paged heap-file + B+tree engine.
+///
+/// Both backings must answer every query with row-identical results — the
+/// parity property in `tests/query_parity.rs` — so callers never observe
+/// which one is underneath.
+enum Backing {
+    /// Plain [`Database`]: `Vec`-of-rows tables, no indexes. The default for
+    /// scratch stores and the reference engine in parity tests.
+    Mem(Database),
+    /// [`PagedDb`]: slotted-page heap files behind an LRU page cache, with
+    /// B+tree secondary indexes over the hot PROV-Wf columns. Used by every
+    /// durable constructor.
+    Paged(PagedDb),
+}
+
+impl Backing {
+    fn provider(&self) -> &dyn TableProvider {
+        match self {
+            Backing::Mem(db) => db,
+            Backing::Paged(pg) => pg,
+        }
+    }
+
+    /// Apply one logged mutation. Returns `false` only for an
+    /// [`WalOp::UpdateActivation`] whose task id is unknown.
+    fn apply(&mut self, c: &mut Counters, op: &WalOp) -> bool {
+        match self {
+            Backing::Mem(db) => apply_op(db, c, op),
+            Backing::Paged(pg) => apply_op_paged(pg, c, op),
+        }
+    }
+
+    /// Every table, sorted by name.
+    fn table_names(&self) -> Vec<String> {
+        match self {
+            Backing::Mem(db) => db.table_names().iter().map(|n| n.to_string()).collect(),
+            Backing::Paged(pg) => pg.table_names().iter().map(|n| n.to_string()).collect(),
+        }
+    }
+
+    /// Materialize every row of `table` in insertion order.
+    fn scan_all(&self, table: &str) -> Vec<Vec<Value>> {
+        let p = self.provider();
+        let mut out = Vec::new();
+        let mut pos = 0u64;
+        loop {
+            let before = out.len();
+            if p.scan_batch(table, &mut pos, 1024, &mut out).is_err() {
+                return Vec::new();
+            }
+            if out.len() == before {
+                return out;
+            }
+        }
+    }
+
+    /// Is there an `hactivation` row for `task`? (Index-accelerated on the
+    /// paged backing.)
+    fn has_task(&self, task: i64) -> bool {
+        match self {
+            Backing::Mem(db) => db
+                .table("hactivation")
+                .map(|t| t.rows().iter().any(|r| r[0] == Value::Int(task)))
+                .unwrap_or(false),
+            Backing::Paged(pg) => {
+                pg.find_rowid_by_int("hactivation", "taskid", task).ok().flatten().is_some()
+            }
+        }
+    }
+
+    /// A plain [`Database`] with identical content (checkpoint source).
+    fn to_database(&self) -> Database {
+        match self {
+            Backing::Mem(db) => db.clone(),
+            Backing::Paged(pg) => pg.to_database(),
+        }
+    }
+}
+
 struct Inner {
-    db: Database,
+    backing: Backing,
     counters: Counters,
     /// Present on stores opened via a durable constructor; `None` keeps the
     /// store purely in-memory (the default — zero I/O on any path).
@@ -119,27 +204,53 @@ impl Inner {
     /// keep acknowledging mutations. (Fault-injection tests use exactly
     /// this panic as a simulated crash.)
     fn commit(&mut self, op: WalOp) {
-        apply_op(&mut self.db, &mut self.counters, &op);
+        self.backing.apply(&mut self.counters, &op);
         if let Some(eng) = &mut self.engine {
             eng.append(&op).expect("provstore: durable WAL append failed");
             if eng.should_checkpoint() {
-                eng.checkpoint(&self.db, &self.counters)
-                    .expect("provstore: snapshot checkpoint failed");
+                self.checkpoint_now();
             }
+        }
+    }
+
+    /// Snapshot the current state and truncate the WAL. Dirty pages are
+    /// flushed first so the page file is coherent with the snapshot; the
+    /// snapshot itself is taken from a materialized [`Database`] (the
+    /// WAL/snapshot pair stays the durability source of truth — the page
+    /// file is a rebuildable acceleration structure).
+    ///
+    /// # Panics
+    /// Panics if the snapshot cannot be written (same contract as `commit`).
+    fn checkpoint_now(&mut self) {
+        if let Backing::Paged(pg) = &self.backing {
+            pg.flush_pages();
+        }
+        let db = self.backing.to_database();
+        if let Some(eng) = &mut self.engine {
+            eng.checkpoint(&db, &self.counters).expect("provstore: snapshot checkpoint failed");
         }
     }
 }
 
-/// Apply one logged mutation to the tables and advance the id counters.
+/// One primitive table mutation, produced by [`plan_op`]. Keeping the
+/// op→rows translation in one place guarantees the in-memory and paged
+/// backings materialize *identical* rows for every logged op.
+enum Mutation {
+    /// Append `row` to `table`.
+    Insert { table: &'static str, row: Vec<Value> },
+    /// Replace the `hactivation` row whose `taskid` is `task`.
+    UpdateActivation { task: i64, row: Vec<Value> },
+}
+
+/// Translate one logged mutation into primitive row mutations, advancing
+/// the id counters.
 ///
-/// This is the **only** code path that mutates the PROV-Wf tables: live
-/// mutations build a [`WalOp`] and run it through here before logging, and
-/// recovery replays logged ops through the same function — so a replayed
-/// store is bit-for-bit the store the ops originally built.
-///
-/// Returns `false` only for an [`WalOp::UpdateActivation`] whose task id is
-/// unknown (the live path never logs those).
-pub(crate) fn apply_op(db: &mut Database, c: &mut Counters, op: &WalOp) -> bool {
+/// This is the **only** code path that decides what the PROV-Wf tables
+/// contain: live mutations build a [`WalOp`] and run it through here before
+/// logging, and recovery replays logged ops through the same function — so
+/// a replayed store is bit-for-bit the store the ops originally built,
+/// regardless of which backing executes the mutations.
+fn plan_op(c: &mut Counters, op: &WalOp) -> Vec<Mutation> {
     fn activation_row(task: i64, rec: &ActivationRecord) -> Vec<Value> {
         vec![
             Value::Int(task),
@@ -155,66 +266,53 @@ pub(crate) fn apply_op(db: &mut Database, c: &mut Counters, op: &WalOp) -> bool 
     }
     match op {
         WalOp::BeginWorkflow { id, tag, description, expdir } => {
-            db.insert(
-                "hworkflow",
-                vec![
+            c.next_wkf = c.next_wkf.max(id + 1);
+            vec![Mutation::Insert {
+                table: "hworkflow",
+                row: vec![
                     Value::Int(*id),
                     tag.as_str().into(),
                     description.as_str().into(),
                     expdir.as_str().into(),
                 ],
-            )
-            .expect("schema matches");
-            c.next_wkf = c.next_wkf.max(id + 1);
-            true
+            }]
         }
         WalOp::RegisterActivity { id, wkf, tag, acttype } => {
-            db.insert(
-                "hactivity",
-                vec![
+            c.next_act = c.next_act.max(id + 1);
+            vec![Mutation::Insert {
+                table: "hactivity",
+                row: vec![
                     Value::Int(*id),
                     Value::Int(*wkf),
                     tag.as_str().into(),
                     acttype.as_str().into(),
                 ],
-            )
-            .expect("schema matches");
-            c.next_act = c.next_act.max(id + 1);
-            true
+            }]
         }
         WalOp::RegisterMachine { id, name, instance_type, cores } => {
-            db.insert(
-                "hmachine",
-                vec![
+            c.next_machine = c.next_machine.max(id + 1);
+            vec![Mutation::Insert {
+                table: "hmachine",
+                row: vec![
                     Value::Int(*id),
                     name.as_str().into(),
                     instance_type.as_str().into(),
                     Value::Int(*cores),
                 ],
-            )
-            .expect("schema matches");
-            c.next_machine = c.next_machine.max(id + 1);
-            true
+            }]
         }
         WalOp::RecordActivation { task, rec } => {
-            db.insert("hactivation", activation_row(*task, rec)).expect("schema matches");
             c.next_task = c.next_task.max(task + 1);
-            true
+            vec![Mutation::Insert { table: "hactivation", row: activation_row(*task, rec) }]
         }
         WalOp::UpdateActivation { task, rec } => {
-            let Ok(t) = db.table_mut("hactivation") else {
-                return false;
-            };
-            let Some(row) = t.rows_mut().iter_mut().find(|r| r[0] == Value::Int(*task)) else {
-                return false;
-            };
-            *row = activation_row(*task, rec);
-            true
+            vec![Mutation::UpdateActivation { task: *task, row: activation_row(*task, rec) }]
         }
         WalOp::RecordFile { id, task, activity, workflow, fname, fsize, fdir } => {
-            db.insert(
-                "hfile",
-                vec![
+            c.next_file = c.next_file.max(id + 1);
+            vec![Mutation::Insert {
+                table: "hfile",
+                row: vec![
                     Value::Int(*id),
                     Value::Int(*task),
                     Value::Int(*activity),
@@ -223,15 +321,13 @@ pub(crate) fn apply_op(db: &mut Database, c: &mut Counters, op: &WalOp) -> bool 
                     Value::Int(*fsize),
                     fdir.as_str().into(),
                 ],
-            )
-            .expect("schema matches");
-            c.next_file = c.next_file.max(id + 1);
-            true
+            }]
         }
         WalOp::RecordParameter { id, task, workflow, name, num, text } => {
-            db.insert(
-                "hparameter",
-                vec![
+            c.next_param = c.next_param.max(id + 1);
+            vec![Mutation::Insert {
+                table: "hparameter",
+                row: vec![
                     Value::Int(*id),
                     Value::Int(*task),
                     Value::Int(*workflow),
@@ -239,10 +335,7 @@ pub(crate) fn apply_op(db: &mut Database, c: &mut Counters, op: &WalOp) -> bool 
                     num.map(Value::Float).unwrap_or(Value::Null),
                     text.as_deref().map(Value::from).unwrap_or(Value::Null),
                 ],
-            )
-            .expect("schema matches");
-            c.next_param = c.next_param.max(id + 1);
-            true
+            }]
         }
         WalOp::RecordOutputTuple {
             first_id,
@@ -253,7 +346,24 @@ pub(crate) fn apply_op(db: &mut Database, c: &mut Counters, op: &WalOp) -> bool 
             tuple_idx,
             tuple,
         } => {
+            let mut muts = Vec::new();
             let mut id = *first_id;
+            let mut push = |id: i64, colidx: i64, num: Option<f64>, text: Option<String>| {
+                muts.push(Mutation::Insert {
+                    table: "houtput",
+                    row: vec![
+                        Value::Int(id),
+                        Value::Int(*task),
+                        Value::Int(*activity),
+                        Value::Int(*workflow),
+                        pair_key.as_str().into(),
+                        Value::Int(*tuple_idx),
+                        Value::Int(colidx),
+                        num.map(Value::Float).unwrap_or(Value::Null),
+                        text.map(Value::from).unwrap_or(Value::Null),
+                    ],
+                });
+            };
             for (col, v) in tuple.iter().enumerate() {
                 let (num, text) = match v {
                     Value::Int(i) => (Some(*i as f64), None),
@@ -263,52 +373,113 @@ pub(crate) fn apply_op(db: &mut Database, c: &mut Counters, op: &WalOp) -> bool 
                     Value::Bool(b) => (Some(*b as i64 as f64), None),
                     Value::Null => (None, None),
                 };
-                db.insert(
-                    "houtput",
-                    vec![
-                        Value::Int(id),
-                        Value::Int(*task),
-                        Value::Int(*activity),
-                        Value::Int(*workflow),
-                        pair_key.as_str().into(),
-                        Value::Int(*tuple_idx),
-                        Value::Int(col as i64),
-                        num.map(Value::Float).unwrap_or(Value::Null),
-                        text.map(Value::from).unwrap_or(Value::Null),
-                    ],
-                )
-                .expect("schema matches");
+                push(id, col as i64, num, text);
                 id += 1;
             }
             // arity-0 tuples still need a marker row so resume can
             // distinguish "finished with no output" from "never ran"
             if tuple.is_empty() {
-                db.insert(
-                    "houtput",
-                    vec![
-                        Value::Int(id),
-                        Value::Int(*task),
-                        Value::Int(*activity),
-                        Value::Int(*workflow),
-                        pair_key.as_str().into(),
-                        Value::Int(*tuple_idx),
-                        Value::Int(-1),
-                        Value::Null,
-                        Value::Null,
-                    ],
-                )
-                .expect("schema matches");
+                push(id, -1, None, None);
                 id += 1;
             }
             c.next_output = c.next_output.max(id);
-            true
+            muts
         }
     }
 }
 
+/// Apply one logged mutation to an in-memory [`Database`]. Returns `false`
+/// only for an [`WalOp::UpdateActivation`] whose task id is unknown (the
+/// live path never logs those).
+pub(crate) fn apply_op(db: &mut Database, c: &mut Counters, op: &WalOp) -> bool {
+    for m in plan_op(c, op) {
+        match m {
+            Mutation::Insert { table, row } => {
+                db.insert(table, row).expect("schema matches");
+            }
+            Mutation::UpdateActivation { task, row } => {
+                let Ok(t) = db.table_mut("hactivation") else {
+                    return false;
+                };
+                let Some(r) = t.rows_mut().iter_mut().find(|r| r[0] == Value::Int(task)) else {
+                    return false;
+                };
+                *r = row;
+            }
+        }
+    }
+    true
+}
+
+/// Apply one logged mutation to the paged engine — same [`plan_op`]
+/// translation, so both backings stay row-identical. Secondary index
+/// maintenance happens inside [`PagedDb`].
+fn apply_op_paged(pg: &mut PagedDb, c: &mut Counters, op: &WalOp) -> bool {
+    for m in plan_op(c, op) {
+        match m {
+            Mutation::Insert { table, row } => {
+                pg.insert(table, row).expect("schema matches");
+            }
+            Mutation::UpdateActivation { task, row } => {
+                let Some(rid) =
+                    pg.find_rowid_by_int("hactivation", "taskid", task).expect("schema matches")
+                else {
+                    return false;
+                };
+                pg.update("hactivation", rid, row).expect("schema matches");
+            }
+        }
+    }
+    true
+}
+
 /// The provenance store.
 pub struct ProvenanceStore {
-    inner: Mutex<Inner>,
+    /// Shared with live [`QueryCursor`]s, which re-lock per `next_row` call
+    /// so a half-drained cursor never blocks recording.
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// The secondary indexes installed over the PROV-Wf schema on every paged
+/// store — chosen to cover the steering queries' access paths (status
+/// summaries, per-activity failure counts, taskid point updates, time-range
+/// scans). See DESIGN.md §15.
+const PROV_INDEXES: &[(&str, &str, &[&str])] = &[
+    ("hworkflow", "ix_hworkflow_wkfid", &["wkfid"]),
+    ("hactivity", "ix_hactivity_actid", &["actid"]),
+    ("hactivity", "ix_hactivity_wkfid", &["wkfid"]),
+    ("hactivity", "ix_hactivity_tag", &["tag"]),
+    ("hactivation", "ix_hactivation_taskid", &["taskid"]),
+    ("hactivation", "ix_hactivation_wkfid", &["wkfid"]),
+    ("hactivation", "ix_hactivation_wkfid_status", &["wkfid", "status"]),
+    ("hactivation", "ix_hactivation_actid", &["actid"]),
+    ("hactivation", "ix_hactivation_status", &["status"]),
+    ("hactivation", "ix_hactivation_endtime", &["endtime"]),
+    ("hactivation", "ix_hactivation_pairkey", &["pairkey"]),
+    ("hfile", "ix_hfile_taskid", &["taskid"]),
+    ("hfile", "ix_hfile_wkfid", &["wkfid"]),
+    ("hparameter", "ix_hparameter_taskid", &["taskid"]),
+    ("hparameter", "ix_hparameter_pname", &["pname"]),
+    ("houtput", "ix_houtput_taskid", &["taskid"]),
+    ("houtput", "ix_houtput_wkfid", &["wkfid"]),
+    ("hmachine", "ix_hmachine_vmid", &["vmid"]),
+];
+
+/// Build a [`PagedDb`] over `store` with the contents of `db` and the
+/// standard PROV-Wf index set (backfilled over any recovered rows).
+fn paged_from_db(db: &Database, store: Box<dyn PageStore>) -> PagedDb {
+    let mut pg = PagedDb::new(store, crate::storage::paged::DEFAULT_CACHE_PAGES);
+    for name in db.table_names() {
+        let t = db.table(name).expect("listed table");
+        pg.create_table(name, t.schema.clone()).expect("fresh paged db");
+        for row in t.rows() {
+            pg.insert(name, row.clone()).expect("row was valid in the source db");
+        }
+    }
+    for (table, name, cols) in PROV_INDEXES {
+        pg.create_index(table, name, cols).expect("fresh paged db");
+    }
+    pg
 }
 
 impl Default for ProvenanceStore {
@@ -409,14 +580,29 @@ impl ProvenanceStore {
         db
     }
 
-    /// Create a purely in-memory store with the PROV-Wf schema installed.
+    /// Create a purely in-memory store with the PROV-Wf schema installed,
+    /// backed by the reference row-vector engine (no indexes, no paging).
     pub fn new() -> ProvenanceStore {
         ProvenanceStore {
-            inner: Mutex::new(Inner {
-                db: Self::schema_db(),
+            inner: Arc::new(Mutex::new(Inner {
+                backing: Backing::Mem(Self::schema_db()),
                 counters: Counters::default(),
                 engine: None,
-            }),
+            })),
+        }
+    }
+
+    /// Create a non-durable store on the paged engine (heap pages + B+tree
+    /// indexes over an in-memory page store). Same API and query results as
+    /// [`ProvenanceStore::new`]; indexed access paths instead of full scans.
+    pub fn new_paged() -> ProvenanceStore {
+        let pg = paged_from_db(&Self::schema_db(), Box::new(MemPageStore::new()));
+        ProvenanceStore {
+            inner: Arc::new(Mutex::new(Inner {
+                backing: Backing::Paged(pg),
+                counters: Counters::default(),
+                engine: None,
+            })),
         }
     }
 
@@ -431,28 +617,47 @@ impl ProvenanceStore {
     }
 
     /// [`ProvenanceStore::open`] with explicit durability options.
+    ///
+    /// Durable stores always run on the paged engine. The page file
+    /// (`pages.db` next to the WAL and snapshot) is a rebuildable
+    /// acceleration structure: it is recreated from the snapshot + WAL on
+    /// every open, so crash safety rests entirely on the logged state.
     pub fn open_with(
         dir: impl AsRef<Path>,
         options: DurableOptions,
     ) -> Result<ProvenanceStore, DurableError> {
-        Self::open_env(Box::new(DirEnv::new(dir)?), options)
+        let dir = dir.as_ref();
+        let env = Box::new(DirEnv::new(dir)?);
+        let pages = FilePageStore::create(&dir.join("pages.db"))?;
+        Self::open_env_on(env, options, Box::new(pages))
     }
 
     /// Open a durable store on an arbitrary [`StorageEnv`] — how tests
-    /// inject in-memory envs and fault plans.
+    /// inject in-memory envs and fault plans. Pages live in memory.
     pub fn open_env(
         env: Box<dyn StorageEnv>,
         options: DurableOptions,
     ) -> Result<ProvenanceStore, DurableError> {
+        Self::open_env_on(env, options, Box::new(MemPageStore::new()))
+    }
+
+    fn open_env_on(
+        env: Box<dyn StorageEnv>,
+        options: DurableOptions,
+        pages: Box<dyn PageStore>,
+    ) -> Result<ProvenanceStore, DurableError> {
         let (engine, recovered) = DurableEngine::open(env, &options)?;
-        let (mut db, mut counters) = match recovered.snapshot {
+        let (snap_db, mut counters) = match recovered.snapshot {
             Some((db, counters)) => (db, counters),
             None => (Self::schema_db(), Counters::default()),
         };
+        let mut backing = Backing::Paged(paged_from_db(&snap_db, pages));
         for op in &recovered.ops {
-            apply_op(&mut db, &mut counters, op);
+            backing.apply(&mut counters, op);
         }
-        Ok(ProvenanceStore { inner: Mutex::new(Inner { db, counters, engine: Some(engine) }) })
+        Ok(ProvenanceStore {
+            inner: Arc::new(Mutex::new(Inner { backing, counters, engine: Some(engine) })),
+        })
     }
 
     /// Is this store backed by a durable engine?
@@ -484,14 +689,11 @@ impl ProvenanceStore {
     /// for an in-memory store.
     pub fn checkpoint(&self) -> bool {
         let mut g = self.inner.lock();
-        let Inner { db, counters, engine } = &mut *g;
-        match engine {
-            Some(eng) => {
-                eng.checkpoint(db, counters).expect("provstore: snapshot checkpoint failed");
-                true
-            }
-            None => false,
+        if g.engine.is_none() {
+            return false;
         }
+        g.checkpoint_now();
+        true
     }
 
     /// Register a workflow execution.
@@ -550,11 +752,8 @@ impl ProvenanceStore {
     pub fn update_activation(&self, task: TaskId, rec: &ActivationRecord) -> bool {
         let mut g = self.inner.lock();
         // check existence first so unknown tasks are never logged
-        let known =
-            g.db.table("hactivation")
-                .map(|t| t.rows().iter().any(|r| r[0] == Value::Int(task.0)))
-                .unwrap_or(false);
-        if !known {
+        // (taskid-index point lookup on the paged backing)
+        if !g.backing.has_task(task.0) {
             return false;
         }
         g.commit(WalOp::UpdateActivation { task: task.0, rec: rec.clone() });
@@ -649,21 +848,17 @@ impl ProvenanceStore {
         // output rows (done with direct table scans: this is engine-internal,
         // not a user query)
         let mut out: std::collections::HashMap<String, Vec<Vec<Value>>> = Default::default();
-        let Ok(activities) = g.db.table("hactivity") else {
-            return out;
-        };
-        let act_id = activities.rows().iter().find_map(|r| {
+        let activities = g.backing.scan_all("hactivity");
+        let act_id = activities.iter().find_map(|r| {
             let id = r[0].as_f64()? as i64;
             let w = r[1].as_f64()? as i64;
             let tag = r[2].as_str()?;
             (w == wkf.0 && tag == activity_tag).then_some(id)
         });
         let Some(act_id) = act_id else { return out };
-        let Ok(activations) = g.db.table("hactivation") else {
-            return out;
-        };
-        let finished: std::collections::HashMap<i64, String> = activations
-            .rows()
+        let finished: std::collections::HashMap<i64, String> = g
+            .backing
+            .scan_all("hactivation")
             .iter()
             .filter_map(|r| {
                 let task = r[0].as_f64()? as i64;
@@ -673,13 +868,10 @@ impl ProvenanceStore {
                 (a == act_id && status == "FINISHED").then(|| (task, pk.to_string()))
             })
             .collect();
-        let Ok(outputs) = g.db.table("houtput") else {
-            return out;
-        };
         // (pair_key, tuple_idx) -> Vec<(colidx, value)>
         let mut cells: std::collections::HashMap<(String, i64), Vec<(i64, Value)>> =
             Default::default();
-        for r in outputs.rows() {
+        for r in &g.backing.scan_all("houtput") {
             let task = match r[1].as_f64() {
                 Some(t) => t as i64,
                 None => continue,
@@ -715,36 +907,92 @@ impl ProvenanceStore {
         out
     }
 
-    /// Run a SQL query against the provenance database.
+    /// Run a SQL query, returning a streaming [`QueryCursor`].
     ///
-    /// This is SciCumulus' *runtime provenance query* facility: safe to call
-    /// while workers are still recording.
-    pub fn query(&self, sql: &str) -> Result<ResultSet, QueryError> {
+    /// This is SciCumulus' *runtime provenance query* facility, redesigned
+    /// around streaming: the query is parsed, parameter-bound, and planned
+    /// up front (under a brief lock), then rows are pulled one at a time
+    /// with [`QueryCursor::next_row`] — each pull re-locks the store, so a
+    /// half-read cursor never blocks workers recording activations.
+    ///
+    /// `?` placeholders (numbered left to right) become [`Value`] literals
+    /// after parsing, so caller-supplied values can never change the query's
+    /// structure. Pass `&[]` for a query without parameters.
+    ///
+    /// Prefixing the SQL with `EXPLAIN ` returns the chosen plan instead:
+    /// one `plan` column, one row per line of the operator tree, including
+    /// which index (if any) each table access uses.
+    ///
+    /// Cursors do not snapshot: rows recorded while a cursor is open may or
+    /// may not appear in its remaining output. Use [`query_rows`] for a
+    /// point-in-time materialized result under one lock acquisition.
+    ///
+    /// [`query_rows`]: ProvenanceStore::query_rows
+    pub fn query(&self, sql: &str, params: &[Value]) -> Result<QueryCursor, QueryError> {
+        let (q, explain) = Self::prepare(sql, params)?;
         let g = self.inner.lock();
-        execute(&g.db, sql)
+        if explain {
+            let r = explain_query(g.backing.provider(), &q)?;
+            return Ok(QueryCursor {
+                inner: Arc::clone(&self.inner),
+                columns: Arc::new(r.columns),
+                src: CursorSrc::Rows(r.rows.into_iter()),
+            });
+        }
+        let pipe = build_pipeline(g.backing.provider(), &q)?;
+        Ok(QueryCursor::from_pipeline(Arc::clone(&self.inner), pipe))
     }
 
-    /// Run a SQL query with a typed row limit: `n` is applied as the query's
-    /// `LIMIT` without ever being spliced into the SQL text.
-    pub fn query_limited(&self, sql: &str, n: usize) -> Result<ResultSet, QueryError> {
+    /// Parse `sql` (honoring a leading case-insensitive `EXPLAIN ` prefix)
+    /// and bind `?` placeholders. Returns the bound query and whether it was
+    /// an EXPLAIN.
+    fn prepare(sql: &str, params: &[Value]) -> Result<(crate::sql::ast::Query, bool), QueryError> {
+        let trimmed = sql.trim_start();
+        let explain = trimmed.get(..8).is_some_and(|p| p.eq_ignore_ascii_case("explain "));
+        let mut q = parse(if explain { &trimmed[8..] } else { sql })?;
+        bind_params(&mut q, params)?;
+        Ok((q, explain))
+    }
+
+    /// [`ProvenanceStore::query`], fully materialized: runs the query to
+    /// completion under one lock acquisition and returns the whole
+    /// [`ResultSet`].
+    pub fn query_rows(&self, sql: &str, params: &[Value]) -> Result<ResultSet, QueryError> {
+        let (q, explain) = Self::prepare(sql, params)?;
         let g = self.inner.lock();
-        crate::sql::execute_with_limit(&g.db, sql, n)
+        if explain {
+            return explain_query(g.backing.provider(), &q);
+        }
+        run_query(g.backing.provider(), &q)
+    }
+
+    /// Run a SQL query with a typed row cap: `n` replaces the query's
+    /// `LIMIT` without ever being spliced into the SQL text, and is enforced
+    /// by the pipeline's `Limit` operator — upstream operators are never
+    /// pulled past the cap, rather than truncating a materialized result.
+    pub fn query_limited(&self, sql: &str, n: usize) -> Result<ResultSet, QueryError> {
+        let mut q = parse(sql)?;
+        q.limit = Some(n);
+        let g = self.inner.lock();
+        run_query(g.backing.provider(), &q)
     }
 
     /// Run a SQL query with `?` positional parameters bound to typed values.
-    /// Placeholders become [`Value`] literals after parsing, so runtime
-    /// values never get spliced into the SQL text.
+    #[deprecated(since = "0.2.0", note = "use `query` (streaming) or `query_rows`")]
     pub fn query_with_params(&self, sql: &str, params: &[Value]) -> Result<ResultSet, QueryError> {
-        let g = self.inner.lock();
-        crate::sql::execute_with_params(&g.db, sql, params)
+        self.query_rows(sql, params)
     }
 
     /// Row counts per table (diagnostics).
     pub fn stats(&self) -> Vec<(String, usize)> {
         let g = self.inner.lock();
-        g.db.table_names()
-            .iter()
-            .map(|n| (n.to_string(), g.db.table(n).expect("listed table").len()))
+        g.backing
+            .table_names()
+            .into_iter()
+            .map(|n| {
+                let count = g.backing.provider().row_count(&n).unwrap_or(0) as usize;
+                (n, count)
+            })
             .collect()
     }
 
@@ -752,11 +1000,9 @@ impl ProvenanceStore {
     /// how a fresh process discovers what a recovered store contains.
     pub fn workflows(&self) -> Vec<(WorkflowId, String)> {
         let g = self.inner.lock();
-        let Ok(t) = g.db.table("hworkflow") else {
-            return Vec::new();
-        };
-        let mut out: Vec<(WorkflowId, String)> = t
-            .rows()
+        let mut out: Vec<(WorkflowId, String)> = g
+            .backing
+            .scan_all("hworkflow")
             .iter()
             .filter_map(|r| {
                 let id = r[0].as_f64()? as i64;
@@ -775,14 +1021,180 @@ impl ProvenanceStore {
     }
 
     /// Full table dump, sorted by table name: `(table, rows)`. Used by the
-    /// recovery property tests to compare stores for exact state equality;
-    /// not a user query surface.
+    /// recovery property tests to compare stores for exact state equality
+    /// (across backings too); not a user query surface.
     pub fn dump_tables(&self) -> Vec<(String, Vec<Vec<Value>>)> {
         let g = self.inner.lock();
-        g.db.table_names()
-            .iter()
-            .map(|n| (n.to_string(), g.db.table(n).expect("listed table").rows().to_vec()))
+        g.backing
+            .table_names()
+            .into_iter()
+            .map(|n| {
+                let rows = g.backing.scan_all(&n);
+                (n, rows)
+            })
             .collect()
+    }
+
+    /// Is this store running on the paged (heap file + B+tree) engine?
+    pub fn is_paged(&self) -> bool {
+        matches!(self.inner.lock().backing, Backing::Paged(_))
+    }
+
+    /// Page-cache statistics (hits, misses, evictions, writebacks); all
+    /// zeros for a non-paged store.
+    pub fn cache_stats(&self) -> crate::storage::pager::CacheStats {
+        match &self.inner.lock().backing {
+            Backing::Paged(pg) => pg.cache_stats(),
+            Backing::Mem(_) => Default::default(),
+        }
+    }
+
+    /// Run the paged backing's structural checks — B+tree ordering, index ↔
+    /// heap agreement, page bookkeeping. A no-op `Ok` on the in-memory
+    /// backing. Crash-recovery tests call this after every reopen.
+    pub fn verify_integrity(&self) -> Result<(), String> {
+        match &self.inner.lock().backing {
+            Backing::Paged(pg) => pg.verify_integrity(),
+            Backing::Mem(_) => Ok(()),
+        }
+    }
+}
+
+/// Where a [`QueryCursor`] pulls its rows from.
+enum CursorSrc {
+    /// A live operator pipeline (re-locks the store per pull).
+    Pipe(Pipeline),
+    /// Pre-materialized rows (EXPLAIN output).
+    Rows(std::vec::IntoIter<Vec<Value>>),
+}
+
+/// A streaming handle over one query's results.
+///
+/// Returned by [`ProvenanceStore::query`]. Rows are produced on demand by
+/// [`next_row`](QueryCursor::next_row); each pull briefly locks the store,
+/// so holding a cursor open does not block concurrent recording. Dropping
+/// the cursor abandons the rest of the query — there is nothing to clean up.
+///
+/// Cursors do not snapshot: mutations racing a cursor may or may not be
+/// visible in its remaining rows.
+pub struct QueryCursor {
+    inner: Arc<Mutex<Inner>>,
+    columns: Arc<Vec<String>>,
+    src: CursorSrc,
+}
+
+impl QueryCursor {
+    fn from_pipeline(inner: Arc<Mutex<Inner>>, pipe: Pipeline) -> QueryCursor {
+        let columns = Arc::new(pipe.columns.clone());
+        QueryCursor { inner, columns, src: CursorSrc::Pipe(pipe) }
+    }
+
+    /// Output column names, in order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Pull the next row, or `None` when the query is exhausted.
+    pub fn next_row(&mut self) -> Result<Option<Row>, QueryError> {
+        let values = match &mut self.src {
+            CursorSrc::Pipe(pipe) => {
+                let g = self.inner.lock();
+                let cx = ExecCtx { provider: g.backing.provider() };
+                pipe.next_row(&cx)?
+            }
+            CursorSrc::Rows(it) => it.next(),
+        };
+        Ok(values.map(|values| Row { columns: Arc::clone(&self.columns), values }))
+    }
+
+    /// Drain the cursor into a materialized [`ResultSet`].
+    pub fn collect(mut self) -> Result<ResultSet, QueryError> {
+        let mut rows = Vec::new();
+        while let Some(row) = self.next_row()? {
+            rows.push(row.values);
+        }
+        Ok(ResultSet { columns: self.columns.iter().cloned().collect(), rows })
+    }
+}
+
+/// One row from a [`QueryCursor`], with typed, error-returning column
+/// accessors (the redesign of the old panicking [`ResultSet::cell`] access).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    columns: Arc<Vec<String>>,
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Column names of this row's result, in order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The raw values, in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume the row, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// The value in column `i`, or [`DbError::ColumnOutOfRange`].
+    pub fn get(&self, i: usize) -> Result<&Value, DbError> {
+        self.values.get(i).ok_or(DbError::ColumnOutOfRange { index: i, arity: self.values.len() })
+    }
+
+    /// The value of the column named `name` (matched case-insensitively,
+    /// and against the bare name for `binding.column`-style labels).
+    pub fn column(&self, name: &str) -> Option<&Value> {
+        self.columns
+            .iter()
+            .position(|c| {
+                c.eq_ignore_ascii_case(name)
+                    || c.rsplit('.').next().is_some_and(|tail| tail.eq_ignore_ascii_case(name))
+            })
+            .and_then(|i| self.values.get(i))
+    }
+
+    /// Column `i` as an `i64`, or a typed error.
+    pub fn int(&self, i: usize) -> Result<i64, DbError> {
+        match self.get(i)? {
+            Value::Int(v) => Ok(*v),
+            other => Err(DbError::CellType {
+                index: i,
+                expected: ValueType::Int,
+                got: other.to_string(),
+            }),
+        }
+    }
+
+    /// Column `i` as an `f64` (accepts any numeric value), or a typed error.
+    pub fn float(&self, i: usize) -> Result<f64, DbError> {
+        let v = self.get(i)?;
+        v.as_f64().ok_or_else(|| DbError::CellType {
+            index: i,
+            expected: ValueType::Float,
+            got: v.to_string(),
+        })
+    }
+
+    /// Column `i` as text, or a typed error.
+    pub fn text(&self, i: usize) -> Result<&str, DbError> {
+        match self.get(i)? {
+            Value::Text(s) => Ok(s),
+            other => Err(DbError::CellType {
+                index: i,
+                expected: ValueType::Text,
+                got: other.to_string(),
+            }),
+        }
+    }
+
+    /// Is column `i` NULL? (Still range-checked.)
+    pub fn is_null(&self, i: usize) -> Result<bool, DbError> {
+        Ok(self.get(i)?.is_null())
     }
 }
 
@@ -830,7 +1242,7 @@ mod tests {
              GROUP BY a.tag ORDER BY a.tag",
             w.0
         );
-        let r = p.query(&sql).unwrap();
+        let r = p.query_rows(&sql, &[]).unwrap();
         assert_eq!(r.len(), 2);
         // autodockvina1k sorts first
         assert_eq!(r.cell(0, 0), &Value::from("autodockvina1k"));
@@ -860,7 +1272,7 @@ mod tests {
                    FROM hworkflow w, hactivity a, hactivation t, hfile f \
                    WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND t.taskid = f.taskid \
                    AND f.fname LIKE '%.dlg'";
-        let r = p.query(sql).unwrap();
+        let r = p.query_rows(sql, &[]).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.cell(0, 2), &Value::from("GOL_4C5P.dlg"));
         assert_eq!(r.cell(0, 3), &Value::Int(65740));
@@ -876,7 +1288,7 @@ mod tests {
              ORDER BY t.endtime",
             w.0
         );
-        let r = p.query(&sql).unwrap();
+        let r = p.query_rows(&sql, &[]).unwrap();
         assert_eq!(r.len(), 4);
         assert_eq!(r.cell(0, 0), &Value::Float(2.5));
     }
@@ -884,7 +1296,8 @@ mod tests {
     #[test]
     fn failed_activations_queryable() {
         let (p, _, _, _) = populated();
-        let r = p.query("SELECT count(*) FROM hactivation WHERE status = 'FAILED'").unwrap();
+        let r =
+            p.query_rows("SELECT count(*) FROM hactivation WHERE status = 'FAILED'", &[]).unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(1));
     }
 
@@ -892,9 +1305,10 @@ mod tests {
     fn machine_join() {
         let (p, _, _, _) = populated();
         let r = p
-            .query(
+            .query_rows(
                 "SELECT m.instancetype, count(*) FROM hactivation t, hmachine m \
                  WHERE t.vmid = m.vmid GROUP BY m.instancetype",
+                &[],
             )
             .unwrap();
         assert_eq!(r.len(), 1);
@@ -918,7 +1332,10 @@ mod tests {
         p.record_parameter(t, w, "feb", Some(-7.2), None);
         p.record_parameter(t, w, "best_pair", None, Some("2HHN-0E6"));
         let r = p
-            .query("SELECT pname, pvalue_num FROM hparameter WHERE pvalue_num IS NOT NULL")
+            .query_rows(
+                "SELECT pname, pvalue_num FROM hparameter WHERE pvalue_num IS NOT NULL",
+                &[],
+            )
             .unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.cell(0, 1), &Value::Float(-7.2));
@@ -1011,14 +1428,16 @@ mod tests {
             pair_key: "R:L".into(),
         };
         let t = p.record_activation(&rec);
-        let r = p.query("SELECT count(*) FROM hactivation WHERE status = 'RUNNING'").unwrap();
+        let r =
+            p.query_rows("SELECT count(*) FROM hactivation WHERE status = 'RUNNING'", &[]).unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(1));
 
         rec.status = ActivationStatus::Finished;
         rec.end_time = 9.0;
         assert!(p.update_activation(t, &rec));
         // the RUNNING row was replaced, not duplicated
-        let r = p.query("SELECT status, count(*) FROM hactivation GROUP BY status").unwrap();
+        let r =
+            p.query_rows("SELECT status, count(*) FROM hactivation GROUP BY status", &[]).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.cell(0, 0), &Value::from("FINISHED"));
         assert_eq!(r.cell(0, 1), &Value::Int(1));
@@ -1138,7 +1557,7 @@ mod tests {
         let p2 =
             ProvenanceStore::open_env(Box::new(env), crate::durable::DurableOptions::default())
                 .unwrap();
-        let r = p2.query("SELECT status, endtime FROM hactivation").unwrap();
+        let r = p2.query_rows("SELECT status, endtime FROM hactivation", &[]).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.cell(0, 0), &Value::from("FINISHED"));
     }
@@ -1188,7 +1607,7 @@ mod tests {
         p.flush_wal();
         drop(p);
         let p2 = ProvenanceStore::open_with(dir.path(), opts).unwrap();
-        let r = p2.query("SELECT count(*) FROM hactivity").unwrap();
+        let r = p2.query_rows("SELECT count(*) FROM hactivity", &[]).unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(1));
         assert_eq!(p2.latest_workflow(), Some(w));
     }
@@ -1220,7 +1639,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let r = p.query("SELECT count(*) FROM hactivation").unwrap();
+        let r = p.query_rows("SELECT count(*) FROM hactivation", &[]).unwrap();
         assert_eq!(r.cell(0, 0), &Value::Int(400));
     }
 }

@@ -127,14 +127,15 @@ impl From<DbError> for QueryError {
 }
 
 /// Column bindings of the joined row: `(binding, column) → flat index`.
-struct Bindings {
+#[derive(Clone)]
+pub(crate) struct Bindings {
     /// (table binding name, schema, offset into the flat row)
-    tables: Vec<(String, Schema, usize)>,
-    width: usize,
+    pub(crate) tables: Vec<(String, Schema, usize)>,
+    pub(crate) width: usize,
 }
 
 impl Bindings {
-    fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize, QueryError> {
+    pub(crate) fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize, QueryError> {
         match table {
             Some(t) => {
                 for (binding, schema, off) in &self.tables {
@@ -164,7 +165,7 @@ impl Bindings {
 
     /// Can every column of `expr` be resolved against the first `n_tables`
     /// tables? Used for predicate push-down during the join.
-    fn expr_bound(&self, expr: &Expr, n_tables: usize) -> bool {
+    pub(crate) fn expr_bound(&self, expr: &Expr, n_tables: usize) -> bool {
         let upto = Bindings {
             tables: self.tables[..n_tables].to_vec(),
             width: self.tables[..n_tables].iter().map(|(_, s, _)| s.arity()).sum(),
@@ -188,7 +189,7 @@ impl Bindings {
 }
 
 /// Split an expression into its AND-ed conjuncts.
-fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+pub(crate) fn conjuncts(expr: &Expr) -> Vec<&Expr> {
     match expr {
         Expr::Binary { op: BinOp::And, lhs, rhs } => {
             let mut v = conjuncts(lhs);
@@ -200,12 +201,12 @@ fn conjuncts(expr: &Expr) -> Vec<&Expr> {
 }
 
 /// Evaluation context: one row, or a group of rows for aggregates.
-enum Ctx<'a> {
+pub(crate) enum Ctx<'a> {
     Row(&'a [Value]),
     Group(&'a [&'a Vec<Value>]),
 }
 
-fn eval(expr: &Expr, b: &Bindings, ctx: &Ctx<'_>) -> Result<Value, QueryError> {
+pub(crate) fn eval(expr: &Expr, b: &Bindings, ctx: &Ctx<'_>) -> Result<Value, QueryError> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         // `?` placeholders are substituted by `bind_params` before execution;
@@ -382,7 +383,7 @@ fn binary(op: BinOp, a: Value, c: Value) -> Result<Value, QueryError> {
     }
 }
 
-fn aggregate(name: &str, vals: &[Value]) -> Result<Value, QueryError> {
+pub(crate) fn aggregate(name: &str, vals: &[Value]) -> Result<Value, QueryError> {
     let lower = name.to_ascii_lowercase();
     if lower == "count" {
         return Ok(Value::Int(vals.len() as i64));
@@ -489,7 +490,7 @@ fn like_match(pattern: &str, text: &str) -> bool {
 }
 
 /// Derive an output column name for a select item.
-fn item_name(item: &super::ast::SelectItem) -> String {
+pub(crate) fn item_name(item: &super::ast::SelectItem) -> String {
     if let Some(a) = &item.alias {
         return a.clone();
     }
@@ -503,6 +504,11 @@ fn item_name(item: &super::ast::SelectItem) -> String {
 }
 
 /// Execute a SQL string against the database.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ProvenanceStore::query` (streaming cursor) or `query_rows`; \
+            for a raw Database use `sql::volcano::run_query`"
+)]
 pub fn execute(db: &Database, sql: &str) -> Result<ResultSet, QueryError> {
     let q = parse(sql)?;
     execute_query(db, &q)
@@ -512,6 +518,7 @@ pub fn execute(db: &Database, sql: &str) -> Result<ResultSet, QueryError> {
 /// `LIMIT` present in the text. This is the checked path for caller-supplied
 /// row counts — the value goes into the parsed [`Query`] directly and is
 /// never interpolated into the SQL string.
+#[deprecated(since = "0.2.0", note = "use `ProvenanceStore::query_limited`")]
 pub fn execute_with_limit(db: &Database, sql: &str, n: usize) -> Result<ResultSet, QueryError> {
     let mut q = parse(sql)?;
     q.limit = Some(n);
@@ -527,6 +534,7 @@ pub fn execute_with_limit(db: &Database, sql: &str, n: usize) -> Result<ResultSe
 /// count must match exactly.
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// # use provenance::table::{Database, Schema};
 /// # use provenance::value::{Value, ValueType};
 /// # use provenance::sql::execute_with_params;
@@ -536,6 +544,10 @@ pub fn execute_with_limit(db: &Database, sql: &str, n: usize) -> Result<ResultSe
 /// let r = execute_with_params(&db, "SELECT x FROM t WHERE x >= ?", &[Value::Int(5)]).unwrap();
 /// assert_eq!(r.len(), 1);
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ProvenanceStore::query(sql, params)` which returns a streaming cursor"
+)]
 pub fn execute_with_params(
     db: &Database,
     sql: &str,
@@ -548,7 +560,7 @@ pub fn execute_with_params(
 
 /// Replace every [`Expr::Param`] in the query with the matching literal from
 /// `params`. Errors if the placeholder count differs from `params.len()`.
-fn bind_params(q: &mut Query, params: &[Value]) -> Result<(), QueryError> {
+pub(crate) fn bind_params(q: &mut Query, params: &[Value]) -> Result<(), QueryError> {
     fn walk(e: &mut Expr, params: &[Value], seen: &mut usize) -> Result<(), QueryError> {
         match e {
             Expr::Param(i) => {
@@ -743,7 +755,9 @@ pub fn execute_query(db: &Database, q: &Query) -> Result<ResultSet, QueryError> 
         out_rows.sort_by(|(_, ka), (_, kb)| {
             for (k, spec) in ka.iter().zip(kb).zip(&q.order_by) {
                 let (a, b) = k;
-                let ord = a.compare(b).unwrap_or(std::cmp::Ordering::Equal);
+                // total_cmp, not compare: NULLs sort first instead of
+                // breaking sort_by's total-order contract
+                let ord = a.total_cmp(b);
                 let ord = if spec.descending { ord.reverse() } else { ord };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
@@ -764,7 +778,7 @@ pub fn execute_query(db: &Database, q: &Query) -> Result<ResultSet, QueryError> 
 /// that matches an output column (a select-list alias or derived name) sorts
 /// by the projected value — SQL's "ORDER BY output name" rule — otherwise
 /// the key is evaluated as an expression over the underlying row/group.
-fn order_keys(
+pub(crate) fn order_keys(
     q: &Query,
     b: &Bindings,
     ctx: &Ctx<'_>,
@@ -786,6 +800,8 @@ fn order_keys(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy entry points stay covered until removal
+
     use super::*;
     use crate::table::Schema;
     use crate::value::ValueType;

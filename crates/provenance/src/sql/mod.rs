@@ -12,8 +12,12 @@ pub mod ast;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
+pub mod volcano;
 
-pub use exec::{
-    execute, execute_query, execute_with_limit, execute_with_params, QueryError, ResultSet,
-};
+#[allow(deprecated)]
+pub use exec::{execute, execute_with_limit, execute_with_params};
+pub use exec::{execute_query, QueryError, ResultSet};
 pub use parser::{parse, SqlParseError};
+pub use plan::{Access, Plan, TableStep};
+pub use volcano::{explain_query, run_query};

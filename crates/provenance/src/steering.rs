@@ -3,9 +3,30 @@
 //! failures, hot spots, and problematic inputs without browsing output
 //! directories. Each helper wraps one SQL query against the PROV-Wf schema
 //! and returns typed rows.
+//!
+//! On a paged store these queries run through secondary indexes instead of
+//! full scans (`status`, `actid`, `endtime`, …); prefix any of the SQL
+//! below with `EXPLAIN` via [`ProvenanceStore::query`] to see the chosen
+//! access path.
 
 use crate::provwf::ProvenanceStore;
 use crate::sql::QueryError;
+use crate::value::Value;
+
+/// SQL behind [`status_summary`] (public so dashboards can `EXPLAIN` it).
+pub const STATUS_SUMMARY_SQL: &str =
+    "SELECT status, count(*) FROM hactivation GROUP BY status ORDER BY status";
+
+/// SQL behind [`failures_by_activity`].
+pub const FAILURES_BY_ACTIVITY_SQL: &str =
+    "SELECT a.tag, count(*) FROM hactivity a, hactivation t \
+     WHERE t.status = 'FAILED' AND a.actid = t.actid \
+     GROUP BY a.tag ORDER BY a.tag";
+
+/// SQL behind [`activations_since`].
+pub const ACTIVATIONS_SINCE_SQL: &str =
+    "SELECT t.taskid, t.status, t.pairkey, extract('epoch' from t.endtime) AS fin \
+     FROM hactivation t WHERE t.endtime >= ? ORDER BY t.endtime, t.taskid";
 
 /// Per-status activation counts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,8 +40,7 @@ pub struct StatusCount {
 
 /// Activation counts by terminal status.
 pub fn status_summary(prov: &ProvenanceStore) -> Result<Vec<StatusCount>, QueryError> {
-    let rs =
-        prov.query("SELECT status, count(*) FROM hactivation GROUP BY status ORDER BY status")?;
+    let rs = prov.query_rows(STATUS_SUMMARY_SQL, &[])?;
     Ok(rs
         .rows
         .iter()
@@ -31,17 +51,56 @@ pub fn status_summary(prov: &ProvenanceStore) -> Result<Vec<StatusCount>, QueryE
 }
 
 /// Failure counts per activity (where is the workflow fragile?).
+///
+/// On a paged store the `t.status = 'FAILED'` conjunct drives an index
+/// lookup and each activity is matched by an index probe on `actid` — the
+/// query reads only failed rows no matter how large the table is.
 pub fn failures_by_activity(prov: &ProvenanceStore) -> Result<Vec<(String, i64)>, QueryError> {
-    let rs = prov.query(
-        "SELECT a.tag, count(*) FROM hactivity a, hactivation t \
-         WHERE a.actid = t.actid AND t.status = 'FAILED' \
-         GROUP BY a.tag ORDER BY a.tag",
-    )?;
+    let rs = prov.query_rows(FAILURES_BY_ACTIVITY_SQL, &[])?;
     Ok(rs
         .rows
         .iter()
         .filter_map(|r| Some((r[0].as_str()?.to_string(), r[1].as_f64()? as i64)))
         .collect())
+}
+
+/// One row of [`activations_since`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecentActivation {
+    /// The activation's task id.
+    pub task: i64,
+    /// Status string as stored.
+    pub status: String,
+    /// Receptor–ligand pair key.
+    pub pair_key: String,
+    /// Seconds-since-epoch end time.
+    pub end_time: f64,
+}
+
+/// Activations whose `endtime` is at or after `since`, oldest first — the
+/// incremental "what happened since I last looked" steering poll. The bound
+/// is a typed `?` parameter; on a paged store it becomes a B+tree range
+/// scan over the `endtime` index.
+pub fn activations_since(
+    prov: &ProvenanceStore,
+    since: f64,
+) -> Result<Vec<RecentActivation>, QueryError> {
+    let mut cur = prov.query(ACTIVATIONS_SINCE_SQL, &[Value::Timestamp(since)])?;
+    let mut out = Vec::new();
+    while let Some(row) = cur.next_row()? {
+        let (Ok(task), Ok(status), Ok(pair), Ok(end)) =
+            (row.int(0), row.text(1), row.text(2), row.float(3))
+        else {
+            continue;
+        };
+        out.push(RecentActivation {
+            task,
+            status: status.to_string(),
+            pair_key: pair.to_string(),
+            end_time: end,
+        });
+    }
+    Ok(out)
 }
 
 /// One row of [`slowest_activations`].
@@ -98,10 +157,10 @@ pub fn problematic_pairs(
     prov: &ProvenanceStore,
     min_retries: i64,
 ) -> Result<Vec<(String, i64)>, QueryError> {
-    let rs = prov.query_with_params(
+    let rs = prov.query_rows(
         "SELECT pairkey, max(retries) AS r FROM hactivation \
          GROUP BY pairkey HAVING max(retries) >= ? ORDER BY pairkey",
-        &[crate::value::Value::Int(min_retries)],
+        &[Value::Int(min_retries)],
     )?;
     Ok(rs
         .rows
@@ -113,13 +172,19 @@ pub fn problematic_pairs(
 /// Activation throughput: finished activations per time bucket of
 /// `bucket_s` simulated/real seconds — the "how is the run progressing"
 /// steering view.
+///
+/// Streams through a [`ProvenanceStore::query`] cursor: the bucket map is
+/// built row by row without materializing the end-time column, and the
+/// store lock is released between pulls.
 pub fn throughput(prov: &ProvenanceStore, bucket_s: f64) -> Result<Vec<(i64, i64)>, QueryError> {
     assert!(bucket_s > 0.0, "bucket width must be positive");
-    let rs = prov
-        .query("SELECT extract('epoch' from endtime) FROM hactivation WHERE status = 'FINISHED'")?;
+    let mut cur = prov.query(
+        "SELECT extract('epoch' from endtime) FROM hactivation WHERE status = 'FINISHED'",
+        &[],
+    )?;
     let mut buckets: std::collections::BTreeMap<i64, i64> = Default::default();
-    for r in &rs.rows {
-        if let Some(t) = r[0].as_f64() {
+    while let Some(row) = cur.next_row()? {
+        if let Ok(t) = row.float(0) {
             *buckets.entry((t / bucket_s) as i64).or_default() += 1;
         }
     }
@@ -129,7 +194,7 @@ pub fn throughput(prov: &ProvenanceStore, bucket_s: f64) -> Result<Vec<(i64, i64
 /// Total data volume recorded in `hfile`, in bytes (the paper's "600 GB per
 /// execution" bookkeeping).
 pub fn data_volume_bytes(prov: &ProvenanceStore) -> Result<f64, QueryError> {
-    let rs = prov.query("SELECT sum(fsize) FROM hfile")?;
+    let rs = prov.query_rows("SELECT sum(fsize) FROM hfile", &[])?;
     Ok(rs.rows.first().and_then(|r| r[0].as_f64()).unwrap_or(0.0))
 }
 
@@ -138,8 +203,7 @@ mod tests {
     use super::*;
     use crate::provwf::{ActivationRecord, ActivationStatus};
 
-    fn store() -> ProvenanceStore {
-        let p = ProvenanceStore::new();
+    fn fill(p: &ProvenanceStore) {
         let w = p.begin_workflow("SciDock", "", "/e");
         let babel = p.register_activity(w, "babel", "Map");
         let dock = p.register_activity(w, "vina", "Map");
@@ -164,32 +228,115 @@ mod tests {
         let t = p.record_activation(&mk(dock, ActivationStatus::Finished, 140.0, 40.0, 0, "D:x"));
         p.record_file(t, dock, w, "D_x.dlg", 50_000, "/e/vina/3/");
         p.record_file(t, dock, w, "D_x.log", 10_000, "/e/vina/3/");
+    }
+
+    fn store() -> ProvenanceStore {
+        let p = ProvenanceStore::new();
+        fill(&p);
         p
+    }
+
+    fn paged_store() -> ProvenanceStore {
+        let p = ProvenanceStore::new_paged();
+        fill(&p);
+        p
+    }
+
+    /// The `plan` column of an EXPLAIN, joined into one string.
+    fn plan_of(p: &ProvenanceStore, sql: &str) -> String {
+        let rs = p
+            .query_rows(&format!("EXPLAIN {sql}"), &[Value::Timestamp(0.0)])
+            .or_else(|_| p.query_rows(&format!("EXPLAIN {sql}"), &[]));
+        rs.unwrap()
+            .rows
+            .iter()
+            .filter_map(|r| r[0].as_str().map(str::to_string))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     #[test]
     fn status_summary_counts() {
-        let s = status_summary(&store()).unwrap();
-        let get = |name: &str| s.iter().find(|c| c.status == name).map(|c| c.count);
-        assert_eq!(get("FINISHED"), Some(5));
-        assert_eq!(get("FAILED"), Some(3));
-        assert_eq!(get("ABORTED"), Some(1));
-        assert_eq!(get("BLACKLISTED"), None);
+        for p in [store(), paged_store()] {
+            let s = status_summary(&p).unwrap();
+            let get = |name: &str| s.iter().find(|c| c.status == name).map(|c| c.count);
+            assert_eq!(get("FINISHED"), Some(5));
+            assert_eq!(get("FAILED"), Some(3));
+            assert_eq!(get("ABORTED"), Some(1));
+            assert_eq!(get("BLACKLISTED"), None);
+        }
     }
 
     #[test]
     fn failures_grouped_by_activity() {
-        let f = failures_by_activity(&store()).unwrap();
-        assert_eq!(f, vec![("babel".to_string(), 1), ("vina".to_string(), 2)]);
+        for p in [store(), paged_store()] {
+            let f = failures_by_activity(&p).unwrap();
+            assert_eq!(f, vec![("babel".to_string(), 1), ("vina".to_string(), 2)]);
+        }
+    }
+
+    #[test]
+    fn activations_since_filters_by_end_time() {
+        for p in [store(), paged_store()] {
+            let all = activations_since(&p, 0.0).unwrap();
+            assert_eq!(all.len(), 9);
+            let recent = activations_since(&p, 100.0).unwrap();
+            // end times ≥ 100: the 137-second vina row, the 180-second one,
+            // and the 390-second aborted one
+            assert_eq!(recent.len(), 3);
+            assert!(recent.windows(2).all(|w| w[0].end_time <= w[1].end_time));
+            assert_eq!(recent.last().unwrap().status, "ABORTED");
+        }
+    }
+
+    #[test]
+    fn failure_join_probes_actid_index_on_paged_store() {
+        let plan = plan_of(&paged_store(), FAILURES_BY_ACTIVITY_SQL);
+        assert!(
+            plan.contains("IndexProbe hactivation AS t USING ix_hactivation_actid (actid =)"),
+            "the join key should probe the actid index:\n{plan}"
+        );
+        // the consumed join conjunct and the status filter are both re-applied
+        assert!(plan.contains("[2 filter(s)]"), "{plan}");
+    }
+
+    #[test]
+    fn status_equality_uses_status_index_on_paged_store() {
+        let plan =
+            plan_of(&paged_store(), "SELECT count(*) FROM hactivation WHERE status = 'FAILED'");
+        assert!(
+            plan.contains(
+                "IndexScan hactivation AS hactivation USING ix_hactivation_status (status =)"
+            ),
+            "status equality should pick the status index:\n{plan}"
+        );
+    }
+
+    #[test]
+    fn since_query_uses_endtime_range_on_paged_store() {
+        let plan = plan_of(&paged_store(), ACTIVATIONS_SINCE_SQL);
+        assert!(
+            plan.contains("IndexRange hactivation") && plan.contains("ix_hactivation_endtime"),
+            "endtime bound should become a B+tree range scan:\n{plan}"
+        );
+    }
+
+    #[test]
+    fn mem_store_plans_full_scans() {
+        let plan = plan_of(&store(), FAILURES_BY_ACTIVITY_SQL);
+        assert!(plan.contains("SeqScan"), "{plan}");
+        assert!(!plan.contains("Index"), "no indexes on the mem backing:\n{plan}");
     }
 
     #[test]
     fn slowest_finds_the_long_dockings() {
-        let s = slowest_activations(&store(), 2).unwrap();
-        assert_eq!(s.len(), 2);
-        assert_eq!(s[0].activity, "vina");
-        assert!(s[0].seconds >= s[1].seconds);
-        assert!((s[0].seconds - 60.0).abs() < 1e-9);
+        for p in [store(), paged_store()] {
+            let s = slowest_activations(&p, 2).unwrap();
+            assert_eq!(s.len(), 2);
+            assert_eq!(s[0].activity, "vina");
+            assert!(s[0].seconds >= s[1].seconds);
+            assert!((s[0].seconds - 60.0).abs() < 1e-9);
+        }
     }
 
     #[test]
@@ -207,10 +354,12 @@ mod tests {
 
     #[test]
     fn problematic_pairs_by_retry_count() {
-        let p = problematic_pairs(&store(), 2).unwrap();
-        assert_eq!(p, vec![("B:x".to_string(), 2)]);
-        let loose = problematic_pairs(&store(), 1).unwrap();
-        assert_eq!(loose.len(), 1, "only B:x was retried");
+        for p in [store(), paged_store()] {
+            let pp = problematic_pairs(&p, 2).unwrap();
+            assert_eq!(pp, vec![("B:x".to_string(), 2)]);
+            let loose = problematic_pairs(&p, 1).unwrap();
+            assert_eq!(loose.len(), 1, "only B:x was retried");
+        }
     }
 
     #[test]
@@ -225,17 +374,20 @@ mod tests {
 
     #[test]
     fn throughput_buckets() {
-        // finished end times: 2.0, 7.5, 70.0, 137.0, 180.0 → buckets of 60 s
-        let t = throughput(&store(), 60.0).unwrap();
-        let total: i64 = t.iter().map(|(_, c)| c).sum();
-        assert_eq!(total, 5);
-        assert_eq!(t[0], (0, 2));
+        for p in [store(), paged_store()] {
+            // finished end times: 2.0, 7.5, 70.0, 137.0, 180.0 → buckets of 60 s
+            let t = throughput(&p, 60.0).unwrap();
+            let total: i64 = t.iter().map(|(_, c)| c).sum();
+            assert_eq!(total, 5);
+            assert_eq!(t[0], (0, 2));
+        }
     }
 
     #[test]
     fn data_volume_sums_files() {
         assert_eq!(data_volume_bytes(&store()).unwrap(), 60_000.0);
         assert_eq!(data_volume_bytes(&ProvenanceStore::new()).unwrap(), 0.0);
+        assert_eq!(data_volume_bytes(&paged_store()).unwrap(), 60_000.0);
     }
 
     #[test]

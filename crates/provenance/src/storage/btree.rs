@@ -1,0 +1,518 @@
+//! B+tree over the page cache: byte-string keys → `u64` values.
+//!
+//! Invariants (see DESIGN.md §15):
+//! - Every node serializes into one [`PAGE_SIZE`] page; inserts that would
+//!   overflow split the node at the midpoint, so the tree stays balanced on
+//!   the insert path (all leaves at equal depth).
+//! - Keys are unique byte strings in strictly increasing order left-to-right;
+//!   inserting an existing key replaces its value.
+//! - An internal separator `s` means: the subtree right of `s` holds keys
+//!   `≥ s`; descents take the child at `partition_point(keys ≤ target)`.
+//! - Leaves are chained left-to-right through `next` (page 0 = none), so
+//!   range scans walk leaves without re-descending.
+//! - Deletes are leaf-local (no merge/rebalance): the provenance workload is
+//!   append-mostly, and an underfull leaf is still a correct leaf.
+
+use std::ops::Bound;
+
+use super::page::PAGE_SIZE;
+use super::pager::{PageCache, PageId};
+
+const LEAF_TAG: u8 = 1;
+const INNER_TAG: u8 = 0;
+
+enum Node {
+    Leaf { next: PageId, entries: Vec<(Vec<u8>, u64)> },
+    Inner { keys: Vec<Vec<u8>>, children: Vec<PageId> },
+}
+
+impl Node {
+    fn size(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                7 + entries.iter().map(|(k, _)| 2 + k.len() + 8).sum::<usize>()
+            }
+            Node::Inner { keys, .. } => 7 + keys.iter().map(|k| 2 + k.len() + 4).sum::<usize>(),
+        }
+    }
+}
+
+fn read_node(cache: &PageCache, pid: PageId) -> Node {
+    cache.with_page(pid, |p| {
+        let tag = p[0];
+        let n = u16::from_le_bytes([p[1], p[2]]) as usize;
+        let mut off = 3;
+        let u16_at = |p: &[u8], o: usize| u16::from_le_bytes([p[o], p[o + 1]]);
+        let u32_at = |p: &[u8], o: usize| u32::from_le_bytes([p[o], p[o + 1], p[o + 2], p[o + 3]]);
+        if tag == LEAF_TAG {
+            let next = u32_at(p, off);
+            off += 4;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let klen = u16_at(p, off) as usize;
+                off += 2;
+                let key = p[off..off + klen].to_vec();
+                off += klen;
+                let val = u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes"));
+                off += 8;
+                entries.push((key, val));
+            }
+            Node::Leaf { next, entries }
+        } else {
+            let mut children = Vec::with_capacity(n + 1);
+            children.push(u32_at(p, off));
+            off += 4;
+            let mut keys = Vec::with_capacity(n);
+            for _ in 0..n {
+                let klen = u16_at(p, off) as usize;
+                off += 2;
+                keys.push(p[off..off + klen].to_vec());
+                off += klen;
+                children.push(u32_at(p, off));
+                off += 4;
+            }
+            Node::Inner { keys, children }
+        }
+    })
+}
+
+fn write_node(cache: &PageCache, pid: PageId, node: &Node) {
+    debug_assert!(node.size() <= PAGE_SIZE, "node overflows page");
+    cache.with_page_mut(pid, |p| match node {
+        Node::Leaf { next, entries } => {
+            p[0] = LEAF_TAG;
+            p[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+            p[3..7].copy_from_slice(&next.to_le_bytes());
+            let mut off = 7;
+            for (k, v) in entries {
+                p[off..off + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                off += 2;
+                p[off..off + k.len()].copy_from_slice(k);
+                off += k.len();
+                p[off..off + 8].copy_from_slice(&v.to_le_bytes());
+                off += 8;
+            }
+        }
+        Node::Inner { keys, children } => {
+            p[0] = INNER_TAG;
+            p[1..3].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+            p[3..7].copy_from_slice(&children[0].to_le_bytes());
+            let mut off = 7;
+            for (k, c) in keys.iter().zip(&children[1..]) {
+                p[off..off + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                off += 2;
+                p[off..off + k.len()].copy_from_slice(k);
+                off += k.len();
+                p[off..off + 4].copy_from_slice(&c.to_le_bytes());
+                off += 4;
+            }
+        }
+    });
+}
+
+/// Child pointer to follow for `target`, read straight off a serialized
+/// inner page. Descents run on every lookup and insert, so this avoids
+/// materialising the node (a `Vec` per key) just to binary-search it.
+fn raw_child_for(p: &[u8], target: &[u8]) -> PageId {
+    debug_assert_eq!(p[0], INNER_TAG);
+    let n = u16::from_le_bytes([p[1], p[2]]) as usize;
+    let mut child = u32::from_le_bytes([p[3], p[4], p[5], p[6]]);
+    let mut off = 7;
+    for _ in 0..n {
+        let klen = u16::from_le_bytes([p[off], p[off + 1]]) as usize;
+        off += 2;
+        // separators are sorted: take the child right of the last
+        // separator ≤ target (same answer as `child_for`'s partition_point)
+        if &p[off..off + klen] <= target {
+            off += klen;
+            child = u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]);
+            off += 4;
+        } else {
+            break;
+        }
+    }
+    child
+}
+
+/// Descend to the leaf that could hold `key` (leftmost leaf when `None`)
+/// without deserializing the inner nodes along the way.
+fn raw_leaf_for(cache: &PageCache, mut pid: PageId, key: Option<&[u8]>) -> PageId {
+    loop {
+        let next = cache.with_page(pid, |p| {
+            if p[0] == LEAF_TAG {
+                None
+            } else {
+                Some(match key {
+                    Some(k) => raw_child_for(p, k),
+                    None => u32::from_le_bytes([p[3], p[4], p[5], p[6]]),
+                })
+            }
+        });
+        match next {
+            Some(c) => pid = c,
+            None => return pid,
+        }
+    }
+}
+
+/// Splice `key → val` into a serialized leaf in place: overwrite the value
+/// on an exact match, else memmove the tail open and write the new entry.
+/// Returns `false` (entries untouched) when the page is full and the leaf
+/// must split via the decode path.
+fn raw_leaf_insert(p: &mut [u8], key: &[u8], val: u64) -> bool {
+    debug_assert_eq!(p[0], LEAF_TAG);
+    let n = u16::from_le_bytes([p[1], p[2]]) as usize;
+    let mut off = 7;
+    let mut ins = None;
+    for _ in 0..n {
+        let klen = u16::from_le_bytes([p[off], p[off + 1]]) as usize;
+        let entry_len = 2 + klen + 8;
+        if ins.is_none() {
+            let k = &p[off + 2..off + 2 + klen];
+            if k == key {
+                p[off + 2 + klen..off + entry_len].copy_from_slice(&val.to_le_bytes());
+                return true;
+            }
+            if k > key {
+                ins = Some(off);
+            }
+        }
+        off += entry_len;
+    }
+    let used = off;
+    let ins = ins.unwrap_or(used);
+    let extra = 2 + key.len() + 8;
+    if used + extra > PAGE_SIZE {
+        return false;
+    }
+    p.copy_within(ins..used, ins + extra);
+    p[ins..ins + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+    p[ins + 2..ins + 2 + key.len()].copy_from_slice(key);
+    p[ins + 2 + key.len()..ins + extra].copy_from_slice(&val.to_le_bytes());
+    p[1..3].copy_from_slice(&((n + 1) as u16).to_le_bytes());
+    true
+}
+
+/// A B+tree rooted at one page of a [`PageCache`].
+pub struct BTree {
+    root: PageId,
+}
+
+impl BTree {
+    /// Create an empty tree (allocates its root leaf).
+    pub fn create(cache: &PageCache) -> BTree {
+        let root = cache.allocate();
+        write_node(cache, root, &Node::Leaf { next: 0, entries: Vec::new() });
+        BTree { root }
+    }
+
+    fn child_for(keys: &[Vec<u8>], target: &[u8]) -> usize {
+        keys.partition_point(|k| k.as_slice() <= target)
+    }
+
+    /// Insert `key → val`, replacing the value if `key` already exists.
+    pub fn insert(&mut self, cache: &PageCache, key: &[u8], val: u64) {
+        // fast path: splice into the target leaf in place; falls through to
+        // the decode/split descent only when that leaf is full (~1 insert in
+        // fan-out, so splits stay amortised)
+        let leaf = raw_leaf_for(cache, self.root, Some(key));
+        if cache.with_page_mut(leaf, |p| raw_leaf_insert(p, key, val)) {
+            return;
+        }
+        if let Some((sep, right)) = Self::insert_rec(cache, self.root, key, val) {
+            let new_root = cache.allocate();
+            write_node(
+                cache,
+                new_root,
+                &Node::Inner { keys: vec![sep], children: vec![self.root, right] },
+            );
+            self.root = new_root;
+        }
+    }
+
+    fn insert_rec(
+        cache: &PageCache,
+        pid: PageId,
+        key: &[u8],
+        val: u64,
+    ) -> Option<(Vec<u8>, PageId)> {
+        match read_node(cache, pid) {
+            Node::Leaf { next, mut entries } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => entries[i].1 = val,
+                    Err(i) => entries.insert(i, (key.to_vec(), val)),
+                }
+                let node = Node::Leaf { next, entries };
+                if node.size() <= PAGE_SIZE {
+                    write_node(cache, pid, &node);
+                    return None;
+                }
+                let Node::Leaf { next, mut entries } = node else { unreachable!() };
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].0.clone();
+                let right_pid = cache.allocate();
+                write_node(cache, right_pid, &Node::Leaf { next, entries: right_entries });
+                write_node(cache, pid, &Node::Leaf { next: right_pid, entries });
+                Some((sep, right_pid))
+            }
+            Node::Inner { mut keys, mut children } => {
+                let idx = Self::child_for(&keys, key);
+                let split = Self::insert_rec(cache, children[idx], key, val)?;
+                keys.insert(idx, split.0);
+                children.insert(idx + 1, split.1);
+                let node = Node::Inner { keys, children };
+                if node.size() <= PAGE_SIZE {
+                    write_node(cache, pid, &node);
+                    return None;
+                }
+                let Node::Inner { mut keys, mut children } = node else { unreachable!() };
+                let mid = keys.len() / 2;
+                let up = keys[mid].clone();
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // `up` moves to the parent
+                let right_children = children.split_off(mid + 1);
+                let right_pid = cache.allocate();
+                write_node(
+                    cache,
+                    right_pid,
+                    &Node::Inner { keys: right_keys, children: right_children },
+                );
+                write_node(cache, pid, &Node::Inner { keys, children });
+                Some((up, right_pid))
+            }
+        }
+    }
+
+    /// Remove `key`; returns whether it was present. Leaf-local (no merge).
+    pub fn delete(&mut self, cache: &PageCache, key: &[u8]) -> bool {
+        let mut pid = self.root;
+        loop {
+            match read_node(cache, pid) {
+                Node::Inner { keys, children } => pid = children[Self::child_for(&keys, key)],
+                Node::Leaf { next, mut entries } => {
+                    return match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                        Ok(i) => {
+                            entries.remove(i);
+                            write_node(cache, pid, &Node::Leaf { next, entries });
+                            true
+                        }
+                        Err(_) => false,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Exact-key lookup. Scans the serialized leaf in place — no allocation.
+    pub fn get(&self, cache: &PageCache, key: &[u8]) -> Option<u64> {
+        let leaf = raw_leaf_for(cache, self.root, Some(key));
+        cache.with_page(leaf, |p| {
+            let n = u16::from_le_bytes([p[1], p[2]]) as usize;
+            let mut off = 7;
+            for _ in 0..n {
+                let klen = u16::from_le_bytes([p[off], p[off + 1]]) as usize;
+                let k = &p[off + 2..off + 2 + klen];
+                if k == key {
+                    let v = off + 2 + klen;
+                    return Some(u64::from_le_bytes(p[v..v + 8].try_into().expect("8 bytes")));
+                }
+                if k > key {
+                    return None; // entries are sorted: passed the slot
+                }
+                off += 2 + klen + 8;
+            }
+            None
+        })
+    }
+
+    /// Collect up to `limit` `(key, value)` entries with keys in `(lo, hi)`,
+    /// in ascending key order, appending to `out`.
+    pub fn collect_range(
+        &self,
+        cache: &PageCache,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+        limit: usize,
+        out: &mut Vec<(Vec<u8>, u64)>,
+    ) {
+        let start: Option<&[u8]> = match lo {
+            Bound::Included(k) | Bound::Excluded(k) => Some(k),
+            Bound::Unbounded => None,
+        };
+        // walk the leaf chain over the serialized pages, cloning only the
+        // entries that are actually in range
+        let mut pid = raw_leaf_for(cache, self.root, start);
+        let mut taken = 0usize;
+        loop {
+            let (next, done) = cache.with_page(pid, |p| {
+                debug_assert_eq!(p[0], LEAF_TAG);
+                let n = u16::from_le_bytes([p[1], p[2]]) as usize;
+                let next = u32::from_le_bytes([p[3], p[4], p[5], p[6]]);
+                let mut off = 7;
+                for _ in 0..n {
+                    let klen = u16::from_le_bytes([p[off], p[off + 1]]) as usize;
+                    let k = &p[off + 2..off + 2 + klen];
+                    let v_off = off + 2 + klen;
+                    off = v_off + 8;
+                    let after_lo = match lo {
+                        Bound::Included(l) => k >= l,
+                        Bound::Excluded(l) => k > l,
+                        Bound::Unbounded => true,
+                    };
+                    if !after_lo {
+                        continue;
+                    }
+                    let before_hi = match hi {
+                        Bound::Included(h) => k <= h,
+                        Bound::Excluded(h) => k < h,
+                        Bound::Unbounded => true,
+                    };
+                    if !before_hi {
+                        return (next, true);
+                    }
+                    let v = u64::from_le_bytes(p[v_off..v_off + 8].try_into().expect("8 bytes"));
+                    out.push((k.to_vec(), v));
+                    taken += 1;
+                    if taken >= limit {
+                        return (next, true);
+                    }
+                }
+                (next, false)
+            });
+            if done || next == 0 {
+                return;
+            }
+            pid = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::pager::MemPageStore;
+
+    fn cache(cap: usize) -> PageCache {
+        PageCache::new(Box::new(MemPageStore::new()), cap)
+    }
+
+    fn key(i: u64) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_get_thousands_in_shuffled_order() {
+        let c = cache(64);
+        let mut t = BTree::create(&c);
+        let n = 5000u64;
+        // deterministic shuffle: multiply by an odd constant mod 2^k
+        let mut order: Vec<u64> = (0..n).map(|i| (i.wrapping_mul(2654435761)) % n).collect();
+        order.sort_unstable();
+        order.dedup();
+        for extra in 0..n {
+            if !order.contains(&extra) {
+                order.push(extra);
+            }
+        }
+        for &i in &order {
+            t.insert(&c, &key(i), i * 10);
+        }
+        for i in 0..n {
+            assert_eq!(t.get(&c, &key(i)), Some(i * 10), "key {i}");
+        }
+        assert_eq!(t.get(&c, &key(n + 1)), None);
+    }
+
+    #[test]
+    fn range_scan_is_sorted_and_bounded() {
+        let c = cache(32);
+        let mut t = BTree::create(&c);
+        for i in (0..1000u64).rev() {
+            t.insert(&c, &key(i), i);
+        }
+        let mut out = Vec::new();
+        t.collect_range(
+            &c,
+            Bound::Included(&key(100)[..]),
+            Bound::Excluded(&key(200)[..]),
+            usize::MAX,
+            &mut out,
+        );
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0].1, 100);
+        assert_eq!(out[99].1, 199);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+
+        out.clear();
+        t.collect_range(&c, Bound::Unbounded, Bound::Unbounded, 7, &mut out);
+        assert_eq!(out.len(), 7, "limit respected");
+        assert_eq!(out[0].1, 0);
+    }
+
+    #[test]
+    fn insert_replaces_existing_value() {
+        let c = cache(16);
+        let mut t = BTree::create(&c);
+        t.insert(&c, b"k", 1);
+        t.insert(&c, b"k", 2);
+        assert_eq!(t.get(&c, b"k"), Some(2));
+        let mut out = Vec::new();
+        t.collect_range(&c, Bound::Unbounded, Bound::Unbounded, usize::MAX, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn delete_removes_only_the_key() {
+        let c = cache(32);
+        let mut t = BTree::create(&c);
+        for i in 0..2000u64 {
+            t.insert(&c, &key(i), i);
+        }
+        for i in (0..2000u64).step_by(2) {
+            assert!(t.delete(&c, &key(i)));
+        }
+        assert!(!t.delete(&c, &key(0)), "already deleted");
+        for i in 0..2000u64 {
+            assert_eq!(t.get(&c, &key(i)), (i % 2 == 1).then_some(i), "key {i}");
+        }
+        let mut out = Vec::new();
+        t.collect_range(&c, Bound::Unbounded, Bound::Unbounded, usize::MAX, &mut out);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn long_keys_split_correctly() {
+        let c = cache(64);
+        let mut t = BTree::create(&c);
+        // 264-byte keys (the index-entry maximum) force low fan-out
+        let mk = |i: u64| {
+            let mut k = vec![b'x'; 256];
+            k.extend_from_slice(&i.to_be_bytes());
+            k
+        };
+        for i in 0..500u64 {
+            t.insert(&c, &mk(i), i);
+        }
+        for i in 0..500u64 {
+            assert_eq!(t.get(&c, &mk(i)), Some(i));
+        }
+        let mut out = Vec::new();
+        t.collect_range(&c, Bound::Unbounded, Bound::Unbounded, usize::MAX, &mut out);
+        assert_eq!(out.len(), 500);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn survives_tiny_cache_with_eviction() {
+        let c = cache(8); // min capacity → constant eviction during descent
+        let mut t = BTree::create(&c);
+        for i in 0..3000u64 {
+            t.insert(&c, &key(i ^ 0x5A5A), i);
+        }
+        for i in 0..3000u64 {
+            assert_eq!(t.get(&c, &key(i ^ 0x5A5A)), Some(i));
+        }
+        assert!(c.stats().evictions > 0);
+    }
+}

@@ -68,6 +68,29 @@ pub enum DbError {
     NoSuchTable(String),
     /// Duplicate table registration.
     TableExists(String),
+    /// Index name not defined on the table.
+    NoSuchIndex {
+        /// Table the lookup targeted.
+        table: String,
+        /// The missing index name.
+        index: String,
+    },
+    /// A row/cell access past the end of a result row.
+    ColumnOutOfRange {
+        /// Requested column position.
+        index: usize,
+        /// Number of columns in the row.
+        arity: usize,
+    },
+    /// A typed cell accessor hit a value of a different type.
+    CellType {
+        /// Column position accessed.
+        index: usize,
+        /// The type the accessor requires.
+        expected: ValueType,
+        /// Display form of the value actually there.
+        got: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -81,6 +104,15 @@ impl fmt::Display for DbError {
             }
             DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
             DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::NoSuchIndex { table, index } => {
+                write!(f, "no such index: {index} on {table}")
+            }
+            DbError::ColumnOutOfRange { index, arity } => {
+                write!(f, "column {index} out of range for a {arity}-column row")
+            }
+            DbError::CellType { index, expected, got } => {
+                write!(f, "column {index} expected {expected:?}, found {got}")
+            }
         }
     }
 }

@@ -97,6 +97,31 @@ impl Value {
     pub fn sql_eq(&self, other: &Value) -> Option<bool> {
         self.compare(other).map(|o| o == Ordering::Equal)
     }
+
+    /// A total order over all values, for ORDER BY: `NULL` sorts first,
+    /// then booleans, then numerics (by value), then text. Agrees with
+    /// [`Value::compare`] wherever that is defined, and with the
+    /// order-preserving index key encoding everywhere — so sorted output is
+    /// identical whether rows arrive from a B+tree range scan or a sort
+    /// operator.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 2,
+                Value::Text(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)).then_with(|| match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a.total_cmp(&b),
+                _ => Ordering::Equal,
+            }),
+        }
+    }
 }
 
 impl PartialEq for Value {

@@ -2,8 +2,14 @@
 
 use proptest::prelude::*;
 
-use provenance::sql::execute;
+use provenance::sql::{execute_query, parse, QueryError, ResultSet};
 use provenance::{Database, Schema, Value, ValueType};
+
+/// Parse + run on the reference engine (the non-deprecated spelling of the
+/// old `sql::execute` free function).
+fn execute(db: &Database, sql: &str) -> Result<ResultSet, QueryError> {
+    execute_query(db, &parse(sql)?)
+}
 
 /// Reference implementation of SQL LIKE used to check the engine's matcher.
 fn like_reference(pattern: &str, text: &str) -> bool {

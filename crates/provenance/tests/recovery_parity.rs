@@ -118,7 +118,7 @@ struct Observed {
 
 fn observe(p: &ProvenanceStore) -> Observed {
     let query1 = p
-        .query(
+        .query_rows(
             "SELECT a.tag, \
                min(extract('epoch' from (t.endtime-t.starttime))), \
                max(extract('epoch' from (t.endtime-t.starttime))), \
@@ -127,15 +127,17 @@ fn observe(p: &ProvenanceStore) -> Observed {
              FROM hworkflow w, hactivity a, hactivation t \
              WHERE w.wkfid = a.wkfid AND a.actid = t.actid \
              GROUP BY a.tag ORDER BY a.tag",
+            &[],
         )
         .unwrap()
         .rows;
     let query2 = p
-        .query(
+        .query_rows(
             "SELECT w.tag, a.tag, f.fname, f.fsize, f.fdir \
              FROM hworkflow w, hactivity a, hactivation t, hfile f \
              WHERE w.wkfid = a.wkfid AND a.actid = t.actid AND t.taskid = f.taskid \
              AND f.fname LIKE '%.dlg' ORDER BY f.fname",
+            &[],
         )
         .unwrap()
         .rows;
@@ -161,6 +163,31 @@ fn reference(steps: usize) -> Observed {
     let p = ProvenanceStore::new();
     populate(&p, steps);
     observe(&p)
+}
+
+#[test]
+fn paged_and_mem_stores_answer_every_query_identically() {
+    // same mutation sequence into both backings, no durability involved:
+    // the B+tree/heap-file engine and the Vec-of-rows engine must be
+    // observationally indistinguishable, including byte-identical
+    // canonical PROV-N
+    let mem = ProvenanceStore::new();
+    let paged = ProvenanceStore::new_paged();
+    assert!(!mem.is_paged());
+    assert!(paged.is_paged());
+    populate(&mem, FULL);
+    populate(&paged, FULL);
+    assert_eq!(observe(&mem), observe(&paged));
+    assert_eq!(
+        provenance::export_provn_canonical(&mem),
+        provenance::export_provn_canonical(&paged),
+        "canonical PROV-N must be byte-identical across backings"
+    );
+    paged.verify_integrity().expect("paged structural invariants hold");
+    assert!(
+        paged.cache_stats().hits > 0,
+        "queries over the paged store must actually go through the page cache"
+    );
 }
 
 #[test]
@@ -209,6 +236,8 @@ fn crash_recovered_store_answers_like_its_committed_prefix() {
         std::mem::forget(p);
 
         let rp = ProvenanceStore::open_env(Box::new(env), sync_options()).unwrap();
+        assert!(rp.is_paged(), "durable stores recover onto the paged backing");
+        rp.verify_integrity().expect("recovered paged store passes structural checks");
         assert_eq!(
             observe(&rp),
             reference(crash_at),
@@ -235,6 +264,7 @@ fn torn_tail_on_disk_still_answers_like_a_committed_prefix() {
 
     let rp = ProvenanceStore::open_env(Box::new(DirEnv::new(dir.path()).unwrap()), sync_options())
         .unwrap();
+    rp.verify_integrity().expect("recovered paged store passes structural checks");
     let got = observe(&rp);
     // the recovered state must be *some* committed prefix — find it and
     // require full query parity at that depth

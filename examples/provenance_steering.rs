@@ -38,7 +38,7 @@ fn main() {
 
     let show = |title: &str, sql: &str| {
         println!("-- {title}\n   {sql}\n");
-        match prov.query(sql) {
+        match prov.query_rows(sql, &[]) {
             Ok(rs) => {
                 for line in rs.to_string().lines().take(12) {
                     println!("   {line}");

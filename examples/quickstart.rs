@@ -39,7 +39,7 @@ fn main() {
         // The provenance database saw everything; run the paper's Query 1.
         let q1 = out
             .prov
-            .query(
+            .query_rows(
                 "SELECT a.tag, \
                    min(extract('epoch' from (t.endtime-t.starttime))), \
                    max(extract('epoch' from (t.endtime-t.starttime))), \
@@ -47,6 +47,7 @@ fn main() {
                  FROM hworkflow w, hactivity a, hactivation t \
                  WHERE w.wkfid = a.wkfid AND a.actid = t.actid \
                  GROUP BY a.tag ORDER BY a.tag",
+                &[],
             )
             .expect("query 1 runs");
         println!("\n  per-activity durations (paper Query 1):");

@@ -69,7 +69,7 @@ fn main() {
 
     // show how the engine found the failures: the paper's steering queries
     let q = prov
-        .query("SELECT status, count(*) FROM hactivation GROUP BY status ORDER BY status")
+        .query_rows("SELECT status, count(*) FROM hactivation GROUP BY status ORDER BY status", &[])
         .expect("status query");
     println!("\nprovenance view of both runs:\n{q}");
 }

@@ -67,11 +67,12 @@ fn main() {
 
     // Paper Query 2: find the produced .dlg files without browsing dirs.
     let q2 = prov
-        .query(
+        .query_rows(
             "SELECT a.tag, f.fname, f.fsize, f.fdir \
              FROM hactivity a, hactivation t, hfile f \
              WHERE a.actid = t.actid AND t.taskid = f.taskid AND f.fname LIKE '%.dlg' \
              ORDER BY f.fsize DESC LIMIT 5",
+            &[],
         )
         .expect("query 2 runs");
     println!("\nlargest .dlg outputs (paper Query 2):\n{q2}");

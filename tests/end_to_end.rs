@@ -117,7 +117,8 @@ fn failure_injection_recovers_through_retries() {
     assert!(report.failed_attempts > 0, "25% fail rate must produce failures");
     assert_eq!(report.final_output().len(), 3, "all pairs recover via retries");
     // every failed attempt is visible in provenance
-    let r = prov.query("SELECT count(*) FROM hactivation WHERE status = 'FAILED'").unwrap();
+    let r =
+        prov.query_rows("SELECT count(*) FROM hactivation WHERE status = 'FAILED'", &[]).unwrap();
     assert_eq!(r.cell(0, 0), &Value::Int(report.failed_attempts as i64));
 }
 
@@ -226,7 +227,7 @@ fn six_hundred_gb_scale_bookkeeping() {
         .unwrap();
     assert!(files.total_bytes() > staged, "activities must add artifacts");
     // hfile's sizes agree with the store
-    let q = prov.query("SELECT fname, fsize, fdir FROM hfile ORDER BY fileid").unwrap();
+    let q = prov.query_rows("SELECT fname, fsize, fdir FROM hfile ORDER BY fileid", &[]).unwrap();
     for row in &q.rows {
         let path = format!("{}{}", row[2].as_str().unwrap(), row[0].as_str().unwrap());
         let size = files.size(&path).expect("recorded file exists in the store");

@@ -111,7 +111,7 @@ fn fault_tolerance_story() {
     assert!(r.aborted > 0, "some activations hang and are aborted");
     // blacklisted Hg receptors appear whenever the reduced set contains one
     let statuses = prov
-        .query("SELECT status, count(*) FROM hactivation GROUP BY status ORDER BY status")
+        .query_rows("SELECT status, count(*) FROM hactivation GROUP BY status ORDER BY status", &[])
         .unwrap();
     assert!(statuses.len() >= 2, "FINISHED plus at least one failure status");
 }
@@ -175,9 +175,10 @@ fn data_volume_bookkeeping_near_600gb() {
     );
     // and Query 2 works against the simulated provenance
     let q2 = prov
-        .query(
+        .query_rows(
             "SELECT a.tag, f.fname, f.fsize FROM hactivity a, hactivation t, hfile f \
              WHERE a.actid = t.actid AND t.taskid = f.taskid AND f.fname LIKE '%.dlg' LIMIT 5",
+            &[],
         )
         .unwrap();
     assert!(!q2.is_empty(), "simulated runs must expose .dlg files to Query 2");
